@@ -1,0 +1,170 @@
+//! Spatially contiguous hierarchical clustering baseline (Kim et al. [15]).
+//!
+//! Runs `sr-ml`'s Ward-under-contiguity agglomeration over the *cells* of
+//! the grid (normalized features, rook adjacency) down to `p` clusters,
+//! then aggregates each cluster into one training unit. Unlike the core
+//! framework, clusters have arbitrary shapes and the merge order never
+//! consults the information loss — the paper's explanation for this
+//! baseline's higher loss at equal unit counts.
+
+use crate::reduced::{aggregate_members, mean_centroid, ReducedDataset};
+use crate::{BaselineError, Result};
+use sr_grid::{normalize_attributes, AdjacencyList, CellId, GridDataset};
+use sr_ml::{schc_cluster, SchcParams};
+
+/// Reduces `grid` to `p` spatially contiguous clusters.
+pub fn contiguous_clustering(grid: &GridDataset, p: usize) -> Result<ReducedDataset> {
+    let valid: Vec<CellId> = grid.valid_cells().collect();
+    if valid.is_empty() {
+        return Err(BaselineError::EmptyGrid);
+    }
+    if p == 0 || p > valid.len() {
+        return Err(BaselineError::InvalidTarget { requested: p, available: valid.len() });
+    }
+
+    let norm = normalize_attributes(grid);
+    let features: Vec<Vec<f64>> = valid
+        .iter()
+        .map(|&c| norm.features_unchecked(c).to_vec())
+        .collect();
+    let rook = AdjacencyList::rook_from_grid(grid).restrict(grid.valid_mask());
+
+    let result = schc_cluster(&features, &rook, &SchcParams { num_clusters: p })
+        .expect("validated inputs");
+
+    let num_units = result.num_found;
+    let mut members: Vec<Vec<CellId>> = vec![Vec::new(); num_units];
+    for (vi, &cell) in valid.iter().enumerate() {
+        members[result.labels[vi]].push(cell);
+    }
+
+    let unit_features: Vec<Vec<f64>> = members.iter().map(|m| aggregate_members(grid, m)).collect();
+    let centroids: Vec<(f64, f64)> = members.iter().map(|m| mean_centroid(grid, m)).collect();
+    let unit_sizes: Vec<usize> = members.iter().map(Vec::len).collect();
+
+    // Unit adjacency from cell adjacency.
+    let n_cells = grid.num_cells();
+    let mut unit_of: Vec<u32> = vec![u32::MAX; n_cells];
+    for (u, m) in members.iter().enumerate() {
+        for &c in m {
+            unit_of[c as usize] = u as u32;
+        }
+    }
+    let full_rook = AdjacencyList::rook_from_grid(grid);
+    let mut neighbor_sets: Vec<std::collections::HashSet<u32>> = vec![Default::default(); num_units];
+    for &cell in &valid {
+        let a = unit_of[cell as usize];
+        for &nb in full_rook.neighbors(cell) {
+            let b = unit_of[nb as usize];
+            if b != u32::MAX && b != a {
+                neighbor_sets[a as usize].insert(b);
+            }
+        }
+    }
+    let adjacency = AdjacencyList::from_neighbors(
+        neighbor_sets
+            .into_iter()
+            .map(|s| {
+                let mut v: Vec<u32> = s.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect(),
+    );
+
+    let cell_to_unit: Vec<Option<u32>> = (0..n_cells)
+        .map(|i| {
+            let u = unit_of[i];
+            (u != u32::MAX).then_some(u)
+        })
+        .collect();
+
+    Ok(ReducedDataset {
+        agg_counts: unit_sizes.clone(),
+        features: unit_features,
+        centroids,
+        adjacency,
+        cell_to_unit,
+        unit_sizes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_grid(n: usize) -> GridDataset {
+        let vals: Vec<f64> = (0..n * n).map(|i| (i / n) as f64 * 2.0 + 10.0).collect();
+        GridDataset::univariate(n, n, vals).unwrap()
+    }
+
+    #[test]
+    fn reaches_target_count_on_connected_grid() {
+        let g = gradient_grid(10);
+        for p in [3usize, 10, 40] {
+            let r = contiguous_clustering(&g, p).unwrap();
+            assert_eq!(r.len(), p);
+            assert_eq!(r.unit_sizes.iter().sum::<usize>(), 100);
+        }
+    }
+
+    #[test]
+    fn clusters_follow_value_bands() {
+        // Gradient by row: 4 clusters should be horizontal bands, so each
+        // cluster's member rows are contiguous.
+        let g = gradient_grid(8);
+        let r = contiguous_clustering(&g, 4).unwrap();
+        for unit in 0..r.len() as u32 {
+            let rows: Vec<usize> = (0..64)
+                .filter(|&i| r.cell_to_unit[i] == Some(unit))
+                .map(|i| i / 8)
+                .collect();
+            let min = *rows.iter().min().unwrap();
+            let max = *rows.iter().max().unwrap();
+            // All rows between min and max present (banded shape).
+            for row in min..=max {
+                assert!(rows.contains(&row), "unit {unit} skips row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn lower_ifl_than_random_merge_shape() {
+        // SCHC merges similar neighbors, so its IFL must beat a horrible
+        // fixed-band reduction at equal unit count... compare against the
+        // worst case of putting the top half and bottom half together (2
+        // units) vs SCHC's own 2 units on a split grid.
+        let vals: Vec<f64> = (0..100)
+            .map(|i| if i < 50 { 1.0 } else { 100.0 })
+            .collect();
+        let g = GridDataset::univariate(10, 10, vals).unwrap();
+        let r = contiguous_clustering(&g, 2).unwrap();
+        // Perfect split ⇒ zero loss.
+        assert!(r.information_loss(&g) < 1e-9);
+    }
+
+    #[test]
+    fn null_cells_excluded() {
+        let mut g = gradient_grid(6);
+        g.set_null(0);
+        g.set_null(35);
+        let r = contiguous_clustering(&g, 5).unwrap();
+        assert!(r.cell_to_unit[0].is_none());
+        assert!(r.cell_to_unit[35].is_none());
+        assert_eq!(r.unit_sizes.iter().sum::<usize>(), 34);
+    }
+
+    #[test]
+    fn adjacency_symmetric() {
+        let g = gradient_grid(9);
+        let r = contiguous_clustering(&g, 7).unwrap();
+        assert!(r.adjacency.is_symmetric());
+    }
+
+    #[test]
+    fn validation() {
+        let g = gradient_grid(4);
+        assert!(contiguous_clustering(&g, 0).is_err());
+        assert!(contiguous_clustering(&g, 100).is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! The paper's data-reduction baselines (§IV-A3).
+//!
+//! Each baseline reduces an input grid to a *target number of units* — set
+//! by the experiment harness to the cell-group count the re-partitioning
+//! framework produced at a given IFL threshold, exactly as the paper
+//! prescribes for fairness — and emits the same [`ReducedDataset`]
+//! structure the training pipelines consume:
+//!
+//! - [`sampling::spatial_sampling`] — Guo et al. [9]: spread-maximizing
+//!   selection of individual cells under a minimum-distance constraint.
+//!   Deliberately breaks adjacency (most samples are isolated), which is
+//!   the paper's explanation for sampling's poor spatial-model quality.
+//! - [`regionalization::regionalize`] — Biswas et al. [13]: seed `p`
+//!   random regions, then grow each by absorbing the adjacent unassigned
+//!   cell with the most similar attributes.
+//! - [`clustering::contiguous_clustering`] — Kim et al. [15]: Ward-linkage
+//!   agglomeration restricted to spatially adjacent clusters (reuses
+//!   `sr-ml`'s SCHC implementation at the cell level).
+
+pub mod clustering;
+pub mod reduced;
+pub mod regionalization;
+pub mod sampling;
+
+pub use clustering::contiguous_clustering;
+pub use reduced::ReducedDataset;
+pub use regionalization::regionalize;
+pub use sampling::spatial_sampling;
+
+/// Errors from baseline reducers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The grid has no valid cells to reduce.
+    EmptyGrid,
+    /// The requested unit count is zero or exceeds the valid-cell count.
+    InvalidTarget {
+        /// Requested number of units.
+        requested: usize,
+        /// Number of valid cells available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::EmptyGrid => write!(f, "grid has no valid cells"),
+            BaselineError::InvalidTarget { requested, available } => write!(
+                f,
+                "target unit count {requested} invalid for {available} valid cells"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// Result alias for baseline operations.
+pub type Result<T> = std::result::Result<T, BaselineError>;

@@ -1,0 +1,262 @@
+//! Regionalization baseline (Biswas et al. [13]).
+//!
+//! Two phases, as §I describes for this family: an *initialization* phase
+//! seeds `p` regions with `p` randomly chosen cells, and a *region growing*
+//! phase repeatedly assigns the most similar adjacent unassigned cell to a
+//! region until every valid cell belongs somewhere. Growth is globally
+//! greedy over a priority queue keyed by the feature distance between the
+//! candidate cell and the running region mean (of the normalized grid).
+//! Regions are arbitrary-shaped contiguous blobs — the paper's critique
+//! (cumbersome adjacency, sensitivity to seeds) applies by construction.
+
+use crate::reduced::{aggregate_members, mean_centroid, ReducedDataset};
+use crate::{BaselineError, Result};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sr_grid::{normalize_attributes, AdjacencyList, CellId, GridDataset};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Cost(f64);
+
+impl Eq for Cost {}
+
+impl PartialOrd for Cost {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Cost {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite costs")
+    }
+}
+
+/// Reduces `grid` to `p` contiguous regions. Deterministic in `seed`.
+///
+/// Isolated valid cells that no region can reach (disconnected from every
+/// seed) become singleton regions appended after the requested `p`.
+pub fn regionalize(grid: &GridDataset, p: usize, seed: u64) -> Result<ReducedDataset> {
+    let valid: Vec<CellId> = grid.valid_cells().collect();
+    if valid.is_empty() {
+        return Err(BaselineError::EmptyGrid);
+    }
+    if p == 0 || p > valid.len() {
+        return Err(BaselineError::InvalidTarget { requested: p, available: valid.len() });
+    }
+
+    let norm = normalize_attributes(grid);
+    let nattrs = norm.num_attrs();
+    let rook = AdjacencyList::rook_from_grid(grid);
+
+    // Initialization phase: p random seeds.
+    let mut order = valid.clone();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let seeds = &order[..p];
+
+    let n_cells = grid.num_cells();
+    let mut region_of: Vec<u32> = vec![u32::MAX; n_cells];
+    // Region running state for the similarity cost: normalized-feature sums
+    // and member counts.
+    let mut sums: Vec<Vec<f64>> = vec![vec![0.0; nattrs]; p];
+    let mut counts: Vec<usize> = vec![0; p];
+    let mut heap: BinaryHeap<Reverse<(Cost, CellId, u32)>> = BinaryHeap::new();
+
+    let absorb = |cell: CellId,
+                      region: u32,
+                      region_of: &mut Vec<u32>,
+                      sums: &mut Vec<Vec<f64>>,
+                      counts: &mut Vec<usize>,
+                      heap: &mut BinaryHeap<Reverse<(Cost, CellId, u32)>>| {
+        region_of[cell as usize] = region;
+        let fv = norm.features_unchecked(cell);
+        for (s, &v) in sums[region as usize].iter_mut().zip(fv) {
+            *s += v;
+        }
+        counts[region as usize] += 1;
+        // Enqueue unassigned valid neighbors with the updated region mean.
+        let r = region as usize;
+        for &nb in rook.neighbors(cell) {
+            if region_of[nb as usize] != u32::MAX {
+                continue;
+            }
+            let nfv = norm.features_unchecked(nb);
+            let mut d = 0.0;
+            for (k, &v) in nfv.iter().enumerate() {
+                let mean = sums[r][k] / counts[r] as f64;
+                d += (v - mean).abs();
+            }
+            heap.push(Reverse((Cost(d / nattrs as f64), nb, region)));
+        }
+    };
+
+    for (r, &cell) in seeds.iter().enumerate() {
+        absorb(cell, r as u32, &mut region_of, &mut sums, &mut counts, &mut heap);
+    }
+
+    // Region-growing phase.
+    while let Some(Reverse((_, cell, region))) = heap.pop() {
+        if region_of[cell as usize] != u32::MAX {
+            continue; // claimed by an earlier (cheaper) assignment
+        }
+        absorb(cell, region, &mut region_of, &mut sums, &mut counts, &mut heap);
+    }
+
+    // Any still-unassigned valid cells are disconnected islands: give each
+    // its own singleton region.
+    let mut num_regions = p;
+    for &cell in &valid {
+        if region_of[cell as usize] == u32::MAX {
+            region_of[cell as usize] = num_regions as u32;
+            num_regions += 1;
+        }
+    }
+
+    // Materialize members per region.
+    let mut members: Vec<Vec<CellId>> = vec![Vec::new(); num_regions];
+    for &cell in &valid {
+        members[region_of[cell as usize] as usize].push(cell);
+    }
+
+    let features: Vec<Vec<f64>> = members.iter().map(|m| aggregate_members(grid, m)).collect();
+    let centroids: Vec<(f64, f64)> = members.iter().map(|m| mean_centroid(grid, m)).collect();
+    let unit_sizes: Vec<usize> = members.iter().map(Vec::len).collect();
+
+    // Region adjacency from cell adjacency.
+    let mut neighbor_sets: Vec<std::collections::HashSet<u32>> =
+        vec![Default::default(); num_regions];
+    for &cell in &valid {
+        let a = region_of[cell as usize];
+        for &nb in rook.neighbors(cell) {
+            let b = region_of[nb as usize];
+            if b != u32::MAX && b != a {
+                neighbor_sets[a as usize].insert(b);
+            }
+        }
+    }
+    let adjacency = AdjacencyList::from_neighbors(
+        neighbor_sets
+            .into_iter()
+            .map(|s| {
+                let mut v: Vec<u32> = s.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect(),
+    );
+
+    let cell_to_unit: Vec<Option<u32>> = (0..n_cells)
+        .map(|i| {
+            let r = region_of[i];
+            (r != u32::MAX).then_some(r)
+        })
+        .collect();
+
+    let agg_counts = unit_sizes.clone();
+    Ok(ReducedDataset { features, centroids, adjacency, cell_to_unit, unit_sizes, agg_counts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_zone_grid(n: usize) -> GridDataset {
+        // Left half ≈ 1, right half ≈ 9.
+        let vals: Vec<f64> = (0..n * n)
+            .map(|i| if i % n < n / 2 { 1.0 } else { 9.0 })
+            .collect();
+        GridDataset::univariate(n, n, vals).unwrap()
+    }
+
+    #[test]
+    fn produces_requested_region_count() {
+        let g = two_zone_grid(10);
+        let r = regionalize(&g, 8, 1).unwrap();
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.unit_sizes.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn regions_are_contiguous() {
+        let g = two_zone_grid(12);
+        let r = regionalize(&g, 10, 2).unwrap();
+        let rook = AdjacencyList::rook_from_grid(&g);
+        for region in 0..r.len() as u32 {
+            let members: Vec<usize> = (0..g.num_cells())
+                .filter(|&i| r.cell_to_unit[i] == Some(region))
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut seen = std::collections::HashSet::new();
+            let mut queue = vec![members[0]];
+            seen.insert(members[0]);
+            while let Some(u) = queue.pop() {
+                for &v in rook.neighbors(u as u32) {
+                    let v = v as usize;
+                    if r.cell_to_unit[v] == Some(region) && seen.insert(v) {
+                        queue.push(v);
+                    }
+                }
+            }
+            assert_eq!(seen.len(), members.len(), "region {region} disconnected");
+        }
+    }
+
+    #[test]
+    fn growth_respects_similarity() {
+        // With 2 regions on a sharply split grid, the cut should land on
+        // the value boundary for most cells.
+        let g = two_zone_grid(10);
+        // Use a seed whose two random seeds fall on different halves (try a
+        // few; at least one must produce a near-perfect split).
+        let mut best = 0.0f64;
+        for seed in 0..5 {
+            let r = regionalize(&g, 2, seed).unwrap();
+            let mut agree = 0;
+            for i in 0..100 {
+                let left = i % 10 < 5;
+                let unit = r.cell_to_unit[i].unwrap();
+                let left_unit = r.cell_to_unit[0].unwrap();
+                if (unit == left_unit) == left {
+                    agree += 1;
+                }
+            }
+            best = best.max(agree as f64 / 100.0);
+        }
+        assert!(best > 0.9, "best split agreement {best}");
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let g = two_zone_grid(9);
+        let r = regionalize(&g, 6, 3).unwrap();
+        assert!(r.adjacency.is_symmetric());
+    }
+
+    #[test]
+    fn islands_become_singletons() {
+        // A valid cell fenced off by nulls cannot be reached by any seed
+        // planted elsewhere.
+        let mut g = GridDataset::univariate(3, 3, vec![5.0; 9]).unwrap();
+        g.set_null(1);
+        g.set_null(3);
+        // cell 0 is isolated from the rest (neighbors 1 and 3 are null).
+        let r = regionalize(&g, 1, 11).unwrap();
+        // Either the seed landed on cell 0 (rest unreachable → singletons)
+        // or elsewhere (cell 0 becomes a singleton); both yield > 1 unit.
+        assert!(r.len() >= 2);
+        assert_eq!(r.unit_sizes.iter().sum::<usize>(), 7);
+    }
+
+    #[test]
+    fn validation() {
+        let g = two_zone_grid(4);
+        assert!(regionalize(&g, 0, 1).is_err());
+        assert!(regionalize(&g, 17, 1).is_err());
+    }
+}

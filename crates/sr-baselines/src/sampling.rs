@@ -1,0 +1,276 @@
+//! Spatial sampling baseline (Guo et al. [9]).
+//!
+//! Selects `t` individual cells such that selected cells keep a minimum
+//! pairwise distance (spread maximization), via a seeded random-order
+//! greedy pass over a spatial hash; if the distance constraint leaves the
+//! quota unfilled, the remainder is topped up randomly. Each sample keeps
+//! its own feature vector — no aggregation — and the sample set's rook
+//! adjacency is almost everywhere empty, which is precisely the property
+//! the paper blames for sampling's weak spatial-model accuracy.
+
+use crate::reduced::ReducedDataset;
+use crate::{BaselineError, Result};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sr_grid::{AdjacencyList, CellId, GridDataset};
+
+/// Reduces `grid` to `t` sampled cells. Deterministic in `seed`.
+pub fn spatial_sampling(grid: &GridDataset, t: usize, seed: u64) -> Result<ReducedDataset> {
+    let valid: Vec<CellId> = grid.valid_cells().collect();
+    if valid.is_empty() {
+        return Err(BaselineError::EmptyGrid);
+    }
+    if t == 0 || t > valid.len() {
+        return Err(BaselineError::InvalidTarget { requested: t, available: valid.len() });
+    }
+
+    let rows = grid.rows();
+    let cols = grid.cols();
+    // Minimum separation targeting an even spread of t points over the
+    // valid area (in cell units), shrunk slightly so the greedy pass can
+    // usually reach the quota on its own.
+    let min_dist = (valid.len() as f64 / t as f64).sqrt() * 0.75;
+    let min_dist2 = min_dist * min_dist;
+    let bucket = min_dist.ceil().max(1.0) as usize;
+    let b_rows = rows.div_ceil(bucket);
+    let b_cols = cols.div_ceil(bucket);
+    let mut buckets: Vec<Vec<(usize, usize, u32)>> = vec![Vec::new(); b_rows * b_cols];
+
+    let mut order = valid.clone();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+
+    let mut selected: Vec<CellId> = Vec::with_capacity(t);
+    let mut rejected: Vec<CellId> = Vec::new();
+    for &cell in &order {
+        if selected.len() == t {
+            break;
+        }
+        let (r, c) = grid.cell_pos(cell);
+        let (br, bc) = (r / bucket, c / bucket);
+        let mut ok = true;
+        'scan: for dr in br.saturating_sub(1)..=(br + 1).min(b_rows - 1) {
+            for dc in bc.saturating_sub(1)..=(bc + 1).min(b_cols - 1) {
+                for &(sr, sc, _) in &buckets[dr * b_cols + dc] {
+                    let dy = sr as f64 - r as f64;
+                    let dx = sc as f64 - c as f64;
+                    if dy * dy + dx * dx < min_dist2 {
+                        ok = false;
+                        break 'scan;
+                    }
+                }
+            }
+        }
+        if ok {
+            buckets[br * b_cols + bc].push((r, c, selected.len() as u32));
+            selected.push(cell);
+        } else {
+            rejected.push(cell);
+        }
+    }
+    // Top up from the rejected pool (random order preserved).
+    for &cell in &rejected {
+        if selected.len() == t {
+            break;
+        }
+        selected.push(cell);
+    }
+
+    // Unit features: the sampled cells' own feature vectors.
+    let features: Vec<Vec<f64>> = selected
+        .iter()
+        .map(|&c| grid.features_unchecked(c).to_vec())
+        .collect();
+    let centroids: Vec<(f64, f64)> = selected.iter().map(|&c| grid.cell_centroid(c)).collect();
+
+    // Rook adjacency among samples (sparse by construction).
+    let mut sample_at = vec![u32::MAX; rows * cols];
+    for (u, &c) in selected.iter().enumerate() {
+        sample_at[c as usize] = u as u32;
+    }
+    let mut neighbors = vec![Vec::new(); selected.len()];
+    for (u, &c) in selected.iter().enumerate() {
+        let (r, cc) = grid.cell_pos(c);
+        let mut probe = |rr: isize, ccc: isize| {
+            if rr >= 0 && (rr as usize) < rows && ccc >= 0 && (ccc as usize) < cols {
+                let v = sample_at[rr as usize * cols + ccc as usize];
+                if v != u32::MAX {
+                    neighbors[u].push(v);
+                }
+            }
+        };
+        probe(r as isize - 1, cc as isize);
+        probe(r as isize + 1, cc as isize);
+        probe(r as isize, cc as isize - 1);
+        probe(r as isize, cc as isize + 1);
+    }
+
+    // Every valid cell maps to its nearest sample (bucketed ring search).
+    let cell_to_unit = nearest_sample_map(grid, &selected);
+    let mut unit_sizes = vec![0usize; selected.len()];
+    for u in cell_to_unit.iter().flatten() {
+        unit_sizes[*u as usize] += 1;
+    }
+
+    Ok(ReducedDataset {
+        agg_counts: vec![1; selected.len()],
+        features,
+        centroids,
+        adjacency: AdjacencyList::from_neighbors(neighbors),
+        cell_to_unit,
+        unit_sizes,
+    })
+}
+
+/// Maps every valid cell to its nearest sample using an expanding ring
+/// search over a bucket grid (O(cells · ring) in practice).
+fn nearest_sample_map(grid: &GridDataset, selected: &[CellId]) -> Vec<Option<u32>> {
+    let rows = grid.rows();
+    let cols = grid.cols();
+    let bucket = ((rows * cols) as f64 / selected.len() as f64).sqrt().ceil() as usize;
+    let bucket = bucket.max(1);
+    let b_rows = rows.div_ceil(bucket);
+    let b_cols = cols.div_ceil(bucket);
+    let mut buckets: Vec<Vec<(usize, usize, u32)>> = vec![Vec::new(); b_rows * b_cols];
+    for (u, &c) in selected.iter().enumerate() {
+        let (r, cc) = grid.cell_pos(c);
+        buckets[(r / bucket) * b_cols + cc / bucket].push((r, cc, u as u32));
+    }
+
+    let mut out = vec![None; rows * cols];
+    for cell in grid.valid_cells() {
+        let (r, c) = grid.cell_pos(cell);
+        let (br, bc) = (r / bucket, c / bucket);
+        let mut best: Option<(f64, u32)> = None;
+        let mut ring = 0usize;
+        loop {
+            let r_lo = br.saturating_sub(ring);
+            let r_hi = (br + ring).min(b_rows - 1);
+            let c_lo = bc.saturating_sub(ring);
+            let c_hi = (bc + ring).min(b_cols - 1);
+            for dr in r_lo..=r_hi {
+                for dc in c_lo..=c_hi {
+                    // Only the new ring's boundary buckets.
+                    if ring > 0
+                        && dr != r_lo
+                        && dr != r_hi
+                        && dc != c_lo
+                        && dc != c_hi
+                    {
+                        continue;
+                    }
+                    for &(sr, sc, u) in &buckets[dr * b_cols + dc] {
+                        let dy = sr as f64 - r as f64;
+                        let dx = sc as f64 - c as f64;
+                        let d2 = dy * dy + dx * dx;
+                        if best.is_none_or(|(b, _)| d2 < b) {
+                            best = Some((d2, u));
+                        }
+                    }
+                }
+            }
+            // One extra ring after the first hit guarantees correctness at
+            // bucket boundaries.
+            if let Some((d2, _)) = best {
+                let safe_rings = (d2.sqrt() / bucket as f64).ceil() as usize + 1;
+                if ring >= safe_rings || (r_lo == 0 && c_lo == 0 && r_hi == b_rows - 1 && c_hi == b_cols - 1) {
+                    break;
+                }
+            } else if r_lo == 0 && c_lo == 0 && r_hi == b_rows - 1 && c_hi == b_cols - 1 {
+                break;
+            }
+            ring += 1;
+        }
+        out[cell as usize] = best.map(|(_, u)| u);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_grid(n: usize) -> GridDataset {
+        let vals: Vec<f64> = (0..n * n)
+            .map(|i| 10.0 + (i / n) as f64 + 0.5 * (i % n) as f64)
+            .collect();
+        GridDataset::univariate(n, n, vals).unwrap()
+    }
+
+    #[test]
+    fn selects_exactly_t_units() {
+        let g = smooth_grid(20);
+        for t in [10usize, 50, 200] {
+            let r = spatial_sampling(&g, t, 1).unwrap();
+            assert_eq!(r.len(), t);
+            assert_eq!(r.centroids.len(), t);
+            assert_eq!(r.adjacency.len(), t);
+        }
+    }
+
+    #[test]
+    fn samples_are_spread_not_clumped() {
+        let g = smooth_grid(30);
+        let r = spatial_sampling(&g, 90, 2).unwrap();
+        // Adjacency among samples should be nearly empty: spread sampling
+        // rarely picks touching cells.
+        let adjacent_pairs: usize = (0..r.len() as u32).map(|u| r.adjacency.degree(u)).sum();
+        assert!(
+            adjacent_pairs < r.len() / 2,
+            "sampling produced {adjacent_pairs} adjacent sample pairs"
+        );
+    }
+
+    #[test]
+    fn every_valid_cell_mapped_to_nearest_sample() {
+        let mut g = smooth_grid(12);
+        g.set_null(0);
+        let r = spatial_sampling(&g, 20, 3).unwrap();
+        assert!(r.cell_to_unit[0].is_none());
+        // Spot-check nearest assignment against brute force.
+        let selected_pos: Vec<(usize, usize)> = (0..r.len())
+            .map(|u| {
+                let (la, lo) = r.centroids[u];
+                // invert unit centroid to cell coords
+                let rr = (la * 12.0 - 0.5).round() as usize;
+                let cc = (lo * 12.0 - 0.5).round() as usize;
+                (rr, cc)
+            })
+            .collect();
+        for cell in g.valid_cells().take(40) {
+            let (cr, cc) = g.cell_pos(cell);
+            let assigned = r.cell_to_unit[cell as usize].unwrap() as usize;
+            let d = |u: usize| {
+                let (sr, sc) = selected_pos[u];
+                let dy = sr as f64 - cr as f64;
+                let dx = sc as f64 - cc as f64;
+                dy * dy + dx * dx
+            };
+            let best = (0..r.len()).map(d).fold(f64::INFINITY, f64::min);
+            assert!(d(assigned) <= best + 1e-9, "cell {cell} misassigned");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = smooth_grid(15);
+        let a = spatial_sampling(&g, 40, 7).unwrap();
+        let b = spatial_sampling(&g, 40, 7).unwrap();
+        assert_eq!(a.features, b.features);
+        let c = spatial_sampling(&g, 40, 8).unwrap();
+        assert_ne!(a.features, c.features);
+    }
+
+    #[test]
+    fn target_validation() {
+        let g = smooth_grid(5);
+        assert!(spatial_sampling(&g, 0, 1).is_err());
+        assert!(spatial_sampling(&g, 26, 1).is_err());
+        let mut empty = smooth_grid(3);
+        for i in 0..9 {
+            empty.set_null(i);
+        }
+        assert!(spatial_sampling(&empty, 1, 1).is_err());
+    }
+}

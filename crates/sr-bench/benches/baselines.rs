@@ -1,0 +1,39 @@
+//! Micro-benchmarks of the reduction methods at a matched unit count: the
+//! core re-partitioner against the three baselines it is compared with in
+//! Tables II–IV.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sr_baselines::{contiguous_clustering, regionalize, spatial_sampling};
+use sr_core::{IterationStrategy, RepartitionConfig, Repartitioner};
+use sr_datasets::{Dataset, GridSize};
+use std::hint::black_box;
+
+fn bench_reducers(c: &mut Criterion) {
+    let grid = Dataset::EarningsMultivariate.generate(GridSize::Tiny, 1);
+    // Match all baselines to the re-partitioner's output size at θ = 0.05.
+    let cfg = RepartitionConfig::new(0.05)
+        .unwrap()
+        .with_strategy(IterationStrategy::Exponential { initial_stride: 8, growth: 1.6 });
+    let driver = Repartitioner::with_config(cfg).unwrap();
+    let t = driver.run(&grid).unwrap().repartitioned.num_valid_groups();
+
+    let mut group = c.benchmark_group(format!("reducers_{}cells_to_{t}units", grid.num_cells()));
+    group.sample_size(10);
+
+    group.bench_function("repartition_theta_0.05", |b| {
+        b.iter(|| driver.run(black_box(&grid)).unwrap())
+    });
+    group.bench_function("spatial_sampling", |b| {
+        b.iter(|| spatial_sampling(black_box(&grid), t, 1).unwrap())
+    });
+    group.bench_function("regionalization", |b| {
+        b.iter(|| regionalize(black_box(&grid), t, 1).unwrap())
+    });
+    group.bench_function("contiguous_clustering", |b| {
+        b.iter(|| contiguous_clustering(black_box(&grid), t).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reducers);
+criterion_main!(benches);

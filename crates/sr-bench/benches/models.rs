@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the spatial ML substrate: one fit per model at a
+//! fixed small training size, so regressions in any estimator's complexity
+//! show up immediately.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sr_bench::Units;
+use sr_datasets::{Dataset, GridSize};
+use sr_ml::{
+    table1, GradientBoostingClassifier, Gwr, KnnClassifier, OrdinaryKriging, RandomForest,
+    SpatialError, SpatialLag, Svr, SvrParams,
+};
+use std::hint::black_box;
+
+type TrainingData = (Vec<Vec<f64>>, Vec<f64>, Vec<(f64, f64)>, sr_grid::AdjacencyList);
+
+fn training_data() -> TrainingData {
+    let ds = Dataset::TaxiMultivariate;
+    let grid = ds.generate(GridSize::Mini, 1);
+    let units = Units::from_grid(&grid);
+    let (xs, ys) = units.split_target(ds.target_attr());
+    (xs, ys, units.centroids.clone(), units.adjacency.clone())
+}
+
+fn bench_regressors(c: &mut Criterion) {
+    let (xs, ys, coords, adj) = training_data();
+    let n = xs.len();
+    let mut group = c.benchmark_group(format!("regressors_n{n}"));
+    group.sample_size(10);
+
+    group.bench_function("spatial_lag", |b| {
+        b.iter(|| SpatialLag::fit(black_box(&xs), black_box(&ys), black_box(&adj)).unwrap())
+    });
+    group.bench_function("spatial_error", |b| {
+        b.iter(|| SpatialError::fit(black_box(&xs), black_box(&ys), black_box(&adj)).unwrap())
+    });
+    group.bench_function("gwr", |b| {
+        b.iter(|| Gwr::fit(black_box(&xs), black_box(&ys), black_box(&coords), &table1::gwr()).unwrap())
+    });
+    group.bench_function("svr", |b| {
+        let params = SvrParams { max_train: 10_000, ..table1::svr() };
+        b.iter(|| Svr::fit(black_box(&xs), black_box(&ys), &params).unwrap())
+    });
+    group.bench_function("random_forest", |b| {
+        b.iter(|| RandomForest::fit(black_box(&xs), black_box(&ys), &table1::random_forest()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_classifiers_and_kriging(c: &mut Criterion) {
+    let (xs, ys, coords, _) = training_data();
+    let labels = sr_ml::bin_into_quantiles(&ys, table1::NUM_CLASSES);
+    let n = xs.len();
+    let mut group = c.benchmark_group(format!("classifiers_n{n}"));
+    group.sample_size(10);
+
+    group.bench_function("gradient_boosting", |b| {
+        b.iter(|| {
+            GradientBoostingClassifier::fit(
+                black_box(&xs),
+                black_box(&labels),
+                table1::NUM_CLASSES,
+                &table1::gradient_boosting(),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("knn_fit", |b| {
+        b.iter(|| {
+            KnnClassifier::fit(black_box(&xs), black_box(&labels), table1::NUM_CLASSES, &table1::knn())
+                .unwrap()
+        })
+    });
+    group.bench_function("kriging_fit", |b| {
+        b.iter(|| OrdinaryKriging::fit(black_box(&coords), black_box(&ys), &table1::kriging()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_regressors, bench_classifiers_and_kriging);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the re-partitioning pipeline's stages: heap
+//! construction, cell-group extraction (Algorithm 1), feature allocation
+//! (Algorithm 2), IFL computation, group adjacency (Algorithm 3), and the
+//! full driver at paper-relevant grid sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sr_core::{
+    allocate_features, extract_cell_groups, group_adjacency, partition_ifl, IterationStrategy,
+    RepartitionConfig, Repartitioner, VariationHeap,
+};
+use sr_datasets::{Dataset, GridSize};
+use sr_grid::{normalize_attributes, IflOptions};
+use std::hint::black_box;
+
+fn bench_stages(c: &mut Criterion) {
+    let grid = Dataset::TaxiMultivariate.generate(GridSize::Custom(60, 60), 1);
+    let norm = normalize_attributes(&grid);
+    let partition = extract_cell_groups(&norm, 0.02);
+    let features = allocate_features(&grid, &partition);
+
+    c.bench_function("heap_build_3600_cells", |b| {
+        b.iter(|| VariationHeap::from_grid(black_box(&norm)))
+    });
+
+    c.bench_function("extract_cell_groups_3600_cells", |b| {
+        b.iter(|| extract_cell_groups(black_box(&norm), black_box(0.02)))
+    });
+
+    c.bench_function("allocate_features_3600_cells", |b| {
+        b.iter(|| allocate_features(black_box(&grid), black_box(&partition)))
+    });
+
+    c.bench_function("partition_ifl_3600_cells", |b| {
+        b.iter(|| {
+            partition_ifl(
+                black_box(&grid),
+                black_box(&partition),
+                black_box(&features),
+                IflOptions::default(),
+            )
+        })
+    });
+
+    c.bench_function("group_adjacency_3600_cells", |b| {
+        b.iter(|| group_adjacency(black_box(&partition)))
+    });
+}
+
+fn bench_full_driver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repartition_driver");
+    group.sample_size(10);
+    for (label, size) in [("20x20", GridSize::Mini), ("48x48", GridSize::Tiny), ("80x80", GridSize::Small)] {
+        let grid = Dataset::TaxiMultivariate.generate(size, 1);
+        group.bench_with_input(BenchmarkId::new("strided_theta_0.05", label), &grid, |b, g| {
+            let cfg = RepartitionConfig::new(0.05)
+                .unwrap()
+                .with_strategy(IterationStrategy::Exponential { initial_stride: 8, growth: 1.6 });
+            let driver = Repartitioner::with_config(cfg).unwrap();
+            b.iter(|| driver.run(black_box(g)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages, bench_full_driver);
+criterion_main!(benches);

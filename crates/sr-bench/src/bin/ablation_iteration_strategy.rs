@@ -1,0 +1,72 @@
+//! Ablation: the paper-faithful every-distinct heap walk vs the strided
+//! walk with binary-search backoff (DESIGN.md, substitution 5).
+//!
+//! Reports, per dataset and threshold: extraction passes, wall time, final
+//! group count, and achieved IFL for both strategies. The claim under test:
+//! the strided walk reaches (nearly) the same partition in O(log) passes.
+//!
+//! Run: `cargo run -p sr-bench --release --bin ablation_iteration_strategy`
+
+use sr_bench::report::{fmt_secs, Table};
+use sr_bench::{ExpConfig, PAPER_THRESHOLDS};
+use sr_core::{IterationStrategy, RepartitionConfig, Repartitioner};
+use sr_datasets::{Dataset, GridSize};
+use std::time::Instant;
+
+fn main() {
+    let cfg = ExpConfig::parse("ablation_iteration_strategy", GridSize::Custom(60, 60));
+    let datasets = if cfg.quick {
+        vec![Dataset::TaxiMultivariate]
+    } else {
+        vec![
+            Dataset::TaxiMultivariate,
+            Dataset::HomeSalesMultivariate,
+            Dataset::VehiclesUnivariate,
+        ]
+    };
+
+    println!("== Ablation: iteration strategy (faithful vs strided) ==");
+    println!("(grid: {} cells)\n", cfg.size.num_cells());
+
+    let mut table = Table::new(&[
+        "dataset",
+        "theta",
+        "strategy",
+        "passes",
+        "time",
+        "groups",
+        "IFL",
+    ]);
+    for ds in &datasets {
+        let grid = ds.generate(cfg.size, cfg.seed);
+        for &theta in &PAPER_THRESHOLDS {
+            for (name, strategy) in [
+                ("every-distinct", IterationStrategy::EveryDistinct),
+                (
+                    "strided",
+                    IterationStrategy::Exponential { initial_stride: 8, growth: 1.6 },
+                ),
+            ] {
+                let config = RepartitionConfig::new(theta)
+                    .expect("valid threshold")
+                    .with_strategy(strategy);
+                let start = Instant::now();
+                let out = Repartitioner::with_config(config)
+                    .expect("valid config")
+                    .run(&grid)
+                    .expect("run succeeds");
+                let secs = start.elapsed().as_secs_f64();
+                table.row(vec![
+                    ds.name().to_string(),
+                    format!("{theta:.2}"),
+                    name.to_string(),
+                    out.iterations.len().to_string(),
+                    fmt_secs(secs),
+                    out.repartitioned.num_groups().to_string(),
+                    format!("{:.4}", out.repartitioned.ifl()),
+                ]);
+            }
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,93 @@
+//! Figure 10: peak-memory reduction for the classification models and the
+//! SCHC clustering application — the same sweep as Fig. 9 with peak live
+//! bytes instead of wall time.
+//!
+//! Paper reference points: clustering memory reduction 11–42% at θ = 0.05;
+//! consistent reductions for both classifiers.
+//!
+//! Run: `cargo run -p sr-bench --release --bin fig10_cluster_class_memory`
+
+use sr_bench::report::{fmt_mib, fmt_reduction, Table};
+use sr_bench::{
+    classification, clustering, repartition_auto, ClassModel, ExpConfig, Units, PAPER_THRESHOLDS,
+};
+use sr_core::PreparedTrainingData;
+use sr_datasets::{Dataset, GridSize};
+
+#[global_allocator]
+static ALLOC: sr_mem::TrackingAllocator = sr_mem::TrackingAllocator;
+
+fn main() {
+    let cfg = ExpConfig::parse("fig10_cluster_class_memory", GridSize::Small);
+
+    println!("== Figure 10: classification & clustering peak memory ==");
+    println!("(grid: {} cells; peak live bytes during the fit)\n", cfg.size.num_cells());
+
+    println!("-- Classification (Figs. 10a/10b) --");
+    let mut table = Table::new(&[
+        "dataset",
+        "model",
+        "original",
+        "theta=0.05",
+        "(saved)",
+        "theta=0.10",
+        "(saved)",
+        "theta=0.15",
+        "(saved)",
+    ]);
+    for ds in Dataset::MULTIVARIATE {
+        let grid = ds.generate(cfg.size, cfg.seed);
+        let orig_units = Units::from_grid(&grid);
+        let reduced: Vec<Units> = PAPER_THRESHOLDS
+            .iter()
+            .map(|&theta| {
+                let out = repartition_auto(&grid, theta);
+                let prep = PreparedTrainingData::from_repartitioned(&out.repartitioned);
+                Units::from_prepared(&prep, &out.repartitioned)
+            })
+            .collect();
+        for model in ClassModel::ALL {
+            let orig = classification(&orig_units, ds.target_attr(), model, cfg.seed);
+            let mut row = vec![
+                ds.name().to_string(),
+                model.name().to_string(),
+                fmt_mib(orig.peak_bytes),
+            ];
+            for units in &reduced {
+                let r = classification(units, ds.target_attr(), model, cfg.seed);
+                row.push(fmt_mib(r.peak_bytes));
+                row.push(fmt_reduction(orig.peak_bytes as f64, r.peak_bytes as f64));
+            }
+            table.row(row);
+        }
+    }
+    table.print();
+
+    println!("\n-- Spatially constrained hierarchical clustering (Fig. 10c) --");
+    let mut table = Table::new(&[
+        "dataset",
+        "original",
+        "theta=0.05",
+        "(saved)",
+        "theta=0.10",
+        "(saved)",
+        "theta=0.15",
+        "(saved)",
+    ]);
+    for ds in Dataset::ALL {
+        let grid = ds.generate(cfg.size, cfg.seed);
+        let orig_units = Units::from_grid(&grid);
+        let orig = clustering(&orig_units);
+        let mut row = vec![ds.name().to_string(), fmt_mib(orig.peak_bytes)];
+        for &theta in &PAPER_THRESHOLDS {
+            let out = repartition_auto(&grid, theta);
+            let prep = PreparedTrainingData::from_repartitioned(&out.repartitioned);
+            let units = Units::from_prepared(&prep, &out.repartitioned);
+            let r = clustering(&units);
+            row.push(fmt_mib(r.peak_bytes));
+            row.push(fmt_reduction(orig.peak_bytes as f64, r.peak_bytes as f64));
+        }
+        table.row(row);
+    }
+    table.print();
+}

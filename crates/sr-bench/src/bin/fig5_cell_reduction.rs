@@ -1,0 +1,54 @@
+//! Figure 5: spatial-cell reduction achieved by the re-partitioning
+//! framework, per dataset (a–f), per initial cell count (≈36k/78k/100k),
+//! per IFL threshold (0.05 / 0.10 / 0.15).
+//!
+//! Paper reference points: ≈30% reduction at θ = 0.05, ≈37% at 0.1,
+//! ≈42% at 0.15, roughly independent of #attributes.
+//!
+//! Run: `cargo run -p sr-bench --release --bin fig5_cell_reduction`
+//! (`--quick` restricts to the 36k grids; `--size` overrides the sweep with
+//! a single size).
+
+use sr_bench::report::Table;
+use sr_bench::{repartition_auto, ExpConfig, PAPER_THRESHOLDS};
+use sr_datasets::{Dataset, GridSize};
+
+fn main() {
+    let cfg = ExpConfig::parse("fig5_cell_reduction", GridSize::Cells36k);
+    let sizes: Vec<GridSize> = if cfg.size_overridden {
+        vec![cfg.size]
+    } else if cfg.quick {
+        vec![GridSize::Cells36k]
+    } else {
+        GridSize::PAPER_SIZES.to_vec()
+    };
+
+    println!("== Figure 5: cell reduction vs information-loss threshold ==\n");
+    for ds in Dataset::ALL {
+        println!("-- {} --", ds.name());
+        let mut table = Table::new(&[
+            "initial cells",
+            "theta",
+            "cell-groups",
+            "reduction",
+            "achieved IFL",
+            "iterations",
+        ]);
+        for &size in &sizes {
+            let grid = ds.generate(size, cfg.seed);
+            for &theta in &PAPER_THRESHOLDS {
+                let out = repartition_auto(&grid, theta);
+                table.row(vec![
+                    format!("{} ({})", grid.num_cells(), size.label()),
+                    format!("{theta:.2}"),
+                    out.repartitioned.num_groups().to_string(),
+                    format!("{:.1}%", out.cell_reduction() * 100.0),
+                    format!("{:.4}", out.repartitioned.ifl()),
+                    out.iterations.len().to_string(),
+                ]);
+            }
+        }
+        table.print();
+        println!();
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 6: wall time of the re-partitioning algorithm until convergence,
+//! per dataset, initial cell count, and IFL threshold.
+//!
+//! Paper reference points: 50–390 s on multivariate datasets and 2–15 s on
+//! univariate ones (their Python implementation walks every distinct heap
+//! value); time grows with both the threshold and the initial cell count.
+//! Our Rust implementation with the strided strategy is far faster in
+//! absolute terms — the *shape* (multivariate ≫ univariate, growth in both
+//! axes) is the reproduction target.
+//!
+//! Run: `cargo run -p sr-bench --release --bin fig6_reduction_time`
+
+use sr_bench::report::{fmt_secs, Table};
+use sr_bench::{repartition_auto, ExpConfig, PAPER_THRESHOLDS};
+use sr_datasets::{Dataset, GridSize};
+use std::time::Instant;
+
+fn main() {
+    let cfg = ExpConfig::parse("fig6_reduction_time", GridSize::Cells36k);
+    let sizes: Vec<GridSize> = if cfg.size_overridden {
+        vec![cfg.size]
+    } else if cfg.quick {
+        vec![GridSize::Cells36k]
+    } else {
+        GridSize::PAPER_SIZES.to_vec()
+    };
+
+    println!("== Figure 6: cell-reduction time vs information-loss threshold ==\n");
+    for ds in Dataset::ALL {
+        println!("-- {} --", ds.name());
+        let mut table = Table::new(&["initial cells", "theta", "reduction time", "iterations"]);
+        for &size in &sizes {
+            let grid = ds.generate(size, cfg.seed);
+            for &theta in &PAPER_THRESHOLDS {
+                let start = Instant::now();
+                let out = repartition_auto(&grid, theta);
+                let elapsed = start.elapsed().as_secs_f64();
+                table.row(vec![
+                    format!("{} ({})", grid.num_cells(), size.label()),
+                    format!("{theta:.2}"),
+                    fmt_secs(elapsed),
+                    out.iterations.len().to_string(),
+                ]);
+            }
+        }
+        table.print();
+        println!();
+    }
+}

@@ -1,0 +1,100 @@
+//! Figure 7: training-time reduction from training on the re-partitioned
+//! dataset instead of the original grid — five regression models on the
+//! three multivariate datasets (a–c…e) plus ordinary kriging on the three
+//! univariate datasets (f).
+//!
+//! Paper reference points (θ = 0.05): 40–77% training-time reduction, the
+//! most for SVR, the least for random forest; kriging saves 48–58%.
+//!
+//! The paper runs ≈100k-cell grids for hours; this binary defaults to the
+//! `tiny` (48×48) resolution so the full sweep finishes in minutes while
+//! preserving the comparison's shape (DESIGN.md, substitution 3). Raise it
+//! with `--size small` or beyond when you have the budget.
+//!
+//! Run: `cargo run -p sr-bench --release --bin fig7_training_time`
+
+use sr_bench::report::{fmt_reduction, fmt_secs, Table};
+use sr_bench::{kriging_run, regression, repartition_auto, ExpConfig, RegModel, Units, PAPER_THRESHOLDS};
+use sr_core::PreparedTrainingData;
+use sr_datasets::{Dataset, GridSize};
+
+#[global_allocator]
+static ALLOC: sr_mem::TrackingAllocator = sr_mem::TrackingAllocator;
+
+fn main() {
+    let cfg = ExpConfig::parse("fig7_training_time", GridSize::Tiny);
+    let models: &[RegModel] = if cfg.quick {
+        &[RegModel::Lag, RegModel::Forest]
+    } else {
+        &RegModel::ALL
+    };
+
+    println!("== Figure 7: training-time reduction (regression + kriging) ==");
+    println!("(grid: {} cells; paper shape: biggest savings for SVR/GWR/lag)\n", cfg.size.num_cells());
+
+    for ds in Dataset::MULTIVARIATE {
+        let grid = ds.generate(cfg.size, cfg.seed);
+        let orig_units = Units::from_grid(&grid);
+        // Pre-compute the re-partitioned unit sets per threshold.
+        let reduced: Vec<(f64, Units)> = PAPER_THRESHOLDS
+            .iter()
+            .map(|&theta| {
+                let out = repartition_auto(&grid, theta);
+                let prep = PreparedTrainingData::from_repartitioned(&out.repartitioned);
+                (theta, Units::from_prepared(&prep, &out.repartitioned))
+            })
+            .collect();
+
+        println!("-- {} ({} original units) --", ds.name(), orig_units.len());
+        let mut table = Table::new(&[
+            "model",
+            "original",
+            "theta=0.05",
+            "(saved)",
+            "theta=0.10",
+            "(saved)",
+            "theta=0.15",
+            "(saved)",
+        ]);
+        for &model in models {
+            let orig = regression(&orig_units, ds.target_attr(), model, cfg.seed);
+            let mut row = vec![model.name().to_string(), fmt_secs(orig.train_secs)];
+            for (_, units) in &reduced {
+                let r = regression(units, ds.target_attr(), model, cfg.seed);
+                row.push(fmt_secs(r.train_secs));
+                row.push(fmt_reduction(orig.train_secs, r.train_secs));
+            }
+            table.row(row);
+        }
+        table.print();
+        println!();
+    }
+
+    println!("-- Spatial kriging (univariate datasets, Fig. 7f) --");
+    let mut table = Table::new(&[
+        "dataset",
+        "original",
+        "theta=0.05",
+        "(saved)",
+        "theta=0.10",
+        "(saved)",
+        "theta=0.15",
+        "(saved)",
+    ]);
+    for ds in Dataset::UNIVARIATE {
+        let grid = ds.generate(cfg.size, cfg.seed);
+        let orig_units = Units::from_grid(&grid);
+        let orig = kriging_run(&orig_units, cfg.seed);
+        let mut row = vec![ds.name().to_string(), fmt_secs(orig.train_secs)];
+        for &theta in &PAPER_THRESHOLDS {
+            let out = repartition_auto(&grid, theta);
+            let prep = PreparedTrainingData::from_repartitioned(&out.repartitioned);
+            let units = Units::from_prepared(&prep, &out.repartitioned);
+            let r = kriging_run(&units, cfg.seed);
+            row.push(fmt_secs(r.train_secs));
+            row.push(fmt_reduction(orig.train_secs, r.train_secs));
+        }
+        table.row(row);
+    }
+    table.print();
+}

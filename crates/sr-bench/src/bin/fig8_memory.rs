@@ -1,0 +1,94 @@
+//! Figure 8: memory-usage reduction from training on the re-partitioned
+//! dataset — the same model × dataset sweep as Fig. 7, measuring peak live
+//! allocated bytes during each fit (DESIGN.md, substitution 4).
+//!
+//! Paper reference points (θ = 0.05): 9.5–47% memory reduction; the
+//! biggest savings for the models that consume the most memory (spatial
+//! lag, spatial error, random forest); kriging saves 43–57%.
+//!
+//! Run: `cargo run -p sr-bench --release --bin fig8_memory`
+
+use sr_bench::report::{fmt_mib, fmt_reduction, Table};
+use sr_bench::{kriging_run, regression, repartition_auto, ExpConfig, RegModel, Units, PAPER_THRESHOLDS};
+use sr_core::PreparedTrainingData;
+use sr_datasets::{Dataset, GridSize};
+
+#[global_allocator]
+static ALLOC: sr_mem::TrackingAllocator = sr_mem::TrackingAllocator;
+
+fn main() {
+    let cfg = ExpConfig::parse("fig8_memory", GridSize::Tiny);
+    let models: &[RegModel] = if cfg.quick {
+        &[RegModel::Lag, RegModel::Forest]
+    } else {
+        &RegModel::ALL
+    };
+
+    println!("== Figure 8: peak-memory reduction (regression + kriging) ==");
+    println!("(grid: {} cells; peak live bytes during the fit)\n", cfg.size.num_cells());
+
+    for ds in Dataset::MULTIVARIATE {
+        let grid = ds.generate(cfg.size, cfg.seed);
+        let orig_units = Units::from_grid(&grid);
+        let reduced: Vec<(f64, Units)> = PAPER_THRESHOLDS
+            .iter()
+            .map(|&theta| {
+                let out = repartition_auto(&grid, theta);
+                let prep = PreparedTrainingData::from_repartitioned(&out.repartitioned);
+                (theta, Units::from_prepared(&prep, &out.repartitioned))
+            })
+            .collect();
+
+        println!("-- {} ({} original units) --", ds.name(), orig_units.len());
+        let mut table = Table::new(&[
+            "model",
+            "original",
+            "theta=0.05",
+            "(saved)",
+            "theta=0.10",
+            "(saved)",
+            "theta=0.15",
+            "(saved)",
+        ]);
+        for &model in models {
+            let orig = regression(&orig_units, ds.target_attr(), model, cfg.seed);
+            let mut row = vec![model.name().to_string(), fmt_mib(orig.peak_bytes)];
+            for (_, units) in &reduced {
+                let r = regression(units, ds.target_attr(), model, cfg.seed);
+                row.push(fmt_mib(r.peak_bytes));
+                row.push(fmt_reduction(orig.peak_bytes as f64, r.peak_bytes as f64));
+            }
+            table.row(row);
+        }
+        table.print();
+        println!();
+    }
+
+    println!("-- Spatial kriging (univariate datasets, Fig. 8f) --");
+    let mut table = Table::new(&[
+        "dataset",
+        "original",
+        "theta=0.05",
+        "(saved)",
+        "theta=0.10",
+        "(saved)",
+        "theta=0.15",
+        "(saved)",
+    ]);
+    for ds in Dataset::UNIVARIATE {
+        let grid = ds.generate(cfg.size, cfg.seed);
+        let orig_units = Units::from_grid(&grid);
+        let orig = kriging_run(&orig_units, cfg.seed);
+        let mut row = vec![ds.name().to_string(), fmt_mib(orig.peak_bytes)];
+        for &theta in &PAPER_THRESHOLDS {
+            let out = repartition_auto(&grid, theta);
+            let prep = PreparedTrainingData::from_repartitioned(&out.repartitioned);
+            let units = Units::from_prepared(&prep, &out.repartitioned);
+            let r = kriging_run(&units, cfg.seed);
+            row.push(fmt_mib(r.peak_bytes));
+            row.push(fmt_reduction(orig.peak_bytes as f64, r.peak_bytes as f64));
+        }
+        table.row(row);
+    }
+    table.print();
+}

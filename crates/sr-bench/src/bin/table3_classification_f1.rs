@@ -1,0 +1,61 @@
+//! Table III: weighted F1-scores of the classification models (gradient
+//! boosting, KNN) — original dataset vs the four reduction methods at three
+//! IFL thresholds, on the three multivariate datasets with quantile-binned
+//! 5-class targets (§IV-C2).
+//!
+//! Paper reference shape: re-partitioned F1 within a few points of the
+//! original and 5–20 points above the baselines; sampling worst.
+//!
+//! Run: `cargo run -p sr-bench --release --bin table3_classification_f1`
+
+use sr_bench::report::Table;
+use sr_bench::{all_reductions, classification, ClassModel, ExpConfig, Units, PAPER_THRESHOLDS};
+use sr_datasets::{Dataset, GridSize};
+
+/// Splits averaged per configuration.
+const SPLITS: u64 = 3;
+
+fn avg_f1(units: &Units, target: usize, model: ClassModel, seed: u64) -> f64 {
+    (0..SPLITS)
+        .map(|s| classification(units, target, model, seed + s).f1)
+        .sum::<f64>()
+        / SPLITS as f64
+}
+
+#[global_allocator]
+static ALLOC: sr_mem::TrackingAllocator = sr_mem::TrackingAllocator;
+
+fn main() {
+    let cfg = ExpConfig::parse("table3_classification_f1", GridSize::Small);
+
+    println!("== Table III: weighted F1 of classification models ==");
+    println!("(grid: {} cells; 5 quantile classes)\n", cfg.size.num_cells());
+
+    for model in ClassModel::ALL {
+        println!("-- Table III: {} --", model.name());
+        let mut table = Table::new(&["dataset", "theta", "method", "F1 score"]);
+        for ds in Dataset::MULTIVARIATE {
+            let grid = ds.generate(cfg.size, cfg.seed);
+            let orig = avg_f1(&Units::from_grid(&grid), ds.target_attr(), model, cfg.seed);
+            table.row(vec![
+                ds.name().to_string(),
+                "-".into(),
+                "Original".into(),
+                format!("{orig:.3}"),
+            ]);
+            for &theta in &PAPER_THRESHOLDS {
+                for (method, units) in all_reductions(&grid, theta, cfg.seed) {
+                    let f1 = avg_f1(&units, ds.target_attr(), model, cfg.seed);
+                    table.row(vec![
+                        ds.name().to_string(),
+                        format!("{theta:.2}"),
+                        method.to_string(),
+                        format!("{f1:.3}"),
+                    ]);
+                }
+            }
+        }
+        table.print();
+        println!();
+    }
+}

@@ -1,0 +1,70 @@
+//! Table IV: clustering correctness — the percentage of cells assigned to
+//! matching clusters when SCHC runs on the original grid vs on each reduced
+//! dataset (labels projected back to cells, aligned by maximum overlap).
+//!
+//! Paper reference shape: re-partitioning 95–99.5%, always the best;
+//! sampling the worst (87–96%); regionalization and clustering baselines in
+//! between; correctness decays as θ grows.
+//!
+//! Run: `cargo run -p sr-bench --release --bin table4_clustering_correctness`
+
+use sr_bench::report::Table;
+use sr_bench::{all_reductions, clustering, ExpConfig, Units, PAPER_THRESHOLDS};
+use sr_datasets::{Dataset, GridSize};
+use sr_ml::cluster_agreement;
+
+#[global_allocator]
+static ALLOC: sr_mem::TrackingAllocator = sr_mem::TrackingAllocator;
+
+fn main() {
+    let cfg = ExpConfig::parse("table4_clustering_correctness", GridSize::Small);
+
+    println!("== Table IV: clustering correctness (%) vs original grid ==");
+    println!("(grid: {} cells; {} clusters)\n", cfg.size.num_cells(), sr_bench::pipeline::NUM_CLUSTERS);
+
+    let mut table = Table::new(&[
+        "Dataset",
+        "Method",
+        "IFL = 0.05",
+        "IFL = 0.1",
+        "IFL = 0.15",
+    ]);
+    for ds in Dataset::ALL {
+        let grid = ds.generate(cfg.size, cfg.seed);
+        let orig_labels = clustering(&Units::from_grid(&grid)).cell_labels;
+
+        // method -> per-theta correctness
+        let methods = ["Re-partitioning", "Sampling", "Regionalization", "Clustering"];
+        let mut scores: Vec<Vec<String>> = vec![Vec::new(); methods.len()];
+        for &theta in &PAPER_THRESHOLDS {
+            for (mi, (_, units)) in all_reductions(&grid, theta, cfg.seed).into_iter().enumerate() {
+                let reduced_labels = clustering(&units).cell_labels;
+                let score = cell_agreement(&orig_labels, &reduced_labels);
+                scores[mi].push(format!("{score:.2}"));
+            }
+        }
+        for (mi, method) in methods.iter().enumerate() {
+            table.row(vec![
+                ds.name().to_string(),
+                method.to_string(),
+                scores[mi][0].clone(),
+                scores[mi][1].clone(),
+                scores[mi][2].clone(),
+            ]);
+        }
+    }
+    table.print();
+}
+
+/// Agreement over cells labeled in both clusterings.
+fn cell_agreement(a: &[Option<usize>], b: &[Option<usize>]) -> f64 {
+    let mut la = Vec::new();
+    let mut lb = Vec::new();
+    for (x, y) in a.iter().zip(b) {
+        if let (Some(x), Some(y)) = (x, y) {
+            la.push(*x);
+            lb.push(*y);
+        }
+    }
+    cluster_agreement(&la, &lb)
+}

@@ -1,0 +1,91 @@
+//! Minimal argument parsing shared by the experiment binaries.
+//!
+//! Convention: `--size <mini|tiny|small|36k|78k|100k|RxC>`, `--seed <u64>`,
+//! `--quick` (shrink sweeps for smoke runs), `--help`.
+
+use sr_datasets::GridSize;
+
+/// Parsed experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Grid size for the experiment (each binary has its own default).
+    pub size: GridSize,
+    /// Whether the caller passed `--size` explicitly.
+    pub size_overridden: bool,
+    /// Master seed for dataset generation and splits.
+    pub seed: u64,
+    /// Smoke-run mode: fewer sweep points.
+    pub quick: bool,
+}
+
+impl ExpConfig {
+    /// Parses `std::env::args`, exiting with usage on `--help` or malformed
+    /// input. `default_size` is the binary's preferred grid size.
+    pub fn parse(binary: &str, default_size: GridSize) -> ExpConfig {
+        let mut cfg = ExpConfig {
+            size: default_size,
+            size_overridden: false,
+            seed: 42,
+            quick: false,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--size" => {
+                    i += 1;
+                    let v = args.get(i).unwrap_or_else(|| usage(binary));
+                    cfg.size = parse_size(v).unwrap_or_else(|| usage(binary));
+                    cfg.size_overridden = true;
+                }
+                "--seed" => {
+                    i += 1;
+                    let v = args.get(i).unwrap_or_else(|| usage(binary));
+                    cfg.seed = v.parse().unwrap_or_else(|_| usage(binary));
+                }
+                "--quick" => cfg.quick = true,
+                "--help" | "-h" => usage(binary),
+                _ => usage(binary),
+            }
+            i += 1;
+        }
+        cfg
+    }
+}
+
+/// Parses a size token.
+pub fn parse_size(token: &str) -> Option<GridSize> {
+    match token {
+        "mini" => Some(GridSize::Mini),
+        "tiny" => Some(GridSize::Tiny),
+        "small" => Some(GridSize::Small),
+        "36k" => Some(GridSize::Cells36k),
+        "78k" => Some(GridSize::Cells78k),
+        "100k" => Some(GridSize::Cells100k),
+        other => {
+            let (r, c) = other.split_once('x')?;
+            Some(GridSize::Custom(r.parse().ok()?, c.parse().ok()?))
+        }
+    }
+}
+
+fn usage(binary: &str) -> ! {
+    eprintln!(
+        "usage: {binary} [--size mini|tiny|small|36k|78k|100k|RxC] [--seed N] [--quick]"
+    );
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_tokens_parse() {
+        assert_eq!(parse_size("tiny"), Some(GridSize::Tiny));
+        assert_eq!(parse_size("100k"), Some(GridSize::Cells100k));
+        assert_eq!(parse_size("12x34"), Some(GridSize::Custom(12, 34)));
+        assert_eq!(parse_size("bogus"), None);
+        assert_eq!(parse_size("12y34"), None);
+    }
+}

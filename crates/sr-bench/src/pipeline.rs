@@ -1,0 +1,478 @@
+//! Model-training pipelines with time and memory instrumentation.
+//!
+//! Protocol (§III-B): units are split 80/20 into train/test, the model is
+//! fitted on the train split with Table-I hyperparameters, and errors are
+//! reported on the test split. Spatial models (lag, error) fit on the
+//! train-restricted adjacency and predict test units from the spatial lag
+//! of *observed train* targets only — test neighbors never leak their own
+//! target into a prediction.
+
+use crate::units::Units;
+use sr_datasets::train_test_split;
+use sr_grid::AdjacencyList;
+use sr_ml::{
+    mae_weighted, r2_weighted, rmse_weighted, se_weighted, table1, weighted_f1,
+    GradientBoostingClassifier, Gwr, GwrParams, KnnClassifier, OrdinaryKriging, RandomForest,
+    SpatialError, SpatialLag, Svr, SvrParams,
+};
+use std::time::Instant;
+
+/// The five regression models of Fig. 7 / Table II (a–e).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegModel {
+    /// Spatial lag regression (Table II-a).
+    Lag,
+    /// Spatial error regression (Table II-b).
+    ErrorModel,
+    /// Geographically weighted regression (Table II-c).
+    Gwr,
+    /// Support vector regression (Table II-d).
+    Svr,
+    /// Random forest regression (Table II-e).
+    Forest,
+}
+
+impl RegModel {
+    /// All five, in the paper's presentation order.
+    pub const ALL: [RegModel; 5] = [
+        RegModel::Lag,
+        RegModel::ErrorModel,
+        RegModel::Gwr,
+        RegModel::Svr,
+        RegModel::Forest,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RegModel::Lag => "Spatial Lag",
+            RegModel::ErrorModel => "Spatial Error",
+            RegModel::Gwr => "GWR",
+            RegModel::Svr => "SVR",
+            RegModel::Forest => "Random Forest",
+        }
+    }
+}
+
+/// Result of one regression run.
+#[derive(Debug, Clone, Copy)]
+pub struct RegResult {
+    /// Training wall time in seconds.
+    pub train_secs: f64,
+    /// Peak live bytes during training (0 when the tracking allocator is
+    /// not installed in the binary).
+    pub peak_bytes: usize,
+    /// Mean absolute error on the test split.
+    pub mae: f64,
+    /// Root mean squared error on the test split.
+    pub rmse: f64,
+    /// Standard error of the regression on the test split.
+    pub se: f64,
+    /// Pseudo-R² on the test split.
+    pub r2: f64,
+}
+
+/// Spatial lag of `y` over `adj` restricted to units where `observed` is
+/// true; units with no observed neighbor fall back to the observed mean.
+fn masked_spatial_lag(adj: &AdjacencyList, y: &[f64], observed: &[bool]) -> Vec<f64> {
+    let obs_mean = {
+        let (mut s, mut c) = (0.0, 0usize);
+        for (i, &o) in observed.iter().enumerate() {
+            if o {
+                s += y[i];
+                c += 1;
+            }
+        }
+        if c > 0 {
+            s / c as f64
+        } else {
+            0.0
+        }
+    };
+    (0..y.len())
+        .map(|i| {
+            let mut s = 0.0;
+            let mut c = 0usize;
+            for &j in adj.neighbors(i as u32) {
+                if observed[j as usize] {
+                    s += y[j as usize];
+                    c += 1;
+                }
+            }
+            if c > 0 {
+                s / c as f64
+            } else {
+                obs_mean
+            }
+        })
+        .collect()
+}
+
+/// Runs one regression model end to end on a unit set.
+pub fn regression(units: &Units, target_attr: usize, model: RegModel, seed: u64) -> RegResult {
+    let (xs, ys) = units.split_target(target_attr);
+    let n = xs.len();
+    let (train_idx, test_idx) = train_test_split(n, 0.2, seed);
+
+    let train_x: Vec<Vec<f64>> = train_idx.iter().map(|&i| xs[i].clone()).collect();
+    let train_y: Vec<f64> = train_idx.iter().map(|&i| ys[i]).collect();
+    let test_x: Vec<Vec<f64>> = test_idx.iter().map(|&i| xs[i].clone()).collect();
+    let test_y: Vec<f64> = test_idx.iter().map(|&i| ys[i]).collect();
+
+    let mut train_mask = vec![false; n];
+    for &i in &train_idx {
+        train_mask[i] = true;
+    }
+
+    // Wall time covers the *fit* only (the paper's "training time"); the
+    // memory peak covers the same region.
+    let mut train_secs = 0.0;
+    let mut timed_fit = |f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        f();
+        train_secs = start.elapsed().as_secs_f64();
+    };
+    let (pred, num_params, peak_bytes): (Vec<f64>, usize, usize) = match model {
+        RegModel::Lag => {
+            let train_adj = units.adjacency.restrict(&train_mask);
+            let mut fitted = None;
+            let (_, peak) = sr_mem::measure_peak(|| {
+                timed_fit(&mut || {
+                    fitted = Some(SpatialLag::fit(&train_x, &train_y, &train_adj));
+                })
+            });
+            let m = fitted.expect("fit ran").expect("lag fit");
+            // Test-time spatial lag from observed (train) targets only.
+            let wy_all = masked_spatial_lag(&units.adjacency, &ys, &train_mask);
+            let wy_test: Vec<f64> = test_idx.iter().map(|&i| wy_all[i]).collect();
+            let p = m.predict(&test_x, &wy_test).expect("lag predict");
+            (p, m.num_params(), peak)
+        }
+        RegModel::ErrorModel => {
+            let train_adj = units.adjacency.restrict(&train_mask);
+            let mut fitted = None;
+            let (_, peak) = sr_mem::measure_peak(|| {
+                timed_fit(&mut || {
+                    fitted = Some(SpatialError::fit(&train_x, &train_y, &train_adj));
+                })
+            });
+            let m = fitted.expect("fit ran").expect("error fit");
+            // Observed residuals on train units feed the BLUP correction.
+            let trend_all = m.predict_trend(&xs);
+            let resid_all: Vec<f64> = ys.iter().zip(&trend_all).map(|(y, t)| y - t).collect();
+            let we_all = masked_spatial_lag(&units.adjacency, &resid_all, &train_mask);
+            let we_test: Vec<f64> = test_idx.iter().map(|&i| we_all[i]).collect();
+            let p = m.predict(&test_x, &we_test).expect("error predict");
+            (p, m.num_params(), peak)
+        }
+        RegModel::Gwr => {
+            let train_c: Vec<(f64, f64)> = train_idx.iter().map(|&i| units.centroids[i]).collect();
+            let test_c: Vec<(f64, f64)> = test_idx.iter().map(|&i| units.centroids[i]).collect();
+            let mut fitted = None;
+            let (_, peak) = sr_mem::measure_peak(|| {
+                timed_fit(&mut || {
+                    fitted = Some(Gwr::fit(&train_x, &train_y, &train_c, &table1::gwr()));
+                })
+            });
+            let m = fitted.expect("fit ran").expect("gwr fit");
+            let p = m.predict(&test_x, &test_c).expect("gwr predict");
+            (p, train_x.first().map_or(1, |r| r.len() + 1), peak)
+        }
+        RegModel::Svr => {
+            // Table I's C/γ/ε with a train cap high enough for every
+            // experiment size this harness uses.
+            let params = SvrParams { max_train: 50_000, ..table1::svr() };
+            let mut fitted = None;
+            let (_, peak) = sr_mem::measure_peak(|| {
+                timed_fit(&mut || {
+                    fitted = Some(Svr::fit(&train_x, &train_y, &params));
+                })
+            });
+            let m = fitted.expect("fit ran").expect("svr fit");
+            (m.predict(&test_x), train_x.first().map_or(1, |r| r.len() + 1), peak)
+        }
+        RegModel::Forest => {
+            let mut fitted = None;
+            let (_, peak) = sr_mem::measure_peak(|| {
+                timed_fit(&mut || {
+                    fitted = Some(RandomForest::fit(&train_x, &train_y, &table1::random_forest()));
+                })
+            });
+            let m = fitted.expect("fit ran").expect("forest fit");
+            (m.predict(&test_x), train_x.first().map_or(1, |r| r.len() + 1), peak)
+        }
+    };
+
+    let test_w: Vec<f64> = test_idx.iter().map(|&i| units.weights[i]).collect();
+    RegResult {
+        train_secs,
+        peak_bytes,
+        mae: mae_weighted(&test_y, &pred, &test_w),
+        rmse: rmse_weighted(&test_y, &pred, &test_w),
+        se: se_weighted(&test_y, &pred, &test_w, num_params),
+        r2: r2_weighted(&test_y, &pred, &test_w),
+    }
+}
+
+/// GWR hyperparameters trimmed for very large unit sets (bandwidth search
+/// cost is quadratic); unused by default but available to binaries.
+pub fn gwr_params_for(n: usize) -> GwrParams {
+    let mut p = table1::gwr();
+    if n > 4000 {
+        p.search_iters = 6;
+    }
+    p
+}
+
+/// The two classification models of Fig. 9 / Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassModel {
+    /// Gradient boosting (Table III-a).
+    GradientBoosting,
+    /// K-nearest neighbors (Table III-b).
+    Knn,
+}
+
+impl ClassModel {
+    /// Both models, paper order.
+    pub const ALL: [ClassModel; 2] = [ClassModel::GradientBoosting, ClassModel::Knn];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClassModel::GradientBoosting => "Gradient Boosting",
+            ClassModel::Knn => "KNN",
+        }
+    }
+}
+
+/// Result of one classification run.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassResult {
+    /// Training wall time in seconds.
+    pub train_secs: f64,
+    /// Peak live bytes during training.
+    pub peak_bytes: usize,
+    /// Weighted F1 on the test split.
+    pub f1: f64,
+}
+
+/// Runs one classifier: the target attribute is quantile-binned into five
+/// classes (§IV-C2), split 80/20, fitted, and scored by weighted F1.
+pub fn classification(units: &Units, target_attr: usize, model: ClassModel, seed: u64) -> ClassResult {
+    let (xs, ys) = units.split_target(target_attr);
+    let labels = sr_ml::bin_into_quantiles(&ys, table1::NUM_CLASSES);
+    let n = xs.len();
+    let (train_idx, test_idx) = train_test_split(n, 0.2, seed);
+    let train_x: Vec<Vec<f64>> = train_idx.iter().map(|&i| xs[i].clone()).collect();
+    let train_l: Vec<usize> = train_idx.iter().map(|&i| labels[i]).collect();
+    let test_x: Vec<Vec<f64>> = test_idx.iter().map(|&i| xs[i].clone()).collect();
+    let test_l: Vec<usize> = test_idx.iter().map(|&i| labels[i]).collect();
+
+    let start = Instant::now();
+    let (pred, peak_bytes) = match model {
+        ClassModel::GradientBoosting => {
+            let (m, peak) = sr_mem::measure_peak(|| {
+                GradientBoostingClassifier::fit(
+                    &train_x,
+                    &train_l,
+                    table1::NUM_CLASSES,
+                    &table1::gradient_boosting(),
+                )
+            });
+            (m.expect("gb fit").predict(&test_x), peak)
+        }
+        ClassModel::Knn => {
+            let (m, peak) = sr_mem::measure_peak(|| {
+                KnnClassifier::fit(&train_x, &train_l, table1::NUM_CLASSES, &table1::knn())
+            });
+            (m.expect("knn fit").predict(&test_x), peak)
+        }
+    };
+    let train_secs = start.elapsed().as_secs_f64();
+    // KNN "training" is the kd-tree build; prediction dominates instead,
+    // but the paper reports the same convention, so we keep fit-only here.
+
+    ClassResult {
+        train_secs,
+        peak_bytes,
+        f1: weighted_f1(&test_l, &pred, table1::NUM_CLASSES),
+    }
+}
+
+/// Result of one kriging run (univariate datasets, Table II-f).
+#[derive(Debug, Clone, Copy)]
+pub struct KrigingResult {
+    /// Training (variogram-fit) plus prediction wall time in seconds.
+    pub train_secs: f64,
+    /// Peak live bytes during fit + prediction.
+    pub peak_bytes: usize,
+    /// MAE on the held-out units.
+    pub mae: f64,
+    /// RMSE on the held-out units.
+    pub rmse: f64,
+}
+
+/// Runs ordinary kriging: 80/20 split on units, variogram fitted on train,
+/// values interpolated at test centroids.
+pub fn kriging_run(units: &Units, seed: u64) -> KrigingResult {
+    let values: Vec<f64> = units.features.iter().map(|f| f[0]).collect();
+    let n = values.len();
+    let (train_idx, test_idx) = train_test_split(n, 0.2, seed);
+    let train_c: Vec<(f64, f64)> = train_idx.iter().map(|&i| units.centroids[i]).collect();
+    let train_v: Vec<f64> = train_idx.iter().map(|&i| values[i]).collect();
+    let test_c: Vec<(f64, f64)> = test_idx.iter().map(|&i| units.centroids[i]).collect();
+    let test_v: Vec<f64> = test_idx.iter().map(|&i| values[i]).collect();
+
+    let start = Instant::now();
+    let ((model, pred), peak_bytes) = sr_mem::measure_peak(|| {
+        let m = OrdinaryKriging::fit(&train_c, &train_v, &table1::kriging()).expect("kriging fit");
+        let p = m.predict(&test_c);
+        (m, p)
+    });
+    let train_secs = start.elapsed().as_secs_f64();
+    drop(model);
+
+    let test_w: Vec<f64> = test_idx.iter().map(|&i| units.weights[i]).collect();
+    KrigingResult {
+        train_secs,
+        peak_bytes,
+        mae: mae_weighted(&test_v, &pred, &test_w),
+        rmse: rmse_weighted(&test_v, &pred, &test_w),
+    }
+}
+
+/// Result of one clustering run.
+#[derive(Debug, Clone)]
+pub struct ClusterResult {
+    /// Clustering wall time in seconds.
+    pub train_secs: f64,
+    /// Peak live bytes during clustering.
+    pub peak_bytes: usize,
+    /// Cluster label per *grid cell* (None for null cells), for Table IV's
+    /// cell-level agreement.
+    pub cell_labels: Vec<Option<usize>>,
+}
+
+/// Number of clusters used by the clustering experiments (§IV-C4 does not
+/// fix a count; 10 keeps every dataset's clusters non-trivial).
+pub const NUM_CLUSTERS: usize = 10;
+
+/// Runs SCHC over the unit set and projects cluster labels back to cells.
+///
+/// Units whose adjacency is too sparse to be clusterable (sampling breaks
+/// contiguity, leaving most samples isolated) get a symmetrized 4-nearest-
+/// neighbor graph over centroids instead — the standard way to define
+/// spatial contiguity for scattered points.
+pub fn clustering(units: &Units) -> ClusterResult {
+    let norm = normalize_rows(&units.features);
+    let fragmented = num_components(&units.adjacency) > NUM_CLUSTERS;
+    let knn_graph;
+    let graph: &AdjacencyList = if fragmented {
+        knn_graph = knn_adjacency(&units.centroids, 4);
+        &knn_graph
+    } else {
+        &units.adjacency
+    };
+    let start = Instant::now();
+    let (res, peak_bytes) = sr_mem::measure_peak(|| {
+        sr_ml::schc_cluster(
+            &norm,
+            graph,
+            &sr_ml::SchcParams { num_clusters: NUM_CLUSTERS },
+        )
+        .expect("schc")
+    });
+    let train_secs = start.elapsed().as_secs_f64();
+
+    let cell_labels = units
+        .cell_to_unit
+        .iter()
+        .map(|u| u.map(|u| res.labels[u as usize]))
+        .collect();
+    ClusterResult { train_secs, peak_bytes, cell_labels }
+}
+
+/// Number of connected components of a unit graph (union-find).
+fn num_components(adj: &AdjacencyList) -> usize {
+    let n = adj.len();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for i in 0..n as u32 {
+        for &j in adj.neighbors(i) {
+            let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+            if a != b {
+                parent[a as usize] = b;
+            }
+        }
+    }
+    (0..n as u32)
+        .map(|i| find(&mut parent, i))
+        .collect::<std::collections::HashSet<_>>()
+        .len()
+}
+
+/// Symmetrized k-nearest-neighbor graph over centroids (brute force; the
+/// sampled unit sets this serves are modest).
+fn knn_adjacency(centroids: &[(f64, f64)], k: usize) -> AdjacencyList {
+    let n = centroids.len();
+    let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut dists: Vec<(f64, u32)> = Vec::with_capacity(n);
+    for i in 0..n {
+        dists.clear();
+        let (la, lo) = centroids[i];
+        for (j, &(lb, lj)) in centroids.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            let d = (la - lb) * (la - lb) + (lo - lj) * (lo - lj);
+            dists.push((d, j as u32));
+        }
+        let kk = k.min(dists.len());
+        if kk > 0 {
+            dists.select_nth_unstable_by(kk - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite"));
+            for &(_, j) in &dists[..kk] {
+                neighbors[i].push(j);
+            }
+        }
+    }
+    // Symmetrize.
+    for i in 0..n {
+        let ns = neighbors[i].clone();
+        for j in ns {
+            if !neighbors[j as usize].contains(&(i as u32)) {
+                neighbors[j as usize].push(i as u32);
+            }
+        }
+    }
+    AdjacencyList::from_neighbors(neighbors)
+}
+
+/// Per-column max-normalization of feature rows (clustering treats
+/// attributes equally, like the core framework does).
+fn normalize_rows(rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    if rows.is_empty() {
+        return Vec::new();
+    }
+    let p = rows[0].len();
+    let mut maxes = vec![0.0f64; p];
+    for r in rows {
+        for (m, v) in maxes.iter_mut().zip(r) {
+            *m = m.max(v.abs());
+        }
+    }
+    rows.iter()
+        .map(|r| {
+            r.iter()
+                .zip(&maxes)
+                .map(|(v, m)| if *m > 0.0 { v / m } else { 0.0 })
+                .collect()
+        })
+        .collect()
+}

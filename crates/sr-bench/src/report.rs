@@ -1,0 +1,112 @@
+//! Aligned text-table reporting for the experiment binaries.
+
+/// A simple column-aligned table printer.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given header.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Adds one row (cells must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with padded columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{c:<w$}"));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats seconds with adaptive precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 10.0 {
+        format!("{s:.1}s")
+    } else if s >= 0.1 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.1}ms", s * 1e3)
+    }
+}
+
+/// Formats bytes as MiB.
+pub fn fmt_mib(bytes: usize) -> String {
+    format!("{:.1}MiB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats a percentage reduction `1 − reduced/original`.
+pub fn fmt_reduction(original: f64, reduced: f64) -> String {
+    if original <= 0.0 {
+        return "n/a".to_string();
+    }
+    format!("{:.1}%", (1.0 - reduced / original) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "22".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        // Columns align: "value" column starts at the same offset.
+        let off = lines[0].find("value").unwrap();
+        assert_eq!(lines[3].find("22").unwrap(), off);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_secs(12.34), "12.3s");
+        assert_eq!(fmt_secs(0.5), "0.50s");
+        assert_eq!(fmt_secs(0.005), "5.0ms");
+        assert_eq!(fmt_mib(1024 * 1024), "1.0MiB");
+        assert_eq!(fmt_reduction(100.0, 40.0), "60.0%");
+        assert_eq!(fmt_reduction(0.0, 1.0), "n/a");
+    }
+}

@@ -1,0 +1,124 @@
+//! Unit tests for the experiment harness: the unit-set abstraction, the
+//! model pipelines, and the matched-count reduction builder.
+
+use crate::{all_reductions, classification, clustering, kriging_run, regression, repartition_auto};
+use crate::{ClassModel, RegModel, Units};
+use sr_core::PreparedTrainingData;
+use sr_datasets::{Dataset, GridSize};
+
+fn taxi_units() -> Units {
+    let grid = Dataset::TaxiMultivariate.generate(GridSize::Mini, 41);
+    Units::from_grid(&grid)
+}
+
+#[test]
+fn units_from_grid_are_consistent() {
+    let grid = Dataset::TaxiMultivariate.generate(GridSize::Mini, 41);
+    let u = Units::from_grid(&grid);
+    assert_eq!(u.len(), grid.num_valid_cells());
+    assert_eq!(u.adjacency.len(), u.len());
+    assert!(u.adjacency.is_symmetric());
+    assert!(u.weights.iter().all(|&w| w == 1.0));
+    // Every valid cell maps to a unit, null cells to none.
+    for id in 0..grid.num_cells() as u32 {
+        assert_eq!(u.cell_to_unit[id as usize].is_some(), grid.is_valid(id));
+    }
+}
+
+#[test]
+fn units_from_prepared_intensity_scaling() {
+    let grid = Dataset::TaxiMultivariate.generate(GridSize::Mini, 42);
+    let out = repartition_auto(&grid, 0.10);
+    let prep = PreparedTrainingData::from_repartitioned(&out.repartitioned);
+    let u = Units::from_prepared(&prep, &out.repartitioned);
+    assert_eq!(u.len(), prep.len());
+    // Sum attributes are per-cell intensities: group total / size.
+    for (i, row) in u.features.iter().enumerate() {
+        let size = prep.group_sizes[i] as f64;
+        let raw = &prep.features[i];
+        // Attribute 0 (pickups) is Sum-typed in the taxi schema.
+        assert!((row[0] - raw[0] / size).abs() < 1e-12);
+    }
+    // Weights mirror group sizes.
+    for (w, &s) in u.weights.iter().zip(&prep.group_sizes) {
+        assert_eq!(*w, s as f64);
+    }
+}
+
+#[test]
+fn split_target_drops_exactly_one_column() {
+    let u = taxi_units();
+    let p = u.features[0].len();
+    let (xs, ys) = u.split_target(3);
+    assert_eq!(xs.len(), u.len());
+    assert_eq!(ys.len(), u.len());
+    assert_eq!(xs[0].len(), p - 1);
+}
+
+#[test]
+fn regression_pipeline_produces_finite_metrics() {
+    let u = taxi_units();
+    for model in [RegModel::Lag, RegModel::Forest] {
+        let r = regression(&u, 3, model, 7);
+        assert!(r.train_secs >= 0.0);
+        assert!(r.mae.is_finite() && r.mae >= 0.0, "{model:?}");
+        assert!(r.rmse >= r.mae, "{model:?}: RMSE {} < MAE {}", r.rmse, r.mae);
+        assert!(r.r2 <= 1.0, "{model:?}");
+    }
+}
+
+#[test]
+fn classification_pipeline_beats_chance() {
+    let u = taxi_units();
+    let r = classification(&u, 3, ClassModel::Knn, 7);
+    // Five quantile classes: chance F1 ≈ 0.2.
+    assert!(r.f1 > 0.25, "F1 {}", r.f1);
+}
+
+#[test]
+fn kriging_pipeline_on_univariate_units() {
+    let grid = Dataset::VehiclesUnivariate.generate(GridSize::Mini, 43);
+    let u = Units::from_grid(&grid);
+    let r = kriging_run(&u, 5);
+    assert!(r.mae.is_finite() && r.rmse.is_finite());
+    assert!(r.rmse >= r.mae);
+}
+
+#[test]
+fn clustering_pipeline_labels_all_valid_cells() {
+    let grid = Dataset::EarningsUnivariate.generate(GridSize::Mini, 44);
+    let u = Units::from_grid(&grid);
+    let r = clustering(&u);
+    let labeled = r.cell_labels.iter().filter(|l| l.is_some()).count();
+    assert_eq!(labeled, grid.num_valid_cells());
+    let max = r.cell_labels.iter().flatten().max().copied().unwrap();
+    assert!(max < crate::pipeline::NUM_CLUSTERS);
+}
+
+#[test]
+fn all_reductions_matched_counts() {
+    let grid = Dataset::TaxiUnivariate.generate(GridSize::Mini, 45);
+    let reductions = all_reductions(&grid, 0.10, 9);
+    assert_eq!(reductions.len(), 4);
+    let t = reductions[0].1.len(); // re-partitioning sets the target
+    for (name, u) in &reductions {
+        assert!(
+            u.len() >= t && u.len() <= t + 10,
+            "{name}: {} vs target {t}",
+            u.len()
+        );
+        assert_eq!(u.adjacency.len(), u.len(), "{name}");
+    }
+}
+
+#[test]
+fn repartition_auto_strategy_switch() {
+    // Small grid → EveryDistinct (many iterations); big → strided (few).
+    let small = Dataset::TaxiUnivariate.generate(GridSize::Custom(10, 10), 46);
+    let big = Dataset::TaxiUnivariate.generate(GridSize::Custom(60, 60), 46);
+    let a = repartition_auto(&small, 0.10);
+    let b = repartition_auto(&big, 0.10);
+    assert!(a.repartitioned.ifl() <= 0.10);
+    assert!(b.repartitioned.ifl() <= 0.10);
+    assert!(b.iterations.len() < 60, "strided should need few passes");
+}

@@ -1,0 +1,135 @@
+//! The common "unit set" a training pipeline consumes, regardless of which
+//! reduction (or none) produced it.
+
+use sr_baselines::ReducedDataset;
+use sr_core::PreparedTrainingData;
+use sr_grid::{AdjacencyList, AggType, GridDataset};
+
+/// One training instance per unit: features, centroid, adjacency, and the
+/// cell→unit mapping needed for Table IV's cell-level agreement scoring.
+///
+/// Features are stored in **per-cell intensity units**: `Sum`-aggregated
+/// attributes of multi-cell units are divided by the number of aggregated
+/// cells (the §III-C reconstruction convention). This keeps feature and
+/// error scales comparable across the original grid, the re-partitioned
+/// grid, and every baseline, regardless of unit size.
+#[derive(Debug, Clone)]
+pub struct Units {
+    /// Feature rows (all attributes, target included), intensity-scaled.
+    pub features: Vec<Vec<f64>>,
+    /// Geographic centroids.
+    pub centroids: Vec<(f64, f64)>,
+    /// Unit adjacency with binary weights.
+    pub adjacency: AdjacencyList,
+    /// For every grid cell, the unit representing it (`None` = null cell).
+    pub cell_to_unit: Vec<Option<u32>>,
+    /// Number of cells each unit represents — the weight test metrics use
+    /// so that every method's errors are expressed per represented cell.
+    pub weights: Vec<f64>,
+}
+
+/// Divides `Sum` attribute columns by the per-unit aggregation count.
+fn to_intensity(
+    mut features: Vec<Vec<f64>>,
+    agg_types: &[AggType],
+    agg_counts: impl Fn(usize) -> usize,
+) -> Vec<Vec<f64>> {
+    for (u, row) in features.iter_mut().enumerate() {
+        let count = agg_counts(u).max(1) as f64;
+        if count == 1.0 {
+            continue;
+        }
+        for (v, agg) in row.iter_mut().zip(agg_types) {
+            if *agg == AggType::Sum {
+                *v /= count;
+            }
+        }
+    }
+    features
+}
+
+impl Units {
+    /// The unreduced baseline: every valid cell is a unit.
+    pub fn from_grid(grid: &GridDataset) -> Self {
+        let mut features = Vec::with_capacity(grid.num_valid_cells());
+        let mut centroids = Vec::with_capacity(grid.num_valid_cells());
+        let mut cell_to_unit = vec![None; grid.num_cells()];
+        for (u, id) in grid.valid_cells().enumerate() {
+            features.push(grid.features_unchecked(id).to_vec());
+            centroids.push(grid.cell_centroid(id));
+            cell_to_unit[id as usize] = Some(u as u32);
+        }
+        let adjacency = AdjacencyList::rook_from_grid(grid).restrict(grid.valid_mask());
+        let weights = vec![1.0; features.len()];
+        Units { features, centroids, adjacency, cell_to_unit, weights }
+    }
+
+    /// Units from the re-partitioning framework's prepared training data.
+    pub fn from_prepared(p: &PreparedTrainingData, rep: &sr_core::Repartitioned) -> Self {
+        // Dense unit index per (valid) group id.
+        let mut unit_of_group = vec![u32::MAX; rep.num_groups()];
+        for (u, &gid) in p.group_ids.iter().enumerate() {
+            unit_of_group[gid as usize] = u as u32;
+        }
+        let partition = rep.partition();
+        let n_cells = partition.rows() * partition.cols();
+        let cell_to_unit = (0..n_cells)
+            .map(|c| {
+                let g = partition.group_of(c as u32);
+                let u = unit_of_group[g as usize];
+                (u != u32::MAX).then_some(u)
+            })
+            .collect();
+        let features = to_intensity(p.features.clone(), rep.agg_types(), |u| p.group_sizes[u]);
+        let weights = p.group_sizes.iter().map(|&s| s as f64).collect();
+        Units {
+            features,
+            centroids: p.centroids.clone(),
+            adjacency: p.adjacency.clone(),
+            cell_to_unit,
+            weights,
+        }
+    }
+
+    /// Units from a baseline reduction. `agg_types` comes from the source
+    /// grid.
+    pub fn from_reduced(r: &ReducedDataset, agg_types: &[AggType]) -> Self {
+        let features = to_intensity(r.features.clone(), agg_types, |u| r.agg_counts[u]);
+        let weights = r.unit_sizes.iter().map(|&s| s as f64).collect();
+        Units {
+            features,
+            centroids: r.centroids.clone(),
+            adjacency: r.adjacency.clone(),
+            cell_to_unit: r.cell_to_unit.clone(),
+            weights,
+        }
+    }
+
+    /// Number of units.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the unit set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Splits off the target column: returns `(X rows, y)`.
+    pub fn split_target(&self, target_attr: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut xs = Vec::with_capacity(self.features.len());
+        let mut ys = Vec::with_capacity(self.features.len());
+        for row in &self.features {
+            let mut x = Vec::with_capacity(row.len().saturating_sub(1));
+            for (k, &v) in row.iter().enumerate() {
+                if k == target_attr {
+                    ys.push(v);
+                } else {
+                    x.push(v);
+                }
+            }
+            xs.push(x);
+        }
+        (xs, ys)
+    }
+}

@@ -1,0 +1,195 @@
+//! Feature allocation for cell-groups — Algorithm 2 of the paper (§III-A3).
+//!
+//! Every cell-group receives one representative feature vector, computed
+//! from the **original (unnormalized)** dataset:
+//!
+//! - `Sum`-aggregated attributes: the sum of the constituent cells' values.
+//! - `Avg`-aggregated attributes: the better (by local loss, Eq. 2) of the
+//!   mean `A` and the most frequent value `B`; ties favour the mean, and
+//!   integer-typed attributes have the mean rounded to the nearest integer
+//!   first (Example 4: mean 23.67 → 24, mode 23, equal losses → pick 24).
+//!
+//! Groups of null cells receive a null (`None`) feature vector.
+
+use crate::partition::Partition;
+use sr_grid::{local_loss, GridDataset};
+use std::collections::HashMap;
+
+/// Representative feature vectors of all groups in `partition`, indexed by
+/// group id; `None` marks a null group.
+pub fn allocate_features(original: &GridDataset, partition: &Partition) -> Vec<Option<Vec<f64>>> {
+    let p = original.num_attrs();
+    let mut out = Vec::with_capacity(partition.num_groups());
+    // Workhorse buffer reused across groups to avoid per-group allocation.
+    let mut values: Vec<f64> = Vec::new();
+
+    for gid in 0..partition.num_groups() as u32 {
+        let member_cells = partition.cells_of(gid);
+        let mut fv = vec![0.0f64; p];
+        let mut any_valid = false;
+        for (k, slot) in fv.iter_mut().enumerate() {
+            values.clear();
+            for &cell in &member_cells {
+                if original.is_valid(cell) {
+                    values.push(original.value(cell, k));
+                }
+            }
+            if values.is_empty() {
+                continue;
+            }
+            any_valid = true;
+            *slot = match original.agg_types()[k] {
+                sr_grid::AggType::Sum => values.iter().sum(),
+                sr_grid::AggType::Avg => {
+                    best_average_representative(&values, original.integer_attrs()[k])
+                }
+                // Categorical: the most frequent code (§VI extension).
+                sr_grid::AggType::Mode => mode(&values),
+            };
+        }
+        out.push(any_valid.then_some(fv));
+    }
+    out
+}
+
+/// The `Avg` branch of Algorithm 2: candidate `A` is the mean (rounded for
+/// integer attributes), candidate `B` the most frequent value; the one with
+/// smaller local loss wins, with ties going to `A`.
+fn best_average_representative(values: &[f64], integer_typed: bool) -> f64 {
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let a = if integer_typed { mean.round() } else { mean };
+    let b = mode(values);
+    let loss_a = local_loss(values, a);
+    let loss_b = local_loss(values, b);
+    // Ties go to the mean (paper Example 4), with a relative tolerance:
+    // two-cell groups tie *exactly* in real arithmetic, and a raw `<=`
+    // would let last-ulp rounding flip the winner when the data is
+    // uniformly rescaled (breaking the temporal driver's reuse
+    // invariance).
+    let tol = 1e-9 * loss_a.abs().max(loss_b.abs());
+    if loss_b < loss_a - tol {
+        b
+    } else {
+        a
+    }
+}
+
+/// Most frequent value, with ties broken by first occurrence (deterministic
+/// under the extractor's row-major cell order). Exact bit-equality grouping:
+/// cell values come straight from the input dataset, where repeated values
+/// (counts, rounded averages) compare exactly.
+fn mode(values: &[f64]) -> f64 {
+    debug_assert!(!values.is_empty());
+    let mut counts: HashMap<u64, (usize, usize)> = HashMap::with_capacity(values.len());
+    for (i, &v) in values.iter().enumerate() {
+        let e = counts.entry(v.to_bits()).or_insert((0, i));
+        e.0 += 1;
+    }
+    let (&bits, _) = counts
+        .iter()
+        .max_by(|(_, (ca, ia)), (_, (cb, ib))| ca.cmp(cb).then(ib.cmp(ia)))
+        .expect("non-empty values");
+    f64::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extractor::extract_cell_groups;
+    use sr_grid::{normalize_attributes, AggType, Bounds};
+
+    #[test]
+    fn mode_prefers_most_frequent_then_first() {
+        assert_eq!(mode(&[1.0, 2.0, 2.0, 3.0]), 2.0);
+        // Tie between 1.0 and 2.0: first occurrence wins.
+        assert_eq!(mode(&[1.0, 2.0, 1.0, 2.0]), 1.0);
+        assert_eq!(mode(&[7.5]), 7.5);
+    }
+
+    #[test]
+    fn paper_example4_rounding_and_tie() {
+        // Six cells with mean 23.67 (rounds to 24) and mode 23; the losses
+        // tie, so A (=24) is selected.
+        let values = [23.0, 23.0, 23.0, 24.0, 25.0, 24.0];
+        let mean: f64 = values.iter().sum::<f64>() / 6.0;
+        assert!((mean - 23.666_666).abs() < 1e-3);
+        let rep = best_average_representative(&values, true);
+        assert_eq!(rep, 24.0);
+    }
+
+    #[test]
+    fn mode_wins_when_outlier_inflates_mean() {
+        let values = [10.0, 10.0, 10.0, 100.0];
+        let rep = best_average_representative(&values, false);
+        assert_eq!(rep, 10.0);
+    }
+
+    #[test]
+    fn sum_aggregation_sums_members() {
+        let g = GridDataset::new(
+            1,
+            2,
+            1,
+            vec![3.0, 4.0],
+            vec![true, true],
+            vec!["count".into()],
+            vec![AggType::Sum],
+            vec![false],
+            Bounds::unit(),
+        )
+        .unwrap();
+        let norm = normalize_attributes(&g);
+        let p = extract_cell_groups(&norm, 1.0);
+        assert_eq!(p.num_groups(), 1);
+        let feats = allocate_features(&g, &p);
+        assert_eq!(feats[0].as_deref(), Some(&[7.0][..]));
+    }
+
+    #[test]
+    fn null_group_gets_none() {
+        let mut g = GridDataset::univariate(1, 2, vec![1.0, 1.0]).unwrap();
+        g.set_null(0);
+        g.set_null(1);
+        let norm = normalize_attributes(&g);
+        let p = extract_cell_groups(&norm, 1.0);
+        let feats = allocate_features(&g, &p);
+        assert_eq!(feats.len(), 1);
+        assert!(feats[0].is_none());
+    }
+
+    #[test]
+    fn multivariate_mixed_agg_types() {
+        // 1×2 grid, two attrs: count (Sum) and price (Avg).
+        let g = GridDataset::new(
+            1,
+            2,
+            2,
+            vec![2.0, 10.0, 4.0, 20.0],
+            vec![true, true],
+            vec!["count".into(), "price".into()],
+            vec![AggType::Sum, AggType::Avg],
+            vec![false, false],
+            Bounds::unit(),
+        )
+        .unwrap();
+        let p = Partition::new(
+            1,
+            2,
+            vec![crate::partition::GroupRect { r0: 0, r1: 0, c0: 0, c1: 1 }],
+            vec![0, 0],
+        );
+        let feats = allocate_features(&g, &p);
+        let fv = feats[0].as_ref().unwrap();
+        assert_eq!(fv[0], 6.0); // sum of counts
+        assert_eq!(fv[1], 15.0); // mean of prices (mode loss is worse)
+    }
+
+    #[test]
+    fn singleton_group_keeps_exact_values() {
+        let g = GridDataset::univariate(1, 2, vec![42.0, 7.0]).unwrap();
+        let p = Partition::identity(1, 2);
+        let feats = allocate_features(&g, &p);
+        assert_eq!(feats[0].as_deref(), Some(&[42.0][..]));
+        assert_eq!(feats[1].as_deref(), Some(&[7.0][..]));
+    }
+}

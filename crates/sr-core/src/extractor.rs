@@ -1,0 +1,308 @@
+//! Cell-group extraction — Algorithm 1 of the paper (§III-A2).
+//!
+//! Given the attribute-normalized grid and the current iteration's
+//! `minAdjacentVariation`, extraction greedily tiles the grid with
+//! *rectangular* groups of adjacent cells such that **every adjacent pair of
+//! cells inside a group** has variation ≤ `minAdjacentVariation` (pairs that
+//! are in the same group but not adjacent are unconstrained, exactly as the
+//! paper specifies). The scan starts at the top-left corner and proceeds
+//! row-major; at each unvisited cell the algorithm compares the maximal
+//! horizontal run (`hCount`), vertical run (`vCount`) and anchored rectangle
+//! (`rCount`) and takes the largest.
+//!
+//! Null cells only ever group with adjacent null cells; a valid cell with no
+//! compatible neighbor forms a singleton group.
+
+use crate::partition::{GroupId, GroupRect, Partition};
+use sr_grid::{variation_between_typed, GridDataset};
+
+/// Slack added to the variation comparison so a threshold that was itself
+/// produced from these variations (heap pops) re-accepts the generating pair
+/// despite floating-point noise.
+const VARIATION_SLACK: f64 = 1e-12;
+
+/// Edge-compatibility maps for one extraction pass.
+struct EdgeMaps {
+    /// `h_ok[r * cols + c]` ⇔ cells `(r,c)` and `(r,c+1)` may share a group.
+    h_ok: Vec<bool>,
+    /// `v_ok[r * cols + c]` ⇔ cells `(r,c)` and `(r+1,c)` may share a group.
+    v_ok: Vec<bool>,
+    cols: usize,
+}
+
+impl EdgeMaps {
+    fn build(grid: &GridDataset, threshold: f64) -> Self {
+        let rows = grid.rows();
+        let cols = grid.cols();
+        let mut h_ok = vec![false; rows * cols];
+        let mut v_ok = vec![false; rows * cols];
+        let aggs = grid.agg_types();
+        let compatible = |a: u32, b: u32| -> bool {
+            match (grid.features(a), grid.features(b)) {
+                (Some(fa), Some(fb)) => {
+                    variation_between_typed(fa, fb, aggs) <= threshold + VARIATION_SLACK
+                }
+                // Null cells merge only with other null cells (§III-A2).
+                (None, None) => true,
+                _ => false,
+            }
+        };
+        for r in 0..rows {
+            for c in 0..cols {
+                let id = grid.cell_id(r, c);
+                if c + 1 < cols {
+                    h_ok[r * cols + c] = compatible(id, grid.cell_id(r, c + 1));
+                }
+                if r + 1 < rows {
+                    v_ok[r * cols + c] = compatible(id, grid.cell_id(r + 1, c));
+                }
+            }
+        }
+        EdgeMaps { h_ok, v_ok, cols }
+    }
+
+    #[inline]
+    fn h(&self, r: usize, c: usize) -> bool {
+        self.h_ok[r * self.cols + c]
+    }
+
+    #[inline]
+    fn v(&self, r: usize, c: usize) -> bool {
+        self.v_ok[r * self.cols + c]
+    }
+}
+
+/// Runs Algorithm 1: extracts all cell-groups of `normalized` under the
+/// given `min_adjacent_variation` and returns the resulting [`Partition`]
+/// (both the `gIndex` and `cIndex` mappings of the paper).
+pub fn extract_cell_groups(normalized: &GridDataset, min_adjacent_variation: f64) -> Partition {
+    let rows = normalized.rows();
+    let cols = normalized.cols();
+    let edges = EdgeMaps::build(normalized, min_adjacent_variation);
+
+    let mut visited = vec![false; rows * cols];
+    let mut cell_to_group = vec![0 as GroupId; rows * cols];
+    let mut groups: Vec<GroupRect> = Vec::new();
+
+    for r in 0..rows {
+        for c in 0..cols {
+            if visited[r * cols + c] {
+                continue;
+            }
+            let (height, width) = best_anchored_rect(&edges, &visited, rows, cols, r, c);
+            let gid = groups.len() as GroupId;
+            let rect = GroupRect {
+                r0: r as u32,
+                r1: (r + height - 1) as u32,
+                c0: c as u32,
+                c1: (c + width - 1) as u32,
+            };
+            for rr in r..r + height {
+                for cc in c..c + width {
+                    debug_assert!(!visited[rr * cols + cc]);
+                    visited[rr * cols + cc] = true;
+                    cell_to_group[rr * cols + cc] = gid;
+                }
+            }
+            groups.push(rect);
+        }
+    }
+
+    Partition::new(rows, cols, groups, cell_to_group)
+}
+
+/// Finds the maximum-area rectangle anchored at `(r, c)` (its top-left
+/// corner) whose internal adjacent pairs are all compatible and whose cells
+/// are all unvisited. Returns `(height, width)`, both ≥ 1.
+///
+/// This subsumes the paper's separate `hCount` / `vCount` / `rCount`
+/// comparison: height 1 yields the maximal horizontal run, width 1 survives
+/// exactly as long as the maximal vertical run, and the scan maximizes the
+/// area over every anchored height.
+fn best_anchored_rect(
+    edges: &EdgeMaps,
+    visited: &[bool],
+    rows: usize,
+    cols: usize,
+    r: usize,
+    c: usize,
+) -> (usize, usize) {
+    // Maximal horizontal run in the anchor row.
+    let mut width = 1usize;
+    while c + width < cols
+        && !visited[r * cols + c + width]
+        && edges.h(r, c + width - 1)
+    {
+        width += 1;
+    }
+
+    let mut best = (1usize, width);
+    let mut best_area = width;
+
+    let mut h = 1usize;
+    let mut w = width;
+    while r + h < rows && w > 0 {
+        let rr = r + h;
+        // Shrink the window to the longest prefix of row `rr` that is
+        // unvisited, vertically compatible with the row above, and
+        // horizontally chained within row `rr`.
+        let mut w2 = 0usize;
+        while w2 < w {
+            let cc = c + w2;
+            if visited[rr * cols + cc] || !edges.v(rr - 1, cc) {
+                break;
+            }
+            if w2 > 0 && !edges.h(rr, cc - 1) {
+                break;
+            }
+            w2 += 1;
+        }
+        if w2 == 0 {
+            break;
+        }
+        w = w2;
+        h += 1;
+        let area = h * w;
+        if area > best_area {
+            best_area = area;
+            best = (h, w);
+        }
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_grid::normalize_attributes;
+
+    fn partition_of(rows: usize, cols: usize, vals: Vec<f64>, theta: f64) -> Partition {
+        let g = GridDataset::univariate(rows, cols, vals).unwrap();
+        let norm = normalize_attributes(&g);
+        extract_cell_groups(&norm, theta)
+    }
+
+    #[test]
+    fn zero_threshold_groups_only_equal_neighbors() {
+        // 1×4: [5, 5, 7, 7] => two groups of two.
+        let p = partition_of(1, 4, vec![5.0, 5.0, 7.0, 7.0], 0.0);
+        assert_eq!(p.num_groups(), 2);
+        assert_eq!(p.group_of(0), p.group_of(1));
+        assert_eq!(p.group_of(2), p.group_of(3));
+        assert_ne!(p.group_of(1), p.group_of(2));
+    }
+
+    #[test]
+    fn all_distinct_values_yield_identity() {
+        let p = partition_of(2, 2, vec![1.0, 2.0, 3.0, 4.0], 0.0);
+        assert_eq!(p.num_groups(), 4);
+    }
+
+    #[test]
+    fn huge_threshold_merges_everything_into_one_rect() {
+        let p = partition_of(3, 3, (1..=9).map(f64::from).collect(), 1.0);
+        assert_eq!(p.num_groups(), 1);
+        assert_eq!(p.rect(0), GroupRect { r0: 0, r1: 2, c0: 0, c1: 2 });
+    }
+
+    #[test]
+    fn rectangle_beats_runs_paper_example3() {
+        // Paper Example 3 geometry: a 2×3 block of compatible cells should
+        // be extracted as one 6-cell rectangle rather than a 3-cell row.
+        // Build a 3×4 grid where the top-left 2×3 block holds near-equal
+        // values and everything else is far away.
+        #[rustfmt::skip]
+        let vals = vec![
+            10.0, 10.0, 10.0, 99.0,
+            10.0, 10.0, 10.0, 99.0,
+            50.0, 50.0, 99.0, 99.0,
+        ];
+        let p = partition_of(3, 4, vals, 0.0);
+        let g = p.group_of(0);
+        assert_eq!(p.rect(g), GroupRect { r0: 0, r1: 1, c0: 0, c1: 2 });
+        assert_eq!(p.rect(g).len(), 6);
+    }
+
+    #[test]
+    fn vertical_run_chosen_when_taller_than_wide() {
+        // Column of equal values, rows otherwise incompatible.
+        #[rustfmt::skip]
+        let vals = vec![
+            5.0, 90.0,
+            5.0, 80.0,
+            5.0, 70.0,
+        ];
+        let p = partition_of(3, 2, vals, 0.0);
+        let g = p.group_of(0);
+        assert_eq!(p.rect(g), GroupRect { r0: 0, r1: 2, c0: 0, c1: 0 });
+    }
+
+    #[test]
+    fn incompatible_cell_forms_singleton() {
+        let p = partition_of(1, 3, vec![1.0, 100.0, 1.0], 0.0);
+        assert_eq!(p.num_groups(), 3);
+    }
+
+    #[test]
+    fn null_cells_group_together_but_not_with_valid() {
+        let mut g = GridDataset::univariate(2, 2, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        g.set_null(2);
+        g.set_null(3);
+        let norm = normalize_attributes(&g);
+        let p = extract_cell_groups(&norm, 1.0);
+        // Top row: one valid group; bottom row: one null group.
+        assert_eq!(p.num_groups(), 2);
+        assert_eq!(p.group_of(0), p.group_of(1));
+        assert_eq!(p.group_of(2), p.group_of(3));
+        assert_ne!(p.group_of(0), p.group_of(2));
+    }
+
+    #[test]
+    fn intra_group_adjacent_pairs_respect_threshold() {
+        use sr_grid::variation_between;
+        // Stress on a pseudo-random grid: verify the structural guarantee.
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (rows, cols) = (12, 15);
+        let vals: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(0.0..10.0)).collect();
+        let g = GridDataset::univariate(rows, cols, vals).unwrap();
+        let norm = normalize_attributes(&g);
+        let theta = 0.08;
+        let p = extract_cell_groups(&norm, theta);
+        for gid in 0..p.num_groups() as u32 {
+            let rect = p.rect(gid);
+            for (r, c) in rect.cells() {
+                let id = norm.cell_id(r as usize, c as usize);
+                let fv = norm.features_unchecked(id);
+                if c < rect.c1 {
+                    let right = norm.cell_id(r as usize, c as usize + 1);
+                    assert!(
+                        variation_between(fv, norm.features_unchecked(right))
+                            <= theta + 1e-9
+                    );
+                }
+                if r < rect.r1 {
+                    let down = norm.cell_id(r as usize + 1, c as usize);
+                    assert!(
+                        variation_between(fv, norm.features_unchecked(down))
+                            <= theta + 1e-9
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn larger_threshold_never_increases_group_count_on_smooth_data() {
+        let vals: Vec<f64> = (0..100).map(|i| (i / 10) as f64).collect();
+        let g = GridDataset::univariate(10, 10, vals).unwrap();
+        let norm = normalize_attributes(&g);
+        let mut last = usize::MAX;
+        for theta in [0.0, 0.05, 0.1, 0.2, 0.5, 1.0] {
+            let p = extract_cell_groups(&norm, theta);
+            assert!(p.num_groups() <= last);
+            last = p.num_groups();
+        }
+    }
+}

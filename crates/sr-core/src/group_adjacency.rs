@@ -1,0 +1,142 @@
+//! Adjacency-list retrieval for cell-groups — Algorithm 3 of the paper
+//! (§III-B).
+//!
+//! Because every cell-group is a rectangle, its neighbors are found by
+//! probing only the cells one step outside its four boundary edges: above
+//! `rBeg`, below `rEnd`, left of `cBeg`, right of `cEnd`. The result is a
+//! binary adjacency list (weight 1 per listed neighbor), the exact structure
+//! the spatial lag/error models and the SCHC clusterer consume.
+
+use crate::partition::{GroupId, Partition};
+use sr_grid::AdjacencyList;
+
+/// Builds the cell-group adjacency list of a partition (Algorithm 3).
+///
+/// The relation is symmetric by construction: if `a`'s boundary probe finds
+/// `b`, the shared edge also lies on `b`'s boundary.
+pub fn group_adjacency(partition: &Partition) -> AdjacencyList {
+    let rows = partition.rows();
+    let cols = partition.cols();
+    let n_groups = partition.num_groups();
+    let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); n_groups];
+    // Stamp array dedupes neighbor ids per group without clearing a HashSet
+    // for every group.
+    let mut stamp = vec![u32::MAX; n_groups];
+
+    for gid in 0..n_groups as GroupId {
+        let rect = partition.rect(gid);
+        let nlist = &mut neighbors[gid as usize];
+        let mut push = |other: GroupId, nlist: &mut Vec<u32>| {
+            if stamp[other as usize] != gid {
+                stamp[other as usize] = gid;
+                nlist.push(other);
+            }
+        };
+        // Row above rBeg and row below rEnd.
+        for c in rect.c0..=rect.c1 {
+            if rect.r0 > 0 {
+                push(partition.group_at(rect.r0 as usize - 1, c as usize), nlist);
+            }
+            if (rect.r1 as usize) + 1 < rows {
+                push(partition.group_at(rect.r1 as usize + 1, c as usize), nlist);
+            }
+        }
+        // Column left of cBeg and column right of cEnd.
+        for r in rect.r0..=rect.r1 {
+            if rect.c0 > 0 {
+                push(partition.group_at(r as usize, rect.c0 as usize - 1), nlist);
+            }
+            if (rect.c1 as usize) + 1 < cols {
+                push(partition.group_at(r as usize, rect.c1 as usize + 1), nlist);
+            }
+        }
+    }
+
+    AdjacencyList::from_neighbors(neighbors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extractor::extract_cell_groups;
+    use sr_grid::{normalize_attributes, GridDataset};
+
+    #[test]
+    fn identity_partition_matches_rook_adjacency() {
+        let g = GridDataset::univariate(3, 3, (1..=9).map(f64::from).collect()).unwrap();
+        let p = crate::partition::Partition::identity(3, 3);
+        let ga = group_adjacency(&p);
+        let rook = AdjacencyList::rook_from_grid(&g);
+        for i in 0..9u32 {
+            let mut a = ga.neighbors(i).to_vec();
+            let mut b = rook.neighbors(i).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn merged_grid_adjacency_symmetric_and_deduped() {
+        // Two vertical halves of a 4×4 grid merge into two 4×2 groups; each
+        // is the sole neighbor of the other, listed once despite sharing 4
+        // boundary cells.
+        #[rustfmt::skip]
+        let vals = vec![
+            1.0, 1.0, 9.0, 9.0,
+            1.0, 1.0, 9.0, 9.0,
+            1.0, 1.0, 9.0, 9.0,
+            1.0, 1.0, 9.0, 9.0,
+        ];
+        let g = GridDataset::univariate(4, 4, vals).unwrap();
+        let norm = normalize_attributes(&g);
+        let p = extract_cell_groups(&norm, 0.0);
+        assert_eq!(p.num_groups(), 2);
+        let adj = group_adjacency(&p);
+        assert_eq!(adj.neighbors(0), &[1]);
+        assert_eq!(adj.neighbors(1), &[0]);
+        assert!(adj.is_symmetric());
+    }
+
+    #[test]
+    fn paper_example6_shape() {
+        // Fig. 3 property: a group bordered on all four sides lists each
+        // bordering group exactly once. Build a plus-shaped arrangement.
+        #[rustfmt::skip]
+        let vals = vec![
+            1.0, 2.0, 3.0,
+            4.0, 5.0, 6.0,
+            7.0, 8.0, 9.0,
+        ];
+        let g = GridDataset::univariate(3, 3, vals).unwrap();
+        let norm = normalize_attributes(&g);
+        let p = extract_cell_groups(&norm, 0.0); // identity (all distinct)
+        let adj = group_adjacency(&p);
+        // Center cell (1,1) = group of cell id 4 has 4 neighbors.
+        let center = p.group_of(4);
+        assert_eq!(adj.degree(center), 4);
+        // Corner has 2.
+        let corner = p.group_of(0);
+        assert_eq!(adj.degree(corner), 2);
+    }
+
+    #[test]
+    fn adjacency_symmetric_on_random_partitions() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(17);
+        for _ in 0..5 {
+            let rows = rng.gen_range(3..12);
+            let cols = rng.gen_range(3..12);
+            let vals: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(0.0..5.0)).collect();
+            let g = GridDataset::univariate(rows, cols, vals).unwrap();
+            let norm = normalize_attributes(&g);
+            let p = extract_cell_groups(&norm, rng.gen_range(0.0..0.4));
+            let adj = group_adjacency(&p);
+            assert!(adj.is_symmetric());
+            // No self loops.
+            for gid in 0..p.num_groups() as u32 {
+                assert!(!adj.neighbors(gid).contains(&gid));
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The min-adjacent-variation heap (§III-A1).
+//!
+//! The framework pre-computes the variations between all adjacent cell pairs
+//! of the *attribute-normalized* input exactly once, stores them in a
+//! min-heap, and pops the root in every re-partitioning iteration to obtain
+//! that iteration's `minAdjacentVariation`. Popping *distinct* values keeps
+//! each iteration's partition strictly coarser-or-equal: equal keys would
+//! reproduce the same partition and waste a full extraction pass (the
+//! paper's Example 2 steps from the least to the "second-least" variation,
+//! i.e. it also advances by distinct values).
+
+use sr_grid::{adjacent_variations, GridDataset};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Total-order wrapper for finite f64 keys.
+///
+/// Variations are finite by construction (means of absolute differences of
+/// finite attribute values), so the `Ord` impl never sees a NaN.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FiniteF64(f64);
+
+impl Eq for FiniteF64 {}
+
+impl PartialOrd for FiniteF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FiniteF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("variation keys are finite")
+    }
+}
+
+/// Min-heap over adjacent-pair variations.
+#[derive(Debug, Clone)]
+pub struct VariationHeap {
+    heap: BinaryHeap<Reverse<FiniteF64>>,
+    /// Two popped values closer than this are considered the same threshold.
+    dedup_eps: f64,
+    last_popped: Option<f64>,
+}
+
+/// Default tolerance for treating two variation keys as equal.
+pub const DEFAULT_DEDUP_EPS: f64 = 1e-12;
+
+impl VariationHeap {
+    /// Builds the heap from a grid. Callers following the paper's pipeline
+    /// pass the *normalized* grid (see [`sr_grid::normalize_attributes`]).
+    pub fn from_grid(normalized: &GridDataset) -> Self {
+        let pairs = adjacent_variations(normalized);
+        let heap = pairs
+            .into_iter()
+            .map(|p| Reverse(FiniteF64(p.variation)))
+            .collect();
+        VariationHeap { heap, dedup_eps: DEFAULT_DEDUP_EPS, last_popped: None }
+    }
+
+    /// Builds a heap directly from raw variation values (tests, ablations).
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> Self {
+        let heap = values
+            .into_iter()
+            .map(|v| Reverse(FiniteF64(v)))
+            .collect();
+        VariationHeap { heap, dedup_eps: DEFAULT_DEDUP_EPS, last_popped: None }
+    }
+
+    /// Overrides the dedup tolerance.
+    pub fn with_dedup_eps(mut self, eps: f64) -> Self {
+        self.dedup_eps = eps;
+        self
+    }
+
+    /// Remaining entries (duplicates included).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the heap is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Pops the next *distinct* min-adjacent variation: skips keys within
+    /// `dedup_eps` of the previously returned value. Returns `None` when
+    /// exhausted.
+    pub fn pop_next_distinct(&mut self) -> Option<f64> {
+        while let Some(Reverse(FiniteF64(v))) = self.heap.pop() {
+            match self.last_popped {
+                Some(prev) if (v - prev).abs() <= self.dedup_eps => continue,
+                _ => {
+                    self.last_popped = Some(v);
+                    return Some(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// Drains the heap into an ascending, deduplicated vector of thresholds.
+    /// The iteration-strategy driver uses this to support strided walks and
+    /// binary-search backoff without re-heapifying.
+    pub fn into_sorted_distinct(mut self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(v) = self.pop_next_distinct() {
+            out.push(v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_grid::normalize_attributes;
+
+    #[test]
+    fn pops_in_ascending_distinct_order() {
+        let mut h = VariationHeap::from_values([0.3, 0.1, 0.1, 0.2, 0.3, 0.0]);
+        assert_eq!(h.pop_next_distinct(), Some(0.0));
+        assert_eq!(h.pop_next_distinct(), Some(0.1));
+        assert_eq!(h.pop_next_distinct(), Some(0.2));
+        assert_eq!(h.pop_next_distinct(), Some(0.3));
+        assert_eq!(h.pop_next_distinct(), None);
+    }
+
+    #[test]
+    fn dedup_eps_merges_near_ties() {
+        let mut h = VariationHeap::from_values([0.1, 0.1 + 1e-15, 0.2]).with_dedup_eps(1e-12);
+        assert_eq!(h.pop_next_distinct(), Some(0.1));
+        assert_eq!(h.pop_next_distinct(), Some(0.2));
+    }
+
+    #[test]
+    fn from_grid_matches_paper_example2() {
+        // Paper Example 2 (Fig. 1 input): the least variation is 0 and the
+        // second-least is 0.02857143 = 1/35 (difference of 1 between
+        // neighbors, normalized by the grid max of 35).
+        // Reconstruct a compatible grid: max value 35, one pair of equal
+        // neighbors, one pair differing by exactly 1.
+        let g = sr_grid::GridDataset::univariate(
+            1,
+            4,
+            vec![22.0, 22.0, 23.0, 35.0],
+        )
+        .unwrap();
+        let norm = normalize_attributes(&g);
+        let mut h = VariationHeap::from_grid(&norm);
+        let first = h.pop_next_distinct().unwrap();
+        let second = h.pop_next_distinct().unwrap();
+        assert_eq!(first, 0.0);
+        assert!((second - 1.0 / 35.0).abs() < 1e-9, "second = {second}");
+    }
+
+    #[test]
+    fn into_sorted_distinct() {
+        let h = VariationHeap::from_values([0.5, 0.25, 0.5, 0.75, 0.25]);
+        assert_eq!(h.into_sorted_distinct(), vec![0.25, 0.5, 0.75]);
+    }
+
+    #[test]
+    fn empty_grid_pairs_yield_empty_heap() {
+        let mut g = sr_grid::GridDataset::univariate(1, 2, vec![1.0, 2.0]).unwrap();
+        g.set_null(0);
+        g.set_null(1);
+        let mut h = VariationHeap::from_grid(&g);
+        assert!(h.is_empty());
+        assert_eq!(h.pop_next_distinct(), None);
+    }
+}

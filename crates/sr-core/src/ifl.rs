@@ -1,0 +1,146 @@
+//! Information-loss calculation for a partition — §III-A4 of the paper.
+//!
+//! Eq. (3) compares every original cell's value with its *representative*
+//! value in the re-partitioned dataset. Representatives are aggregation
+//! aware (exactly as §III-A4 and §III-C describe): a `Sum`-typed group value
+//! is divided back by the group's member count, while an `Avg`-typed group
+//! value applies to each member directly.
+
+use crate::partition::Partition;
+use sr_grid::loss::information_loss_with;
+use sr_grid::{AggType, GridDataset, IflOptions};
+
+/// Representative value of attribute `k` for a cell inside a group, given
+/// the group's allocated value and its valid-member count.
+#[inline]
+pub(crate) fn representative(group_value: f64, agg: AggType, members: usize) -> f64 {
+    match agg {
+        AggType::Sum => group_value / members as f64,
+        AggType::Avg | AggType::Mode => group_value,
+    }
+}
+
+/// Computes the IFL (Eq. 3) between `original` and the re-partitioned
+/// dataset described by (`partition`, `group_features`).
+///
+/// `group_features[g]` is the allocated feature vector of group `g`
+/// (`None` for null groups — these contain no valid cells and thus never
+/// contribute terms).
+pub fn partition_ifl(
+    original: &GridDataset,
+    partition: &Partition,
+    group_features: &[Option<Vec<f64>>],
+    opts: IflOptions,
+) -> f64 {
+    debug_assert_eq!(group_features.len(), partition.num_groups());
+    // Valid-member counts per group, needed to un-sum Sum attributes.
+    let mut valid_counts = vec![0usize; partition.num_groups()];
+    for id in original.valid_cells() {
+        valid_counts[partition.group_of(id) as usize] += 1;
+    }
+    let aggs = original.agg_types();
+    information_loss_with(
+        original,
+        |cell, k| {
+            let g = partition.group_of(cell) as usize;
+            match &group_features[g] {
+                Some(fv) => representative(fv[k], aggs[k], valid_counts[g]),
+                // A valid cell can only live in a group with features; this
+                // arm is unreachable for well-formed inputs but kept total.
+                None => 0.0,
+            }
+        },
+        opts,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::allocate_features;
+    use crate::extractor::extract_cell_groups;
+    use crate::partition::GroupRect;
+    use sr_grid::{normalize_attributes, Bounds};
+
+    #[test]
+    fn identity_partition_has_zero_ifl() {
+        let g = GridDataset::univariate(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let p = Partition::identity(2, 2);
+        let feats = allocate_features(&g, &p);
+        let ifl = partition_ifl(&g, &p, &feats, IflOptions::default());
+        assert_eq!(ifl, 0.0);
+    }
+
+    #[test]
+    fn avg_representative_is_group_value() {
+        // Group {10, 20} with Avg: representative 15 for both cells.
+        // IFL = (|10-15|/10 + |20-15|/20)/2 = (0.5 + 0.25)/2 = 0.375
+        let g = GridDataset::univariate(1, 2, vec![10.0, 20.0]).unwrap();
+        let p = Partition::new(
+            1,
+            2,
+            vec![GroupRect { r0: 0, r1: 0, c0: 0, c1: 1 }],
+            vec![0, 0],
+        );
+        let feats = allocate_features(&g, &p);
+        let ifl = partition_ifl(&g, &p, &feats, IflOptions::default());
+        assert!((ifl - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_representative_divides_by_member_count() {
+        // Counts {10, 20} with Sum: group value 30, representative 15 each.
+        let g = GridDataset::new(
+            1,
+            2,
+            1,
+            vec![10.0, 20.0],
+            vec![true, true],
+            vec!["count".into()],
+            vec![sr_grid::AggType::Sum],
+            vec![false],
+            Bounds::unit(),
+        )
+        .unwrap();
+        let p = Partition::new(
+            1,
+            2,
+            vec![GroupRect { r0: 0, r1: 0, c0: 0, c1: 1 }],
+            vec![0, 0],
+        );
+        let feats = allocate_features(&g, &p);
+        assert_eq!(feats[0].as_deref(), Some(&[30.0][..]));
+        let ifl = partition_ifl(&g, &p, &feats, IflOptions::default());
+        assert!((ifl - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example5_like_pipeline_keeps_small_ifl() {
+        // A near-uniform grid merged at a generous threshold must incur a
+        // small but nonzero IFL, and a fully uniform grid exactly zero.
+        let uniform = GridDataset::univariate(3, 3, vec![5.0; 9]).unwrap();
+        let norm = normalize_attributes(&uniform);
+        let p = extract_cell_groups(&norm, 0.0);
+        let feats = allocate_features(&uniform, &p);
+        assert_eq!(partition_ifl(&uniform, &p, &feats, IflOptions::default()), 0.0);
+
+        let near = GridDataset::univariate(1, 4, vec![100.0, 101.0, 99.0, 100.0]).unwrap();
+        let nnorm = normalize_attributes(&near);
+        let p2 = extract_cell_groups(&nnorm, 1.0);
+        assert_eq!(p2.num_groups(), 1);
+        let feats2 = allocate_features(&near, &p2);
+        let ifl = partition_ifl(&near, &p2, &feats2, IflOptions::default());
+        assert!(ifl > 0.0 && ifl < 0.01, "ifl = {ifl}");
+    }
+
+    #[test]
+    fn null_cells_do_not_contribute() {
+        let mut g = GridDataset::univariate(1, 3, vec![10.0, 10.0, 10.0]).unwrap();
+        g.set_null(2);
+        let norm = normalize_attributes(&g);
+        let p = extract_cell_groups(&norm, 1.0);
+        let feats = allocate_features(&g, &p);
+        let ifl = partition_ifl(&g, &p, &feats, IflOptions::default());
+        assert_eq!(ifl, 0.0);
+    }
+}

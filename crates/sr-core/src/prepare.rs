@@ -1,0 +1,186 @@
+//! Training-data preparation from a re-partitioned dataset — §III-B.
+//!
+//! Spatial ML models consume (a) the feature vectors of the re-partitioned
+//! data and (b) the cell-group adjacency. This module flattens a
+//! [`Repartitioned`] into exactly those pieces, restricted to *valid*
+//! (non-null) groups, with ids remapped to a dense `0..n_valid` index space:
+//!
+//! - feature rows (one per valid group, in group-id order),
+//! - geographic centroids (GWR takes these as part of its feature vectors),
+//! - rectangle vertices in geographic coordinates (kriging feature vectors
+//!   carry the fixed four vertices a rectangle guarantees),
+//! - the valid-group adjacency list with binary weights.
+
+use crate::repartition::Repartitioned;
+use sr_grid::AdjacencyList;
+
+/// Flattened training inputs derived from a re-partitioned dataset.
+#[derive(Debug, Clone)]
+pub struct PreparedTrainingData {
+    /// Original group ids of the valid groups, in row order.
+    pub group_ids: Vec<u32>,
+    /// One feature row per valid group (length = #attributes).
+    pub features: Vec<Vec<f64>>,
+    /// Geographic centroid `(lat, lon)` of each valid group's rectangle.
+    pub centroids: Vec<(f64, f64)>,
+    /// Geographic corner vertices of each valid group's rectangle,
+    /// clockwise from the north-west corner.
+    pub vertices: Vec<[(f64, f64); 4]>,
+    /// Number of cells each valid group covers (its weight when metrics are
+    /// aggregated back to cell granularity).
+    pub group_sizes: Vec<usize>,
+    /// Adjacency between valid groups, remapped to row indices.
+    pub adjacency: AdjacencyList,
+}
+
+impl PreparedTrainingData {
+    /// Builds the training inputs from a re-partitioned dataset.
+    pub fn from_repartitioned(rep: &Repartitioned) -> Self {
+        let partition = rep.partition();
+        let rows = partition.rows() as f64;
+        let cols = partition.cols() as f64;
+        let b = rep.bounds();
+        let lat_step = (b.lat_max - b.lat_min) / rows;
+        let lon_step = (b.lon_max - b.lon_min) / cols;
+
+        let mut group_ids = Vec::new();
+        let mut features = Vec::new();
+        let mut centroids = Vec::new();
+        let mut vertices = Vec::new();
+        let mut group_sizes = Vec::new();
+        let mut keep = vec![false; partition.num_groups()];
+
+        for gid in 0..partition.num_groups() as u32 {
+            let Some(fv) = rep.group_feature(gid) else {
+                continue;
+            };
+            keep[gid as usize] = true;
+            group_ids.push(gid);
+            features.push(fv.to_vec());
+            let rect = partition.rect(gid);
+            let lat_mid = b.lat_min + (rect.r0 as f64 + rect.height() as f64 / 2.0) * lat_step;
+            let lon_mid = b.lon_min + (rect.c0 as f64 + rect.width() as f64 / 2.0) * lon_step;
+            centroids.push((lat_mid, lon_mid));
+            let geo = rect
+                .vertices()
+                .map(|(r, c)| (b.lat_min + r as f64 * lat_step, b.lon_min + c as f64 * lon_step));
+            vertices.push(geo);
+            group_sizes.push(rect.len());
+        }
+
+        let adjacency = rep.adjacency().restrict(&keep);
+
+        PreparedTrainingData {
+            group_ids,
+            features,
+            centroids,
+            vertices,
+            group_sizes,
+            adjacency,
+        }
+    }
+
+    /// Number of training instances (valid groups).
+    pub fn len(&self) -> usize {
+        self.group_ids.len()
+    }
+
+    /// Whether there are no training instances.
+    pub fn is_empty(&self) -> bool {
+        self.group_ids.is_empty()
+    }
+
+    /// Splits the feature rows into a target column `target_attr` and the
+    /// remaining columns (the regression convention used in §IV-C1).
+    pub fn split_target(&self, target_attr: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut xs = Vec::with_capacity(self.features.len());
+        let mut ys = Vec::with_capacity(self.features.len());
+        for row in &self.features {
+            let mut x = Vec::with_capacity(row.len() - 1);
+            for (k, &v) in row.iter().enumerate() {
+                if k == target_attr {
+                    ys.push(v);
+                } else {
+                    x.push(v);
+                }
+            }
+            xs.push(x);
+        }
+        (xs, ys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repartition::repartition;
+    use sr_grid::GridDataset;
+
+    fn prepared(theta: f64) -> (GridDataset, PreparedTrainingData) {
+        let vals: Vec<f64> = (0..64)
+            .map(|i| 10.0 + (i / 8) as f64 * 0.3 + (i % 8) as f64 * 0.2)
+            .collect();
+        let mut g = GridDataset::univariate(8, 8, vals).unwrap();
+        g.set_null(63);
+        let out = repartition(&g, theta).unwrap();
+        let p = PreparedTrainingData::from_repartitioned(&out.repartitioned);
+        (g, p)
+    }
+
+    #[test]
+    fn valid_groups_only() {
+        let (_, p) = prepared(0.05);
+        assert!(!p.is_empty());
+        assert_eq!(p.group_ids.len(), p.features.len());
+        assert_eq!(p.group_ids.len(), p.centroids.len());
+        assert_eq!(p.group_ids.len(), p.vertices.len());
+        assert_eq!(p.adjacency.len(), p.len());
+        assert!(p.adjacency.is_symmetric());
+    }
+
+    #[test]
+    fn centroids_inside_unit_bounds() {
+        let (_, p) = prepared(0.05);
+        for &(lat, lon) in &p.centroids {
+            assert!((0.0..=1.0).contains(&lat));
+            assert!((0.0..=1.0).contains(&lon));
+        }
+    }
+
+    #[test]
+    fn vertices_bound_their_centroid() {
+        let (_, p) = prepared(0.05);
+        for (vs, &(lat, lon)) in p.vertices.iter().zip(&p.centroids) {
+            let lat_min = vs.iter().map(|v| v.0).fold(f64::INFINITY, f64::min);
+            let lat_max = vs.iter().map(|v| v.0).fold(f64::NEG_INFINITY, f64::max);
+            let lon_min = vs.iter().map(|v| v.1).fold(f64::INFINITY, f64::min);
+            let lon_max = vs.iter().map(|v| v.1).fold(f64::NEG_INFINITY, f64::max);
+            assert!(lat > lat_min && lat < lat_max);
+            assert!(lon > lon_min && lon < lon_max);
+        }
+    }
+
+    #[test]
+    fn group_sizes_cover_all_cells() {
+        let (g, p) = prepared(0.08);
+        // Valid-group sizes plus null-group cells must equal total cells.
+        let covered: usize = p.group_sizes.iter().sum();
+        assert!(covered <= g.num_cells());
+        assert!(covered >= g.num_valid_cells());
+    }
+
+    #[test]
+    fn split_target_separates_columns() {
+        let p = PreparedTrainingData {
+            group_ids: vec![0, 1],
+            features: vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]],
+            centroids: vec![(0.0, 0.0); 2],
+            vertices: vec![[(0.0, 0.0); 4]; 2],
+            group_sizes: vec![1, 1],
+            adjacency: AdjacencyList::from_neighbors(vec![vec![1], vec![0]]),
+        };
+        let (xs, ys) = p.split_target(1);
+        assert_eq!(ys, vec![2.0, 5.0]);
+        assert_eq!(xs, vec![vec![1.0, 3.0], vec![4.0, 6.0]]);
+    }
+}

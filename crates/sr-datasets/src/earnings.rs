@@ -1,0 +1,169 @@
+//! Synthetic NYC LEHD block-level earnings grids (paper [39]).
+//!
+//! The paper's preparation: a univariate grid with the total #jobs per cell,
+//! and a multivariate grid with land area, water area, and #jobs in three
+//! monthly-earnings bands (≤ $1250, $1251–$3333, ≥ $3333). Job counts are
+//! `Sum`-aggregated; the area attributes are intensive (`Avg`). The
+//! high-earning band concentrates in commercial cores, giving the target a
+//! distinct spatial profile from the low-earning band.
+
+use crate::field::{sigmoid, FieldGenerator};
+use crate::taxi::apply_nulls;
+use sr_grid::{AggType, Bounds, GridDataset};
+
+/// NYC-ish bounding box (covers all five boroughs).
+fn nyc_bounds() -> Bounds {
+    Bounds { lat_min: 40.49, lat_max: 40.92, lon_min: -74.27, lon_max: -73.68 }
+}
+
+/// Total-jobs surface shared by both variants.
+fn jobs_surface(gen: &mut FieldGenerator) -> (Vec<f64>, Vec<f64>) {
+    let (rows, cols) = gen.dims();
+    let employment = gen.smooth(rows.max(cols) / 10 + 1);
+    let cores = gen.smooth(rows.max(cols) / 20 + 1); // commercial cores
+    let white = gen.noise();
+    let jobs: Vec<f64> = (0..rows * cols)
+        .map(|i| {
+            (2.0 + (1.2 * employment[i] + 0.6 * cores[i].max(0.0) + 0.22 * white[i] + 3.5).exp())
+                .round()
+        })
+        .collect();
+    (jobs, cores)
+}
+
+/// Univariate earnings grid: total #jobs per cell.
+pub fn univariate(rows: usize, cols: usize, seed: u64) -> GridDataset {
+    let mut gen = FieldGenerator::new(rows, cols, seed ^ 0xea01);
+    let (jobs, _) = jobs_surface(&mut gen);
+    let nulls = gen.null_mask(rows.max(cols) / 10 + 1, 0.05);
+
+    let n = rows * cols;
+    let mut g = GridDataset::new(
+        rows,
+        cols,
+        1,
+        jobs,
+        vec![true; n],
+        vec!["jobs".into()],
+        vec![AggType::Sum],
+        vec![true],
+        nyc_bounds(),
+    )
+    .expect("consistent construction");
+    apply_nulls(&mut g, &nulls);
+    g
+}
+
+/// Multivariate earnings grid: land area, water area, #jobs ≤ $1250/mo,
+/// #jobs $1251–$3333/mo, #jobs ≥ $3333/mo. Target attribute: high-earning
+/// jobs (index 4).
+pub fn multivariate(rows: usize, cols: usize, seed: u64) -> GridDataset {
+    let mut gen = FieldGenerator::new(rows, cols, seed ^ 0xea02);
+    let (jobs, cores) = jobs_surface(&mut gen);
+    let waterfront = gen.smooth(rows.max(cols) / 8 + 1);
+    // Unobserved industry-mix field: shifts the earning-band split
+    // independently of every stored attribute (the spatial signal the
+    // adjacency-aware models can exploit).
+    let sector = gen.smooth(rows.max(cols) / 9 + 1);
+    let noise = gen.noise();
+    let nulls = gen.null_mask(rows.max(cols) / 10 + 1, 0.05);
+
+    let n = rows * cols;
+    let mut data = Vec::with_capacity(n * 5);
+    for i in 0..n {
+        // Census-block areas in m²; water share rises near "waterfront".
+        let total_area = 12_000.0 + 2_500.0 * noise[i].abs();
+        let water_share = 0.25 * sigmoid(2.0 * waterfront[i] - 2.0);
+        let water_area = (total_area * water_share).round();
+        let land_area = (total_area - water_area).round();
+        // Earning-band mix shifts toward high earners in commercial cores.
+        let high_share = 0.15 + 0.32 * sigmoid(1.2 * cores[i] + 0.9 * sector[i]);
+        let low_share = (0.45 - 0.25 * sigmoid(1.6 * cores[i])).max(0.08);
+        let jobs_high = (jobs[i] * high_share).round();
+        let jobs_low = (jobs[i] * low_share).round();
+        let jobs_mid = (jobs[i] - jobs_high - jobs_low).max(0.0);
+        data.extend_from_slice(&[land_area, water_area, jobs_low, jobs_mid, jobs_high]);
+    }
+
+    let mut g = GridDataset::new(
+        rows,
+        cols,
+        5,
+        data,
+        vec![true; n],
+        vec![
+            "land_area".into(),
+            "water_area".into(),
+            "jobs_low".into(),
+            "jobs_mid".into(),
+            "jobs_high".into(),
+        ],
+        vec![
+            AggType::Avg,
+            AggType::Avg,
+            AggType::Sum,
+            AggType::Sum,
+            AggType::Sum,
+        ],
+        vec![true, true, true, true, true],
+        nyc_bounds(),
+    )
+    .expect("consistent construction");
+    apply_nulls(&mut g, &nulls);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_bands_sum_to_total_scale() {
+        let g = multivariate(24, 24, 6);
+        for id in g.valid_cells() {
+            let fv = g.features(id).unwrap();
+            let (low, mid, high) = (fv[2], fv[3], fv[4]);
+            assert!(low >= 0.0 && mid >= 0.0 && high >= 0.0);
+            assert!(low + mid + high >= 2.0, "at least the base job count");
+        }
+    }
+
+    #[test]
+    fn areas_are_positive_and_bounded() {
+        let g = multivariate(24, 24, 7);
+        for id in g.valid_cells() {
+            let fv = g.features(id).unwrap();
+            assert!(fv[0] > 0.0, "land area");
+            assert!(fv[1] >= 0.0, "water area");
+            assert!(fv[1] < fv[0], "water below land for inland blocks");
+        }
+    }
+
+    #[test]
+    fn univariate_jobs_positive() {
+        let g = univariate(20, 20, 8);
+        for id in g.valid_cells() {
+            assert!(g.value(id, 0) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn high_band_concentrates_spatially() {
+        // The high-earning share should vary across space (commercial cores
+        // vs periphery): coefficient of variation of high share > 0.1.
+        let g = multivariate(30, 30, 9);
+        let shares: Vec<f64> = g
+            .valid_cells()
+            .map(|id| {
+                let fv = g.features(id).unwrap();
+                let total = fv[2] + fv[3] + fv[4];
+                fv[4] / total.max(1.0)
+            })
+            .collect();
+        let mean = shares.iter().sum::<f64>() / shares.len() as f64;
+        let sd = (shares.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+            / shares.len() as f64)
+            .sqrt();
+        assert!(sd / mean > 0.1, "cv {}", sd / mean);
+    }
+}

@@ -1,0 +1,158 @@
+//! Synthetic mixed numeric/categorical grid exercising the `AggType::Mode`
+//! extension (§VI future work): a land-use zoning map.
+//!
+//! Attributes: average property value (`Avg`), total activity count
+//! (`Sum`), and a categorical land-use code (`Mode`) with four classes —
+//! residential (1), commercial (2), industrial (3), park (4) — laid out as
+//! spatially coherent zones derived from two smooth fields. Categories are
+//! exactly constant within zones, so zone interiors merge freely while zone
+//! boundaries block merging (the mismatch indicator dominates Eq. 1).
+
+use crate::field::FieldGenerator;
+use crate::taxi::apply_nulls;
+use sr_grid::{AggType, Bounds, GridDataset};
+
+/// Land-use class codes.
+pub const RESIDENTIAL: f64 = 1.0;
+/// Commercial zone code.
+pub const COMMERCIAL: f64 = 2.0;
+/// Industrial zone code.
+pub const INDUSTRIAL: f64 = 3.0;
+/// Park / green-space code.
+pub const PARK: f64 = 4.0;
+
+/// Generates the mixed-schema land-use grid.
+pub fn mixed(rows: usize, cols: usize, seed: u64) -> GridDataset {
+    let mut gen = FieldGenerator::new(rows, cols, seed ^ 0x1a4d);
+    let density = gen.smooth(rows.max(cols) / 8 + 1);
+    let industry = gen.smooth(rows.max(cols) / 10 + 1);
+    let white = gen.noise();
+    let nulls = gen.null_mask(rows.max(cols) / 10 + 1, 0.04);
+
+    let n = rows * cols;
+    let mut data = Vec::with_capacity(n * 3);
+    for i in 0..n {
+        // Zones carved from the two smooth fields.
+        let land_use = if density[i] > 0.9 {
+            COMMERCIAL
+        } else if industry[i] > 0.8 {
+            INDUSTRIAL
+        } else if density[i] < -1.1 {
+            PARK
+        } else {
+            RESIDENTIAL
+        };
+        let value = (250_000.0
+            + 90_000.0 * density[i]
+            + if land_use == COMMERCIAL { 120_000.0 } else { 0.0 }
+            + if land_use == PARK { -60_000.0 } else { 0.0 }
+            + 15_000.0 * white[i])
+            .max(40_000.0);
+        let activity = (1.0 + (0.9 * density[i] + 0.2 * white[i] + 2.5).exp()).round();
+        data.extend_from_slice(&[value, activity, land_use]);
+    }
+
+    let mut g = GridDataset::new(
+        rows,
+        cols,
+        3,
+        data,
+        vec![true; n],
+        vec!["property_value".into(), "activity".into(), "land_use".into()],
+        vec![AggType::Avg, AggType::Sum, AggType::Mode],
+        vec![false, true, true],
+        Bounds::unit(),
+    )
+    .expect("consistent construction");
+    apply_nulls(&mut g, &nulls);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_valid_classes() {
+        let g = mixed(24, 24, 3);
+        for id in g.valid_cells() {
+            let code = g.value(id, 2);
+            assert!(
+                [RESIDENTIAL, COMMERCIAL, INDUSTRIAL, PARK].contains(&code),
+                "bad code {code}"
+            );
+        }
+    }
+
+    #[test]
+    fn zones_are_spatially_coherent() {
+        // Most adjacent pairs share a land-use class.
+        let g = mixed(30, 30, 4);
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for r in 0..30 {
+            for c in 0..29 {
+                let a = g.cell_id(r, c);
+                let b = g.cell_id(r, c + 1);
+                if g.is_valid(a) && g.is_valid(b) {
+                    total += 1;
+                    if g.value(a, 2) == g.value(b, 2) {
+                        same += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            same as f64 > 0.85 * total as f64,
+            "zones too fragmented: {same}/{total}"
+        );
+    }
+
+    #[test]
+    fn commercial_pricier_than_park() {
+        let g = mixed(30, 30, 5);
+        let mean_of = |class: f64| {
+            let (mut s, mut c) = (0.0, 0usize);
+            for id in g.valid_cells() {
+                if g.value(id, 2) == class {
+                    s += g.value(id, 0);
+                    c += 1;
+                }
+            }
+            s / c.max(1) as f64
+        };
+        let commercial = mean_of(COMMERCIAL);
+        let park = mean_of(PARK);
+        assert!(commercial > park, "commercial {commercial} vs park {park}");
+    }
+
+    #[test]
+    fn class_mismatch_dominates_typed_variation() {
+        // The property the re-partitioner relies on (verified end-to-end in
+        // tests/categorical_attributes.rs, which owns the sr-core
+        // dependency): any adjacent pair with differing classes has typed
+        // variation ≥ 1/p, so no small threshold ever merges across a zone
+        // boundary.
+        use sr_grid::{normalize_attributes, variation_between_typed};
+        let g = mixed(20, 20, 6);
+        let norm = normalize_attributes(&g);
+        let aggs = norm.agg_types();
+        let mut boundary_pairs = 0usize;
+        for r in 0..norm.rows() {
+            for c in 0..norm.cols() - 1 {
+                let a = norm.cell_id(r, c);
+                let b = norm.cell_id(r, c + 1);
+                if norm.is_valid(a) && norm.is_valid(b) {
+                    let fa = norm.features_unchecked(a);
+                    let fb = norm.features_unchecked(b);
+                    if fa[2] != fb[2] {
+                        boundary_pairs += 1;
+                        let v = variation_between_typed(fa, fb, aggs);
+                        assert!(v >= 1.0 / 3.0, "class mismatch must dominate, got {v}");
+                    }
+                }
+            }
+        }
+        assert!(boundary_pairs > 0, "the map should contain zone boundaries");
+    }
+}

@@ -1,0 +1,80 @@
+//! Grid-size presets matching the paper's evaluation (§IV-A2): ≈36k, ≈78k,
+//! and ≈100k cells, plus small sizes for tests and fast experiments.
+
+/// Grid resolution presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GridSize {
+    /// 20 × 20 = 400 cells (unit tests).
+    Mini,
+    /// 48 × 48 ≈ 2.3k cells (fast model-training experiments).
+    Tiny,
+    /// 80 × 80 = 6.4k cells (medium model-training experiments).
+    Small,
+    /// 191 × 193 ≈ 36k cells (paper's smallest evaluation grid).
+    Cells36k,
+    /// 279 × 280 ≈ 78k cells.
+    Cells78k,
+    /// 315 × 318 ≈ 100k cells (paper's largest evaluation grid).
+    Cells100k,
+    /// Arbitrary `rows × cols`.
+    Custom(usize, usize),
+}
+
+impl GridSize {
+    /// The paper's three evaluation resolutions in ascending order.
+    pub const PAPER_SIZES: [GridSize; 3] =
+        [GridSize::Cells36k, GridSize::Cells78k, GridSize::Cells100k];
+
+    /// `(rows, cols)` of this preset.
+    pub fn dims(&self) -> (usize, usize) {
+        match self {
+            GridSize::Mini => (20, 20),
+            GridSize::Tiny => (48, 48),
+            GridSize::Small => (80, 80),
+            GridSize::Cells36k => (191, 193),
+            GridSize::Cells78k => (279, 280),
+            GridSize::Cells100k => (315, 318),
+            GridSize::Custom(r, c) => (*r, *c),
+        }
+    }
+
+    /// Total number of cells.
+    pub fn num_cells(&self) -> usize {
+        let (r, c) = self.dims();
+        r * c
+    }
+
+    /// Short label used in experiment output ("36k", "78k", "100k", …).
+    pub fn label(&self) -> String {
+        match self {
+            GridSize::Cells36k => "36k".to_string(),
+            GridSize::Cells78k => "78k".to_string(),
+            GridSize::Cells100k => "100k".to_string(),
+            other => {
+                let (r, c) = other.dims();
+                format!("{}x{}", r, c)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_match_cell_counts() {
+        assert_eq!(GridSize::Cells36k.num_cells(), 191 * 193); // 36_863
+        assert_eq!(GridSize::Cells78k.num_cells(), 279 * 280); // 78_120
+        assert_eq!(GridSize::Cells100k.num_cells(), 315 * 318); // 100_170
+        assert!((GridSize::Cells36k.num_cells() as f64 - 36_000.0).abs() < 1_000.0);
+        assert!((GridSize::Cells100k.num_cells() as f64 - 100_000.0).abs() < 500.0);
+    }
+
+    #[test]
+    fn labels_and_custom() {
+        assert_eq!(GridSize::Cells100k.label(), "100k");
+        assert_eq!(GridSize::Custom(10, 12).label(), "10x12");
+        assert_eq!(GridSize::Custom(10, 12).dims(), (10, 12));
+    }
+}

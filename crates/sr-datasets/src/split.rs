@@ -1,0 +1,66 @@
+//! Train/test splitting (§III-B: "we split each dataset into two parts —
+//! training data (80%) and test data (20%)").
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Returns `(train_indices, test_indices)` over `0..n`, with
+/// `test_fraction` of the indices (rounded down, at least 1 when `n > 1`)
+/// held out. Deterministic in `seed`.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        (0.0..1.0).contains(&test_fraction),
+        "test_fraction must be in [0, 1)"
+    );
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let mut n_test = (n as f64 * test_fraction) as usize;
+    if n_test == 0 && n > 1 && test_fraction > 0.0 {
+        n_test = 1;
+    }
+    let test = idx.split_off(n - n_test);
+    (idx, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_a_partition() {
+        let (train, test) = train_test_split(100, 0.2, 1);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(train_test_split(50, 0.2, 7), train_test_split(50, 0.2, 7));
+        assert_ne!(train_test_split(50, 0.2, 7), train_test_split(50, 0.2, 8));
+    }
+
+    #[test]
+    fn small_n_keeps_at_least_one_test_point() {
+        let (train, test) = train_test_split(3, 0.2, 1);
+        assert_eq!(test.len(), 1);
+        assert_eq!(train.len(), 2);
+    }
+
+    #[test]
+    fn zero_fraction_gives_empty_test() {
+        let (train, test) = train_test_split(10, 0.0, 1);
+        assert!(test.is_empty());
+        assert_eq!(train.len(), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fraction_one_rejected() {
+        let _ = train_test_split(10, 1.0, 1);
+    }
+}

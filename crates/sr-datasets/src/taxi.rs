@@ -1,0 +1,166 @@
+//! Synthetic NYC-taxi-trip grids (paper [37]).
+//!
+//! The paper's preparation (§IV-A2): a univariate grid with the number of
+//! pickups per cell during a month, and a multivariate grid with total
+//! #pickups, total #passengers, summed trip distance, and summed fares per
+//! cell. All four are additive quantities → `Sum` aggregation. Demand
+//! follows a smooth intensity surface (Manhattan-style hot core, quiet
+//! periphery); passengers, distance, and fares derive from pickups with
+//! their own spatial modulation, so the fare target is predictable from the
+//! other attributes yet retains spatial structure.
+
+use crate::field::FieldGenerator;
+use sr_grid::{AggType, Bounds, GridDataset};
+
+/// NYC-ish bounding box used by the taxi grids.
+fn nyc_bounds() -> Bounds {
+    Bounds { lat_min: 40.55, lat_max: 40.95, lon_min: -74.10, lon_max: -73.70 }
+}
+
+/// Pickup-count surface shared by both variants: log-normal demand over a
+/// smooth field, ≥ 1 pickup in every non-null cell.
+fn pickup_surface(gen: &mut FieldGenerator) -> Vec<f64> {
+    let (rows, cols) = gen.dims();
+    let demand = gen.smooth(rows.max(cols) / 12 + 1);
+    let micro = gen.smooth(2);
+    let white = gen.noise();
+    // The iid term gives neighbors a ~20% relative spread, mirroring the
+    // shot noise of real monthly pickup counts.
+    (0..rows * cols)
+        .map(|i| {
+            (1.0 + (1.1 * demand[i] + 0.3 * micro[i] + 0.2 * white[i] + 3.4).exp()).round()
+        })
+        .collect()
+}
+
+/// Univariate taxi grid: #pickups per cell.
+pub fn univariate(rows: usize, cols: usize, seed: u64) -> GridDataset {
+    let mut gen = FieldGenerator::new(rows, cols, seed ^ 0x7a71);
+    let pickups = pickup_surface(&mut gen);
+    let nulls = gen.null_mask(rows.max(cols) / 10 + 1, 0.06);
+
+    let mut g = GridDataset::new(
+        rows,
+        cols,
+        1,
+        pickups,
+        vec![true; rows * cols],
+        vec!["pickups".into()],
+        vec![AggType::Sum],
+        vec![true],
+        nyc_bounds(),
+    )
+    .expect("consistent construction");
+    apply_nulls(&mut g, &nulls);
+    g
+}
+
+/// Multivariate taxi grid: #pickups, #passengers, Σ distance (mi), Σ fare
+/// ($). Target attribute: fare (index 3).
+pub fn multivariate(rows: usize, cols: usize, seed: u64) -> GridDataset {
+    let mut gen = FieldGenerator::new(rows, cols, seed ^ 0x7a72);
+    let pickups = pickup_surface(&mut gen);
+    let occupancy = gen.smooth(rows.max(cols) / 16 + 1); // passengers/trip field
+    let trip_len = gen.smooth(rows.max(cols) / 10 + 1); // distance/trip field
+    // Unobserved surge pricing: spatially autocorrelated but NOT derivable
+    // from the other attributes. This is the component spatial models
+    // recover through the neighborhood structure — and the component
+    // sampling's broken adjacency loses (§I).
+    let surge = gen.smooth(rows.max(cols) / 9 + 1);
+    let noise = gen.noise();
+    let nulls = gen.null_mask(rows.max(cols) / 10 + 1, 0.06);
+
+    let n = rows * cols;
+    let mut data = Vec::with_capacity(n * 4);
+    for i in 0..n {
+        let p = pickups[i];
+        let passengers = (p * (1.4 + 0.25 * occupancy[i])).round().max(p);
+        let avg_miles = 2.2 + 0.8 * trip_len[i].max(-2.0);
+        let distance = p * avg_miles;
+        // NYC-style fare: flag drop + per-mile rate, modulated by the
+        // unobserved surge surface plus per-cell shot noise.
+        let fare = (p * 3.3 + distance * 2.5) * (1.0 + 0.22 * surge[i])
+            + 2.0 * noise[i] * p.sqrt();
+        data.extend_from_slice(&[p, passengers, distance, fare]);
+    }
+
+    let mut g = GridDataset::new(
+        rows,
+        cols,
+        4,
+        data,
+        vec![true; n],
+        vec![
+            "pickups".into(),
+            "passengers".into(),
+            "distance_sum".into(),
+            "fare_sum".into(),
+        ],
+        vec![AggType::Sum, AggType::Sum, AggType::Sum, AggType::Sum],
+        vec![true, true, false, false],
+        nyc_bounds(),
+    )
+    .expect("consistent construction");
+    apply_nulls(&mut g, &nulls);
+    g
+}
+
+/// Applies a coherent null mask to a freshly built grid.
+pub(crate) fn apply_nulls(g: &mut GridDataset, mask: &[bool]) {
+    for (i, &m) in mask.iter().enumerate() {
+        if m {
+            g.set_null(i as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn univariate_counts_positive_integers() {
+        let g = univariate(24, 24, 5);
+        for id in g.valid_cells() {
+            let v = g.value(id, 0);
+            assert!(v >= 1.0);
+            assert_eq!(v, v.round());
+        }
+    }
+
+    #[test]
+    fn multivariate_internal_consistency() {
+        let g = multivariate(24, 24, 5);
+        for id in g.valid_cells() {
+            let fv = g.features(id).unwrap();
+            let (p, pass, dist, fare) = (fv[0], fv[1], fv[2], fv[3]);
+            assert!(pass >= p, "passengers at least one per pickup");
+            assert!(dist > 0.0);
+            // Fare grows with pickups and distance.
+            assert!(fare > p * 3.0, "fare {fare} vs pickups {p}");
+        }
+    }
+
+    #[test]
+    fn fare_correlates_with_distance() {
+        let g = multivariate(30, 30, 9);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for id in g.valid_cells() {
+            let fv = g.features(id).unwrap();
+            xs.push(fv[2]);
+            ys.push(fv[3]);
+        }
+        let corr = crate::testutil::pearson(&xs, &ys);
+        assert!(corr > 0.9, "distance/fare correlation {corr}");
+    }
+
+    #[test]
+    fn has_null_patches() {
+        let g = univariate(40, 40, 6);
+        let nulls = g.num_cells() - g.num_valid_cells();
+        let frac = nulls as f64 / g.num_cells() as f64;
+        assert!(frac > 0.02 && frac < 0.12, "null fraction {frac}");
+    }
+
+}

@@ -1,0 +1,83 @@
+//! Synthetic Chicago abandoned-vehicles grid (paper [38]).
+//!
+//! The paper counts 311 service requests per cell → a univariate,
+//! `Sum`-aggregated count surface. Abandonment concentrates in a few
+//! corridors, so the intensity mixes a broad urban gradient with sharper
+//! hotspot streaks; counts are small integers with many low-valued cells.
+
+use crate::field::FieldGenerator;
+use crate::taxi::apply_nulls;
+use sr_grid::{AggType, Bounds, GridDataset};
+
+/// Chicago-ish bounding box.
+fn chicago_bounds() -> Bounds {
+    Bounds { lat_min: 41.64, lat_max: 42.02, lon_min: -87.94, lon_max: -87.52 }
+}
+
+/// Univariate abandoned-vehicles grid: #service requests per cell.
+pub fn univariate(rows: usize, cols: usize, seed: u64) -> GridDataset {
+    let mut gen = FieldGenerator::new(rows, cols, seed ^ 0xc41c);
+    let urban = gen.smooth(rows.max(cols) / 8 + 1);
+    let hotspots = gen.smooth(rows.max(cols) / 24 + 1);
+    let white = gen.noise();
+    let nulls = gen.null_mask(rows.max(cols) / 10 + 1, 0.07);
+
+    let n = rows * cols;
+    let counts: Vec<f64> = (0..n)
+        .map(|i| {
+            let intensity =
+                (0.9 * urban[i] + 0.8 * hotspots[i].max(0.0) + 0.25 * white[i] + 3.0).exp();
+            (1.0 + intensity).round()
+        })
+        .collect();
+
+    let mut g = GridDataset::new(
+        rows,
+        cols,
+        1,
+        counts,
+        vec![true; n],
+        vec!["service_requests".into()],
+        vec![AggType::Sum],
+        vec![true],
+        chicago_bounds(),
+    )
+    .expect("consistent construction");
+    apply_nulls(&mut g, &nulls);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_grid::{morans_i, AdjacencyList};
+
+    #[test]
+    fn counts_are_positive_integers() {
+        let g = univariate(24, 24, 2);
+        for id in g.valid_cells() {
+            let v = g.value(id, 0);
+            assert!(v >= 1.0 && v == v.round());
+        }
+    }
+
+    #[test]
+    fn request_surface_is_autocorrelated() {
+        let g = univariate(30, 30, 3);
+        let adj = AdjacencyList::rook_from_grid(&g);
+        let mut vals = vec![0.0; g.num_cells()];
+        for id in g.valid_cells() {
+            vals[id as usize] = g.value(id, 0);
+        }
+        assert!(morans_i(&vals, &adj).unwrap() > 0.3);
+    }
+
+    #[test]
+    fn counts_are_skewed_with_hotspots() {
+        let g = univariate(40, 40, 4);
+        let vals: Vec<f64> = g.valid_cells().map(|id| g.value(id, 0)).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let max = vals.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 3.0 * mean, "max {max} vs mean {mean}: expected hotspots");
+    }
+}

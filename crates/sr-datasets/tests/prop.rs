@@ -1,0 +1,82 @@
+//! Property-based tests for the dataset generators: determinism, schema
+//! stability, autocorrelation, and value sanity across arbitrary seeds and
+//! shapes.
+
+use proptest::prelude::*;
+use sr_datasets::{train_test_split, Dataset, GridSize};
+use sr_grid::{morans_i, AdjacencyList};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every dataset generates a well-formed grid at arbitrary shapes and
+    /// seeds: finite values, consistent schema, mostly valid cells.
+    #[test]
+    fn generators_are_total_and_sane(
+        seed in 0u64..1_000_000,
+        rows in 12usize..30,
+        cols in 12usize..30,
+    ) {
+        for ds in Dataset::ALL {
+            let g = ds.generate(GridSize::Custom(rows, cols), seed);
+            prop_assert_eq!(g.rows(), rows);
+            prop_assert_eq!(g.cols(), cols);
+            prop_assert!(g.num_valid_cells() * 2 > g.num_cells(), "{}", ds.name());
+            for id in g.valid_cells() {
+                for &v in g.features_unchecked(id) {
+                    prop_assert!(v.is_finite(), "{} cell {id}", ds.name());
+                }
+            }
+            // Integer-typed attributes hold integers.
+            for id in g.valid_cells() {
+                let fv = g.features_unchecked(id);
+                for (k, &int) in g.integer_attrs().iter().enumerate() {
+                    if int {
+                        prop_assert_eq!(fv[k], fv[k].round(), "{} attr {}", ds.name(), k);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Determinism: same seed, same grid; different seed, different grid.
+    #[test]
+    fn generators_deterministic(seed in 0u64..100_000) {
+        for ds in [Dataset::TaxiUnivariate, Dataset::EarningsMultivariate] {
+            let a = ds.generate(GridSize::Mini, seed);
+            let b = ds.generate(GridSize::Mini, seed);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Autocorrelation holds for every seed, not just the defaults: the
+    /// framework's premise must not depend on a lucky RNG draw.
+    #[test]
+    fn target_autocorrelated_for_all_seeds(seed in 0u64..10_000) {
+        for ds in [Dataset::TaxiUnivariate, Dataset::HomeSalesMultivariate] {
+            let g = ds.generate(GridSize::Mini, seed);
+            let adj = AdjacencyList::rook_from_grid(&g);
+            let mut vals = vec![0.0; g.num_cells()];
+            for id in g.valid_cells() {
+                vals[id as usize] = g.value(id, ds.target_attr());
+            }
+            let i = morans_i(&vals, &adj).unwrap();
+            prop_assert!(i > 0.15, "{} seed {seed}: Moran's I {i}", ds.name());
+        }
+    }
+
+    /// train_test_split always yields a disjoint, exhaustive partition with
+    /// the expected sizes.
+    #[test]
+    fn split_partitions(n in 2usize..500, frac in 0.05f64..0.5, seed in 0u64..1000) {
+        let (train, test) = train_test_split(n, frac, seed);
+        prop_assert_eq!(train.len() + test.len(), n);
+        prop_assert!(!test.is_empty());
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), n);
+        let expect = ((n as f64 * frac) as usize).max(1);
+        prop_assert_eq!(test.len(), expect);
+    }
+}

@@ -1,0 +1,158 @@
+//! Spatial autocorrelation statistics: Moran's I (Eq. 4) and Geary's C.
+//!
+//! These quantify the property the re-partitioning framework is designed to
+//! preserve and that sampling destroys (paper §I, §II). The dataset
+//! generators in `sr-datasets` assert positive Moran's I on what they emit.
+
+use crate::adjacency::AdjacencyList;
+
+/// Moran's I (Eq. 4) of `x` under binary adjacency weights:
+///
+/// `I = (N / Σᵢⱼ wᵢⱼ) · (Σᵢⱼ wᵢⱼ (xᵢ − x̄)(xⱼ − x̄)) / (Σᵢ (xᵢ − x̄)²)`
+///
+/// Values near +1 indicate strong positive autocorrelation (similar values
+/// cluster), near 0 randomness, negative values dispersion. Returns `None`
+/// when the statistic is undefined (no edges, or zero variance).
+///
+/// ```
+/// use sr_grid::{morans_i, AdjacencyList, GridDataset};
+/// // A smooth row gradient is strongly autocorrelated.
+/// let vals: Vec<f64> = (0..36).map(|i| (i / 6) as f64).collect();
+/// let g = GridDataset::univariate(6, 6, vals.clone()).unwrap();
+/// let adj = AdjacencyList::rook_from_grid(&g);
+/// assert!(morans_i(&vals, &adj).unwrap() > 0.5);
+/// ```
+pub fn morans_i(x: &[f64], adj: &AdjacencyList) -> Option<f64> {
+    assert_eq!(x.len(), adj.len(), "morans_i: length mismatch");
+    let n = x.len();
+    if n == 0 {
+        return None;
+    }
+    let w_sum = adj.total_weight();
+    if w_sum == 0.0 {
+        return None;
+    }
+    let mean = x.iter().sum::<f64>() / n as f64;
+    let denom: f64 = x.iter().map(|&v| (v - mean) * (v - mean)).sum();
+    if denom == 0.0 {
+        return None;
+    }
+    let mut num = 0.0;
+    for i in 0..n {
+        let di = x[i] - mean;
+        if di == 0.0 {
+            continue;
+        }
+        for &j in adj.neighbors(i as u32) {
+            num += di * (x[j as usize] - mean);
+        }
+    }
+    Some((n as f64 / w_sum) * (num / denom))
+}
+
+/// Geary's C of `x` under binary adjacency weights:
+///
+/// `C = ((N − 1) / (2 Σᵢⱼ wᵢⱼ)) · (Σᵢⱼ wᵢⱼ (xᵢ − xⱼ)²) / (Σᵢ (xᵢ − x̄)²)`
+///
+/// C < 1 indicates positive autocorrelation, C ≈ 1 randomness, C > 1
+/// dispersion. Returns `None` when undefined.
+pub fn gearys_c(x: &[f64], adj: &AdjacencyList) -> Option<f64> {
+    assert_eq!(x.len(), adj.len(), "gearys_c: length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return None;
+    }
+    let w_sum = adj.total_weight();
+    if w_sum == 0.0 {
+        return None;
+    }
+    let mean = x.iter().sum::<f64>() / n as f64;
+    let denom: f64 = x.iter().map(|&v| (v - mean) * (v - mean)).sum();
+    if denom == 0.0 {
+        return None;
+    }
+    let mut num = 0.0;
+    for i in 0..n {
+        for &j in adj.neighbors(i as u32) {
+            let d = x[i] - x[j as usize];
+            num += d * d;
+        }
+    }
+    Some(((n - 1) as f64 / (2.0 * w_sum)) * (num / denom))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::GridDataset;
+
+    /// Checkerboard pattern: maximal negative autocorrelation.
+    fn checkerboard(n: usize) -> (Vec<f64>, AdjacencyList) {
+        let vals: Vec<f64> = (0..n * n)
+            .map(|i| {
+                let (r, c) = (i / n, i % n);
+                if (r + c) % 2 == 0 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect();
+        let g = GridDataset::univariate(n, n, vals.clone()).unwrap();
+        (vals, AdjacencyList::rook_from_grid(&g))
+    }
+
+    /// Smooth left-to-right gradient: strong positive autocorrelation.
+    fn gradient(n: usize) -> (Vec<f64>, AdjacencyList) {
+        let vals: Vec<f64> = (0..n * n).map(|i| (i % n) as f64).collect();
+        let g = GridDataset::univariate(n, n, vals.clone()).unwrap();
+        (vals, AdjacencyList::rook_from_grid(&g))
+    }
+
+    #[test]
+    fn morans_i_negative_on_checkerboard() {
+        let (x, adj) = checkerboard(6);
+        let i = morans_i(&x, &adj).unwrap();
+        assert!(i < -0.9, "checkerboard Moran's I should be ≈ -1, got {i}");
+    }
+
+    #[test]
+    fn morans_i_positive_on_gradient() {
+        let (x, adj) = gradient(8);
+        let i = morans_i(&x, &adj).unwrap();
+        assert!(i > 0.5, "gradient Moran's I should be high, got {i}");
+    }
+
+    #[test]
+    fn gearys_c_complements_morans_i() {
+        let (xg, adjg) = gradient(8);
+        let c = gearys_c(&xg, &adjg).unwrap();
+        assert!(c < 1.0, "gradient Geary's C should be < 1, got {c}");
+
+        let (xc, adjc) = checkerboard(6);
+        let c2 = gearys_c(&xc, &adjc).unwrap();
+        assert!(c2 > 1.0, "checkerboard Geary's C should be > 1, got {c2}");
+    }
+
+    #[test]
+    fn undefined_cases_return_none() {
+        let adj = AdjacencyList::from_neighbors(vec![vec![], vec![]]);
+        assert_eq!(morans_i(&[1.0, 2.0], &adj), None); // no edges
+        let g = GridDataset::univariate(1, 2, vec![3.0, 3.0]).unwrap();
+        let adj2 = AdjacencyList::rook_from_grid(&g);
+        assert_eq!(morans_i(&[3.0, 3.0], &adj2), None); // zero variance
+        assert_eq!(gearys_c(&[3.0, 3.0], &adj2), None);
+    }
+
+    #[test]
+    fn random_field_near_zero_moran() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 20;
+        let vals: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let g = GridDataset::univariate(n, n, vals.clone()).unwrap();
+        let adj = AdjacencyList::rook_from_grid(&g);
+        let i = morans_i(&vals, &adj).unwrap();
+        assert!(i.abs() < 0.15, "iid noise Moran's I should be ≈ 0, got {i}");
+    }
+}

@@ -1,0 +1,634 @@
+//! The grid dataset type and the point-record binning builder.
+
+use crate::{GridError, Result};
+
+/// Identifier of a cell inside a grid: the row-major flat index.
+///
+/// `u32` comfortably addresses the paper's largest grids (≈100k cells) while
+/// halving index-array footprints versus `usize`.
+pub type CellId = u32;
+
+/// How an attribute's per-cell value is derived from the data instances
+/// mapped to the cell, and — symmetrically — how a cell-group's value is
+/// derived from its constituent cells (paper §III-A3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggType {
+    /// Additive quantities (counts, totals): group value = Σ cell values,
+    /// and a reconstructed cell value = group value / group size.
+    Sum,
+    /// Intensive quantities (averages, prices): group value = best of
+    /// mean / mode by local loss, and reconstruction copies the group value.
+    Avg,
+    /// Categorical attributes encoded as numeric codes (the paper's §VI
+    /// future work): variation between cells is a 0/1 mismatch indicator,
+    /// the group value is the most frequent code, IFL terms count
+    /// mismatches, and reconstruction copies the group code. Codes are
+    /// never normalized or averaged.
+    Mode,
+}
+
+/// Geographic bounding box of a grid. Latitudes map to rows, longitudes to
+/// columns; both axes are split into equi-sized intervals (paper §II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bounds {
+    /// Southern edge.
+    pub lat_min: f64,
+    /// Northern edge.
+    pub lat_max: f64,
+    /// Western edge.
+    pub lon_min: f64,
+    /// Eastern edge.
+    pub lon_max: f64,
+}
+
+impl Bounds {
+    /// A unit square, the default when geography does not matter.
+    pub fn unit() -> Self {
+        Bounds {
+            lat_min: 0.0,
+            lat_max: 1.0,
+            lon_min: 0.0,
+            lon_max: 1.0,
+        }
+    }
+}
+
+/// One raw data instance: a geolocation plus its attribute values.
+#[derive(Debug, Clone)]
+pub struct PointRecord {
+    /// Latitude of the instance.
+    pub lat: f64,
+    /// Longitude of the instance.
+    pub lon: f64,
+    /// Attribute values, one per dataset attribute.
+    pub values: Vec<f64>,
+}
+
+/// An `m × n` spatial grid dataset with `p` attributes per cell.
+///
+/// Storage is flattened row-major: attribute `k` of cell `(r, c)` lives at
+/// `(r * cols + c) * num_attrs + k`. Cells with no data are *null* (their
+/// `valid` bit is false); their attribute slots are zeros and must not be
+/// interpreted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridDataset {
+    rows: usize,
+    cols: usize,
+    num_attrs: usize,
+    data: Vec<f64>,
+    valid: Vec<bool>,
+    attr_names: Vec<String>,
+    agg_types: Vec<AggType>,
+    /// Whether the attribute is integer-typed (average representatives get
+    /// rounded to the nearest integer, per paper §III-A3 Example 4).
+    integer_attrs: Vec<bool>,
+    bounds: Bounds,
+}
+
+impl GridDataset {
+    /// Creates a grid from flattened row-major data and a validity mask.
+    ///
+    /// `data.len()` must be `rows * cols * num_attrs` and `valid.len()`
+    /// must be `rows * cols`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        num_attrs: usize,
+        data: Vec<f64>,
+        valid: Vec<bool>,
+        attr_names: Vec<String>,
+        agg_types: Vec<AggType>,
+        integer_attrs: Vec<bool>,
+        bounds: Bounds,
+    ) -> Result<Self> {
+        if rows == 0 || cols == 0 || num_attrs == 0 {
+            return Err(GridError::EmptyGrid);
+        }
+        if data.len() != rows * cols * num_attrs {
+            return Err(GridError::DimensionMismatch {
+                context: "data length != rows * cols * num_attrs",
+            });
+        }
+        if valid.len() != rows * cols {
+            return Err(GridError::DimensionMismatch {
+                context: "valid mask length != rows * cols",
+            });
+        }
+        if attr_names.len() != num_attrs
+            || agg_types.len() != num_attrs
+            || integer_attrs.len() != num_attrs
+        {
+            return Err(GridError::DimensionMismatch {
+                context: "attribute metadata length != num_attrs",
+            });
+        }
+        Ok(GridDataset {
+            rows,
+            cols,
+            num_attrs,
+            data,
+            valid,
+            attr_names,
+            agg_types,
+            integer_attrs,
+            bounds,
+        })
+    }
+
+    /// Convenience constructor for a fully valid univariate grid with
+    /// average aggregation — the shape used throughout the paper's worked
+    /// examples (Fig. 1).
+    ///
+    /// ```
+    /// use sr_grid::GridDataset;
+    /// let g = GridDataset::univariate(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+    /// assert_eq!(g.num_cells(), 6);
+    /// assert_eq!(g.features(g.cell_id(1, 2)), Some(&[6.0][..]));
+    /// ```
+    pub fn univariate(rows: usize, cols: usize, values: Vec<f64>) -> Result<Self> {
+        let n = rows * cols;
+        GridDataset::new(
+            rows,
+            cols,
+            1,
+            values,
+            vec![true; n],
+            vec!["value".to_string()],
+            vec![AggType::Avg],
+            vec![false],
+            Bounds::unit(),
+        )
+    }
+
+    /// Number of grid rows (latitude intervals, `m`).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of grid columns (longitude intervals, `n`).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of cells, `m · n`.
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Number of attributes per cell, `p`.
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.num_attrs
+    }
+
+    /// Number of non-null cells.
+    pub fn num_valid_cells(&self) -> usize {
+        self.valid.iter().filter(|&&v| v).count()
+    }
+
+    /// Attribute names.
+    pub fn attr_names(&self) -> &[String] {
+        &self.attr_names
+    }
+
+    /// Per-attribute aggregation types.
+    pub fn agg_types(&self) -> &[AggType] {
+        &self.agg_types
+    }
+
+    /// Per-attribute integer-typed flags.
+    pub fn integer_attrs(&self) -> &[bool] {
+        &self.integer_attrs
+    }
+
+    /// Geographic bounds.
+    pub fn bounds(&self) -> Bounds {
+        self.bounds
+    }
+
+    /// Flat row-major cell id for `(row, col)`.
+    #[inline]
+    pub fn cell_id(&self, row: usize, col: usize) -> CellId {
+        debug_assert!(row < self.rows && col < self.cols);
+        (row * self.cols + col) as CellId
+    }
+
+    /// Inverse of [`GridDataset::cell_id`].
+    #[inline]
+    pub fn cell_pos(&self, id: CellId) -> (usize, usize) {
+        let id = id as usize;
+        (id / self.cols, id % self.cols)
+    }
+
+    /// Whether the cell has a (non-null) feature vector.
+    #[inline]
+    pub fn is_valid(&self, id: CellId) -> bool {
+        self.valid[id as usize]
+    }
+
+    /// Borrow the validity mask.
+    #[inline]
+    pub fn valid_mask(&self) -> &[bool] {
+        &self.valid
+    }
+
+    /// Feature vector of a cell (`None` for null cells).
+    #[inline]
+    pub fn features(&self, id: CellId) -> Option<&[f64]> {
+        if !self.valid[id as usize] {
+            return None;
+        }
+        let start = id as usize * self.num_attrs;
+        Some(&self.data[start..start + self.num_attrs])
+    }
+
+    /// Feature vector of a cell without the null check. The caller must know
+    /// the cell is valid (or accept zeros).
+    #[inline]
+    pub fn features_unchecked(&self, id: CellId) -> &[f64] {
+        let start = id as usize * self.num_attrs;
+        &self.data[start..start + self.num_attrs]
+    }
+
+    /// Value of attribute `k` for a valid cell.
+    #[inline]
+    pub fn value(&self, id: CellId, k: usize) -> f64 {
+        self.data[id as usize * self.num_attrs + k]
+    }
+
+    /// Sets attribute `k` of a cell (does not change validity).
+    pub fn set_value(&mut self, id: CellId, k: usize, v: f64) {
+        self.data[id as usize * self.num_attrs + k] = v;
+    }
+
+    /// Marks a cell as valid (its current feature slots become live).
+    pub fn set_valid(&mut self, id: CellId) {
+        self.valid[id as usize] = true;
+    }
+
+    /// Marks a cell as null, zeroing its feature slots.
+    pub fn set_null(&mut self, id: CellId) {
+        self.valid[id as usize] = false;
+        let start = id as usize * self.num_attrs;
+        for v in &mut self.data[start..start + self.num_attrs] {
+            *v = 0.0;
+        }
+    }
+
+    /// Iterator over the ids of valid (non-null) cells.
+    pub fn valid_cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.valid
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &v)| v.then_some(i as CellId))
+    }
+
+    /// Geographic centroid of a cell, derived from the bounds and grid shape.
+    pub fn cell_centroid(&self, id: CellId) -> (f64, f64) {
+        let (r, c) = self.cell_pos(id);
+        let lat_step = (self.bounds.lat_max - self.bounds.lat_min) / self.rows as f64;
+        let lon_step = (self.bounds.lon_max - self.bounds.lon_min) / self.cols as f64;
+        (
+            self.bounds.lat_min + (r as f64 + 0.5) * lat_step,
+            self.bounds.lon_min + (c as f64 + 0.5) * lon_step,
+        )
+    }
+
+    /// Column-wise copy of attribute `k` over *valid* cells, in cell-id
+    /// order, together with the corresponding cell ids.
+    pub fn attr_column(&self, k: usize) -> Result<(Vec<CellId>, Vec<f64>)> {
+        if k >= self.num_attrs {
+            return Err(GridError::AttributeOutOfRange {
+                index: k,
+                num_attrs: self.num_attrs,
+            });
+        }
+        let mut ids = Vec::with_capacity(self.num_valid_cells());
+        let mut vals = Vec::with_capacity(self.num_valid_cells());
+        for id in self.valid_cells() {
+            ids.push(id);
+            vals.push(self.value(id, k));
+        }
+        Ok((ids, vals))
+    }
+
+    /// Per-attribute maximum absolute value over valid cells (used by
+    /// normalization). Returns zeros when the grid has no valid cells.
+    pub fn attr_max_abs(&self) -> Vec<f64> {
+        let mut maxes = vec![0.0f64; self.num_attrs];
+        for id in self.valid_cells() {
+            let fv = self.features_unchecked(id);
+            for (m, &v) in maxes.iter_mut().zip(fv) {
+                let a = v.abs();
+                if a > *m {
+                    *m = a;
+                }
+            }
+        }
+        maxes
+    }
+
+    /// Borrow the raw flattened data (row-major, `num_attrs` per cell).
+    pub fn raw_data(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// Builds a [`GridDataset`] by binning raw [`PointRecord`]s into cells and
+/// aggregating the records mapped to each cell (paper §II: "The feature
+/// vector of a spatial cell is derived by applying aggregation operators
+/// such as AVG on the FVs of the data instances mapped to the cell").
+#[derive(Debug, Clone)]
+pub struct GridBuilder {
+    rows: usize,
+    cols: usize,
+    bounds: Bounds,
+    attr_names: Vec<String>,
+    agg_types: Vec<AggType>,
+    integer_attrs: Vec<bool>,
+}
+
+impl GridBuilder {
+    /// Creates a builder for an `rows × cols` grid over `bounds` with the
+    /// given attribute schema.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        bounds: Bounds,
+        attr_names: Vec<String>,
+        agg_types: Vec<AggType>,
+        integer_attrs: Vec<bool>,
+    ) -> Result<Self> {
+        if rows == 0 || cols == 0 || attr_names.is_empty() {
+            return Err(GridError::EmptyGrid);
+        }
+        if agg_types.len() != attr_names.len() || integer_attrs.len() != attr_names.len() {
+            return Err(GridError::DimensionMismatch {
+                context: "builder schema lengths differ",
+            });
+        }
+        Ok(GridBuilder {
+            rows,
+            cols,
+            bounds,
+            attr_names,
+            agg_types,
+            integer_attrs,
+        })
+    }
+
+    /// Bins the records and produces the grid. Records outside the bounds
+    /// are clamped to the border cells. Cells that receive no records become
+    /// null cells.
+    pub fn build(&self, records: &[PointRecord]) -> Result<GridDataset> {
+        let p = self.attr_names.len();
+        let n_cells = self.rows * self.cols;
+        let mut sums = vec![0.0f64; n_cells * p];
+        let mut counts = vec![0u32; n_cells];
+        // Categorical codes are collected verbatim for the mode.
+        let has_mode = self.agg_types.contains(&AggType::Mode);
+        let mut mode_codes: Vec<Vec<f64>> =
+            if has_mode { vec![Vec::new(); n_cells * p] } else { Vec::new() };
+
+        let lat_span = (self.bounds.lat_max - self.bounds.lat_min).max(f64::MIN_POSITIVE);
+        let lon_span = (self.bounds.lon_max - self.bounds.lon_min).max(f64::MIN_POSITIVE);
+
+        for rec in records {
+            if rec.values.len() != p {
+                return Err(GridError::DimensionMismatch {
+                    context: "record value count != schema attribute count",
+                });
+            }
+            let rf = ((rec.lat - self.bounds.lat_min) / lat_span * self.rows as f64).floor();
+            let cf = ((rec.lon - self.bounds.lon_min) / lon_span * self.cols as f64).floor();
+            let r = (rf as i64).clamp(0, self.rows as i64 - 1) as usize;
+            let c = (cf as i64).clamp(0, self.cols as i64 - 1) as usize;
+            let cell = r * self.cols + c;
+            counts[cell] += 1;
+            for (k, (s, &v)) in sums[cell * p..(cell + 1) * p]
+                .iter_mut()
+                .zip(&rec.values)
+                .enumerate()
+            {
+                *s += v;
+                if has_mode && self.agg_types[k] == AggType::Mode {
+                    mode_codes[cell * p + k].push(v);
+                }
+            }
+        }
+
+        let mut data = vec![0.0f64; n_cells * p];
+        let mut valid = vec![false; n_cells];
+        for cell in 0..n_cells {
+            if counts[cell] == 0 {
+                continue;
+            }
+            valid[cell] = true;
+            for k in 0..p {
+                let s = sums[cell * p + k];
+                data[cell * p + k] = match self.agg_types[k] {
+                    AggType::Sum => s,
+                    AggType::Avg => {
+                        let mean = s / counts[cell] as f64;
+                        if self.integer_attrs[k] {
+                            mean.round()
+                        } else {
+                            mean
+                        }
+                    }
+                    AggType::Mode => {
+                        let codes = &mode_codes[cell * p + k];
+                        most_frequent(codes)
+                    }
+                };
+            }
+        }
+
+        GridDataset::new(
+            self.rows,
+            self.cols,
+            p,
+            data,
+            valid,
+            self.attr_names.clone(),
+            self.agg_types.clone(),
+            self.integer_attrs.clone(),
+            self.bounds,
+        )
+    }
+}
+
+/// Most frequent value in a non-empty slice (ties broken by first
+/// occurrence), comparing exact bit patterns — categorical codes repeat
+/// exactly.
+pub(crate) fn most_frequent(values: &[f64]) -> f64 {
+    debug_assert!(!values.is_empty());
+    let mut counts: std::collections::HashMap<u64, (usize, usize)> =
+        std::collections::HashMap::with_capacity(values.len());
+    for (i, &v) in values.iter().enumerate() {
+        let e = counts.entry(v.to_bits()).or_insert((0, i));
+        e.0 += 1;
+    }
+    let (&bits, _) = counts
+        .iter()
+        .max_by(|(_, (ca, ia)), (_, (cb, ib))| ca.cmp(cb).then(ib.cmp(ia)))
+        .expect("non-empty values");
+    f64::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> GridDataset {
+        // 2×3 grid, 1 attribute, values 1..=6
+        GridDataset::univariate(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_shapes() {
+        assert_eq!(
+            GridDataset::univariate(0, 3, vec![]).unwrap_err(),
+            GridError::EmptyGrid
+        );
+        assert!(GridDataset::univariate(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn cell_id_roundtrip() {
+        let g = small_grid();
+        for r in 0..2 {
+            for c in 0..3 {
+                let id = g.cell_id(r, c);
+                assert_eq!(g.cell_pos(id), (r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn features_and_validity() {
+        let mut g = small_grid();
+        assert_eq!(g.features(0), Some(&[1.0][..]));
+        g.set_null(0);
+        assert!(!g.is_valid(0));
+        assert_eq!(g.features(0), None);
+        assert_eq!(g.num_valid_cells(), 5);
+        let ids: Vec<_> = g.valid_cells().collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn attr_column_and_bounds_check() {
+        let g = small_grid();
+        let (ids, vals) = g.attr_column(0).unwrap();
+        assert_eq!(ids.len(), 6);
+        assert_eq!(vals, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert!(matches!(
+            g.attr_column(1),
+            Err(GridError::AttributeOutOfRange { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn centroid_of_unit_grid() {
+        let g = small_grid();
+        let (lat, lon) = g.cell_centroid(g.cell_id(0, 0));
+        assert!((lat - 0.25).abs() < 1e-12); // 2 rows => step 0.5
+        assert!((lon - 1.0 / 6.0).abs() < 1e-12); // 3 cols => step 1/3
+    }
+
+    #[test]
+    fn attr_max_abs_ignores_null_cells() {
+        let mut g = small_grid();
+        g.set_null(5); // removes the 6.0
+        assert_eq!(g.attr_max_abs(), vec![5.0]);
+    }
+
+    #[test]
+    fn builder_bins_and_aggregates() {
+        let b = GridBuilder::new(
+            2,
+            2,
+            Bounds::unit(),
+            vec!["count".into(), "price".into()],
+            vec![AggType::Sum, AggType::Avg],
+            vec![false, false],
+        )
+        .unwrap();
+        let records = vec![
+            PointRecord { lat: 0.1, lon: 0.1, values: vec![1.0, 10.0] },
+            PointRecord { lat: 0.2, lon: 0.2, values: vec![1.0, 20.0] },
+            PointRecord { lat: 0.9, lon: 0.9, values: vec![1.0, 7.0] },
+        ];
+        let g = b.build(&records).unwrap();
+        // Cell (0,0): two records => count 2, price avg 15
+        let id00 = g.cell_id(0, 0);
+        assert_eq!(g.features(id00).unwrap(), &[2.0, 15.0]);
+        // Cell (1,1): one record
+        let id11 = g.cell_id(1, 1);
+        assert_eq!(g.features(id11).unwrap(), &[1.0, 7.0]);
+        // Cells with no record are null
+        assert!(g.features(g.cell_id(0, 1)).is_none());
+        assert!(g.features(g.cell_id(1, 0)).is_none());
+    }
+
+    #[test]
+    fn builder_clamps_out_of_bounds_points() {
+        let b = GridBuilder::new(
+            2,
+            2,
+            Bounds::unit(),
+            vec!["v".into()],
+            vec![AggType::Sum],
+            vec![false],
+        )
+        .unwrap();
+        let g = b
+            .build(&[PointRecord { lat: 5.0, lon: -3.0, values: vec![2.0] }])
+            .unwrap();
+        // Clamped to the last row, first column.
+        assert_eq!(g.features(g.cell_id(1, 0)).unwrap(), &[2.0]);
+    }
+
+    #[test]
+    fn builder_rounds_integer_avg_attributes() {
+        let b = GridBuilder::new(
+            1,
+            1,
+            Bounds::unit(),
+            vec!["rooms".into()],
+            vec![AggType::Avg],
+            vec![true],
+        )
+        .unwrap();
+        let g = b
+            .build(&[
+                PointRecord { lat: 0.5, lon: 0.5, values: vec![2.0] },
+                PointRecord { lat: 0.5, lon: 0.5, values: vec![3.0] },
+                PointRecord { lat: 0.5, lon: 0.5, values: vec![3.0] },
+            ])
+            .unwrap();
+        // mean 8/3 = 2.67 -> rounds to 3
+        assert_eq!(g.features(0).unwrap(), &[3.0]);
+    }
+
+    #[test]
+    fn builder_rejects_bad_record_arity() {
+        let b = GridBuilder::new(
+            1,
+            1,
+            Bounds::unit(),
+            vec!["v".into()],
+            vec![AggType::Sum],
+            vec![false],
+        )
+        .unwrap();
+        assert!(b
+            .build(&[PointRecord { lat: 0.5, lon: 0.5, values: vec![1.0, 2.0] }])
+            .is_err());
+    }
+}

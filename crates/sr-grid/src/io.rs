@@ -1,0 +1,472 @@
+//! Plain-text serialization of grid datasets.
+//!
+//! A downstream user needs to get grids in and out of the library without a
+//! bespoke binary format. The format here is a self-describing, versioned
+//! TSV ("grid-tsv v1"): a header block with shape/schema metadata followed
+//! by one line per cell (`row`, `col`, attribute values) for valid cells
+//! only. Round-trips exactly (floats are written with enough digits to be
+//! bit-faithful).
+//!
+//! ```text
+//! #sr-grid v1
+//! #shape 3 4
+//! #bounds 0 1 0 1
+//! #attr pickups sum int
+//! #attr fare avg float
+//! 0 <tab> 0 <tab> 12 <tab> 34.5
+//! 0 <tab> 2 <tab> 7 <tab> 21.25
+//! ...
+//! ```
+
+use crate::dataset::{AggType, Bounds, GridDataset};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors from grid (de)serialization.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input does not conform to the grid-tsv format.
+    Format {
+        /// 1-based line number where parsing failed (0 = header).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Format { line, message } => {
+                write!(f, "format error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Serializes a grid to the grid-tsv v1 format.
+pub fn write_grid<W: Write>(grid: &GridDataset, mut out: W) -> Result<(), IoError> {
+    let mut buf = String::new();
+    buf.push_str("#sr-grid v1\n");
+    let _ = writeln!(buf, "#shape {} {}", grid.rows(), grid.cols());
+    let b = grid.bounds();
+    let _ = writeln!(
+        buf,
+        "#bounds {} {} {} {}",
+        fmt_f64(b.lat_min),
+        fmt_f64(b.lat_max),
+        fmt_f64(b.lon_min),
+        fmt_f64(b.lon_max)
+    );
+    for k in 0..grid.num_attrs() {
+        let agg = match grid.agg_types()[k] {
+            AggType::Sum => "sum",
+            AggType::Avg => "avg",
+            AggType::Mode => "mode",
+        };
+        let ty = if grid.integer_attrs()[k] { "int" } else { "float" };
+        let _ = writeln!(buf, "#attr {} {agg} {ty}", sanitize(&grid.attr_names()[k]));
+    }
+    out.write_all(buf.as_bytes())?;
+
+    let mut line = String::new();
+    for id in grid.valid_cells() {
+        line.clear();
+        let (r, c) = grid.cell_pos(id);
+        let _ = write!(line, "{r}\t{c}");
+        for &v in grid.features_unchecked(id) {
+            let _ = write!(line, "\t{}", fmt_f64(v));
+        }
+        line.push('\n');
+        out.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Deserializes a grid from the grid-tsv v1 format.
+pub fn read_grid<R: Read>(input: R) -> Result<GridDataset, IoError> {
+    let reader = BufReader::new(input);
+    let mut lines = reader.lines().enumerate();
+
+    let fmt_err = |line: usize, message: &str| IoError::Format {
+        line,
+        message: message.to_string(),
+    };
+
+    // Magic line.
+    let (_, first) = lines
+        .next()
+        .ok_or_else(|| fmt_err(0, "empty input"))
+        .and_then(|(i, l)| l.map(|l| (i, l)).map_err(IoError::Io))?;
+    if first.trim() != "#sr-grid v1" {
+        return Err(fmt_err(1, "missing '#sr-grid v1' magic"));
+    }
+
+    let mut shape: Option<(usize, usize)> = None;
+    let mut bounds = Bounds::unit();
+    let mut attr_names = Vec::new();
+    let mut agg_types = Vec::new();
+    let mut integer_attrs = Vec::new();
+    let mut cells: Vec<(usize, usize, Vec<f64>)> = Vec::new();
+
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut parts = rest.split_whitespace();
+            match parts.next() {
+                Some("shape") => {
+                    let r = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| fmt_err(line_no, "bad #shape rows"))?;
+                    let c = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| fmt_err(line_no, "bad #shape cols"))?;
+                    shape = Some((r, c));
+                }
+                Some("bounds") => {
+                    let mut next = || -> Result<f64, IoError> {
+                        parts
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| fmt_err(line_no, "bad #bounds value"))
+                    };
+                    bounds = Bounds {
+                        lat_min: next()?,
+                        lat_max: next()?,
+                        lon_min: next()?,
+                        lon_max: next()?,
+                    };
+                }
+                Some("attr") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| fmt_err(line_no, "missing attr name"))?;
+                    let agg = match parts.next() {
+                        Some("sum") => AggType::Sum,
+                        Some("avg") => AggType::Avg,
+                        Some("mode") => AggType::Mode,
+                        _ => return Err(fmt_err(line_no, "attr agg must be sum|avg|mode")),
+                    };
+                    let int = match parts.next() {
+                        Some("int") => true,
+                        Some("float") => false,
+                        _ => return Err(fmt_err(line_no, "attr type must be int|float")),
+                    };
+                    attr_names.push(name.to_string());
+                    agg_types.push(agg);
+                    integer_attrs.push(int);
+                }
+                _ => return Err(fmt_err(line_no, "unknown header directive")),
+            }
+            continue;
+        }
+        // Data line.
+        let mut fields = line.split('\t');
+        let r: usize = fields
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| fmt_err(line_no, "bad row index"))?;
+        let c: usize = fields
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| fmt_err(line_no, "bad col index"))?;
+        let values: Result<Vec<f64>, _> = fields
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| fmt_err(line_no, "bad attribute value"))
+            })
+            .collect();
+        cells.push((r, c, values?));
+    }
+
+    let (rows, cols) = shape.ok_or_else(|| fmt_err(0, "missing #shape header"))?;
+    let p = attr_names.len();
+    if p == 0 {
+        return Err(fmt_err(0, "no #attr headers"));
+    }
+    let mut data = vec![0.0; rows * cols * p];
+    let mut valid = vec![false; rows * cols];
+    for (r, c, values) in cells {
+        if r >= rows || c >= cols {
+            return Err(fmt_err(0, "cell index outside #shape"));
+        }
+        if values.len() != p {
+            return Err(fmt_err(0, "cell arity != #attr count"));
+        }
+        let cell = r * cols + c;
+        valid[cell] = true;
+        data[cell * p..(cell + 1) * p].copy_from_slice(&values);
+    }
+
+    GridDataset::new(
+        rows,
+        cols,
+        p,
+        data,
+        valid,
+        attr_names,
+        agg_types,
+        integer_attrs,
+        bounds,
+    )
+    .map_err(|e| fmt_err(0, &e.to_string()))
+}
+
+/// Serializes an adjacency list in GAL format — the neighbor-list format
+/// PySAL reads (`libpysal.io.open("w.gal")`), closing the §III-B loop: the
+/// cell-group adjacency the framework produces can feed the original
+/// Python stack directly. First line: unit count; then per unit a
+/// `id degree` line followed by a line of neighbor ids.
+pub fn write_gal<W: Write>(adj: &crate::AdjacencyList, mut out: W) -> Result<(), IoError> {
+    let mut buf = String::new();
+    let _ = writeln!(buf, "{}", adj.len());
+    for i in 0..adj.len() as u32 {
+        let ns = adj.neighbors(i);
+        let _ = writeln!(buf, "{i} {}", ns.len());
+        for (k, n) in ns.iter().enumerate() {
+            if k > 0 {
+                buf.push(' ');
+            }
+            let _ = write!(buf, "{n}");
+        }
+        buf.push('\n');
+    }
+    out.write_all(buf.as_bytes())?;
+    Ok(())
+}
+
+/// Reads a GAL-format adjacency list.
+pub fn read_gal<R: Read>(input: R) -> Result<crate::AdjacencyList, IoError> {
+    let reader = BufReader::new(input);
+    let mut lines = reader.lines();
+    let fmt_err = |line: usize, message: &str| IoError::Format {
+        line,
+        message: message.to_string(),
+    };
+    let header = lines
+        .next()
+        .ok_or_else(|| fmt_err(1, "empty input"))??;
+    let n: usize = header
+        .split_whitespace()
+        .last()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| fmt_err(1, "bad unit count"))?;
+    let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut line_no = 1usize;
+    while let Some(head) = lines.next() {
+        line_no += 1;
+        let head = head?;
+        if head.trim().is_empty() {
+            continue;
+        }
+        let mut parts = head.split_whitespace();
+        let id: usize = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| fmt_err(line_no, "bad unit id"))?;
+        let degree: usize = parts
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| fmt_err(line_no, "bad degree"))?;
+        if id >= n {
+            return Err(fmt_err(line_no, "unit id out of range"));
+        }
+        let ns_line = lines
+            .next()
+            .ok_or_else(|| fmt_err(line_no, "missing neighbor line"))??;
+        line_no += 1;
+        let ns: std::result::Result<Vec<u32>, _> = ns_line
+            .split_whitespace()
+            .map(|v| v.parse::<u32>())
+            .collect();
+        let ns = ns.map_err(|_| fmt_err(line_no, "bad neighbor id"))?;
+        if ns.len() != degree {
+            return Err(fmt_err(line_no, "neighbor count != declared degree"));
+        }
+        if ns.iter().any(|&v| v as usize >= n) {
+            return Err(fmt_err(line_no, "neighbor id out of range"));
+        }
+        neighbors[id] = ns;
+    }
+    Ok(crate::AdjacencyList::from_neighbors(neighbors))
+}
+
+/// Writes a grid to a file path.
+pub fn save_grid(grid: &GridDataset, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    write_grid(grid, std::io::BufWriter::new(file))
+}
+
+/// Reads a grid from a file path.
+pub fn load_grid(path: impl AsRef<Path>) -> Result<GridDataset, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_grid(file)
+}
+
+/// Shortest float representation that round-trips exactly.
+fn fmt_f64(v: f64) -> String {
+    let short = format!("{v}");
+    if short.parse::<f64>() == Ok(v) {
+        short
+    } else {
+        format!("{v:?}")
+    }
+}
+
+/// Attribute names are single whitespace-free tokens in the header.
+fn sanitize(name: &str) -> String {
+    name.replace(char::is_whitespace, "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_grid() -> GridDataset {
+        let mut g = GridDataset::new(
+            2,
+            3,
+            2,
+            vec![
+                1.0, 0.1, 2.0, 0.25, 3.0, 1.0 / 3.0, // row 0
+                4.0, -0.5, 5.0, 1e-17, 6.0, 123456.789, // row 1
+            ],
+            vec![true; 6],
+            vec!["count".into(), "value x".into()],
+            vec![AggType::Sum, AggType::Avg],
+            vec![true, false],
+            Bounds { lat_min: 40.0, lat_max: 41.0, lon_min: -74.0, lon_max: -73.0 },
+        )
+        .unwrap();
+        g.set_null(3);
+        g
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = sample_grid();
+        let mut buf = Vec::new();
+        write_grid(&g, &mut buf).unwrap();
+        let g2 = read_grid(&buf[..]).unwrap();
+        assert_eq!(g2.rows(), g.rows());
+        assert_eq!(g2.cols(), g.cols());
+        assert_eq!(g2.num_attrs(), g.num_attrs());
+        assert_eq!(g2.agg_types(), g.agg_types());
+        assert_eq!(g2.integer_attrs(), g.integer_attrs());
+        assert_eq!(g2.bounds(), g.bounds());
+        for id in 0..g.num_cells() as u32 {
+            assert_eq!(g2.is_valid(id), g.is_valid(id), "cell {id}");
+            if g.is_valid(id) {
+                assert_eq!(g2.features(id), g.features(id), "cell {id}");
+            }
+        }
+        // Attribute name whitespace sanitized but retained.
+        assert_eq!(g2.attr_names()[1], "value_x");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample_grid();
+        let path = std::env::temp_dir().join("sr_grid_io_test.tsv");
+        save_grid(&g, &path).unwrap();
+        let g2 = load_grid(&path).unwrap();
+        assert_eq!(g2.num_valid_cells(), g.num_valid_cells());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn gal_roundtrip() {
+        let adj = crate::AdjacencyList::from_neighbors(vec![
+            vec![1, 2],
+            vec![0],
+            vec![0],
+            vec![],
+        ]);
+        let mut buf = Vec::new();
+        write_gal(&adj, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("4\n0 2\n1 2\n"), "{text}");
+        let back = read_gal(&buf[..]).unwrap();
+        assert_eq!(back, adj);
+    }
+
+    #[test]
+    fn gal_from_repartition_shape() {
+        // Rook adjacency of a 2×2 grid through GAL and back.
+        let g = GridDataset::univariate(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let adj = crate::AdjacencyList::rook_from_grid(&g);
+        let mut buf = Vec::new();
+        write_gal(&adj, &mut buf).unwrap();
+        let back = read_gal(&buf[..]).unwrap();
+        assert!(back.is_symmetric());
+        assert_eq!(back.total_weight(), adj.total_weight());
+    }
+
+    #[test]
+    fn gal_rejects_malformed() {
+        assert!(read_gal(&b""[..]).is_err());
+        assert!(read_gal(&b"abc\n"[..]).is_err());
+        // Degree mismatch.
+        assert!(read_gal(&b"2\n0 2\n1\n"[..]).is_err());
+        // Neighbor out of range.
+        assert!(read_gal(&b"2\n0 1\n9\n"[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_grid(&b"not a grid\n"[..]).unwrap_err();
+        assert!(matches!(err, IoError::Format { .. }));
+    }
+
+    #[test]
+    fn rejects_missing_shape() {
+        let input = b"#sr-grid v1\n#attr v avg float\n0\t0\t1.0\n";
+        assert!(read_grid(&input[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_cells() {
+        let input = b"#sr-grid v1\n#shape 1 1\n#attr v avg float\n5\t0\t1.0\n";
+        assert!(read_grid(&input[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let input = b"#sr-grid v1\n#shape 1 2\n#attr v avg float\n0\t0\t1.0\t2.0\n";
+        assert!(read_grid(&input[..]).is_err());
+    }
+
+    #[test]
+    fn extreme_floats_roundtrip() {
+        for v in [f64::MIN_POSITIVE, f64::MAX, 1e-300, -0.0, 0.1 + 0.2] {
+            let s = fmt_f64(v);
+            assert_eq!(s.parse::<f64>().unwrap(), v, "value {v}");
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Local spatial statistics: local Moran's I (LISA) and join-count
+//! statistics.
+//!
+//! The global Moran's I of [`crate::autocorrelation`] summarizes a whole
+//! grid; its local decomposition (Anselin's LISA) attributes the
+//! autocorrelation to individual units, which is how practitioners find
+//! hot/cold spots — and a useful diagnostic for where re-partitioning
+//! merges aggressively (flat LISA regions) versus conservatively
+//! (hot-spot boundaries).
+
+use crate::adjacency::AdjacencyList;
+
+/// The quadrant of a unit in the Moran scatterplot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LisaQuadrant {
+    /// High value surrounded by high values (hot spot).
+    HighHigh,
+    /// Low value surrounded by low values (cold spot).
+    LowLow,
+    /// Low value surrounded by high values (spatial outlier).
+    LowHigh,
+    /// High value surrounded by low values (spatial outlier).
+    HighLow,
+}
+
+/// One unit's local Moran's I with its scatterplot quadrant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LisaResult {
+    /// Local statistic `Iᵢ = zᵢ · (Σⱼ wᵢⱼ zⱼ) / m₂` (row-standardized
+    /// weights, `m₂` the variance normalizer).
+    pub local_i: f64,
+    /// Scatterplot quadrant of `(zᵢ, lag(z)ᵢ)`.
+    pub quadrant: LisaQuadrant,
+}
+
+/// Computes local Moran's I for every unit. Returns `None` when the data
+/// has zero variance (statistic undefined).
+///
+/// The mean of the returned `local_i` values, scaled by `n / Σᵢⱼ wᵢⱼ`-style
+/// normalization, recovers global Moran's I; the exact identity under
+/// row-standardized weights is `I = (Σᵢ Iᵢ) / n`, asserted in tests.
+pub fn local_morans_i(x: &[f64], adj: &AdjacencyList) -> Option<Vec<LisaResult>> {
+    assert_eq!(x.len(), adj.len(), "local_morans_i: length mismatch");
+    let n = x.len();
+    if n == 0 {
+        return None;
+    }
+    let mean = x.iter().sum::<f64>() / n as f64;
+    let m2 = x.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    if m2 == 0.0 {
+        return None;
+    }
+    let z: Vec<f64> = x.iter().map(|&v| v - mean).collect();
+    let lag = adj.spatial_lag(&z);
+    Some(
+        z.iter()
+            .zip(&lag)
+            .map(|(&zi, &lz)| {
+                let local_i = zi * lz / m2;
+                let quadrant = match (zi >= 0.0, lz >= 0.0) {
+                    (true, true) => LisaQuadrant::HighHigh,
+                    (false, false) => LisaQuadrant::LowLow,
+                    (false, true) => LisaQuadrant::LowHigh,
+                    (true, false) => LisaQuadrant::HighLow,
+                };
+                LisaResult { local_i, quadrant }
+            })
+            .collect(),
+    )
+}
+
+/// Join-count statistics for a binary variable under binary adjacency:
+/// the number of Black-Black, White-White, and Black-White joins
+/// (undirected edges), the classic test for autocorrelation of categorical
+/// maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinCounts {
+    /// Edges whose endpoints are both `true`.
+    pub bb: usize,
+    /// Edges whose endpoints are both `false`.
+    pub ww: usize,
+    /// Mixed edges.
+    pub bw: usize,
+}
+
+impl JoinCounts {
+    /// Total undirected edges counted.
+    pub fn total(&self) -> usize {
+        self.bb + self.ww + self.bw
+    }
+
+    /// Expected BW joins under a free (binomial) sampling null with
+    /// `p = P(black)`: `E[BW] = 2·J·p·(1−p)` where `J` is the edge count.
+    /// Observed `bw` far below this indicates positive autocorrelation.
+    pub fn expected_bw(&self, p: f64) -> f64 {
+        2.0 * self.total() as f64 * p * (1.0 - p)
+    }
+}
+
+/// Counts joins over a symmetric adjacency; each undirected edge counted
+/// once.
+pub fn join_counts(black: &[bool], adj: &AdjacencyList) -> JoinCounts {
+    assert_eq!(black.len(), adj.len(), "join_counts: length mismatch");
+    let mut jc = JoinCounts { bb: 0, ww: 0, bw: 0 };
+    for i in 0..black.len() {
+        for &j in adj.neighbors(i as u32) {
+            if (j as usize) <= i {
+                continue; // count each undirected edge once
+            }
+            match (black[i], black[j as usize]) {
+                (true, true) => jc.bb += 1,
+                (false, false) => jc.ww += 1,
+                _ => jc.bw += 1,
+            }
+        }
+    }
+    jc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autocorrelation::morans_i;
+    use crate::dataset::GridDataset;
+
+    fn grid_adj(vals: &[f64], n: usize) -> AdjacencyList {
+        let g = GridDataset::univariate(n, n, vals.to_vec()).unwrap();
+        AdjacencyList::rook_from_grid(&g)
+    }
+
+    #[test]
+    fn local_mean_recovers_row_standardized_global() {
+        // Identity: mean(Iᵢ) equals the ROW-STANDARDIZED global Moran's I
+        // (Eq. 4 with binary weights differs on irregular degrees, so the
+        // reference is computed here with the same row standardization).
+        let n = 8;
+        let vals: Vec<f64> = (0..n * n).map(|i| ((i / n) + (i % n)) as f64).collect();
+        let adj = grid_adj(&vals, n);
+        let local = local_morans_i(&vals, &adj).unwrap();
+        let mean_local = local.iter().map(|l| l.local_i).sum::<f64>() / local.len() as f64;
+
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let z: Vec<f64> = vals.iter().map(|&v| v - mean).collect();
+        let lag = adj.spatial_lag(&z);
+        let global_rs = z.iter().zip(&lag).map(|(a, b)| a * b).sum::<f64>()
+            / z.iter().map(|v| v * v).sum::<f64>();
+        assert!(
+            (mean_local - global_rs).abs() < 1e-10,
+            "mean LISA {mean_local} vs row-standardized global {global_rs}"
+        );
+        // And it agrees in sign and rough magnitude with the binary-weight
+        // global of Eq. 4.
+        let global_binary = morans_i(&vals, &adj).unwrap();
+        assert!(mean_local * global_binary > 0.0);
+        assert!((mean_local - global_binary).abs() < 0.2);
+    }
+
+    #[test]
+    fn hot_spot_detected() {
+        // A high plateau in one corner of a low field.
+        let n = 8;
+        let vals: Vec<f64> = (0..n * n)
+            .map(|i| if i / n < 3 && i % n < 3 { 10.0 } else { 1.0 })
+            .collect();
+        let adj = grid_adj(&vals, n);
+        let local = local_morans_i(&vals, &adj).unwrap();
+        // Interior of the plateau: HighHigh with a large positive Iᵢ.
+        let center = n + 1;
+        assert_eq!(local[center].quadrant, LisaQuadrant::HighHigh);
+        assert!(local[center].local_i > 1.0);
+        // Far corner: LowLow (also positive association).
+        let far = (n - 1) * n + (n - 1);
+        assert_eq!(local[far].quadrant, LisaQuadrant::LowLow);
+        assert!(local[far].local_i > 0.0);
+    }
+
+    #[test]
+    fn outlier_gets_negative_local_i() {
+        // One spike in a flat-but-noisy field.
+        let n = 6;
+        let mut vals: Vec<f64> = (0..n * n).map(|i| (i % 3) as f64 * 0.01).collect();
+        vals[14] = 50.0;
+        let adj = grid_adj(&vals, n);
+        let local = local_morans_i(&vals, &adj).unwrap();
+        assert_eq!(local[14].quadrant, LisaQuadrant::HighLow);
+        assert!(local[14].local_i < 0.0);
+    }
+
+    #[test]
+    fn zero_variance_undefined() {
+        let vals = vec![3.0; 16];
+        let adj = grid_adj(&vals, 4);
+        assert!(local_morans_i(&vals, &adj).is_none());
+    }
+
+    #[test]
+    fn join_counts_on_split_field() {
+        // Left half black, right half white on a 4×4 grid: exactly 4 BW
+        // joins along the middle seam.
+        let n = 4;
+        let vals = vec![0.0; n * n];
+        let adj = grid_adj(&vals, n);
+        let black: Vec<bool> = (0..n * n).map(|i| i % n < 2).collect();
+        let jc = join_counts(&black, &adj);
+        assert_eq!(jc.bw, 4);
+        // 4×4 rook grid has 24 undirected edges.
+        assert_eq!(jc.total(), 24);
+        assert_eq!(jc.bb, 10);
+        assert_eq!(jc.ww, 10);
+        // Far fewer mixed joins than the random expectation.
+        assert!((jc.bw as f64) < jc.expected_bw(0.5));
+    }
+
+    #[test]
+    fn join_counts_checkerboard_maximal_bw() {
+        let n = 4;
+        let vals = vec![0.0; n * n];
+        let adj = grid_adj(&vals, n);
+        let black: Vec<bool> = (0..n * n).map(|i| (i / n + i % n) % 2 == 0).collect();
+        let jc = join_counts(&black, &adj);
+        assert_eq!(jc.bb, 0);
+        assert_eq!(jc.ww, 0);
+        assert_eq!(jc.bw, 24);
+    }
+}

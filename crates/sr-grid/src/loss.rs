@@ -1,0 +1,207 @@
+//! Local loss of cell-groups — Eq. (2) — and information loss (IFL) between
+//! an original grid and its re-partitioned form — Eq. (3).
+
+use crate::dataset::{CellId, GridDataset};
+use crate::{GridError, Result};
+
+/// Local loss of a cell-group for one attribute (Eq. 2):
+/// `Loss_cg(k) = (1/t) Σᵢ |dᵢ(k) − cg(k)|`
+/// where `values` are the attribute values of the `t` constituent cells and
+/// `representative` is the candidate group value `cg(k)`.
+#[inline]
+pub fn local_loss(values: &[f64], representative: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = values.iter().map(|&v| (v - representative).abs()).sum();
+    sum / values.len() as f64
+}
+
+/// Options for the IFL computation.
+#[derive(Debug, Clone, Copy)]
+pub struct IflOptions {
+    /// Terms whose original value has absolute value ≤ `zero_eps` are
+    /// skipped (and the averaging denominator reduced accordingly). Eq. (3)
+    /// is a mean-absolute-*percentage* error, which is undefined at zero;
+    /// count-valued grids routinely contain zeros, so this guard is
+    /// unavoidable in practice (see DESIGN.md, substitution 6).
+    pub zero_eps: f64,
+}
+
+impl Default for IflOptions {
+    fn default() -> Self {
+        IflOptions { zero_eps: 1e-12 }
+    }
+}
+
+/// Information loss (Eq. 3) between `original` and `reconstructed`, where
+/// `reconstructed` is a grid of the *same shape* holding, for every original
+/// cell, its representative value in the re-partitioned dataset (Sum-typed
+/// attributes already divided back by group size — see
+/// `sr-core::reconstruct`).
+///
+/// `IFL(d, d̄) = (1/(n·m)) Σᵢ Σⱼ |dᵢ(j) − d̄ᵢ(j)| / dᵢ(j)`
+/// summed over valid cells `i` and attributes `j`; `n` counts cells with a
+/// valid feature vector.
+pub fn information_loss(
+    original: &GridDataset,
+    reconstructed: &GridDataset,
+    opts: IflOptions,
+) -> Result<f64> {
+    if original.rows() != reconstructed.rows()
+        || original.cols() != reconstructed.cols()
+        || original.num_attrs() != reconstructed.num_attrs()
+    {
+        return Err(GridError::IncompatibleGrids);
+    }
+    let p = original.num_attrs();
+    let aggs = original.agg_types();
+    let mut sum = 0.0;
+    let mut terms = 0usize;
+    for id in original.valid_cells() {
+        let d = original.features_unchecked(id);
+        let dbar = reconstructed.features_unchecked(id);
+        for k in 0..p {
+            if aggs[k] == crate::AggType::Mode {
+                // Categorical term: mismatch indicator (§VI extension).
+                sum += if d[k] == dbar[k] { 0.0 } else { 1.0 };
+                terms += 1;
+                continue;
+            }
+            let denom = d[k].abs();
+            if denom <= opts.zero_eps {
+                // Percentage error undefined at zero; skip and shrink the
+                // averaging denominator (documented substitution).
+                continue;
+            }
+            sum += (d[k] - dbar[k]).abs() / denom;
+            terms += 1;
+        }
+    }
+    if terms == 0 {
+        return Ok(0.0);
+    }
+    Ok(sum / terms as f64)
+}
+
+/// Convenience: IFL where the representative of each cell is produced by a
+/// closure (used by the core driver before materializing a reconstruction).
+pub fn information_loss_with(
+    original: &GridDataset,
+    representative: impl Fn(CellId, usize) -> f64,
+    opts: IflOptions,
+) -> f64 {
+    let p = original.num_attrs();
+    let aggs = original.agg_types();
+    let mut sum = 0.0;
+    let mut terms = 0usize;
+    for id in original.valid_cells() {
+        let d = original.features_unchecked(id);
+        for (k, &dk) in d.iter().enumerate().take(p) {
+            if aggs[k] == crate::AggType::Mode {
+                sum += if dk == representative(id, k) { 0.0 } else { 1.0 };
+                terms += 1;
+                continue;
+            }
+            let denom = dk.abs();
+            if denom <= opts.zero_eps {
+                continue;
+            }
+            sum += (dk - representative(id, k)).abs() / denom;
+            terms += 1;
+        }
+    }
+    if terms == 0 {
+        return 0.0;
+    }
+    sum / terms as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_loss_matches_eq2() {
+        // Paper Example 4: group values avg 23.67 -> rounded 24, mode 23,
+        // lossA == lossB == 4 for the 6-cell group. We verify the formula on
+        // a simpler case: values {1, 3}, rep 2 -> (1+1)/2 = 1.
+        assert_eq!(local_loss(&[1.0, 3.0], 2.0), 1.0);
+        assert_eq!(local_loss(&[], 5.0), 0.0);
+        assert_eq!(local_loss(&[7.0], 7.0), 0.0);
+    }
+
+    #[test]
+    fn local_loss_mean_vs_mode_tradeoff() {
+        // Values {10, 10, 10, 100}: mean 32.5, mode 10.
+        let vals = [10.0, 10.0, 10.0, 100.0];
+        let loss_mean = local_loss(&vals, 32.5);
+        let loss_mode = local_loss(&vals, 10.0);
+        // Mode wins here — exactly the situation Algorithm 2's best-of check
+        // exists for.
+        assert!(loss_mode < loss_mean);
+    }
+
+    #[test]
+    fn ifl_zero_for_identical_grids() {
+        let g = GridDataset::univariate(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let ifl = information_loss(&g, &g, IflOptions::default()).unwrap();
+        assert_eq!(ifl, 0.0);
+    }
+
+    #[test]
+    fn ifl_matches_hand_computation() {
+        let g = GridDataset::univariate(1, 2, vec![10.0, 20.0]).unwrap();
+        let r = GridDataset::univariate(1, 2, vec![11.0, 18.0]).unwrap();
+        // (|10-11|/10 + |20-18|/20) / 2 = (0.1 + 0.1)/2 = 0.1
+        let ifl = information_loss(&g, &r, IflOptions::default()).unwrap();
+        assert!((ifl - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ifl_skips_zero_denominators() {
+        let g = GridDataset::univariate(1, 3, vec![0.0, 10.0, 10.0]).unwrap();
+        let r = GridDataset::univariate(1, 3, vec![5.0, 11.0, 9.0]).unwrap();
+        // Zero-valued term skipped; remaining: (0.1 + 0.1)/2 = 0.1
+        let ifl = information_loss(&g, &r, IflOptions::default()).unwrap();
+        assert!((ifl - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ifl_ignores_null_cells() {
+        let mut g = GridDataset::univariate(1, 2, vec![10.0, 20.0]).unwrap();
+        let r = GridDataset::univariate(1, 2, vec![999.0, 22.0]).unwrap();
+        g.set_null(0);
+        let ifl = information_loss(&g, &r, IflOptions::default()).unwrap();
+        assert!((ifl - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ifl_rejects_incompatible_shapes() {
+        let a = GridDataset::univariate(1, 2, vec![1.0, 2.0]).unwrap();
+        let b = GridDataset::univariate(2, 1, vec![1.0, 2.0]).unwrap();
+        assert_eq!(
+            information_loss(&a, &b, IflOptions::default()).unwrap_err(),
+            GridError::IncompatibleGrids
+        );
+    }
+
+    #[test]
+    fn ifl_with_closure_matches_grid_form() {
+        let g = GridDataset::univariate(1, 2, vec![10.0, 20.0]).unwrap();
+        let r = GridDataset::univariate(1, 2, vec![12.0, 16.0]).unwrap();
+        let a = information_loss(&g, &r, IflOptions::default()).unwrap();
+        let b = information_loss_with(&g, |id, k| r.value(id, k), IflOptions::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_zero_grid_has_zero_ifl() {
+        let g = GridDataset::univariate(1, 2, vec![0.0, 0.0]).unwrap();
+        let r = GridDataset::univariate(1, 2, vec![1.0, 1.0]).unwrap();
+        assert_eq!(
+            information_loss(&g, &r, IflOptions::default()).unwrap(),
+            0.0
+        );
+    }
+}

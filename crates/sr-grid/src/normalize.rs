@@ -1,0 +1,102 @@
+//! Attribute normalization (paper §II, "Attribute Normalized Data").
+//!
+//! The paper's worked example maps `(10, 15), (20, 20), (30, 10)` to
+//! `(0.33, 0.75), (0.67, 1.0), (1.0, 0.5)` — i.e. each attribute is divided
+//! by its maximum (not min-max scaled). We follow that convention, using the
+//! maximum *absolute* value so datasets with negative attributes still land
+//! in `[-1, 1]`. Attributes that are identically zero are left as zeros.
+
+use crate::GridDataset;
+
+/// Returns a copy of `grid` with every attribute divided by its maximum
+/// absolute value over valid cells, so all values lie in `[-1, 1]`
+/// (non-negative data lands in `[0, 1]`, matching the paper's example).
+///
+/// Null cells stay null. The returned grid keeps the input's schema and
+/// bounds, so cell ids remain interchangeable between the two.
+pub fn normalize_attributes(grid: &GridDataset) -> GridDataset {
+    let maxes = grid.attr_max_abs();
+    let mut out = grid.clone();
+    let p = grid.num_attrs();
+    for id in grid.valid_cells() {
+        for (k, &m) in maxes.iter().enumerate().take(p) {
+            // Categorical codes carry no magnitude: variation treats them
+            // as 0/1 mismatches, so scaling would only distort the codes.
+            if grid.agg_types()[k] == crate::AggType::Mode {
+                continue;
+            }
+            if m > 0.0 {
+                let v = grid.value(id, k);
+                out.set_value(id, k, v / m);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{AggType, Bounds};
+
+    #[test]
+    fn matches_paper_example() {
+        // Paper §II: (10,15),(20,20),(30,10) -> (0.33,0.75),(0.67,1.0),(1.0,0.5)
+        let g = GridDataset::new(
+            1,
+            3,
+            2,
+            vec![10.0, 15.0, 20.0, 20.0, 30.0, 10.0],
+            vec![true; 3],
+            vec!["a".into(), "b".into()],
+            vec![AggType::Avg, AggType::Avg],
+            vec![false, false],
+            Bounds::unit(),
+        )
+        .unwrap();
+        let n = normalize_attributes(&g);
+        let expect = [
+            (10.0 / 30.0, 0.75),
+            (20.0 / 30.0, 1.0),
+            (1.0, 0.5),
+        ];
+        for (id, (ea, eb)) in expect.iter().enumerate() {
+            let fv = n.features(id as u32).unwrap();
+            assert!((fv[0] - ea).abs() < 1e-12);
+            assert!((fv[1] - eb).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_attribute_left_untouched() {
+        let g = GridDataset::univariate(1, 3, vec![0.0, 0.0, 0.0]).unwrap();
+        let n = normalize_attributes(&g);
+        assert_eq!(n.raw_data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn negative_values_land_in_unit_ball() {
+        let g = GridDataset::univariate(1, 3, vec![-4.0, 2.0, 1.0]).unwrap();
+        let n = normalize_attributes(&g);
+        assert_eq!(n.raw_data(), &[-1.0, 0.5, 0.25]);
+    }
+
+    #[test]
+    fn null_cells_ignored_for_max_and_stay_null() {
+        let mut g = GridDataset::univariate(1, 3, vec![100.0, 2.0, 4.0]).unwrap();
+        g.set_null(0);
+        let n = normalize_attributes(&g);
+        assert!(!n.is_valid(0));
+        // Max over valid cells is 4.0.
+        assert_eq!(n.features(1).unwrap(), &[0.5]);
+        assert_eq!(n.features(2).unwrap(), &[1.0]);
+    }
+
+    #[test]
+    fn normalization_is_idempotent_on_unit_data() {
+        let g = GridDataset::univariate(1, 2, vec![0.5, 1.0]).unwrap();
+        let n1 = normalize_attributes(&g);
+        let n2 = normalize_attributes(&n1);
+        assert_eq!(n1, n2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Terminal rendering of grids and partitions: quick-look heatmaps for
+//! debugging and for the examples' output.
+//!
+//! Two views: [`render_heatmap`] shades an attribute's values with a
+//! density ramp, and [`render_partition`] draws cell-group boundaries so
+//! the rectangle structure of a re-partitioning is visible at a glance.
+
+use crate::dataset::GridDataset;
+
+/// Shade ramp from low to high.
+const RAMP: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Character used for null cells.
+const NULL_CH: char = '~';
+
+/// Renders attribute `attr` of `grid` as an ASCII heatmap, one character
+/// per cell, rows top to bottom. Large grids can be downsampled with
+/// `max_width` (0 = no limit): every block of `ceil(cols / max_width)`
+/// cells collapses into one character by averaging.
+pub fn render_heatmap(grid: &GridDataset, attr: usize, max_width: usize) -> String {
+    let rows = grid.rows();
+    let cols = grid.cols();
+    let step = if max_width > 0 && cols > max_width {
+        cols.div_ceil(max_width)
+    } else {
+        1
+    };
+
+    // Value range over valid cells.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for id in grid.valid_cells() {
+        let v = grid.value(id, attr);
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+
+    let out_rows = rows.div_ceil(step);
+    let out_cols = cols.div_ceil(step);
+    let mut out = String::with_capacity(out_rows * (out_cols + 1));
+    for br in 0..out_rows {
+        for bc in 0..out_cols {
+            // Average the block.
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            let mut any_cell = false;
+            for r in (br * step)..((br + 1) * step).min(rows) {
+                for c in (bc * step)..((bc + 1) * step).min(cols) {
+                    any_cell = true;
+                    let id = grid.cell_id(r, c);
+                    if grid.is_valid(id) {
+                        sum += grid.value(id, attr);
+                        count += 1;
+                    }
+                }
+            }
+            if !any_cell {
+                continue;
+            }
+            if count == 0 {
+                out.push(NULL_CH);
+            } else {
+                let v = sum / count as f64;
+                let t = ((v - lo) / span).clamp(0.0, 1.0);
+                let idx = ((t * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+                out.push(RAMP[idx]);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a partition's group structure: each cell shows a letter cycling
+/// with its group id, so rectangles read as constant-letter blocks.
+/// Intended for small grids (≤ ~60 columns).
+pub fn render_partition(cell_to_group: &[u32], rows: usize, cols: usize) -> String {
+    assert_eq!(cell_to_group.len(), rows * cols, "render: shape mismatch");
+    const LETTERS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for r in 0..rows {
+        for c in 0..cols {
+            let g = cell_to_group[r * cols + c] as usize;
+            out.push(LETTERS[g % LETTERS.len()] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_shades_extremes() {
+        let g = GridDataset::univariate(1, 3, vec![0.0, 5.0, 10.0]).unwrap();
+        let art = render_heatmap(&g, 0, 0);
+        let line: Vec<char> = art.lines().next().unwrap().chars().collect();
+        assert_eq!(line.len(), 3);
+        assert_eq!(line[0], RAMP[0]);
+        assert_eq!(line[2], *RAMP.last().unwrap());
+    }
+
+    #[test]
+    fn heatmap_marks_null_cells() {
+        let mut g = GridDataset::univariate(1, 2, vec![1.0, 2.0]).unwrap();
+        g.set_null(0);
+        let art = render_heatmap(&g, 0, 0);
+        assert!(art.starts_with(NULL_CH));
+    }
+
+    #[test]
+    fn heatmap_downsamples_to_max_width() {
+        let g = GridDataset::univariate(10, 100, vec![1.0; 1000]).unwrap();
+        let art = render_heatmap(&g, 0, 25);
+        let width = art.lines().next().unwrap().chars().count();
+        assert!(width <= 25, "width {width}");
+    }
+
+    #[test]
+    fn constant_grid_renders_uniformly() {
+        let g = GridDataset::univariate(2, 2, vec![7.0; 4]).unwrap();
+        let art = render_heatmap(&g, 0, 0);
+        let chars: std::collections::HashSet<char> =
+            art.chars().filter(|c| *c != '\n').collect();
+        assert_eq!(chars.len(), 1);
+    }
+
+    #[test]
+    fn partition_render_shows_blocks() {
+        // Two groups: left column 0, right column 1.
+        let cell_to_group = vec![0, 1, 0, 1];
+        let art = render_partition(&cell_to_group, 2, 2);
+        assert_eq!(art, "ab\nab\n");
+    }
+}

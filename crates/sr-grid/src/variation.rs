@@ -1,0 +1,163 @@
+//! Attribute variation between cells — Eq. (1) of the paper — and the
+//! enumeration of adjacent-pair variations that feeds the min-adjacent
+//! variation heap (§III-A1).
+
+use crate::dataset::{AggType, CellId, GridDataset};
+
+/// Variation between two feature vectors (Eq. 1): the mean absolute
+/// per-attribute difference,
+/// `Variationᵢⱼ = (1/p) Σₖ |dᵢ(k) − dⱼ(k)|`.
+#[inline]
+pub fn variation_between(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let p = a.len() as f64;
+    let sum: f64 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
+    sum / p
+}
+
+/// Eq. 1 extended to mixed numeric/categorical schemas (§VI future work):
+/// numeric attributes contribute `|dᵢ(k) − dⱼ(k)|` as usual, `Mode`
+/// (categorical) attributes contribute a 0/1 mismatch indicator.
+#[inline]
+pub fn variation_between_typed(a: &[f64], b: &[f64], agg_types: &[AggType]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), agg_types.len());
+    let p = a.len() as f64;
+    let sum: f64 = a
+        .iter()
+        .zip(b)
+        .zip(agg_types)
+        .map(|((x, y), agg)| match agg {
+            AggType::Mode => {
+                if x == y {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            _ => (x - y).abs(),
+        })
+        .sum();
+    sum / p
+}
+
+/// One adjacent pair of valid cells and the variation between them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdjacentPair {
+    /// First cell (always the smaller id: the left/top cell of the pair).
+    pub a: CellId,
+    /// Second cell (right or bottom neighbor of `a`).
+    pub b: CellId,
+    /// Variation per Eq. (1), computed on the *normalized* grid by callers
+    /// that follow the paper's pipeline.
+    pub variation: f64,
+}
+
+/// Enumerates the variations between all rook-adjacent pairs of *valid*
+/// cells: for each cell, its right neighbor and its bottom neighbor (each
+/// undirected pair appears exactly once).
+///
+/// Pairs where either cell is null are skipped — the paper merges null cells
+/// only with other null cells, which the extractor handles separately.
+pub fn adjacent_variations(grid: &GridDataset) -> Vec<AdjacentPair> {
+    let rows = grid.rows();
+    let cols = grid.cols();
+    let aggs = grid.agg_types();
+    // Each interior cell contributes ≤2 pairs.
+    let mut out = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = grid.cell_id(r, c);
+            if !grid.is_valid(id) {
+                continue;
+            }
+            let fv = grid.features_unchecked(id);
+            if c + 1 < cols {
+                let right = grid.cell_id(r, c + 1);
+                if grid.is_valid(right) {
+                    out.push(AdjacentPair {
+                        a: id,
+                        b: right,
+                        variation: variation_between_typed(fv, grid.features_unchecked(right), aggs),
+                    });
+                }
+            }
+            if r + 1 < rows {
+                let down = grid.cell_id(r + 1, c);
+                if grid.is_valid(down) {
+                    out.push(AdjacentPair {
+                        a: id,
+                        b: down,
+                        variation: variation_between_typed(fv, grid.features_unchecked(down), aggs),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{AggType, Bounds};
+
+    #[test]
+    fn variation_matches_eq1() {
+        // p = 2, |1-3| + |5-1| = 6, /2 = 3
+        assert_eq!(variation_between(&[1.0, 5.0], &[3.0, 1.0]), 3.0);
+        // univariate reduces to absolute difference
+        assert_eq!(variation_between(&[2.5], &[4.0]), 1.5);
+    }
+
+    #[test]
+    fn variation_is_symmetric_and_zero_on_self() {
+        let a = [1.0, -2.0, 3.0];
+        let b = [0.5, 2.0, -1.0];
+        assert_eq!(variation_between(&a, &b), variation_between(&b, &a));
+        assert_eq!(variation_between(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn adjacent_pairs_counted_once() {
+        // 2×2 fully valid grid: 2 horizontal + 2 vertical pairs = 4.
+        let g = GridDataset::univariate(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let pairs = adjacent_variations(&g);
+        assert_eq!(pairs.len(), 4);
+        // Every pair stored with a < b and appears once.
+        let mut seen = std::collections::HashSet::new();
+        for p in &pairs {
+            assert!(p.a < p.b);
+            assert!(seen.insert((p.a, p.b)));
+        }
+    }
+
+    #[test]
+    fn null_cells_excluded_from_pairs() {
+        let mut g = GridDataset::univariate(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        g.set_null(0);
+        let pairs = adjacent_variations(&g);
+        // Only pairs among cells 1,2,3: (1,3) and (2,3).
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.iter().all(|p| p.a != 0 && p.b != 0));
+    }
+
+    #[test]
+    fn multivariate_variation_uses_all_attrs() {
+        let g = crate::GridDataset::new(
+            1,
+            2,
+            2,
+            vec![0.0, 0.0, 1.0, 3.0],
+            vec![true, true],
+            vec!["a".into(), "b".into()],
+            vec![AggType::Avg, AggType::Avg],
+            vec![false, false],
+            Bounds::unit(),
+        )
+        .unwrap();
+        let pairs = adjacent_variations(&g);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].variation, 2.0); // (1 + 3) / 2
+    }
+}

@@ -1,0 +1,167 @@
+//! Cholesky factorization for symmetric positive-definite systems.
+
+use crate::{LinAlgError, Matrix, Result};
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite matrix.
+///
+/// This is the workhorse for normal-equation solves (`XᵀX β = Xᵀy`) in OLS,
+/// GWR local fits, and kriging systems after diagonal regularization: roughly
+/// half the flops of LU, and failure doubles as a rank-deficiency signal.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor (upper triangle is left as zeros).
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite `a`.
+    ///
+    /// Only the lower triangle of `a` is read. Returns
+    /// [`LinAlgError::NotPositiveDefinite`] when a diagonal pivot collapses.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(LinAlgError::ShapeMismatch {
+                context: "cholesky: matrix not square",
+            });
+        }
+        let n = a.rows();
+        let scale = a.max_abs().max(1.0);
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 1e-13 * scale {
+                        return Err(LinAlgError::NotPositiveDefinite);
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn n(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrow the lower-triangular factor.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via forward + back substitution.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.n();
+        if b.len() != n {
+            return Err(LinAlgError::ShapeMismatch {
+                context: "cholesky solve: rhs length != n",
+            });
+        }
+        // L y = b
+        let mut x = b.to_vec();
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut sum = x[i];
+            for (k, xk) in x.iter().enumerate().take(i) {
+                sum -= row[k] * xk;
+            }
+            x[i] = sum / row[i];
+        }
+        // Lᵀ x = y
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for (k, xk) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.l.get(k, i) * xk;
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of `A` (`2 · Σ ln L_ii`).
+    pub fn log_det(&self) -> f64 {
+        (0..self.n())
+            .map(|i| self.l.get(i, i).ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_spd_system() {
+        // A = [[4,2],[2,3]] (SPD), b = [10, 8] => x = [1.75, 1.5]
+        let a = Matrix::from_vec(2, 2, vec![4.0, 2.0, 2.0, 3.0]).unwrap();
+        let c = Cholesky::new(&a).unwrap();
+        let x = c.solve(&[10.0, 8.0]).unwrap();
+        assert!((x[0] - 1.75).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
+        assert_eq!(
+            Cholesky::new(&a).unwrap_err(),
+            LinAlgError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(Cholesky::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn log_det_matches_lu() {
+        use crate::LuFactor;
+        let a = Matrix::from_vec(3, 3, vec![5.0, 1.0, 0.5, 1.0, 4.0, 0.2, 0.5, 0.2, 3.0]).unwrap();
+        let c = Cholesky::new(&a).unwrap();
+        let lu = LuFactor::new(&a).unwrap();
+        assert!((c.log_det() - lu.log_abs_det()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = Matrix::from_vec(3, 3, vec![6.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 4.0]).unwrap();
+        let c = Cholesky::new(&a).unwrap();
+        let l = c.factor();
+        let llt = l.matmul(&l.transpose()).unwrap();
+        assert!(llt.sub(&a).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_spd_solve_residual() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(11);
+        for n in [1usize, 3, 10, 30] {
+            // Build SPD as BᵀB + n·I.
+            let mut b = Matrix::zeros(n, n);
+            for r in 0..n {
+                for c in 0..n {
+                    b[(r, c)] = rng.gen_range(-1.0..1.0);
+                }
+            }
+            let mut a = b.gram();
+            for i in 0..n {
+                a[(i, i)] += n as f64;
+            }
+            let rhs: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let x = Cholesky::new(&a).unwrap().solve(&rhs).unwrap();
+            let ax = a.matvec(&x).unwrap();
+            for (l, r) in ax.iter().zip(&rhs) {
+                assert!((l - r).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Dense linear-algebra substrate for the spatial re-partitioning workspace.
+//!
+//! The spatial ML models in `sr-ml` (spatial lag / error regression, GWR,
+//! kriging) need small-to-medium dense solves: normal equations, weighted
+//! least squares, and kriging systems. This crate provides a compact,
+//! dependency-free implementation: a row-major [`Matrix`], LU factorization
+//! with partial pivoting ([`lu::LuFactor`]), Cholesky factorization
+//! ([`cholesky::Cholesky`]), and least-squares helpers ([`solve`]).
+//!
+//! Matrices here are value types; hot paths avoid per-element allocation and
+//! operate on contiguous row-major storage.
+
+pub mod cholesky;
+pub mod lu;
+pub mod matrix;
+pub mod solve;
+
+pub use cholesky::Cholesky;
+pub use lu::LuFactor;
+pub use matrix::Matrix;
+pub use solve::{lstsq, solve_spd, solve_square, weighted_lstsq};
+
+/// Error type for linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinAlgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        context: &'static str,
+    },
+    /// The matrix is singular (or numerically so) and cannot be factored.
+    Singular,
+    /// The matrix is not positive definite (Cholesky only).
+    NotPositiveDefinite,
+}
+
+impl std::fmt::Display for LinAlgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinAlgError::ShapeMismatch { context } => {
+                write!(f, "shape mismatch: {context}")
+            }
+            LinAlgError::Singular => write!(f, "matrix is singular"),
+            LinAlgError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinAlgError {}
+
+/// Result alias for linear-algebra operations.
+pub type Result<T> = std::result::Result<T, LinAlgError>;

@@ -1,0 +1,223 @@
+//! LU factorization with partial pivoting.
+
+use crate::{LinAlgError, Matrix, Result};
+
+/// LU factorization `P·A = L·U` of a square matrix, with partial pivoting.
+///
+/// Used for general (possibly non-symmetric) square solves — e.g. the
+/// `(I − ρW)` systems in the spatial lag model and 2SLS normal equations with
+/// near-rank-deficient instruments.
+#[derive(Debug, Clone)]
+pub struct LuFactor {
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1 / −1), for determinants.
+    sign: f64,
+}
+
+/// Pivot tolerance below which the matrix is declared singular.
+const PIVOT_EPS: f64 = 1e-12;
+
+impl LuFactor {
+    /// Factorizes `a`. Returns [`LinAlgError::Singular`] when a pivot
+    /// (relative to the matrix scale) collapses.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(LinAlgError::ShapeMismatch {
+                context: "lu: matrix not square",
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let scale = lu.max_abs().max(1.0);
+
+        for k in 0..n {
+            // Find pivot row.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for r in (k + 1)..n {
+                let v = lu[(r, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val <= PIVOT_EPS * scale {
+                return Err(LinAlgError::Singular);
+            }
+            if pivot_row != k {
+                swap_rows(&mut lu, k, pivot_row);
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for r in (k + 1)..n {
+                let factor = lu[(r, k)] / pivot;
+                lu[(r, k)] = factor;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in (k + 1)..n {
+                    let delta = factor * lu[(k, c)];
+                    lu[(r, c)] -= delta;
+                }
+            }
+        }
+        Ok(LuFactor { lu, perm, sign })
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b` using the stored factorization.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.n();
+        if b.len() != n {
+            return Err(LinAlgError::ShapeMismatch {
+                context: "lu solve: rhs length != n",
+            });
+        }
+        // Apply permutation, then forward substitution (L y = P b).
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut sum = x[i];
+            let row = self.lu.row(i);
+            for (j, xj) in x.iter().enumerate().take(i) {
+                sum -= row[j] * xj;
+            }
+            x[i] = sum;
+        }
+        // Back substitution (U x = y).
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            let mut sum = x[i];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= row[j] * xj;
+            }
+            x[i] = sum / row[i];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.n();
+        let mut d = self.sign;
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Log of |det|, summed in log space to avoid overflow for large n.
+    pub fn log_abs_det(&self) -> f64 {
+        (0..self.n()).map(|i| self.lu[(i, i)].abs().ln()).sum()
+    }
+
+    /// Inverse of the factored matrix, column by column.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.n();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for c in 0..n {
+            e[c] = 1.0;
+            let col = self.solve(&e)?;
+            e[c] = 0.0;
+            for (r, &v) in col.iter().enumerate() {
+                inv[(r, c)] = v;
+            }
+        }
+        Ok(inv)
+    }
+}
+
+fn swap_rows(m: &mut Matrix, a: usize, b: usize) {
+    let cols = m.cols();
+    let data = m.as_mut_slice();
+    for c in 0..cols {
+        data.swap(a * cols + c, b * cols + c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &[f64], b: &[f64], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < tol)
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10 => x = 1, y = 3
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]).unwrap();
+        let f = LuFactor::new(&a).unwrap();
+        let x = f.solve(&[5.0, 10.0]).unwrap();
+        assert!(approx_eq(&x, &[1.0, 3.0], 1e-12));
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let f = LuFactor::new(&a).unwrap();
+        let x = f.solve(&[7.0, 3.0]).unwrap();
+        assert!(approx_eq(&x, &[3.0, 7.0], 1e-12));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert_eq!(LuFactor::new(&a).unwrap_err(), LinAlgError::Singular);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(LuFactor::new(&a).is_err());
+    }
+
+    #[test]
+    fn det_matches_hand_computation() {
+        let b = Matrix::from_vec(2, 2, vec![3.0, 1.0, 4.0, 2.0]).unwrap();
+        let fb = LuFactor::new(&b).unwrap();
+        assert!((fb.det() - 2.0).abs() < 1e-12);
+        assert!((fb.log_abs_det() - 2.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_vec(3, 3, vec![4.0, 2.0, 0.6, 4.2, 2.1, 0.59, 3.9, 2.0, 0.58]).unwrap();
+        let inv = LuFactor::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let diff = prod.sub(&Matrix::identity(3)).unwrap();
+        assert!(diff.max_abs() < 1e-8, "residual {}", diff.max_abs());
+    }
+
+    #[test]
+    fn random_solve_residual_small() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(7);
+        for n in [1usize, 2, 5, 20] {
+            let mut a = Matrix::zeros(n, n);
+            for r in 0..n {
+                for c in 0..n {
+                    a[(r, c)] = rng.gen_range(-1.0..1.0);
+                }
+                a[(r, r)] += 3.0; // diagonally dominant => nonsingular
+            }
+            let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let x = LuFactor::new(&a).unwrap().solve(&b).unwrap();
+            let ax = a.matvec(&x).unwrap();
+            for (l, r) in ax.iter().zip(&b) {
+                assert!((l - r).abs() < 1e-9);
+            }
+        }
+    }
+}

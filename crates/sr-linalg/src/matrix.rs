@@ -1,0 +1,418 @@
+//! Row-major dense matrix with the operations the spatial ML models need.
+
+use crate::{LinAlgError, Result};
+
+/// A dense, row-major `rows × cols` matrix of `f64`.
+///
+/// Storage is a single contiguous `Vec<f64>`; element `(r, c)` lives at
+/// `r * cols + c`. Indexing via `m[(r, c)]` is bounds-checked by the slice
+/// access; hot loops should prefer [`Matrix::row`] to let the compiler elide
+/// redundant checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinAlgError::ShapeMismatch {
+                context: "from_vec: data length != rows * cols",
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of rows. All rows must share one length.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        if rows.iter().any(|r| r.len() != ncols) {
+            return Err(LinAlgError::ShapeMismatch {
+                context: "from_rows: ragged rows",
+            });
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the row-major backing storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the row-major backing storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element access without the index operator.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for (c, &v) in row.iter().enumerate() {
+                t.data[c * self.rows + r] = v;
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// Uses an i-k-j loop order so the inner loop streams both operand rows,
+    /// which is the cache-friendly order for row-major storage.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinAlgError::ShapeMismatch {
+                context: "matmul: lhs.cols != rhs.rows",
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.cols != v.len() {
+            return Err(LinAlgError::ShapeMismatch {
+                context: "matvec: cols != v.len()",
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = dot(self.row(i), v);
+        }
+        Ok(out)
+    }
+
+    /// Computes `selfᵀ * self` (the Gram matrix) without materializing the
+    /// transpose. The result is symmetric `cols × cols`.
+    pub fn gram(&self) -> Matrix {
+        let p = self.cols;
+        let mut g = Matrix::zeros(p, p);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..p {
+                let xi = row[i];
+                if xi == 0.0 {
+                    continue;
+                }
+                let g_row = &mut g.data[i * p..(i + 1) * p];
+                for (j, &xj) in row.iter().enumerate().skip(i) {
+                    g_row[j] += xi * xj;
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for i in 0..p {
+            for j in 0..i {
+                g.data[i * p + j] = g.data[j * p + i];
+            }
+        }
+        g
+    }
+
+    /// Computes `selfᵀ * diag(w) * self` for a weight vector `w` (one weight
+    /// per row). Used by weighted least squares (GWR).
+    pub fn weighted_gram(&self, w: &[f64]) -> Result<Matrix> {
+        if w.len() != self.rows {
+            return Err(LinAlgError::ShapeMismatch {
+                context: "weighted_gram: w.len() != rows",
+            });
+        }
+        let p = self.cols;
+        let mut g = Matrix::zeros(p, p);
+        for (r, &wr) in w.iter().enumerate() {
+            if wr == 0.0 {
+                continue;
+            }
+            let row = self.row(r);
+            for i in 0..p {
+                let xi = wr * row[i];
+                if xi == 0.0 {
+                    continue;
+                }
+                let g_row = &mut g.data[i * p..(i + 1) * p];
+                for (j, &xj) in row.iter().enumerate().skip(i) {
+                    g_row[j] += xi * xj;
+                }
+            }
+        }
+        for i in 0..p {
+            for j in 0..i {
+                g.data[i * p + j] = g.data[j * p + i];
+            }
+        }
+        Ok(g)
+    }
+
+    /// Computes `selfᵀ * v` without materializing the transpose.
+    pub fn t_matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if v.len() != self.rows {
+            return Err(LinAlgError::ShapeMismatch {
+                context: "t_matvec: v.len() != rows",
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (r, &vr) in v.iter().enumerate() {
+            if vr == 0.0 {
+                continue;
+            }
+            for (o, &x) in out.iter_mut().zip(self.row(r)) {
+                *o += vr * x;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Appends a column of ones on the left (intercept column), returning a
+    /// new `rows × (cols + 1)` matrix. This is the design-matrix convention
+    /// used throughout `sr-ml`.
+    pub fn with_intercept(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols + 1);
+        for r in 0..self.rows {
+            out.data[r * (self.cols + 1)] = 1.0;
+            out.data[r * (self.cols + 1) + 1..(r + 1) * (self.cols + 1)]
+                .copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Scales every element in place.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Element-wise `self - rhs`.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(LinAlgError::ShapeMismatch {
+                context: "sub: dimension mismatch",
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Maximum absolute element (∞-norm of the flattened matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(1, 1)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t[(0, 1)], 4.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 0.0, 2.0, -1.0, 3.0, 1.0]).unwrap();
+        let v = vec![2.0, 1.0, 0.5];
+        let got = a.matvec(&v).unwrap();
+        assert_eq!(got, vec![3.0, 1.5]);
+    }
+
+    #[test]
+    fn gram_is_xtx() {
+        let x = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let g = x.gram();
+        let expect = x.transpose().matmul(&x).unwrap();
+        assert_eq!(g, expect);
+    }
+
+    #[test]
+    fn weighted_gram_unit_weights_equals_gram() {
+        let x = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let g = x.weighted_gram(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(g, x.gram());
+    }
+
+    #[test]
+    fn t_matvec_matches_transpose() {
+        let x = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let v = vec![1.0, -1.0, 2.0];
+        let got = x.t_matvec(&v).unwrap();
+        let expect = x.transpose().matvec(&v).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn with_intercept_prepends_ones() {
+        let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let xi = x.with_intercept();
+        assert_eq!(xi.cols(), 3);
+        assert_eq!(xi.row(0), &[1.0, 1.0, 2.0]);
+        assert_eq!(xi.row(1), &[1.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn sub_and_max_abs() {
+        let a = Matrix::from_vec(1, 2, vec![3.0, -5.0]).unwrap();
+        let b = Matrix::from_vec(1, 2, vec![1.0, -1.0]).unwrap();
+        let d = a.sub(&b).unwrap();
+        assert_eq!(d.as_slice(), &[2.0, -4.0]);
+        assert_eq!(d.max_abs(), 4.0);
+    }
+}

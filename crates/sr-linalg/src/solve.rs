@@ -1,0 +1,192 @@
+//! High-level solve helpers: square systems, SPD systems, (weighted) least
+//! squares via regularized normal equations.
+
+use crate::{Cholesky, LinAlgError, LuFactor, Matrix, Result};
+
+/// Solves a general square system `A x = b` via LU with partial pivoting.
+pub fn solve_square(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    LuFactor::new(a)?.solve(b)
+}
+
+/// Solves a symmetric positive-definite system `A x = b` via Cholesky,
+/// falling back to LU when the matrix is only semi-definite numerically.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    match Cholesky::new(a) {
+        Ok(c) => c.solve(b),
+        Err(LinAlgError::NotPositiveDefinite) => LuFactor::new(a)?.solve(b),
+        Err(e) => Err(e),
+    }
+}
+
+/// Ridge added to normal-equation diagonals, scaled by the Gram matrix
+/// magnitude. Keeps rank-deficient designs (constant columns after grid
+/// coarsening are common) solvable without visibly biasing coefficients.
+const NORMAL_EQ_RIDGE: f64 = 1e-10;
+
+/// Ordinary least squares: minimizes ‖X β − y‖² and returns β.
+///
+/// Solved through the normal equations `XᵀX β = Xᵀy` with a tiny
+/// scale-relative ridge so nearly collinear designs stay solvable.
+pub fn lstsq(x: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
+    if x.rows() != y.len() {
+        return Err(LinAlgError::ShapeMismatch {
+            context: "lstsq: X rows != y length",
+        });
+    }
+    let gram = x.gram();
+    let xty = x.t_matvec(y)?;
+    solve_ridged_refined(&gram, &xty)
+}
+
+/// Weighted least squares: minimizes Σ wᵢ (xᵢᵀβ − yᵢ)² and returns β.
+///
+/// `w` must be non-negative, one entry per row of `x`. This is the local fit
+/// inside GWR.
+pub fn weighted_lstsq(x: &Matrix, y: &[f64], w: &[f64]) -> Result<Vec<f64>> {
+    if x.rows() != y.len() || x.rows() != w.len() {
+        return Err(LinAlgError::ShapeMismatch {
+            context: "weighted_lstsq: X rows != y/w length",
+        });
+    }
+    let gram = x.weighted_gram(w)?;
+    let wy: Vec<f64> = y.iter().zip(w).map(|(yi, wi)| yi * wi).collect();
+    let xtwy = x.t_matvec(&wy)?;
+    solve_ridged_refined(&gram, &xtwy)
+}
+
+/// Solves `G β = b` for a PSD Gram matrix `G` by factoring the ridged
+/// `G + δI` and applying preconditioned-Richardson refinement against the
+/// *unridged* `G`: the ridge guarantees a factorization even for
+/// rank-deficient designs, and the refinement removes its bias whenever `G`
+/// is actually nonsingular.
+fn solve_ridged_refined(gram: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    let n = gram.rows();
+    let mut ridged = gram.clone();
+    let ridge = NORMAL_EQ_RIDGE * ridged.max_abs().max(1.0);
+    for i in 0..n {
+        ridged[(i, i)] += ridge;
+    }
+    let factor = match Cholesky::new(&ridged) {
+        Ok(c) => c,
+        Err(LinAlgError::NotPositiveDefinite) => {
+            return LuFactor::new(&ridged)?.solve(b);
+        }
+        Err(e) => return Err(e),
+    };
+    let mut beta = factor.solve(b)?;
+    for _ in 0..3 {
+        let gb = gram.matvec(&beta)?;
+        let residual: Vec<f64> = b.iter().zip(&gb).map(|(bi, gi)| bi - gi).collect();
+        let max_res = residual.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        if max_res <= 1e-14 * ridged.max_abs() {
+            break;
+        }
+        let delta = factor.solve(&residual)?;
+        for (bv, dv) in beta.iter_mut().zip(&delta) {
+            *bv += dv;
+        }
+    }
+    Ok(beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_square_basic() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 1.0, 1.0, -1.0]).unwrap();
+        let x = solve_square(&a, &[3.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_spd_falls_back_to_lu_for_indefinite() {
+        // Symmetric but indefinite: Cholesky fails, LU succeeds.
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let x = solve_spd(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lstsq_recovers_exact_linear_fit() {
+        // y = 2 + 3x, exactly.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let x = Matrix::from_rows(
+            &xs.iter().map(|&v| vec![1.0, v]).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let y: Vec<f64> = xs.iter().map(|&v| 2.0 + 3.0 * v).collect();
+        let beta = lstsq(&x, &y).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-6);
+        assert!((beta[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lstsq_overdetermined_noisy() {
+        // y = 1 + 2x + noise; the fit must be close but not exact.
+        let noise = [0.05, -0.04, 0.02, -0.01, 0.03, -0.02];
+        let rows: Vec<Vec<f64>> = (0..6).map(|i| vec![1.0, i as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..6)
+            .map(|i| 1.0 + 2.0 * i as f64 + noise[i])
+            .collect();
+        let beta = lstsq(&x, &y).unwrap();
+        assert!((beta[0] - 1.0).abs() < 0.1);
+        assert!((beta[1] - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn lstsq_survives_collinear_design() {
+        // Duplicate column: XᵀX singular; ridge keeps it solvable and the
+        // fitted values still reproduce y.
+        let rows: Vec<Vec<f64>> = (0..5).map(|i| vec![1.0, i as f64, i as f64]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..5).map(|i| 4.0 * i as f64).collect();
+        let beta = lstsq(&x, &y).unwrap();
+        let fitted = x.matvec(&beta).unwrap();
+        for (f, t) in fitted.iter().zip(&y) {
+            assert!((f - t).abs() < 1e-3, "fitted {f} vs {t}");
+        }
+    }
+
+    #[test]
+    fn weighted_lstsq_ignores_zero_weight_rows() {
+        // Outlier row carries zero weight: fit is y = x exactly.
+        let rows = vec![
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+        ];
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y = vec![0.0, 1.0, 2.0, 100.0];
+        let w = vec![1.0, 1.0, 1.0, 0.0];
+        let beta = weighted_lstsq(&x, &y, &w).unwrap();
+        assert!(beta[0].abs() < 1e-6);
+        assert!((beta[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_lstsq_unit_weights_matches_ols() {
+        let rows: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![1.0, i as f64, (i * i) as f64])
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<f64> = (0..8).map(|i| 0.5 + 1.5 * i as f64 - 0.25 * (i * i) as f64).collect();
+        let b1 = lstsq(&x, &y).unwrap();
+        let b2 = weighted_lstsq(&x, &y, &[1.0; 8]).unwrap();
+        for (a, b) in b1.iter().zip(&b2) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let x = Matrix::zeros(3, 2);
+        assert!(lstsq(&x, &[1.0, 2.0]).is_err());
+        assert!(weighted_lstsq(&x, &[1.0, 2.0, 3.0], &[1.0]).is_err());
+    }
+}

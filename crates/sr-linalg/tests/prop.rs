@@ -1,0 +1,97 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use sr_linalg::{lstsq, solve_spd, Cholesky, LuFactor, Matrix};
+
+/// Strategy: an n×n diagonally dominant matrix (guaranteed nonsingular) plus
+/// a right-hand side.
+fn dominant_system(n: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (
+        prop::collection::vec(-1.0f64..1.0, n * n),
+        prop::collection::vec(-10.0f64..10.0, n),
+    )
+}
+
+proptest! {
+    #[test]
+    fn lu_solve_residual_is_tiny((entries, rhs) in dominant_system(6)) {
+        let n = 6;
+        let mut a = Matrix::from_vec(n, n, entries).unwrap();
+        for i in 0..n {
+            let v = a[(i, i)];
+            a[(i, i)] = v + n as f64; // diagonal dominance
+        }
+        let x = LuFactor::new(&a).unwrap().solve(&rhs).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (l, r) in ax.iter().zip(&rhs) {
+            prop_assert!((l - r).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn cholesky_matches_lu_on_spd((entries, rhs) in dominant_system(5)) {
+        let n = 5;
+        let b = Matrix::from_vec(n, n, entries).unwrap();
+        let mut a = b.gram(); // BᵀB is PSD
+        for i in 0..n {
+            let v = a[(i, i)];
+            a[(i, i)] = v + 1.0; // strictly PD
+        }
+        let x1 = Cholesky::new(&a).unwrap().solve(&rhs).unwrap();
+        let x2 = LuFactor::new(&a).unwrap().solve(&rhs).unwrap();
+        for (l, r) in x1.iter().zip(&x2) {
+            prop_assert!((l - r).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(entries in prop::collection::vec(-100.0f64..100.0, 12)) {
+        let m = Matrix::from_vec(3, 4, entries).unwrap();
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn gram_is_symmetric(entries in prop::collection::vec(-10.0f64..10.0, 20)) {
+        let m = Matrix::from_vec(5, 4, entries).unwrap();
+        let g = m.gram();
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert_eq!(g[(i, j)], g[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn lstsq_exact_when_system_consistent(
+        beta in prop::collection::vec(-5.0f64..5.0, 3),
+        xs in prop::collection::vec(-10.0f64..10.0, 20),
+    ) {
+        // Build X with independent columns [1, x, x²] and a consistent y.
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x, x * x]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let y = x.matvec(&beta).unwrap();
+        let est = lstsq(&x, &y).unwrap();
+        let fitted = x.matvec(&est).unwrap();
+        // Columns may be collinear for degenerate xs; fitted values must
+        // still reproduce y even if coefficients are not identified.
+        for (f, t) in fitted.iter().zip(&y) {
+            prop_assert!((f - t).abs() < 1e-4 * (1.0 + t.abs()));
+        }
+    }
+
+    #[test]
+    fn solve_spd_handles_gram_systems((entries, rhs) in dominant_system(4)) {
+        let n = 4;
+        let b = Matrix::from_vec(n, n, entries).unwrap();
+        let mut a = b.gram();
+        for i in 0..n {
+            let v = a[(i, i)];
+            a[(i, i)] = v + 0.5;
+        }
+        let x = solve_spd(&a, &rhs).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (l, r) in ax.iter().zip(&rhs) {
+            prop_assert!((l - r).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Peak-memory tracking for the paper's memory-usage experiments
+//! (Figs. 8 and 10).
+//!
+//! The paper reports process memory of Python model training; the cleaner
+//! Rust analogue is the peak of *live allocated bytes* during the training
+//! call, measured by wrapping the system allocator (DESIGN.md,
+//! substitution 4). Experiment binaries install [`TrackingAllocator`] as
+//! their global allocator and wrap each training call in
+//! [`measure_peak`]:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: sr_mem::TrackingAllocator = sr_mem::TrackingAllocator;
+//!
+//! let (model, peak_bytes) = sr_mem::measure_peak(|| train(&data));
+//! ```
+//!
+//! Counters are atomic and the tracking overhead is two relaxed RMW
+//! operations per allocation; when the allocator is *not* installed, the
+//! measurement functions still work but report zero.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// A [`System`]-backed allocator that tracks live and peak bytes.
+pub struct TrackingAllocator;
+
+impl TrackingAllocator {
+    #[inline]
+    fn add(size: usize) {
+        let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+        // Lock-free peak update.
+        let mut peak = PEAK.load(Ordering::Relaxed);
+        while live > peak {
+            match PEAK.compare_exchange_weak(peak, live, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(p) => peak = p,
+            }
+        }
+    }
+
+    #[inline]
+    fn sub(size: usize) {
+        LIVE.fetch_sub(size, Ordering::Relaxed);
+    }
+}
+
+// SAFETY: defers to `System` for every allocation; the counter updates have
+// no safety impact.
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            Self::add(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        Self::sub(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            Self::sub(layout.size());
+            Self::add(new_size);
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            Self::add(layout.size());
+        }
+        p
+    }
+}
+
+/// Currently live tracked bytes.
+pub fn live_bytes() -> usize {
+    LIVE.load(Ordering::Relaxed)
+}
+
+/// Peak live bytes since the last [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Resets the peak to the current live count.
+pub fn reset_peak() {
+    PEAK.store(LIVE.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Runs `f` and returns `(result, peak_delta_bytes)`: the highest number of
+/// bytes live during `f` beyond what was live at entry.
+///
+/// Single-measurement discipline: concurrent allocations from other threads
+/// are attributed to whichever measurement is active, so experiment
+/// binaries measure one training call at a time (worker threads *inside*
+/// the call are fine — their memory belongs to the measurement).
+pub fn measure_peak<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let baseline = live_bytes();
+    reset_peak();
+    let out = f();
+    let peak = peak_bytes();
+    (out, peak.saturating_sub(baseline))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: the allocator is not installed as #[global_allocator] in unit
+    // tests (that would affect every test in the binary); these tests
+    // exercise the counter plumbing directly.
+
+    // One combined test: the counters are process-global, so concurrent
+    // test functions would race each other's exact-equality assertions.
+    #[test]
+    fn counter_plumbing_end_to_end() {
+        // add/sub move the live counter and ratchet the peak.
+        reset_peak();
+        let before_live = live_bytes();
+        TrackingAllocator::add(1024);
+        assert_eq!(live_bytes(), before_live + 1024);
+        assert!(peak_bytes() >= before_live + 1024);
+        TrackingAllocator::sub(1024);
+        assert_eq!(live_bytes(), before_live);
+
+        // Peak is monotone until reset.
+        TrackingAllocator::add(4096);
+        let p1 = peak_bytes();
+        TrackingAllocator::sub(4096);
+        assert!(peak_bytes() >= p1);
+        reset_peak();
+        assert!(peak_bytes() <= p1);
+
+        // measure_peak returns the closure result and the transient peak.
+        let (v, peak) = measure_peak(|| {
+            TrackingAllocator::add(2048);
+            TrackingAllocator::sub(2048);
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(peak >= 2048);
+    }
+}

@@ -1,0 +1,254 @@
+//! Spatial-dependence diagnostics: Lagrange-multiplier tests for choosing
+//! between the spatial lag and spatial error models.
+//!
+//! PySAL's OLS summary (the workflow the paper sits on) reports LM-lag and
+//! LM-error statistics plus their robust variants; practitioners pick the
+//! model whose (robust) LM statistic is significant. The statistics follow
+//! Anselin (1988):
+//!
+//! - `LM_err = (eᵀWe / s²)² / T` with `T = tr(WᵀW + W²)`
+//! - `LM_lag = (eᵀWy / s²)² / (Q/s²)` with
+//!   `Q = (WXβ)ᵀ M (WXβ) + T·s²`, `M = I − X(XᵀX)⁻¹Xᵀ`
+//!
+//! Both are asymptotically χ²(1); the `p_value` fields use the χ²(1)
+//! survival function.
+
+use crate::linear::Ols;
+use crate::{MlError, Result};
+use sr_grid::AdjacencyList;
+use sr_linalg::{lstsq, Matrix};
+
+/// One LM statistic with its χ²(1) p-value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmStat {
+    /// The statistic value.
+    pub statistic: f64,
+    /// Asymptotic p-value under χ²(1).
+    pub p_value: f64,
+}
+
+/// The pair of diagnostics the lag-vs-error decision uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmDiagnostics {
+    /// LM test against the spatial error alternative.
+    pub lm_error: LmStat,
+    /// LM test against the spatial lag alternative.
+    pub lm_lag: LmStat,
+}
+
+impl LmDiagnostics {
+    /// The conventional reading: fit the model whose statistic is larger
+    /// (when at least one is significant at `alpha`). `None` = plain OLS
+    /// suffices.
+    pub fn recommended_model(&self, alpha: f64) -> Option<RecommendedModel> {
+        let lag_sig = self.lm_lag.p_value < alpha;
+        let err_sig = self.lm_error.p_value < alpha;
+        match (lag_sig, err_sig) {
+            (false, false) => None,
+            (true, false) => Some(RecommendedModel::Lag),
+            (false, true) => Some(RecommendedModel::Error),
+            (true, true) => Some(if self.lm_lag.statistic >= self.lm_error.statistic {
+                RecommendedModel::Lag
+            } else {
+                RecommendedModel::Error
+            }),
+        }
+    }
+}
+
+/// The model family an LM comparison points to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecommendedModel {
+    /// Spatial lag dependence dominates.
+    Lag,
+    /// Spatial error dependence dominates.
+    Error,
+}
+
+/// Computes LM-lag and LM-error for an OLS fit of `y` on `x_rows` under the
+/// row-standardized adjacency `adj`.
+pub fn lm_diagnostics(
+    x_rows: &[Vec<f64>],
+    y: &[f64],
+    adj: &AdjacencyList,
+) -> Result<LmDiagnostics> {
+    if x_rows.len() != y.len() {
+        return Err(MlError::ShapeMismatch { context: "lm: rows != targets" });
+    }
+    if adj.len() != y.len() {
+        return Err(MlError::ShapeMismatch { context: "lm: adjacency != rows" });
+    }
+    let n = y.len();
+    if n < 3 {
+        return Err(MlError::EmptyInput);
+    }
+
+    let ols = Ols::fit(x_rows, y)?;
+    let e = ols.residuals(x_rows, y);
+    let s2 = e.iter().map(|v| v * v).sum::<f64>() / n as f64;
+    if s2 <= 0.0 {
+        return Err(MlError::EmptyInput);
+    }
+
+    // T = tr(WᵀW + W²) for row-standardized W: computed row by row without
+    // materializing W (wᵢⱼ = 1/deg(i) for j ∈ N(i)).
+    let mut trace = 0.0;
+    for i in 0..n as u32 {
+        let di = adj.degree(i);
+        if di == 0 {
+            continue;
+        }
+        let wi = 1.0 / di as f64;
+        for &j in adj.neighbors(i) {
+            let dj = adj.degree(j);
+            if dj == 0 {
+                continue;
+            }
+            let wj = 1.0 / dj as f64;
+            // (WᵀW)ᵢᵢ accumulates wⱼᵢ² over j; (W²)ᵢᵢ accumulates wᵢⱼ·wⱼᵢ.
+            trace += wj * wj + wi * wj;
+        }
+    }
+    if trace <= 0.0 {
+        return Err(MlError::EmptyInput);
+    }
+
+    // LM-error.
+    let we = adj.spatial_lag(&e);
+    let ewe: f64 = e.iter().zip(&we).map(|(a, b)| a * b).sum();
+    let lm_err = (ewe / s2).powi(2) / trace;
+
+    // LM-lag.
+    let wy = adj.spatial_lag(y);
+    let ewy: f64 = e.iter().zip(&wy).map(|(a, b)| a * b).sum();
+    let fitted = ols.predict(x_rows);
+    let w_fitted = adj.spatial_lag(&fitted);
+    // M·(Wŷ): residual of regressing Wŷ on X.
+    let design = Matrix::from_rows(x_rows).map_err(MlError::from)?.with_intercept();
+    let gamma = lstsq(&design, &w_fitted)?;
+    let proj = design.matvec(&gamma)?;
+    let m_wf: Vec<f64> = w_fitted.iter().zip(&proj).map(|(a, b)| a - b).collect();
+    let q: f64 = m_wf.iter().map(|v| v * v).sum::<f64>() + trace * s2;
+    let lm_lag = (ewy / s2).powi(2) / (q / s2);
+
+    Ok(LmDiagnostics {
+        lm_error: LmStat { statistic: lm_err, p_value: chi2_1_sf(lm_err) },
+        lm_lag: LmStat { statistic: lm_lag, p_value: chi2_1_sf(lm_lag) },
+    })
+}
+
+/// Survival function of χ²(1): `P(X > x) = erfc(√(x/2))`.
+fn chi2_1_sf(x: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    erfc((x / 2.0).sqrt())
+}
+
+/// Complementary error function (Abramowitz & Stegun 7.1.26, |ε| ≤ 1.5e-7).
+fn erfc(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.327_591_1 * x.abs());
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let val = poly * (-x * x).exp();
+    if x >= 0.0 {
+        val
+    } else {
+        2.0 - val
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_grid::GridDataset;
+
+    fn grid_adj(n: usize) -> AdjacencyList {
+        let g = GridDataset::univariate(n, n, vec![0.0; n * n]).unwrap();
+        AdjacencyList::rook_from_grid(&g)
+    }
+
+    fn simulate(kind: &str, n: usize, coef: f64, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>, AdjacencyList) {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let adj = grid_adj(n);
+        let m = n * n;
+        let x: Vec<Vec<f64>> = (0..m).map(|_| vec![rng.gen_range(-2.0f64..2.0)]).collect();
+        let eps: Vec<f64> = (0..m).map(|_| rng.gen_range(-0.5f64..0.5)).collect();
+        let xb: Vec<f64> = x.iter().map(|r| 1.0 + 2.0 * r[0]).collect();
+        let mut y: Vec<f64>;
+        match kind {
+            "lag" => {
+                y = xb.iter().zip(&eps).map(|(a, b)| a + b).collect();
+                for _ in 0..150 {
+                    let wy = adj.spatial_lag(&y);
+                    y = xb
+                        .iter()
+                        .zip(&eps)
+                        .zip(&wy)
+                        .map(|((a, b), w)| a + b + coef * w)
+                        .collect();
+                }
+            }
+            "error" => {
+                let mut u = eps.clone();
+                for _ in 0..150 {
+                    let wu = adj.spatial_lag(&u);
+                    u = eps.iter().zip(&wu).map(|(a, w)| a + coef * w).collect();
+                }
+                y = xb.iter().zip(&u).map(|(a, b)| a + b).collect();
+            }
+            _ => {
+                y = xb.iter().zip(&eps).map(|(a, b)| a + b).collect();
+            }
+        }
+        (x, y, adj)
+    }
+
+    #[test]
+    fn no_dependence_is_insignificant() {
+        let (x, y, adj) = simulate("none", 15, 0.0, 1);
+        let d = lm_diagnostics(&x, &y, &adj).unwrap();
+        assert!(d.lm_error.p_value > 0.01, "p = {}", d.lm_error.p_value);
+        assert!(d.lm_lag.p_value > 0.01, "p = {}", d.lm_lag.p_value);
+        assert_eq!(d.recommended_model(0.01), None);
+    }
+
+    #[test]
+    fn lag_process_triggers_lag_test() {
+        let (x, y, adj) = simulate("lag", 15, 0.6, 2);
+        let d = lm_diagnostics(&x, &y, &adj).unwrap();
+        assert!(d.lm_lag.p_value < 0.01, "lag p = {}", d.lm_lag.p_value);
+        assert_eq!(d.recommended_model(0.05), Some(RecommendedModel::Lag));
+    }
+
+    #[test]
+    fn error_process_triggers_error_test() {
+        let (x, y, adj) = simulate("error", 15, 0.7, 3);
+        let d = lm_diagnostics(&x, &y, &adj).unwrap();
+        assert!(d.lm_error.p_value < 0.01, "err p = {}", d.lm_error.p_value);
+        // On a pure error process the error statistic should dominate.
+        assert!(d.lm_error.statistic > d.lm_lag.statistic);
+        assert_eq!(d.recommended_model(0.05), Some(RecommendedModel::Error));
+    }
+
+    #[test]
+    fn chi2_anchors() {
+        assert!((chi2_1_sf(0.0) - 1.0).abs() < 1e-12);
+        // χ²(1) critical value at 5% is 3.841.
+        assert!((chi2_1_sf(3.841) - 0.05).abs() < 2e-3);
+        assert!(chi2_1_sf(50.0) < 1e-9);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let adj = grid_adj(3);
+        assert!(lm_diagnostics(&[vec![1.0]], &[1.0, 2.0], &adj).is_err());
+        let x: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        let small_adj = AdjacencyList::from_neighbors(vec![vec![]]);
+        assert!(lm_diagnostics(&x, &y, &small_adj).is_err());
+    }
+}

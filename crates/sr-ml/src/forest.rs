@@ -1,0 +1,258 @@
+//! Random forest regression (Table I: `n_estimators: 225, max_depth: 7,
+//! min_samples_leaf: 20, criterion: mse`).
+//!
+//! Bootstrap-sampled CART trees with per-split feature subsampling
+//! (`max(1, p/3)` features, the regression convention), averaged at
+//! prediction time. Tree training is embarrassingly parallel and fanned out
+//! over `crossbeam` scoped threads.
+
+use crate::tree::{RegressionTree, TreeParams};
+use crate::{MlError, Result};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random-forest hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomForestParams {
+    /// Number of trees.
+    pub n_estimators: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// RNG seed for bootstraps and feature subsampling.
+    pub seed: u64,
+    /// Worker threads (`0` = sequential).
+    pub threads: usize,
+    /// Compute the out-of-bag error estimate during fit (one extra pass
+    /// over the data; off by default).
+    pub compute_oob: bool,
+}
+
+impl Default for RandomForestParams {
+    fn default() -> Self {
+        RandomForestParams {
+            n_estimators: 100,
+            max_depth: 7,
+            min_samples_leaf: 1,
+            seed: 42,
+            threads: 4,
+            compute_oob: false,
+        }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+    /// Out-of-bag mean-squared error, when requested at fit time. The OOB
+    /// estimate approximates test error without a held-out split — each
+    /// sample is scored only by the ~37% of trees whose bootstrap missed it.
+    pub oob_mse: Option<f64>,
+}
+
+impl RandomForest {
+    /// Fits the ensemble.
+    pub fn fit(x_rows: &[Vec<f64>], y: &[f64], params: &RandomForestParams) -> Result<Self> {
+        if x_rows.is_empty() {
+            return Err(MlError::EmptyInput);
+        }
+        if x_rows.len() != y.len() {
+            return Err(MlError::ShapeMismatch { context: "forest: rows != targets" });
+        }
+        if params.n_estimators == 0 {
+            return Err(MlError::InvalidParam { name: "n_estimators" });
+        }
+        let n = x_rows.len();
+        let p = x_rows[0].len();
+        let tree_params = TreeParams {
+            max_depth: params.max_depth,
+            min_samples_leaf: params.min_samples_leaf,
+            max_features: Some((p / 3).max(1)),
+        };
+
+        // Pre-derive one independent seed per tree so results do not depend
+        // on thread scheduling.
+        let seeds: Vec<u64> = {
+            let mut rng = SmallRng::seed_from_u64(params.seed);
+            (0..params.n_estimators).map(|_| rng.gen()).collect()
+        };
+
+        let fit_one = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            RegressionTree::fit(x_rows, y, &indices, &tree_params, &mut rng)
+        };
+
+        let trees: Vec<RegressionTree> = if params.threads <= 1 {
+            seeds.iter().map(|&s| fit_one(s)).collect()
+        } else {
+            let workers = params.threads.min(params.n_estimators);
+            let chunk = params.n_estimators.div_ceil(workers);
+            let mut slots: Vec<Vec<RegressionTree>> = Vec::new();
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = seeds
+                    .chunks(chunk)
+                    .map(|chunk_seeds| {
+                        scope.spawn(move |_| {
+                            chunk_seeds.iter().map(|&s| fit_one(s)).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    slots.push(h.join().expect("tree worker panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+            slots.into_iter().flatten().collect()
+        };
+
+        // OOB pass: regenerate each tree's bootstrap from its seed (they are
+        // deterministic) and score samples on out-of-bag trees only.
+        let oob_mse = if params.compute_oob {
+            let mut sums = vec![0.0f64; n];
+            let mut counts = vec![0u32; n];
+            let mut in_bag = vec![false; n];
+            for (&seed, tree) in seeds.iter().zip(&trees) {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                in_bag.iter_mut().for_each(|b| *b = false);
+                for _ in 0..n {
+                    in_bag[rng.gen_range(0..n)] = true;
+                }
+                for (i, row) in x_rows.iter().enumerate() {
+                    if !in_bag[i] {
+                        sums[i] += tree.predict_one(row);
+                        counts[i] += 1;
+                    }
+                }
+            }
+            let mut sse = 0.0;
+            let mut scored = 0usize;
+            for i in 0..n {
+                if counts[i] > 0 {
+                    let pred = sums[i] / counts[i] as f64;
+                    sse += (pred - y[i]) * (pred - y[i]);
+                    scored += 1;
+                }
+            }
+            (scored > 0).then(|| sse / scored as f64)
+        } else {
+            None
+        };
+
+        Ok(RandomForest { trees, oob_mse })
+    }
+
+    /// Predicts one row: the mean over all trees.
+    pub fn predict_one(&self, x: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict_one(x)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Predicts many rows.
+    pub fn predict(&self, x_rows: &[Vec<f64>]) -> Vec<f64> {
+        x_rows.iter().map(|r| self.predict_one(r)).collect()
+    }
+
+    /// Number of fitted trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::rmse;
+
+    fn make_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(2);
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(0.0f64..10.0), rng.gen_range(0.0f64..10.0)])
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| r[0] * 2.0 + (r[1] - 5.0).abs() + rng.gen_range(-0.2f64..0.2))
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn learns_nonlinear_signal() {
+        let (x, y) = make_data(300);
+        let params = RandomForestParams { n_estimators: 40, threads: 2, ..Default::default() };
+        let f = RandomForest::fit(&x, &y, &params).unwrap();
+        let pred = f.predict(&x);
+        let base = rmse(&y, &vec![y.iter().sum::<f64>() / y.len() as f64; y.len()]);
+        assert!(rmse(&y, &pred) < base * 0.35, "forest barely beats the mean");
+    }
+
+    #[test]
+    fn deterministic_in_seed_regardless_of_threads() {
+        let (x, y) = make_data(120);
+        let p1 = RandomForestParams { n_estimators: 12, threads: 1, seed: 9, ..Default::default() };
+        let p4 = RandomForestParams { n_estimators: 12, threads: 4, seed: 9, ..Default::default() };
+        let f1 = RandomForest::fit(&x, &y, &p1).unwrap();
+        let f4 = RandomForest::fit(&x, &y, &p4).unwrap();
+        let q = vec![vec![3.0, 4.0], vec![8.0, 1.0]];
+        assert_eq!(f1.predict(&q), f4.predict(&q));
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let (x, y) = make_data(10);
+        let bad = RandomForestParams { n_estimators: 0, ..Default::default() };
+        assert!(matches!(
+            RandomForest::fit(&x, &y, &bad),
+            Err(MlError::InvalidParam { .. })
+        ));
+        assert!(matches!(
+            RandomForest::fit(&[], &[], &RandomForestParams::default()),
+            Err(MlError::EmptyInput)
+        ));
+    }
+
+    #[test]
+    fn oob_error_approximates_test_error() {
+        let (x, y) = make_data(400);
+        let params = RandomForestParams {
+            n_estimators: 60,
+            threads: 2,
+            compute_oob: true,
+            ..Default::default()
+        };
+        // Train on the first 300, test on the remaining 100.
+        let f = RandomForest::fit(&x[..300], &y[..300], &params).unwrap();
+        let oob = f.oob_mse.expect("requested OOB");
+        let test_sse: f64 = x[300..]
+            .iter()
+            .zip(&y[300..])
+            .map(|(xi, yi)| {
+                let p = f.predict_one(xi);
+                (p - yi) * (p - yi)
+            })
+            .sum();
+        let test_mse = test_sse / 100.0;
+        // OOB should land within a factor of ~2.5 of held-out MSE.
+        assert!(
+            oob < test_mse * 2.5 && test_mse < oob * 2.5,
+            "oob {oob} vs test {test_mse}"
+        );
+    }
+
+    #[test]
+    fn oob_off_by_default() {
+        let (x, y) = make_data(60);
+        let f = RandomForest::fit(&x, &y, &RandomForestParams { n_estimators: 5, threads: 1, ..Default::default() }).unwrap();
+        assert!(f.oob_mse.is_none());
+    }
+
+    #[test]
+    fn num_trees_matches_request() {
+        let (x, y) = make_data(50);
+        let p = RandomForestParams { n_estimators: 7, threads: 3, ..Default::default() };
+        let f = RandomForest::fit(&x, &y, &p).unwrap();
+        assert_eq!(f.num_trees(), 7);
+    }
+}

@@ -1,0 +1,95 @@
+//! The paper's Table I, as canonical constants.
+//!
+//! "For a fair comparison, we use the same hyperparameters to train each
+//! spatial model consistently regardless of whether the underlying spatial
+//! grid is prepared out of the original data or the reduced data" (§III-B).
+//! Every experiment binary pulls its hyperparameters from here.
+
+use crate::forest::RandomForestParams;
+use crate::gboost::GradientBoostingParams;
+use crate::gwr::GwrParams;
+use crate::knn::KnnParams;
+use crate::kriging::KrigingParams;
+use crate::svr::SvrParams;
+
+/// Random Forest Regression: `n_estimators: 225, max_depth: 7,
+/// min_samples_leaf: 20, criterion: mse`.
+pub fn random_forest() -> RandomForestParams {
+    RandomForestParams {
+        n_estimators: 225,
+        max_depth: 7,
+        min_samples_leaf: 20,
+        ..RandomForestParams::default()
+    }
+}
+
+/// Support Vector Machine Regression: `kernel: rbf, C: 15, gamma: 0.5,
+/// epsilon: 0.01`.
+pub fn svr() -> SvrParams {
+    SvrParams { c: 15.0, gamma: 0.5, epsilon: 0.01, ..SvrParams::default() }
+}
+
+/// Geographically Weighted Regression: `kernel: gaussian, criterion: AICc,
+/// fixed: False` (adaptive bandwidth).
+pub fn gwr() -> GwrParams {
+    GwrParams::default()
+}
+
+/// Spatial Kriging: `search_radius: 0.01, max_range: 0.32,
+/// number_of_neighbors: 8`.
+pub fn kriging() -> KrigingParams {
+    KrigingParams { search_radius: 0.01, max_range: 0.32, num_neighbors: 8, ..KrigingParams::default() }
+}
+
+/// Gradient Boosting Classification: `n_estimators: 200, max_depth: 5,
+/// min_samples_leaf: 12, loss: deviance`.
+pub fn gradient_boosting() -> GradientBoostingParams {
+    GradientBoostingParams {
+        n_estimators: 200,
+        max_depth: 5,
+        min_samples_leaf: 12,
+        ..GradientBoostingParams::default()
+    }
+}
+
+/// K-Nearest Neighbor Classification: `leaf_size: 18, n_neighbors: 7`.
+pub fn knn() -> KnnParams {
+    KnnParams { leaf_size: 18, n_neighbors: 7 }
+}
+
+/// Number of target classes for the classification experiments (§IV-C2:
+/// "five distinct range bins ... low, low-medium, medium, medium-high,
+/// high").
+pub const NUM_CLASSES: usize = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_are_faithful() {
+        let rf = random_forest();
+        assert_eq!(rf.n_estimators, 225);
+        assert_eq!(rf.max_depth, 7);
+        assert_eq!(rf.min_samples_leaf, 20);
+
+        let s = svr();
+        assert_eq!(s.c, 15.0);
+        assert_eq!(s.gamma, 0.5);
+        assert_eq!(s.epsilon, 0.01);
+
+        let k = kriging();
+        assert_eq!(k.search_radius, 0.01);
+        assert_eq!(k.max_range, 0.32);
+        assert_eq!(k.num_neighbors, 8);
+
+        let gb = gradient_boosting();
+        assert_eq!(gb.n_estimators, 200);
+        assert_eq!(gb.max_depth, 5);
+        assert_eq!(gb.min_samples_leaf, 12);
+
+        let kn = knn();
+        assert_eq!(kn.leaf_size, 18);
+        assert_eq!(kn.n_neighbors, 7);
+    }
+}

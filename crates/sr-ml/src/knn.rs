@@ -1,0 +1,487 @@
+//! K-nearest-neighbour classification over a kd-tree (Table I:
+//! `leaf_size: 18, n_neighbors: 7`).
+//!
+//! The kd-tree splits on the widest dimension at the median until node
+//! populations fall to `leaf_size`, mirroring scikit-learn's structure; the
+//! query walks the tree with a bounded max-heap of the current k best and
+//! prunes subtrees farther than the worst candidate. Majority vote with
+//! ties broken toward the smaller label keeps predictions deterministic.
+
+use crate::{MlError, Result};
+
+/// KNN hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnParams {
+    /// kd-tree leaf capacity.
+    pub leaf_size: usize,
+    /// Number of voting neighbors.
+    pub n_neighbors: usize,
+}
+
+impl Default for KnnParams {
+    fn default() -> Self {
+        KnnParams { leaf_size: 18, n_neighbors: 5 }
+    }
+}
+
+/// A fitted KNN classifier.
+///
+/// Features are standardized internally (zero mean, unit variance per
+/// column): nearest-neighbor distances are meaningless when attribute
+/// scales differ by orders of magnitude.
+#[derive(Debug)]
+pub struct KnnClassifier {
+    points: Vec<Vec<f64>>, // standardized
+    labels: Vec<usize>,
+    nodes: Vec<KdNode>,
+    params: KnnParams,
+    num_classes: usize,
+    feat_mean: Vec<f64>,
+    feat_scale: Vec<f64>,
+}
+
+#[derive(Debug)]
+enum KdNode {
+    Leaf {
+        /// Indices into `points`.
+        members: Vec<u32>,
+    },
+    Split {
+        dim: usize,
+        value: f64,
+        left: u32,
+        right: u32,
+    },
+}
+
+impl KnnClassifier {
+    /// Builds the kd-tree over the training points.
+    pub fn fit(
+        x_rows: &[Vec<f64>],
+        labels: &[usize],
+        num_classes: usize,
+        params: &KnnParams,
+    ) -> Result<Self> {
+        if x_rows.is_empty() {
+            return Err(MlError::EmptyInput);
+        }
+        if x_rows.len() != labels.len() {
+            return Err(MlError::ShapeMismatch { context: "knn: rows != labels" });
+        }
+        if params.n_neighbors == 0 {
+            return Err(MlError::InvalidParam { name: "n_neighbors" });
+        }
+        if params.leaf_size == 0 {
+            return Err(MlError::InvalidParam { name: "leaf_size" });
+        }
+        if labels.iter().any(|&l| l >= num_classes) {
+            return Err(MlError::InvalidParam { name: "labels" });
+        }
+        let (feat_mean, feat_scale) = standardization(x_rows);
+        let points = standardize_rows(x_rows, &feat_mean, &feat_scale);
+        let mut nodes = Vec::new();
+        let mut idx: Vec<u32> = (0..points.len() as u32).collect();
+        build(&mut nodes, &points, &mut idx, params.leaf_size);
+        Ok(KnnClassifier {
+            points,
+            labels: labels.to_vec(),
+            nodes,
+            params: *params,
+            num_classes,
+            feat_mean,
+            feat_scale,
+        })
+    }
+
+    /// Predicts one row by majority vote of the k nearest training points.
+    pub fn predict_one(&self, x: &[f64]) -> usize {
+        let x = standardize_one(x, &self.feat_mean, &self.feat_scale);
+        let x = &x[..];
+        let mut best = NeighborHeap::new(self.params.n_neighbors.min(self.points.len()));
+        self.search(0, x, &mut best);
+        let mut votes = vec![0usize; self.num_classes];
+        for &(_, i) in &best.items {
+            votes[self.labels[i as usize]] += 1;
+        }
+        let mut winner = 0;
+        for (c, &v) in votes.iter().enumerate().skip(1) {
+            if v > votes[winner] {
+                winner = c;
+            }
+        }
+        winner
+    }
+
+    /// Predicts many rows.
+    pub fn predict(&self, x_rows: &[Vec<f64>]) -> Vec<usize> {
+        x_rows.iter().map(|r| self.predict_one(r)).collect()
+    }
+
+    fn search(&self, node: usize, x: &[f64], best: &mut NeighborHeap) {
+        search_nodes(&self.nodes, &self.points, node, x, best);
+    }
+}
+
+/// Bounded max-collection of (distance², index) pairs.
+struct NeighborHeap {
+    cap: usize,
+    /// Kept as a simple sorted-ish vec: k is small (≤ ~10), so a linear
+    /// structure beats a real heap.
+    items: Vec<(f64, u32)>,
+}
+
+impl NeighborHeap {
+    fn new(cap: usize) -> Self {
+        NeighborHeap { cap, items: Vec::with_capacity(cap + 1) }
+    }
+
+    fn offer(&mut self, d: f64, i: u32) {
+        if self.items.len() < self.cap {
+            self.items.push((d, i));
+            if self.items.len() == self.cap {
+                self.items
+                    .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+            }
+            return;
+        }
+        if d >= self.worst() {
+            return;
+        }
+        // Insert in order, drop the worst.
+        let pos = self.items.partition_point(|&(x, _)| x < d);
+        self.items.insert(pos, (d, i));
+        self.items.pop();
+    }
+
+    fn full(&self) -> bool {
+        self.items.len() >= self.cap
+    }
+
+    fn worst(&self) -> f64 {
+        if self.items.len() < self.cap {
+            f64::INFINITY
+        } else {
+            self.items.last().map_or(f64::INFINITY, |&(d, _)| d)
+        }
+    }
+}
+
+/// Per-column mean and standard deviation (zero-variance columns scale 1).
+fn standardization(x_rows: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
+    let n = x_rows.len() as f64;
+    let p = x_rows[0].len();
+    let mut mean = vec![0.0; p];
+    for r in x_rows {
+        for (m, v) in mean.iter_mut().zip(r) {
+            *m += v;
+        }
+    }
+    for m in mean.iter_mut() {
+        *m /= n;
+    }
+    let mut var = vec![0.0; p];
+    for r in x_rows {
+        for ((v, m), out) in r.iter().zip(&mean).zip(var.iter_mut()) {
+            *out += (v - m) * (v - m);
+        }
+    }
+    let scale = var
+        .iter()
+        .map(|&v| {
+            let s = (v / n).sqrt();
+            if s > 1e-12 {
+                s
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    (mean, scale)
+}
+
+fn standardize_rows(x_rows: &[Vec<f64>], mean: &[f64], scale: &[f64]) -> Vec<Vec<f64>> {
+    x_rows
+        .iter()
+        .map(|r| standardize_one(r, mean, scale))
+        .collect()
+}
+
+fn standardize_one(x: &[f64], mean: &[f64], scale: &[f64]) -> Vec<f64> {
+    x.iter()
+        .zip(mean.iter().zip(scale))
+        .map(|(v, (m, s))| (v - m) / s)
+        .collect()
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Builds the kd-tree; returns the created node's index.
+fn build(nodes: &mut Vec<KdNode>, points: &[Vec<f64>], idx: &mut [u32], leaf_size: usize) -> u32 {
+    if idx.len() <= leaf_size {
+        let id = nodes.len() as u32;
+        nodes.push(KdNode::Leaf { members: idx.to_vec() });
+        return id;
+    }
+    // Widest dimension of this node's bounding box.
+    let p = points[0].len();
+    let mut dim = 0;
+    let mut widest = -1.0f64;
+    #[allow(clippy::needless_range_loop)] // indexing column d across rows
+    for d in 0..p {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &i in idx.iter() {
+            let v = points[i as usize][d];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if hi - lo > widest {
+            widest = hi - lo;
+            dim = d;
+        }
+    }
+    if widest <= 0.0 {
+        // All points identical: degenerate leaf regardless of size.
+        let id = nodes.len() as u32;
+        nodes.push(KdNode::Leaf { members: idx.to_vec() });
+        return id;
+    }
+    let mid = idx.len() / 2;
+    idx.select_nth_unstable_by(mid, |&a, &b| {
+        points[a as usize][dim]
+            .partial_cmp(&points[b as usize][dim])
+            .expect("finite features")
+    });
+    let value = points[idx[mid] as usize][dim];
+
+    let id = nodes.len() as u32;
+    nodes.push(KdNode::Leaf { members: Vec::new() }); // placeholder
+    let (l_idx, r_idx) = idx.split_at_mut(mid);
+    let left = build(nodes, points, l_idx, leaf_size);
+    let right = build(nodes, points, r_idx, leaf_size);
+    nodes[id as usize] = KdNode::Split { dim, value, left, right };
+    id
+}
+
+/// K-nearest-neighbour *regression*: the prediction is the mean target of
+/// the k nearest training points. Shares the classifier's kd-tree.
+#[derive(Debug)]
+pub struct KnnRegressor {
+    points: Vec<Vec<f64>>, // standardized
+    targets: Vec<f64>,
+    nodes: Vec<KdNode>,
+    params: KnnParams,
+    feat_mean: Vec<f64>,
+    feat_scale: Vec<f64>,
+}
+
+impl KnnRegressor {
+    /// Builds the kd-tree over the training points.
+    pub fn fit(x_rows: &[Vec<f64>], y: &[f64], params: &KnnParams) -> Result<Self> {
+        if x_rows.is_empty() {
+            return Err(MlError::EmptyInput);
+        }
+        if x_rows.len() != y.len() {
+            return Err(MlError::ShapeMismatch { context: "knn-reg: rows != targets" });
+        }
+        if params.n_neighbors == 0 {
+            return Err(MlError::InvalidParam { name: "n_neighbors" });
+        }
+        if params.leaf_size == 0 {
+            return Err(MlError::InvalidParam { name: "leaf_size" });
+        }
+        let (feat_mean, feat_scale) = standardization(x_rows);
+        let points = standardize_rows(x_rows, &feat_mean, &feat_scale);
+        let mut nodes = Vec::new();
+        let mut idx: Vec<u32> = (0..points.len() as u32).collect();
+        build(&mut nodes, &points, &mut idx, params.leaf_size);
+        Ok(KnnRegressor {
+            points,
+            targets: y.to_vec(),
+            nodes,
+            params: *params,
+            feat_mean,
+            feat_scale,
+        })
+    }
+
+    /// Predicts one row as the mean of its k nearest neighbors' targets.
+    pub fn predict_one(&self, x: &[f64]) -> f64 {
+        let x = standardize_one(x, &self.feat_mean, &self.feat_scale);
+        let x = &x[..];
+        let mut best = NeighborHeap::new(self.params.n_neighbors.min(self.points.len()));
+        search_nodes(&self.nodes, &self.points, 0, x, &mut best);
+        let sum: f64 = best.items.iter().map(|&(_, i)| self.targets[i as usize]).sum();
+        sum / best.items.len().max(1) as f64
+    }
+
+    /// Predicts many rows.
+    pub fn predict(&self, x_rows: &[Vec<f64>]) -> Vec<f64> {
+        x_rows.iter().map(|r| self.predict_one(r)).collect()
+    }
+}
+
+/// Shared kd-tree search over a node arena (used by both estimators).
+fn search_nodes(
+    nodes: &[KdNode],
+    points: &[Vec<f64>],
+    node: usize,
+    x: &[f64],
+    best: &mut NeighborHeap,
+) {
+    match &nodes[node] {
+        KdNode::Leaf { members } => {
+            for &i in members {
+                let d = sq_dist(x, &points[i as usize]);
+                best.offer(d, i);
+            }
+        }
+        KdNode::Split { dim, value, left, right } => {
+            let diff = x[*dim] - value;
+            let (near, far) = if diff <= 0.0 { (*left, *right) } else { (*right, *left) };
+            search_nodes(nodes, points, near as usize, x, best);
+            if !best.full() || diff * diff < best.worst() {
+                search_nodes(nodes, points, far as usize, x, best);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_data() -> (Vec<Vec<f64>>, Vec<usize>) {
+        // Two concentric classes.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            let a = i as f64 / 60.0 * std::f64::consts::TAU;
+            x.push(vec![a.cos(), a.sin()]);
+            y.push(0);
+            x.push(vec![3.0 * a.cos(), 3.0 * a.sin()]);
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn classifies_rings() {
+        let (x, y) = ring_data();
+        let m = KnnClassifier::fit(&x, &y, 2, &KnnParams { leaf_size: 4, n_neighbors: 3 }).unwrap();
+        assert_eq!(m.predict_one(&[0.9, 0.1]), 0);
+        assert_eq!(m.predict_one(&[2.8, 0.5]), 1);
+        // Training accuracy perfect for well-separated rings.
+        let pred = m.predict(&x);
+        assert_eq!(pred, y);
+    }
+
+    #[test]
+    fn kd_tree_matches_brute_force() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        let x: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.gen_range(-5.0f64..5.0), rng.gen_range(-5.0f64..5.0), rng.gen_range(-5.0f64..5.0)])
+            .collect();
+        let labels: Vec<usize> = (0..200).map(|i| i % 4).collect();
+        let m = KnnClassifier::fit(&x, &labels, 4, &KnnParams { leaf_size: 7, n_neighbors: 5 }).unwrap();
+        let (mean, scale) = standardization(&x);
+        let xs = standardize_rows(&x, &mean, &scale);
+        for _ in 0..25 {
+            let q = vec![
+                rng.gen_range(-5.0f64..5.0),
+                rng.gen_range(-5.0f64..5.0),
+                rng.gen_range(-5.0f64..5.0),
+            ];
+            let qs = standardize_one(&q, &mean, &scale);
+            // Brute force k-NN vote in the standardized space.
+            let mut d: Vec<(f64, usize)> = xs
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (sq_dist(&qs, p), i))
+                .collect();
+            d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let mut votes = [0usize; 4];
+            for &(_, i) in d.iter().take(5) {
+                votes[labels[i]] += 1;
+            }
+            let brute = votes
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+                .unwrap()
+                .0;
+            assert_eq!(m.predict_one(&q), brute, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![0, 1, 1];
+        let m = KnnClassifier::fit(&x, &y, 2, &KnnParams { leaf_size: 2, n_neighbors: 50 }).unwrap();
+        assert_eq!(m.predict_one(&[0.1]), 1); // 2 of 3 labels are 1
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let x = vec![vec![1.0, 1.0]; 30];
+        let y = vec![0usize; 30];
+        let m = KnnClassifier::fit(&x, &y, 2, &KnnParams { leaf_size: 4, n_neighbors: 3 }).unwrap();
+        assert_eq!(m.predict_one(&[1.0, 1.0]), 0);
+    }
+
+    #[test]
+    fn regressor_interpolates_smooth_function() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * r[0]).collect();
+        let m = KnnRegressor::fit(&x, &y, &KnnParams { leaf_size: 8, n_neighbors: 3 }).unwrap();
+        // Mid-domain query: close to the true square.
+        let p = m.predict_one(&[5.05]);
+        assert!((p - 25.5).abs() < 1.0, "pred {p}");
+        // Batch prediction shape.
+        assert_eq!(m.predict(&x[..5]).len(), 5);
+    }
+
+    #[test]
+    fn regressor_matches_brute_force_mean() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(8);
+        let x: Vec<Vec<f64>> = (0..150)
+            .map(|_| vec![rng.gen_range(-3.0f64..3.0), rng.gen_range(-3.0f64..3.0)])
+            .collect();
+        let y: Vec<f64> = (0..150).map(|_| rng.gen_range(0.0f64..10.0)).collect();
+        let m = KnnRegressor::fit(&x, &y, &KnnParams { leaf_size: 6, n_neighbors: 4 }).unwrap();
+        for _ in 0..15 {
+            let q = vec![rng.gen_range(-3.0f64..3.0), rng.gen_range(-3.0f64..3.0)];
+            let (mean, scale) = standardization(&x);
+            let xs = standardize_rows(&x, &mean, &scale);
+            let qs = standardize_one(&q, &mean, &scale);
+            let mut d: Vec<(f64, usize)> =
+                xs.iter().enumerate().map(|(i, p)| (sq_dist(&qs, p), i)).collect();
+            d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let brute: f64 = d.iter().take(4).map(|&(_, i)| y[i]).sum::<f64>() / 4.0;
+            assert!((m.predict_one(&q) - brute).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn regressor_validation() {
+        assert!(KnnRegressor::fit(&[], &[], &KnnParams::default()).is_err());
+        let x = vec![vec![0.0]];
+        assert!(KnnRegressor::fit(&x, &[1.0, 2.0], &KnnParams::default()).is_err());
+        assert!(KnnRegressor::fit(&x, &[1.0], &KnnParams { leaf_size: 0, n_neighbors: 1 }).is_err());
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(KnnClassifier::fit(&[], &[], 2, &KnnParams::default()).is_err());
+        let x = vec![vec![0.0]];
+        assert!(KnnClassifier::fit(&x, &[0, 1], 2, &KnnParams::default()).is_err());
+        assert!(KnnClassifier::fit(&x, &[0], 2, &KnnParams { leaf_size: 0, n_neighbors: 1 }).is_err());
+        assert!(KnnClassifier::fit(&x, &[0], 2, &KnnParams { leaf_size: 1, n_neighbors: 0 }).is_err());
+        assert!(KnnClassifier::fit(&x, &[5], 2, &KnnParams::default()).is_err());
+    }
+}

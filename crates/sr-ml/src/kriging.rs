@@ -1,0 +1,476 @@
+//! Ordinary kriging (Table I: `search_radius: 0.01, max_range: 0.32,
+//! number_of_neighbors: 8`).
+//!
+//! Geostatistical interpolation in two stages, mirroring Pyinterpolate:
+//!
+//! 1. **Variogram fit** — the empirical semivariogram is binned up to
+//!    `max_range` and a spherical model `γ(h) = c₀ + c·(1.5 h/a − 0.5
+//!    (h/a)³)` is fitted by least squares over a (nugget, sill, range)
+//!    grid.
+//! 2. **Prediction** — each query finds its `num_neighbors` nearest
+//!    observations (growing from `search_radius` as needed) and solves the
+//!    ordinary-kriging system (semivariances + Lagrange multiplier) for the
+//!    weights.
+//!
+//! Coordinates are normalized to the unit square internally so Table I's
+//! radii apply uniformly across datasets.
+
+use crate::{MlError, Result};
+use sr_linalg::{LuFactor, Matrix};
+
+/// The theoretical variogram family fitted to the empirical semivariogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VariogramModel {
+    /// `γ(h) = c₀ + c·(1.5 h/a − 0.5 (h/a)³)` up to the range, flat beyond.
+    #[default]
+    Spherical,
+    /// `γ(h) = c₀ + c·(1 − e^{−3h/a})` — approaches the sill asymptotically.
+    Exponential,
+    /// `γ(h) = c₀ + c·(1 − e^{−3(h/a)²})` — parabolic near the origin
+    /// (very smooth fields).
+    Gaussian,
+}
+
+/// Kriging hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct KrigingParams {
+    /// Initial neighbor-search radius (unit-square units).
+    pub search_radius: f64,
+    /// Maximum lag distance used when fitting the variogram.
+    pub max_range: f64,
+    /// Neighbors per prediction.
+    pub num_neighbors: usize,
+    /// Number of variogram lag bins.
+    pub lag_bins: usize,
+    /// Cap on the pairs sampled for the empirical variogram (full pair
+    /// enumeration is O(n²)).
+    pub max_pairs: usize,
+    /// Theoretical model family fitted to the empirical semivariogram.
+    pub model: VariogramModel,
+}
+
+impl Default for KrigingParams {
+    fn default() -> Self {
+        KrigingParams {
+            search_radius: 0.01,
+            max_range: 0.32,
+            num_neighbors: 8,
+            lag_bins: 16,
+            max_pairs: 200_000,
+            model: VariogramModel::Spherical,
+        }
+    }
+}
+
+/// Fitted variogram model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Variogram {
+    /// Nugget `c₀` (variance at zero lag).
+    pub nugget: f64,
+    /// Partial sill `c` (asymptotic variance above the nugget).
+    pub sill: f64,
+    /// Range `a` (lag beyond which correlation (effectively) vanishes).
+    pub range: f64,
+    /// Model family.
+    pub model: VariogramModel,
+}
+
+impl Variogram {
+    /// Semivariance at lag `h` under the fitted model.
+    pub fn gamma(&self, h: f64) -> f64 {
+        if h <= 0.0 {
+            return 0.0;
+        }
+        match self.model {
+            VariogramModel::Spherical => {
+                if h >= self.range {
+                    return self.nugget + self.sill;
+                }
+                let r = h / self.range;
+                self.nugget + self.sill * (1.5 * r - 0.5 * r * r * r)
+            }
+            VariogramModel::Exponential => {
+                self.nugget + self.sill * (1.0 - (-3.0 * h / self.range).exp())
+            }
+            VariogramModel::Gaussian => {
+                let r = h / self.range;
+                self.nugget + self.sill * (1.0 - (-3.0 * r * r).exp())
+            }
+        }
+    }
+}
+
+/// A fitted ordinary-kriging interpolator.
+#[derive(Debug)]
+pub struct OrdinaryKriging {
+    coords: Vec<(f64, f64)>, // normalized to the unit square
+    values: Vec<f64>,
+    /// The fitted variogram model.
+    pub variogram: Variogram,
+    params: KrigingParams,
+    // Normalization of raw coordinates.
+    lat_off: f64,
+    lat_scale: f64,
+    lon_off: f64,
+    lon_scale: f64,
+}
+
+impl OrdinaryKriging {
+    /// Fits the variogram from observations at `coords`.
+    pub fn fit(coords: &[(f64, f64)], values: &[f64], params: &KrigingParams) -> Result<Self> {
+        if coords.is_empty() {
+            return Err(MlError::EmptyInput);
+        }
+        if coords.len() != values.len() {
+            return Err(MlError::ShapeMismatch { context: "kriging: coords != values" });
+        }
+        if params.num_neighbors == 0 {
+            return Err(MlError::InvalidParam { name: "num_neighbors" });
+        }
+
+        // Normalize coordinates to the unit square.
+        let lat_min = coords.iter().map(|c| c.0).fold(f64::INFINITY, f64::min);
+        let lat_max = coords.iter().map(|c| c.0).fold(f64::NEG_INFINITY, f64::max);
+        let lon_min = coords.iter().map(|c| c.1).fold(f64::INFINITY, f64::min);
+        let lon_max = coords.iter().map(|c| c.1).fold(f64::NEG_INFINITY, f64::max);
+        let lat_scale = (lat_max - lat_min).max(1e-12);
+        let lon_scale = (lon_max - lon_min).max(1e-12);
+        let norm: Vec<(f64, f64)> = coords
+            .iter()
+            .map(|&(la, lo)| ((la - lat_min) / lat_scale, (lo - lon_min) / lon_scale))
+            .collect();
+
+        let variogram = fit_variogram(&norm, values, params)?;
+        Ok(OrdinaryKriging {
+            coords: norm,
+            values: values.to_vec(),
+            variogram,
+            params: *params,
+            lat_off: lat_min,
+            lat_scale,
+            lon_off: lon_min,
+            lon_scale,
+        })
+    }
+
+    /// Predicts the value at one location (raw coordinates).
+    pub fn predict_one(&self, at: (f64, f64)) -> f64 {
+        self.predict_with_variance(at).0
+    }
+
+    /// Predicts value *and* kriging variance at one location. The variance
+    /// `σ²(s₀) = Σ wᵢ γ(dᵢ₀) + μ` quantifies interpolation uncertainty:
+    /// zero at observed points, rising toward the sill far from data.
+    pub fn predict_with_variance(&self, at: (f64, f64)) -> (f64, f64) {
+        let q = (
+            (at.0 - self.lat_off) / self.lat_scale,
+            (at.1 - self.lon_off) / self.lon_scale,
+        );
+        let neighbors = self.nearest_neighbors(q);
+        if neighbors.is_empty() {
+            return (mean(&self.values), self.variogram.nugget + self.variogram.sill);
+        }
+        if neighbors.len() == 1 {
+            let d = dist(q, self.coords[neighbors[0]]);
+            return (self.values[neighbors[0]], self.variogram.gamma(d));
+        }
+
+        // Ordinary kriging system: [Γ 1; 1ᵀ 0] [w; μ] = [γ₀; 1].
+        let k = neighbors.len();
+        let mut a = Matrix::zeros(k + 1, k + 1);
+        for (ri, &i) in neighbors.iter().enumerate() {
+            for (rj, &j) in neighbors.iter().enumerate() {
+                let h = dist(self.coords[i], self.coords[j]);
+                a[(ri, rj)] = self.variogram.gamma(h);
+            }
+            // Tiny jitter keeps the system nonsingular for co-located points.
+            a[(ri, ri)] += 1e-10;
+            a[(ri, k)] = 1.0;
+            a[(k, ri)] = 1.0;
+        }
+        let mut rhs = vec![0.0; k + 1];
+        for (ri, &i) in neighbors.iter().enumerate() {
+            rhs[ri] = self.variogram.gamma(dist(q, self.coords[i]));
+        }
+        rhs[k] = 1.0;
+
+        match LuFactor::new(&a).and_then(|f| f.solve(&rhs)) {
+            Ok(sol) => {
+                let value = neighbors
+                    .iter()
+                    .enumerate()
+                    .map(|(ri, &i)| sol[ri] * self.values[i])
+                    .sum();
+                // Kriging variance: Σ wᵢ γ(dᵢ₀) + μ (Lagrange multiplier is
+                // the trailing solution entry). Clamped at 0 against
+                // round-off.
+                let variance: f64 = (0..k).map(|ri| sol[ri] * rhs[ri]).sum::<f64>() + sol[k];
+                (value, variance.max(0.0))
+            }
+            // Singular neighborhood (all co-located): inverse-distance mean.
+            Err(_) => {
+                let mut wsum = 0.0;
+                let mut vsum = 0.0;
+                for &i in &neighbors {
+                    let w = 1.0 / (dist(q, self.coords[i]) + 1e-9);
+                    wsum += w;
+                    vsum += w * self.values[i];
+                }
+                (vsum / wsum, self.variogram.nugget)
+            }
+        }
+    }
+
+    /// Predicts many locations.
+    pub fn predict(&self, coords: &[(f64, f64)]) -> Vec<f64> {
+        coords.iter().map(|&c| self.predict_one(c)).collect()
+    }
+
+    /// Indices of the `num_neighbors` nearest observations, searched by
+    /// doubling the radius from `search_radius` (Pyinterpolate's strategy)
+    /// and falling back to a full scan when the data is sparse.
+    fn nearest_neighbors(&self, q: (f64, f64)) -> Vec<usize> {
+        let want = self.params.num_neighbors.min(self.coords.len());
+        let mut radius = self.params.search_radius.max(1e-6);
+        for _ in 0..12 {
+            let mut found: Vec<(f64, usize)> = self
+                .coords
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &c)| {
+                    let d = dist(q, c);
+                    (d <= radius).then_some((d, i))
+                })
+                .collect();
+            if found.len() >= want {
+                found.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+                return found.into_iter().take(want).map(|(_, i)| i).collect();
+            }
+            radius *= 2.0;
+        }
+        // Full scan fallback.
+        let mut all: Vec<(f64, usize)> = self
+            .coords
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (dist(q, c), i))
+            .collect();
+        all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        all.into_iter().take(want).map(|(_, i)| i).collect()
+    }
+}
+
+/// Fits the spherical variogram to the binned empirical semivariogram by a
+/// coarse (nugget, sill, range) grid search minimizing SSE.
+fn fit_variogram(coords: &[(f64, f64)], values: &[f64], params: &KrigingParams) -> Result<Variogram> {
+    let n = coords.len();
+    let bins = params.lag_bins.max(4);
+    let max_h = params.max_range.max(1e-6);
+    let mut gamma_sum = vec![0.0f64; bins];
+    let mut gamma_cnt = vec![0usize; bins];
+
+    // Pair sampling: full enumeration for small n, strided subsample above
+    // the pair budget.
+    let total_pairs = n * (n - 1) / 2;
+    let stride = (total_pairs / params.max_pairs.max(1)).max(1);
+    let mut pair_idx = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            pair_idx += 1;
+            if !pair_idx.is_multiple_of(stride) {
+                continue;
+            }
+            let h = dist(coords[i], coords[j]);
+            if h > max_h {
+                continue;
+            }
+            let bin = ((h / max_h) * bins as f64) as usize;
+            let bin = bin.min(bins - 1);
+            let d = values[i] - values[j];
+            gamma_sum[bin] += 0.5 * d * d;
+            gamma_cnt[bin] += 1;
+        }
+    }
+
+    let lags: Vec<f64> = (0..bins).map(|b| (b as f64 + 0.5) / bins as f64 * max_h).collect();
+    let empirical: Vec<Option<f64>> = gamma_sum
+        .iter()
+        .zip(&gamma_cnt)
+        .map(|(&s, &c)| (c > 0).then(|| s / c as f64))
+        .collect();
+    let observed: Vec<(f64, f64)> = lags
+        .iter()
+        .zip(&empirical)
+        .filter_map(|(&h, &g)| g.map(|g| (h, g)))
+        .collect();
+    if observed.is_empty() {
+        // Degenerate geometry (single point / all co-located): pure nugget.
+        let var = variance(values);
+        return Ok(Variogram {
+            nugget: var.max(1e-12),
+            sill: 0.0,
+            range: max_h,
+            model: params.model,
+        });
+    }
+
+    let gmax = observed.iter().map(|&(_, g)| g).fold(0.0f64, f64::max).max(1e-12);
+    let mut best = Variogram { nugget: 0.0, sill: gmax, range: max_h, model: params.model };
+    let mut best_sse = f64::INFINITY;
+    for nug_step in 0..6 {
+        let nugget = gmax * nug_step as f64 / 10.0;
+        for sill_step in 1..=10 {
+            let sill = gmax * sill_step as f64 / 10.0;
+            for range_step in 1..=12 {
+                let range = max_h * range_step as f64 / 12.0;
+                let v = Variogram { nugget, sill, range, model: params.model };
+                let sse: f64 = observed
+                    .iter()
+                    .map(|&(h, g)| {
+                        let e = v.gamma(h) - g;
+                        e * e
+                    })
+                    .sum();
+                if sse < best_sse {
+                    best_sse = sse;
+                    best = v;
+                }
+            }
+        }
+    }
+    Ok(best)
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let dla = a.0 - b.0;
+    let dlo = a.1 - b.1;
+    (dla * dla + dlo * dlo).sqrt()
+}
+
+fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+fn variance(v: &[f64]) -> f64 {
+    let m = mean(v);
+    v.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::rmse;
+
+    fn smooth_observations(n_side: usize) -> (Vec<(f64, f64)>, Vec<f64>) {
+        let mut coords = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..n_side {
+            for c in 0..n_side {
+                let lat = r as f64 / n_side as f64;
+                let lon = c as f64 / n_side as f64;
+                coords.push((lat, lon));
+                values.push((lat * 3.0).sin() + (lon * 2.0).cos() * 2.0);
+            }
+        }
+        (coords, values)
+    }
+
+    #[test]
+    fn variogram_shape_properties() {
+        let v = Variogram { nugget: 0.1, sill: 1.0, range: 0.5, model: VariogramModel::Spherical };
+        assert_eq!(v.gamma(0.0), 0.0);
+        assert!(v.gamma(0.1) > 0.1); // above the nugget immediately
+        assert!(v.gamma(0.3) > v.gamma(0.1)); // increasing
+        assert!((v.gamma(0.5) - 1.1).abs() < 1e-12); // sill at range
+        assert_eq!(v.gamma(2.0), 1.1); // flat beyond
+    }
+
+    #[test]
+    fn interpolates_smooth_surface() {
+        let (coords, values) = smooth_observations(15);
+        // Hold out every 7th point.
+        let mut train_c = Vec::new();
+        let mut train_v = Vec::new();
+        let mut test_c = Vec::new();
+        let mut test_v = Vec::new();
+        for (i, (&c, &v)) in coords.iter().zip(&values).enumerate() {
+            if i % 7 == 0 {
+                test_c.push(c);
+                test_v.push(v);
+            } else {
+                train_c.push(c);
+                train_v.push(v);
+            }
+        }
+        let k = OrdinaryKriging::fit(&train_c, &train_v, &KrigingParams::default()).unwrap();
+        let pred = k.predict(&test_c);
+        let err = rmse(&test_v, &pred);
+        // The surface is smooth; kriging should be far better than the mean.
+        let base = rmse(
+            &test_v,
+            &vec![train_v.iter().sum::<f64>() / train_v.len() as f64; test_v.len()],
+        );
+        assert!(err < base * 0.2, "kriging rmse {err} vs mean baseline {base}");
+    }
+
+    #[test]
+    fn exactness_at_observed_points() {
+        let (coords, values) = smooth_observations(10);
+        let k = OrdinaryKriging::fit(&coords, &values, &KrigingParams::default()).unwrap();
+        // Kriging is an exact interpolator (up to the diagonal jitter).
+        for (c, v) in coords.iter().zip(&values).take(10) {
+            assert!((k.predict_one(*c) - v).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one_effect() {
+        // Constant field ⇒ prediction is that constant everywhere
+        // (unbiasedness of ordinary kriging).
+        let (coords, _) = smooth_observations(8);
+        let values = vec![7.5; coords.len()];
+        let k = OrdinaryKriging::fit(&coords, &values, &KrigingParams::default()).unwrap();
+        assert!((k.predict_one((0.31, 0.62)) - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variance_zero_at_observations_positive_away() {
+        let (coords, values) = smooth_observations(12);
+        let kr = OrdinaryKriging::fit(&coords, &values, &KrigingParams::default()).unwrap();
+        // At an observed point the variance collapses (up to jitter).
+        let (_, var_at) = kr.predict_with_variance(coords[30]);
+        assert!(var_at < 0.05, "variance at observation {var_at}");
+        // Far outside the hull it approaches nugget + sill.
+        let (_, var_far) = kr.predict_with_variance((5.0, 5.0));
+        assert!(var_far > var_at, "far {var_far} vs at {var_at}");
+    }
+
+    #[test]
+    fn exponential_and_gaussian_models_interpolate() {
+        let (coords, values) = smooth_observations(12);
+        for model in [VariogramModel::Exponential, VariogramModel::Gaussian] {
+            let params = KrigingParams { model, ..KrigingParams::default() };
+            let k = OrdinaryKriging::fit(&coords, &values, &params).unwrap();
+            assert_eq!(k.variogram.model, model);
+            // Exactness at observations holds regardless of the family.
+            let (pred, _) = k.predict_with_variance(coords[5]);
+            assert!((pred - values[5]).abs() < 0.1, "{model:?}: {pred}");
+            // Asymptotic families never exceed nugget+sill.
+            assert!(k.variogram.gamma(10.0) <= k.variogram.nugget + k.variogram.sill + 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_observation_degenerates_gracefully() {
+        let k = OrdinaryKriging::fit(&[(0.5, 0.5)], &[3.0], &KrigingParams::default()).unwrap();
+        assert_eq!(k.predict_one((0.1, 0.9)), 3.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(OrdinaryKriging::fit(&[], &[], &KrigingParams::default()).is_err());
+        assert!(OrdinaryKriging::fit(&[(0.0, 0.0)], &[1.0, 2.0], &KrigingParams::default()).is_err());
+        let bad = KrigingParams { num_neighbors: 0, ..Default::default() };
+        assert!(OrdinaryKriging::fit(&[(0.0, 0.0)], &[1.0], &bad).is_err());
+    }
+}

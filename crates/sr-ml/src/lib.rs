@@ -1,0 +1,110 @@
+//! Spatial ML substrate for the re-partitioning evaluation.
+//!
+//! The paper trains its models "out-of-the-box using PySAL, Pyinterpolate,
+//! and scikit-learn" (§III-B); none of those exist in Rust, so this crate
+//! implements every model the evaluation needs, with the hyperparameters of
+//! the paper's Table I (see [`hyperparams`]):
+//!
+//! | Paper model | Module | Estimator here |
+//! |---|---|---|
+//! | Spatial lag regression | [`lag`] | spatial two-stage least squares |
+//! | Spatial error regression | [`error_model`] | FGLS with grid-searched λ |
+//! | Geographically weighted regression | [`gwr`] | adaptive gaussian kernel, AICc bandwidth |
+//! | Support vector regression | [`svr`] | ε-SVR, RBF kernel, SMO |
+//! | Random forest regression | [`forest`] | CART ensemble, mse criterion |
+//! | Spatial kriging | [`kriging`] | ordinary kriging, spherical variogram |
+//! | Gradient boosting classification | [`gboost`] | multinomial-deviance boosting |
+//! | K-nearest-neighbour classification | [`knn`] | kd-tree majority vote |
+//! | Spatially constrained hierarchical clustering | [`schc`] | Ward linkage under contiguity |
+//!
+//! Evaluation metrics (§IV-A1) live in [`metrics`]: MAE, RMSE, standard
+//! error of regression, pseudo-R², weighted F1, and the cluster-agreement
+//! score of Table IV.
+
+pub mod diagnostics;
+pub mod error_model;
+pub mod forest;
+pub mod gboost;
+pub mod gwr;
+pub mod hyperparams;
+pub mod kriging;
+pub mod knn;
+pub mod lag;
+pub mod linear;
+pub mod metrics;
+pub mod schc;
+pub mod svr;
+pub mod tree;
+
+pub use diagnostics::{lm_diagnostics, LmDiagnostics, LmStat, RecommendedModel};
+pub use error_model::SpatialError;
+pub use forest::{RandomForest, RandomForestParams};
+pub use gboost::{GradientBoostingClassifier, GradientBoostingParams};
+pub use gwr::{Gwr, GwrParams};
+pub use hyperparams as table1;
+pub use kriging::{KrigingParams, OrdinaryKriging, Variogram, VariogramModel};
+pub use knn::{KnnClassifier, KnnParams, KnnRegressor};
+pub use lag::SpatialLag;
+pub use linear::Ols;
+pub use metrics::{
+    bin_into_quantiles, cluster_agreement, mae, mae_weighted, pseudo_r2, r2_weighted, rmse,
+    rmse_weighted, se_regression, se_weighted, weighted_f1,
+};
+pub use schc::{schc_cluster, SchcParams};
+pub use svr::{Svr, SvrParams};
+
+/// Errors from model fitting and prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Empty or degenerate training input.
+    EmptyInput,
+    /// Inconsistent operand shapes (features vs targets vs adjacency).
+    ShapeMismatch {
+        /// What disagreed.
+        context: &'static str,
+    },
+    /// A linear-algebra subroutine failed.
+    LinAlg(sr_linalg::LinAlgError),
+    /// A hyperparameter was out of its valid domain.
+    InvalidParam {
+        /// Which parameter.
+        name: &'static str,
+    },
+}
+
+impl std::fmt::Display for MlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MlError::EmptyInput => write!(f, "empty training input"),
+            MlError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            MlError::LinAlg(e) => write!(f, "linear algebra failure: {e}"),
+            MlError::InvalidParam { name } => write!(f, "invalid hyperparameter: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MlError::LinAlg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sr_linalg::LinAlgError> for MlError {
+    fn from(e: sr_linalg::LinAlgError) -> Self {
+        MlError::LinAlg(e)
+    }
+}
+
+/// Result alias for model operations.
+pub type Result<T> = std::result::Result<T, MlError>;
+
+/// Builds an `n × p` design matrix from feature rows, validating arity.
+pub(crate) fn design_matrix(rows: &[Vec<f64>]) -> Result<sr_linalg::Matrix> {
+    if rows.is_empty() {
+        return Err(MlError::EmptyInput);
+    }
+    sr_linalg::Matrix::from_rows(rows).map_err(MlError::from)
+}

@@ -1,0 +1,99 @@
+//! Ordinary least squares — the base estimator the spatial lag and error
+//! models build on.
+
+use crate::{design_matrix, MlError, Result};
+use sr_linalg::{lstsq, Matrix};
+
+/// OLS regression with an intercept.
+#[derive(Debug, Clone)]
+pub struct Ols {
+    /// Coefficients: `beta[0]` is the intercept, `beta[1..]` align with the
+    /// feature columns.
+    pub beta: Vec<f64>,
+}
+
+impl Ols {
+    /// Fits `y ≈ β₀ + Σ βₖ xₖ` by least squares.
+    pub fn fit(x_rows: &[Vec<f64>], y: &[f64]) -> Result<Self> {
+        if x_rows.len() != y.len() {
+            return Err(MlError::ShapeMismatch { context: "ols: rows != targets" });
+        }
+        let x = design_matrix(x_rows)?.with_intercept();
+        let beta = lstsq(&x, y)?;
+        Ok(Ols { beta })
+    }
+
+    /// Fits from a pre-built design matrix that already has its intercept
+    /// column (used by the spatial models, which transform designs).
+    pub(crate) fn fit_design(x: &Matrix, y: &[f64]) -> Result<Self> {
+        let beta = lstsq(x, y)?;
+        Ok(Ols { beta })
+    }
+
+    /// Predicts a single feature row.
+    pub fn predict_one(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len() + 1, self.beta.len());
+        self.beta[0]
+            + self.beta[1..]
+                .iter()
+                .zip(x)
+                .map(|(b, v)| b * v)
+                .sum::<f64>()
+    }
+
+    /// Predicts many feature rows.
+    pub fn predict(&self, x_rows: &[Vec<f64>]) -> Vec<f64> {
+        x_rows.iter().map(|r| self.predict_one(r)).collect()
+    }
+
+    /// Residuals `y − ŷ` on the given data.
+    pub fn residuals(&self, x_rows: &[Vec<f64>], y: &[f64]) -> Vec<f64> {
+        self.predict(x_rows)
+            .into_iter()
+            .zip(y)
+            .map(|(p, t)| t - p)
+            .collect()
+    }
+
+    /// Number of fitted parameters (including the intercept).
+    pub fn num_params(&self) -> usize {
+        self.beta.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_linear_function() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 + 2.0 * r[0] - 0.5 * r[1]).collect();
+        let m = Ols::fit(&x, &y).unwrap();
+        assert!((m.beta[0] - 3.0).abs() < 1e-6);
+        assert!((m.beta[1] - 2.0).abs() < 1e-6);
+        assert!((m.beta[2] + 0.5).abs() < 1e-6);
+        let preds = m.predict(&x);
+        for (p, t) in preds.iter().zip(&y) {
+            assert!((p - t).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn residuals_sum_to_zero_with_intercept() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| 1.0 + i as f64 + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let m = Ols::fit(&x, &y).unwrap();
+        let r = m.residuals(&x, &y);
+        assert!(r.iter().sum::<f64>().abs() < 1e-8);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        assert!(matches!(
+            Ols::fit(&[vec![1.0]], &[1.0, 2.0]),
+            Err(MlError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(Ols::fit(&[], &[]), Err(MlError::EmptyInput)));
+    }
+}

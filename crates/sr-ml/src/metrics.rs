@@ -1,0 +1,408 @@
+//! Evaluation metrics (§IV-A1): regression errors, classification F1, and
+//! the clustering-correctness score of Table IV.
+
+use std::collections::HashMap;
+
+/// Mean absolute error.
+///
+/// ```
+/// assert_eq!(sr_ml::mae(&[1.0, 2.0], &[1.0, 4.0]), 1.0);
+/// ```
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "mae: length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / y_true.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "rmse: length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let mse = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / y_true.len() as f64;
+    mse.sqrt()
+}
+
+/// Standard error of the regression (residual standard error):
+/// `sqrt(SSE / (n − k))` with `k` fitted parameters. Falls back to the
+/// population form `sqrt(SSE / n)` when `n ≤ k`.
+pub fn se_regression(y_true: &[f64], y_pred: &[f64], num_params: usize) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "se: length mismatch");
+    let n = y_true.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let sse: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum();
+    let dof = if n > num_params { n - num_params } else { n };
+    (sse / dof as f64).sqrt()
+}
+
+/// Pseudo R² (Eq. 5): `1 − Σ(yᵢ − ŷᵢ)² / Σ(yᵢ − ȳ)²`. Returns 0 when the
+/// target has zero variance.
+pub fn pseudo_r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "r2: length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
+    let sst: f64 = y_true.iter().map(|&t| (t - mean) * (t - mean)).sum();
+    if sst == 0.0 {
+        return 0.0;
+    }
+    let sse: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum();
+    1.0 - sse / sst
+}
+
+/// Weighted F1-score (§IV-A1 [36]): the mean of class-wise F1 scores
+/// weighted by class support. Classes absent from `y_true` contribute no
+/// weight.
+pub fn weighted_f1(y_true: &[usize], y_pred: &[usize], num_classes: usize) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len(), "f1: length mismatch");
+    if y_true.is_empty() {
+        return 0.0;
+    }
+    let mut tp = vec![0usize; num_classes];
+    let mut fp = vec![0usize; num_classes];
+    let mut fal_n = vec![0usize; num_classes];
+    let mut support = vec![0usize; num_classes];
+    for (&t, &p) in y_true.iter().zip(y_pred) {
+        assert!(t < num_classes && p < num_classes, "label out of range");
+        support[t] += 1;
+        if t == p {
+            tp[t] += 1;
+        } else {
+            fp[p] += 1;
+            fal_n[t] += 1;
+        }
+    }
+    let n = y_true.len() as f64;
+    let mut f1_sum = 0.0;
+    for c in 0..num_classes {
+        if support[c] == 0 {
+            continue;
+        }
+        let precision_den = tp[c] + fp[c];
+        let recall_den = tp[c] + fal_n[c];
+        let precision = if precision_den > 0 { tp[c] as f64 / precision_den as f64 } else { 0.0 };
+        let recall = if recall_den > 0 { tp[c] as f64 / recall_den as f64 } else { 0.0 };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        f1_sum += f1 * support[c] as f64 / n;
+    }
+    f1_sum
+}
+
+/// Bins continuous values into `num_classes` quantile classes 0..`num_classes`
+/// (§IV-C2 converts the regression target into five ordered classes; we use
+/// rank quantiles so every class is populated even on skewed count data —
+/// equal-width ranges would leave upper classes nearly empty).
+pub fn bin_into_quantiles(values: &[f64], num_classes: usize) -> Vec<usize> {
+    assert!(num_classes >= 2, "need at least two classes");
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+    let mut labels = vec![0usize; n];
+    for (rank, &idx) in order.iter().enumerate() {
+        labels[idx] = (rank * num_classes / n).min(num_classes - 1);
+    }
+    // Equal values must get equal labels: sweep runs of ties and assign the
+    // label of the run's first element.
+    let mut i = 0;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && values[order[j]] == values[order[i]] {
+            j += 1;
+        }
+        let label = labels[order[i]];
+        for &idx in &order[i..j] {
+            labels[idx] = label;
+        }
+        i = j;
+    }
+    labels
+}
+
+/// Bins continuous values into `num_classes` equal-width range bins over
+/// `[min, max]` — the literal reading of the paper's "range bins".
+pub fn bin_into_ranges(values: &[f64], num_classes: usize) -> Vec<usize> {
+    assert!(num_classes >= 2, "need at least two classes");
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    values
+        .iter()
+        .map(|&v| (((v - min) / span * num_classes as f64) as usize).min(num_classes - 1))
+        .collect()
+}
+
+/// Weighted mean absolute error (weights ≥ 0, e.g. cells per unit).
+pub fn mae_weighted(y_true: &[f64], y_pred: &[f64], w: &[f64]) -> f64 {
+    assert!(y_true.len() == y_pred.len() && y_true.len() == w.len());
+    let wsum: f64 = w.iter().sum();
+    if wsum == 0.0 {
+        return 0.0;
+    }
+    y_true
+        .iter()
+        .zip(y_pred)
+        .zip(w)
+        .map(|((t, p), wi)| wi * (t - p).abs())
+        .sum::<f64>()
+        / wsum
+}
+
+/// Weighted root mean squared error.
+pub fn rmse_weighted(y_true: &[f64], y_pred: &[f64], w: &[f64]) -> f64 {
+    assert!(y_true.len() == y_pred.len() && y_true.len() == w.len());
+    let wsum: f64 = w.iter().sum();
+    if wsum == 0.0 {
+        return 0.0;
+    }
+    let mse = y_true
+        .iter()
+        .zip(y_pred)
+        .zip(w)
+        .map(|((t, p), wi)| wi * (t - p) * (t - p))
+        .sum::<f64>()
+        / wsum;
+    mse.sqrt()
+}
+
+/// Weighted standard error of the regression: `sqrt(Σw e² / (W − k·w̄))`
+/// with `W = Σw` — reduces to the unweighted form when all weights are 1.
+pub fn se_weighted(y_true: &[f64], y_pred: &[f64], w: &[f64], num_params: usize) -> f64 {
+    assert!(y_true.len() == y_pred.len() && y_true.len() == w.len());
+    let wsum: f64 = w.iter().sum();
+    if wsum == 0.0 {
+        return 0.0;
+    }
+    let sse: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .zip(w)
+        .map(|((t, p), wi)| wi * (t - p) * (t - p))
+        .sum();
+    let wbar = wsum / y_true.len() as f64;
+    let dof = (wsum - num_params as f64 * wbar).max(wbar);
+    (sse / dof).sqrt()
+}
+
+/// Weighted pseudo-R².
+pub fn r2_weighted(y_true: &[f64], y_pred: &[f64], w: &[f64]) -> f64 {
+    assert!(y_true.len() == y_pred.len() && y_true.len() == w.len());
+    let wsum: f64 = w.iter().sum();
+    if wsum == 0.0 {
+        return 0.0;
+    }
+    let mean = y_true.iter().zip(w).map(|(t, wi)| t * wi).sum::<f64>() / wsum;
+    let sst: f64 = y_true
+        .iter()
+        .zip(w)
+        .map(|(t, wi)| wi * (t - mean) * (t - mean))
+        .sum();
+    if sst == 0.0 {
+        return 0.0;
+    }
+    let sse: f64 = y_true
+        .iter()
+        .zip(y_pred)
+        .zip(w)
+        .map(|((t, p), wi)| wi * (t - p) * (t - p))
+        .sum();
+    1.0 - sse / sst
+}
+
+/// Clustering correctness (Table IV): the percentage of units whose cluster
+/// assignment agrees between two clusterings, after optimally matching
+/// cluster labels by greedy maximum overlap on the contingency table.
+///
+/// Labels need not use the same id space; only co-membership structure
+/// matters.
+pub fn cluster_agreement(labels_a: &[usize], labels_b: &[usize]) -> f64 {
+    assert_eq!(labels_a.len(), labels_b.len(), "agreement: length mismatch");
+    let n = labels_a.len();
+    if n == 0 {
+        return 100.0;
+    }
+    // Contingency counts.
+    let mut table: HashMap<(usize, usize), usize> = HashMap::new();
+    for (&a, &b) in labels_a.iter().zip(labels_b) {
+        *table.entry((a, b)).or_insert(0) += 1;
+    }
+    // Greedy matching: repeatedly take the largest unmatched (a, b) pair.
+    let mut entries: Vec<((usize, usize), usize)> = table.into_iter().collect();
+    entries.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+    let mut used_a = std::collections::HashSet::new();
+    let mut used_b = std::collections::HashSet::new();
+    let mut matched = 0usize;
+    for ((a, b), count) in entries {
+        if used_a.contains(&a) || used_b.contains(&b) {
+            continue;
+        }
+        used_a.insert(a);
+        used_b.insert(b);
+        matched += count;
+    }
+    matched as f64 / n as f64 * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_rmse_basic() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [1.0, 3.0, 1.0];
+        assert!((mae(&t, &p) - 1.0).abs() < 1e-12);
+        assert!((rmse(&t, &p) - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mae(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn se_regression_uses_dof() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        let p = [1.5, 1.5, 3.5, 3.5];
+        // SSE = 4 * 0.25 = 1.0; k = 2 => sqrt(1/2)
+        assert!((se_regression(&t, &p, 2) - (0.5f64).sqrt()).abs() < 1e-12);
+        // Degenerate dof falls back to n.
+        assert!((se_regression(&t, &p, 10) - (0.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_perfect_and_mean_prediction() {
+        let t = [1.0, 2.0, 3.0];
+        assert!((pseudo_r2(&t, &t) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(pseudo_r2(&t, &mean_pred).abs() < 1e-12);
+        assert_eq!(pseudo_r2(&[5.0, 5.0], &[5.0, 4.0]), 0.0); // zero variance
+    }
+
+    #[test]
+    fn weighted_f1_perfect_and_worst() {
+        let t = [0usize, 0, 1, 1, 2];
+        assert!((weighted_f1(&t, &t, 3) - 1.0).abs() < 1e-12);
+        let wrong = [1usize, 1, 2, 2, 0];
+        assert_eq!(weighted_f1(&t, &wrong, 3), 0.0);
+    }
+
+    #[test]
+    fn weighted_f1_matches_hand_computation() {
+        // Class 0: tp=1, fn=1 (support 2); class 1: tp=1, fp=1 (support 1).
+        let t = [0usize, 0, 1];
+        let p = [0usize, 1, 1];
+        // class0: precision 1, recall 0.5, f1 = 2/3; class1: precision 0.5,
+        // recall 1, f1 = 2/3. weighted: (2/3)*(2/3) + (2/3)*(1/3) = 2/3.
+        assert!((weighted_f1(&t, &p, 2) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_bins_are_balanced_and_monotone() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let labels = bin_into_quantiles(&vals, 5);
+        for c in 0..5 {
+            assert_eq!(labels.iter().filter(|&&l| l == c).count(), 20);
+        }
+        // Monotone in the value.
+        for i in 1..100 {
+            assert!(labels[i] >= labels[i - 1]);
+        }
+    }
+
+    #[test]
+    fn quantile_bins_keep_ties_together() {
+        let vals = [1.0, 1.0, 1.0, 1.0, 9.0, 9.0];
+        let labels = bin_into_quantiles(&vals, 2);
+        assert!(labels[..4].iter().all(|&l| l == labels[0]));
+        assert!(labels[4..].iter().all(|&l| l == labels[4]));
+        assert_ne!(labels[0], labels[4]);
+    }
+
+    #[test]
+    fn range_bins_follow_width() {
+        let vals = [0.0, 0.49, 0.51, 1.0];
+        let labels = bin_into_ranges(&vals, 2);
+        assert_eq!(labels, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn weighted_metrics_reduce_to_unweighted_with_unit_weights() {
+        let t = [1.0, 2.0, 4.0, 8.0];
+        let p = [1.5, 1.5, 4.5, 7.0];
+        let w = [1.0; 4];
+        assert!((mae_weighted(&t, &p, &w) - mae(&t, &p)).abs() < 1e-12);
+        assert!((rmse_weighted(&t, &p, &w) - rmse(&t, &p)).abs() < 1e-12);
+        assert!((se_weighted(&t, &p, &w, 2) - se_regression(&t, &p, 2)).abs() < 1e-12);
+        assert!((r2_weighted(&t, &p, &w) - pseudo_r2(&t, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_shift_the_metric_toward_heavy_units() {
+        let t = [0.0, 10.0];
+        let p = [1.0, 10.0]; // unit 0 has error 1, unit 1 exact
+        assert!((mae_weighted(&t, &p, &[1.0, 9.0]) - 0.1).abs() < 1e-12);
+        assert!((mae_weighted(&t, &p, &[9.0, 1.0]) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_metrics_handle_zero_weight_sum() {
+        let t = [1.0];
+        let p = [2.0];
+        assert_eq!(mae_weighted(&t, &p, &[0.0]), 0.0);
+        assert_eq!(r2_weighted(&t, &p, &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn cluster_agreement_invariant_to_relabeling() {
+        let a = [0usize, 0, 1, 1, 2, 2];
+        let b = [5usize, 5, 9, 9, 7, 7]; // same partition, different ids
+        assert_eq!(cluster_agreement(&a, &b), 100.0);
+    }
+
+    #[test]
+    fn cluster_agreement_partial() {
+        let a = [0usize, 0, 0, 1, 1, 1];
+        let b = [0usize, 0, 1, 1, 1, 1]; // one unit moved
+        let pct = cluster_agreement(&a, &b);
+        assert!((pct - 5.0 / 6.0 * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_agreement_handles_degenerate() {
+        assert_eq!(cluster_agreement(&[], &[]), 100.0);
+        let a = [0usize; 4];
+        let b = [0usize, 1, 2, 3];
+        // Best match: one of b's singletons aligns with a's block => 1/4.
+        assert_eq!(cluster_agreement(&a, &b), 25.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Spatially-constrained hierarchical clustering (SCHC) — the clustering
+//! application of §IV-C4 / Table IV and the "Clustering" baseline of
+//! §IV-A3 (Kim et al. [15]).
+//!
+//! Agglomerative Ward clustering where only *spatially adjacent* clusters
+//! may merge: every unit starts as its own cluster, the candidate heap holds
+//! Ward distances `Δ(a,b) = (nₐ·n_b)/(nₐ+n_b)·‖μₐ − μ_b‖²` for adjacent
+//! pairs, and merges proceed until the target cluster count. Lazy deletion
+//! plus union-find keeps the heap honest without expensive rebuilds.
+
+use crate::{MlError, Result};
+use sr_grid::AdjacencyList;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// SCHC parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SchcParams {
+    /// Target number of clusters.
+    pub num_clusters: usize,
+}
+
+/// Result of a clustering run: `labels[i]` ∈ `0..num_clusters_found`.
+#[derive(Debug, Clone)]
+pub struct SchcResult {
+    /// Cluster label per unit, compacted to `0..num_found`.
+    pub labels: Vec<usize>,
+    /// Number of clusters actually produced (≥ the target when the
+    /// adjacency graph has more connected components than requested).
+    pub num_found: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapKey(f64);
+
+impl Eq for HeapKey {}
+
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("finite ward distances")
+    }
+}
+
+/// Runs SCHC over `features` (one row per unit) under the contiguity graph
+/// `adj`, stopping at `params.num_clusters` clusters.
+pub fn schc_cluster(
+    features: &[Vec<f64>],
+    adj: &AdjacencyList,
+    params: &SchcParams,
+) -> Result<SchcResult> {
+    let n = features.len();
+    if n == 0 {
+        return Err(MlError::EmptyInput);
+    }
+    if adj.len() != n {
+        return Err(MlError::ShapeMismatch { context: "schc: adjacency != features" });
+    }
+    if params.num_clusters == 0 {
+        return Err(MlError::InvalidParam { name: "num_clusters" });
+    }
+    let p = features[0].len();
+    if features.iter().any(|f| f.len() != p) {
+        return Err(MlError::ShapeMismatch { context: "schc: ragged features" });
+    }
+
+    // Union-find over cluster representatives.
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+
+    // Per-cluster state (indexed by representative): size, feature sums,
+    // neighbor set, and a version stamp for lazy heap deletion.
+    let mut size: Vec<usize> = vec![1; n];
+    let mut sums: Vec<Vec<f64>> = features.to_vec();
+    let mut neighbors: Vec<HashSet<u32>> = (0..n)
+        .map(|i| adj.neighbors(i as u32).iter().copied().collect())
+        .collect();
+    let mut version: Vec<u32> = vec![0; n];
+
+    let ward = |size: &[usize], sums: &[Vec<f64>], a: usize, b: usize| -> f64 {
+        let (na, nb) = (size[a] as f64, size[b] as f64);
+        let mut d2 = 0.0;
+        for (sa, sb) in sums[a].iter().take(p).zip(&sums[b]) {
+            let d = sa / na - sb / nb;
+            d2 += d * d;
+        }
+        na * nb / (na + nb) * d2
+    };
+
+    // Heap entries: (ward, a, b, version_a, version_b); stale entries are
+    // skipped when versions moved on.
+    type MergeCandidate = (HeapKey, u32, u32, u32, u32);
+    let mut heap: BinaryHeap<Reverse<MergeCandidate>> = BinaryHeap::new();
+    for i in 0..n {
+        for &j in adj.neighbors(i as u32) {
+            if (i as u32) < j {
+                let d = ward(&size, &sums, i, j as usize);
+                heap.push(Reverse((HeapKey(d), i as u32, j, 0, 0)));
+            }
+        }
+    }
+
+    let mut clusters = n;
+    while clusters > params.num_clusters {
+        let Some(Reverse((_, a, b, va, vb))) = heap.pop() else {
+            break; // graph has more components than requested clusters
+        };
+        let ra = find(&mut parent, a);
+        let rb = find(&mut parent, b);
+        if ra == rb || version[a as usize] != va || version[b as usize] != vb {
+            continue; // stale
+        }
+        // Merge rb into ra.
+        parent[rb as usize] = ra;
+        size[ra as usize] += size[rb as usize];
+        let (head, tail) = sums.split_at_mut(ra.max(rb) as usize);
+        let (dst, src) = if ra < rb {
+            (&mut head[ra as usize], &tail[0])
+        } else {
+            (&mut tail[0], &head[rb as usize])
+        };
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += s;
+        }
+        // New neighbor set: union minus the merged pair.
+        let nb_b = std::mem::take(&mut neighbors[rb as usize]);
+        let mut merged_neighbors = std::mem::take(&mut neighbors[ra as usize]);
+        merged_neighbors.extend(nb_b);
+        merged_neighbors.remove(&ra);
+        merged_neighbors.remove(&rb);
+        // Canonicalize neighbors to representatives, dropping self-links.
+        let mut canon: HashSet<u32> = HashSet::with_capacity(merged_neighbors.len());
+        for x in merged_neighbors {
+            let r = find(&mut parent, x);
+            if r != ra {
+                canon.insert(r);
+            }
+        }
+        version[ra as usize] += 1;
+        version[rb as usize] += 1;
+        // Push fresh candidate merges; also update the neighbors' sets.
+        for &nb in &canon {
+            neighbors[nb as usize].remove(&a);
+            neighbors[nb as usize].remove(&b);
+            neighbors[nb as usize].remove(&rb);
+            neighbors[nb as usize].insert(ra);
+            let d = ward(&size, &sums, ra as usize, nb as usize);
+            let (x, y) = (ra.min(nb), ra.max(nb));
+            heap.push(Reverse((HeapKey(d), x, y, version[x as usize], version[y as usize])));
+        }
+        neighbors[ra as usize] = canon;
+        clusters -= 1;
+    }
+
+    // Compact labels.
+    let mut label_of = std::collections::HashMap::new();
+    let mut labels = vec![0usize; n];
+    for (i, label) in labels.iter_mut().enumerate() {
+        let r = find(&mut parent, i as u32);
+        let next = label_of.len();
+        *label = *label_of.entry(r).or_insert(next);
+    }
+    Ok(SchcResult { num_found: label_of.len(), labels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_grid::GridDataset;
+
+    fn grid_adj(rows: usize, cols: usize) -> AdjacencyList {
+        let g = GridDataset::univariate(rows, cols, vec![0.0; rows * cols]).unwrap();
+        AdjacencyList::rook_from_grid(&g)
+    }
+
+    #[test]
+    fn splits_two_obvious_regions() {
+        // Left half value 0, right half value 10 on a 4×6 grid.
+        let (rows, cols) = (4, 6);
+        let features: Vec<Vec<f64>> = (0..rows * cols)
+            .map(|i| vec![if i % cols < 3 { 0.0 } else { 10.0 }])
+            .collect();
+        let adj = grid_adj(rows, cols);
+        let res = schc_cluster(&features, &adj, &SchcParams { num_clusters: 2 }).unwrap();
+        assert_eq!(res.num_found, 2);
+        for i in 0..rows * cols {
+            for j in 0..rows * cols {
+                let same_side = (i % cols < 3) == (j % cols < 3);
+                assert_eq!(res.labels[i] == res.labels[j], same_side);
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_are_spatially_contiguous() {
+        use rand::{rngs::SmallRng, Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(6);
+        let (rows, cols) = (8, 8);
+        let features: Vec<Vec<f64>> = (0..rows * cols)
+            .map(|_| vec![rng.gen_range(0.0f64..5.0)])
+            .collect();
+        let adj = grid_adj(rows, cols);
+        let res = schc_cluster(&features, &adj, &SchcParams { num_clusters: 6 }).unwrap();
+        // Contiguity check: BFS within each cluster must reach all members.
+        for cluster in 0..res.num_found {
+            let members: Vec<usize> = (0..rows * cols)
+                .filter(|&i| res.labels[i] == cluster)
+                .collect();
+            let mut seen = vec![false; rows * cols];
+            let mut queue = vec![members[0]];
+            seen[members[0]] = true;
+            let mut reached = 1;
+            while let Some(u) = queue.pop() {
+                for &v in adj.neighbors(u as u32) {
+                    let v = v as usize;
+                    if !seen[v] && res.labels[v] == cluster {
+                        seen[v] = true;
+                        reached += 1;
+                        queue.push(v);
+                    }
+                }
+            }
+            assert_eq!(reached, members.len(), "cluster {cluster} disconnected");
+        }
+    }
+
+    #[test]
+    fn target_cluster_count_respected() {
+        let (rows, cols) = (6, 6);
+        let features: Vec<Vec<f64>> = (0..36).map(|i| vec![i as f64]).collect();
+        let adj = grid_adj(rows, cols);
+        for k in [1usize, 2, 5, 12, 36] {
+            let res = schc_cluster(&features, &adj, &SchcParams { num_clusters: k }).unwrap();
+            assert_eq!(res.num_found, k);
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_cannot_merge_across_components() {
+        // Two isolated units: asking for 1 cluster still yields 2.
+        let features = vec![vec![1.0], vec![1.0]];
+        let adj = AdjacencyList::from_neighbors(vec![vec![], vec![]]);
+        let res = schc_cluster(&features, &adj, &SchcParams { num_clusters: 1 }).unwrap();
+        assert_eq!(res.num_found, 2);
+    }
+
+    #[test]
+    fn ward_prefers_similar_merges() {
+        // 1×4 path: values [0, 0.1, 10, 10.1]; asking for 2 clusters must
+        // cut the big gap.
+        let features = vec![vec![0.0], vec![0.1], vec![10.0], vec![10.1]];
+        let adj = AdjacencyList::from_neighbors(vec![vec![1], vec![0, 2], vec![1, 3], vec![2]]);
+        let res = schc_cluster(&features, &adj, &SchcParams { num_clusters: 2 }).unwrap();
+        assert_eq!(res.labels[0], res.labels[1]);
+        assert_eq!(res.labels[2], res.labels[3]);
+        assert_ne!(res.labels[0], res.labels[2]);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let adj = AdjacencyList::from_neighbors(vec![vec![]]);
+        assert!(schc_cluster(&[], &adj, &SchcParams { num_clusters: 1 }).is_err());
+        assert!(schc_cluster(&[vec![1.0]], &adj, &SchcParams { num_clusters: 0 }).is_err());
+        let adj2 = AdjacencyList::from_neighbors(vec![vec![], vec![]]);
+        assert!(schc_cluster(&[vec![1.0]], &adj2, &SchcParams { num_clusters: 1 }).is_err());
+        assert!(schc_cluster(
+            &[vec![1.0], vec![1.0, 2.0]],
+            &adj2,
+            &SchcParams { num_clusters: 1 }
+        )
+        .is_err());
+    }
+}

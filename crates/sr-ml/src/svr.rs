@@ -1,0 +1,402 @@
+//! ε-support-vector regression with an RBF kernel (Table I: `kernel: rbf,
+//! C: 15, gamma: 0.5, epsilon: 0.01`), trained by sequential minimal
+//! optimization.
+//!
+//! We optimize the single-variable-per-point dual of Flake & Lawrence:
+//! coefficients `λᵢ = αᵢ − αᵢ* ∈ [−C, C]` maximizing
+//!
+//! `W(λ) = Σ yᵢλᵢ − ε Σ|λᵢ| − ½ ΣΣ λᵢλⱼK(xᵢ,xⱼ)` subject to `Σλᵢ = 0`.
+//!
+//! Each SMO step picks a pair `(i, j)`, holds `λᵢ + λⱼ` fixed, and maximizes
+//! the restricted one-dimensional objective exactly: the `ε|λ|` terms make
+//! it piecewise quadratic with breakpoints where either coefficient crosses
+//! zero, so the step evaluates every segment's stationary point plus the
+//! breakpoints and keeps the best. Feature standardization happens
+//! internally (RBF kernels need comparable scales).
+
+use crate::{MlError, Result};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// SVR hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SvrParams {
+    /// Box constraint.
+    pub c: f64,
+    /// RBF width: `K(a,b) = exp(−γ‖a−b‖²)`.
+    pub gamma: f64,
+    /// Insensitive-tube half width.
+    pub epsilon: f64,
+    /// Maximum SMO epochs (one epoch sweeps every point once).
+    pub max_epochs: usize,
+    /// Minimum coefficient change that counts as progress.
+    pub tol: f64,
+    /// Maximum training points (the dense kernel matrix is n²; larger
+    /// inputs return an error rather than exhausting memory).
+    pub max_train: usize,
+}
+
+impl Default for SvrParams {
+    fn default() -> Self {
+        SvrParams { c: 1.0, gamma: 0.5, epsilon: 0.1, max_epochs: 60, tol: 1e-5, max_train: 6000 }
+    }
+}
+
+/// A fitted ε-SVR model.
+#[derive(Debug)]
+pub struct Svr {
+    support_x: Vec<Vec<f64>>, // standardized support vectors
+    lambda: Vec<f64>,         // their coefficients
+    bias: f64,
+    gamma: f64,
+    feat_mean: Vec<f64>,
+    feat_scale: Vec<f64>,
+}
+
+impl Svr {
+    /// Fits the model by SMO.
+    pub fn fit(x_rows: &[Vec<f64>], y: &[f64], params: &SvrParams) -> Result<Self> {
+        if x_rows.is_empty() {
+            return Err(MlError::EmptyInput);
+        }
+        if x_rows.len() != y.len() {
+            return Err(MlError::ShapeMismatch { context: "svr: rows != targets" });
+        }
+        if params.c <= 0.0 {
+            return Err(MlError::InvalidParam { name: "C" });
+        }
+        if params.gamma <= 0.0 {
+            return Err(MlError::InvalidParam { name: "gamma" });
+        }
+        if params.epsilon < 0.0 {
+            return Err(MlError::InvalidParam { name: "epsilon" });
+        }
+        let n = x_rows.len();
+        if n > params.max_train {
+            return Err(MlError::InvalidParam { name: "max_train (too many rows for dense kernel)" });
+        }
+
+        // Standardize features.
+        let p = x_rows[0].len();
+        let (feat_mean, feat_scale) = standardization(x_rows, p);
+        let xs: Vec<Vec<f64>> = x_rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .zip(feat_mean.iter().zip(&feat_scale))
+                    .map(|(v, (m, s))| (v - m) / s)
+                    .collect()
+            })
+            .collect();
+
+        // Dense kernel matrix.
+        let mut k = vec![0.0f64; n * n];
+        for i in 0..n {
+            k[i * n + i] = 1.0;
+            for j in (i + 1)..n {
+                let v = rbf(&xs[i], &xs[j], params.gamma);
+                k[i * n + j] = v;
+                k[j * n + i] = v;
+            }
+        }
+
+        let mut lambda = vec![0.0f64; n];
+        // F_i = Σ_l λ_l K_il (bias-free fitted value), maintained
+        // incrementally.
+        let mut f = vec![0.0f64; n];
+        let mut rng = SmallRng::seed_from_u64(0x5f3e);
+
+        for _epoch in 0..params.max_epochs {
+            let mut changed = 0usize;
+            for i in 0..n {
+                // Second index: the point whose bias-free residual differs
+                // most from i's (max |E_i − E_j| drives the largest step),
+                // approximated over a random probe set for O(1) selection.
+                let e_i = f[i] - y[i];
+                let mut j_best = usize::MAX;
+                let mut gap_best = -1.0;
+                for _ in 0..8 {
+                    let j = rng.gen_range(0..n);
+                    if j == i {
+                        continue;
+                    }
+                    let gap = (e_i - (f[j] - y[j])).abs();
+                    if gap > gap_best {
+                        gap_best = gap;
+                        j_best = j;
+                    }
+                }
+                if j_best == usize::MAX {
+                    continue;
+                }
+                if smo_step(i, j_best, &k, y, &mut lambda, &mut f, n, params) {
+                    changed += 1;
+                }
+            }
+            if changed == 0 {
+                break;
+            }
+        }
+
+        // Bias from free support vectors (0 < |λ| < C): on the tube edge.
+        let mut biases = Vec::new();
+        for i in 0..n {
+            let l = lambda[i];
+            if l.abs() > 1e-8 && l.abs() < params.c - 1e-8 {
+                let b = if l > 0.0 {
+                    y[i] - f[i] - params.epsilon
+                } else {
+                    y[i] - f[i] + params.epsilon
+                };
+                biases.push(b);
+            }
+        }
+        let bias = if biases.is_empty() {
+            // Fallback: median residual.
+            let mut r: Vec<f64> = y.iter().zip(&f).map(|(yi, fi)| yi - fi).collect();
+            r.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            r[r.len() / 2]
+        } else {
+            biases.iter().sum::<f64>() / biases.len() as f64
+        };
+
+        // Keep only the support vectors.
+        let mut support_x = Vec::new();
+        let mut support_l = Vec::new();
+        for (i, &l) in lambda.iter().enumerate() {
+            if l.abs() > 1e-10 {
+                support_x.push(xs[i].clone());
+                support_l.push(l);
+            }
+        }
+
+        Ok(Svr {
+            support_x,
+            lambda: support_l,
+            bias,
+            gamma: params.gamma,
+            feat_mean,
+            feat_scale,
+        })
+    }
+
+    /// Predicts one feature row.
+    pub fn predict_one(&self, x: &[f64]) -> f64 {
+        let xs: Vec<f64> = x
+            .iter()
+            .zip(self.feat_mean.iter().zip(&self.feat_scale))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect();
+        self.bias
+            + self
+                .support_x
+                .iter()
+                .zip(&self.lambda)
+                .map(|(sv, &l)| l * rbf(sv, &xs, self.gamma))
+                .sum::<f64>()
+    }
+
+    /// Predicts many rows.
+    pub fn predict(&self, x_rows: &[Vec<f64>]) -> Vec<f64> {
+        x_rows.iter().map(|r| self.predict_one(r)).collect()
+    }
+
+    /// Number of support vectors retained.
+    pub fn num_support_vectors(&self) -> usize {
+        self.support_x.len()
+    }
+}
+
+/// One SMO pair update. Returns whether the coefficients moved.
+#[allow(clippy::too_many_arguments)]
+fn smo_step(
+    i: usize,
+    j: usize,
+    k: &[f64],
+    y: &[f64],
+    lambda: &mut [f64],
+    f: &mut [f64],
+    n: usize,
+    params: &SvrParams,
+) -> bool {
+    let (kii, kjj, kij) = (k[i * n + i], k[j * n + j], k[i * n + j]);
+    let eta = kii + kjj - 2.0 * kij;
+    if eta <= 1e-12 {
+        return false;
+    }
+    let li_old = lambda[i];
+    let lj_old = lambda[j];
+    let rho = li_old + lj_old;
+    let c = params.c;
+    let eps = params.epsilon;
+
+    // v terms exclude the pair's own contributions.
+    let v_i = f[i] - li_old * kii - lj_old * kij;
+    let v_j = f[j] - li_old * kij - lj_old * kjj;
+
+    // Restricted objective W(t), t = λ_j, λ_i = ρ − t.
+    let w = |t: f64| -> f64 {
+        let li = rho - t;
+        y[i] * li + y[j] * t - eps * (li.abs() + t.abs())
+            - 0.5 * (li * li * kii + t * t * kjj + 2.0 * li * t * kij)
+            - li * v_i
+            - t * v_j
+    };
+
+    // Box for t: both λ_j = t and λ_i = ρ − t must lie in [−C, C].
+    let t_lo = (-c).max(rho - c);
+    let t_hi = c.min(rho + c);
+    if t_lo > t_hi {
+        return false;
+    }
+
+    let mut best_t = lj_old;
+    let mut best_w = w(lj_old);
+    let consider = |t: f64, best_t: &mut f64, best_w: &mut f64| {
+        let t = t.clamp(t_lo, t_hi);
+        let val = w(t);
+        if val > *best_w + 1e-14 {
+            *best_w = val;
+            *best_t = t;
+        }
+    };
+
+    // Stationary point of each sign segment (s_i = sign λ_i, s_j = sign t).
+    for s_i in [-1.0, 1.0] {
+        for s_j in [-1.0, 1.0] {
+            let t_star = ((y[j] - y[i]) + eps * (s_i - s_j) + rho * (kii - kij) + v_i - v_j) / eta;
+            // Only meaningful inside its own segment; clamping to the box
+            // plus the explicit breakpoints below covers the boundaries.
+            let seg_ok = (rho - t_star) * s_i >= -1e-12 && t_star * s_j >= -1e-12;
+            if seg_ok {
+                consider(t_star, &mut best_t, &mut best_w);
+            }
+        }
+    }
+    // Breakpoints of the piecewise objective.
+    consider(0.0, &mut best_t, &mut best_w);
+    consider(rho, &mut best_t, &mut best_w);
+    // Box corners.
+    consider(t_lo, &mut best_t, &mut best_w);
+    consider(t_hi, &mut best_t, &mut best_w);
+
+    let delta = best_t - lj_old;
+    if delta.abs() < params.tol {
+        return false;
+    }
+    lambda[j] = best_t;
+    lambda[i] = rho - best_t;
+    let di = lambda[i] - li_old;
+    let dj = delta;
+    for l in 0..n {
+        f[l] += di * k[i * n + l] + dj * k[j * n + l];
+    }
+    true
+}
+
+fn rbf(a: &[f64], b: &[f64], gamma: f64) -> f64 {
+    let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (-gamma * d2).exp()
+}
+
+fn standardization(x_rows: &[Vec<f64>], p: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = x_rows.len() as f64;
+    let mut mean = vec![0.0; p];
+    for r in x_rows {
+        for (m, v) in mean.iter_mut().zip(r) {
+            *m += v;
+        }
+    }
+    for m in mean.iter_mut() {
+        *m /= n;
+    }
+    let mut var = vec![0.0; p];
+    for r in x_rows {
+        for ((v, m), out) in r.iter().zip(&mean).zip(var.iter_mut()) {
+            *out += (v - m) * (v - m);
+        }
+    }
+    let scale: Vec<f64> = var
+        .iter()
+        .map(|&v| {
+            let s = (v / n).sqrt();
+            if s > 1e-12 {
+                s
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    (mean, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::rmse;
+
+    #[test]
+    fn fits_linear_function() {
+        let x: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + 1.0).collect();
+        let m = Svr::fit(&x, &y, &SvrParams { c: 10.0, gamma: 0.5, epsilon: 0.05, ..Default::default() }).unwrap();
+        let pred = m.predict(&x);
+        assert!(rmse(&y, &pred) < 0.5, "rmse {}", rmse(&y, &pred));
+    }
+
+    #[test]
+    fn fits_nonlinear_function() {
+        let x: Vec<Vec<f64>> = (0..120).map(|i| vec![i as f64 / 20.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| (r[0]).sin() * 3.0).collect();
+        let m = Svr::fit(&x, &y, &SvrParams { c: 15.0, gamma: 0.5, epsilon: 0.01, ..Default::default() }).unwrap();
+        let pred = m.predict(&x);
+        assert!(rmse(&y, &pred) < 0.35, "rmse {}", rmse(&y, &pred));
+    }
+
+    #[test]
+    fn predictions_stay_in_tube_for_free_svs() {
+        // With a generous C, train error should approach epsilon scale.
+        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 10) as f64, (i / 10) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] - 0.5 * r[1]).collect();
+        let m = Svr::fit(&x, &y, &SvrParams { c: 50.0, gamma: 0.5, epsilon: 0.1, ..Default::default() }).unwrap();
+        let pred = m.predict(&x);
+        let max_err = y
+            .iter()
+            .zip(&pred)
+            .map(|(t, p)| (t - p).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 1.0, "max err {max_err}");
+    }
+
+    #[test]
+    fn sparse_solution_on_flat_target() {
+        let x: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let y = vec![5.0; 50];
+        let m = Svr::fit(&x, &y, &SvrParams::default()).unwrap();
+        // A constant fits inside the tube with zero coefficients.
+        assert_eq!(m.num_support_vectors(), 0);
+        assert!((m.predict_one(&[25.0]) - 5.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let x = vec![vec![0.0]];
+        assert!(Svr::fit(&[], &[], &SvrParams::default()).is_err());
+        assert!(Svr::fit(&x, &[1.0, 2.0], &SvrParams::default()).is_err());
+        assert!(Svr::fit(&x, &[1.0], &SvrParams { c: 0.0, ..Default::default() }).is_err());
+        assert!(Svr::fit(&x, &[1.0], &SvrParams { gamma: -1.0, ..Default::default() }).is_err());
+        let big = SvrParams { max_train: 0, ..Default::default() };
+        assert!(Svr::fit(&x, &[1.0], &big).is_err());
+    }
+
+    #[test]
+    fn dual_constraint_preserved() {
+        // Indirect check: fit something and confirm Σλ == 0 via prediction
+        // symmetry — instead we re-run fit and inspect support coefficients.
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 4.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * r[0] / 10.0).collect();
+        let m = Svr::fit(&x, &y, &SvrParams { c: 5.0, gamma: 1.0, epsilon: 0.05, ..Default::default() }).unwrap();
+        let sum: f64 = m.lambda.iter().sum();
+        assert!(sum.abs() < 1e-6, "Σλ = {sum}");
+    }
+}

@@ -1,0 +1,290 @@
+//! CART regression trees — the shared base learner for the random forest
+//! (Table II-e) and gradient boosting (Table III-a).
+//!
+//! Splits minimize the weighted child variance (scikit-learn's `mse`
+//! criterion), respecting `max_depth` and `min_samples_leaf`. Optional
+//! per-split feature subsampling supports the forest's decorrelation.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+/// A fitted regression tree stored as flat node arrays (cache-friendly, no
+/// per-node boxing).
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Node {
+    /// Internal: go left when `x[feature] <= threshold`.
+    Split { feature: u32, threshold: f64, left: u32, right: u32 },
+    /// Leaf with its predicted value.
+    Leaf { value: f64 },
+}
+
+/// Tree-growing controls.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Maximum depth (root at depth 0).
+    pub max_depth: usize,
+    /// Minimum samples in each leaf.
+    pub min_samples_leaf: usize,
+    /// Features tried per split: `None` = all, `Some(m)` = a random subset
+    /// of `m` (requires an RNG at fit time).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 7, min_samples_leaf: 1, max_features: None }
+    }
+}
+
+impl RegressionTree {
+    /// Fits a tree on the rows selected by `indices` (with repetitions
+    /// allowed — bootstrap samples pass duplicated indices).
+    pub fn fit(
+        x_rows: &[Vec<f64>],
+        y: &[f64],
+        indices: &[usize],
+        params: &TreeParams,
+        rng: &mut SmallRng,
+    ) -> Self {
+        assert_eq!(x_rows.len(), y.len(), "tree: rows != targets");
+        assert!(!indices.is_empty(), "tree: empty index set");
+        let p = x_rows[0].len();
+        let mut nodes = Vec::new();
+        let mut work = indices.to_vec();
+        let hi = work.len();
+        build(&mut nodes, x_rows, y, &mut work, 0, params, p, rng, 0, hi);
+        RegressionTree { nodes }
+    }
+
+    /// Predicts one feature row.
+    pub fn predict_one(&self, x: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            match self.nodes[i] {
+                Node::Leaf { value } => return value,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if x[feature as usize] <= threshold { left as usize } else { right as usize };
+                }
+            }
+        }
+    }
+
+    /// Predicts many rows.
+    pub fn predict(&self, x_rows: &[Vec<f64>]) -> Vec<f64> {
+        x_rows.iter().map(|r| self.predict_one(r)).collect()
+    }
+
+    /// Number of nodes (diagnostics / tests).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum depth actually reached.
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], i: usize) -> usize {
+            match nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + walk(nodes, left as usize).max(walk(nodes, right as usize))
+                }
+            }
+        }
+        walk(&self.nodes, 0)
+    }
+}
+
+/// Recursive builder. `work[lo..hi]` holds this node's sample indices; the
+/// chosen split partitions that slice in place.
+#[allow(clippy::too_many_arguments)]
+fn build(
+    nodes: &mut Vec<Node>,
+    x_rows: &[Vec<f64>],
+    y: &[f64],
+    work: &mut Vec<usize>,
+    depth: usize,
+    params: &TreeParams,
+    p: usize,
+    rng: &mut SmallRng,
+    lo: usize,
+    hi: usize,
+) -> u32 {
+    let samples = &work[lo..hi];
+    let n = samples.len();
+    let mean = samples.iter().map(|&i| y[i]).sum::<f64>() / n as f64;
+
+    let make_leaf = |nodes: &mut Vec<Node>| {
+        let id = nodes.len() as u32;
+        nodes.push(Node::Leaf { value: mean });
+        id
+    };
+
+    if depth >= params.max_depth || n < 2 * params.min_samples_leaf {
+        return make_leaf(nodes);
+    }
+
+    // Candidate features: all, or a random subset for forests.
+    let mut feature_pool: Vec<usize> = (0..p).collect();
+    let features: &[usize] = match params.max_features {
+        Some(m) if m < p => {
+            feature_pool.shuffle(rng);
+            &feature_pool[..m]
+        }
+        _ => &feature_pool,
+    };
+
+    let best = best_split(x_rows, y, samples, features, params.min_samples_leaf);
+    let Some((feature, threshold)) = best else {
+        return make_leaf(nodes);
+    };
+
+    // Partition the work slice in place around the threshold.
+    let mut sorted: Vec<usize> = samples.to_vec();
+    sorted.sort_by(|&a, &b| {
+        x_rows[a][feature]
+            .partial_cmp(&x_rows[b][feature])
+            .expect("finite features")
+    });
+    let split_at = sorted
+        .iter()
+        .position(|&i| x_rows[i][feature] > threshold)
+        .unwrap_or(sorted.len());
+    work[lo..hi].copy_from_slice(&sorted);
+
+    let id = nodes.len() as u32;
+    nodes.push(Node::Leaf { value: mean }); // placeholder, patched below
+    let left = build(nodes, x_rows, y, work, depth + 1, params, p, rng, lo, lo + split_at);
+    let right = build(nodes, x_rows, y, work, depth + 1, params, p, rng, lo + split_at, hi);
+    nodes[id as usize] = Node::Split { feature: feature as u32, threshold, left, right };
+    id
+}
+
+/// Finds the (feature, threshold) minimizing weighted child SSE; `None`
+/// when no split satisfies `min_samples_leaf` or reduces impurity.
+fn best_split(
+    x_rows: &[Vec<f64>],
+    y: &[f64],
+    samples: &[usize],
+    features: &[usize],
+    min_leaf: usize,
+) -> Option<(usize, f64)> {
+    let n = samples.len();
+    let total_sum: f64 = samples.iter().map(|&i| y[i]).sum();
+    let total_sq: f64 = samples.iter().map(|&i| y[i] * y[i]).sum();
+    let parent_sse = total_sq - total_sum * total_sum / n as f64;
+
+    let mut best: Option<(f64, usize, f64)> = None; // (sse, feature, threshold)
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+
+    for &f in features {
+        order.clear();
+        order.extend_from_slice(samples);
+        order.sort_by(|&a, &b| x_rows[a][f].partial_cmp(&x_rows[b][f]).expect("finite"));
+
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for (k, &i) in order.iter().enumerate().take(n - 1) {
+            left_sum += y[i];
+            left_sq += y[i] * y[i];
+            let left_n = k + 1;
+            let right_n = n - left_n;
+            if left_n < min_leaf || right_n < min_leaf {
+                continue;
+            }
+            let xv = x_rows[i][f];
+            let xnext = x_rows[order[k + 1]][f];
+            if xnext <= xv {
+                continue; // no separating threshold between ties
+            }
+            let right_sum = total_sum - left_sum;
+            let right_sq = total_sq - left_sq;
+            let sse = (left_sq - left_sum * left_sum / left_n as f64)
+                + (right_sq - right_sum * right_sum / right_n as f64);
+            if best.as_ref().map_or(sse < parent_sse - 1e-12, |(b, _, _)| sse < *b) {
+                best = Some((sse, f, 0.5 * (xv + xnext)));
+            }
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn fits_step_function_exactly() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 1.0 } else { 5.0 }).collect();
+        let idx: Vec<usize> = (0..20).collect();
+        let t = RegressionTree::fit(&x, &y, &idx, &TreeParams::default(), &mut rng());
+        for (xi, yi) in x.iter().zip(&y) {
+            assert_eq!(t.predict_one(xi), *yi);
+        }
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let idx: Vec<usize> = (0..64).collect();
+        let params = TreeParams { max_depth: 3, ..TreeParams::default() };
+        let t = RegressionTree::fit(&x, &y, &idx, &params, &mut rng());
+        assert!(t.depth() <= 3, "depth {}", t.depth());
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        let x: Vec<Vec<f64>> = (0..16).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let idx: Vec<usize> = (0..16).collect();
+        let params = TreeParams { max_depth: 10, min_samples_leaf: 4, ..TreeParams::default() };
+        let t = RegressionTree::fit(&x, &y, &idx, &params, &mut rng());
+        // With min leaf 4 over 16 monotone points there are ≤ 4 leaves; the
+        // prediction of any point is the mean of ≥ 4 samples, so extremes
+        // are pulled inwards.
+        assert!(t.predict_one(&[0.0]) >= 1.0);
+        assert!(t.predict_one(&[15.0]) <= 14.0);
+    }
+
+    #[test]
+    fn constant_target_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![3.0; 10];
+        let idx: Vec<usize> = (0..10).collect();
+        let t = RegressionTree::fit(&x, &y, &idx, &TreeParams::default(), &mut rng());
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.predict_one(&[99.0]), 3.0);
+    }
+
+    #[test]
+    fn multivariate_split_picks_informative_feature() {
+        // Feature 0 is noise; feature 1 determines y.
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i * 7 % 13) as f64, (i % 2) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| r[1] * 10.0).collect();
+        let idx: Vec<usize> = (0..40).collect();
+        let t = RegressionTree::fit(&x, &y, &idx, &TreeParams::default(), &mut rng());
+        assert_eq!(t.predict_one(&[5.0, 0.0]), 0.0);
+        assert_eq!(t.predict_one(&[5.0, 1.0]), 10.0);
+    }
+
+    #[test]
+    fn bootstrap_indices_with_repeats_work() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| i as f64 * 2.0).collect();
+        let idx = vec![0, 0, 1, 1, 5, 5, 9, 9];
+        let t = RegressionTree::fit(&x, &y, &idx, &TreeParams::default(), &mut rng());
+        assert!(t.predict_one(&[0.0]) < t.predict_one(&[9.0]));
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the ML substrate's invariants.
+
+use proptest::prelude::*;
+use sr_grid::AdjacencyList;
+use sr_ml::{
+    bin_into_quantiles, cluster_agreement, mae, mae_weighted, pseudo_r2, rmse, schc_cluster,
+    weighted_f1, KnnClassifier, KnnParams, Ols, RandomForest, RandomForestParams, SchcParams,
+};
+
+fn finite_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// MAE ≤ RMSE always (Jensen), both zero iff predictions exact.
+    #[test]
+    fn mae_bounded_by_rmse(y in finite_vec(20), p in finite_vec(20)) {
+        let a = mae(&y, &p);
+        let r = rmse(&y, &p);
+        prop_assert!(a <= r + 1e-12);
+        let zero = y.iter().zip(&p).all(|(a, b)| a == b);
+        prop_assert_eq!(a == 0.0, zero);
+    }
+
+    /// Pseudo-R² of the exact prediction is 1; of the mean prediction 0;
+    /// anything else is below 1.
+    #[test]
+    fn r2_anchors(y in finite_vec(15), p in finite_vec(15)) {
+        let var: f64 = {
+            let m = y.iter().sum::<f64>() / y.len() as f64;
+            y.iter().map(|v| (v - m) * (v - m)).sum()
+        };
+        prop_assume!(var > 1e-9);
+        prop_assert!((pseudo_r2(&y, &y) - 1.0).abs() < 1e-12);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let mean_pred = vec![mean; y.len()];
+        prop_assert!(pseudo_r2(&y, &mean_pred).abs() < 1e-9);
+        prop_assert!(pseudo_r2(&y, &p) <= 1.0);
+    }
+
+    /// Weighted MAE with uniform weights equals plain MAE; weights scale
+    /// invariantly (w and 2w give the same metric).
+    #[test]
+    fn weighted_mae_properties(
+        y in finite_vec(12),
+        p in finite_vec(12),
+        w in prop::collection::vec(0.5f64..5.0, 12),
+    ) {
+        let uniform = vec![1.0; 12];
+        prop_assert!((mae_weighted(&y, &p, &uniform) - mae(&y, &p)).abs() < 1e-12);
+        let w2: Vec<f64> = w.iter().map(|v| v * 2.0).collect();
+        prop_assert!((mae_weighted(&y, &p, &w) - mae_weighted(&y, &p, &w2)).abs() < 1e-10);
+    }
+
+    /// F1 is 1 exactly on perfect predictions and within [0, 1] always.
+    #[test]
+    fn f1_bounds(labels in prop::collection::vec(0usize..4, 2..40)) {
+        prop_assert!((weighted_f1(&labels, &labels, 4) - 1.0).abs() < 1e-12);
+        let shifted: Vec<usize> = labels.iter().map(|&l| (l + 1) % 4).collect();
+        let f1 = weighted_f1(&labels, &shifted, 4);
+        prop_assert!((0.0..=1.0).contains(&f1));
+    }
+
+    /// Quantile binning: labels are monotone in the value and use the full
+    /// range when values are distinct.
+    #[test]
+    fn quantile_bins_monotone(vals in prop::collection::vec(-1e6f64..1e6, 10..60)) {
+        let labels = bin_into_quantiles(&vals, 5);
+        let mut order: Vec<usize> = (0..vals.len()).collect();
+        order.sort_by(|&a, &b| vals[a].partial_cmp(&vals[b]).unwrap());
+        for w in order.windows(2) {
+            prop_assert!(labels[w[0]] <= labels[w[1]]);
+        }
+        prop_assert!(labels.iter().all(|&l| l < 5));
+    }
+
+    /// Cluster agreement is symmetric, 100 on identical partitions, and
+    /// invariant to label permutation.
+    #[test]
+    fn cluster_agreement_properties(labels in prop::collection::vec(0usize..5, 4..50)) {
+        prop_assert_eq!(cluster_agreement(&labels, &labels), 100.0);
+        let permuted: Vec<usize> = labels.iter().map(|&l| (l * 3 + 1) % 5).collect();
+        // (l*3+1) mod 5 is a bijection on 0..5, so co-membership unchanged.
+        prop_assert_eq!(cluster_agreement(&labels, &permuted), 100.0);
+        let other: Vec<usize> = labels.iter().map(|&l| l / 2).collect();
+        let ab = cluster_agreement(&labels, &other);
+        let ba = cluster_agreement(&other, &labels);
+        prop_assert!((ab - ba).abs() < 1e-9);
+    }
+
+    /// OLS residuals are orthogonal to the design (normal equations hold).
+    #[test]
+    fn ols_normal_equations(
+        xs in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 8..30),
+        beta in prop::collection::vec(-3.0f64..3.0, 3),
+        noise in prop::collection::vec(-0.5f64..0.5, 30),
+    ) {
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&(a, b)| vec![a, b]).collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .zip(&noise)
+            .map(|(r, n)| beta[0] + beta[1] * r[0] + beta[2] * r[1] + n)
+            .collect();
+        let m = Ols::fit(&rows, &y).unwrap();
+        let resid = m.residuals(&rows, &y);
+        // Σ e = 0 and Σ e·x_k = 0 (within numerical tolerance).
+        let scale = y.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        prop_assert!(resid.iter().sum::<f64>().abs() < 1e-6 * scale * rows.len() as f64);
+        for k in 0..2 {
+            let dot: f64 = resid.iter().zip(&rows).map(|(e, r)| e * r[k]).sum();
+            prop_assert!(dot.abs() < 1e-5 * scale * rows.len() as f64, "k={k} dot={dot}");
+        }
+    }
+
+    /// Random-forest predictions stay within the training target range
+    /// (averages of leaf means cannot extrapolate).
+    #[test]
+    fn forest_predictions_bounded(
+        data in prop::collection::vec((-5.0f64..5.0, -50.0f64..50.0), 20..60),
+    ) {
+        let xs: Vec<Vec<f64>> = data.iter().map(|&(x, _)| vec![x]).collect();
+        let ys: Vec<f64> = data.iter().map(|&(_, y)| y).collect();
+        let params = RandomForestParams { n_estimators: 8, threads: 1, ..Default::default() };
+        let f = RandomForest::fit(&xs, &ys, &params).unwrap();
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for q in [-10.0, -1.0, 0.0, 2.5, 10.0] {
+            let p = f.predict_one(&[q]);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "pred {p} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// KNN with k=1 reproduces training labels exactly (distinct points).
+    #[test]
+    fn knn_one_neighbor_memorizes(
+        points in prop::collection::hash_set((-100i32..100, -100i32..100), 5..40),
+    ) {
+        let pts: Vec<(i32, i32)> = points.into_iter().collect();
+        let xs: Vec<Vec<f64>> = pts.iter().map(|&(a, b)| vec![a as f64, b as f64]).collect();
+        let labels: Vec<usize> = (0..xs.len()).map(|i| i % 3).collect();
+        let m = KnnClassifier::fit(&xs, &labels, 3, &KnnParams { leaf_size: 4, n_neighbors: 1 })
+            .unwrap();
+        for (x, &l) in xs.iter().zip(&labels) {
+            prop_assert_eq!(m.predict_one(x), l);
+        }
+    }
+
+    /// SCHC always returns exactly the requested number of clusters on a
+    /// connected graph, and labels are a partition of 0..k.
+    #[test]
+    fn schc_cluster_count(
+        vals in prop::collection::vec(0.0f64..10.0, 36),
+        k in 1usize..20,
+    ) {
+        let g = sr_grid::GridDataset::univariate(6, 6, vals.clone()).unwrap();
+        let adj = AdjacencyList::rook_from_grid(&g);
+        let features: Vec<Vec<f64>> = vals.iter().map(|&v| vec![v]).collect();
+        let res = schc_cluster(&features, &adj, &SchcParams { num_clusters: k }).unwrap();
+        prop_assert_eq!(res.num_found, k);
+        let max = res.labels.iter().max().copied().unwrap();
+        prop_assert_eq!(max + 1, k);
+    }
+}

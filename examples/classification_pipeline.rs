@@ -1,0 +1,99 @@
+//! Multi-class classification on the earnings grid — the paper's §IV-C2
+//! scenario: the continuous target (high-earning jobs per cell) is binned
+//! into five ordered classes (low … high) and classified with gradient
+//! boosting and KNN, on the original grid and on re-partitioned versions.
+//!
+//! Run: `cargo run --release --example classification_pipeline`
+
+use spatial_repartition::core::PreparedTrainingData;
+use spatial_repartition::datasets::{train_test_split, Dataset, GridSize};
+use spatial_repartition::ml::{
+    bin_into_quantiles, table1, weighted_f1, GradientBoostingClassifier, KnnClassifier,
+};
+use spatial_repartition::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let ds = Dataset::EarningsMultivariate;
+    let grid = ds.generate(GridSize::Tiny, 5);
+    println!(
+        "earnings grid: {} cells, target attribute: {}\n",
+        grid.num_cells(),
+        grid.attr_names()[ds.target_attr()]
+    );
+
+    // Instance sets: feature rows + continuous target.
+    let mut sets: Vec<(String, Vec<Vec<f64>>, Vec<f64>)> = Vec::new();
+
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for id in grid.valid_cells() {
+        let fv = grid.features_unchecked(id);
+        let mut x = fv.to_vec();
+        ys.push(x.remove(ds.target_attr()));
+        xs.push(x);
+    }
+    sets.push(("original".into(), xs, ys));
+
+    for theta in [0.05, 0.15] {
+        let outcome = repartition(&grid, theta).expect("valid threshold");
+        let prep = PreparedTrainingData::from_repartitioned(&outcome.repartitioned);
+        // Per-cell intensities for Sum attributes keep class boundaries
+        // comparable across unit sizes.
+        let rows: Vec<Vec<f64>> = prep
+            .features
+            .iter()
+            .zip(&prep.group_sizes)
+            .map(|(fv, &size)| {
+                fv.iter()
+                    .zip(grid.agg_types())
+                    .map(|(&v, agg)| match agg {
+                        AggType::Sum => v / size as f64,
+                        AggType::Avg | AggType::Mode => v,
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for mut row in rows {
+            ys.push(row.remove(ds.target_attr()));
+            xs.push(row);
+        }
+        sets.push((format!("repartitioned θ={theta:.2} ({} units)", xs.len()), xs, ys));
+    }
+
+    println!(
+        "{:<34} {:>18} {:>8}   {:>18} {:>8}",
+        "dataset", "gboost train", "F1", "knn train", "F1"
+    );
+    for (name, xs, ys) in &sets {
+        let labels = bin_into_quantiles(ys, table1::NUM_CLASSES);
+        let (train, test) = train_test_split(xs.len(), 0.2, 9);
+        let tx: Vec<Vec<f64>> = train.iter().map(|&i| xs[i].clone()).collect();
+        let tl: Vec<usize> = train.iter().map(|&i| labels[i]).collect();
+        let qx: Vec<Vec<f64>> = test.iter().map(|&i| xs[i].clone()).collect();
+        let ql: Vec<usize> = test.iter().map(|&i| labels[i]).collect();
+
+        let start = Instant::now();
+        let gb = GradientBoostingClassifier::fit(
+            &tx,
+            &tl,
+            table1::NUM_CLASSES,
+            &table1::gradient_boosting(),
+        )
+        .expect("gb fit");
+        let gb_secs = start.elapsed().as_secs_f64();
+        let gb_f1 = weighted_f1(&ql, &gb.predict(&qx), table1::NUM_CLASSES);
+
+        let start = Instant::now();
+        let knn = KnnClassifier::fit(&tx, &tl, table1::NUM_CLASSES, &table1::knn()).expect("knn fit");
+        let knn_secs = start.elapsed().as_secs_f64();
+        let knn_f1 = weighted_f1(&ql, &knn.predict(&qx), table1::NUM_CLASSES);
+
+        println!(
+            "{:<34} {:>17.3}s {:>8.3}   {:>17.3}s {:>8.3}",
+            name, gb_secs, gb_f1, knn_secs, knn_f1
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Housing-price regression on original vs re-partitioned grids — the
+//! paper's motivating scenario (§I): a data scientist predicting home
+//! prices wants fine-grained spatial training data without the training
+//! time that comes with it.
+//!
+//! Fits the paper's five regression models (Table I hyperparameters) on the
+//! synthetic King-County home-sales grid, at full resolution and after
+//! re-partitioning at θ = 0.05, and reports the time/accuracy trade-off.
+//!
+//! Run: `cargo run --release --example housing_regression`
+
+use spatial_repartition::core::PreparedTrainingData;
+use spatial_repartition::datasets::{train_test_split, Dataset, GridSize};
+use spatial_repartition::ml::{
+    mae, rmse, table1, Gwr, RandomForest, SpatialError, SpatialLag, Svr, SvrParams,
+};
+use spatial_repartition::prelude::*;
+use std::time::Instant;
+
+/// One training set: rows, target, centroids, adjacency.
+struct Set {
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    coords: Vec<(f64, f64)>,
+    adjacency: AdjacencyList,
+}
+
+fn main() {
+    let grid = Dataset::HomeSalesMultivariate.generate(GridSize::Tiny, 7);
+    println!(
+        "home-sales grid: {} cells, {} valid, {} attributes",
+        grid.num_cells(),
+        grid.num_valid_cells(),
+        grid.num_attrs()
+    );
+
+    // Original: every valid cell is an instance.
+    let original = set_from_grid(&grid);
+
+    // Re-partitioned at θ = 0.05.
+    let outcome = repartition(&grid, 0.05).expect("valid threshold");
+    let rep = &outcome.repartitioned;
+    println!(
+        "re-partitioned: {} groups ({:.1}% reduction, IFL {:.4})\n",
+        rep.num_groups(),
+        outcome.cell_reduction() * 100.0,
+        rep.ifl()
+    );
+    let reduced = set_from_prepared(&PreparedTrainingData::from_repartitioned(rep));
+
+    println!("model            dataset      train-time     MAE         RMSE");
+    println!("--------------------------------------------------------------");
+    for (name, set) in [("original", &original), ("repartitioned", &reduced)] {
+        run_lag(name, set);
+    }
+    for (name, set) in [("original", &original), ("repartitioned", &reduced)] {
+        run_error(name, set);
+    }
+    for (name, set) in [("original", &original), ("repartitioned", &reduced)] {
+        run_gwr(name, set);
+    }
+    for (name, set) in [("original", &original), ("repartitioned", &reduced)] {
+        run_svr(name, set);
+    }
+    for (name, set) in [("original", &original), ("repartitioned", &reduced)] {
+        run_forest(name, set);
+    }
+}
+
+/// Price is attribute 0; remaining attributes are the regressors.
+fn split(set: &Set, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>, Vec<usize>, Vec<usize>) {
+    let (train, test) = train_test_split(set.x.len(), 0.2, seed);
+    let tx: Vec<Vec<f64>> = train.iter().map(|&i| set.x[i].clone()).collect();
+    let ty: Vec<f64> = train.iter().map(|&i| set.y[i]).collect();
+    (tx, ty, train, test)
+}
+
+fn report(model: &str, name: &str, secs: f64, m: f64, r: f64) {
+    println!("{model:<16} {name:<12} {:>9.3}s  {m:>10.1}  {r:>10.1}", secs);
+}
+
+fn run_lag(name: &str, set: &Set) {
+    let (tx, ty, train, test) = split(set, 1);
+    let mut mask = vec![false; set.x.len()];
+    for &i in &train {
+        mask[i] = true;
+    }
+    let start = Instant::now();
+    let model = SpatialLag::fit(&tx, &ty, &set.adjacency.restrict(&mask)).expect("fit");
+    let secs = start.elapsed().as_secs_f64();
+    let wy = set.adjacency.spatial_lag(&set.y);
+    let test_x: Vec<Vec<f64>> = test.iter().map(|&i| set.x[i].clone()).collect();
+    let test_wy: Vec<f64> = test.iter().map(|&i| wy[i]).collect();
+    let pred = model.predict(&test_x, &test_wy).expect("predict");
+    let truth: Vec<f64> = test.iter().map(|&i| set.y[i]).collect();
+    report("spatial lag", name, secs, mae(&truth, &pred), rmse(&truth, &pred));
+}
+
+fn run_error(name: &str, set: &Set) {
+    let (tx, ty, train, test) = split(set, 1);
+    let mut mask = vec![false; set.x.len()];
+    for &i in &train {
+        mask[i] = true;
+    }
+    let start = Instant::now();
+    let model = SpatialError::fit(&tx, &ty, &set.adjacency.restrict(&mask)).expect("fit");
+    let secs = start.elapsed().as_secs_f64();
+    let test_x: Vec<Vec<f64>> = test.iter().map(|&i| set.x[i].clone()).collect();
+    let pred = model.predict_trend(&test_x);
+    let truth: Vec<f64> = test.iter().map(|&i| set.y[i]).collect();
+    report("spatial error", name, secs, mae(&truth, &pred), rmse(&truth, &pred));
+}
+
+fn run_gwr(name: &str, set: &Set) {
+    let (tx, ty, train, test) = split(set, 1);
+    let tc: Vec<(f64, f64)> = train.iter().map(|&i| set.coords[i]).collect();
+    let start = Instant::now();
+    let model = Gwr::fit(&tx, &ty, &tc, &table1::gwr()).expect("fit");
+    let secs = start.elapsed().as_secs_f64();
+    let test_x: Vec<Vec<f64>> = test.iter().map(|&i| set.x[i].clone()).collect();
+    let test_c: Vec<(f64, f64)> = test.iter().map(|&i| set.coords[i]).collect();
+    let pred = model.predict(&test_x, &test_c).expect("predict");
+    let truth: Vec<f64> = test.iter().map(|&i| set.y[i]).collect();
+    report("GWR", name, secs, mae(&truth, &pred), rmse(&truth, &pred));
+}
+
+fn run_svr(name: &str, set: &Set) {
+    let (tx, ty, _, test) = split(set, 1);
+    let params = SvrParams { max_train: 50_000, ..table1::svr() };
+    let start = Instant::now();
+    let model = Svr::fit(&tx, &ty, &params).expect("fit");
+    let secs = start.elapsed().as_secs_f64();
+    let test_x: Vec<Vec<f64>> = test.iter().map(|&i| set.x[i].clone()).collect();
+    let pred = model.predict(&test_x);
+    let truth: Vec<f64> = test.iter().map(|&i| set.y[i]).collect();
+    report("SVR", name, secs, mae(&truth, &pred), rmse(&truth, &pred));
+}
+
+fn run_forest(name: &str, set: &Set) {
+    let (tx, ty, _, test) = split(set, 1);
+    let start = Instant::now();
+    let model = RandomForest::fit(&tx, &ty, &table1::random_forest()).expect("fit");
+    let secs = start.elapsed().as_secs_f64();
+    let test_x: Vec<Vec<f64>> = test.iter().map(|&i| set.x[i].clone()).collect();
+    let pred = model.predict(&test_x);
+    let truth: Vec<f64> = test.iter().map(|&i| set.y[i]).collect();
+    report("random forest", name, secs, mae(&truth, &pred), rmse(&truth, &pred));
+}
+
+fn set_from_grid(grid: &GridDataset) -> Set {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    let mut coords = Vec::new();
+    for id in grid.valid_cells() {
+        let fv = grid.features_unchecked(id);
+        y.push(fv[0]); // price
+        x.push(fv[1..].to_vec());
+        coords.push(grid.cell_centroid(id));
+    }
+    let adjacency = AdjacencyList::rook_from_grid(grid).restrict(grid.valid_mask());
+    Set { x, y, coords, adjacency }
+}
+
+fn set_from_prepared(p: &PreparedTrainingData) -> Set {
+    let (x, y) = p.split_target(0);
+    Set { x, y, coords: p.centroids.clone(), adjacency: p.adjacency.clone() }
+}

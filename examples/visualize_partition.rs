@@ -1,0 +1,41 @@
+//! Terminal visualization of a re-partitioning: the input heatmap, the
+//! extracted rectangle structure, and the reconstructed heatmap side by
+//! side — the fastest way to *see* what the framework does.
+//!
+//! Run: `cargo run --release --example visualize_partition`
+
+use spatial_repartition::core::repartition;
+use spatial_repartition::datasets::{Dataset, GridSize};
+use spatial_repartition::grid::{render_heatmap, render_partition};
+
+fn main() {
+    let grid = Dataset::VehiclesUnivariate.generate(GridSize::Custom(24, 48), 9);
+    println!("== input: abandoned-vehicle service requests ({} cells) ==", grid.num_cells());
+    println!("{}", render_heatmap(&grid, 0, 60));
+
+    for theta in [0.05, 0.15] {
+        let out = repartition(&grid, theta).expect("valid threshold");
+        let rep = &out.repartitioned;
+        println!(
+            "== theta = {theta}: {} groups ({:.1}% reduction, IFL {:.4}) ==",
+            rep.num_groups(),
+            out.cell_reduction() * 100.0,
+            rep.ifl()
+        );
+        println!(
+            "{}",
+            render_partition(
+                rep.partition().cell_to_group(),
+                grid.rows(),
+                grid.cols()
+            )
+        );
+        let reconstructed = rep.reconstruct(&grid).expect("same shape");
+        println!("reconstructed values at theta = {theta}:");
+        println!("{}", render_heatmap(&reconstructed, 0, 60));
+    }
+
+    println!("Constant-letter blocks above are the rectangular cell-groups;");
+    println!("'~' marks null cells. The reconstruction visibly preserves the");
+    println!("hotspot structure even at the coarser threshold.");
+}

@@ -1,0 +1,295 @@
+//! `srtool` — command-line front end for the re-partitioning framework.
+//!
+//! Subcommands:
+//!
+//! - `generate  --dataset <name> --size <preset|RxC> [--seed N] --out FILE`
+//!   writes a synthetic evaluation grid in grid-tsv format.
+//! - `info      --in FILE`
+//!   prints shape, schema, validity, and per-attribute Moran's I.
+//! - `repartition --in FILE --theta T [--strided] [--out-grid FILE]
+//!   [--out-groups FILE]`
+//!   runs the framework; optionally writes the reconstructed grid and/or a
+//!   TSV of cell-groups (id, rectangle, features).
+//! - `homogeneous --in FILE --rows K --cols K`
+//!   reports the §III-D homogeneous-merge IFL.
+//!
+//! Example round trip:
+//!
+//! ```bash
+//! srtool generate --dataset taxi-uni --size tiny --out taxi.tsv
+//! srtool info --in taxi.tsv
+//! srtool repartition --in taxi.tsv --theta 0.05 --out-groups groups.tsv
+//! ```
+
+use spatial_repartition::core::{
+    homogeneous_ifl, IterationStrategy, RepartitionConfig, Repartitioner,
+};
+use spatial_repartition::datasets::{Dataset, GridSize};
+use spatial_repartition::grid::{load_grid, morans_i, save_grid, AdjacencyList, GridDataset};
+use std::collections::HashMap;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage("missing subcommand");
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => return usage(&e),
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "info" => cmd_info(&opts),
+        "repartition" => cmd_repartition(&opts),
+        "homogeneous" => cmd_homogeneous(&opts),
+        "--help" | "-h" | "help" => {
+            print_usage();
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("srtool: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type Opts = HashMap<String, String>;
+
+fn parse_opts(rest: &[String]) -> Result<Opts, String> {
+    let mut opts = HashMap::new();
+    let mut i = 0;
+    while i < rest.len() {
+        let key = rest[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{}'", rest[i]))?;
+        // Boolean flags take no value.
+        if key == "strided" {
+            opts.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let value = rest
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value for --{key}"))?;
+        opts.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(opts)
+}
+
+fn required<'a>(opts: &'a Opts, key: &str) -> Result<&'a str, String> {
+    opts.get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required --{key}"))
+}
+
+fn parse_dataset(token: &str) -> Result<Dataset, String> {
+    Ok(match token {
+        "taxi-multi" => Dataset::TaxiMultivariate,
+        "taxi-uni" => Dataset::TaxiUnivariate,
+        "homes" => Dataset::HomeSalesMultivariate,
+        "vehicles" => Dataset::VehiclesUnivariate,
+        "earnings-multi" => Dataset::EarningsMultivariate,
+        "earnings-uni" => Dataset::EarningsUnivariate,
+        _ => {
+            return Err(format!(
+                "unknown dataset '{token}' (taxi-multi|taxi-uni|homes|vehicles|earnings-multi|earnings-uni)"
+            ))
+        }
+    })
+}
+
+fn parse_size(token: &str) -> Result<GridSize, String> {
+    Ok(match token {
+        "mini" => GridSize::Mini,
+        "tiny" => GridSize::Tiny,
+        "small" => GridSize::Small,
+        "36k" => GridSize::Cells36k,
+        "78k" => GridSize::Cells78k,
+        "100k" => GridSize::Cells100k,
+        other => {
+            let (r, c) = other
+                .split_once('x')
+                .ok_or_else(|| format!("bad size '{other}'"))?;
+            GridSize::Custom(
+                r.parse().map_err(|_| format!("bad size '{other}'"))?,
+                c.parse().map_err(|_| format!("bad size '{other}'"))?,
+            )
+        }
+    })
+}
+
+fn cmd_generate(opts: &Opts) -> Result<(), String> {
+    let dataset = parse_dataset(required(opts, "dataset")?)?;
+    let size = parse_size(required(opts, "size")?)?;
+    let seed: u64 = opts
+        .get("seed")
+        .map_or(Ok(42), |s| s.parse().map_err(|_| "bad --seed".to_string()))?;
+    let out = required(opts, "out")?;
+    let grid = dataset.generate(size, seed);
+    save_grid(&grid, out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} cells, {} valid, {} attrs)",
+        out,
+        grid.num_cells(),
+        grid.num_valid_cells(),
+        grid.num_attrs()
+    );
+    Ok(())
+}
+
+fn cmd_info(opts: &Opts) -> Result<(), String> {
+    let grid = load_grid(required(opts, "in")?).map_err(|e| e.to_string())?;
+    println!("shape: {} x {} = {} cells", grid.rows(), grid.cols(), grid.num_cells());
+    println!(
+        "valid: {} ({:.1}%)",
+        grid.num_valid_cells(),
+        100.0 * grid.num_valid_cells() as f64 / grid.num_cells() as f64
+    );
+    let b = grid.bounds();
+    println!(
+        "bounds: lat [{}, {}], lon [{}, {}]",
+        b.lat_min, b.lat_max, b.lon_min, b.lon_max
+    );
+    let adj = AdjacencyList::rook_from_grid(&grid);
+    for k in 0..grid.num_attrs() {
+        let mut vals = vec![0.0; grid.num_cells()];
+        for id in grid.valid_cells() {
+            vals[id as usize] = grid.value(id, k);
+        }
+        let moran = morans_i(&vals, &adj)
+            .map_or("n/a".to_string(), |v| format!("{v:.3}"));
+        println!(
+            "attr[{k}] {:<16} agg={:?} int={} Moran's I={moran}",
+            grid.attr_names()[k],
+            grid.agg_types()[k],
+            grid.integer_attrs()[k]
+        );
+    }
+    Ok(())
+}
+
+fn cmd_repartition(opts: &Opts) -> Result<(), String> {
+    let grid = load_grid(required(opts, "in")?).map_err(|e| e.to_string())?;
+    let theta: f64 = required(opts, "theta")?
+        .parse()
+        .map_err(|_| "bad --theta".to_string())?;
+    let mut config = RepartitionConfig::new(theta).map_err(|e| e.to_string())?;
+    if opts.contains_key("strided") || grid.num_cells() > 5_000 {
+        config = config.with_strategy(IterationStrategy::Exponential {
+            initial_stride: 8,
+            growth: 1.6,
+        });
+    }
+    let start = std::time::Instant::now();
+    let outcome = Repartitioner::with_config(config)
+        .map_err(|e| e.to_string())?
+        .run(&grid)
+        .map_err(|e| e.to_string())?;
+    let secs = start.elapsed().as_secs_f64();
+    let rep = &outcome.repartitioned;
+    println!(
+        "{} cells -> {} groups ({:.1}% reduction) at IFL {:.4} <= {theta} in {secs:.2}s ({} iterations)",
+        grid.num_cells(),
+        rep.num_groups(),
+        outcome.cell_reduction() * 100.0,
+        rep.ifl(),
+        outcome.iterations.len()
+    );
+
+    if let Some(path) = opts.get("out-grid") {
+        let rec = rep.reconstruct(&grid).map_err(|e| e.to_string())?;
+        save_grid(&rec, path).map_err(|e| e.to_string())?;
+        println!("wrote reconstructed grid to {path}");
+    }
+    if let Some(path) = opts.get("out-groups") {
+        write_groups(rep, path).map_err(|e| e.to_string())?;
+        println!("wrote {} cell-groups to {path}", rep.num_groups());
+    }
+    if let Some(path) = opts.get("out-gal") {
+        let adj = rep.adjacency();
+        let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        spatial_repartition::grid::write_gal(&adj, std::io::BufWriter::new(file))
+            .map_err(|e| e.to_string())?;
+        println!("wrote PySAL GAL weights ({} units) to {path}", adj.len());
+    }
+    Ok(())
+}
+
+fn write_groups(
+    rep: &spatial_repartition::core::Repartitioned,
+    path: &str,
+) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    write!(w, "#group\tr0\tr1\tc0\tc1")?;
+    for name in rep.attr_names() {
+        write!(w, "\t{name}")?;
+    }
+    writeln!(w)?;
+    for gid in 0..rep.num_groups() as u32 {
+        let rect = rep.partition().rect(gid);
+        write!(w, "{gid}\t{}\t{}\t{}\t{}", rect.r0, rect.r1, rect.c0, rect.c1)?;
+        match rep.group_feature(gid) {
+            Some(fv) => {
+                for v in fv {
+                    write!(w, "\t{v}")?;
+                }
+            }
+            None => {
+                for _ in 0..rep.attr_names().len() {
+                    write!(w, "\tnull")?;
+                }
+            }
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+fn cmd_homogeneous(opts: &Opts) -> Result<(), String> {
+    let grid = load_grid(required(opts, "in")?).map_err(|e| e.to_string())?;
+    let rows: usize = required(opts, "rows")?.parse().map_err(|_| "bad --rows".to_string())?;
+    let cols: usize = required(opts, "cols")?.parse().map_err(|_| "bad --cols".to_string())?;
+    let ifl = homogeneous_ifl(&grid, rows, cols).map_err(|e| e.to_string())?;
+    let groups = grid.rows().div_ceil(rows) * grid.cols().div_ceil(cols);
+    println!(
+        "homogeneous {rows}x{cols} merge: {} -> {} groups, IFL {ifl:.4}",
+        grid.num_cells(),
+        groups
+    );
+    Ok(())
+}
+
+fn print_usage() {
+    println!(
+        "srtool — ML-aware spatial re-partitioning CLI
+
+USAGE:
+  srtool generate    --dataset taxi-multi|taxi-uni|homes|vehicles|earnings-multi|earnings-uni
+                     --size mini|tiny|small|36k|78k|100k|RxC [--seed N] --out FILE
+  srtool info        --in FILE
+  srtool repartition --in FILE --theta T [--strided] [--out-grid FILE] [--out-groups FILE]
+                     [--out-gal FILE]
+  srtool homogeneous --in FILE --rows K --cols K"
+    );
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("srtool: {err}\n");
+    print_usage();
+    ExitCode::FAILURE
+}
+
+// The grid type is exercised through the public API above; this keeps the
+// binary honest about only using exported functionality.
+#[allow(dead_code)]
+fn _assert_public_api(grid: &GridDataset) -> usize {
+    grid.num_cells()
+}

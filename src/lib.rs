@@ -1,0 +1,77 @@
+//! # spatial-repartition
+//!
+//! A from-scratch Rust reproduction of **"A Machine Learning-Aware Data
+//! Re-partitioning Framework for Spatial Datasets"** (Chowdhury, Meduri,
+//! Sarwat — ICDE 2022), including every substrate the paper's evaluation
+//! depends on.
+//!
+//! The framework coarsens an `m × n` spatial grid by merging adjacent,
+//! similar cells into rectangular *cell-groups* while the information loss
+//! (a mean-absolute-percentage error, Eq. 3 of the paper) stays under a
+//! user threshold `θ`. Training spatial ML models on the coarsened grid cuts
+//! training time and memory substantially at a bounded accuracy cost.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use spatial_repartition::prelude::*;
+//!
+//! // A 64-cell grid with a smooth value surface.
+//! let values: Vec<f64> = (0..64)
+//!     .map(|i| 100.0 + (i / 8) as f64 + 0.5 * (i % 8) as f64)
+//!     .collect();
+//! let grid = GridDataset::univariate(8, 8, values).unwrap();
+//!
+//! // Re-partition with an IFL budget of 0.05.
+//! let outcome = repartition(&grid, 0.05).unwrap();
+//! let rep = &outcome.repartitioned;
+//! assert!(rep.ifl() <= 0.05);
+//! assert!(rep.num_groups() < 64);
+//!
+//! // Training-ready views: features, centroids, adjacency (Algorithm 3).
+//! let prepared = PreparedTrainingData::from_repartitioned(rep);
+//! assert_eq!(prepared.adjacency.len(), prepared.len());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `sr-core` | the re-partitioning framework (Algorithms 1–3, driver, homogeneous variant) |
+//! | [`grid`] | `sr-grid` | grid substrate, Eqs. 1–4, adjacency, autocorrelation |
+//! | [`datasets`] | `sr-datasets` | synthetic stand-ins for the paper's four datasets |
+//! | [`ml`] | `sr-ml` | spatial lag/error, GWR, SVR, random forest, kriging, boosting, KNN, SCHC, metrics |
+//! | [`baselines`] | `sr-baselines` | sampling / regionalization / clustering reducers |
+//! | [`linalg`] | `sr-linalg` | dense matrices, LU, Cholesky, least squares |
+//! | [`mem`] | `sr-mem` | peak-allocation tracking for the memory experiments |
+
+pub use sr_baselines as baselines;
+pub use sr_core as core;
+pub use sr_datasets as datasets;
+pub use sr_grid as grid;
+pub use sr_linalg as linalg;
+pub use sr_mem as mem;
+pub use sr_ml as ml;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use sr_baselines::{contiguous_clustering, regionalize, spatial_sampling, ReducedDataset};
+    pub use sr_core::{
+        quadtree_partition, repartition, CellUpdate, IterationStrategy, PreparedTrainingData,
+        RepartitionConfig, Repartitioned, Repartitioner, StreamingRepartitioner,
+        TemporalRepartitioner,
+    };
+    pub use sr_datasets::{train_test_split, Dataset, GridSize};
+    pub use sr_grid::{
+        gearys_c, information_loss, join_counts, local_morans_i, morans_i,
+        normalize_attributes, read_gal, read_grid, render_heatmap, render_partition,
+        variation_between_typed, write_gal, write_grid, AdjacencyList, AggType, Bounds,
+        GridBuilder, GridDataset, IflOptions, PointRecord,
+    };
+    pub use sr_ml::{
+        bin_into_quantiles, cluster_agreement, lm_diagnostics, mae, pseudo_r2, rmse,
+        se_regression, weighted_f1, GradientBoostingClassifier, Gwr, KnnClassifier,
+        KnnRegressor, OrdinaryKriging, RandomForest, SpatialError, SpatialLag, Svr,
+        VariogramModel,
+    };
+}

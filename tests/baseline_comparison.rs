@@ -1,0 +1,131 @@
+//! Cross-crate integration of the baseline reducers against the core
+//! framework — the fairness protocol of §IV-A3 (matched unit counts) and
+//! the loss comparison behind Tables II–IV.
+
+use spatial_repartition::datasets::{Dataset, GridSize};
+use spatial_repartition::prelude::*;
+
+/// Builds the three baselines at the re-partitioner's unit count.
+fn matched_reductions(
+    grid: &GridDataset,
+    theta: f64,
+) -> (usize, f64, ReducedDataset, ReducedDataset, ReducedDataset) {
+    let out = repartition(grid, theta).unwrap();
+    let t = out.repartitioned.num_valid_groups();
+    let ifl = out.repartitioned.ifl();
+    let samp = spatial_sampling(grid, t, 1).unwrap();
+    let regi = regionalize(grid, t, 1).unwrap();
+    let clus = contiguous_clustering(grid, t).unwrap();
+    (t, ifl, samp, regi, clus)
+}
+
+#[test]
+fn baselines_match_the_repartitioners_unit_count() {
+    for ds in [Dataset::TaxiUnivariate, Dataset::HomeSalesMultivariate] {
+        let grid = ds.generate(GridSize::Mini, 7);
+        let (t, _, samp, regi, clus) = matched_reductions(&grid, 0.10);
+        assert_eq!(samp.len(), t, "{}: sampling count", ds.name());
+        // Region growing may add singleton islands beyond t when the valid
+        // area is disconnected; it must never fall below t.
+        assert!(regi.len() >= t, "{}: regionalization count", ds.name());
+        assert!(regi.len() <= t + 8, "{}: regionalization overshoot", ds.name());
+        assert!(clus.len() >= t, "{}: clustering count", ds.name());
+    }
+}
+
+#[test]
+fn loss_profile_across_reduction_methods() {
+    // What the framework guarantees is the θ bound; free-form aggregators
+    // (regionalization/clustering) can sometimes achieve lower raw IFL at
+    // the same unit count because their regions are not constrained to
+    // rectangles. What must hold: (a) the framework's loss respects its
+    // budget, (b) the contiguous aggregators all land in the same order of
+    // magnitude, and (c) sampling — whose representative for a non-sampled
+    // cell is a *different* cell's value — loses the most.
+    for ds in [
+        Dataset::TaxiUnivariate,
+        Dataset::VehiclesUnivariate,
+        Dataset::EarningsMultivariate,
+    ] {
+        let grid = ds.generate(GridSize::Mini, 8);
+        let theta = 0.10;
+        let (_, rp_ifl, samp, regi, clus) = matched_reductions(&grid, theta);
+        let samp_ifl = samp.information_loss(&grid);
+        let regi_ifl = regi.information_loss(&grid);
+        let clus_ifl = clus.information_loss(&grid);
+
+        assert!(rp_ifl <= theta + 1e-12, "{}: budget violated", ds.name());
+        assert!(
+            rp_ifl <= 3.0 * regi_ifl.max(1e-3) && regi_ifl <= 3.0 * rp_ifl.max(1e-3),
+            "{}: repartition {rp_ifl} vs regionalization {regi_ifl} out of band",
+            ds.name()
+        );
+        assert!(
+            rp_ifl <= 3.0 * clus_ifl.max(1e-3) && clus_ifl <= 3.0 * rp_ifl.max(1e-3),
+            "{}: repartition {rp_ifl} vs clustering {clus_ifl} out of band",
+            ds.name()
+        );
+        assert!(
+            samp_ifl > rp_ifl,
+            "{}: sampling IFL {samp_ifl} should exceed repartitioning {rp_ifl}",
+            ds.name()
+        );
+    }
+}
+
+#[test]
+fn sampling_breaks_adjacency_aggregators_keep_it() {
+    let grid = Dataset::TaxiUnivariate.generate(GridSize::Mini, 9);
+    let (t, _, samp, regi, clus) = matched_reductions(&grid, 0.10);
+
+    // Sampling: almost no adjacent sample pairs relative to unit count.
+    let samp_degree: usize = (0..samp.len() as u32).map(|u| samp.adjacency.degree(u)).sum();
+    // Aggregators: contiguous tilings keep a dense neighbor structure.
+    let regi_degree: usize = (0..regi.len() as u32).map(|u| regi.adjacency.degree(u)).sum();
+    let clus_degree: usize = (0..clus.len() as u32).map(|u| clus.adjacency.degree(u)).sum();
+    assert!(
+        samp_degree < regi_degree && samp_degree < clus_degree,
+        "sampling ({samp_degree}) should have far fewer edges than regionalization \
+         ({regi_degree}) / clustering ({clus_degree}) at t={t}"
+    );
+}
+
+#[test]
+fn every_reduction_covers_all_valid_cells() {
+    let mut grid = Dataset::EarningsMultivariate.generate(GridSize::Mini, 10);
+    // A few extra nulls to stress the mapping.
+    grid.set_null(0);
+    grid.set_null(5);
+    let (_, _, samp, regi, clus) = matched_reductions(&grid, 0.10);
+    for (name, red) in [("sampling", &samp), ("regionalization", &regi), ("clustering", &clus)] {
+        for id in 0..grid.num_cells() as u32 {
+            let mapped = red.cell_to_unit[id as usize].is_some();
+            assert_eq!(
+                mapped,
+                grid.is_valid(id),
+                "{name}: cell {id} mapping disagrees with validity"
+            );
+        }
+        let covered: usize = red.unit_sizes.iter().sum();
+        assert_eq!(covered, grid.num_valid_cells(), "{name}: unit sizes");
+    }
+}
+
+#[test]
+fn homogeneous_variant_loses_far_more_than_the_framework() {
+    // Table V's story: the naive 2×2 homogeneous merge loses much more
+    // information than the similarity-driven framework at a *larger*
+    // reduction.
+    use spatial_repartition::core::homogeneous_ifl;
+    for ds in [Dataset::TaxiMultivariate, Dataset::VehiclesUnivariate] {
+        let grid = ds.generate(GridSize::Mini, 11);
+        let homog = homogeneous_ifl(&grid, 2, 2).unwrap();
+        let framework = repartition(&grid, 0.10).unwrap().repartitioned.ifl();
+        assert!(
+            homog > framework,
+            "{}: homogeneous IFL {homog} should exceed framework IFL {framework}",
+            ds.name()
+        );
+        assert!(homog > 0.10, "{}: homogeneous IFL {homog} suspiciously low", ds.name());
+    }
+}

@@ -1,0 +1,110 @@
+//! Integration tests of the `srtool` CLI binary: drives the compiled
+//! executable through generate → info → repartition → homogeneous round
+//! trips in a temp directory.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn srtool(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_srtool"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("srtool_test_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn generate_info_repartition_roundtrip() {
+    let grid_path = temp_path("grid.tsv");
+    let groups_path = temp_path("groups.tsv");
+    let recon_path = temp_path("recon.tsv");
+    let grid = grid_path.to_str().unwrap();
+
+    // generate
+    let out = srtool(&["generate", "--dataset", "taxi-uni", "--size", "mini", "--seed", "5", "--out", grid]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("400 cells"), "{stdout}");
+
+    // info
+    let out = srtool(&["info", "--in", grid]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("shape: 20 x 20"), "{stdout}");
+    assert!(stdout.contains("Moran's I"), "{stdout}");
+
+    // repartition with both outputs
+    let out = srtool(&[
+        "repartition",
+        "--in",
+        grid,
+        "--theta",
+        "0.08",
+        "--out-groups",
+        groups_path.to_str().unwrap(),
+        "--out-grid",
+        recon_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("reduction"), "{stdout}");
+    assert!(stdout.contains("IFL"), "{stdout}");
+
+    // The groups file has a header plus one line per group.
+    let groups = std::fs::read_to_string(&groups_path).unwrap();
+    assert!(groups.starts_with("#group\tr0\tr1\tc0\tc1"));
+    assert!(groups.lines().count() > 10);
+
+    // The reconstructed grid loads back and has the original shape.
+    let rec = spatial_repartition::grid::load_grid(&recon_path).unwrap();
+    assert_eq!(rec.rows(), 20);
+    assert_eq!(rec.cols(), 20);
+
+    // homogeneous
+    let out = srtool(&["homogeneous", "--in", grid, "--rows", "2", "--cols", "2"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("100 groups"), "{stdout}");
+
+    for p in [grid_path, groups_path, recon_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn bad_invocations_fail_cleanly() {
+    // Unknown subcommand.
+    let out = srtool(&["frobnicate"]);
+    assert!(!out.status.success());
+
+    // Missing required flag.
+    let out = srtool(&["generate", "--dataset", "taxi-uni"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--size") ||
+            String::from_utf8_lossy(&out.stderr).contains("--out"));
+
+    // Unknown dataset.
+    let out = srtool(&["generate", "--dataset", "nope", "--size", "mini", "--out", "/tmp/x"]);
+    assert!(!out.status.success());
+
+    // Bad theta.
+    let grid_path = temp_path("grid2.tsv");
+    let grid = grid_path.to_str().unwrap();
+    let out = srtool(&["generate", "--dataset", "vehicles", "--size", "mini", "--out", grid]);
+    assert!(out.status.success());
+    let out = srtool(&["repartition", "--in", grid, "--theta", "7.5"]);
+    assert!(!out.status.success());
+    let _ = std::fs::remove_file(grid_path);
+
+    // Missing input file.
+    let out = srtool(&["info", "--in", "/nonexistent/definitely.tsv"]);
+    assert!(!out.status.success());
+
+    // Help succeeds.
+    let out = srtool(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

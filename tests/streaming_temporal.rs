@@ -1,0 +1,89 @@
+//! Integration of the §VI future-work extensions (streaming updates and
+//! temporal partition reuse) against the synthetic evaluation datasets.
+
+use spatial_repartition::core::{
+    CellUpdate, StreamingRepartitioner, TemporalRepartitioner,
+};
+use spatial_repartition::datasets::{Dataset, GridSize};
+
+#[test]
+fn streaming_pipeline_on_taxi_data() {
+    let grid = Dataset::TaxiUnivariate.generate(GridSize::Mini, 31);
+    let mut stream = StreamingRepartitioner::new(grid, 0.10).unwrap();
+    let initial = stream.num_groups();
+
+    // A week of demand updates.
+    for day in 0..7u64 {
+        let updates: Vec<CellUpdate> = (0..25u64)
+            .map(|i| {
+                let cell = ((day * 53 + i * 17) % 400) as u32;
+                CellUpdate { cell, features: Some(vec![20.0 + (day + i) as f64]) }
+            })
+            .collect();
+        stream.apply(&updates).unwrap();
+        // The budget invariant must hold after every batch.
+        assert!(stream.ifl() <= stream.threshold() + 1e-12, "day {day}");
+    }
+    assert!(stream.num_groups() >= initial);
+
+    // Compaction recovers a coarse partition over the mutated grid.
+    let (before, after) = stream.compact().unwrap();
+    assert!(after <= before);
+    assert!(stream.ifl() <= stream.threshold());
+}
+
+#[test]
+fn temporal_reuse_on_drifting_home_prices() {
+    // Simulate quarterly price drift by regenerating with scaled values.
+    let base = Dataset::HomeSalesMultivariate.generate(GridSize::Mini, 32);
+    let mut t = TemporalRepartitioner::new(0.08).unwrap();
+
+    let first = t.step(&base).unwrap();
+    assert!(!first.reused);
+    assert!(first.ifl <= 0.08);
+
+    // Quarters: uniform 1.5% appreciation per step keeps relative structure
+    // identical, so the partition must be reused.
+    let mut current = base.clone();
+    for quarter in 0..4 {
+        let mut next = current.clone();
+        for id in current.valid_cells() {
+            let price = current.value(id, 0) * 1.015;
+            next.set_value(id, 0, price);
+        }
+        let out = t.step(&next).unwrap();
+        assert!(out.reused, "quarter {quarter} should reuse the partition");
+        assert!(out.ifl <= 0.08);
+        current = next;
+    }
+    assert!(t.reuse_rate() >= 0.8);
+
+    // A structural shock (price crash in half the region, scrambling
+    // relative differences) must force re-extraction or stay within budget.
+    let mut shock = current.clone();
+    for id in current.valid_cells() {
+        let (r, _) = current.cell_pos(id);
+        if r < 10 {
+            // Crash scales with position: breaks intra-group homogeneity.
+            let f = 0.3 + 0.05 * (id % 7) as f64;
+            shock.set_value(id, 0, current.value(id, 0) * f);
+        }
+    }
+    let out = t.step(&shock).unwrap();
+    assert!(out.ifl <= 0.08, "post-shock IFL {}", out.ifl);
+}
+
+#[test]
+fn gal_export_of_group_adjacency_feeds_back() {
+    // The §III-B loop: repartition → GAL → reload → same weights structure.
+    use spatial_repartition::grid::{read_gal, write_gal};
+    let grid = Dataset::EarningsUnivariate.generate(GridSize::Mini, 33);
+    let out = spatial_repartition::core::repartition(&grid, 0.10).unwrap();
+    let adj = out.repartitioned.adjacency();
+    let mut buf = Vec::new();
+    write_gal(&adj, &mut buf).unwrap();
+    let back = read_gal(&buf[..]).unwrap();
+    assert_eq!(back.len(), adj.len());
+    assert_eq!(back.total_weight(), adj.total_weight());
+    assert!(back.is_symmetric());
+}

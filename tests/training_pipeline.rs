@@ -1,0 +1,139 @@
+//! Integration of the full spatial-ML substrate on generated data: every
+//! model class fits on a reduced dataset and produces sane predictions.
+
+use spatial_repartition::core::PreparedTrainingData;
+use spatial_repartition::datasets::{train_test_split, Dataset, GridSize};
+use spatial_repartition::ml::{
+    bin_into_quantiles, pseudo_r2, schc_cluster, table1, weighted_f1,
+    GradientBoostingClassifier, Gwr, KnnClassifier, OrdinaryKriging, RandomForest, SchcParams,
+    SpatialError, SpatialLag, Svr, SvrParams,
+};
+use spatial_repartition::prelude::*;
+
+/// Reduced home-sales training set: features (price target), centroids,
+/// adjacency.
+fn reduced_home_sales() -> (PreparedTrainingData, GridDataset) {
+    let grid = Dataset::HomeSalesMultivariate.generate(GridSize::Mini, 21);
+    let out = repartition(&grid, 0.04).unwrap();
+    (PreparedTrainingData::from_repartitioned(&out.repartitioned), grid)
+}
+
+#[test]
+fn all_regressors_fit_reduced_data() {
+    let (prep, _) = reduced_home_sales();
+    let (xs, ys) = prep.split_target(0);
+    let (train, test) = train_test_split(xs.len(), 0.2, 3);
+    let tx: Vec<Vec<f64>> = train.iter().map(|&i| xs[i].clone()).collect();
+    let ty: Vec<f64> = train.iter().map(|&i| ys[i]).collect();
+    let qx: Vec<Vec<f64>> = test.iter().map(|&i| xs[i].clone()).collect();
+    let qy: Vec<f64> = test.iter().map(|&i| ys[i]).collect();
+    let mut mask = vec![false; xs.len()];
+    for &i in &train {
+        mask[i] = true;
+    }
+    let train_adj = prep.adjacency.restrict(&mask);
+    let tc: Vec<(f64, f64)> = train.iter().map(|&i| prep.centroids[i]).collect();
+    let qc: Vec<(f64, f64)> = test.iter().map(|&i| prep.centroids[i]).collect();
+
+    // Spatial lag.
+    let lag = SpatialLag::fit(&tx, &ty, &train_adj).unwrap();
+    assert!(lag.rho.is_finite() && lag.rho.abs() <= 0.99);
+    let wy_full = prep.adjacency.spatial_lag(&ys);
+    let wy_test: Vec<f64> = test.iter().map(|&i| wy_full[i]).collect();
+    let lag_pred = lag.predict(&qx, &wy_test).unwrap();
+    assert!(pseudo_r2(&qy, &lag_pred) > 0.3, "lag R² too low");
+
+    // Spatial error.
+    let err = SpatialError::fit(&tx, &ty, &train_adj).unwrap();
+    let err_pred = err.predict_trend(&qx);
+    assert!(pseudo_r2(&qy, &err_pred) > 0.3, "error-model R² too low");
+
+    // GWR.
+    let gwr = Gwr::fit(&tx, &ty, &tc, &table1::gwr()).unwrap();
+    let gwr_pred = gwr.predict(&qx, &qc).unwrap();
+    assert!(pseudo_r2(&qy, &gwr_pred) > 0.3, "GWR R² too low");
+
+    // SVR (smaller epoch budget for test speed).
+    let svr_params = SvrParams { max_epochs: 20, max_train: 10_000, ..table1::svr() };
+    let svr = Svr::fit(&tx, &ty, &svr_params).unwrap();
+    assert!(svr.predict(&qx).iter().all(|p| p.is_finite()));
+
+    // Random forest (trimmed size).
+    let mut rf_params = table1::random_forest();
+    rf_params.n_estimators = 40;
+    let rf = RandomForest::fit(&tx, &ty, &rf_params).unwrap();
+    let rf_pred = rf.predict(&qx);
+    assert!(pseudo_r2(&qy, &rf_pred) > 0.3, "forest R² too low");
+}
+
+#[test]
+fn classifiers_fit_reduced_data() {
+    let (prep, _) = reduced_home_sales();
+    let (xs, ys) = prep.split_target(0);
+    let labels = bin_into_quantiles(&ys, table1::NUM_CLASSES);
+    let (train, test) = train_test_split(xs.len(), 0.2, 4);
+    let tx: Vec<Vec<f64>> = train.iter().map(|&i| xs[i].clone()).collect();
+    let tl: Vec<usize> = train.iter().map(|&i| labels[i]).collect();
+    let qx: Vec<Vec<f64>> = test.iter().map(|&i| xs[i].clone()).collect();
+    let ql: Vec<usize> = test.iter().map(|&i| labels[i]).collect();
+
+    let mut gb_params = table1::gradient_boosting();
+    gb_params.n_estimators = 30;
+    let gb = GradientBoostingClassifier::fit(&tx, &tl, table1::NUM_CLASSES, &gb_params).unwrap();
+    let gb_f1 = weighted_f1(&ql, &gb.predict(&qx), table1::NUM_CLASSES);
+    // Five balanced classes: random guessing sits near 0.2.
+    assert!(gb_f1 > 0.3, "gradient boosting F1 {gb_f1} barely beats chance");
+
+    let knn = KnnClassifier::fit(&tx, &tl, table1::NUM_CLASSES, &table1::knn()).unwrap();
+    let knn_f1 = weighted_f1(&ql, &knn.predict(&qx), table1::NUM_CLASSES);
+    assert!(knn_f1 > 0.28, "KNN F1 {knn_f1} barely beats chance");
+}
+
+#[test]
+fn kriging_interpolates_reduced_univariate_data() {
+    let grid = Dataset::EarningsUnivariate.generate(GridSize::Mini, 22);
+    let out = repartition(&grid, 0.08).unwrap();
+    let prep = PreparedTrainingData::from_repartitioned(&out.repartitioned);
+    // Per-cell intensity (jobs is Sum-aggregated).
+    let values: Vec<f64> = prep
+        .features
+        .iter()
+        .zip(&prep.group_sizes)
+        .map(|(f, &s)| f[0] / s as f64)
+        .collect();
+    let (train, test) = train_test_split(values.len(), 0.2, 5);
+    let tc: Vec<(f64, f64)> = train.iter().map(|&i| prep.centroids[i]).collect();
+    let tv: Vec<f64> = train.iter().map(|&i| values[i]).collect();
+    let qc: Vec<(f64, f64)> = test.iter().map(|&i| prep.centroids[i]).collect();
+    let qv: Vec<f64> = test.iter().map(|&i| values[i]).collect();
+
+    let k = OrdinaryKriging::fit(&tc, &tv, &table1::kriging()).unwrap();
+    let pred = k.predict(&qc);
+    // Kriging must beat the constant-mean predictor on autocorrelated data.
+    let mean = tv.iter().sum::<f64>() / tv.len() as f64;
+    let base: f64 = qv.iter().map(|v| (v - mean) * (v - mean)).sum();
+    let sse: f64 = qv.iter().zip(&pred).map(|(v, p)| (v - p) * (v - p)).sum();
+    assert!(sse < base, "kriging no better than the mean: {sse} vs {base}");
+}
+
+#[test]
+fn clustering_runs_on_both_grids() {
+    let grid = Dataset::VehiclesUnivariate.generate(GridSize::Mini, 23);
+    // Cell-level clustering.
+    let norm = normalize_attributes(&grid);
+    let feats: Vec<Vec<f64>> = norm
+        .valid_cells()
+        .map(|id| norm.features_unchecked(id).to_vec())
+        .collect();
+    let adj = AdjacencyList::rook_from_grid(&grid).restrict(grid.valid_mask());
+    let base = schc_cluster(&feats, &adj, &SchcParams { num_clusters: 6 }).unwrap();
+    assert!(base.num_found >= 6);
+
+    // Group-level clustering on the re-partitioned data.
+    let out = repartition(&grid, 0.10).unwrap();
+    let prep = PreparedTrainingData::from_repartitioned(&out.repartitioned);
+    let gfeats: Vec<Vec<f64>> = prep.features.clone();
+    let res = schc_cluster(&gfeats, &prep.adjacency, &SchcParams { num_clusters: 6 }).unwrap();
+    assert!(res.num_found >= 6);
+    assert_eq!(res.labels.len(), prep.len());
+}
