@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, release build, full test suite.
+# Run from the repository root before pushing.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --workspace --offline
+
+echo "ci: all green"

@@ -1,0 +1,118 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// A collection size: fixed or drawn from a range per case.
+#[derive(Debug, Clone)]
+pub enum SizeRange {
+    /// Exactly this many elements.
+    Fixed(usize),
+    /// Uniform in `[lo, hi)`.
+    Between(usize, usize),
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        match *self {
+            SizeRange::Fixed(n) => n,
+            SizeRange::Between(lo, hi) => rng.gen_range(lo..hi),
+        }
+    }
+
+    fn max(&self) -> usize {
+        match *self {
+            SizeRange::Fixed(n) => n,
+            SizeRange::Between(_, hi) => hi,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange::Fixed(n)
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        SizeRange::Between(r.start, r.end)
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `element` and the given size.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate_value(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.draw(rng);
+        (0..n).map(|_| self.element.generate_value(rng)).collect()
+    }
+}
+
+/// Strategy for `HashSet<T>`; duplicates are regenerated (bounded retries),
+/// so the set size may fall below the drawn target when the element domain
+/// is small.
+pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    HashSetStrategy { element, size: size.into() }
+}
+
+/// See [`hash_set`].
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+    fn generate_value(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.draw(rng);
+        let mut out = HashSet::with_capacity(n);
+        let mut attempts = 0usize;
+        let budget = (self.size.max() + 1) * 20;
+        while out.len() < n && attempts < budget {
+            out.insert(self.element.generate_value(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_respects_fixed_and_ranged_sizes() {
+        for case in 0..100u64 {
+            let mut rng = TestRng::for_case("collection_unit", case);
+            let v = vec(0.0f64..1.0, 7).generate_value(&mut rng);
+            assert_eq!(v.len(), 7);
+            let w = vec(0usize..10, 2..6).generate_value(&mut rng);
+            assert!((2..6).contains(&w.len()));
+            let s = hash_set((0i32..50, 0i32..50), 3..8).generate_value(&mut rng);
+            assert!(s.len() < 8);
+        }
+    }
+}

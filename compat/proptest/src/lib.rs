@@ -1,0 +1,157 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so this local path crate
+//! re-implements the subset of proptest the workspace's property tests rely
+//! on: the [`proptest!`] macro, [`Strategy`] with `prop_map` /
+//! `prop_flat_map`, range and tuple strategies, [`strategy::Just`],
+//! `prop::collection::{vec, hash_set}`, `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!`, and [`test_runner::ProptestConfig`].
+//!
+//! Differences from real proptest, deliberate for a hermetic test
+//! environment:
+//!
+//! - **No shrinking.** A failing case reports its test name, case index,
+//!   and message; re-running is deterministic (seeds derive from the test
+//!   name and case index), so failures reproduce exactly.
+//! - **Rejection via `prop_assume!`** skips the case without counting it
+//!   against the case budget, up to a global rejection cap.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Mirror of proptest's `prop` facade module (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The glob-import surface the tests use: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $($(#[$meta:meta])* fn $name:ident ($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rejected: u32 = 0;
+                let mut case: u64 = 0;
+                let mut passed: u32 = 0;
+                while passed < config.cases {
+                    let mut __proptest_rng = $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    case += 1;
+                    $(let $pat = $crate::strategy::Strategy::generate_value(&($strat), &mut __proptest_rng);)*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body; ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        Ok(()) => passed += 1,
+                        Err($crate::test_runner::TestCaseError::Reject) => {
+                            rejected += 1;
+                            if rejected > config.max_global_rejects {
+                                panic!(
+                                    "proptest '{}': too many prop_assume! rejections ({rejected})",
+                                    stringify!($name)
+                                );
+                            }
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest '{}' failed at case {} (deterministic; re-run reproduces): {msg}",
+                                stringify!($name),
+                                case - 1
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case with a message when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                        format!(
+                            "{}\n  left: {:?}\n right: {:?}",
+                            format!($($fmt)+), l, r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current case when the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    !(*l == *r),
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                );
+            }
+        }
+    };
+}
+
+/// Skips the current case (does not count toward the case budget) when the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,61 @@
+//! Test-run configuration, the per-case RNG, and case outcomes.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required per test.
+    pub cases: u32,
+    /// Cap on total `prop_assume!` rejections before the test aborts.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_global_rejects: 4_096 }
+    }
+}
+
+/// Outcome of one generated case, produced by the assertion macros.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case failed; the string is the assertion message.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject,
+}
+
+/// Deterministic per-case RNG: the stream is a function of the test name
+/// and case index only, so failures reproduce across runs and machines.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// RNG for case `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { inner: SmallRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

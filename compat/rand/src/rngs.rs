@@ -1,0 +1,51 @@
+//! Concrete RNGs: `SmallRng` (xoshiro256++) and its `StdRng` alias.
+
+use crate::{RngCore, SeedableRng};
+
+/// A small, fast, non-cryptographic RNG — xoshiro256++ (Blackman & Vigna),
+/// the same family rand 0.8's `SmallRng` uses on 64-bit targets.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    fn from_state(mut sm: u64) -> Self {
+        // SplitMix64 stream expands the 64-bit seed into the 256-bit state;
+        // this is the canonical seeding procedure for the xoshiro family.
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        SmallRng { s }
+    }
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        SmallRng::from_state(seed)
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The workspace never relies on `StdRng`'s cryptographic strength, so the
+/// alias points at the same xoshiro generator.
+pub type StdRng = SmallRng;

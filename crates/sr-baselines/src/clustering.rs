@@ -23,14 +23,12 @@ pub fn contiguous_clustering(grid: &GridDataset, p: usize) -> Result<ReducedData
     }
 
     let norm = normalize_attributes(grid);
-    let features: Vec<Vec<f64>> = valid
-        .iter()
-        .map(|&c| norm.features_unchecked(c).to_vec())
-        .collect();
+    let features: Vec<Vec<f64>> =
+        valid.iter().map(|&c| norm.features_unchecked(c).to_vec()).collect();
     let rook = AdjacencyList::rook_from_grid(grid).restrict(grid.valid_mask());
 
-    let result = schc_cluster(&features, &rook, &SchcParams { num_clusters: p })
-        .expect("validated inputs");
+    let result =
+        schc_cluster(&features, &rook, &SchcParams { num_clusters: p }).expect("validated inputs");
 
     let num_units = result.num_found;
     let mut members: Vec<Vec<CellId>> = vec![Vec::new(); num_units];
@@ -51,7 +49,8 @@ pub fn contiguous_clustering(grid: &GridDataset, p: usize) -> Result<ReducedData
         }
     }
     let full_rook = AdjacencyList::rook_from_grid(grid);
-    let mut neighbor_sets: Vec<std::collections::HashSet<u32>> = vec![Default::default(); num_units];
+    let mut neighbor_sets: Vec<std::collections::HashSet<u32>> =
+        vec![Default::default(); num_units];
     for &cell in &valid {
         let a = unit_of[cell as usize];
         for &nb in full_rook.neighbors(cell) {
@@ -115,10 +114,8 @@ mod tests {
         let g = gradient_grid(8);
         let r = contiguous_clustering(&g, 4).unwrap();
         for unit in 0..r.len() as u32 {
-            let rows: Vec<usize> = (0..64)
-                .filter(|&i| r.cell_to_unit[i] == Some(unit))
-                .map(|i| i / 8)
-                .collect();
+            let rows: Vec<usize> =
+                (0..64).filter(|&i| r.cell_to_unit[i] == Some(unit)).map(|i| i / 8).collect();
             let min = *rows.iter().min().unwrap();
             let max = *rows.iter().max().unwrap();
             // All rows between min and max present (banded shape).
@@ -134,9 +131,7 @@ mod tests {
         // fixed-band reduction at equal unit count... compare against the
         // worst case of putting the top half and bottom half together (2
         // units) vs SCHC's own 2 units on a split grid.
-        let vals: Vec<f64> = (0..100)
-            .map(|i| if i < 50 { 1.0 } else { 100.0 })
-            .collect();
+        let vals: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 100.0 }).collect();
         let g = GridDataset::univariate(10, 10, vals).unwrap();
         let r = contiguous_clustering(&g, 2).unwrap();
         // Perfect split ⇒ zero loss.

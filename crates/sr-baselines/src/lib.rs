@@ -45,10 +45,9 @@ impl std::fmt::Display for BaselineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BaselineError::EmptyGrid => write!(f, "grid has no valid cells"),
-            BaselineError::InvalidTarget { requested, available } => write!(
-                f,
-                "target unit count {requested} invalid for {available} valid cells"
-            ),
+            BaselineError::InvalidTarget { requested, available } => {
+                write!(f, "target unit count {requested} invalid for {available} valid cells")
+            }
         }
     }
 }

@@ -67,11 +67,11 @@ pub fn regionalize(grid: &GridDataset, p: usize, seed: u64) -> Result<ReducedDat
     let mut heap: BinaryHeap<Reverse<(Cost, CellId, u32)>> = BinaryHeap::new();
 
     let absorb = |cell: CellId,
-                      region: u32,
-                      region_of: &mut Vec<u32>,
-                      sums: &mut Vec<Vec<f64>>,
-                      counts: &mut Vec<usize>,
-                      heap: &mut BinaryHeap<Reverse<(Cost, CellId, u32)>>| {
+                  region: u32,
+                  region_of: &mut Vec<u32>,
+                  sums: &mut Vec<Vec<f64>>,
+                  counts: &mut Vec<usize>,
+                  heap: &mut BinaryHeap<Reverse<(Cost, CellId, u32)>>| {
         region_of[cell as usize] = region;
         let fv = norm.features_unchecked(cell);
         for (s, &v) in sums[region as usize].iter_mut().zip(fv) {
@@ -166,9 +166,7 @@ mod tests {
 
     fn two_zone_grid(n: usize) -> GridDataset {
         // Left half ≈ 1, right half ≈ 9.
-        let vals: Vec<f64> = (0..n * n)
-            .map(|i| if i % n < n / 2 { 1.0 } else { 9.0 })
-            .collect();
+        let vals: Vec<f64> = (0..n * n).map(|i| if i % n < n / 2 { 1.0 } else { 9.0 }).collect();
         GridDataset::univariate(n, n, vals).unwrap()
     }
 
@@ -186,9 +184,8 @@ mod tests {
         let r = regionalize(&g, 10, 2).unwrap();
         let rook = AdjacencyList::rook_from_grid(&g);
         for region in 0..r.len() as u32 {
-            let members: Vec<usize> = (0..g.num_cells())
-                .filter(|&i| r.cell_to_unit[i] == Some(region))
-                .collect();
+            let members: Vec<usize> =
+                (0..g.num_cells()).filter(|&i| r.cell_to_unit[i] == Some(region)).collect();
             if members.is_empty() {
                 continue;
             }

@@ -78,10 +78,8 @@ pub fn spatial_sampling(grid: &GridDataset, t: usize, seed: u64) -> Result<Reduc
     }
 
     // Unit features: the sampled cells' own feature vectors.
-    let features: Vec<Vec<f64>> = selected
-        .iter()
-        .map(|&c| grid.features_unchecked(c).to_vec())
-        .collect();
+    let features: Vec<Vec<f64>> =
+        selected.iter().map(|&c| grid.features_unchecked(c).to_vec()).collect();
     let centroids: Vec<(f64, f64)> = selected.iter().map(|&c| grid.cell_centroid(c)).collect();
 
     // Rook adjacency among samples (sparse by construction).
@@ -152,12 +150,7 @@ fn nearest_sample_map(grid: &GridDataset, selected: &[CellId]) -> Vec<Option<u32
             for dr in r_lo..=r_hi {
                 for dc in c_lo..=c_hi {
                     // Only the new ring's boundary buckets.
-                    if ring > 0
-                        && dr != r_lo
-                        && dr != r_hi
-                        && dc != c_lo
-                        && dc != c_hi
-                    {
+                    if ring > 0 && dr != r_lo && dr != r_hi && dc != c_lo && dc != c_hi {
                         continue;
                     }
                     for &(sr, sc, u) in &buckets[dr * b_cols + dc] {
@@ -174,7 +167,9 @@ fn nearest_sample_map(grid: &GridDataset, selected: &[CellId]) -> Vec<Option<u32
             // bucket boundaries.
             if let Some((d2, _)) = best {
                 let safe_rings = (d2.sqrt() / bucket as f64).ceil() as usize + 1;
-                if ring >= safe_rings || (r_lo == 0 && c_lo == 0 && r_hi == b_rows - 1 && c_hi == b_cols - 1) {
+                if ring >= safe_rings
+                    || (r_lo == 0 && c_lo == 0 && r_hi == b_rows - 1 && c_hi == b_cols - 1)
+                {
                     break;
                 }
             } else if r_lo == 0 && c_lo == 0 && r_hi == b_rows - 1 && c_hi == b_cols - 1 {
@@ -192,9 +187,8 @@ mod tests {
     use super::*;
 
     fn smooth_grid(n: usize) -> GridDataset {
-        let vals: Vec<f64> = (0..n * n)
-            .map(|i| 10.0 + (i / n) as f64 + 0.5 * (i % n) as f64)
-            .collect();
+        let vals: Vec<f64> =
+            (0..n * n).map(|i| 10.0 + (i / n) as f64 + 0.5 * (i % n) as f64).collect();
         GridDataset::univariate(n, n, vals).unwrap()
     }
 

@@ -34,14 +34,18 @@ fn bench_regressors(c: &mut Criterion) {
         b.iter(|| SpatialError::fit(black_box(&xs), black_box(&ys), black_box(&adj)).unwrap())
     });
     group.bench_function("gwr", |b| {
-        b.iter(|| Gwr::fit(black_box(&xs), black_box(&ys), black_box(&coords), &table1::gwr()).unwrap())
+        b.iter(|| {
+            Gwr::fit(black_box(&xs), black_box(&ys), black_box(&coords), &table1::gwr()).unwrap()
+        })
     });
     group.bench_function("svr", |b| {
         let params = SvrParams { max_train: 10_000, ..table1::svr() };
         b.iter(|| Svr::fit(black_box(&xs), black_box(&ys), &params).unwrap())
     });
     group.bench_function("random_forest", |b| {
-        b.iter(|| RandomForest::fit(black_box(&xs), black_box(&ys), &table1::random_forest()).unwrap())
+        b.iter(|| {
+            RandomForest::fit(black_box(&xs), black_box(&ys), &table1::random_forest()).unwrap()
+        })
     });
     group.finish();
 }
@@ -66,12 +70,19 @@ fn bench_classifiers_and_kriging(c: &mut Criterion) {
     });
     group.bench_function("knn_fit", |b| {
         b.iter(|| {
-            KnnClassifier::fit(black_box(&xs), black_box(&labels), table1::NUM_CLASSES, &table1::knn())
-                .unwrap()
+            KnnClassifier::fit(
+                black_box(&xs),
+                black_box(&labels),
+                table1::NUM_CLASSES,
+                &table1::knn(),
+            )
+            .unwrap()
         })
     });
     group.bench_function("kriging_fit", |b| {
-        b.iter(|| OrdinaryKriging::fit(black_box(&coords), black_box(&ys), &table1::kriging()).unwrap())
+        b.iter(|| {
+            OrdinaryKriging::fit(black_box(&coords), black_box(&ys), &table1::kriging()).unwrap()
+        })
     });
     group.finish();
 }

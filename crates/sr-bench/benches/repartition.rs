@@ -49,7 +49,9 @@ fn bench_stages(c: &mut Criterion) {
 fn bench_full_driver(c: &mut Criterion) {
     let mut group = c.benchmark_group("repartition_driver");
     group.sample_size(10);
-    for (label, size) in [("20x20", GridSize::Mini), ("48x48", GridSize::Tiny), ("80x80", GridSize::Small)] {
+    for (label, size) in
+        [("20x20", GridSize::Mini), ("48x48", GridSize::Tiny), ("80x80", GridSize::Small)]
+    {
         let grid = Dataset::TaxiMultivariate.generate(size, 1);
         group.bench_with_input(BenchmarkId::new("strided_theta_0.05", label), &grid, |b, g| {
             let cfg = RepartitionConfig::new(0.05)

@@ -43,14 +43,13 @@ fn main() {
             let mut avg_groups = 0usize;
             let mut mean_only = Vec::with_capacity(partition.num_groups());
             for gid in 0..partition.num_groups() as u32 {
-                let cells = partition.cells_of(gid);
                 let mut fv = vec![0.0f64; grid.num_attrs()];
                 let mut any = false;
                 for (k, slot) in fv.iter_mut().enumerate() {
-                    let values: Vec<f64> = cells
-                        .iter()
-                        .filter(|&&c| grid.is_valid(c))
-                        .map(|&c| grid.value(c, k))
+                    let values: Vec<f64> = partition
+                        .cells_iter(gid)
+                        .filter(|&c| grid.is_valid(c))
+                        .map(|c| grid.value(c, k))
                         .collect();
                     if values.is_empty() {
                         continue;
@@ -80,11 +79,8 @@ fn main() {
                 mean_only.push(any.then_some(fv));
             }
             let ifl_mean = partition_ifl(&grid, &partition, &mean_only, IflOptions::default());
-            let win_pct = if avg_groups > 0 {
-                100.0 * mode_wins as f64 / avg_groups as f64
-            } else {
-                0.0
-            };
+            let win_pct =
+                if avg_groups > 0 { 100.0 * mode_wins as f64 / avg_groups as f64 } else { 0.0 };
             table.row(vec![
                 ds.name().to_string(),
                 format!("{variation:.2}"),

@@ -18,38 +18,23 @@ fn main() {
     let datasets = if cfg.quick {
         vec![Dataset::TaxiMultivariate]
     } else {
-        vec![
-            Dataset::TaxiMultivariate,
-            Dataset::HomeSalesMultivariate,
-            Dataset::VehiclesUnivariate,
-        ]
+        vec![Dataset::TaxiMultivariate, Dataset::HomeSalesMultivariate, Dataset::VehiclesUnivariate]
     };
 
     println!("== Ablation: iteration strategy (faithful vs strided) ==");
     println!("(grid: {} cells)\n", cfg.size.num_cells());
 
-    let mut table = Table::new(&[
-        "dataset",
-        "theta",
-        "strategy",
-        "passes",
-        "time",
-        "groups",
-        "IFL",
-    ]);
+    let mut table =
+        Table::new(&["dataset", "theta", "strategy", "passes", "time", "groups", "IFL"]);
     for ds in &datasets {
         let grid = ds.generate(cfg.size, cfg.seed);
         for &theta in &PAPER_THRESHOLDS {
             for (name, strategy) in [
                 ("every-distinct", IterationStrategy::EveryDistinct),
-                (
-                    "strided",
-                    IterationStrategy::Exponential { initial_stride: 8, growth: 1.6 },
-                ),
+                ("strided", IterationStrategy::Exponential { initial_stride: 8, growth: 1.6 }),
             ] {
-                let config = RepartitionConfig::new(theta)
-                    .expect("valid threshold")
-                    .with_strategy(strategy);
+                let config =
+                    RepartitionConfig::new(theta).expect("valid threshold").with_strategy(strategy);
                 let start = Instant::now();
                 let out = Repartitioner::with_config(config)
                     .expect("valid config")

@@ -23,26 +23,14 @@ fn main() {
     println!("== Ablation: greedy merging (Algorithm 1) vs quadtree splitting ==");
     println!("(grid: {} cells)\n", cfg.size.num_cells());
 
-    let mut table = Table::new(&[
-        "dataset",
-        "variation",
-        "method",
-        "groups",
-        "IFL",
-        "time",
-    ]);
-    for ds in [
-        Dataset::TaxiMultivariate,
-        Dataset::HomeSalesMultivariate,
-        Dataset::VehiclesUnivariate,
-    ] {
+    let mut table = Table::new(&["dataset", "variation", "method", "groups", "IFL", "time"]);
+    for ds in
+        [Dataset::TaxiMultivariate, Dataset::HomeSalesMultivariate, Dataset::VehiclesUnivariate]
+    {
         let grid = ds.generate(cfg.size, cfg.seed);
         let norm = normalize_attributes(&grid);
         for variation in [0.01, 0.02, 0.05] {
-            for (name, run) in [
-                ("greedy", true),
-                ("quadtree", false),
-            ] {
+            for (name, run) in [("greedy", true), ("quadtree", false)] {
                 let start = Instant::now();
                 let partition = if run {
                     extract_cell_groups(&norm, variation)

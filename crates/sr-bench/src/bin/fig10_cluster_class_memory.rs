@@ -48,11 +48,8 @@ fn main() {
             .collect();
         for model in ClassModel::ALL {
             let orig = classification(&orig_units, ds.target_attr(), model, cfg.seed);
-            let mut row = vec![
-                ds.name().to_string(),
-                model.name().to_string(),
-                fmt_mib(orig.peak_bytes),
-            ];
+            let mut row =
+                vec![ds.name().to_string(), model.name().to_string(), fmt_mib(orig.peak_bytes)];
             for units in &reduced {
                 let r = classification(units, ds.target_attr(), model, cfg.seed);
                 row.push(fmt_mib(r.peak_bytes));

@@ -14,7 +14,9 @@
 //! Run: `cargo run -p sr-bench --release --bin fig7_training_time`
 
 use sr_bench::report::{fmt_reduction, fmt_secs, Table};
-use sr_bench::{kriging_run, regression, repartition_auto, ExpConfig, RegModel, Units, PAPER_THRESHOLDS};
+use sr_bench::{
+    kriging_run, regression, repartition_auto, ExpConfig, RegModel, Units, PAPER_THRESHOLDS,
+};
 use sr_core::PreparedTrainingData;
 use sr_datasets::{Dataset, GridSize};
 
@@ -23,14 +25,14 @@ static ALLOC: sr_mem::TrackingAllocator = sr_mem::TrackingAllocator;
 
 fn main() {
     let cfg = ExpConfig::parse("fig7_training_time", GridSize::Tiny);
-    let models: &[RegModel] = if cfg.quick {
-        &[RegModel::Lag, RegModel::Forest]
-    } else {
-        &RegModel::ALL
-    };
+    let models: &[RegModel] =
+        if cfg.quick { &[RegModel::Lag, RegModel::Forest] } else { &RegModel::ALL };
 
     println!("== Figure 7: training-time reduction (regression + kriging) ==");
-    println!("(grid: {} cells; paper shape: biggest savings for SVR/GWR/lag)\n", cfg.size.num_cells());
+    println!(
+        "(grid: {} cells; paper shape: biggest savings for SVR/GWR/lag)\n",
+        cfg.size.num_cells()
+    );
 
     for ds in Dataset::MULTIVARIATE {
         let grid = ds.generate(cfg.size, cfg.seed);

@@ -9,7 +9,9 @@
 //! Run: `cargo run -p sr-bench --release --bin fig8_memory`
 
 use sr_bench::report::{fmt_mib, fmt_reduction, Table};
-use sr_bench::{kriging_run, regression, repartition_auto, ExpConfig, RegModel, Units, PAPER_THRESHOLDS};
+use sr_bench::{
+    kriging_run, regression, repartition_auto, ExpConfig, RegModel, Units, PAPER_THRESHOLDS,
+};
 use sr_core::PreparedTrainingData;
 use sr_datasets::{Dataset, GridSize};
 
@@ -18,11 +20,8 @@ static ALLOC: sr_mem::TrackingAllocator = sr_mem::TrackingAllocator;
 
 fn main() {
     let cfg = ExpConfig::parse("fig8_memory", GridSize::Tiny);
-    let models: &[RegModel] = if cfg.quick {
-        &[RegModel::Lag, RegModel::Forest]
-    } else {
-        &RegModel::ALL
-    };
+    let models: &[RegModel] =
+        if cfg.quick { &[RegModel::Lag, RegModel::Forest] } else { &RegModel::ALL };
 
     println!("== Figure 8: peak-memory reduction (regression + kriging) ==");
     println!("(grid: {} cells; peak live bytes during the fit)\n", cfg.size.num_cells());

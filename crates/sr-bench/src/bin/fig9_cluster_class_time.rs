@@ -49,11 +49,8 @@ fn main() {
             .collect();
         for model in ClassModel::ALL {
             let orig = classification(&orig_units, ds.target_attr(), model, cfg.seed);
-            let mut row = vec![
-                ds.name().to_string(),
-                model.name().to_string(),
-                fmt_secs(orig.train_secs),
-            ];
+            let mut row =
+                vec![ds.name().to_string(), model.name().to_string(), fmt_secs(orig.train_secs)];
             for units in &reduced {
                 let r = classification(units, ds.target_attr(), model, cfg.seed);
                 row.push(fmt_secs(r.train_secs));

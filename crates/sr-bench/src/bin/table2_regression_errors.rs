@@ -13,14 +13,22 @@
 //! Run: `cargo run -p sr-bench --release --bin table2_regression_errors`
 
 use sr_bench::report::Table;
-use sr_bench::{all_reductions, kriging_run, regression, ExpConfig, RegModel, Units, PAPER_THRESHOLDS};
+use sr_bench::{
+    all_reductions, kriging_run, regression, ExpConfig, RegModel, Units, PAPER_THRESHOLDS,
+};
 use sr_datasets::{Dataset, GridSize};
 
 /// Metrics are averaged over this many train/test splits to damp
 /// split-to-split variance at the reduced experiment sizes.
 const SPLITS: u64 = 3;
 
-fn avg_regression(units: &Units, target: usize, model: RegModel, seed: u64, se_r2: bool) -> (f64, f64) {
+fn avg_regression(
+    units: &Units,
+    target: usize,
+    model: RegModel,
+    seed: u64,
+    se_r2: bool,
+) -> (f64, f64) {
     let mut a = 0.0;
     let mut b = 0.0;
     for s in 0..SPLITS {
@@ -48,11 +56,7 @@ static ALLOC: sr_mem::TrackingAllocator = sr_mem::TrackingAllocator;
 
 fn main() {
     let cfg = ExpConfig::parse("table2_regression_errors", GridSize::Tiny);
-    let models: &[RegModel] = if cfg.quick {
-        &[RegModel::Lag]
-    } else {
-        &RegModel::ALL
-    };
+    let models: &[RegModel] = if cfg.quick { &[RegModel::Lag] } else { &RegModel::ALL };
 
     println!("== Table II: prediction errors (original vs reduced datasets) ==");
     println!("(grid: {} cells)\n", cfg.size.num_cells());
@@ -123,4 +127,3 @@ fn main() {
     }
     table.print();
 }
-

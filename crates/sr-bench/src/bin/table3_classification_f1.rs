@@ -16,9 +16,7 @@ use sr_datasets::{Dataset, GridSize};
 const SPLITS: u64 = 3;
 
 fn avg_f1(units: &Units, target: usize, model: ClassModel, seed: u64) -> f64 {
-    (0..SPLITS)
-        .map(|s| classification(units, target, model, seed + s).f1)
-        .sum::<f64>()
+    (0..SPLITS).map(|s| classification(units, target, model, seed + s).f1).sum::<f64>()
         / SPLITS as f64
 }
 

@@ -20,15 +20,13 @@ fn main() {
     let cfg = ExpConfig::parse("table4_clustering_correctness", GridSize::Small);
 
     println!("== Table IV: clustering correctness (%) vs original grid ==");
-    println!("(grid: {} cells; {} clusters)\n", cfg.size.num_cells(), sr_bench::pipeline::NUM_CLUSTERS);
+    println!(
+        "(grid: {} cells; {} clusters)\n",
+        cfg.size.num_cells(),
+        sr_bench::pipeline::NUM_CLUSTERS
+    );
 
-    let mut table = Table::new(&[
-        "Dataset",
-        "Method",
-        "IFL = 0.05",
-        "IFL = 0.1",
-        "IFL = 0.15",
-    ]);
+    let mut table = Table::new(&["Dataset", "Method", "IFL = 0.05", "IFL = 0.1", "IFL = 0.15"]);
     for ds in Dataset::ALL {
         let grid = ds.generate(cfg.size, cfg.seed);
         let orig_labels = clustering(&Units::from_grid(&grid)).cell_labels;

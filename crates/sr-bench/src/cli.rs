@@ -22,12 +22,8 @@ impl ExpConfig {
     /// Parses `std::env::args`, exiting with usage on `--help` or malformed
     /// input. `default_size` is the binary's preferred grid size.
     pub fn parse(binary: &str, default_size: GridSize) -> ExpConfig {
-        let mut cfg = ExpConfig {
-            size: default_size,
-            size_overridden: false,
-            seed: 42,
-            quick: false,
-        };
+        let mut cfg =
+            ExpConfig { size: default_size, size_overridden: false, seed: 42, quick: false };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -70,9 +66,7 @@ pub fn parse_size(token: &str) -> Option<GridSize> {
 }
 
 fn usage(binary: &str) -> ! {
-    eprintln!(
-        "usage: {binary} [--size mini|tiny|small|36k|78k|100k|RxC] [--seed N] [--quick]"
-    );
+    eprintln!("usage: {binary} [--size mini|tiny|small|36k|78k|100k|RxC] [--seed N] [--quick]");
     std::process::exit(2);
 }
 

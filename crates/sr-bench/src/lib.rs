@@ -49,11 +49,7 @@ pub const PAPER_THRESHOLDS: [f64; 3] = [0.05, 0.10, 0.15];
 /// *same* unit count: the paper sets the baselines' target
 /// samples/regions/clusters to the cell-group count the re-partitioning
 /// framework produced at the given threshold (§IV-A3).
-pub fn all_reductions(
-    grid: &GridDataset,
-    theta: f64,
-    seed: u64,
-) -> Vec<(&'static str, Units)> {
+pub fn all_reductions(grid: &GridDataset, theta: f64, seed: u64) -> Vec<(&'static str, Units)> {
     let out = repartition_auto(grid, theta);
     let prep = sr_core::PreparedTrainingData::from_repartitioned(&out.repartitioned);
     let rp_units = Units::from_prepared(&prep, &out.repartitioned);

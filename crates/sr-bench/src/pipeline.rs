@@ -34,13 +34,8 @@ pub enum RegModel {
 
 impl RegModel {
     /// All five, in the paper's presentation order.
-    pub const ALL: [RegModel; 5] = [
-        RegModel::Lag,
-        RegModel::ErrorModel,
-        RegModel::Gwr,
-        RegModel::Svr,
-        RegModel::Forest,
-    ];
+    pub const ALL: [RegModel; 5] =
+        [RegModel::Lag, RegModel::ErrorModel, RegModel::Gwr, RegModel::Svr, RegModel::Forest];
 
     /// Display name.
     pub fn name(&self) -> &'static str {
@@ -259,7 +254,12 @@ pub struct ClassResult {
 
 /// Runs one classifier: the target attribute is quantile-binned into five
 /// classes (§IV-C2), split 80/20, fitted, and scored by weighted F1.
-pub fn classification(units: &Units, target_attr: usize, model: ClassModel, seed: u64) -> ClassResult {
+pub fn classification(
+    units: &Units,
+    target_attr: usize,
+    model: ClassModel,
+    seed: u64,
+) -> ClassResult {
     let (xs, ys) = units.split_target(target_attr);
     let labels = sr_ml::bin_into_quantiles(&ys, table1::NUM_CLASSES);
     let n = xs.len();
@@ -293,11 +293,7 @@ pub fn classification(units: &Units, target_attr: usize, model: ClassModel, seed
     // KNN "training" is the kd-tree build; prediction dominates instead,
     // but the paper reports the same convention, so we keep fit-only here.
 
-    ClassResult {
-        train_secs,
-        peak_bytes,
-        f1: weighted_f1(&test_l, &pred, table1::NUM_CLASSES),
-    }
+    ClassResult { train_secs, peak_bytes, f1: weighted_f1(&test_l, &pred, table1::NUM_CLASSES) }
 }
 
 /// Result of one kriging run (univariate datasets, Table II-f).
@@ -376,20 +372,13 @@ pub fn clustering(units: &Units) -> ClusterResult {
     };
     let start = Instant::now();
     let (res, peak_bytes) = sr_mem::measure_peak(|| {
-        sr_ml::schc_cluster(
-            &norm,
-            graph,
-            &sr_ml::SchcParams { num_clusters: NUM_CLUSTERS },
-        )
-        .expect("schc")
+        sr_ml::schc_cluster(&norm, graph, &sr_ml::SchcParams { num_clusters: NUM_CLUSTERS })
+            .expect("schc")
     });
     let train_secs = start.elapsed().as_secs_f64();
 
-    let cell_labels = units
-        .cell_to_unit
-        .iter()
-        .map(|u| u.map(|u| res.labels[u as usize]))
-        .collect();
+    let cell_labels =
+        units.cell_to_unit.iter().map(|u| u.map(|u| res.labels[u as usize])).collect();
     ClusterResult { train_secs, peak_bytes, cell_labels }
 }
 
@@ -412,10 +401,7 @@ fn num_components(adj: &AdjacencyList) -> usize {
             }
         }
     }
-    (0..n as u32)
-        .map(|i| find(&mut parent, i))
-        .collect::<std::collections::HashSet<_>>()
-        .len()
+    (0..n as u32).map(|i| find(&mut parent, i)).collect::<std::collections::HashSet<_>>().len()
 }
 
 /// Symmetrized k-nearest-neighbor graph over centroids (brute force; the
@@ -468,11 +454,6 @@ fn normalize_rows(rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
         }
     }
     rows.iter()
-        .map(|r| {
-            r.iter()
-                .zip(&maxes)
-                .map(|(v, m)| if *m > 0.0 { v / m } else { 0.0 })
-                .collect()
-        })
+        .map(|r| r.iter().zip(&maxes).map(|(v, m)| if *m > 0.0 { v / m } else { 0.0 }).collect())
         .collect()
 }

@@ -1,7 +1,9 @@
 //! Unit tests for the experiment harness: the unit-set abstraction, the
 //! model pipelines, and the matched-count reduction builder.
 
-use crate::{all_reductions, classification, clustering, kriging_run, regression, repartition_auto};
+use crate::{
+    all_reductions, classification, clustering, kriging_run, regression, repartition_auto,
+};
 use crate::{ClassModel, RegModel, Units};
 use sr_core::PreparedTrainingData;
 use sr_datasets::{Dataset, GridSize};
@@ -102,11 +104,7 @@ fn all_reductions_matched_counts() {
     assert_eq!(reductions.len(), 4);
     let t = reductions[0].1.len(); // re-partitioning sets the target
     for (name, u) in &reductions {
-        assert!(
-            u.len() >= t && u.len() <= t + 10,
-            "{name}: {} vs target {t}",
-            u.len()
-        );
+        assert!(u.len() >= t && u.len() <= t + 10, "{name}: {} vs target {t}", u.len());
         assert_eq!(u.adjacency.len(), u.len(), "{name}");
     }
 }

@@ -24,12 +24,11 @@ pub fn allocate_features(original: &GridDataset, partition: &Partition) -> Vec<O
     let mut values: Vec<f64> = Vec::new();
 
     for gid in 0..partition.num_groups() as u32 {
-        let member_cells = partition.cells_of(gid);
         let mut fv = vec![0.0f64; p];
         let mut any_valid = false;
         for (k, slot) in fv.iter_mut().enumerate() {
             values.clear();
-            for &cell in &member_cells {
+            for cell in partition.cells_iter(gid) {
                 if original.is_valid(cell) {
                     values.push(original.value(cell, k));
                 }

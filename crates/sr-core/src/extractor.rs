@@ -129,10 +129,7 @@ fn best_anchored_rect(
 ) -> (usize, usize) {
     // Maximal horizontal run in the anchor row.
     let mut width = 1usize;
-    while c + width < cols
-        && !visited[r * cols + c + width]
-        && edges.h(r, c + width - 1)
-    {
+    while c + width < cols && !visited[r * cols + c + width] && edges.h(r, c + width - 1) {
         width += 1;
     }
 
@@ -277,17 +274,11 @@ mod tests {
                 let fv = norm.features_unchecked(id);
                 if c < rect.c1 {
                     let right = norm.cell_id(r as usize, c as usize + 1);
-                    assert!(
-                        variation_between(fv, norm.features_unchecked(right))
-                            <= theta + 1e-9
-                    );
+                    assert!(variation_between(fv, norm.features_unchecked(right)) <= theta + 1e-9);
                 }
                 if r < rect.r1 {
                     let down = norm.cell_id(r as usize + 1, c as usize);
-                    assert!(
-                        variation_between(fv, norm.features_unchecked(down))
-                            <= theta + 1e-9
-                    );
+                    assert!(variation_between(fv, norm.features_unchecked(down)) <= theta + 1e-9);
                 }
             }
         }

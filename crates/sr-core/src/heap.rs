@@ -51,19 +51,13 @@ impl VariationHeap {
     /// pass the *normalized* grid (see [`sr_grid::normalize_attributes`]).
     pub fn from_grid(normalized: &GridDataset) -> Self {
         let pairs = adjacent_variations(normalized);
-        let heap = pairs
-            .into_iter()
-            .map(|p| Reverse(FiniteF64(p.variation)))
-            .collect();
+        let heap = pairs.into_iter().map(|p| Reverse(FiniteF64(p.variation))).collect();
         VariationHeap { heap, dedup_eps: DEFAULT_DEDUP_EPS, last_popped: None }
     }
 
     /// Builds a heap directly from raw variation values (tests, ablations).
     pub fn from_values(values: impl IntoIterator<Item = f64>) -> Self {
-        let heap = values
-            .into_iter()
-            .map(|v| Reverse(FiniteF64(v)))
-            .collect();
+        let heap = values.into_iter().map(|v| Reverse(FiniteF64(v))).collect();
         VariationHeap { heap, dedup_eps: DEFAULT_DEDUP_EPS, last_popped: None }
     }
 
@@ -140,12 +134,7 @@ mod tests {
         // neighbors, normalized by the grid max of 35).
         // Reconstruct a compatible grid: max value 35, one pair of equal
         // neighbors, one pair differing by exactly 1.
-        let g = sr_grid::GridDataset::univariate(
-            1,
-            4,
-            vec![22.0, 22.0, 23.0, 35.0],
-        )
-        .unwrap();
+        let g = sr_grid::GridDataset::univariate(1, 4, vec![22.0, 22.0, 23.0, 35.0]).unwrap();
         let norm = normalize_attributes(&g);
         let mut h = VariationHeap::from_grid(&norm);
         let first = h.pop_next_distinct().unwrap();

@@ -40,12 +40,7 @@ pub fn block_partition(
             let r1 = (r0 + row_factor - 1).min(rows - 1);
             let c1 = (c0 + col_factor - 1).min(cols - 1);
             let gid = groups.len() as GroupId;
-            groups.push(GroupRect {
-                r0: r0 as u32,
-                r1: r1 as u32,
-                c0: c0 as u32,
-                c1: c1 as u32,
-            });
+            groups.push(GroupRect { r0: r0 as u32, r1: r1 as u32, c0: c0 as u32, c1: c1 as u32 });
             for r in r0..=r1 {
                 for c in c0..=c1 {
                     cell_to_group[r * cols + c] = gid;
@@ -76,11 +71,7 @@ pub fn homogeneous_merge(
 
 /// IFL alone for a homogeneous merge — the quantity Table V reports for
 /// (2 rows), (2 columns) and (2 rows & 2 columns).
-pub fn homogeneous_ifl(
-    grid: &GridDataset,
-    row_factor: usize,
-    col_factor: usize,
-) -> Result<f64> {
+pub fn homogeneous_ifl(grid: &GridDataset, row_factor: usize, col_factor: usize) -> Result<f64> {
     homogeneous_merge(grid, row_factor, col_factor, IflOptions::default()).map(|(_, _, ifl)| ifl)
 }
 
@@ -176,9 +167,7 @@ mod tests {
     fn heterogeneous_grid_incurs_loss() {
         // Alternating extreme values: factor-2 merge averages dissimilar
         // cells — high IFL, as Table V demonstrates.
-        let vals: Vec<f64> = (0..16)
-            .map(|i| if i % 2 == 0 { 1.0 } else { 100.0 })
-            .collect();
+        let vals: Vec<f64> = (0..16).map(|i| if i % 2 == 0 { 1.0 } else { 100.0 }).collect();
         let g = GridDataset::univariate(4, 4, vals).unwrap();
         let ifl = homogeneous_ifl(&g, 1, 2).unwrap();
         assert!(ifl > 0.4, "expected Table-V-scale loss, got {ifl}");

@@ -10,10 +10,15 @@ use crate::partition::Partition;
 use sr_grid::loss::information_loss_with;
 use sr_grid::{AggType, GridDataset, IflOptions};
 
-/// Representative value of attribute `k` for a cell inside a group, given
-/// the group's allocated value and its valid-member count.
+/// Representative value of a cell inside a group, given the group's
+/// allocated value for one attribute and the group's valid-member count
+/// (§III-C): `Sum`-typed values are divided back by the member count,
+/// `Avg`/`Mode` values apply to each member directly.
+///
+/// Public so downstream consumers (the serving layer, reconstruction) can
+/// answer per-cell queries without materializing a full grid.
 #[inline]
-pub(crate) fn representative(group_value: f64, agg: AggType, members: usize) -> f64 {
+pub fn representative(group_value: f64, agg: AggType, members: usize) -> f64 {
     match agg {
         AggType::Sum => group_value / members as f64,
         AggType::Avg | AggType::Mode => group_value,
@@ -76,12 +81,7 @@ mod tests {
         // Group {10, 20} with Avg: representative 15 for both cells.
         // IFL = (|10-15|/10 + |20-15|/20)/2 = (0.5 + 0.25)/2 = 0.375
         let g = GridDataset::univariate(1, 2, vec![10.0, 20.0]).unwrap();
-        let p = Partition::new(
-            1,
-            2,
-            vec![GroupRect { r0: 0, r1: 0, c0: 0, c1: 1 }],
-            vec![0, 0],
-        );
+        let p = Partition::new(1, 2, vec![GroupRect { r0: 0, r1: 0, c0: 0, c1: 1 }], vec![0, 0]);
         let feats = allocate_features(&g, &p);
         let ifl = partition_ifl(&g, &p, &feats, IflOptions::default());
         assert!((ifl - 0.375).abs() < 1e-12);
@@ -102,12 +102,7 @@ mod tests {
             Bounds::unit(),
         )
         .unwrap();
-        let p = Partition::new(
-            1,
-            2,
-            vec![GroupRect { r0: 0, r1: 0, c0: 0, c1: 1 }],
-            vec![0, 0],
-        );
+        let p = Partition::new(1, 2, vec![GroupRect { r0: 0, r1: 0, c0: 0, c1: 1 }], vec![0, 0]);
         let feats = allocate_features(&g, &p);
         assert_eq!(feats[0].as_deref(), Some(&[30.0][..]));
         let ifl = partition_ifl(&g, &p, &feats, IflOptions::default());

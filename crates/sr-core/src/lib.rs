@@ -48,17 +48,17 @@ pub use extractor::extract_cell_groups;
 pub use group_adjacency::group_adjacency;
 pub use heap::VariationHeap;
 pub use homogeneous::{homogeneous_ifl, homogeneous_merge, run_homogeneous, HomogeneousOutcome};
-pub use ifl::partition_ifl;
+pub use ifl::{partition_ifl, representative};
 pub use partition::{GroupId, GroupRect, Partition};
 pub use prepare::PreparedTrainingData;
 pub use quadtree::quadtree_partition;
 pub use reconstruct::reconstruct_grid;
-pub use streaming::{CellUpdate, StreamingRepartitioner};
-pub use temporal::{StepOutcome, TemporalRepartitioner};
 pub use repartition::{
     repartition, IterationStats, IterationStrategy, RepartitionConfig, RepartitionOutcome,
     Repartitioned, Repartitioner,
 };
+pub use streaming::{CellUpdate, StreamingRepartitioner};
+pub use temporal::{StepOutcome, TemporalRepartitioner};
 
 /// Errors from the re-partitioning framework.
 #[derive(Debug, Clone, PartialEq)]

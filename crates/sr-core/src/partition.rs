@@ -62,7 +62,9 @@ impl GroupRect {
     }
 
     /// Iterates over the contained cell positions in row-major order.
-    pub fn cells(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+    /// Takes `self` by value (`GroupRect` is `Copy`) so the iterator owns
+    /// its bounds and can outlive the borrow it was created from.
+    pub fn cells(self) -> impl Iterator<Item = (u32, u32)> {
         (self.r0..=self.r1).flat_map(move |r| (self.c0..=self.c1).map(move |c| (r, c)))
     }
 
@@ -177,11 +179,19 @@ impl Partition {
     }
 
     /// Flat cell ids contained in group `g`, row-major.
+    ///
+    /// Allocates a fresh `Vec` per call; hot paths that only need to walk
+    /// the cells should use [`Partition::cells_iter`] instead.
     pub fn cells_of(&self, g: GroupId) -> Vec<CellId> {
+        self.cells_iter(g).collect()
+    }
+
+    /// Allocation-free iterator over the flat cell ids of group `g`,
+    /// row-major — the same sequence [`Partition::cells_of`] collects.
+    pub fn cells_iter(&self, g: GroupId) -> impl Iterator<Item = CellId> + '_ {
         let rect = self.rect(g);
-        rect.cells()
-            .map(|(r, c)| (r as usize * self.cols + c as usize) as CellId)
-            .collect()
+        let cols = self.cols;
+        rect.cells().map(move |(r, c)| (r as usize * cols + c as usize) as CellId)
     }
 }
 
@@ -220,13 +230,23 @@ mod tests {
     }
 
     #[test]
+    fn cells_iter_matches_cells_of() {
+        let groups = vec![
+            GroupRect { r0: 0, r1: 1, c0: 0, c1: 1 },
+            GroupRect { r0: 0, r1: 1, c0: 2, c1: 2 },
+        ];
+        let p = Partition::new(2, 3, groups, vec![0, 0, 1, 0, 0, 1]);
+        for g in 0..p.num_groups() as GroupId {
+            assert_eq!(p.cells_iter(g).collect::<Vec<_>>(), p.cells_of(g));
+        }
+        assert_eq!(p.cells_iter(0).collect::<Vec<_>>(), vec![0, 1, 3, 4]);
+    }
+
+    #[test]
     fn partition_accessors() {
         // One 1×2 group + one 1×1 in a 1×3 grid... must tile: groups
         // {(0,0)-(0,1)}, {(0,2)}.
-        let groups = vec![
-            GroupRect { r0: 0, r1: 0, c0: 0, c1: 1 },
-            GroupRect::cell(0, 2),
-        ];
+        let groups = vec![GroupRect { r0: 0, r1: 0, c0: 0, c1: 1 }, GroupRect::cell(0, 2)];
         let p = Partition::new(1, 3, groups, vec![0, 0, 1]);
         assert_eq!(p.group_at(0, 1), 0);
         assert_eq!(p.group_of(2), 1);

@@ -70,14 +70,7 @@ impl PreparedTrainingData {
 
         let adjacency = rep.adjacency().restrict(&keep);
 
-        PreparedTrainingData {
-            group_ids,
-            features,
-            centroids,
-            vertices,
-            group_sizes,
-            adjacency,
-        }
+        PreparedTrainingData { group_ids, features, centroids, vertices, group_sizes, adjacency }
     }
 
     /// Number of training instances (valid groups).
@@ -117,9 +110,8 @@ mod tests {
     use sr_grid::GridDataset;
 
     fn prepared(theta: f64) -> (GridDataset, PreparedTrainingData) {
-        let vals: Vec<f64> = (0..64)
-            .map(|i| 10.0 + (i / 8) as f64 * 0.3 + (i % 8) as f64 * 0.2)
-            .collect();
+        let vals: Vec<f64> =
+            (0..64).map(|i| 10.0 + (i / 8) as f64 * 0.3 + (i % 8) as f64 * 0.2).collect();
         let mut g = GridDataset::univariate(8, 8, vals).unwrap();
         g.set_null(63);
         let out = repartition(&g, theta).unwrap();

@@ -21,12 +21,7 @@ pub fn quadtree_partition(normalized: &GridDataset, min_adjacent_variation: f64)
     let rows = normalized.rows();
     let cols = normalized.cols();
     let mut groups: Vec<GroupRect> = Vec::new();
-    let mut stack = vec![GroupRect {
-        r0: 0,
-        r1: (rows - 1) as u32,
-        c0: 0,
-        c1: (cols - 1) as u32,
-    }];
+    let mut stack = vec![GroupRect { r0: 0, r1: (rows - 1) as u32, c0: 0, c1: (cols - 1) as u32 }];
 
     while let Some(rect) = stack.pop() {
         if is_homogeneous(normalized, rect, min_adjacent_variation) {
@@ -129,9 +124,8 @@ mod tests {
 
     #[test]
     fn checkerboard_fully_splits() {
-        let vals: Vec<f64> = (0..16)
-            .map(|i| if (i / 4 + i % 4) % 2 == 0 { 1.0 } else { 9.0 })
-            .collect();
+        let vals: Vec<f64> =
+            (0..16).map(|i| if (i / 4 + i % 4) % 2 == 0 { 1.0 } else { 9.0 }).collect();
         let g = GridDataset::univariate(4, 4, vals).unwrap();
         let norm = normalize_attributes(&g);
         let p = quadtree_partition(&norm, 0.0);
@@ -167,9 +161,8 @@ mod tests {
         // The bottom-up greedy can slide rectangles anywhere; the quadtree
         // is pinned to recursive halving, so on smooth gradients it
         // fragments at block boundaries the greedy can straddle.
-        let vals: Vec<f64> = (0..256)
-            .map(|i| ((i / 16) as f64 * 0.4) + (i % 16) as f64 * 0.3)
-            .collect();
+        let vals: Vec<f64> =
+            (0..256).map(|i| ((i / 16) as f64 * 0.4) + (i % 16) as f64 * 0.3).collect();
         let g = GridDataset::univariate(16, 16, vals).unwrap();
         let norm = normalize_attributes(&g);
         for theta in [0.02, 0.05, 0.1] {

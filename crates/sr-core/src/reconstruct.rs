@@ -79,12 +79,7 @@ mod tests {
             Bounds::unit(),
         )
         .unwrap();
-        let p = Partition::new(
-            1,
-            2,
-            vec![GroupRect { r0: 0, r1: 0, c0: 0, c1: 1 }],
-            vec![0, 0],
-        );
+        let p = Partition::new(1, 2, vec![GroupRect { r0: 0, r1: 0, c0: 0, c1: 1 }], vec![0, 0]);
         let feats = allocate_features(&g, &p);
         assert_eq!(feats[0].as_deref(), Some(&[54.0][..]));
         let rec = reconstruct_grid(&g, &p, &feats).unwrap();
@@ -95,12 +90,7 @@ mod tests {
     #[test]
     fn avg_reconstruction_copies_group_value() {
         let g = GridDataset::univariate(1, 2, vec![10.0, 20.0]).unwrap();
-        let p = Partition::new(
-            1,
-            2,
-            vec![GroupRect { r0: 0, r1: 0, c0: 0, c1: 1 }],
-            vec![0, 0],
-        );
+        let p = Partition::new(1, 2, vec![GroupRect { r0: 0, r1: 0, c0: 0, c1: 1 }], vec![0, 0]);
         let feats = allocate_features(&g, &p);
         let rec = reconstruct_grid(&g, &p, &feats).unwrap();
         assert_eq!(rec.features(0).unwrap(), &[15.0]);

@@ -253,9 +253,7 @@ impl Repartitioner {
             let accepted = ifl <= self.config.threshold;
             let num_groups = partition.num_groups();
             if accepted {
-                let better = best
-                    .as_ref()
-                    .is_none_or(|b| num_groups <= b.num_groups());
+                let better = best.as_ref().is_none_or(|b| num_groups <= b.num_groups());
                 if better {
                     *best = Some(Repartitioned::from_parts(grid, partition, features, ifl, theta));
                 }
@@ -337,11 +335,7 @@ impl Repartitioner {
             }
         };
 
-        Ok(RepartitionOutcome {
-            repartitioned,
-            iterations,
-            input_cells: grid.num_cells(),
-        })
+        Ok(RepartitionOutcome { repartitioned, iterations, input_cells: grid.num_cells() })
     }
 }
 
@@ -443,9 +437,8 @@ mod tests {
     fn hostile_grid_falls_back_to_identity() {
         // Checkerboard of wildly different values: no merge can stay under
         // a small threshold, so the identity partition comes back.
-        let vals: Vec<f64> = (0..36)
-            .map(|i| if (i / 6 + i % 6) % 2 == 0 { 1.0 } else { 1000.0 })
-            .collect();
+        let vals: Vec<f64> =
+            (0..36).map(|i| if (i / 6 + i % 6) % 2 == 0 { 1.0 } else { 1000.0 }).collect();
         let g = GridDataset::univariate(6, 6, vals).unwrap();
         let out = repartition(&g, 0.01).unwrap();
         assert_eq!(out.repartitioned.num_groups(), 36);

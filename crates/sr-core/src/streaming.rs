@@ -68,13 +68,12 @@ impl StreamingRepartitioner {
     /// Builds the streaming state by running the batch driver on `grid` at
     /// `threshold`.
     pub fn new(grid: GridDataset, threshold: f64) -> Result<Self> {
-        let config = RepartitionConfig::new(threshold)?.with_strategy(
-            if grid.num_cells() > 2_000 {
+        let config =
+            RepartitionConfig::new(threshold)?.with_strategy(if grid.num_cells() > 2_000 {
                 IterationStrategy::Exponential { initial_stride: 8, growth: 1.6 }
             } else {
                 IterationStrategy::EveryDistinct
-            },
-        );
+            });
         let outcome = Repartitioner::with_config(config)?.run(&grid)?;
         let rep = outcome.repartitioned;
         let partition = rep.partition();
@@ -116,10 +115,8 @@ impl StreamingRepartitioner {
 
     /// Current information loss (maintained incrementally).
     pub fn ifl(&self) -> f64 {
-        let (sum, terms) = self
-            .contributions
-            .iter()
-            .fold((0.0, 0usize), |(s, t), &(gs, gt)| (s + gs, t + gt));
+        let (sum, terms) =
+            self.contributions.iter().fold((0.0, 0usize), |(s, t), &(gs, gt)| (s + gs, t + gt));
         if terms == 0 {
             0.0
         } else {
@@ -286,9 +283,8 @@ mod tests {
     use super::*;
 
     fn smooth_grid(n: usize) -> GridDataset {
-        let vals: Vec<f64> = (0..n * n)
-            .map(|i| 100.0 + (i / n) as f64 * 0.6 + (i % n) as f64 * 0.4)
-            .collect();
+        let vals: Vec<f64> =
+            (0..n * n).map(|i| 100.0 + (i / n) as f64 * 0.6 + (i % n) as f64 * 0.4).collect();
         GridDataset::univariate(n, n, vals).unwrap()
     }
 
@@ -307,9 +303,7 @@ mod tests {
         let mut s = StreamingRepartitioner::new(g, 0.05).unwrap();
         let before = s.num_groups();
         let ifl_before = s.ifl();
-        let splits = s
-            .apply(&[CellUpdate { cell: 40, features: Some(vec![999.0]) }])
-            .unwrap();
+        let splits = s.apply(&[CellUpdate { cell: 40, features: Some(vec![999.0]) }]).unwrap();
         assert!(splits <= 1);
         assert!(s.num_groups() >= before);
         // The updated cell is now its own exact group.
@@ -359,13 +353,9 @@ mod tests {
         let g = smooth_grid(6);
         let mut s = StreamingRepartitioner::new(g, 0.05).unwrap();
         // Wrong arity.
-        assert!(s
-            .apply(&[CellUpdate { cell: 0, features: Some(vec![1.0, 2.0]) }])
-            .is_err());
+        assert!(s.apply(&[CellUpdate { cell: 0, features: Some(vec![1.0, 2.0]) }]).is_err());
         // Out-of-range cell.
-        assert!(s
-            .apply(&[CellUpdate { cell: 9999, features: Some(vec![1.0]) }])
-            .is_err());
+        assert!(s.apply(&[CellUpdate { cell: 9999, features: Some(vec![1.0]) }]).is_err());
     }
 
     #[test]

@@ -14,9 +14,7 @@
 use crate::allocator::allocate_features;
 use crate::ifl::partition_ifl;
 use crate::partition::Partition;
-use crate::repartition::{
-    IterationStrategy, RepartitionConfig, Repartitioned, Repartitioner,
-};
+use crate::repartition::{IterationStrategy, RepartitionConfig, Repartitioned, Repartitioner};
 use crate::{CoreError, Result};
 use sr_grid::{GridDataset, IflOptions};
 
@@ -102,13 +100,17 @@ impl TemporalRepartitioner {
     /// Re-allocates features of `partition` for `grid`; adopts it when the
     /// IFL stays within budget. The null-structure must also agree (a group
     /// may not mix null and valid cells after the update).
-    fn try_reuse(&mut self, grid: &GridDataset, partition: Partition) -> Result<Option<StepOutcome>> {
+    fn try_reuse(
+        &mut self,
+        grid: &GridDataset,
+        partition: Partition,
+    ) -> Result<Option<StepOutcome>> {
         // Reject reuse when validity changed inside any group (mixed
         // null/valid groups break the framework's invariants).
         for gid in 0..partition.num_groups() as u32 {
             let mut any_valid = false;
             let mut any_null = false;
-            for cell in partition.cells_of(gid) {
+            for cell in partition.cells_iter(gid) {
                 if grid.is_valid(cell) {
                     any_valid = true;
                 } else {
@@ -130,9 +132,7 @@ impl TemporalRepartitioner {
             partition,
             features,
             ifl,
-            self.current
-                .as_ref()
-                .map_or(0.0, |r| r.min_adjacent_variation()),
+            self.current.as_ref().map_or(0.0, |r| r.min_adjacent_variation()),
         ));
         Ok(Some(StepOutcome { reused: true, num_groups, ifl }))
     }
@@ -163,15 +163,11 @@ mod tests {
 
     /// A drifting series: step t = base field scaled by (1 + t·drift).
     fn series(steps: usize, drift: f64, n: usize) -> Vec<GridDataset> {
-        let base: Vec<f64> = (0..n * n)
-            .map(|i| 100.0 + (i / n) as f64 * 0.5 + (i % n) as f64 * 0.3)
-            .collect();
+        let base: Vec<f64> =
+            (0..n * n).map(|i| 100.0 + (i / n) as f64 * 0.5 + (i % n) as f64 * 0.3).collect();
         (0..steps)
             .map(|t| {
-                let vals: Vec<f64> = base
-                    .iter()
-                    .map(|v| v * (1.0 + drift * t as f64))
-                    .collect();
+                let vals: Vec<f64> = base.iter().map(|v| v * (1.0 + drift * t as f64)).collect();
                 GridDataset::univariate(n, n, vals).unwrap()
             })
             .collect()
@@ -201,9 +197,8 @@ mod tests {
         assert!(groups_before < n * n, "first step should merge");
 
         // A hostile step: checkerboard, nothing merges within budget.
-        let vals: Vec<f64> = (0..n * n)
-            .map(|i| if (i / n + i % n) % 2 == 0 { 1.0 } else { 1000.0 })
-            .collect();
+        let vals: Vec<f64> =
+            (0..n * n).map(|i| if (i / n + i % n) % 2 == 0 { 1.0 } else { 1000.0 }).collect();
         let hostile = GridDataset::univariate(n, n, vals).unwrap();
         let out = t.step(&hostile).unwrap();
         assert!(!out.reused, "break must trigger re-extraction");

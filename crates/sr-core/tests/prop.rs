@@ -4,11 +4,9 @@
 
 use proptest::prelude::*;
 use sr_core::{
-    extract_cell_groups, group_adjacency, partition_ifl, repartition, allocate_features,
+    allocate_features, extract_cell_groups, group_adjacency, partition_ifl, repartition,
 };
-use sr_grid::{
-    information_loss, normalize_attributes, variation_between, GridDataset, IflOptions,
-};
+use sr_grid::{information_loss, normalize_attributes, variation_between, GridDataset, IflOptions};
 
 /// Strategy: a small random grid (values and a few null cells).
 fn grid_strategy() -> impl Strategy<Value = GridDataset> {

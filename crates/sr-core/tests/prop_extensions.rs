@@ -8,11 +8,7 @@ use sr_grid::{normalize_attributes, GridDataset};
 fn grid_strategy() -> impl Strategy<Value = GridDataset> {
     (4usize..10, 4usize..10)
         .prop_flat_map(|(rows, cols)| {
-            (
-                Just(rows),
-                Just(cols),
-                prop::collection::vec(1.0f64..50.0, rows * cols),
-            )
+            (Just(rows), Just(cols), prop::collection::vec(1.0f64..50.0, rows * cols))
         })
         .prop_map(|(rows, cols, vals)| GridDataset::univariate(rows, cols, vals).unwrap())
 }

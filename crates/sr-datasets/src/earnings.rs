@@ -98,13 +98,7 @@ pub fn multivariate(rows: usize, cols: usize, seed: u64) -> GridDataset {
             "jobs_mid".into(),
             "jobs_high".into(),
         ],
-        vec![
-            AggType::Avg,
-            AggType::Avg,
-            AggType::Sum,
-            AggType::Sum,
-            AggType::Sum,
-        ],
+        vec![AggType::Avg, AggType::Avg, AggType::Sum, AggType::Sum, AggType::Sum],
         vec![true, true, true, true, true],
         nyc_bounds(),
     )

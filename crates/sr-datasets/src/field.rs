@@ -34,9 +34,8 @@ impl FieldGenerator {
     /// A smooth field with zero mean and unit variance. `radius` controls
     /// the correlation length (in cells); larger radii give smoother fields.
     pub fn smooth(&mut self, radius: usize) -> Vec<f64> {
-        let mut f: Vec<f64> = (0..self.rows * self.cols)
-            .map(|_| self.rng.gen_range(-1.0f64..1.0))
-            .collect();
+        let mut f: Vec<f64> =
+            (0..self.rows * self.cols).map(|_| self.rng.gen_range(-1.0f64..1.0)).collect();
         let r = radius.max(1);
         for _ in 0..3 {
             box_blur_rows(&mut f, self.rows, self.cols, r);

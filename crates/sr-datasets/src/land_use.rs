@@ -77,10 +77,7 @@ mod tests {
         let g = mixed(24, 24, 3);
         for id in g.valid_cells() {
             let code = g.value(id, 2);
-            assert!(
-                [RESIDENTIAL, COMMERCIAL, INDUSTRIAL, PARK].contains(&code),
-                "bad code {code}"
-            );
+            assert!([RESIDENTIAL, COMMERCIAL, INDUSTRIAL, PARK].contains(&code), "bad code {code}");
         }
     }
 
@@ -102,10 +99,7 @@ mod tests {
                 }
             }
         }
-        assert!(
-            same as f64 > 0.85 * total as f64,
-            "zones too fragmented: {same}/{total}"
-        );
+        assert!(same as f64 > 0.85 * total as f64, "zones too fragmented: {same}/{total}");
     }
 
     #[test]

@@ -81,18 +81,12 @@ impl Dataset {
 
     /// The three multivariate datasets (regression / classification
     /// experiments).
-    pub const MULTIVARIATE: [Dataset; 3] = [
-        Dataset::TaxiMultivariate,
-        Dataset::HomeSalesMultivariate,
-        Dataset::EarningsMultivariate,
-    ];
+    pub const MULTIVARIATE: [Dataset; 3] =
+        [Dataset::TaxiMultivariate, Dataset::HomeSalesMultivariate, Dataset::EarningsMultivariate];
 
     /// The three univariate datasets (kriging experiments).
-    pub const UNIVARIATE: [Dataset; 3] = [
-        Dataset::TaxiUnivariate,
-        Dataset::VehiclesUnivariate,
-        Dataset::EarningsUnivariate,
-    ];
+    pub const UNIVARIATE: [Dataset; 3] =
+        [Dataset::TaxiUnivariate, Dataset::VehiclesUnivariate, Dataset::EarningsUnivariate];
 
     /// Display name matching the paper's figure captions.
     pub fn name(&self) -> &'static str {
@@ -122,9 +116,9 @@ impl Dataset {
     /// single attribute.
     pub fn target_attr(&self) -> usize {
         match self {
-            Dataset::TaxiMultivariate => 3,       // fare sum
-            Dataset::HomeSalesMultivariate => 0,  // price
-            Dataset::EarningsMultivariate => 4,   // jobs ≥ $3333/month
+            Dataset::TaxiMultivariate => 3,      // fare sum
+            Dataset::HomeSalesMultivariate => 0, // price
+            Dataset::EarningsMultivariate => 4,  // jobs ≥ $3333/month
             _ => 0,
         }
     }
@@ -161,11 +155,7 @@ mod tests {
                 vals[id as usize] = g.value(id, ds.target_attr());
             }
             let i = morans_i(&vals, &adj).unwrap();
-            assert!(
-                i > 0.25,
-                "{} Moran's I too low: {i}",
-                ds.name()
-            );
+            assert!(i > 0.25, "{} Moran's I too low: {i}", ds.name());
         }
     }
 

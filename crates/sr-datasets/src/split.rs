@@ -9,10 +9,7 @@ use rand::SeedableRng;
 /// `test_fraction` of the indices (rounded down, at least 1 when `n > 1`)
 /// held out. Deterministic in `seed`.
 pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
-    assert!(
-        (0.0..1.0).contains(&test_fraction),
-        "test_fraction must be in [0, 1)"
-    );
+    assert!((0.0..1.0).contains(&test_fraction), "test_fraction must be in [0, 1)");
     let mut idx: Vec<usize> = (0..n).collect();
     let mut rng = SmallRng::seed_from_u64(seed);
     idx.shuffle(&mut rng);

@@ -27,9 +27,7 @@ fn pickup_surface(gen: &mut FieldGenerator) -> Vec<f64> {
     // The iid term gives neighbors a ~20% relative spread, mirroring the
     // shot noise of real monthly pickup counts.
     (0..rows * cols)
-        .map(|i| {
-            (1.0 + (1.1 * demand[i] + 0.3 * micro[i] + 0.2 * white[i] + 3.4).exp()).round()
-        })
+        .map(|i| (1.0 + (1.1 * demand[i] + 0.3 * micro[i] + 0.2 * white[i] + 3.4).exp()).round())
         .collect()
 }
 
@@ -62,10 +60,10 @@ pub fn multivariate(rows: usize, cols: usize, seed: u64) -> GridDataset {
     let pickups = pickup_surface(&mut gen);
     let occupancy = gen.smooth(rows.max(cols) / 16 + 1); // passengers/trip field
     let trip_len = gen.smooth(rows.max(cols) / 10 + 1); // distance/trip field
-    // Unobserved surge pricing: spatially autocorrelated but NOT derivable
-    // from the other attributes. This is the component spatial models
-    // recover through the neighborhood structure — and the component
-    // sampling's broken adjacency loses (§I).
+                                                        // Unobserved surge pricing: spatially autocorrelated but NOT derivable
+                                                        // from the other attributes. This is the component spatial models
+                                                        // recover through the neighborhood structure — and the component
+                                                        // sampling's broken adjacency loses (§I).
     let surge = gen.smooth(rows.max(cols) / 9 + 1);
     let noise = gen.noise();
     let nulls = gen.null_mask(rows.max(cols) / 10 + 1, 0.06);
@@ -79,8 +77,7 @@ pub fn multivariate(rows: usize, cols: usize, seed: u64) -> GridDataset {
         let distance = p * avg_miles;
         // NYC-style fare: flag drop + per-mile rate, modulated by the
         // unobserved surge surface plus per-cell shot noise.
-        let fare = (p * 3.3 + distance * 2.5) * (1.0 + 0.22 * surge[i])
-            + 2.0 * noise[i] * p.sqrt();
+        let fare = (p * 3.3 + distance * 2.5) * (1.0 + 0.22 * surge[i]) + 2.0 * noise[i] * p.sqrt();
         data.extend_from_slice(&[p, passengers, distance, fare]);
     }
 
@@ -90,12 +87,7 @@ pub fn multivariate(rows: usize, cols: usize, seed: u64) -> GridDataset {
         4,
         data,
         vec![true; n],
-        vec![
-            "pickups".into(),
-            "passengers".into(),
-            "distance_sum".into(),
-            "fare_sum".into(),
-        ],
+        vec!["pickups".into(), "passengers".into(), "distance_sum".into(), "fare_sum".into()],
         vec![AggType::Sum, AggType::Sum, AggType::Sum, AggType::Sum],
         vec![true, true, false, false],
         nyc_bounds(),
@@ -162,5 +154,4 @@ mod tests {
         let frac = nulls as f64 / g.num_cells() as f64;
         assert!(frac > 0.02 && frac < 0.12, "null fraction {frac}");
     }
-
 }

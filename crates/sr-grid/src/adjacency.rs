@@ -119,10 +119,7 @@ impl AdjacencyList {
     /// Unstandardized binary lag: `(W x)ᵢ = Σ_{j ∈ N(i)} xⱼ`.
     pub fn binary_lag(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.neighbors.len(), "binary_lag: length mismatch");
-        self.neighbors
-            .iter()
-            .map(|ns| ns.iter().map(|&j| x[j as usize]).sum::<f64>())
-            .collect()
+        self.neighbors.iter().map(|ns| ns.iter().map(|&j| x[j as usize]).sum::<f64>()).collect()
     }
 
     /// Restricts the adjacency to a subset of units given by `keep` (one

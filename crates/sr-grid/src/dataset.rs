@@ -44,12 +44,38 @@ pub struct Bounds {
 impl Bounds {
     /// A unit square, the default when geography does not matter.
     pub fn unit() -> Self {
-        Bounds {
-            lat_min: 0.0,
-            lat_max: 1.0,
-            lon_min: 0.0,
-            lon_max: 1.0,
+        Bounds { lat_min: 0.0, lat_max: 1.0, lon_min: 0.0, lon_max: 1.0 }
+    }
+
+    /// Maps a geolocation to its `(row, col)` cell in an `rows × cols` grid
+    /// over these bounds, or `None` when the point falls outside them.
+    ///
+    /// Uses the same equi-interval binning as [`GridBuilder::build`], so a
+    /// record's cell and a later lookup of the same coordinates agree. The
+    /// maximum edge (`lat == lat_max` / `lon == lon_max`) belongs to the
+    /// last row/column.
+    pub fn locate(&self, lat: f64, lon: f64, rows: usize, cols: usize) -> Option<(usize, usize)> {
+        if !(lat >= self.lat_min
+            && lat <= self.lat_max
+            && lon >= self.lon_min
+            && lon <= self.lon_max)
+        {
+            return None;
         }
+        Some(self.locate_clamped(lat, lon, rows, cols))
+    }
+
+    /// Like [`Bounds::locate`], but clamps out-of-bounds coordinates to the
+    /// border cells instead of rejecting them (the builder's behaviour for
+    /// stray records). NaN coordinates clamp to the first row/column.
+    pub fn locate_clamped(&self, lat: f64, lon: f64, rows: usize, cols: usize) -> (usize, usize) {
+        let lat_span = (self.lat_max - self.lat_min).max(f64::MIN_POSITIVE);
+        let lon_span = (self.lon_max - self.lon_min).max(f64::MIN_POSITIVE);
+        let rf = ((lat - self.lat_min) / lat_span * rows as f64).floor();
+        let cf = ((lon - self.lon_min) / lon_span * cols as f64).floor();
+        let r = (rf as i64).clamp(0, rows as i64 - 1) as usize;
+        let c = (cf as i64).clamp(0, cols as i64 - 1) as usize;
+        (r, c)
     }
 }
 
@@ -281,10 +307,7 @@ impl GridDataset {
 
     /// Iterator over the ids of valid (non-null) cells.
     pub fn valid_cells(&self) -> impl Iterator<Item = CellId> + '_ {
-        self.valid
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &v)| v.then_some(i as CellId))
+        self.valid.iter().enumerate().filter_map(|(i, &v)| v.then_some(i as CellId))
     }
 
     /// Geographic centroid of a cell, derived from the bounds and grid shape.
@@ -302,10 +325,7 @@ impl GridDataset {
     /// order, together with the corresponding cell ids.
     pub fn attr_column(&self, k: usize) -> Result<(Vec<CellId>, Vec<f64>)> {
         if k >= self.num_attrs {
-            return Err(GridError::AttributeOutOfRange {
-                index: k,
-                num_attrs: self.num_attrs,
-            });
+            return Err(GridError::AttributeOutOfRange { index: k, num_attrs: self.num_attrs });
         }
         let mut ids = Vec::with_capacity(self.num_valid_cells());
         let mut vals = Vec::with_capacity(self.num_valid_cells());
@@ -367,18 +387,9 @@ impl GridBuilder {
             return Err(GridError::EmptyGrid);
         }
         if agg_types.len() != attr_names.len() || integer_attrs.len() != attr_names.len() {
-            return Err(GridError::DimensionMismatch {
-                context: "builder schema lengths differ",
-            });
+            return Err(GridError::DimensionMismatch { context: "builder schema lengths differ" });
         }
-        Ok(GridBuilder {
-            rows,
-            cols,
-            bounds,
-            attr_names,
-            agg_types,
-            integer_attrs,
-        })
+        Ok(GridBuilder { rows, cols, bounds, attr_names, agg_types, integer_attrs })
     }
 
     /// Bins the records and produces the grid. Records outside the bounds
@@ -394,25 +405,17 @@ impl GridBuilder {
         let mut mode_codes: Vec<Vec<f64>> =
             if has_mode { vec![Vec::new(); n_cells * p] } else { Vec::new() };
 
-        let lat_span = (self.bounds.lat_max - self.bounds.lat_min).max(f64::MIN_POSITIVE);
-        let lon_span = (self.bounds.lon_max - self.bounds.lon_min).max(f64::MIN_POSITIVE);
-
         for rec in records {
             if rec.values.len() != p {
                 return Err(GridError::DimensionMismatch {
                     context: "record value count != schema attribute count",
                 });
             }
-            let rf = ((rec.lat - self.bounds.lat_min) / lat_span * self.rows as f64).floor();
-            let cf = ((rec.lon - self.bounds.lon_min) / lon_span * self.cols as f64).floor();
-            let r = (rf as i64).clamp(0, self.rows as i64 - 1) as usize;
-            let c = (cf as i64).clamp(0, self.cols as i64 - 1) as usize;
+            let (r, c) = self.bounds.locate_clamped(rec.lat, rec.lon, self.rows, self.cols);
             let cell = r * self.cols + c;
             counts[cell] += 1;
-            for (k, (s, &v)) in sums[cell * p..(cell + 1) * p]
-                .iter_mut()
-                .zip(&rec.values)
-                .enumerate()
+            for (k, (s, &v)) in
+                sums[cell * p..(cell + 1) * p].iter_mut().zip(&rec.values).enumerate()
             {
                 *s += v;
                 if has_mode && self.agg_types[k] == AggType::Mode {
@@ -491,10 +494,7 @@ mod tests {
 
     #[test]
     fn construction_validates_shapes() {
-        assert_eq!(
-            GridDataset::univariate(0, 3, vec![]).unwrap_err(),
-            GridError::EmptyGrid
-        );
+        assert_eq!(GridDataset::univariate(0, 3, vec![]).unwrap_err(), GridError::EmptyGrid);
         assert!(GridDataset::univariate(2, 2, vec![1.0; 3]).is_err());
     }
 
@@ -527,10 +527,7 @@ mod tests {
         let (ids, vals) = g.attr_column(0).unwrap();
         assert_eq!(ids.len(), 6);
         assert_eq!(vals, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
-        assert!(matches!(
-            g.attr_column(1),
-            Err(GridError::AttributeOutOfRange { index: 1, .. })
-        ));
+        assert!(matches!(g.attr_column(1), Err(GridError::AttributeOutOfRange { index: 1, .. })));
     }
 
     #[test]
@@ -546,6 +543,50 @@ mod tests {
         let mut g = small_grid();
         g.set_null(5); // removes the 6.0
         assert_eq!(g.attr_max_abs(), vec![5.0]);
+    }
+
+    #[test]
+    fn bounds_locate_maps_points_to_cells() {
+        let b = Bounds::unit();
+        assert_eq!(b.locate(0.1, 0.1, 2, 3), Some((0, 0)));
+        assert_eq!(b.locate(0.6, 0.9, 2, 3), Some((1, 2)));
+        // Max edge belongs to the last row/column.
+        assert_eq!(b.locate(1.0, 1.0, 2, 3), Some((1, 2)));
+        assert_eq!(b.locate(0.0, 0.0, 2, 3), Some((0, 0)));
+        // Outside the bounds (including NaN) → None.
+        assert_eq!(b.locate(1.5, 0.5, 2, 3), None);
+        assert_eq!(b.locate(0.5, -0.1, 2, 3), None);
+        assert_eq!(b.locate(f64::NAN, 0.5, 2, 3), None);
+    }
+
+    #[test]
+    fn bounds_locate_clamped_keeps_strays_on_border() {
+        let b = Bounds::unit();
+        assert_eq!(b.locate_clamped(5.0, -3.0, 2, 2), (1, 0));
+        assert_eq!(b.locate_clamped(-1.0, 2.0, 2, 2), (0, 1));
+        // In-bounds points agree with locate.
+        assert_eq!(b.locate_clamped(0.7, 0.2, 4, 4), b.locate(0.7, 0.2, 4, 4).unwrap());
+    }
+
+    #[test]
+    fn bounds_locate_matches_cell_centroid_roundtrip() {
+        let bounds = Bounds { lat_min: -10.0, lat_max: 30.0, lon_min: 100.0, lon_max: 120.0 };
+        let g = GridDataset::new(
+            5,
+            4,
+            1,
+            vec![0.0; 20],
+            vec![true; 20],
+            vec!["v".into()],
+            vec![AggType::Avg],
+            vec![false],
+            bounds,
+        )
+        .unwrap();
+        for id in 0..g.num_cells() as CellId {
+            let (lat, lon) = g.cell_centroid(id);
+            assert_eq!(bounds.locate(lat, lon, 5, 4), Some(g.cell_pos(id)));
+        }
     }
 
     #[test]
@@ -587,9 +628,7 @@ mod tests {
             vec![false],
         )
         .unwrap();
-        let g = b
-            .build(&[PointRecord { lat: 5.0, lon: -3.0, values: vec![2.0] }])
-            .unwrap();
+        let g = b.build(&[PointRecord { lat: 5.0, lon: -3.0, values: vec![2.0] }]).unwrap();
         // Clamped to the last row, first column.
         assert_eq!(g.features(g.cell_id(1, 0)).unwrap(), &[2.0]);
     }
@@ -627,8 +666,6 @@ mod tests {
             vec![false],
         )
         .unwrap();
-        assert!(b
-            .build(&[PointRecord { lat: 0.5, lon: 0.5, values: vec![1.0, 2.0] }])
-            .is_err());
+        assert!(b.build(&[PointRecord { lat: 0.5, lon: 0.5, values: vec![1.0, 2.0] }]).is_err());
     }
 }

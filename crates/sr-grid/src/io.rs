@@ -107,10 +107,8 @@ pub fn read_grid<R: Read>(input: R) -> Result<GridDataset, IoError> {
     let reader = BufReader::new(input);
     let mut lines = reader.lines().enumerate();
 
-    let fmt_err = |line: usize, message: &str| IoError::Format {
-        line,
-        message: message.to_string(),
-    };
+    let fmt_err =
+        |line: usize, message: &str| IoError::Format { line, message: message.to_string() };
 
     // Magic line.
     let (_, first) = lines
@@ -164,9 +162,7 @@ pub fn read_grid<R: Read>(input: R) -> Result<GridDataset, IoError> {
                     };
                 }
                 Some("attr") => {
-                    let name = parts
-                        .next()
-                        .ok_or_else(|| fmt_err(line_no, "missing attr name"))?;
+                    let name = parts.next().ok_or_else(|| fmt_err(line_no, "missing attr name"))?;
                     let agg = match parts.next() {
                         Some("sum") => AggType::Sum,
                         Some("avg") => AggType::Avg,
@@ -197,10 +193,7 @@ pub fn read_grid<R: Read>(input: R) -> Result<GridDataset, IoError> {
             .and_then(|v| v.parse().ok())
             .ok_or_else(|| fmt_err(line_no, "bad col index"))?;
         let values: Result<Vec<f64>, _> = fields
-            .map(|v| {
-                v.parse::<f64>()
-                    .map_err(|_| fmt_err(line_no, "bad attribute value"))
-            })
+            .map(|v| v.parse::<f64>().map_err(|_| fmt_err(line_no, "bad attribute value")))
             .collect();
         cells.push((r, c, values?));
     }
@@ -224,18 +217,8 @@ pub fn read_grid<R: Read>(input: R) -> Result<GridDataset, IoError> {
         data[cell * p..(cell + 1) * p].copy_from_slice(&values);
     }
 
-    GridDataset::new(
-        rows,
-        cols,
-        p,
-        data,
-        valid,
-        attr_names,
-        agg_types,
-        integer_attrs,
-        bounds,
-    )
-    .map_err(|e| fmt_err(0, &e.to_string()))
+    GridDataset::new(rows, cols, p, data, valid, attr_names, agg_types, integer_attrs, bounds)
+        .map_err(|e| fmt_err(0, &e.to_string()))
 }
 
 /// Serializes an adjacency list in GAL format — the neighbor-list format
@@ -265,13 +248,9 @@ pub fn write_gal<W: Write>(adj: &crate::AdjacencyList, mut out: W) -> Result<(),
 pub fn read_gal<R: Read>(input: R) -> Result<crate::AdjacencyList, IoError> {
     let reader = BufReader::new(input);
     let mut lines = reader.lines();
-    let fmt_err = |line: usize, message: &str| IoError::Format {
-        line,
-        message: message.to_string(),
-    };
-    let header = lines
-        .next()
-        .ok_or_else(|| fmt_err(1, "empty input"))??;
+    let fmt_err =
+        |line: usize, message: &str| IoError::Format { line, message: message.to_string() };
+    let header = lines.next().ok_or_else(|| fmt_err(1, "empty input"))??;
     let n: usize = header
         .split_whitespace()
         .last()
@@ -297,14 +276,10 @@ pub fn read_gal<R: Read>(input: R) -> Result<crate::AdjacencyList, IoError> {
         if id >= n {
             return Err(fmt_err(line_no, "unit id out of range"));
         }
-        let ns_line = lines
-            .next()
-            .ok_or_else(|| fmt_err(line_no, "missing neighbor line"))??;
+        let ns_line = lines.next().ok_or_else(|| fmt_err(line_no, "missing neighbor line"))??;
         line_no += 1;
-        let ns: std::result::Result<Vec<u32>, _> = ns_line
-            .split_whitespace()
-            .map(|v| v.parse::<u32>())
-            .collect();
+        let ns: std::result::Result<Vec<u32>, _> =
+            ns_line.split_whitespace().map(|v| v.parse::<u32>()).collect();
         let ns = ns.map_err(|_| fmt_err(line_no, "bad neighbor id"))?;
         if ns.len() != degree {
             return Err(fmt_err(line_no, "neighbor count != declared degree"));
@@ -354,8 +329,18 @@ mod tests {
             3,
             2,
             vec![
-                1.0, 0.1, 2.0, 0.25, 3.0, 1.0 / 3.0, // row 0
-                4.0, -0.5, 5.0, 1e-17, 6.0, 123456.789, // row 1
+                1.0,
+                0.1,
+                2.0,
+                0.25,
+                3.0,
+                1.0 / 3.0, // row 0
+                4.0,
+                -0.5,
+                5.0,
+                1e-17,
+                6.0,
+                123456.789, // row 1
             ],
             vec![true; 6],
             vec!["count".into(), "value x".into()],
@@ -402,12 +387,7 @@ mod tests {
 
     #[test]
     fn gal_roundtrip() {
-        let adj = crate::AdjacencyList::from_neighbors(vec![
-            vec![1, 2],
-            vec![0],
-            vec![0],
-            vec![],
-        ]);
+        let adj = crate::AdjacencyList::from_neighbors(vec![vec![1, 2], vec![0], vec![0], vec![]]);
         let mut buf = Vec::new();
         write_gal(&adj, &mut buf).unwrap();
         let text = String::from_utf8(buf.clone()).unwrap();

@@ -30,13 +30,15 @@ pub mod variation;
 
 pub use adjacency::AdjacencyList;
 pub use autocorrelation::{gearys_c, morans_i};
+pub use dataset::{AggType, Bounds, CellId, GridBuilder, GridDataset, PointRecord};
 pub use io::{load_grid, read_gal, read_grid, save_grid, write_gal, write_grid};
 pub use local_stats::{join_counts, local_morans_i, JoinCounts, LisaQuadrant, LisaResult};
-pub use dataset::{AggType, Bounds, CellId, GridBuilder, GridDataset, PointRecord};
 pub use loss::{information_loss, local_loss, IflOptions};
 pub use normalize::normalize_attributes;
 pub use render::{render_heatmap, render_partition};
-pub use variation::{adjacent_variations, variation_between, variation_between_typed, AdjacentPair};
+pub use variation::{
+    adjacent_variations, variation_between, variation_between_typed, AdjacentPair,
+};
 
 /// Errors produced by grid construction and grid-level computations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,7 +68,9 @@ impl std::fmt::Display for GridError {
             GridError::DimensionMismatch { context } => {
                 write!(f, "dimension mismatch: {context}")
             }
-            GridError::EmptyGrid => write!(f, "grid must have at least one row, column, and attribute"),
+            GridError::EmptyGrid => {
+                write!(f, "grid must have at least one row, column, and attribute")
+            }
             GridError::IncompatibleGrids => write!(f, "grids have incompatible shapes"),
             GridError::AttributeOutOfRange { index, num_attrs } => {
                 write!(f, "attribute index {index} out of range (dataset has {num_attrs})")

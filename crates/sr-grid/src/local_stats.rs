@@ -159,9 +159,8 @@ mod tests {
     fn hot_spot_detected() {
         // A high plateau in one corner of a low field.
         let n = 8;
-        let vals: Vec<f64> = (0..n * n)
-            .map(|i| if i / n < 3 && i % n < 3 { 10.0 } else { 1.0 })
-            .collect();
+        let vals: Vec<f64> =
+            (0..n * n).map(|i| if i / n < 3 && i % n < 3 { 10.0 } else { 1.0 }).collect();
         let adj = grid_adj(&vals, n);
         let local = local_morans_i(&vals, &adj).unwrap();
         // Interior of the plateau: HighHigh with a large positive Iᵢ.

@@ -199,9 +199,6 @@ mod tests {
     fn all_zero_grid_has_zero_ifl() {
         let g = GridDataset::univariate(1, 2, vec![0.0, 0.0]).unwrap();
         let r = GridDataset::univariate(1, 2, vec![1.0, 1.0]).unwrap();
-        assert_eq!(
-            information_loss(&g, &r, IflOptions::default()).unwrap(),
-            0.0
-        );
+        assert_eq!(information_loss(&g, &r, IflOptions::default()).unwrap(), 0.0);
     }
 }

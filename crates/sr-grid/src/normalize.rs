@@ -55,11 +55,7 @@ mod tests {
         )
         .unwrap();
         let n = normalize_attributes(&g);
-        let expect = [
-            (10.0 / 30.0, 0.75),
-            (20.0 / 30.0, 1.0),
-            (1.0, 0.5),
-        ];
+        let expect = [(10.0 / 30.0, 0.75), (20.0 / 30.0, 1.0), (1.0, 0.5)];
         for (id, (ea, eb)) in expect.iter().enumerate() {
             let fv = n.features(id as u32).unwrap();
             assert!((fv[0] - ea).abs() < 1e-12);

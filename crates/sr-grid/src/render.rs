@@ -20,11 +20,7 @@ const NULL_CH: char = '~';
 pub fn render_heatmap(grid: &GridDataset, attr: usize, max_width: usize) -> String {
     let rows = grid.rows();
     let cols = grid.cols();
-    let step = if max_width > 0 && cols > max_width {
-        cols.div_ceil(max_width)
-    } else {
-        1
-    };
+    let step = if max_width > 0 && cols > max_width { cols.div_ceil(max_width) } else { 1 };
 
     // Value range over valid cells.
     let mut lo = f64::INFINITY;
@@ -123,8 +119,7 @@ mod tests {
     fn constant_grid_renders_uniformly() {
         let g = GridDataset::univariate(2, 2, vec![7.0; 4]).unwrap();
         let art = render_heatmap(&g, 0, 0);
-        let chars: std::collections::HashSet<char> =
-            art.chars().filter(|c| *c != '\n').collect();
+        let chars: std::collections::HashSet<char> = art.chars().filter(|c| *c != '\n').collect();
         assert_eq!(chars.len(), 1);
     }
 

@@ -78,7 +78,11 @@ pub fn adjacent_variations(grid: &GridDataset) -> Vec<AdjacentPair> {
                     out.push(AdjacentPair {
                         a: id,
                         b: right,
-                        variation: variation_between_typed(fv, grid.features_unchecked(right), aggs),
+                        variation: variation_between_typed(
+                            fv,
+                            grid.features_unchecked(right),
+                            aggs,
+                        ),
                     });
                 }
             }

@@ -20,9 +20,7 @@ impl Cholesky {
     /// [`LinAlgError::NotPositiveDefinite`] when a diagonal pivot collapses.
     pub fn new(a: &Matrix) -> Result<Self> {
         if a.rows() != a.cols() {
-            return Err(LinAlgError::ShapeMismatch {
-                context: "cholesky: matrix not square",
-            });
+            return Err(LinAlgError::ShapeMismatch { context: "cholesky: matrix not square" });
         }
         let n = a.rows();
         let scale = a.max_abs().max(1.0);
@@ -60,9 +58,7 @@ impl Cholesky {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.n();
         if b.len() != n {
-            return Err(LinAlgError::ShapeMismatch {
-                context: "cholesky solve: rhs length != n",
-            });
+            return Err(LinAlgError::ShapeMismatch { context: "cholesky solve: rhs length != n" });
         }
         // L y = b
         let mut x = b.to_vec();
@@ -87,10 +83,7 @@ impl Cholesky {
 
     /// Log-determinant of `A` (`2 · Σ ln L_ii`).
     pub fn log_det(&self) -> f64 {
-        (0..self.n())
-            .map(|i| self.l.get(i, i).ln())
-            .sum::<f64>()
-            * 2.0
+        (0..self.n()).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
     }
 }
 
@@ -111,10 +104,7 @@ mod tests {
     #[test]
     fn rejects_indefinite() {
         let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap();
-        assert_eq!(
-            Cholesky::new(&a).unwrap_err(),
-            LinAlgError::NotPositiveDefinite
-        );
+        assert_eq!(Cholesky::new(&a).unwrap_err(), LinAlgError::NotPositiveDefinite);
     }
 
     #[test]

@@ -25,9 +25,7 @@ impl LuFactor {
     /// (relative to the matrix scale) collapses.
     pub fn new(a: &Matrix) -> Result<Self> {
         if a.rows() != a.cols() {
-            return Err(LinAlgError::ShapeMismatch {
-                context: "lu: matrix not square",
-            });
+            return Err(LinAlgError::ShapeMismatch { context: "lu: matrix not square" });
         }
         let n = a.rows();
         let mut lu = a.clone();
@@ -79,9 +77,7 @@ impl LuFactor {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.n();
         if b.len() != n {
-            return Err(LinAlgError::ShapeMismatch {
-                context: "lu solve: rhs length != n",
-            });
+            return Err(LinAlgError::ShapeMismatch { context: "lu solve: rhs length != n" });
         }
         // Apply permutation, then forward substitution (L y = P b).
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
@@ -193,7 +189,8 @@ mod tests {
 
     #[test]
     fn inverse_times_matrix_is_identity() {
-        let a = Matrix::from_vec(3, 3, vec![4.0, 2.0, 0.6, 4.2, 2.1, 0.59, 3.9, 2.0, 0.58]).unwrap();
+        let a =
+            Matrix::from_vec(3, 3, vec![4.0, 2.0, 0.6, 4.2, 2.1, 0.59, 3.9, 2.0, 0.58]).unwrap();
         let inv = LuFactor::new(&a).unwrap().inverse().unwrap();
         let prod = a.matmul(&inv).unwrap();
         let diff = prod.sub(&Matrix::identity(3)).unwrap();

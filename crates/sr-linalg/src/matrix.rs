@@ -18,11 +18,7 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix {
-            rows,
-            cols,
-            data: vec![0.0; rows * cols],
-        }
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -51,19 +47,13 @@ impl Matrix {
         let nrows = rows.len();
         let ncols = rows.first().map_or(0, Vec::len);
         if rows.iter().any(|r| r.len() != ncols) {
-            return Err(LinAlgError::ShapeMismatch {
-                context: "from_rows: ragged rows",
-            });
+            return Err(LinAlgError::ShapeMismatch { context: "from_rows: ragged rows" });
         }
         let mut data = Vec::with_capacity(nrows * ncols);
         for r in rows {
             data.extend_from_slice(r);
         }
-        Ok(Matrix {
-            rows: nrows,
-            cols: ncols,
-            data,
-        })
+        Ok(Matrix { rows: nrows, cols: ncols, data })
     }
 
     /// Number of rows.
@@ -132,9 +122,7 @@ impl Matrix {
     /// which is the cache-friendly order for row-major storage.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
-            return Err(LinAlgError::ShapeMismatch {
-                context: "matmul: lhs.cols != rhs.rows",
-            });
+            return Err(LinAlgError::ShapeMismatch { context: "matmul: lhs.cols != rhs.rows" });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
@@ -156,9 +144,7 @@ impl Matrix {
     /// Matrix-vector product `self * v`.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
         if self.cols != v.len() {
-            return Err(LinAlgError::ShapeMismatch {
-                context: "matvec: cols != v.len()",
-            });
+            return Err(LinAlgError::ShapeMismatch { context: "matvec: cols != v.len()" });
         }
         let mut out = vec![0.0; self.rows];
         for (i, o) in out.iter_mut().enumerate() {
@@ -198,9 +184,7 @@ impl Matrix {
     /// per row). Used by weighted least squares (GWR).
     pub fn weighted_gram(&self, w: &[f64]) -> Result<Matrix> {
         if w.len() != self.rows {
-            return Err(LinAlgError::ShapeMismatch {
-                context: "weighted_gram: w.len() != rows",
-            });
+            return Err(LinAlgError::ShapeMismatch { context: "weighted_gram: w.len() != rows" });
         }
         let p = self.cols;
         let mut g = Matrix::zeros(p, p);
@@ -231,9 +215,7 @@ impl Matrix {
     /// Computes `selfᵀ * v` without materializing the transpose.
     pub fn t_matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
         if v.len() != self.rows {
-            return Err(LinAlgError::ShapeMismatch {
-                context: "t_matvec: v.len() != rows",
-            });
+            return Err(LinAlgError::ShapeMismatch { context: "t_matvec: v.len() != rows" });
         }
         let mut out = vec![0.0; self.cols];
         for (r, &vr) in v.iter().enumerate() {
@@ -270,21 +252,10 @@ impl Matrix {
     /// Element-wise `self - rhs`.
     pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.rows != rhs.rows || self.cols != rhs.cols {
-            return Err(LinAlgError::ShapeMismatch {
-                context: "sub: dimension mismatch",
-            });
+            return Err(LinAlgError::ShapeMismatch { context: "sub: dimension mismatch" });
         }
-        let data = self
-            .data
-            .iter()
-            .zip(&rhs.data)
-            .map(|(a, b)| a - b)
-            .collect();
-        Ok(Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data,
-        })
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Ok(Matrix { rows: self.rows, cols: self.cols, data })
     }
 
     /// Maximum absolute element (∞-norm of the flattened matrix).

@@ -29,9 +29,7 @@ const NORMAL_EQ_RIDGE: f64 = 1e-10;
 /// scale-relative ridge so nearly collinear designs stay solvable.
 pub fn lstsq(x: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
     if x.rows() != y.len() {
-        return Err(LinAlgError::ShapeMismatch {
-            context: "lstsq: X rows != y length",
-        });
+        return Err(LinAlgError::ShapeMismatch { context: "lstsq: X rows != y length" });
     }
     let gram = x.gram();
     let xty = x.t_matvec(y)?;
@@ -44,9 +42,7 @@ pub fn lstsq(x: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
 /// inside GWR.
 pub fn weighted_lstsq(x: &Matrix, y: &[f64], w: &[f64]) -> Result<Vec<f64>> {
     if x.rows() != y.len() || x.rows() != w.len() {
-        return Err(LinAlgError::ShapeMismatch {
-            context: "weighted_lstsq: X rows != y/w length",
-        });
+        return Err(LinAlgError::ShapeMismatch { context: "weighted_lstsq: X rows != y/w length" });
     }
     let gram = x.weighted_gram(w)?;
     let wy: Vec<f64> = y.iter().zip(w).map(|(yi, wi)| yi * wi).collect();
@@ -114,10 +110,7 @@ mod tests {
     fn lstsq_recovers_exact_linear_fit() {
         // y = 2 + 3x, exactly.
         let xs = [0.0, 1.0, 2.0, 3.0];
-        let x = Matrix::from_rows(
-            &xs.iter().map(|&v| vec![1.0, v]).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let x = Matrix::from_rows(&xs.iter().map(|&v| vec![1.0, v]).collect::<Vec<_>>()).unwrap();
         let y: Vec<f64> = xs.iter().map(|&v| 2.0 + 3.0 * v).collect();
         let beta = lstsq(&x, &y).unwrap();
         assert!((beta[0] - 2.0).abs() < 1e-6);
@@ -130,9 +123,7 @@ mod tests {
         let noise = [0.05, -0.04, 0.02, -0.01, 0.03, -0.02];
         let rows: Vec<Vec<f64>> = (0..6).map(|i| vec![1.0, i as f64]).collect();
         let x = Matrix::from_rows(&rows).unwrap();
-        let y: Vec<f64> = (0..6)
-            .map(|i| 1.0 + 2.0 * i as f64 + noise[i])
-            .collect();
+        let y: Vec<f64> = (0..6).map(|i| 1.0 + 2.0 * i as f64 + noise[i]).collect();
         let beta = lstsq(&x, &y).unwrap();
         assert!((beta[0] - 1.0).abs() < 0.1);
         assert!((beta[1] - 2.0).abs() < 0.05);
@@ -155,12 +146,7 @@ mod tests {
     #[test]
     fn weighted_lstsq_ignores_zero_weight_rows() {
         // Outlier row carries zero weight: fit is y = x exactly.
-        let rows = vec![
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-            vec![1.0, 2.0],
-            vec![1.0, 3.0],
-        ];
+        let rows = vec![vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0], vec![1.0, 3.0]];
         let x = Matrix::from_rows(&rows).unwrap();
         let y = vec![0.0, 1.0, 2.0, 100.0];
         let w = vec![1.0, 1.0, 1.0, 0.0];
@@ -171,9 +157,7 @@ mod tests {
 
     #[test]
     fn weighted_lstsq_unit_weights_matches_ols() {
-        let rows: Vec<Vec<f64>> = (0..8)
-            .map(|i| vec![1.0, i as f64, (i * i) as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> = (0..8).map(|i| vec![1.0, i as f64, (i * i) as f64]).collect();
         let x = Matrix::from_rows(&rows).unwrap();
         let y: Vec<f64> = (0..8).map(|i| 0.5 + 1.5 * i as f64 - 0.25 * (i * i) as f64).collect();
         let b1 = lstsq(&x, &y).unwrap();

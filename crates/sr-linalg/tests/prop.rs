@@ -6,10 +6,7 @@ use sr_linalg::{lstsq, solve_spd, Cholesky, LuFactor, Matrix};
 /// Strategy: an n×n diagonally dominant matrix (guaranteed nonsingular) plus
 /// a right-hand side.
 fn dominant_system(n: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
-    (
-        prop::collection::vec(-1.0f64..1.0, n * n),
-        prop::collection::vec(-10.0f64..10.0, n),
-    )
+    (prop::collection::vec(-1.0f64..1.0, n * n), prop::collection::vec(-10.0f64..10.0, n))
 }
 
 proptest! {

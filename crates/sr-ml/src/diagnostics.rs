@@ -170,7 +170,12 @@ mod tests {
         AdjacencyList::rook_from_grid(&g)
     }
 
-    fn simulate(kind: &str, n: usize, coef: f64, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>, AdjacencyList) {
+    fn simulate(
+        kind: &str,
+        n: usize,
+        coef: f64,
+        seed: u64,
+    ) -> (Vec<Vec<f64>>, Vec<f64>, AdjacencyList) {
         use rand::{rngs::SmallRng, Rng, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(seed);
         let adj = grid_adj(n);
@@ -184,12 +189,7 @@ mod tests {
                 y = xb.iter().zip(&eps).map(|(a, b)| a + b).collect();
                 for _ in 0..150 {
                     let wy = adj.spatial_lag(&y);
-                    y = xb
-                        .iter()
-                        .zip(&eps)
-                        .zip(&wy)
-                        .map(|((a, b), w)| a + b + coef * w)
-                        .collect();
+                    y = xb.iter().zip(&eps).zip(&wy).map(|((a, b), w)| a + b + coef * w).collect();
                 }
             }
             "error" => {

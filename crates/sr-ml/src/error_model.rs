@@ -73,11 +73,7 @@ impl SpatialError {
                 continue;
             };
             let pred = x_f.matvec(&fit.beta)?;
-            let sse: f64 = y_f
-                .iter()
-                .zip(&pred)
-                .map(|(t, p)| (t - p) * (t - p))
-                .sum();
+            let sse: f64 = y_f.iter().zip(&pred).map(|(t, p)| (t - p) * (t - p)).sum();
             if best.as_ref().is_none_or(|(s, _, _)| sse < *s) {
                 best = Some((sse, lambda, fit.beta));
             }
@@ -91,14 +87,7 @@ impl SpatialError {
     pub fn predict_trend(&self, x_rows: &[Vec<f64>]) -> Vec<f64> {
         x_rows
             .iter()
-            .map(|r| {
-                self.beta[0]
-                    + self.beta[1..]
-                        .iter()
-                        .zip(r)
-                        .map(|(b, v)| b * v)
-                        .sum::<f64>()
-            })
+            .map(|r| self.beta[0] + self.beta[1..].iter().zip(r).map(|(b, v)| b * v).sum::<f64>())
             .collect()
     }
 
@@ -144,7 +133,7 @@ mod tests {
         let adj = AdjacencyList::rook_from_grid(&g);
         let x_rows: Vec<Vec<f64>> = (0..n)
             .map(|_| vec![rng.gen_range(-2.0f64..2.0), rng.gen_range(-1.0f64..1.0)])
-        .collect();
+            .collect();
         let eps: Vec<f64> = (0..n).map(|_| rng.gen_range(-0.5f64..0.5)).collect();
         let mut u = eps.clone();
         for _ in 0..200 {
@@ -153,11 +142,8 @@ mod tests {
                 u[i] = lambda * wu[i] + eps[i];
             }
         }
-        let y: Vec<f64> = x_rows
-            .iter()
-            .zip(&u)
-            .map(|(r, ui)| 2.0 + 1.5 * r[0] - 0.8 * r[1] + ui)
-            .collect();
+        let y: Vec<f64> =
+            x_rows.iter().zip(&u).map(|(r, ui)| 2.0 + 1.5 * r[0] - 0.8 * r[1] + ui).collect();
         (x_rows, y, adj)
     }
 
@@ -195,6 +181,8 @@ mod tests {
     fn shape_errors() {
         let adj = AdjacencyList::from_neighbors(vec![vec![1], vec![0]]);
         assert!(SpatialError::fit(&[vec![1.0]], &[1.0, 2.0], &adj).is_err());
-        assert!(SpatialError::fit(&[vec![1.0], vec![2.0], vec![3.0]], &[1.0, 2.0, 3.0], &adj).is_err());
+        assert!(
+            SpatialError::fit(&[vec![1.0], vec![2.0], vec![3.0]], &[1.0, 2.0, 3.0], &adj).is_err()
+        );
     }
 }

@@ -4,7 +4,7 @@
 //! Bootstrap-sampled CART trees with per-split feature subsampling
 //! (`max(1, p/3)` features, the regression convention), averaged at
 //! prediction time. Tree training is embarrassingly parallel and fanned out
-//! over `crossbeam` scoped threads.
+//! over `std::thread` scoped threads.
 
 use crate::tree::{RegressionTree, TreeParams};
 use crate::{MlError, Result};
@@ -91,11 +91,12 @@ impl RandomForest {
             let workers = params.threads.min(params.n_estimators);
             let chunk = params.n_estimators.div_ceil(workers);
             let mut slots: Vec<Vec<RegressionTree>> = Vec::new();
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
+                let fit_one = &fit_one;
                 let handles: Vec<_> = seeds
                     .chunks(chunk)
                     .map(|chunk_seeds| {
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             chunk_seeds.iter().map(|&s| fit_one(s)).collect::<Vec<_>>()
                         })
                     })
@@ -103,8 +104,7 @@ impl RandomForest {
                 for h in handles {
                     slots.push(h.join().expect("tree worker panicked"));
                 }
-            })
-            .expect("crossbeam scope");
+            });
             slots.into_iter().flatten().collect()
         };
 
@@ -203,10 +203,7 @@ mod tests {
     fn parameter_validation() {
         let (x, y) = make_data(10);
         let bad = RandomForestParams { n_estimators: 0, ..Default::default() };
-        assert!(matches!(
-            RandomForest::fit(&x, &y, &bad),
-            Err(MlError::InvalidParam { .. })
-        ));
+        assert!(matches!(RandomForest::fit(&x, &y, &bad), Err(MlError::InvalidParam { .. })));
         assert!(matches!(
             RandomForest::fit(&[], &[], &RandomForestParams::default()),
             Err(MlError::EmptyInput)
@@ -235,16 +232,18 @@ mod tests {
             .sum();
         let test_mse = test_sse / 100.0;
         // OOB should land within a factor of ~2.5 of held-out MSE.
-        assert!(
-            oob < test_mse * 2.5 && test_mse < oob * 2.5,
-            "oob {oob} vs test {test_mse}"
-        );
+        assert!(oob < test_mse * 2.5 && test_mse < oob * 2.5, "oob {oob} vs test {test_mse}");
     }
 
     #[test]
     fn oob_off_by_default() {
         let (x, y) = make_data(60);
-        let f = RandomForest::fit(&x, &y, &RandomForestParams { n_estimators: 5, threads: 1, ..Default::default() }).unwrap();
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            &RandomForestParams { n_estimators: 5, threads: 1, ..Default::default() },
+        )
+        .unwrap();
         assert!(f.oob_mse.is_none());
     }
 

@@ -82,10 +82,8 @@ impl GradientBoostingClassifier {
         for &l in labels {
             counts[l] += 1;
         }
-        let base_scores: Vec<f64> = counts
-            .iter()
-            .map(|&c| ((c.max(1)) as f64 / n as f64).ln())
-            .collect();
+        let base_scores: Vec<f64> =
+            counts.iter().map(|&c| ((c.max(1)) as f64 / n as f64).ln()).collect();
 
         let mut scores = vec![0.0f64; n * num_classes];
         for row in 0..n {
@@ -105,7 +103,8 @@ impl GradientBoostingClassifier {
                     let indicator = if labels[i] == k { 1.0 } else { 0.0 };
                     residual[i] = indicator - probs[i * num_classes + k];
                 }
-                let tree = RegressionTree::fit(x_rows, &residual, &all_indices, &tree_params, &mut rng);
+                let tree =
+                    RegressionTree::fit(x_rows, &residual, &all_indices, &tree_params, &mut rng);
                 for (i, x) in x_rows.iter().enumerate() {
                     scores[i * num_classes + k] += params.learning_rate * tree.predict_one(x);
                 }

@@ -8,7 +8,7 @@
 //! chosen by minimizing the corrected Akaike criterion (AICc) via a
 //! golden-section search — the mgwr/PySAL procedure.
 //!
-//! Local fits are independent and are fanned out over `crossbeam` scoped
+//! Local fits are independent and are fanned out over `std::thread` scoped
 //! threads.
 
 use crate::{design_matrix, MlError, Result};
@@ -68,7 +68,14 @@ impl Gwr {
         let hi = n - 1;
         if lo >= hi {
             let aicc = aicc_for_bandwidth(&x, y, coords, hi, params.threads)?;
-            return Ok(Gwr { x, y: y.to_vec(), coords: coords.to_vec(), bandwidth: hi, aicc, threads: params.threads });
+            return Ok(Gwr {
+                x,
+                y: y.to_vec(),
+                coords: coords.to_vec(),
+                bandwidth: hi,
+                aicc,
+                threads: params.threads,
+            });
         }
 
         // Golden-section search over the integer bandwidth.
@@ -97,11 +104,8 @@ impl Gwr {
                 fd = aicc_for_bandwidth(&x, y, coords, d.round() as usize, params.threads)?;
             }
         }
-        let (bandwidth, aicc) = if fc < fd {
-            (c.round() as usize, fc)
-        } else {
-            (d.round() as usize, fd)
-        };
+        let (bandwidth, aicc) =
+            if fc < fd { (c.round() as usize, fc) } else { (d.round() as usize, fd) };
 
         Ok(Gwr {
             x,
@@ -131,12 +135,7 @@ impl Gwr {
         let one = |q: usize| -> f64 {
             let w = self.kernel_weights(coords[q]);
             match weighted_lstsq(&self.x, &self.y, &w) {
-                Ok(beta) => design
-                    .row(q)
-                    .iter()
-                    .zip(&beta)
-                    .map(|(v, b)| v * b)
-                    .sum(),
+                Ok(beta) => design.row(q).iter().zip(&beta).map(|(v, b)| v * b).sum(),
                 // Degenerate local design: fall back to the weighted mean.
                 Err(_) => {
                     let ws: f64 = w.iter().sum();
@@ -251,11 +250,7 @@ fn aicc_for_bandwidth(
     let denom = nf - 2.0 - trace_s;
     // Heavily overfit bandwidths drive the correction term negative; treat
     // them as infinitely bad rather than rewarding them.
-    let correction = if denom > 0.5 {
-        nf * (nf + trace_s) / denom
-    } else {
-        f64::INFINITY
-    };
+    let correction = if denom > 0.5 { nf * (nf + trace_s) / denom } else { f64::INFINITY };
     Ok(nf * sigma2.ln() + nf * (2.0 * std::f64::consts::PI).ln() + correction)
 }
 
@@ -282,7 +277,7 @@ fn mean(v: &[f64]) -> f64 {
     v.iter().sum::<f64>() / v.len() as f64
 }
 
-/// Runs `f(0..n)` across `threads` crossbeam workers, preserving order.
+/// Runs `f(0..n)` across `threads` scoped workers, preserving order.
 fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -294,11 +289,11 @@ where
     let workers = threads.min(n);
     let chunk = n.div_ceil(workers);
     let mut out: Vec<Vec<T>> = Vec::with_capacity(workers);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let f = &f;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let lo = w * chunk;
                     let hi = ((w + 1) * chunk).min(n);
                     (lo..hi).map(f).collect::<Vec<T>>()
@@ -308,8 +303,7 @@ where
         for h in handles {
             out.push(h.join().expect("gwr worker panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     out.into_iter().flatten().collect()
 }
 
@@ -347,7 +341,8 @@ mod tests {
     #[test]
     fn beats_ols_on_spatially_varying_process() {
         let (x, y, coords) = varying_slope_data(14, 1);
-        let gwr = Gwr::fit(&x, &y, &coords, &GwrParams { threads: 2, ..Default::default() }).unwrap();
+        let gwr =
+            Gwr::fit(&x, &y, &coords, &GwrParams { threads: 2, ..Default::default() }).unwrap();
         let pred = gwr.predict(&x, &coords).unwrap();
         let ols = Ols::fit(&x, &y).unwrap();
         let ols_pred = ols.predict(&x);
@@ -363,7 +358,8 @@ mod tests {
     #[test]
     fn bandwidth_is_within_range() {
         let (x, y, coords) = varying_slope_data(10, 2);
-        let gwr = Gwr::fit(&x, &y, &coords, &GwrParams { threads: 1, ..Default::default() }).unwrap();
+        let gwr =
+            Gwr::fit(&x, &y, &coords, &GwrParams { threads: 1, ..Default::default() }).unwrap();
         assert!(gwr.bandwidth >= 3 && gwr.bandwidth < 100);
         assert!(gwr.aicc.is_finite());
     }
@@ -371,7 +367,8 @@ mod tests {
     #[test]
     fn predicts_at_unseen_locations() {
         let (x, y, coords) = varying_slope_data(12, 3);
-        let gwr = Gwr::fit(&x, &y, &coords, &GwrParams { threads: 2, ..Default::default() }).unwrap();
+        let gwr =
+            Gwr::fit(&x, &y, &coords, &GwrParams { threads: 2, ..Default::default() }).unwrap();
         // Query at the middle of the domain with a known x.
         let pred = gwr.predict(&[vec![1.0]], &[(0.5, 0.5)]).unwrap();
         // Local slope at lat 0.5 is 2.0.
@@ -381,7 +378,8 @@ mod tests {
     #[test]
     fn local_coefficients_track_the_varying_slope() {
         let (x, y, coords) = varying_slope_data(12, 6);
-        let gwr = Gwr::fit(&x, &y, &coords, &GwrParams { threads: 1, ..Default::default() }).unwrap();
+        let gwr =
+            Gwr::fit(&x, &y, &coords, &GwrParams { threads: 1, ..Default::default() }).unwrap();
         let betas = gwr.local_coefficients(&[(0.05, 0.5), (0.95, 0.5)]);
         let south = betas[0].as_ref().unwrap()[1];
         let north = betas[1].as_ref().unwrap()[1];
@@ -402,7 +400,8 @@ mod tests {
     #[test]
     fn empty_prediction_ok() {
         let (x, y, coords) = varying_slope_data(8, 4);
-        let gwr = Gwr::fit(&x, &y, &coords, &GwrParams { threads: 1, ..Default::default() }).unwrap();
+        let gwr =
+            Gwr::fit(&x, &y, &coords, &GwrParams { threads: 1, ..Default::default() }).unwrap();
         assert!(gwr.predict(&[], &[]).unwrap().is_empty());
     }
 }

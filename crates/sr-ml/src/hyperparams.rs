@@ -38,7 +38,12 @@ pub fn gwr() -> GwrParams {
 /// Spatial Kriging: `search_radius: 0.01, max_range: 0.32,
 /// number_of_neighbors: 8`.
 pub fn kriging() -> KrigingParams {
-    KrigingParams { search_radius: 0.01, max_range: 0.32, num_neighbors: 8, ..KrigingParams::default() }
+    KrigingParams {
+        search_radius: 0.01,
+        max_range: 0.32,
+        num_neighbors: 8,
+        ..KrigingParams::default()
+    }
 }
 
 /// Gradient Boosting Classification: `n_estimators: 200, max_depth: 5,

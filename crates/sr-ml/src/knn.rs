@@ -139,8 +139,7 @@ impl NeighborHeap {
         if self.items.len() < self.cap {
             self.items.push((d, i));
             if self.items.len() == self.cap {
-                self.items
-                    .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+                self.items.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
             }
             return;
         }
@@ -200,17 +199,11 @@ fn standardization(x_rows: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
 }
 
 fn standardize_rows(x_rows: &[Vec<f64>], mean: &[f64], scale: &[f64]) -> Vec<Vec<f64>> {
-    x_rows
-        .iter()
-        .map(|r| standardize_one(r, mean, scale))
-        .collect()
+    x_rows.iter().map(|r| standardize_one(r, mean, scale)).collect()
 }
 
 fn standardize_one(x: &[f64], mean: &[f64], scale: &[f64]) -> Vec<f64> {
-    x.iter()
-        .zip(mean.iter().zip(scale))
-        .map(|(v, (m, s))| (v - m) / s)
-        .collect()
+    x.iter().zip(mean.iter().zip(scale)).map(|(v, (m, s))| (v - m) / s).collect()
 }
 
 fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
@@ -250,9 +243,7 @@ fn build(nodes: &mut Vec<KdNode>, points: &[Vec<f64>], idx: &mut [u32], leaf_siz
     }
     let mid = idx.len() / 2;
     idx.select_nth_unstable_by(mid, |&a, &b| {
-        points[a as usize][dim]
-            .partial_cmp(&points[b as usize][dim])
-            .expect("finite features")
+        points[a as usize][dim].partial_cmp(&points[b as usize][dim]).expect("finite features")
     });
     let value = points[idx[mid] as usize][dim];
 
@@ -383,10 +374,17 @@ mod tests {
         use rand::{rngs::SmallRng, Rng, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(5);
         let x: Vec<Vec<f64>> = (0..200)
-            .map(|_| vec![rng.gen_range(-5.0f64..5.0), rng.gen_range(-5.0f64..5.0), rng.gen_range(-5.0f64..5.0)])
+            .map(|_| {
+                vec![
+                    rng.gen_range(-5.0f64..5.0),
+                    rng.gen_range(-5.0f64..5.0),
+                    rng.gen_range(-5.0f64..5.0),
+                ]
+            })
             .collect();
         let labels: Vec<usize> = (0..200).map(|i| i % 4).collect();
-        let m = KnnClassifier::fit(&x, &labels, 4, &KnnParams { leaf_size: 7, n_neighbors: 5 }).unwrap();
+        let m = KnnClassifier::fit(&x, &labels, 4, &KnnParams { leaf_size: 7, n_neighbors: 5 })
+            .unwrap();
         let (mean, scale) = standardization(&x);
         let xs = standardize_rows(&x, &mean, &scale);
         for _ in 0..25 {
@@ -397,22 +395,15 @@ mod tests {
             ];
             let qs = standardize_one(&q, &mean, &scale);
             // Brute force k-NN vote in the standardized space.
-            let mut d: Vec<(f64, usize)> = xs
-                .iter()
-                .enumerate()
-                .map(|(i, p)| (sq_dist(&qs, p), i))
-                .collect();
+            let mut d: Vec<(f64, usize)> =
+                xs.iter().enumerate().map(|(i, p)| (sq_dist(&qs, p), i)).collect();
             d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             let mut votes = [0usize; 4];
             for &(_, i) in d.iter().take(5) {
                 votes[labels[i]] += 1;
             }
-            let brute = votes
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
-                .unwrap()
-                .0;
+            let brute =
+                votes.iter().enumerate().max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0))).unwrap().0;
             assert_eq!(m.predict_one(&q), brute, "query {q:?}");
         }
     }
@@ -421,7 +412,8 @@ mod tests {
     fn k_larger_than_dataset_is_clamped() {
         let x = vec![vec![0.0], vec![1.0], vec![2.0]];
         let y = vec![0, 1, 1];
-        let m = KnnClassifier::fit(&x, &y, 2, &KnnParams { leaf_size: 2, n_neighbors: 50 }).unwrap();
+        let m =
+            KnnClassifier::fit(&x, &y, 2, &KnnParams { leaf_size: 2, n_neighbors: 50 }).unwrap();
         assert_eq!(m.predict_one(&[0.1]), 1); // 2 of 3 labels are 1
     }
 
@@ -480,8 +472,12 @@ mod tests {
         assert!(KnnClassifier::fit(&[], &[], 2, &KnnParams::default()).is_err());
         let x = vec![vec![0.0]];
         assert!(KnnClassifier::fit(&x, &[0, 1], 2, &KnnParams::default()).is_err());
-        assert!(KnnClassifier::fit(&x, &[0], 2, &KnnParams { leaf_size: 0, n_neighbors: 1 }).is_err());
-        assert!(KnnClassifier::fit(&x, &[0], 2, &KnnParams { leaf_size: 1, n_neighbors: 0 }).is_err());
+        assert!(
+            KnnClassifier::fit(&x, &[0], 2, &KnnParams { leaf_size: 0, n_neighbors: 1 }).is_err()
+        );
+        assert!(
+            KnnClassifier::fit(&x, &[0], 2, &KnnParams { leaf_size: 1, n_neighbors: 0 }).is_err()
+        );
         assert!(KnnClassifier::fit(&x, &[5], 2, &KnnParams::default()).is_err());
     }
 }

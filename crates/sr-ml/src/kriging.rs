@@ -162,10 +162,7 @@ impl OrdinaryKriging {
     /// `σ²(s₀) = Σ wᵢ γ(dᵢ₀) + μ` quantifies interpolation uncertainty:
     /// zero at observed points, rising toward the sill far from data.
     pub fn predict_with_variance(&self, at: (f64, f64)) -> (f64, f64) {
-        let q = (
-            (at.0 - self.lat_off) / self.lat_scale,
-            (at.1 - self.lon_off) / self.lon_scale,
-        );
+        let q = ((at.0 - self.lat_off) / self.lat_scale, (at.1 - self.lon_off) / self.lon_scale);
         let neighbors = self.nearest_neighbors(q);
         if neighbors.is_empty() {
             return (mean(&self.values), self.variogram.nugget + self.variogram.sill);
@@ -196,11 +193,8 @@ impl OrdinaryKriging {
 
         match LuFactor::new(&a).and_then(|f| f.solve(&rhs)) {
             Ok(sol) => {
-                let value = neighbors
-                    .iter()
-                    .enumerate()
-                    .map(|(ri, &i)| sol[ri] * self.values[i])
-                    .sum();
+                let value =
+                    neighbors.iter().enumerate().map(|(ri, &i)| sol[ri] * self.values[i]).sum();
                 // Kriging variance: Σ wᵢ γ(dᵢ₀) + μ (Lagrange multiplier is
                 // the trailing solution entry). Clamped at 0 against
                 // round-off.
@@ -249,12 +243,8 @@ impl OrdinaryKriging {
             radius *= 2.0;
         }
         // Full scan fallback.
-        let mut all: Vec<(f64, usize)> = self
-            .coords
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| (dist(q, c), i))
-            .collect();
+        let mut all: Vec<(f64, usize)> =
+            self.coords.iter().enumerate().map(|(i, &c)| (dist(q, c), i)).collect();
         all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
         all.into_iter().take(want).map(|(_, i)| i).collect()
     }
@@ -262,7 +252,11 @@ impl OrdinaryKriging {
 
 /// Fits the spherical variogram to the binned empirical semivariogram by a
 /// coarse (nugget, sill, range) grid search minimizing SSE.
-fn fit_variogram(coords: &[(f64, f64)], values: &[f64], params: &KrigingParams) -> Result<Variogram> {
+fn fit_variogram(
+    coords: &[(f64, f64)],
+    values: &[f64],
+    params: &KrigingParams,
+) -> Result<Variogram> {
     let n = coords.len();
     let bins = params.lag_bins.max(4);
     let max_h = params.max_range.max(1e-6);
@@ -293,16 +287,10 @@ fn fit_variogram(coords: &[(f64, f64)], values: &[f64], params: &KrigingParams) 
     }
 
     let lags: Vec<f64> = (0..bins).map(|b| (b as f64 + 0.5) / bins as f64 * max_h).collect();
-    let empirical: Vec<Option<f64>> = gamma_sum
-        .iter()
-        .zip(&gamma_cnt)
-        .map(|(&s, &c)| (c > 0).then(|| s / c as f64))
-        .collect();
-    let observed: Vec<(f64, f64)> = lags
-        .iter()
-        .zip(&empirical)
-        .filter_map(|(&h, &g)| g.map(|g| (h, g)))
-        .collect();
+    let empirical: Vec<Option<f64>> =
+        gamma_sum.iter().zip(&gamma_cnt).map(|(&s, &c)| (c > 0).then(|| s / c as f64)).collect();
+    let observed: Vec<(f64, f64)> =
+        lags.iter().zip(&empirical).filter_map(|(&h, &g)| g.map(|g| (h, g))).collect();
     if observed.is_empty() {
         // Degenerate geometry (single point / all co-located): pure nugget.
         let var = variance(values);
@@ -406,10 +394,8 @@ mod tests {
         let pred = k.predict(&test_c);
         let err = rmse(&test_v, &pred);
         // The surface is smooth; kriging should be far better than the mean.
-        let base = rmse(
-            &test_v,
-            &vec![train_v.iter().sum::<f64>() / train_v.len() as f64; test_v.len()],
-        );
+        let base =
+            rmse(&test_v, &vec![train_v.iter().sum::<f64>() / train_v.len() as f64; test_v.len()]);
         assert!(err < base * 0.2, "kriging rmse {err} vs mean baseline {base}");
     }
 
@@ -469,7 +455,9 @@ mod tests {
     #[test]
     fn validation_errors() {
         assert!(OrdinaryKriging::fit(&[], &[], &KrigingParams::default()).is_err());
-        assert!(OrdinaryKriging::fit(&[(0.0, 0.0)], &[1.0, 2.0], &KrigingParams::default()).is_err());
+        assert!(
+            OrdinaryKriging::fit(&[(0.0, 0.0)], &[1.0, 2.0], &KrigingParams::default()).is_err()
+        );
         let bad = KrigingParams { num_neighbors: 0, ..Default::default() };
         assert!(OrdinaryKriging::fit(&[(0.0, 0.0)], &[1.0], &bad).is_err());
     }

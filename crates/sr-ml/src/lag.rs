@@ -85,11 +85,7 @@ impl SpatialLag {
             .zip(wy)
             .map(|(r, &l)| {
                 self.beta[0]
-                    + self.beta[1..]
-                        .iter()
-                        .zip(r)
-                        .map(|(b, v)| b * v)
-                        .sum::<f64>()
+                    + self.beta[1..].iter().zip(r).map(|(b, v)| b * v).sum::<f64>()
                     + self.rho * l
             })
             .collect())
@@ -126,7 +122,12 @@ mod tests {
 
     /// Simulates y = ρWy + Xβ + ε on a grid by solving the reduced form
     /// iteratively (y ← ρWy + Xβ + ε converges for |ρ| < 1).
-    fn simulate(rows: usize, cols: usize, rho: f64, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>, AdjacencyList) {
+    fn simulate(
+        rows: usize,
+        cols: usize,
+        rho: f64,
+        seed: u64,
+    ) -> (Vec<Vec<f64>>, Vec<f64>, AdjacencyList) {
         use rand::{rngs::SmallRng, Rng, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(seed);
         let n = rows * cols;

@@ -27,8 +27,8 @@ pub mod forest;
 pub mod gboost;
 pub mod gwr;
 pub mod hyperparams;
-pub mod kriging;
 pub mod knn;
+pub mod kriging;
 pub mod lag;
 pub mod linear;
 pub mod metrics;
@@ -42,8 +42,8 @@ pub use forest::{RandomForest, RandomForestParams};
 pub use gboost::{GradientBoostingClassifier, GradientBoostingParams};
 pub use gwr::{Gwr, GwrParams};
 pub use hyperparams as table1;
-pub use kriging::{KrigingParams, OrdinaryKriging, Variogram, VariogramModel};
 pub use knn::{KnnClassifier, KnnParams, KnnRegressor};
+pub use kriging::{KrigingParams, OrdinaryKriging, Variogram, VariogramModel};
 pub use lag::SpatialLag;
 pub use linear::Ols;
 pub use metrics::{

@@ -33,12 +33,7 @@ impl Ols {
     /// Predicts a single feature row.
     pub fn predict_one(&self, x: &[f64]) -> f64 {
         debug_assert_eq!(x.len() + 1, self.beta.len());
-        self.beta[0]
-            + self.beta[1..]
-                .iter()
-                .zip(x)
-                .map(|(b, v)| b * v)
-                .sum::<f64>()
+        self.beta[0] + self.beta[1..].iter().zip(x).map(|(b, v)| b * v).sum::<f64>()
     }
 
     /// Predicts many feature rows.
@@ -48,11 +43,7 @@ impl Ols {
 
     /// Residuals `y − ŷ` on the given data.
     pub fn residuals(&self, x_rows: &[Vec<f64>], y: &[f64]) -> Vec<f64> {
-        self.predict(x_rows)
-            .into_iter()
-            .zip(y)
-            .map(|(p, t)| t - p)
-            .collect()
+        self.predict(x_rows).into_iter().zip(y).map(|(p, t)| t - p).collect()
     }
 
     /// Number of fitted parameters (including the intercept).
@@ -82,7 +73,8 @@ mod tests {
     #[test]
     fn residuals_sum_to_zero_with_intercept() {
         let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
-        let y: Vec<f64> = (0..10).map(|i| 1.0 + i as f64 + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let y: Vec<f64> =
+            (0..10).map(|i| 1.0 + i as f64 + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
         let m = Ols::fit(&x, &y).unwrap();
         let r = m.residuals(&x, &y);
         assert!(r.iter().sum::<f64>().abs() < 1e-8);
@@ -90,10 +82,7 @@ mod tests {
 
     #[test]
     fn shape_mismatch_rejected() {
-        assert!(matches!(
-            Ols::fit(&[vec![1.0]], &[1.0, 2.0]),
-            Err(MlError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(Ols::fit(&[vec![1.0]], &[1.0, 2.0]), Err(MlError::ShapeMismatch { .. })));
         assert!(matches!(Ols::fit(&[], &[]), Err(MlError::EmptyInput)));
     }
 }

@@ -13,12 +13,7 @@ pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
     if y_true.is_empty() {
         return 0.0;
     }
-    y_true
-        .iter()
-        .zip(y_pred)
-        .map(|(t, p)| (t - p).abs())
-        .sum::<f64>()
-        / y_true.len() as f64
+    y_true.iter().zip(y_pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / y_true.len() as f64
 }
 
 /// Root mean squared error.
@@ -27,11 +22,7 @@ pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
     if y_true.is_empty() {
         return 0.0;
     }
-    let mse = y_true
-        .iter()
-        .zip(y_pred)
-        .map(|(t, p)| (t - p) * (t - p))
-        .sum::<f64>()
+    let mse = y_true.iter().zip(y_pred).map(|(t, p)| (t - p) * (t - p)).sum::<f64>()
         / y_true.len() as f64;
     mse.sqrt()
 }
@@ -45,11 +36,7 @@ pub fn se_regression(y_true: &[f64], y_pred: &[f64], num_params: usize) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    let sse: f64 = y_true
-        .iter()
-        .zip(y_pred)
-        .map(|(t, p)| (t - p) * (t - p))
-        .sum();
+    let sse: f64 = y_true.iter().zip(y_pred).map(|(t, p)| (t - p) * (t - p)).sum();
     let dof = if n > num_params { n - num_params } else { n };
     (sse / dof as f64).sqrt()
 }
@@ -66,11 +53,7 @@ pub fn pseudo_r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
     if sst == 0.0 {
         return 0.0;
     }
-    let sse: f64 = y_true
-        .iter()
-        .zip(y_pred)
-        .map(|(t, p)| (t - p) * (t - p))
-        .sum();
+    let sse: f64 = y_true.iter().zip(y_pred).map(|(t, p)| (t - p) * (t - p)).sum();
     1.0 - sse / sst
 }
 
@@ -172,13 +155,7 @@ pub fn mae_weighted(y_true: &[f64], y_pred: &[f64], w: &[f64]) -> f64 {
     if wsum == 0.0 {
         return 0.0;
     }
-    y_true
-        .iter()
-        .zip(y_pred)
-        .zip(w)
-        .map(|((t, p), wi)| wi * (t - p).abs())
-        .sum::<f64>()
-        / wsum
+    y_true.iter().zip(y_pred).zip(w).map(|((t, p), wi)| wi * (t - p).abs()).sum::<f64>() / wsum
 }
 
 /// Weighted root mean squared error.
@@ -188,13 +165,9 @@ pub fn rmse_weighted(y_true: &[f64], y_pred: &[f64], w: &[f64]) -> f64 {
     if wsum == 0.0 {
         return 0.0;
     }
-    let mse = y_true
-        .iter()
-        .zip(y_pred)
-        .zip(w)
-        .map(|((t, p), wi)| wi * (t - p) * (t - p))
-        .sum::<f64>()
-        / wsum;
+    let mse =
+        y_true.iter().zip(y_pred).zip(w).map(|((t, p), wi)| wi * (t - p) * (t - p)).sum::<f64>()
+            / wsum;
     mse.sqrt()
 }
 
@@ -206,12 +179,8 @@ pub fn se_weighted(y_true: &[f64], y_pred: &[f64], w: &[f64], num_params: usize)
     if wsum == 0.0 {
         return 0.0;
     }
-    let sse: f64 = y_true
-        .iter()
-        .zip(y_pred)
-        .zip(w)
-        .map(|((t, p), wi)| wi * (t - p) * (t - p))
-        .sum();
+    let sse: f64 =
+        y_true.iter().zip(y_pred).zip(w).map(|((t, p), wi)| wi * (t - p) * (t - p)).sum();
     let wbar = wsum / y_true.len() as f64;
     let dof = (wsum - num_params as f64 * wbar).max(wbar);
     (sse / dof).sqrt()
@@ -225,20 +194,12 @@ pub fn r2_weighted(y_true: &[f64], y_pred: &[f64], w: &[f64]) -> f64 {
         return 0.0;
     }
     let mean = y_true.iter().zip(w).map(|(t, wi)| t * wi).sum::<f64>() / wsum;
-    let sst: f64 = y_true
-        .iter()
-        .zip(w)
-        .map(|(t, wi)| wi * (t - mean) * (t - mean))
-        .sum();
+    let sst: f64 = y_true.iter().zip(w).map(|(t, wi)| wi * (t - mean) * (t - mean)).sum();
     if sst == 0.0 {
         return 0.0;
     }
-    let sse: f64 = y_true
-        .iter()
-        .zip(y_pred)
-        .zip(w)
-        .map(|((t, p), wi)| wi * (t - p) * (t - p))
-        .sum();
+    let sse: f64 =
+        y_true.iter().zip(y_pred).zip(w).map(|((t, p), wi)| wi * (t - p) * (t - p)).sum();
     1.0 - sse / sst
 }
 

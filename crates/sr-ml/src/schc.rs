@@ -83,9 +83,8 @@ pub fn schc_cluster(
     // neighbor set, and a version stamp for lazy heap deletion.
     let mut size: Vec<usize> = vec![1; n];
     let mut sums: Vec<Vec<f64>> = features.to_vec();
-    let mut neighbors: Vec<HashSet<u32>> = (0..n)
-        .map(|i| adj.neighbors(i as u32).iter().copied().collect())
-        .collect();
+    let mut neighbors: Vec<HashSet<u32>> =
+        (0..n).map(|i| adj.neighbors(i as u32).iter().copied().collect()).collect();
     let mut version: Vec<u32> = vec![0; n];
 
     let ward = |size: &[usize], sums: &[Vec<f64>], a: usize, b: usize| -> f64 {
@@ -188,9 +187,8 @@ mod tests {
     fn splits_two_obvious_regions() {
         // Left half value 0, right half value 10 on a 4×6 grid.
         let (rows, cols) = (4, 6);
-        let features: Vec<Vec<f64>> = (0..rows * cols)
-            .map(|i| vec![if i % cols < 3 { 0.0 } else { 10.0 }])
-            .collect();
+        let features: Vec<Vec<f64>> =
+            (0..rows * cols).map(|i| vec![if i % cols < 3 { 0.0 } else { 10.0 }]).collect();
         let adj = grid_adj(rows, cols);
         let res = schc_cluster(&features, &adj, &SchcParams { num_clusters: 2 }).unwrap();
         assert_eq!(res.num_found, 2);
@@ -207,16 +205,14 @@ mod tests {
         use rand::{rngs::SmallRng, Rng, SeedableRng};
         let mut rng = SmallRng::seed_from_u64(6);
         let (rows, cols) = (8, 8);
-        let features: Vec<Vec<f64>> = (0..rows * cols)
-            .map(|_| vec![rng.gen_range(0.0f64..5.0)])
-            .collect();
+        let features: Vec<Vec<f64>> =
+            (0..rows * cols).map(|_| vec![rng.gen_range(0.0f64..5.0)]).collect();
         let adj = grid_adj(rows, cols);
         let res = schc_cluster(&features, &adj, &SchcParams { num_clusters: 6 }).unwrap();
         // Contiguity check: BFS within each cluster must reach all members.
         for cluster in 0..res.num_found {
-            let members: Vec<usize> = (0..rows * cols)
-                .filter(|&i| res.labels[i] == cluster)
-                .collect();
+            let members: Vec<usize> =
+                (0..rows * cols).filter(|&i| res.labels[i] == cluster).collect();
             let mut seen = vec![false; rows * cols];
             let mut queue = vec![members[0]];
             seen[members[0]] = true;
@@ -274,11 +270,7 @@ mod tests {
         assert!(schc_cluster(&[vec![1.0]], &adj, &SchcParams { num_clusters: 0 }).is_err());
         let adj2 = AdjacencyList::from_neighbors(vec![vec![], vec![]]);
         assert!(schc_cluster(&[vec![1.0]], &adj2, &SchcParams { num_clusters: 1 }).is_err());
-        assert!(schc_cluster(
-            &[vec![1.0], vec![1.0, 2.0]],
-            &adj2,
-            &SchcParams { num_clusters: 1 }
-        )
-        .is_err());
+        assert!(schc_cluster(&[vec![1.0], vec![1.0, 2.0]], &adj2, &SchcParams { num_clusters: 1 })
+            .is_err());
     }
 }

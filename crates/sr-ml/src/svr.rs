@@ -73,7 +73,9 @@ impl Svr {
         }
         let n = x_rows.len();
         if n > params.max_train {
-            return Err(MlError::InvalidParam { name: "max_train (too many rows for dense kernel)" });
+            return Err(MlError::InvalidParam {
+                name: "max_train (too many rows for dense kernel)",
+            });
         }
 
         // Standardize features.
@@ -170,14 +172,7 @@ impl Svr {
             }
         }
 
-        Ok(Svr {
-            support_x,
-            lambda: support_l,
-            bias,
-            gamma: params.gamma,
-            feat_mean,
-            feat_scale,
-        })
+        Ok(Svr { support_x, lambda: support_l, bias, gamma: params.gamma, feat_mean, feat_scale })
     }
 
     /// Predicts one feature row.
@@ -237,7 +232,8 @@ fn smo_step(
     // Restricted objective W(t), t = λ_j, λ_i = ρ − t.
     let w = |t: f64| -> f64 {
         let li = rho - t;
-        y[i] * li + y[j] * t - eps * (li.abs() + t.abs())
+        y[i] * li + y[j] * t
+            - eps * (li.abs() + t.abs())
             - 0.5 * (li * li * kii + t * t * kjj + 2.0 * li * t * kij)
             - li * v_i
             - t * v_j
@@ -339,7 +335,12 @@ mod tests {
     fn fits_linear_function() {
         let x: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 10.0]).collect();
         let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + 1.0).collect();
-        let m = Svr::fit(&x, &y, &SvrParams { c: 10.0, gamma: 0.5, epsilon: 0.05, ..Default::default() }).unwrap();
+        let m = Svr::fit(
+            &x,
+            &y,
+            &SvrParams { c: 10.0, gamma: 0.5, epsilon: 0.05, ..Default::default() },
+        )
+        .unwrap();
         let pred = m.predict(&x);
         assert!(rmse(&y, &pred) < 0.5, "rmse {}", rmse(&y, &pred));
     }
@@ -348,7 +349,12 @@ mod tests {
     fn fits_nonlinear_function() {
         let x: Vec<Vec<f64>> = (0..120).map(|i| vec![i as f64 / 20.0]).collect();
         let y: Vec<f64> = x.iter().map(|r| (r[0]).sin() * 3.0).collect();
-        let m = Svr::fit(&x, &y, &SvrParams { c: 15.0, gamma: 0.5, epsilon: 0.01, ..Default::default() }).unwrap();
+        let m = Svr::fit(
+            &x,
+            &y,
+            &SvrParams { c: 15.0, gamma: 0.5, epsilon: 0.01, ..Default::default() },
+        )
+        .unwrap();
         let pred = m.predict(&x);
         assert!(rmse(&y, &pred) < 0.35, "rmse {}", rmse(&y, &pred));
     }
@@ -358,13 +364,14 @@ mod tests {
         // With a generous C, train error should approach epsilon scale.
         let x: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 10) as f64, (i / 10) as f64]).collect();
         let y: Vec<f64> = x.iter().map(|r| r[0] - 0.5 * r[1]).collect();
-        let m = Svr::fit(&x, &y, &SvrParams { c: 50.0, gamma: 0.5, epsilon: 0.1, ..Default::default() }).unwrap();
+        let m = Svr::fit(
+            &x,
+            &y,
+            &SvrParams { c: 50.0, gamma: 0.5, epsilon: 0.1, ..Default::default() },
+        )
+        .unwrap();
         let pred = m.predict(&x);
-        let max_err = y
-            .iter()
-            .zip(&pred)
-            .map(|(t, p)| (t - p).abs())
-            .fold(0.0f64, f64::max);
+        let max_err = y.iter().zip(&pred).map(|(t, p)| (t - p).abs()).fold(0.0f64, f64::max);
         assert!(max_err < 1.0, "max err {max_err}");
     }
 
@@ -395,7 +402,12 @@ mod tests {
         // symmetry — instead we re-run fit and inspect support coefficients.
         let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 4.0]).collect();
         let y: Vec<f64> = x.iter().map(|r| r[0] * r[0] / 10.0).collect();
-        let m = Svr::fit(&x, &y, &SvrParams { c: 5.0, gamma: 1.0, epsilon: 0.05, ..Default::default() }).unwrap();
+        let m = Svr::fit(
+            &x,
+            &y,
+            &SvrParams { c: 5.0, gamma: 1.0, epsilon: 0.05, ..Default::default() },
+        )
+        .unwrap();
         let sum: f64 = m.lambda.iter().sum();
         assert!(sum.abs() < 1e-6, "Σλ = {sum}");
     }

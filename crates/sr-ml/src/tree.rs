@@ -68,7 +68,11 @@ impl RegressionTree {
             match self.nodes[i] {
                 Node::Leaf { value } => return value,
                 Node::Split { feature, threshold, left, right } => {
-                    i = if x[feature as usize] <= threshold { left as usize } else { right as usize };
+                    i = if x[feature as usize] <= threshold {
+                        left as usize
+                    } else {
+                        right as usize
+                    };
                 }
             }
         }
@@ -145,14 +149,10 @@ fn build(
     // Partition the work slice in place around the threshold.
     let mut sorted: Vec<usize> = samples.to_vec();
     sorted.sort_by(|&a, &b| {
-        x_rows[a][feature]
-            .partial_cmp(&x_rows[b][feature])
-            .expect("finite features")
+        x_rows[a][feature].partial_cmp(&x_rows[b][feature]).expect("finite features")
     });
-    let split_at = sorted
-        .iter()
-        .position(|&i| x_rows[i][feature] > threshold)
-        .unwrap_or(sorted.len());
+    let split_at =
+        sorted.iter().position(|&i| x_rows[i][feature] > threshold).unwrap_or(sorted.len());
     work[lo..hi].copy_from_slice(&sorted);
 
     let id = nodes.len() as u32;
@@ -269,9 +269,7 @@ mod tests {
     #[test]
     fn multivariate_split_picks_informative_feature() {
         // Feature 0 is noise; feature 1 determines y.
-        let x: Vec<Vec<f64>> = (0..40)
-            .map(|i| vec![(i * 7 % 13) as f64, (i % 2) as f64])
-            .collect();
+        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![(i * 7 % 13) as f64, (i % 2) as f64]).collect();
         let y: Vec<f64> = x.iter().map(|r| r[1] * 10.0).collect();
         let idx: Vec<usize> = (0..40).collect();
         let t = RegressionTree::fit(&x, &y, &idx, &TreeParams::default(), &mut rng());

@@ -1,0 +1,214 @@
+//! An LRU cache of loaded snapshots.
+//!
+//! Serving processes typically host several snapshots (different grids,
+//! different loss budgets `θ`) but have memory for only a few decoded
+//! [`QueryEngine`]s at a time. The cache is keyed by `(path, θ)` — the
+//! same file requested at a different budget is a different logical
+//! snapshot — and evicts the least recently used entry once `capacity`
+//! is exceeded. Engines are handed out as `Arc`s, so an eviction never
+//! invalidates in-flight queries.
+
+use crate::query::QueryEngine;
+use crate::snapshot::load_snapshot;
+use crate::Result;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: canonical path plus the raw bits of `θ` (bit-equality keeps
+/// the key `Eq + Hash` without floating-point surprises).
+type Key = (PathBuf, u64);
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<Key, Arc<QueryEngine>>,
+    /// Keys in recency order: front = least recently used.
+    order: VecDeque<Key>,
+}
+
+/// A thread-safe LRU cache of decoded snapshots.
+#[derive(Debug)]
+pub struct SnapshotCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SnapshotCache {
+    /// A cache holding at most `capacity` engines (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        SnapshotCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the engine for `(path, theta)`, loading and decoding the
+    /// snapshot file on a miss. The returned `Arc` stays usable after the
+    /// entry is evicted.
+    pub fn get_or_load(&self, path: impl AsRef<Path>, theta: f64) -> Result<Arc<QueryEngine>> {
+        let key: Key = (path.as_ref().to_path_buf(), theta.to_bits());
+        {
+            let mut inner = self.inner.lock().expect("cache poisoned");
+            if let Some(engine) = inner.map.get(&key).cloned() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                touch(&mut inner.order, &key);
+                return Ok(engine);
+            }
+        }
+        // Load outside the lock: decoding a snapshot is the slow part and
+        // must not serialize unrelated lookups. A racing load of the same
+        // key is harmless — last writer wins, both callers get a valid
+        // engine.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let engine = Arc::new(QueryEngine::new(load_snapshot(&key.0)?));
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if inner.map.insert(key.clone(), engine.clone()).is_none() {
+            inner.order.push_back(key);
+        } else {
+            touch(&mut inner.order, &key);
+        }
+        while inner.map.len() > self.capacity {
+            if let Some(oldest) = inner.order.pop_front() {
+                inner.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(engine)
+    }
+
+    /// Whether `(path, theta)` is currently cached (does not touch
+    /// recency).
+    pub fn contains(&self, path: impl AsRef<Path>, theta: f64) -> bool {
+        let key: Key = (path.as_ref().to_path_buf(), theta.to_bits());
+        self.inner.lock().expect("cache poisoned").map.contains_key(&key)
+    }
+
+    /// Number of cached engines.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (loads) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+/// Moves `key` to the most-recently-used end of `order`.
+fn touch(order: &mut VecDeque<Key>, key: &Key) {
+    if let Some(pos) = order.iter().position(|k| k == key) {
+        let k = order.remove(pos).expect("position just found");
+        order.push_back(k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{save_snapshot, Snapshot};
+    use sr_core::repartition;
+    use sr_grid::GridDataset;
+
+    /// Writes `n` distinct snapshot files into a fresh temp directory.
+    fn snapshot_files(n: usize, tag: &str) -> (PathBuf, Vec<PathBuf>) {
+        let dir = std::env::temp_dir().join(format!("sr_cache_test_{}_{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut paths = Vec::new();
+        for i in 0..n {
+            let vals: Vec<f64> = (0..36).map(|j| 10.0 + i as f64 + (j / 6) as f64 * 0.1).collect();
+            let grid = GridDataset::univariate(6, 6, vals).unwrap();
+            let out = repartition(&grid, 0.05).unwrap();
+            let snap = Snapshot::build(&out.repartitioned, &grid, 0.05).unwrap();
+            let path = dir.join(format!("snap_{i}.snap"));
+            save_snapshot(&snap, &path).unwrap();
+            paths.push(path);
+        }
+        (dir, paths)
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let (dir, paths) = snapshot_files(1, "hits");
+        let cache = SnapshotCache::new(2);
+        let a = cache.get_or_load(&paths[0], 0.05).unwrap();
+        let b = cache.get_or_load(&paths[0], 0.05).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // Same file, different θ: a distinct logical snapshot.
+        cache.get_or_load(&paths[0], 0.10).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        assert_eq!(cache.len(), 2);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let (dir, paths) = snapshot_files(3, "lru");
+        let cache = SnapshotCache::new(2);
+        cache.get_or_load(&paths[0], 0.05).unwrap();
+        cache.get_or_load(&paths[1], 0.05).unwrap();
+        // Touch 0 so 1 becomes the LRU entry.
+        cache.get_or_load(&paths[0], 0.05).unwrap();
+        cache.get_or_load(&paths[2], 0.05).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(&paths[0], 0.05), "recently touched entry survived");
+        assert!(!cache.contains(&paths[1], 0.05), "LRU entry evicted");
+        assert!(cache.contains(&paths[2], 0.05));
+        assert_eq!(cache.evictions(), 1);
+        // The evicted entry reloads on demand.
+        cache.get_or_load(&paths[1], 0.05).unwrap();
+        assert!(!cache.contains(&paths[0], 0.05), "0 was LRU after 2's insert");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn evicted_engines_stay_usable() {
+        let (dir, paths) = snapshot_files(2, "arc");
+        let cache = SnapshotCache::new(1);
+        let engine = cache.get_or_load(&paths[0], 0.05).unwrap();
+        cache.get_or_load(&paths[1], 0.05).unwrap();
+        assert!(!cache.contains(&paths[0], 0.05));
+        // The Arc handed out before eviction still answers queries.
+        assert!(engine.stats().groups > 0);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let cache = SnapshotCache::new(1);
+        assert!(cache.get_or_load("/nonexistent/path.snap", 0.05).is_err());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn capacity_zero_clamps_to_one() {
+        let (dir, paths) = snapshot_files(1, "cap0");
+        let cache = SnapshotCache::new(0);
+        cache.get_or_load(&paths[0], 0.05).unwrap();
+        assert_eq!(cache.len(), 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,447 @@
+//! A dependency-free HTTP/1.1 front end for the query engine.
+//!
+//! Built entirely on `std::net`: a listener thread accepts connections and
+//! hands them to a fixed pool of worker threads over a channel; workers
+//! parse one `GET` request per connection, answer from the shared
+//! [`QueryEngine`], and close (`Connection: close` keeps the protocol
+//! state machine trivial). Shutdown is graceful: a flag flips, a wake-up
+//! connection unblocks the accept loop, the channel closes, and every
+//! worker drains before the handle's `shutdown` returns.
+//!
+//! Endpoints (all responses JSON):
+//!
+//! - `GET /point?lat=F&lon=F` — the cell under a location and its
+//!   representative values.
+//! - `GET /window?lat0=F&lat1=F&lon0=F&lon1=F` — per-attribute aggregates
+//!   over the cells in a geographic rectangle.
+//! - `GET /knn?lat=F&lon=F&k=N` — the `k` nearest featured cell-groups by
+//!   rectangle centroid.
+//! - `GET /stats` — snapshot summary.
+//!
+//! Malformed requests get `400` with an `error` body; unknown paths `404`;
+//! non-`GET` methods `405`. The server never panics on bad input.
+
+use crate::query::QueryEngine;
+use crate::Result;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling connections.
+    pub threads: usize,
+    /// Cap on the request head (request line + headers) in bytes.
+    pub max_request_bytes: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 4,
+            max_request_bytes: 8 * 1024,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Handle to a running server. Dropping it shuts the server down.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the ephemeral port of `addr:0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and blocks until the acceptor and every worker
+    /// have exited. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop blocks in accept(); a throwaway connection wakes
+        // it so it can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Starts serving `engine` on `addr` (e.g. `"127.0.0.1:0"` for an
+/// ephemeral port). Returns once the listener is bound and the workers
+/// are running.
+pub fn serve(engine: Arc<QueryEngine>, addr: &str, config: ServerConfig) -> Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let workers: Vec<JoinHandle<()>> = (0..config.threads.max(1))
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let engine = Arc::clone(&engine);
+            let config = config.clone();
+            std::thread::spawn(move || loop {
+                // Holding the lock only while receiving keeps the pool
+                // work-stealing: whichever worker is free takes the next
+                // connection.
+                let stream = match rx.lock().expect("worker queue poisoned").recv() {
+                    Ok(s) => s,
+                    Err(_) => return, // channel closed: shutting down
+                };
+                handle_connection(stream, &engine, &config);
+            })
+        })
+        .collect();
+
+    let flag = Arc::clone(&shutdown);
+    let acceptor = std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if flag.load(Ordering::SeqCst) {
+                break;
+            }
+            if let Ok(stream) = stream {
+                // A send only fails when every worker died; stop accepting
+                // rather than spin.
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+        }
+        drop(tx); // close the channel so idle workers exit
+        for w in workers {
+            let _ = w.join();
+        }
+    });
+
+    Ok(ServerHandle { addr: local, shutdown, acceptor: Some(acceptor) })
+}
+
+fn handle_connection(stream: TcpStream, engine: &QueryEngine, config: &ServerConfig) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut request_line = String::new();
+    let mut total = 0usize;
+    if reader.read_line(&mut request_line).is_err() {
+        return; // timeout or reset before a full request line
+    }
+    total += request_line.len();
+    // Drain the headers (ignored — no endpoint needs them) up to the cap.
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(n) => {
+                total += n;
+                if line == "\r\n" || line == "\n" {
+                    break;
+                }
+                if total > config.max_request_bytes {
+                    respond(&stream, 431, &json_error("request head too large"));
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let (status, body) = route(request_line.trim_end(), engine);
+    respond(&stream, status, &body);
+}
+
+/// Parses the request line and dispatches to the endpoint handlers.
+/// Returns `(status, json_body)` and never panics on malformed input.
+fn route(request_line: &str, engine: &QueryEngine) -> (u16, String) {
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return (400, json_error("malformed request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return (400, json_error("unsupported protocol version"));
+    }
+    if method != "GET" {
+        return (405, json_error("only GET is supported"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let params: HashMap<&str, &str> =
+        query.split('&').filter(|kv| !kv.is_empty()).filter_map(|kv| kv.split_once('=')).collect();
+
+    match path {
+        "/point" => handle_point(engine, &params),
+        "/window" => handle_window(engine, &params),
+        "/knn" => handle_knn(engine, &params),
+        "/stats" => (200, stats_json(engine)),
+        _ => (404, json_error("unknown path")),
+    }
+}
+
+fn param_f64(params: &HashMap<&str, &str>, key: &str) -> std::result::Result<f64, String> {
+    let raw = params.get(key).ok_or_else(|| format!("missing parameter '{key}'"))?;
+    raw.parse::<f64>().map_err(|_| format!("parameter '{key}' is not a number"))
+}
+
+fn handle_point(engine: &QueryEngine, params: &HashMap<&str, &str>) -> (u16, String) {
+    let (lat, lon) = match (param_f64(params, "lat"), param_f64(params, "lon")) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return (400, json_error(&e)),
+    };
+    match engine.point(lat, lon) {
+        None => (200, "{\"inside\":false}".to_string()),
+        Some(ans) => {
+            let values = match &ans.values {
+                Some(vals) => json_f64_array(vals),
+                None => "null".to_string(),
+            };
+            (
+                200,
+                format!(
+                    "{{\"inside\":true,\"row\":{},\"col\":{},\"cell\":{},\"group\":{},\"values\":{values}}}",
+                    ans.row, ans.col, ans.cell, ans.group
+                ),
+            )
+        }
+    }
+}
+
+fn handle_window(engine: &QueryEngine, params: &HashMap<&str, &str>) -> (u16, String) {
+    let mut coords = [0.0f64; 4];
+    for (slot, key) in coords.iter_mut().zip(["lat0", "lat1", "lon0", "lon1"]) {
+        match param_f64(params, key) {
+            Ok(v) => *slot = v,
+            Err(e) => return (400, json_error(&e)),
+        }
+    }
+    let ans = engine.window(coords[0], coords[1], coords[2], coords[3]);
+    let names = engine.snapshot().attr_names();
+    let attrs: Vec<String> = ans
+        .per_attr
+        .iter()
+        .enumerate()
+        .map(|(k, a)| {
+            format!(
+                "{{\"name\":{},\"count\":{},\"sum\":{},\"mean\":{},\"min\":{},\"max\":{}}}",
+                json_string(&names[k]),
+                a.count,
+                json_f64(a.sum),
+                a.mean().map_or("null".to_string(), json_f64),
+                a.min.map_or("null".to_string(), json_f64),
+                a.max.map_or("null".to_string(), json_f64),
+            )
+        })
+        .collect();
+    (
+        200,
+        format!(
+            "{{\"cells\":{},\"valid_cells\":{},\"groups\":{},\"attrs\":[{}]}}",
+            ans.cells,
+            ans.valid_cells,
+            ans.groups,
+            attrs.join(",")
+        ),
+    )
+}
+
+fn handle_knn(engine: &QueryEngine, params: &HashMap<&str, &str>) -> (u16, String) {
+    let (lat, lon) = match (param_f64(params, "lat"), param_f64(params, "lon")) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return (400, json_error(&e)),
+    };
+    let k = match params.get("k").map_or(Ok(5), |raw| raw.parse::<usize>()) {
+        Ok(k) if k > 0 && k <= 10_000 => k,
+        _ => return (400, json_error("parameter 'k' must be an integer in 1..=10000")),
+    };
+    let neighbors: Vec<String> = engine
+        .knn(lat, lon, k)
+        .iter()
+        .map(|nb| {
+            format!(
+                "{{\"group\":{},\"lat\":{},\"lon\":{},\"distance\":{},\"values\":{}}}",
+                nb.group,
+                json_f64(nb.lat),
+                json_f64(nb.lon),
+                json_f64(nb.distance),
+                json_f64_array(&nb.values)
+            )
+        })
+        .collect();
+    (200, format!("{{\"neighbors\":[{}]}}", neighbors.join(",")))
+}
+
+fn stats_json(engine: &QueryEngine) -> String {
+    let st = engine.stats();
+    let names: Vec<String> =
+        engine.snapshot().attr_names().iter().map(|n| json_string(n)).collect();
+    format!(
+        "{{\"rows\":{},\"cols\":{},\"cells\":{},\"valid_cells\":{},\"groups\":{},\
+         \"valid_groups\":{},\"attrs\":{},\"attr_names\":[{}],\"theta\":{},\"ifl\":{},\
+         \"cell_reduction\":{}}}",
+        st.rows,
+        st.cols,
+        st.cells,
+        st.valid_cells,
+        st.groups,
+        st.valid_groups,
+        st.attrs,
+        names.join(","),
+        json_f64(st.theta),
+        json_f64(st.ifl),
+        json_f64(st.cell_reduction),
+    )
+}
+
+fn respond(mut stream: &TcpStream, status: u16, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        _ => "Internal Server Error",
+    };
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+fn json_error(message: &str) -> String {
+    format!("{{\"error\":{}}}", json_string(message))
+}
+
+/// JSON number for an `f64`. Rust's `Display` prints the shortest string
+/// that parses back to the same bits, so finite values round-trip exactly;
+/// non-finite values (unrepresentable in JSON) become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_f64_array(vals: &[f64]) -> String {
+    let items: Vec<String> = vals.iter().map(|&v| json_f64(v)).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_f64_round_trips_and_handles_nonfinite() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(0.1), "0.1");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        let v = 1.0 / 3.0;
+        assert_eq!(json_f64(v).parse::<f64>().unwrap().to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn route_rejects_malformed_without_panicking() {
+        let engine = test_engine();
+        for bad in [
+            "",
+            "GARBAGE",
+            "GET",
+            "GET /point",
+            "FOO /point?lat=1&lon=1 HTTP/1.1",
+            "GET /point?lat=abc&lon=1 HTTP/1.1",
+            "GET /point?lon=1 HTTP/1.1",
+            "GET /knn?lat=1&lon=1&k=0 HTTP/1.1",
+            "GET /knn?lat=1&lon=1&k=-3 HTTP/1.1",
+            "GET /window?lat0=1 HTTP/1.1",
+            "GET /point?lat=1&lon=1 SPDY/9",
+        ] {
+            let (status, body) = route(bad, &engine);
+            assert!((400..=405).contains(&status), "'{bad}' gave status {status}");
+            assert!(body.contains("error"), "'{bad}' body: {body}");
+        }
+        let (status, _) = route("GET /nope HTTP/1.1", &engine);
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn route_answers_wellformed() {
+        let engine = test_engine();
+        let (status, body) = route("GET /stats HTTP/1.1", &engine);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"groups\""));
+        let (status, body) = route("GET /point?lat=0.5&lon=0.5 HTTP/1.1", &engine);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"inside\":true"));
+        let (status, body) = route("GET /point?lat=9&lon=9 HTTP/1.1", &engine);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"inside\":false"));
+        let (status, body) = route("GET /window?lat0=0&lat1=1&lon0=0&lon1=1 HTTP/1.1", &engine);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"attrs\""));
+        let (status, body) = route("GET /knn?lat=0.5&lon=0.5&k=2 HTTP/1.1", &engine);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"neighbors\""));
+    }
+
+    fn test_engine() -> QueryEngine {
+        use crate::snapshot::Snapshot;
+        let vals: Vec<f64> = (0..36).map(|i| 10.0 + (i / 6) as f64 * 0.2).collect();
+        let grid = sr_grid::GridDataset::univariate(6, 6, vals).unwrap();
+        let out = sr_core::repartition(&grid, 0.05).unwrap();
+        QueryEngine::new(Snapshot::build(&out.repartitioned, &grid, 0.05).unwrap())
+    }
+}

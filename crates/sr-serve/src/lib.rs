@@ -1,0 +1,92 @@
+//! Online serving layer for re-partitioned spatial datasets.
+//!
+//! The framework's offline side (sr-core) turns an `m × n` grid into a
+//! compact set of rectangular cell-groups under an information-loss budget
+//! `θ`. This crate is the online side: it freezes an accepted
+//! [`sr_core::Repartitioned`] result into a versioned, checksummed binary
+//! *snapshot* ([`snapshot`], format `sr-snap v1`), answers spatial queries
+//! against it at cell-group granularity ([`query`]) with exactly the §III-C
+//! reconstruction semantics, keeps recently used snapshots warm in an LRU
+//! cache ([`cache`]), and exposes the whole thing over a dependency-free
+//! HTTP/1.1 server ([`http`]).
+//!
+//! The invariant tying the layers together: for any cell, the value served
+//! by [`query::QueryEngine`] is bit-identical to the value
+//! [`sr_core::reconstruct_grid`] would materialize for that cell — serving
+//! never re-derives representatives with different arithmetic.
+
+pub mod cache;
+pub mod http;
+pub mod query;
+pub mod snapshot;
+
+pub use cache::SnapshotCache;
+pub use http::{serve, ServerConfig, ServerHandle};
+pub use query::{NearestGroup, PointAnswer, QueryEngine, Stats, WindowAnswer};
+pub use snapshot::{
+    load_snapshot, read_snapshot, save_snapshot, snapshot_from_bytes, snapshot_to_bytes,
+    write_snapshot, Snapshot,
+};
+
+/// Errors from the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// The snapshot bytes are structurally malformed.
+    Format {
+        /// Byte offset at which parsing failed (`usize::MAX` when the
+        /// failure is not tied to a position, e.g. a truncated file).
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The CRC-32 trailer does not match the payload — the file was
+    /// corrupted or truncated after writing.
+    Checksum {
+        /// Checksum stored in the trailer.
+        stored: u32,
+        /// Checksum computed over the payload.
+        computed: u32,
+    },
+    /// A semantically invalid request or snapshot (consistent bytes, but
+    /// the described partition breaks a framework invariant).
+    Invalid(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Format { offset, message } if *offset == usize::MAX => {
+                write!(f, "snapshot format error: {message}")
+            }
+            ServeError::Format { offset, message } => {
+                write!(f, "snapshot format error at byte {offset}: {message}")
+            }
+            ServeError::Checksum { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            ServeError::Invalid(msg) => write!(f, "invalid snapshot: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Result alias for serving operations.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,499 @@
+//! Online spatial queries against a frozen snapshot.
+//!
+//! All values the engine serves are *representative* cell values in the
+//! §III-C sense: `Avg`/`Mode` group values apply to each member cell
+//! directly, `Sum` group values are divided by the group's valid-member
+//! count. The engine precomputes these per-(group, attribute)
+//! representatives once at load, using the same
+//! [`sr_core::representative`] function as [`sr_core::reconstruct_grid`],
+//! so a served value is bit-identical to the reconstructed grid's value
+//! for the same cell.
+
+use crate::snapshot::Snapshot;
+use sr_core::{representative, GroupId};
+use sr_grid::CellId;
+
+/// Answer to a point lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointAnswer {
+    /// Grid row of the queried location.
+    pub row: usize,
+    /// Grid column of the queried location.
+    pub col: usize,
+    /// Flat cell id.
+    pub cell: CellId,
+    /// Cell-group containing the cell.
+    pub group: GroupId,
+    /// Representative values per attribute; `None` when the cell is null
+    /// in the original dataset (it reconstructs to nothing).
+    pub values: Option<Vec<f64>>,
+}
+
+/// Per-attribute aggregate over a window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrAggregate {
+    /// Number of contributing (valid) cells.
+    pub count: usize,
+    /// Sum of representative values over contributing cells.
+    pub sum: f64,
+    /// Minimum representative value (`None` when no cell contributed).
+    pub min: Option<f64>,
+    /// Maximum representative value (`None` when no cell contributed).
+    pub max: Option<f64>,
+}
+
+impl AttrAggregate {
+    /// Mean representative value over contributing cells.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// Answer to a rectangular window query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowAnswer {
+    /// Total cells inside the window (valid or not).
+    pub cells: usize,
+    /// Valid cells inside the window.
+    pub valid_cells: usize,
+    /// Distinct cell-groups intersecting the window.
+    pub groups: usize,
+    /// One aggregate per attribute.
+    pub per_attr: Vec<AttrAggregate>,
+}
+
+impl WindowAnswer {
+    fn empty(num_attrs: usize) -> Self {
+        WindowAnswer {
+            cells: 0,
+            valid_cells: 0,
+            groups: 0,
+            per_attr: vec![AttrAggregate { count: 0, sum: 0.0, min: None, max: None }; num_attrs],
+        }
+    }
+}
+
+/// One result of a k-nearest-group query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NearestGroup {
+    /// The group id.
+    pub group: GroupId,
+    /// Geographic centroid latitude of the group's rectangle.
+    pub lat: f64,
+    /// Geographic centroid longitude of the group's rectangle.
+    pub lon: f64,
+    /// Euclidean distance (in coordinate units) from the query point.
+    pub distance: f64,
+    /// Representative values per attribute.
+    pub values: Vec<f64>,
+}
+
+/// Summary statistics of a loaded snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stats {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Total cells.
+    pub cells: usize,
+    /// Valid (non-null) cells.
+    pub valid_cells: usize,
+    /// Total cell-groups.
+    pub groups: usize,
+    /// Groups with a feature vector (the training instances).
+    pub valid_groups: usize,
+    /// Attributes per cell.
+    pub attrs: usize,
+    /// The loss budget the run was given.
+    pub theta: f64,
+    /// The achieved IFL.
+    pub ifl: f64,
+    /// Fraction of spatial cells removed, `1 − t / (m·n)`.
+    pub cell_reduction: f64,
+}
+
+/// A query engine over one snapshot, with precomputed per-group
+/// representatives and centroids.
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    snapshot: Snapshot,
+    /// Valid-member count per group (the §III-C divisor for `Sum`).
+    valid_counts: Vec<usize>,
+    /// `reps[g][k]`: the representative value every valid member cell of
+    /// group `g` carries for attribute `k`; `None` for null groups.
+    reps: Vec<Option<Vec<f64>>>,
+    /// Geographic centroid per group rectangle.
+    centroids: Vec<(f64, f64)>,
+}
+
+impl QueryEngine {
+    /// Builds the engine, precomputing representatives for every group.
+    pub fn new(snapshot: Snapshot) -> Self {
+        let partition = snapshot.partition();
+        let t = partition.num_groups();
+        let mut valid_counts = vec![0usize; t];
+        for (cell, &v) in snapshot.valid_mask().iter().enumerate() {
+            if v {
+                valid_counts[partition.group_of(cell as CellId) as usize] += 1;
+            }
+        }
+        let aggs = snapshot.agg_types();
+        let reps: Vec<Option<Vec<f64>>> = snapshot
+            .features()
+            .iter()
+            .enumerate()
+            .map(|(g, fv)| {
+                fv.as_ref().map(|fv| {
+                    fv.iter()
+                        .enumerate()
+                        .map(|(k, &v)| representative(v, aggs[k], valid_counts[g]))
+                        .collect()
+                })
+            })
+            .collect();
+        let bounds = snapshot.bounds();
+        let lat_step = (bounds.lat_max - bounds.lat_min) / snapshot.rows() as f64;
+        let lon_step = (bounds.lon_max - bounds.lon_min) / snapshot.cols() as f64;
+        let centroids = partition
+            .rects()
+            .iter()
+            .map(|rect| {
+                (
+                    bounds.lat_min + (rect.r0 + rect.r1 + 1) as f64 / 2.0 * lat_step,
+                    bounds.lon_min + (rect.c0 + rect.c1 + 1) as f64 / 2.0 * lon_step,
+                )
+            })
+            .collect();
+        QueryEngine { snapshot, valid_counts, reps, centroids }
+    }
+
+    /// The underlying snapshot.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// Representative values of one cell — exactly what
+    /// [`sr_core::reconstruct_grid`] would put there. `None` when the cell
+    /// is null in the original dataset.
+    pub fn cell_values(&self, cell: CellId) -> Option<&[f64]> {
+        if !self.snapshot.valid_mask()[cell as usize] {
+            return None;
+        }
+        self.reps[self.snapshot.partition().group_of(cell) as usize].as_deref()
+    }
+
+    /// Valid-member count of one group.
+    pub fn valid_count(&self, g: GroupId) -> usize {
+        self.valid_counts[g as usize]
+    }
+
+    /// Point lookup: maps `(lat, lon)` to its cell and serves the cell's
+    /// representative values. `None` when the location falls outside the
+    /// grid's bounds.
+    pub fn point(&self, lat: f64, lon: f64) -> Option<PointAnswer> {
+        let (row, col) =
+            self.snapshot.bounds().locate(lat, lon, self.snapshot.rows(), self.snapshot.cols())?;
+        let cell = (row * self.snapshot.cols() + col) as CellId;
+        let group = self.snapshot.partition().group_of(cell);
+        Some(PointAnswer {
+            row,
+            col,
+            cell,
+            group,
+            values: self.cell_values(cell).map(<[f64]>::to_vec),
+        })
+    }
+
+    /// Rectangular window aggregate: per-attribute count/sum/min/max of the
+    /// representative values of all valid cells whose cell rectangle center
+    /// falls in the window's cell range.
+    ///
+    /// The window is given in geographic coordinates; latitude and
+    /// longitude pairs may come in either order. Only the part overlapping
+    /// the grid's bounds contributes. The walk is over the cell-groups
+    /// whose rectangles intersect the window, so cost scales with the
+    /// number of groups, not cells.
+    pub fn window(&self, lat_a: f64, lat_b: f64, lon_a: f64, lon_b: f64) -> WindowAnswer {
+        let p = self.snapshot.num_attrs();
+        let (lat_lo, lat_hi) = (lat_a.min(lat_b), lat_a.max(lat_b));
+        let (lon_lo, lon_hi) = (lon_a.min(lon_b), lon_a.max(lon_b));
+        let b = self.snapshot.bounds();
+        if lat_lo.is_nan()
+            || lon_lo.is_nan()
+            || lat_hi < b.lat_min
+            || lat_lo > b.lat_max
+            || lon_hi < b.lon_min
+            || lon_lo > b.lon_max
+        {
+            return WindowAnswer::empty(p);
+        }
+        let (rows, cols) = (self.snapshot.rows(), self.snapshot.cols());
+        let (r_lo, c_lo) = b.locate_clamped(lat_lo, lon_lo, rows, cols);
+        let (r_hi, c_hi) = b.locate_clamped(lat_hi, lon_hi, rows, cols);
+
+        let mut out = WindowAnswer::empty(p);
+        out.cells = (r_hi - r_lo + 1) * (c_hi - c_lo + 1);
+        let valid = self.snapshot.valid_mask();
+        for (g, rect) in self.snapshot.partition().rects().iter().enumerate() {
+            // Intersection of the group rectangle with the window's cell
+            // range; empty intersections are skipped.
+            let ir0 = rect.r0.max(r_lo as u32);
+            let ir1 = rect.r1.min(r_hi as u32);
+            let ic0 = rect.c0.max(c_lo as u32);
+            let ic1 = rect.c1.min(c_hi as u32);
+            if ir0 > ir1 || ic0 > ic1 {
+                continue;
+            }
+            out.groups += 1;
+            // Every valid member in the intersection carries the same
+            // representative vector, so one bitmap pass gives the count
+            // and the per-attribute update is O(p).
+            let mut count = 0usize;
+            for r in ir0..=ir1 {
+                for c in ic0..=ic1 {
+                    if valid[r as usize * cols + c as usize] {
+                        count += 1;
+                    }
+                }
+            }
+            if count == 0 {
+                continue;
+            }
+            out.valid_cells += count;
+            if let Some(rep) = &self.reps[g] {
+                for (agg, &v) in out.per_attr.iter_mut().zip(rep) {
+                    agg.count += count;
+                    agg.sum += v * count as f64;
+                    agg.min = Some(agg.min.map_or(v, |m| m.min(v)));
+                    agg.max = Some(agg.max.map_or(v, |m| m.max(v)));
+                }
+            }
+        }
+        out
+    }
+
+    /// The `k` featured groups whose rectangle centroids lie nearest to
+    /// `(lat, lon)` (Euclidean in coordinate units), nearest first; ties
+    /// break toward the lower group id for determinism.
+    pub fn knn(&self, lat: f64, lon: f64, k: usize) -> Vec<NearestGroup> {
+        let mut scored: Vec<(f64, GroupId)> = self
+            .reps
+            .iter()
+            .enumerate()
+            .filter(|(_, rep)| rep.is_some())
+            .map(|(g, _)| {
+                let (clat, clon) = self.centroids[g];
+                let d2 = (clat - lat) * (clat - lat) + (clon - lon) * (clon - lon);
+                (d2, g as GroupId)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(d2, g)| {
+                let (clat, clon) = self.centroids[g as usize];
+                NearestGroup {
+                    group: g,
+                    lat: clat,
+                    lon: clon,
+                    distance: d2.sqrt(),
+                    values: self.reps[g as usize].clone().expect("featured group"),
+                }
+            })
+            .collect()
+    }
+
+    /// Snapshot summary statistics.
+    pub fn stats(&self) -> Stats {
+        let snap = &self.snapshot;
+        let cells = snap.num_cells();
+        let groups = snap.partition().num_groups();
+        Stats {
+            rows: snap.rows(),
+            cols: snap.cols(),
+            cells,
+            valid_cells: snap.valid_mask().iter().filter(|&&v| v).count(),
+            groups,
+            valid_groups: snap.features().iter().filter(|f| f.is_some()).count(),
+            attrs: snap.num_attrs(),
+            theta: snap.theta(),
+            ifl: snap.ifl(),
+            cell_reduction: 1.0 - groups as f64 / cells as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_core::{reconstruct_grid, repartition};
+    use sr_grid::{AggType, Bounds, GridDataset};
+
+    fn engine_and_grid() -> (QueryEngine, GridDataset) {
+        // Mixed-aggregation multivariate grid with a null hole.
+        let (rows, cols) = (10, 12);
+        let mut data = Vec::new();
+        for i in 0..rows * cols {
+            let (r, c) = (i / cols, i % cols);
+            data.push(50.0 + r as f64 * 0.6 + c as f64 * 0.3); // Avg
+            data.push((5 + (r + c) % 4) as f64); // Sum
+        }
+        let mut grid = GridDataset::new(
+            rows,
+            cols,
+            2,
+            data,
+            vec![true; rows * cols],
+            vec!["price".into(), "count".into()],
+            vec![AggType::Avg, AggType::Sum],
+            vec![false, false],
+            Bounds { lat_min: 40.0, lat_max: 41.0, lon_min: -74.0, lon_max: -73.0 },
+        )
+        .unwrap();
+        grid.set_null(17);
+        grid.set_null(18);
+        let out = repartition(&grid, 0.08).unwrap();
+        let snap = crate::Snapshot::build(&out.repartitioned, &grid, 0.08).unwrap();
+        (QueryEngine::new(snap), grid)
+    }
+
+    #[test]
+    fn cell_values_match_reconstruct_grid_exactly() {
+        let (engine, grid) = engine_and_grid();
+        let snap = engine.snapshot();
+        let rec = reconstruct_grid(&grid, snap.partition(), snap.features()).unwrap();
+        for cell in 0..grid.num_cells() as CellId {
+            match engine.cell_values(cell) {
+                Some(vals) => assert_eq!(Some(vals), rec.features(cell), "cell {cell}"),
+                None => assert!(rec.features(cell).is_none(), "cell {cell}"),
+            }
+        }
+    }
+
+    #[test]
+    fn point_lookup_hits_the_right_cell() {
+        let (engine, grid) = engine_and_grid();
+        for cell in [0u32, 5, 40, 119] {
+            let (lat, lon) = grid.cell_centroid(cell);
+            let ans = engine.point(lat, lon).unwrap();
+            assert_eq!(ans.cell, cell);
+            assert_eq!((ans.row, ans.col), grid.cell_pos(cell));
+            assert_eq!(ans.group, engine.snapshot().partition().group_of(cell));
+        }
+        // Null cell: located, but no values.
+        let (lat, lon) = grid.cell_centroid(17);
+        assert!(engine.point(lat, lon).unwrap().values.is_none());
+        // Outside the bounds: no answer.
+        assert!(engine.point(0.0, 0.0).is_none());
+        assert!(engine.point(f64::NAN, -73.5).is_none());
+    }
+
+    #[test]
+    fn window_matches_per_cell_scan() {
+        let (engine, grid) = engine_and_grid();
+        let snap = engine.snapshot();
+        let rec = reconstruct_grid(&grid, snap.partition(), snap.features()).unwrap();
+        let b = grid.bounds();
+        // A window covering cell rows 2..=6, cols 3..=9.
+        let lat_lo = b.lat_min + 2.05 * 0.1;
+        let lat_hi = b.lat_min + 6.05 * 0.1;
+        let lon_lo = b.lon_min + 3.05 * (1.0 / 12.0);
+        let lon_hi = b.lon_min + 9.05 * (1.0 / 12.0);
+        let ans = engine.window(lat_lo, lat_hi, lon_lo, lon_hi);
+        // Reference: direct scan over the reconstructed grid.
+        let mut count = 0usize;
+        let mut sum = [0.0f64; 2];
+        let (mut min, mut max) = ([f64::INFINITY; 2], [f64::NEG_INFINITY; 2]);
+        for r in 2..=6usize {
+            for c in 3..=9usize {
+                let id = grid.cell_id(r, c);
+                if let Some(fv) = rec.features(id) {
+                    count += 1;
+                    for k in 0..2 {
+                        sum[k] += fv[k];
+                        min[k] = min[k].min(fv[k]);
+                        max[k] = max[k].max(fv[k]);
+                    }
+                }
+            }
+        }
+        assert_eq!(ans.cells, 5 * 7);
+        assert_eq!(ans.valid_cells, count);
+        for k in 0..2 {
+            assert_eq!(ans.per_attr[k].count, count);
+            assert!((ans.per_attr[k].sum - sum[k]).abs() < 1e-9);
+            assert_eq!(ans.per_attr[k].min, Some(min[k]));
+            assert_eq!(ans.per_attr[k].max, Some(max[k]));
+            let mean = ans.per_attr[k].mean().unwrap();
+            assert!((mean - sum[k] / count as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn window_outside_bounds_is_empty() {
+        let (engine, _) = engine_and_grid();
+        let ans = engine.window(10.0, 20.0, 10.0, 20.0);
+        assert_eq!(ans.cells, 0);
+        assert_eq!(ans.groups, 0);
+        assert!(ans.per_attr[0].mean().is_none());
+    }
+
+    #[test]
+    fn window_swapped_corners_agree() {
+        let (engine, _) = engine_and_grid();
+        let a = engine.window(40.2, 40.7, -73.9, -73.2);
+        let b = engine.window(40.7, 40.2, -73.2, -73.9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn knn_orders_by_distance() {
+        let (engine, grid) = engine_and_grid();
+        let (lat, lon) = grid.cell_centroid(0);
+        let k = 5;
+        let nbs = engine.knn(lat, lon, k);
+        assert_eq!(nbs.len(), k.min(engine.stats().valid_groups));
+        for w in nbs.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+        // The nearest group must contain (or be closest to) the cell.
+        let brute_best = (0..engine.snapshot().partition().num_groups() as u32)
+            .filter(|&g| engine.snapshot().features()[g as usize].is_some())
+            .map(|g| {
+                let rect = engine.snapshot().partition().rect(g);
+                let b = grid.bounds();
+                let clat = b.lat_min + (rect.r0 + rect.r1 + 1) as f64 / 2.0 * 0.1;
+                let clon = b.lon_min + (rect.c0 + rect.c1 + 1) as f64 / 2.0 / 12.0;
+                (g, ((clat - lat).powi(2) + (clon - lon).powi(2)).sqrt())
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        assert_eq!(nbs[0].group, brute_best.0);
+        assert!((nbs[0].distance - brute_best.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knn_k_larger_than_groups_returns_all() {
+        let (engine, _) = engine_and_grid();
+        let nbs = engine.knn(40.5, -73.5, 10_000);
+        assert_eq!(nbs.len(), engine.stats().valid_groups);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let (engine, grid) = engine_and_grid();
+        let st = engine.stats();
+        assert_eq!(st.rows, 10);
+        assert_eq!(st.cols, 12);
+        assert_eq!(st.cells, 120);
+        assert_eq!(st.valid_cells, 118);
+        assert_eq!(st.groups, engine.snapshot().partition().num_groups());
+        assert!(st.valid_groups <= st.groups);
+        assert_eq!(st.attrs, 2);
+        assert!(st.ifl <= st.theta);
+        assert!((st.cell_reduction - (1.0 - st.groups as f64 / 120.0)).abs() < 1e-12);
+        assert_eq!(grid.num_valid_cells(), st.valid_cells);
+    }
+}

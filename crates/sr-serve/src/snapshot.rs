@@ -1,0 +1,735 @@
+//! The `sr-snap v1` binary snapshot format.
+//!
+//! A snapshot freezes everything the online query path needs from one
+//! accepted re-partitioning run: the partition (`gIndex` + `cIndex`), the
+//! allocated group feature vectors (Algorithm 2 output), the group
+//! adjacency lists (Algorithm 3 output), the input grid's validity bitmap
+//! (needed to un-sum `Sum` attributes per §III-C), the attribute schema,
+//! the geographic bounds, and the run parameters (`θ`, achieved IFL,
+//! accepted min-adjacent variation).
+//!
+//! ## Layout (all integers little-endian, all `f64` as IEEE-754 bits)
+//!
+//! | section        | contents                                              |
+//! |----------------|-------------------------------------------------------|
+//! | magic          | `b"SRSNAP"` (6 bytes)                                 |
+//! | version        | `u16` = 1                                             |
+//! | shape          | `rows: u32`, `cols: u32`, `num_groups: u32`, `num_attrs: u32` |
+//! | run params     | `theta: f64`, `ifl: f64`, `min_adjacent_variation: f64` |
+//! | bounds         | `lat_min, lat_max, lon_min, lon_max: f64`             |
+//! | attrs          | per attribute: `name_len: u16`, UTF-8 name, `agg: u8` (0=Sum, 1=Avg, 2=Mode), `integer: u8` (0/1) |
+//! | valid bitmap   | `⌈rows·cols / 8⌉` bytes, cell `i` at bit `i % 8` (LSB-first) of byte `i / 8` |
+//! | groups         | per group: `r0, r1, c0, c1: u32` (inclusive)          |
+//! | cell_to_group  | `rows·cols × u32`, row-major                          |
+//! | features       | per group: `present: u8` (0/1), then `num_attrs × f64` if present |
+//! | adjacency      | per group: `degree: u32`, then `degree × u32` neighbor ids |
+//! | trailer        | CRC-32 (IEEE 802.3) over every preceding byte, `u32`  |
+//!
+//! `f64` values travel as raw bit patterns, so write → read → write
+//! reproduces the input byte-for-byte (including negative zeros and NaN
+//! payloads). The trailer rejects any single-byte corruption.
+
+use crate::{Result, ServeError};
+use sr_core::{GroupRect, Partition, Repartitioned};
+use sr_grid::{AdjacencyList, AggType, Bounds, GridDataset};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 6] = b"SRSNAP";
+const VERSION: u16 = 1;
+/// Upper bound on `rows · cols`, a guard against pathological headers
+/// driving allocation (well above the paper's 100k-cell grids).
+const MAX_CELLS: usize = 1 << 28;
+/// Upper bound on attributes per cell.
+const MAX_ATTRS: usize = 4096;
+
+/// An immutable, serializable view of one accepted re-partitioning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    rows: usize,
+    cols: usize,
+    theta: f64,
+    ifl: f64,
+    min_adjacent_variation: f64,
+    bounds: Bounds,
+    attr_names: Vec<String>,
+    agg_types: Vec<AggType>,
+    integer_attrs: Vec<bool>,
+    valid: Vec<bool>,
+    partition: Partition,
+    features: Vec<Option<Vec<f64>>>,
+    adjacency: AdjacencyList,
+}
+
+impl Snapshot {
+    /// Freezes an accepted run into a snapshot. `original` must be the grid
+    /// `rep` was computed from (it supplies the validity bitmap); `theta` is
+    /// the loss budget the run was given, kept for cache keying.
+    pub fn build(rep: &Repartitioned, original: &GridDataset, theta: f64) -> Result<Snapshot> {
+        if rep.partition().rows() != original.rows()
+            || rep.partition().cols() != original.cols()
+            || rep.attr_names().len() != original.num_attrs()
+        {
+            return Err(ServeError::Invalid(
+                "repartitioned result does not match the original grid's shape".into(),
+            ));
+        }
+        Snapshot::from_parts(
+            theta,
+            rep.ifl(),
+            rep.min_adjacent_variation(),
+            original.bounds(),
+            rep.attr_names().to_vec(),
+            rep.agg_types().to_vec(),
+            rep.integer_attrs().to_vec(),
+            original.valid_mask().to_vec(),
+            rep.partition().clone(),
+            rep.features().to_vec(),
+            rep.adjacency(),
+        )
+    }
+
+    /// Assembles a snapshot from raw parts, checking every cross-section
+    /// invariant the binary reader also enforces.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        theta: f64,
+        ifl: f64,
+        min_adjacent_variation: f64,
+        bounds: Bounds,
+        attr_names: Vec<String>,
+        agg_types: Vec<AggType>,
+        integer_attrs: Vec<bool>,
+        valid: Vec<bool>,
+        partition: Partition,
+        features: Vec<Option<Vec<f64>>>,
+        adjacency: AdjacencyList,
+    ) -> Result<Snapshot> {
+        let s = Snapshot {
+            rows: partition.rows(),
+            cols: partition.cols(),
+            theta,
+            ifl,
+            min_adjacent_variation,
+            bounds,
+            attr_names,
+            agg_types,
+            integer_attrs,
+            valid,
+            partition,
+            features,
+            adjacency,
+        };
+        s.validate()?;
+        Ok(s)
+    }
+
+    fn validate(&self) -> Result<()> {
+        let invalid = |msg: String| Err(ServeError::Invalid(msg));
+        let cells = self.rows * self.cols;
+        let p = self.attr_names.len();
+        if self.rows == 0 || self.cols == 0 || p == 0 {
+            return invalid("empty grid or schema".into());
+        }
+        if cells > MAX_CELLS || p > MAX_ATTRS {
+            return invalid("grid or schema exceeds format limits".into());
+        }
+        if self.agg_types.len() != p || self.integer_attrs.len() != p {
+            return invalid("attribute metadata lengths differ".into());
+        }
+        if self.valid.len() != cells {
+            return invalid("validity bitmap length != rows * cols".into());
+        }
+        let t = self.partition.num_groups();
+        if t == 0 || t > cells {
+            return invalid(format!("group count {t} out of range for {cells} cells"));
+        }
+        if self.features.len() != t {
+            return invalid("feature table length != group count".into());
+        }
+        if self.adjacency.len() != t {
+            return invalid("adjacency length != group count".into());
+        }
+        // The rectangles must tile the grid, and cIndex must agree with
+        // gIndex exactly (the release-mode version of Partition::new's
+        // debug assertions — snapshot bytes are untrusted input).
+        let mut counted = 0usize;
+        for gid in 0..t as u32 {
+            let rect = self.partition.rect(gid);
+            if rect.r0 > rect.r1
+                || rect.c0 > rect.c1
+                || rect.r1 as usize >= self.rows
+                || rect.c1 as usize >= self.cols
+            {
+                return invalid(format!("group {gid} rectangle out of grid bounds"));
+            }
+            counted += rect.len();
+            if counted > cells {
+                return invalid("group rectangles overlap or exceed the grid".into());
+            }
+            for cell in self.partition.cells_iter(gid) {
+                if self.partition.group_of(cell) != gid {
+                    return invalid(format!(
+                        "cell {cell} not mapped to its containing group {gid}"
+                    ));
+                }
+            }
+        }
+        if counted != cells {
+            return invalid("group rectangles do not tile the grid".into());
+        }
+        for (gid, fv) in self.features.iter().enumerate() {
+            if let Some(fv) = fv {
+                if fv.len() != p {
+                    return invalid(format!("group {gid} feature vector length != num_attrs"));
+                }
+            }
+        }
+        // A valid cell must belong to a featured group (Algorithm 2 gives
+        // features to every group with at least one valid member); the
+        // query engine relies on this to equate the validity bitmap with
+        // reconstruction validity.
+        for (cell, &v) in self.valid.iter().enumerate() {
+            if v && self.features[self.partition.group_of(cell as u32) as usize].is_none() {
+                return invalid(format!("valid cell {cell} belongs to a null group"));
+            }
+        }
+        for gid in 0..t as u32 {
+            for &nb in self.adjacency.neighbors(gid) {
+                if nb as usize >= t {
+                    return invalid(format!("group {gid} has out-of-range neighbor {nb}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total cells, `rows · cols`.
+    pub fn num_cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Attributes per cell.
+    pub fn num_attrs(&self) -> usize {
+        self.attr_names.len()
+    }
+
+    /// The loss budget `θ` the run was given.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The achieved IFL of the frozen partition.
+    pub fn ifl(&self) -> f64 {
+        self.ifl
+    }
+
+    /// The accepted min-adjacent variation.
+    pub fn min_adjacent_variation(&self) -> f64 {
+        self.min_adjacent_variation
+    }
+
+    /// Geographic bounds of the grid.
+    pub fn bounds(&self) -> Bounds {
+        self.bounds
+    }
+
+    /// Attribute names.
+    pub fn attr_names(&self) -> &[String] {
+        &self.attr_names
+    }
+
+    /// Per-attribute aggregation types.
+    pub fn agg_types(&self) -> &[AggType] {
+        &self.agg_types
+    }
+
+    /// Per-attribute integer-typed flags.
+    pub fn integer_attrs(&self) -> &[bool] {
+        &self.integer_attrs
+    }
+
+    /// The original grid's validity bitmap (cell id → non-null).
+    pub fn valid_mask(&self) -> &[bool] {
+        &self.valid
+    }
+
+    /// The frozen partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Allocated group feature vectors (`None` = null group).
+    pub fn features(&self) -> &[Option<Vec<f64>>] {
+        &self.features
+    }
+
+    /// Group adjacency lists (Algorithm 3 output).
+    pub fn adjacency(&self) -> &AdjacencyList {
+        &self.adjacency
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (the standard zlib/PNG checksum).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+/// Serializes a snapshot to its `sr-snap v1` byte representation
+/// (checksum trailer included). Deterministic: equal snapshots produce
+/// equal bytes.
+pub fn snapshot_to_bytes(s: &Snapshot) -> Vec<u8> {
+    let cells = s.num_cells();
+    let p = s.num_attrs();
+    let t = s.partition.num_groups();
+    let mut buf = Vec::with_capacity(64 + cells.div_ceil(8) + cells * 4 + t * (17 + p * 8));
+
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(s.rows as u32).to_le_bytes());
+    buf.extend_from_slice(&(s.cols as u32).to_le_bytes());
+    buf.extend_from_slice(&(t as u32).to_le_bytes());
+    buf.extend_from_slice(&(p as u32).to_le_bytes());
+    for v in [s.theta, s.ifl, s.min_adjacent_variation] {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    for v in [s.bounds.lat_min, s.bounds.lat_max, s.bounds.lon_min, s.bounds.lon_max] {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    for k in 0..p {
+        let name = s.attr_names[k].as_bytes();
+        buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        buf.extend_from_slice(name);
+        buf.push(match s.agg_types[k] {
+            AggType::Sum => 0,
+            AggType::Avg => 1,
+            AggType::Mode => 2,
+        });
+        buf.push(s.integer_attrs[k] as u8);
+    }
+    let mut bitmap = vec![0u8; cells.div_ceil(8)];
+    for (i, &v) in s.valid.iter().enumerate() {
+        if v {
+            bitmap[i / 8] |= 1 << (i % 8);
+        }
+    }
+    buf.extend_from_slice(&bitmap);
+    for rect in s.partition.rects() {
+        for v in [rect.r0, rect.r1, rect.c0, rect.c1] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    for &g in s.partition.cell_to_group() {
+        buf.extend_from_slice(&g.to_le_bytes());
+    }
+    for fv in &s.features {
+        match fv {
+            Some(fv) => {
+                buf.push(1);
+                for &v in fv {
+                    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+            None => buf.push(0),
+        }
+    }
+    for gid in 0..t as u32 {
+        let nbs = s.adjacency.neighbors(gid);
+        buf.extend_from_slice(&(nbs.len() as u32).to_le_bytes());
+        for &nb in nbs {
+            buf.extend_from_slice(&nb.to_le_bytes());
+        }
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// A bounds-checked little-endian reader over the payload bytes.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(ServeError::Format { offset: self.pos, message: message.into() })
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return self
+                .err(format!("truncated: need {n} bytes, {} remain", self.buf.len() - self.pos));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap())))
+    }
+}
+
+/// Parses `sr-snap v1` bytes back into a [`Snapshot`], verifying the
+/// checksum first and every structural invariant afterwards.
+pub fn snapshot_from_bytes(buf: &[u8]) -> Result<Snapshot> {
+    if buf.len() < MAGIC.len() + 2 + 4 {
+        return Err(ServeError::Format {
+            offset: usize::MAX,
+            message: format!("file too short ({} bytes) to be a snapshot", buf.len()),
+        });
+    }
+    let (payload, trailer) = buf.split_at(buf.len() - 4);
+    let stored = u32::from_le_bytes(trailer.try_into().unwrap());
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(ServeError::Checksum { stored, computed });
+    }
+
+    let mut r = Reader { buf: payload, pos: 0 };
+    if r.bytes(MAGIC.len())? != MAGIC {
+        return Err(ServeError::Format {
+            offset: 0,
+            message: "bad magic: not an sr-snap file".into(),
+        });
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return r.err(format!("unsupported snapshot version {version} (expected {VERSION})"));
+    }
+    let rows = r.u32()? as usize;
+    let cols = r.u32()? as usize;
+    let num_groups = r.u32()? as usize;
+    let num_attrs = r.u32()? as usize;
+    if rows == 0 || cols == 0 {
+        return r.err("zero rows or columns");
+    }
+    let cells =
+        rows.checked_mul(cols).filter(|&n| n <= MAX_CELLS).ok_or_else(|| ServeError::Format {
+            offset: r.pos,
+            message: format!("grid {rows}x{cols} exceeds the format's cell limit"),
+        })?;
+    if num_groups == 0 || num_groups > cells {
+        return r.err(format!("group count {num_groups} out of range for {cells} cells"));
+    }
+    if num_attrs == 0 || num_attrs > MAX_ATTRS {
+        return r.err(format!("attribute count {num_attrs} out of range"));
+    }
+    let theta = r.f64()?;
+    let ifl = r.f64()?;
+    let min_adjacent_variation = r.f64()?;
+    let bounds =
+        Bounds { lat_min: r.f64()?, lat_max: r.f64()?, lon_min: r.f64()?, lon_max: r.f64()? };
+
+    let mut attr_names = Vec::with_capacity(num_attrs);
+    let mut agg_types = Vec::with_capacity(num_attrs);
+    let mut integer_attrs = Vec::with_capacity(num_attrs);
+    for _ in 0..num_attrs {
+        let len = r.u16()? as usize;
+        let name_pos = r.pos;
+        let name = std::str::from_utf8(r.bytes(len)?)
+            .map_err(|e| ServeError::Format {
+                offset: name_pos,
+                message: format!("attribute name is not UTF-8: {e}"),
+            })?
+            .to_string();
+        let agg = match r.u8()? {
+            0 => AggType::Sum,
+            1 => AggType::Avg,
+            2 => AggType::Mode,
+            other => return r.err(format!("unknown aggregation code {other}")),
+        };
+        let integer = match r.u8()? {
+            0 => false,
+            1 => true,
+            other => return r.err(format!("integer flag must be 0/1, got {other}")),
+        };
+        attr_names.push(name);
+        agg_types.push(agg);
+        integer_attrs.push(integer);
+    }
+
+    let bitmap = r.bytes(cells.div_ceil(8))?;
+    let valid: Vec<bool> = (0..cells).map(|i| bitmap[i / 8] >> (i % 8) & 1 == 1).collect();
+
+    let mut groups = Vec::with_capacity(num_groups);
+    for _ in 0..num_groups {
+        groups.push(GroupRect { r0: r.u32()?, r1: r.u32()?, c0: r.u32()?, c1: r.u32()? });
+    }
+    let mut cell_to_group = Vec::with_capacity(cells);
+    for _ in 0..cells {
+        let g = r.u32()?;
+        if g as usize >= num_groups {
+            return r.err(format!("cell mapped to out-of-range group {g}"));
+        }
+        cell_to_group.push(g);
+    }
+    // Rectangle sanity must hold before Partition::new (whose debug
+    // assertions index cells by rectangle coordinates).
+    for (gid, rect) in groups.iter().enumerate() {
+        if rect.r0 > rect.r1
+            || rect.c0 > rect.c1
+            || rect.r1 as usize >= rows
+            || rect.c1 as usize >= cols
+        {
+            return r.err(format!("group {gid} rectangle out of grid bounds"));
+        }
+    }
+    let mut counted = 0usize;
+    for (gid, rect) in groups.iter().enumerate() {
+        counted += rect.len();
+        if counted > cells {
+            return r.err("group rectangles overlap or exceed the grid");
+        }
+        for (row, col) in rect.cells() {
+            if cell_to_group[row as usize * cols + col as usize] as usize != gid {
+                return r.err(format!("cell ({row},{col}) not mapped to its group {gid}"));
+            }
+        }
+    }
+    if counted != cells {
+        return r.err("group rectangles do not tile the grid");
+    }
+    let partition = Partition::new(rows, cols, groups, cell_to_group);
+
+    let mut features = Vec::with_capacity(num_groups);
+    for gid in 0..num_groups {
+        match r.u8()? {
+            0 => features.push(None),
+            1 => {
+                let mut fv = Vec::with_capacity(num_attrs);
+                for _ in 0..num_attrs {
+                    fv.push(r.f64()?);
+                }
+                features.push(Some(fv));
+            }
+            other => return r.err(format!("group {gid} presence flag must be 0/1, got {other}")),
+        }
+    }
+
+    let mut neighbors = Vec::with_capacity(num_groups);
+    for gid in 0..num_groups {
+        let degree = r.u32()? as usize;
+        if degree > num_groups {
+            return r.err(format!("group {gid} degree {degree} exceeds group count"));
+        }
+        let mut nbs = Vec::with_capacity(degree);
+        for _ in 0..degree {
+            let nb = r.u32()?;
+            if nb as usize >= num_groups {
+                return r.err(format!("group {gid} has out-of-range neighbor {nb}"));
+            }
+            nbs.push(nb);
+        }
+        neighbors.push(nbs);
+    }
+    if r.pos != payload.len() {
+        return r.err(format!("{} trailing bytes after the last section", payload.len() - r.pos));
+    }
+
+    Snapshot::from_parts(
+        theta,
+        ifl,
+        min_adjacent_variation,
+        bounds,
+        attr_names,
+        agg_types,
+        integer_attrs,
+        valid,
+        partition,
+        features,
+        AdjacencyList::from_neighbors(neighbors),
+    )
+}
+
+/// Writes a snapshot to `w` in `sr-snap v1` format.
+pub fn write_snapshot<W: Write>(mut w: W, s: &Snapshot) -> Result<()> {
+    w.write_all(&snapshot_to_bytes(s))?;
+    Ok(())
+}
+
+/// Reads a snapshot from `r`, consuming it to EOF.
+pub fn read_snapshot<R: Read>(mut r: R) -> Result<Snapshot> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    snapshot_from_bytes(&buf)
+}
+
+/// Saves a snapshot to a file.
+pub fn save_snapshot(s: &Snapshot, path: impl AsRef<Path>) -> Result<()> {
+    std::fs::write(path, snapshot_to_bytes(s))?;
+    Ok(())
+}
+
+/// Loads a snapshot from a file.
+pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Snapshot> {
+    snapshot_from_bytes(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sr_core::repartition;
+
+    fn sample_snapshot() -> Snapshot {
+        let vals: Vec<f64> =
+            (0..64).map(|i| 100.0 + (i / 8) as f64 * 0.7 + (i % 8) as f64 * 0.4).collect();
+        let mut grid = GridDataset::univariate(8, 8, vals).unwrap();
+        grid.set_null(63);
+        let out = repartition(&grid, 0.05).unwrap();
+        Snapshot::build(&out.repartitioned, &grid, 0.05).unwrap()
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vectors for CRC-32/IEEE.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let snap = sample_snapshot();
+        let bytes = snapshot_to_bytes(&snap);
+        let back = snapshot_from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+        // Write → read → write must reproduce identical bytes.
+        assert_eq!(snapshot_to_bytes(&back), bytes);
+    }
+
+    #[test]
+    fn every_corrupted_byte_is_rejected() {
+        let snap = sample_snapshot();
+        let bytes = snapshot_to_bytes(&snap);
+        // Flipping any single bit anywhere must fail (checksum for payload
+        // bytes, checksum mismatch for trailer bytes). Exhaustive over a
+        // stride to keep the test fast.
+        for i in (0..bytes.len()).step_by(7) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(snapshot_from_bytes(&bad).is_err(), "corruption at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let bytes = snapshot_to_bytes(&sample_snapshot());
+        for cut in [0, 1, 5, 11, bytes.len() / 2, bytes.len() - 1] {
+            assert!(snapshot_from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        let bytes = snapshot_to_bytes(&sample_snapshot());
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        // Re-seal the checksum so the magic check itself is exercised.
+        let n = wrong_magic.len();
+        let crc = crc32(&wrong_magic[..n - 4]).to_le_bytes();
+        wrong_magic[n - 4..].copy_from_slice(&crc);
+        assert!(matches!(
+            snapshot_from_bytes(&wrong_magic),
+            Err(ServeError::Format { offset: 0, .. })
+        ));
+
+        let mut wrong_version = bytes.clone();
+        wrong_version[6] = 9;
+        let crc = crc32(&wrong_version[..n - 4]).to_le_bytes();
+        wrong_version[n - 4..].copy_from_slice(&crc);
+        assert!(matches!(snapshot_from_bytes(&wrong_version), Err(ServeError::Format { .. })));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let snap = sample_snapshot();
+        let path = std::env::temp_dir().join(format!("sr_snap_test_{}.snap", std::process::id()));
+        save_snapshot(&snap, &path).unwrap();
+        let back = load_snapshot(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn build_rejects_mismatched_grid() {
+        let vals: Vec<f64> = (0..36).map(|i| i as f64).collect();
+        let grid = GridDataset::univariate(6, 6, vals).unwrap();
+        let out = repartition(&grid, 0.2).unwrap();
+        let other = GridDataset::univariate(3, 3, vec![1.0; 9]).unwrap();
+        assert!(matches!(
+            Snapshot::build(&out.repartitioned, &other, 0.2),
+            Err(ServeError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn nan_and_negative_zero_survive() {
+        // Bit-exactness must cover non-finite and signed-zero payloads in
+        // the run-parameter fields.
+        let vals = vec![1.0, 1.0, 1.0, 1.0];
+        let grid = GridDataset::univariate(2, 2, vals).unwrap();
+        let out = repartition(&grid, 0.05).unwrap();
+        let mut snap = Snapshot::build(&out.repartitioned, &grid, 0.05).unwrap();
+        snap.theta = -0.0;
+        snap.min_adjacent_variation = f64::NAN;
+        let bytes = snapshot_to_bytes(&snap);
+        let back = snapshot_from_bytes(&bytes).unwrap();
+        assert_eq!(back.theta.to_bits(), (-0.0f64).to_bits());
+        assert!(back.min_adjacent_variation.is_nan());
+        assert_eq!(snapshot_to_bytes(&back), bytes);
+    }
+}

@@ -87,7 +87,8 @@ fn main() {
         let gb_f1 = weighted_f1(&ql, &gb.predict(&qx), table1::NUM_CLASSES);
 
         let start = Instant::now();
-        let knn = KnnClassifier::fit(&tx, &tl, table1::NUM_CLASSES, &table1::knn()).expect("knn fit");
+        let knn =
+            KnnClassifier::fit(&tx, &tl, table1::NUM_CLASSES, &table1::knn()).expect("knn fit");
         let knn_secs = start.elapsed().as_secs_f64();
         let knn_f1 = weighted_f1(&ql, &knn.predict(&qx), table1::NUM_CLASSES);
 

@@ -26,10 +26,8 @@ fn main() {
 
     // ── Baseline: cluster the raw cells. ────────────────────────────────
     let norm = normalize_attributes(&grid);
-    let cell_features: Vec<Vec<f64>> = norm
-        .valid_cells()
-        .map(|id| norm.features_unchecked(id).to_vec())
-        .collect();
+    let cell_features: Vec<Vec<f64>> =
+        norm.valid_cells().map(|id| norm.features_unchecked(id).to_vec()).collect();
     let cell_adj = AdjacencyList::rook_from_grid(&grid).restrict(grid.valid_mask());
     let start = Instant::now();
     let base = schc_cluster(&cell_features, &cell_adj, &SchcParams { num_clusters: CLUSTERS })
@@ -58,11 +56,8 @@ fn main() {
             .flat_map(|f| f.iter())
             .fold(0.0f64, |m, v| m.max(v.abs()))
             .max(f64::MIN_POSITIVE);
-        let feats: Vec<Vec<f64>> = prep
-            .features
-            .iter()
-            .map(|f| f.iter().map(|v| v / max).collect())
-            .collect();
+        let feats: Vec<Vec<f64>> =
+            prep.features.iter().map(|f| f.iter().map(|v| v / max).collect()).collect();
 
         let start = Instant::now();
         let res = schc_cluster(&feats, &prep.adjacency, &SchcParams { num_clusters: CLUSTERS })

@@ -24,11 +24,7 @@ fn class_name(code: f64) -> &'static str {
 
 fn main() {
     let grid = land_use::mixed(48, 48, 11);
-    println!(
-        "land-use grid: {} cells, attributes {:?}",
-        grid.num_cells(),
-        grid.attr_names()
-    );
+    println!("land-use grid: {} cells, attributes {:?}", grid.num_cells(), grid.attr_names());
 
     // Class distribution of the input.
     let mut counts = std::collections::BTreeMap::new();

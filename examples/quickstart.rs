@@ -14,7 +14,8 @@ fn main() {
     for i in 0..4000 {
         let lat = (i % 63) as f64 / 63.0;
         let lon = ((i * 37) % 71) as f64 / 71.0;
-        let price = 150_000.0 + 200_000.0 * (lat + lon) / 2.0 + 8_000.0 * ((i * 7919) % 13) as f64 / 13.0;
+        let price =
+            150_000.0 + 200_000.0 * (lat + lon) / 2.0 + 8_000.0 * ((i * 7919) % 13) as f64 / 13.0;
         records.push(PointRecord { lat, lon, values: vec![price] });
     }
 
@@ -29,7 +30,13 @@ fn main() {
     )
     .expect("valid schema");
     let grid = builder.build(&records).expect("consistent records");
-    println!("grid: {}x{} = {} cells ({} valid)", grid.rows(), grid.cols(), grid.num_cells(), grid.num_valid_cells());
+    println!(
+        "grid: {}x{} = {} cells ({} valid)",
+        grid.rows(),
+        grid.cols(),
+        grid.num_cells(),
+        grid.num_valid_cells()
+    );
 
     // The raw grid is spatially autocorrelated — the property the framework
     // preserves and sampling destroys.
@@ -50,17 +57,23 @@ fn main() {
         outcome.cell_reduction() * 100.0,
         rep.ifl(),
     );
-    println!("driver ran {} iterations; final min-adjacent variation {:.5}",
-        outcome.iterations.len(), rep.min_adjacent_variation());
+    println!(
+        "driver ran {} iterations; final min-adjacent variation {:.5}",
+        outcome.iterations.len(),
+        rep.min_adjacent_variation()
+    );
 
     // Every cell-group is a rectangle; show the largest.
-    let largest = (0..rep.num_groups() as u32)
-        .max_by_key(|&g| rep.partition().rect(g).len())
-        .unwrap();
+    let largest =
+        (0..rep.num_groups() as u32).max_by_key(|&g| rep.partition().rect(g).len()).unwrap();
     let rect = rep.partition().rect(largest);
     println!(
         "largest group: rows {}..={}, cols {}..={} ({} cells)",
-        rect.r0, rect.r1, rect.c0, rect.c1, rect.len()
+        rect.r0,
+        rect.r1,
+        rect.c0,
+        rect.c1,
+        rect.len()
     );
 
     // ── 4. Training-ready views (§III-B). ───────────────────────────────

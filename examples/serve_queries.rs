@@ -1,0 +1,66 @@
+//! Serving demo: repartition a grid, freeze it as an `sr-snap v1`
+//! snapshot, load it through the LRU cache, start the HTTP server on an
+//! ephemeral port, and issue a few queries over real TCP.
+//!
+//! Run: `cargo run --release --example serve_queries`
+
+use spatial_repartition::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn get(addr: std::net::SocketAddr, target: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: demo\r\nConnection: close\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or(response)
+}
+
+fn main() {
+    // Offline side: build and freeze a re-partitioned dataset.
+    let grid = Dataset::TaxiMultivariate.generate(GridSize::Custom(40, 40), 7);
+    let theta = 0.05;
+    let outcome = repartition(&grid, theta).unwrap();
+    let rep = &outcome.repartitioned;
+    println!(
+        "repartitioned: {} cells -> {} groups (IFL {:.4} <= {theta})",
+        grid.num_cells(),
+        rep.num_groups(),
+        rep.ifl()
+    );
+
+    let snap = Snapshot::build(rep, &grid, theta).unwrap();
+    let path = std::env::temp_dir().join(format!("serve_queries_demo_{}.snap", std::process::id()));
+    save_snapshot(&snap, &path).unwrap();
+    println!("snapshot: {} ({} bytes)", path.display(), std::fs::metadata(&path).unwrap().len());
+
+    // Online side: warm the cache and serve.
+    let cache = SnapshotCache::new(4);
+    let engine: Arc<QueryEngine> = cache.get_or_load(&path, theta).unwrap();
+    let mut handle = serve(engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = handle.addr();
+    println!("serving on http://{addr}\n");
+
+    let (lat, lon) = grid.cell_centroid(grid.cell_id(20, 20));
+    println!("GET /stats\n  {}", get(addr, "/stats"));
+    println!(
+        "GET /point?lat={lat:.4}&lon={lon:.4}\n  {}",
+        get(addr, &format!("/point?lat={lat}&lon={lon}"))
+    );
+    let b = grid.bounds();
+    let mid_lat = (b.lat_min + b.lat_max) / 2.0;
+    let mid_lon = (b.lon_min + b.lon_max) / 2.0;
+    println!(
+        "GET /window (north-east quadrant)\n  {}",
+        get(
+            addr,
+            &format!("/window?lat0={mid_lat}&lat1={}&lon0={mid_lon}&lon1={}", b.lat_max, b.lon_max)
+        )
+    );
+    println!("GET /knn?k=3\n  {}", get(addr, &format!("/knn?lat={lat}&lon={lon}&k=3")));
+
+    handle.shutdown();
+    std::fs::remove_file(&path).ok();
+    println!("\nserver stopped (cache: {} hit(s), {} miss(es))", cache.hits(), cache.misses());
+}

@@ -15,17 +15,10 @@ use spatial_repartition::datasets::{Dataset, GridSize};
 fn main() {
     let grid = Dataset::TaxiUnivariate.generate(GridSize::Tiny, 4);
     let n_cells = grid.num_cells();
-    println!(
-        "taxi grid: {} cells; building streaming re-partitioner at theta = 0.10",
-        n_cells
-    );
+    println!("taxi grid: {} cells; building streaming re-partitioner at theta = 0.10", n_cells);
 
     let mut stream = StreamingRepartitioner::new(grid, 0.10).expect("valid threshold");
-    println!(
-        "initial: {} groups, IFL {:.4}\n",
-        stream.num_groups(),
-        stream.ifl()
-    );
+    println!("initial: {} groups, IFL {:.4}\n", stream.num_groups(), stream.ifl());
 
     println!("day  updates  groups  fragmentation  IFL     action");
     let mut compactions = 0;
@@ -34,10 +27,7 @@ fn main() {
         let updates: Vec<CellUpdate> = (0..40u64)
             .map(|i| {
                 let cell = ((day * 131 + i * 97) % n_cells as u64) as u32;
-                let base = stream
-                    .grid()
-                    .features(cell)
-                    .map_or(25.0, |f| f[0]);
+                let base = stream.grid().features(cell).map_or(25.0, |f| f[0]);
                 // ±10% demand drift, floored at one pickup.
                 let drift = 1.0 + 0.1 * (((day + i) % 5) as f64 - 2.0) / 2.0;
                 CellUpdate { cell, features: Some(vec![(base * drift).round().max(1.0)]) }

@@ -16,11 +16,7 @@ use std::time::Instant;
 
 fn main() {
     let grid = Dataset::TaxiUnivariate.generate(GridSize::Tiny, 3);
-    println!(
-        "taxi pickups grid: {} cells ({} valid)\n",
-        grid.num_cells(),
-        grid.num_valid_cells()
-    );
+    println!("taxi pickups grid: {} cells ({} valid)\n", grid.num_cells(), grid.num_valid_cells());
 
     // Observation sets: (name, coords, per-cell pickup intensity).
     type ObservationSet = (String, Vec<(f64, f64)>, Vec<f64>);
@@ -53,7 +49,10 @@ fn main() {
         ));
     }
 
-    println!("{:<36} {:>10} {:>10} {:>9} {:>9}", "observations", "fit+predict", "variogram range", "MAE", "RMSE");
+    println!(
+        "{:<36} {:>10} {:>10} {:>9} {:>9}",
+        "observations", "fit+predict", "variogram range", "MAE", "RMSE"
+    );
     for (name, coords, values) in &sets {
         let (train, test) = train_test_split(coords.len(), 0.2, 11);
         let tc: Vec<(f64, f64)> = train.iter().map(|&i| coords[i]).collect();

@@ -22,14 +22,7 @@ fn main() {
             out.cell_reduction() * 100.0,
             rep.ifl()
         );
-        println!(
-            "{}",
-            render_partition(
-                rep.partition().cell_to_group(),
-                grid.rows(),
-                grid.cols()
-            )
-        );
+        println!("{}", render_partition(rep.partition().cell_to_group(), grid.rows(), grid.cols()));
         let reconstructed = rep.reconstruct(&grid).expect("same shape");
         println!("reconstructed values at theta = {theta}:");
         println!("{}", render_heatmap(&reconstructed, 0, 60));

@@ -12,6 +12,11 @@
 //!   TSV of cell-groups (id, rectangle, features).
 //! - `homogeneous --in FILE --rows K --cols K`
 //!   reports the §III-D homogeneous-merge IFL.
+//! - `snapshot --in FILE --theta T --out FILE.snap [--strided]`
+//!   re-partitions a grid and freezes the result as an `sr-snap v1`
+//!   snapshot for online serving.
+//! - `serve --snapshot FILE.snap [--addr HOST:PORT] [--threads N]`
+//!   serves point/window/knn/stats queries over HTTP from a snapshot.
 //!
 //! Example round trip:
 //!
@@ -19,6 +24,8 @@
 //! srtool generate --dataset taxi-uni --size tiny --out taxi.tsv
 //! srtool info --in taxi.tsv
 //! srtool repartition --in taxi.tsv --theta 0.05 --out-groups groups.tsv
+//! srtool snapshot --in taxi.tsv --theta 0.05 --out taxi.snap
+//! srtool serve --snapshot taxi.snap --addr 127.0.0.1:8080
 //! ```
 
 use spatial_repartition::core::{
@@ -26,6 +33,9 @@ use spatial_repartition::core::{
 };
 use spatial_repartition::datasets::{Dataset, GridSize};
 use spatial_repartition::grid::{load_grid, morans_i, save_grid, AdjacencyList, GridDataset};
+use spatial_repartition::serve::{
+    load_snapshot, save_snapshot, serve, QueryEngine, ServerConfig, Snapshot,
+};
 use std::collections::HashMap;
 use std::io::Write;
 use std::process::ExitCode;
@@ -44,6 +54,8 @@ fn main() -> ExitCode {
         "info" => cmd_info(&opts),
         "repartition" => cmd_repartition(&opts),
         "homogeneous" => cmd_homogeneous(&opts),
+        "snapshot" => cmd_snapshot(&opts),
+        "serve" => cmd_serve(&opts),
         "--help" | "-h" | "help" => {
             print_usage();
             return ExitCode::SUCCESS;
@@ -74,9 +86,7 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
             i += 1;
             continue;
         }
-        let value = rest
-            .get(i + 1)
-            .ok_or_else(|| format!("missing value for --{key}"))?;
+        let value = rest.get(i + 1).ok_or_else(|| format!("missing value for --{key}"))?;
         opts.insert(key.to_string(), value.clone());
         i += 2;
     }
@@ -84,9 +94,7 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
 }
 
 fn required<'a>(opts: &'a Opts, key: &str) -> Result<&'a str, String> {
-    opts.get(key)
-        .map(String::as_str)
-        .ok_or_else(|| format!("missing required --{key}"))
+    opts.get(key).map(String::as_str).ok_or_else(|| format!("missing required --{key}"))
 }
 
 fn parse_dataset(token: &str) -> Result<Dataset, String> {
@@ -114,9 +122,7 @@ fn parse_size(token: &str) -> Result<GridSize, String> {
         "78k" => GridSize::Cells78k,
         "100k" => GridSize::Cells100k,
         other => {
-            let (r, c) = other
-                .split_once('x')
-                .ok_or_else(|| format!("bad size '{other}'"))?;
+            let (r, c) = other.split_once('x').ok_or_else(|| format!("bad size '{other}'"))?;
             GridSize::Custom(
                 r.parse().map_err(|_| format!("bad size '{other}'"))?,
                 c.parse().map_err(|_| format!("bad size '{other}'"))?,
@@ -128,9 +134,8 @@ fn parse_size(token: &str) -> Result<GridSize, String> {
 fn cmd_generate(opts: &Opts) -> Result<(), String> {
     let dataset = parse_dataset(required(opts, "dataset")?)?;
     let size = parse_size(required(opts, "size")?)?;
-    let seed: u64 = opts
-        .get("seed")
-        .map_or(Ok(42), |s| s.parse().map_err(|_| "bad --seed".to_string()))?;
+    let seed: u64 =
+        opts.get("seed").map_or(Ok(42), |s| s.parse().map_err(|_| "bad --seed".to_string()))?;
     let out = required(opts, "out")?;
     let grid = dataset.generate(size, seed);
     save_grid(&grid, out).map_err(|e| e.to_string())?;
@@ -153,18 +158,14 @@ fn cmd_info(opts: &Opts) -> Result<(), String> {
         100.0 * grid.num_valid_cells() as f64 / grid.num_cells() as f64
     );
     let b = grid.bounds();
-    println!(
-        "bounds: lat [{}, {}], lon [{}, {}]",
-        b.lat_min, b.lat_max, b.lon_min, b.lon_max
-    );
+    println!("bounds: lat [{}, {}], lon [{}, {}]", b.lat_min, b.lat_max, b.lon_min, b.lon_max);
     let adj = AdjacencyList::rook_from_grid(&grid);
     for k in 0..grid.num_attrs() {
         let mut vals = vec![0.0; grid.num_cells()];
         for id in grid.valid_cells() {
             vals[id as usize] = grid.value(id, k);
         }
-        let moran = morans_i(&vals, &adj)
-            .map_or("n/a".to_string(), |v| format!("{v:.3}"));
+        let moran = morans_i(&vals, &adj).map_or("n/a".to_string(), |v| format!("{v:.3}"));
         println!(
             "attr[{k}] {:<16} agg={:?} int={} Moran's I={moran}",
             grid.attr_names()[k],
@@ -177,15 +178,11 @@ fn cmd_info(opts: &Opts) -> Result<(), String> {
 
 fn cmd_repartition(opts: &Opts) -> Result<(), String> {
     let grid = load_grid(required(opts, "in")?).map_err(|e| e.to_string())?;
-    let theta: f64 = required(opts, "theta")?
-        .parse()
-        .map_err(|_| "bad --theta".to_string())?;
+    let theta: f64 = required(opts, "theta")?.parse().map_err(|_| "bad --theta".to_string())?;
     let mut config = RepartitionConfig::new(theta).map_err(|e| e.to_string())?;
     if opts.contains_key("strided") || grid.num_cells() > 5_000 {
-        config = config.with_strategy(IterationStrategy::Exponential {
-            initial_stride: 8,
-            growth: 1.6,
-        });
+        config =
+            config.with_strategy(IterationStrategy::Exponential { initial_stride: 8, growth: 1.6 });
     }
     let start = std::time::Instant::now();
     let outcome = Repartitioner::with_config(config)
@@ -222,10 +219,7 @@ fn cmd_repartition(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn write_groups(
-    rep: &spatial_repartition::core::Repartitioned,
-    path: &str,
-) -> std::io::Result<()> {
+fn write_groups(rep: &spatial_repartition::core::Repartitioned, path: &str) -> std::io::Result<()> {
     let file = std::fs::File::create(path)?;
     let mut w = std::io::BufWriter::new(file);
     write!(w, "#group\tr0\tr1\tc0\tc1")?;
@@ -267,6 +261,64 @@ fn cmd_homogeneous(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_snapshot(opts: &Opts) -> Result<(), String> {
+    let grid = load_grid(required(opts, "in")?).map_err(|e| e.to_string())?;
+    let theta: f64 = required(opts, "theta")?.parse().map_err(|_| "bad --theta".to_string())?;
+    let out = required(opts, "out")?;
+    let mut config = RepartitionConfig::new(theta).map_err(|e| e.to_string())?;
+    if opts.contains_key("strided") || grid.num_cells() > 5_000 {
+        config =
+            config.with_strategy(IterationStrategy::Exponential { initial_stride: 8, growth: 1.6 });
+    }
+    let start = std::time::Instant::now();
+    let outcome = Repartitioner::with_config(config)
+        .map_err(|e| e.to_string())?
+        .run(&grid)
+        .map_err(|e| e.to_string())?;
+    let rep = &outcome.repartitioned;
+    let snap = Snapshot::build(rep, &grid, theta).map_err(|e| e.to_string())?;
+    save_snapshot(&snap, out).map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "wrote {out}: {} cells -> {} groups (IFL {:.4} <= {theta}) in {:.2}s, {bytes} bytes",
+        grid.num_cells(),
+        rep.num_groups(),
+        rep.ifl(),
+        start.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    let path = required(opts, "snapshot")?;
+    let addr = opts.get("addr").map_or("127.0.0.1:7878", String::as_str);
+    let threads: usize = opts
+        .get("threads")
+        .map_or(Ok(4), |s| s.parse().map_err(|_| "bad --threads".to_string()))?;
+    let snap = load_snapshot(path).map_err(|e| e.to_string())?;
+    let engine = std::sync::Arc::new(QueryEngine::new(snap));
+    let st = engine.stats();
+    let config = ServerConfig { threads, ..ServerConfig::default() };
+    let handle = serve(engine, addr, config).map_err(|e| e.to_string())?;
+    println!(
+        "serving {path} ({}x{} cells, {} groups, {} attrs) on http://{}",
+        st.rows,
+        st.cols,
+        st.groups,
+        st.attrs,
+        handle.addr()
+    );
+    println!(
+        "endpoints: /point?lat=&lon=  /window?lat0=&lat1=&lon0=&lon1=  /knn?lat=&lon=&k=  /stats"
+    );
+    println!("press Ctrl-C to stop");
+    // Serve until killed; the handle's Drop would stop the server, so park
+    // this thread indefinitely.
+    loop {
+        std::thread::park();
+    }
+}
+
 fn print_usage() {
     println!(
         "srtool — ML-aware spatial re-partitioning CLI
@@ -277,7 +329,9 @@ USAGE:
   srtool info        --in FILE
   srtool repartition --in FILE --theta T [--strided] [--out-grid FILE] [--out-groups FILE]
                      [--out-gal FILE]
-  srtool homogeneous --in FILE --rows K --cols K"
+  srtool homogeneous --in FILE --rows K --cols K
+  srtool snapshot    --in FILE --theta T --out FILE.snap [--strided]
+  srtool serve       --snapshot FILE.snap [--addr HOST:PORT] [--threads N]"
     );
 }
 

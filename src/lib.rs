@@ -44,6 +44,7 @@
 //! | [`baselines`] | `sr-baselines` | sampling / regionalization / clustering reducers |
 //! | [`linalg`] | `sr-linalg` | dense matrices, LU, Cholesky, least squares |
 //! | [`mem`] | `sr-mem` | peak-allocation tracking for the memory experiments |
+//! | [`serve`] | `sr-serve` | partition snapshots (`sr-snap v1`), the online query engine, snapshot cache, HTTP server |
 
 pub use sr_baselines as baselines;
 pub use sr_core as core;
@@ -52,6 +53,7 @@ pub use sr_grid as grid;
 pub use sr_linalg as linalg;
 pub use sr_mem as mem;
 pub use sr_ml as ml;
+pub use sr_serve as serve;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -63,15 +65,17 @@ pub mod prelude {
     };
     pub use sr_datasets::{train_test_split, Dataset, GridSize};
     pub use sr_grid::{
-        gearys_c, information_loss, join_counts, local_morans_i, morans_i,
-        normalize_attributes, read_gal, read_grid, render_heatmap, render_partition,
-        variation_between_typed, write_gal, write_grid, AdjacencyList, AggType, Bounds,
-        GridBuilder, GridDataset, IflOptions, PointRecord,
+        gearys_c, information_loss, join_counts, local_morans_i, morans_i, normalize_attributes,
+        read_gal, read_grid, render_heatmap, render_partition, variation_between_typed, write_gal,
+        write_grid, AdjacencyList, AggType, Bounds, GridBuilder, GridDataset, IflOptions,
+        PointRecord,
     };
     pub use sr_ml::{
-        bin_into_quantiles, cluster_agreement, lm_diagnostics, mae, pseudo_r2, rmse,
-        se_regression, weighted_f1, GradientBoostingClassifier, Gwr, KnnClassifier,
-        KnnRegressor, OrdinaryKriging, RandomForest, SpatialError, SpatialLag, Svr,
-        VariogramModel,
+        bin_into_quantiles, cluster_agreement, lm_diagnostics, mae, pseudo_r2, rmse, se_regression,
+        weighted_f1, GradientBoostingClassifier, Gwr, KnnClassifier, KnnRegressor, OrdinaryKriging,
+        RandomForest, SpatialError, SpatialLag, Svr, VariogramModel,
+    };
+    pub use sr_serve::{
+        load_snapshot, save_snapshot, serve, QueryEngine, ServerConfig, Snapshot, SnapshotCache,
     };
 }

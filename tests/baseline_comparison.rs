@@ -42,11 +42,8 @@ fn loss_profile_across_reduction_methods() {
     // budget, (b) the contiguous aggregators all land in the same order of
     // magnitude, and (c) sampling — whose representative for a non-sampled
     // cell is a *different* cell's value — loses the most.
-    for ds in [
-        Dataset::TaxiUnivariate,
-        Dataset::VehiclesUnivariate,
-        Dataset::EarningsMultivariate,
-    ] {
+    for ds in [Dataset::TaxiUnivariate, Dataset::VehiclesUnivariate, Dataset::EarningsMultivariate]
+    {
         let grid = ds.generate(GridSize::Mini, 8);
         let theta = 0.10;
         let (_, rp_ifl, samp, regi, clus) = matched_reductions(&grid, theta);

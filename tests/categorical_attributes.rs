@@ -38,7 +38,7 @@ fn typed_variation_counts_category_mismatch() {
     // Same category: only the numeric difference contributes.
     let v_same = variation_between_typed(&[1.0, 7.0], &[1.5, 7.0], &aggs);
     assert!((v_same - 0.25).abs() < 1e-12); // |0.5| / 2 attrs
-    // Different category: +1 mismatch.
+                                            // Different category: +1 mismatch.
     let v_diff = variation_between_typed(&[1.0, 7.0], &[1.5, 8.0], &aggs);
     assert!((v_diff - 0.75).abs() < 1e-12); // (0.5 + 1.0) / 2
 }
@@ -67,8 +67,8 @@ fn categories_block_merging_across_zone_boundaries() {
 fn categorical_ifl_is_mismatch_rate() {
     // Force one mixed group by hand and check the IFL counts the minority
     // cells as mismatches.
-    use spatial_repartition::core::{allocate_features, partition_ifl, Partition};
     use spatial_repartition::core::GroupRect;
+    use spatial_repartition::core::{allocate_features, partition_ifl, Partition};
     let g = GridDataset::new(
         1,
         4,
@@ -81,12 +81,7 @@ fn categorical_ifl_is_mismatch_rate() {
         Bounds::unit(),
     )
     .unwrap();
-    let p = Partition::new(
-        1,
-        4,
-        vec![GroupRect { r0: 0, r1: 0, c0: 0, c1: 3 }],
-        vec![0, 0, 0, 0],
-    );
+    let p = Partition::new(1, 4, vec![GroupRect { r0: 0, r1: 0, c0: 0, c1: 3 }], vec![0, 0, 0, 0]);
     let feats = allocate_features(&g, &p);
     // Mode of {1,1,1,2} is 1.
     assert_eq!(feats[0].as_deref(), Some(&[1.0][..]));

@@ -6,10 +6,7 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn srtool(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_srtool"))
-        .args(args)
-        .output()
-        .expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_srtool")).args(args).output().expect("binary runs")
 }
 
 fn temp_path(name: &str) -> PathBuf {
@@ -24,7 +21,17 @@ fn generate_info_repartition_roundtrip() {
     let grid = grid_path.to_str().unwrap();
 
     // generate
-    let out = srtool(&["generate", "--dataset", "taxi-uni", "--size", "mini", "--seed", "5", "--out", grid]);
+    let out = srtool(&[
+        "generate",
+        "--dataset",
+        "taxi-uni",
+        "--size",
+        "mini",
+        "--seed",
+        "5",
+        "--out",
+        grid,
+    ]);
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("400 cells"), "{stdout}");
@@ -83,8 +90,10 @@ fn bad_invocations_fail_cleanly() {
     // Missing required flag.
     let out = srtool(&["generate", "--dataset", "taxi-uni"]);
     assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("--size") ||
-            String::from_utf8_lossy(&out.stderr).contains("--out"));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--size")
+            || String::from_utf8_lossy(&out.stderr).contains("--out")
+    );
 
     // Unknown dataset.
     let out = srtool(&["generate", "--dataset", "nope", "--size", "mini", "--out", "/tmp/x"]);

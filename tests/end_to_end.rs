@@ -141,8 +141,5 @@ fn autocorrelation_survives_repartitioning() {
     let rec = out.repartitioned.reconstruct(&grid).unwrap();
     let after = morans_i(&vals(&rec), &adj).unwrap();
     assert!(before > 0.4, "generator autocorrelation too weak: {before}");
-    assert!(
-        after > before - 0.1,
-        "re-partitioning destroyed autocorrelation: {before} -> {after}"
-    );
+    assert!(after > before - 0.1, "re-partitioning destroyed autocorrelation: {before} -> {after}");
 }

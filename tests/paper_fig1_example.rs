@@ -31,10 +31,7 @@ fn example2_heap_pops_least_then_second_least() {
     let first = heap.pop_next_distinct().unwrap();
     let second = heap.pop_next_distinct().unwrap();
     assert_eq!(first, 0.0, "least variation is 0 (equal neighbors exist)");
-    assert!(
-        (second - 1.0 / 35.0).abs() < 1e-9,
-        "second-least should be 0.02857143, got {second}"
-    );
+    assert!((second - 1.0 / 35.0).abs() < 1e-9, "second-least should be 0.02857143, got {second}");
 }
 
 #[test]

@@ -1,9 +1,7 @@
 //! Integration of the §VI future-work extensions (streaming updates and
 //! temporal partition reuse) against the synthetic evaluation datasets.
 
-use spatial_repartition::core::{
-    CellUpdate, StreamingRepartitioner, TemporalRepartitioner,
-};
+use spatial_repartition::core::{CellUpdate, StreamingRepartitioner, TemporalRepartitioner};
 use spatial_repartition::datasets::{Dataset, GridSize};
 
 #[test]

@@ -4,9 +4,9 @@
 use spatial_repartition::core::PreparedTrainingData;
 use spatial_repartition::datasets::{train_test_split, Dataset, GridSize};
 use spatial_repartition::ml::{
-    bin_into_quantiles, pseudo_r2, schc_cluster, table1, weighted_f1,
-    GradientBoostingClassifier, Gwr, KnnClassifier, OrdinaryKriging, RandomForest, SchcParams,
-    SpatialError, SpatialLag, Svr, SvrParams,
+    bin_into_quantiles, pseudo_r2, schc_cluster, table1, weighted_f1, GradientBoostingClassifier,
+    Gwr, KnnClassifier, OrdinaryKriging, RandomForest, SchcParams, SpatialError, SpatialLag, Svr,
+    SvrParams,
 };
 use spatial_repartition::prelude::*;
 
@@ -95,12 +95,8 @@ fn kriging_interpolates_reduced_univariate_data() {
     let out = repartition(&grid, 0.08).unwrap();
     let prep = PreparedTrainingData::from_repartitioned(&out.repartitioned);
     // Per-cell intensity (jobs is Sum-aggregated).
-    let values: Vec<f64> = prep
-        .features
-        .iter()
-        .zip(&prep.group_sizes)
-        .map(|(f, &s)| f[0] / s as f64)
-        .collect();
+    let values: Vec<f64> =
+        prep.features.iter().zip(&prep.group_sizes).map(|(f, &s)| f[0] / s as f64).collect();
     let (train, test) = train_test_split(values.len(), 0.2, 5);
     let tc: Vec<(f64, f64)> = train.iter().map(|&i| prep.centroids[i]).collect();
     let tv: Vec<f64> = train.iter().map(|&i| values[i]).collect();
@@ -121,10 +117,8 @@ fn clustering_runs_on_both_grids() {
     let grid = Dataset::VehiclesUnivariate.generate(GridSize::Mini, 23);
     // Cell-level clustering.
     let norm = normalize_attributes(&grid);
-    let feats: Vec<Vec<f64>> = norm
-        .valid_cells()
-        .map(|id| norm.features_unchecked(id).to_vec())
-        .collect();
+    let feats: Vec<Vec<f64>> =
+        norm.valid_cells().map(|id| norm.features_unchecked(id).to_vec()).collect();
     let adj = AdjacencyList::rook_from_grid(&grid).restrict(grid.valid_mask());
     let base = schc_cluster(&feats, &adj, &SchcParams { num_clusters: 6 }).unwrap();
     assert!(base.num_found >= 6);
