@@ -18,4 +18,10 @@ cargo build --release --offline
 echo "==> cargo test -q"
 cargo test -q --workspace --offline
 
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --quiet
+
+echo "==> cargo test --doc"
+cargo test -q --workspace --offline --doc
+
 echo "ci: all green"

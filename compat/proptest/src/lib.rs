@@ -2,7 +2,7 @@
 //!
 //! The build container cannot reach crates.io, so this local path crate
 //! re-implements the subset of proptest the workspace's property tests rely
-//! on: the [`proptest!`] macro, [`Strategy`] with `prop_map` /
+//! on: the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
 //! `prop_flat_map`, range and tuple strategies, [`strategy::Just`],
 //! `prop::collection::{vec, hash_set}`, `prop_assert!` / `prop_assert_eq!` /
 //! `prop_assume!`, and [`test_runner::ProptestConfig`].

@@ -1,4 +1,4 @@
-//! Spatially contiguous hierarchical clustering baseline (Kim et al. [15]).
+//! Spatially contiguous hierarchical clustering baseline (Kim et al. \[15\]).
 //!
 //! Runs `sr-ml`'s Ward-under-contiguity agglomeration over the *cells* of
 //! the grid (normalized features, rook adjacency) down to `p` clusters,

@@ -6,14 +6,14 @@
 //! prescribes for fairness — and emits the same [`ReducedDataset`]
 //! structure the training pipelines consume:
 //!
-//! - [`sampling::spatial_sampling`] — Guo et al. [9]: spread-maximizing
+//! - [`sampling::spatial_sampling`] — Guo et al. \[9\]: spread-maximizing
 //!   selection of individual cells under a minimum-distance constraint.
 //!   Deliberately breaks adjacency (most samples are isolated), which is
 //!   the paper's explanation for sampling's poor spatial-model quality.
-//! - [`regionalization::regionalize`] — Biswas et al. [13]: seed `p`
+//! - [`regionalization::regionalize`] — Biswas et al. \[13\]: seed `p`
 //!   random regions, then grow each by absorbing the adjacent unassigned
 //!   cell with the most similar attributes.
-//! - [`clustering::contiguous_clustering`] — Kim et al. [15]: Ward-linkage
+//! - [`clustering::contiguous_clustering`] — Kim et al. \[15\]: Ward-linkage
 //!   agglomeration restricted to spatially adjacent clusters (reuses
 //!   `sr-ml`'s SCHC implementation at the cell level).
 

@@ -1,4 +1,4 @@
-//! Regionalization baseline (Biswas et al. [13]).
+//! Regionalization baseline (Biswas et al. \[13\]).
 //!
 //! Two phases, as §I describes for this family: an *initialization* phase
 //! seeds `p` regions with `p` randomly chosen cells, and a *region growing*

@@ -1,4 +1,4 @@
-//! Spatial sampling baseline (Guo et al. [9]).
+//! Spatial sampling baseline (Guo et al. \[9\]).
 //!
 //! Selects `t` individual cells such that selected cells keep a minimum
 //! pairwise distance (spread maximization), via a seeded random-order

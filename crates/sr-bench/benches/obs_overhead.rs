@@ -1,0 +1,61 @@
+//! Overhead of the sr-obs instrumentation on the repartition driver.
+//!
+//! Three configurations of the same workload:
+//!
+//! - `disabled` — no subscriber installed; every `span()` call is a single
+//!   relaxed atomic load and every counter bump one atomic add. This is
+//!   the production default and must stay within noise (<2%) of the
+//!   pre-instrumentation driver.
+//! - `memory` — spans collected into an in-memory buffer (the test
+//!   subscriber), isolating the cost of timing + record construction.
+//! - `json_sink` — spans serialized as JSON-lines into `io::sink()`,
+//!   the full serialization cost without terminal I/O.
+//!
+//! Report the `disabled` numbers next to `repartition_driver` results when
+//! quoting pipeline performance (`docs/OBSERVABILITY.md`, "Benchmarks").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sr_core::{IterationStrategy, RepartitionConfig, Repartitioner};
+use sr_datasets::{Dataset, GridSize};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn driver() -> Repartitioner {
+    let cfg = RepartitionConfig::new(0.05)
+        .unwrap()
+        .with_strategy(IterationStrategy::Exponential { initial_stride: 8, growth: 1.6 });
+    Repartitioner::with_config(cfg).unwrap()
+}
+
+fn bench_tracing_overhead(c: &mut Criterion) {
+    let grid = Dataset::TaxiMultivariate.generate(GridSize::Tiny, 1);
+    let driver = driver();
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+
+    sr_obs::clear_subscriber();
+    group.bench_function("repartition_48x48_disabled", |b| {
+        b.iter(|| driver.run(black_box(&grid)).unwrap())
+    });
+
+    let collector = Arc::new(sr_obs::MemoryCollector::new());
+    sr_obs::set_subscriber(collector.clone());
+    group.bench_function("repartition_48x48_memory", |b| {
+        b.iter(|| {
+            collector.clear();
+            driver.run(black_box(&grid)).unwrap()
+        })
+    });
+
+    sr_obs::set_subscriber(Arc::new(sr_obs::JsonLines::new(std::io::sink())));
+    group.bench_function("repartition_48x48_json_sink", |b| {
+        b.iter(|| driver.run(black_box(&grid)).unwrap())
+    });
+    sr_obs::clear_subscriber();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracing_overhead);
+criterion_main!(benches);

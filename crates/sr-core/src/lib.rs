@@ -24,7 +24,7 @@
 //! The driver lives in [`repartition::Repartitioner`]; the accepted result
 //! is a [`repartition::Repartitioned`], which offers the training-side
 //! conveniences of §III-B/§III-C: group adjacency lists (Algorithm 3, in
-//! [`group_adjacency`]), feature-matrix/centroid/vertex preparation
+//! [`group_adjacency()`]), feature-matrix/centroid/vertex preparation
 //! ([`prepare`]), and reconstruction of per-cell values
 //! ([`reconstruct`]). The naive homogeneous variant of §III-D is in
 //! [`homogeneous`].

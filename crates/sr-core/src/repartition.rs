@@ -237,9 +237,31 @@ impl Repartitioner {
     }
 
     /// Runs the full pipeline of Fig. 2 on `grid`.
+    ///
+    /// Emits the documented telemetry (`docs/OBSERVABILITY.md`): a
+    /// `repartition.run` span with `normalize` / `variation_scan` /
+    /// `merge_loop` children, plus `repartition.*_total` counters in the
+    /// global metrics registry.
     pub fn run(&self, grid: &GridDataset) -> Result<RepartitionOutcome> {
-        let normalized = normalize_attributes(grid);
-        let thresholds = VariationHeap::from_grid(&normalized).into_sorted_distinct();
+        let metrics = sr_obs::Registry::global();
+        metrics.counter("repartition.runs_total").inc();
+        let iterations_total = metrics.counter("repartition.iterations_total");
+        let rejections_total = metrics.counter("repartition.rejections_total");
+
+        let mut run_span = sr_obs::span("repartition.run");
+        run_span.record("cells", grid.num_cells());
+        run_span.record("threshold", self.config.threshold);
+
+        let normalized = {
+            let _span = sr_obs::span("repartition.normalize");
+            normalize_attributes(grid)
+        };
+        let thresholds = {
+            let mut scan_span = sr_obs::span("repartition.variation_scan");
+            let thresholds = VariationHeap::from_grid(&normalized).into_sorted_distinct();
+            scan_span.record("distinct_variations", thresholds.len());
+            thresholds
+        };
 
         let mut iterations = Vec::new();
         let mut best: Option<Repartitioned> = None;
@@ -251,6 +273,10 @@ impl Repartitioner {
             let features = allocate_features(grid, &partition);
             let ifl = partition_ifl(grid, &partition, &features, self.config.ifl_options);
             let accepted = ifl <= self.config.threshold;
+            iterations_total.inc();
+            if !accepted {
+                rejections_total.inc();
+            }
             let num_groups = partition.num_groups();
             if accepted {
                 let better = best.as_ref().is_none_or(|b| num_groups <= b.num_groups());
@@ -261,6 +287,7 @@ impl Repartitioner {
             IterationStats { min_adjacent_variation: theta, num_groups, ifl, accepted }
         };
 
+        let mut merge_span = sr_obs::span("repartition.merge_loop");
         match self.config.strategy {
             IterationStrategy::EveryDistinct => {
                 for &theta in &thresholds {
@@ -323,6 +350,9 @@ impl Repartitioner {
                 }
             }
         }
+        merge_span.record("iterations", iterations.len());
+        merge_span.record("rejections", iterations.iter().filter(|it| !it.accepted).count());
+        drop(merge_span);
 
         // Fallback: nothing accepted (or grid has no adjacent pairs) — the
         // identity partition, whose IFL is exactly zero.
@@ -334,6 +364,12 @@ impl Repartitioner {
                 Repartitioned::from_parts(grid, partition, features, 0.0, 0.0)
             }
         };
+
+        metrics
+            .counter("repartition.cells_merged_total")
+            .add((grid.num_cells() - repartitioned.num_groups()) as u64);
+        run_span.record("groups", repartitioned.num_groups());
+        run_span.record("ifl", repartitioned.ifl());
 
         Ok(RepartitionOutcome { repartitioned, iterations, input_cells: grid.num_cells() })
     }

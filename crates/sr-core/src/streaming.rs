@@ -143,7 +143,12 @@ impl StreamingRepartitioner {
     /// Applies a batch of updates: each affected group is split into
     /// singleton groups, the new values written, and IFL bookkeeping
     /// adjusted. Returns the number of groups that were split.
+    ///
+    /// Emits a `streaming.apply` span and bumps the
+    /// `streaming.updates_total` / `streaming.splits_total` counters
+    /// (`docs/OBSERVABILITY.md`).
     pub fn apply(&mut self, updates: &[CellUpdate]) -> Result<usize> {
+        let mut span = sr_obs::span("streaming.apply");
         let p = self.grid.num_attrs();
         for u in updates {
             if let Some(fv) = &u.features {
@@ -192,6 +197,12 @@ impl StreamingRepartitioner {
                 }
             }
         }
+        let metrics = sr_obs::Registry::global();
+        metrics.counter("streaming.updates_total").add(updates.len() as u64);
+        metrics.counter("streaming.splits_total").add(splits as u64);
+        span.record("updates", updates.len());
+        span.record("splits", splits);
+        span.record("groups", self.num_groups());
         Ok(splits)
     }
 
@@ -210,10 +221,18 @@ impl StreamingRepartitioner {
     /// Re-runs the batch driver over the *current* grid, restoring the
     /// reduction lost to update-driven splits. Returns the group counts
     /// (before, after).
+    ///
+    /// Emits a `streaming.compact` span (the nested batch driver emits its
+    /// own `repartition.run` tree beneath it) and bumps
+    /// `streaming.compactions_total`.
     pub fn compact(&mut self) -> Result<(usize, usize)> {
+        let mut span = sr_obs::span("streaming.compact");
+        sr_obs::Registry::global().counter("streaming.compactions_total").inc();
         let before = self.num_groups();
         let fresh = StreamingRepartitioner::new(self.grid.clone(), self.threshold)?;
         *self = fresh;
+        span.record("groups_before", before);
+        span.record("groups_after", self.num_groups());
         Ok((before, self.num_groups()))
     }
 

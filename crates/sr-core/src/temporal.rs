@@ -64,7 +64,14 @@ impl TemporalRepartitioner {
 
     /// Absorbs the next time step. `grid` must keep the shape and schema of
     /// the previous steps.
+    ///
+    /// Emits a `temporal.step` span (field `reused` says which path ran)
+    /// and bumps `temporal.steps_total` / `temporal.reuses_total`
+    /// (`docs/OBSERVABILITY.md`).
     pub fn step(&mut self, grid: &GridDataset) -> Result<StepOutcome> {
+        let mut span = sr_obs::span("temporal.step");
+        let metrics = sr_obs::Registry::global();
+        metrics.counter("temporal.steps_total").inc();
         self.steps += 1;
 
         // Warm path: try the previous partition on the new values.
@@ -76,6 +83,10 @@ impl TemporalRepartitioner {
             {
                 if let Some(outcome) = self.try_reuse(grid, partition.clone())? {
                     self.reused_steps += 1;
+                    metrics.counter("temporal.reuses_total").inc();
+                    span.record("reused", true);
+                    span.record("groups", outcome.num_groups);
+                    span.record("ifl", outcome.ifl);
                     return Ok(outcome);
                 }
             } else {
@@ -94,6 +105,9 @@ impl TemporalRepartitioner {
         let rep = outcome.repartitioned;
         let result = StepOutcome { reused: false, num_groups: rep.num_groups(), ifl: rep.ifl() };
         self.current = Some(rep);
+        span.record("reused", false);
+        span.record("groups", result.num_groups);
+        span.record("ifl", result.ifl);
         Ok(result)
     }
 

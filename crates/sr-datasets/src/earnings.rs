@@ -1,4 +1,4 @@
-//! Synthetic NYC LEHD block-level earnings grids (paper [39]).
+//! Synthetic NYC LEHD block-level earnings grids (paper \[39\]).
 //!
 //! The paper's preparation: a univariate grid with the total #jobs per cell,
 //! and a multivariate grid with land area, water area, and #jobs in three

@@ -1,4 +1,4 @@
-//! Synthetic King-County home-sales grid (paper [7]).
+//! Synthetic King-County home-sales grid (paper \[7\]).
 //!
 //! The paper's preparation: seven attributes per cell, each the *average*
 //! over the sales records falling in the cell — price, #bedrooms,

@@ -1,8 +1,8 @@
 //! Synthetic spatially-autocorrelated dataset generators.
 //!
-//! The paper evaluates on four real-world datasets (NYC taxi trips [37],
-//! King-County home sales [7], Chicago abandoned vehicles [38], NYC LEHD
-//! earnings [39]) prepared as six grid datasets: three multivariate and
+//! The paper evaluates on four real-world datasets (NYC taxi trips \[37\],
+//! King-County home sales \[7\], Chicago abandoned vehicles \[38\], NYC LEHD
+//! earnings \[39\]) prepared as six grid datasets: three multivariate and
 //! three univariate. Those files are not available here, so this crate
 //! synthesizes statistically equivalent stand-ins (DESIGN.md, substitution
 //! 1): every attribute is driven by smooth Gaussian-random-field layers

@@ -1,4 +1,4 @@
-//! Synthetic NYC-taxi-trip grids (paper [37]).
+//! Synthetic NYC-taxi-trip grids (paper \[37\]).
 //!
 //! The paper's preparation (§IV-A2): a univariate grid with the number of
 //! pickups per cell during a month, and a multivariate grid with total

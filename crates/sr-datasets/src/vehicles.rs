@@ -1,4 +1,4 @@
-//! Synthetic Chicago abandoned-vehicles grid (paper [38]).
+//! Synthetic Chicago abandoned-vehicles grid (paper \[38\]).
 //!
 //! The paper counts 311 service requests per cell → a univariate,
 //! `Sum`-aggregated count surface. Abandonment concentrates in a few

@@ -64,7 +64,13 @@ impl From<std::io::Error> for IoError {
 }
 
 /// Serializes a grid to the grid-tsv v1 format.
+///
+/// Emits a `grid.io.write` span with the cell count written
+/// (`docs/OBSERVABILITY.md`).
 pub fn write_grid<W: Write>(grid: &GridDataset, mut out: W) -> Result<(), IoError> {
+    let mut span = sr_obs::span("grid.io.write");
+    span.record("valid_cells", grid.num_valid_cells());
+    span.record("attrs", grid.num_attrs());
     let mut buf = String::new();
     buf.push_str("#sr-grid v1\n");
     let _ = writeln!(buf, "#shape {} {}", grid.rows(), grid.cols());
@@ -103,7 +109,11 @@ pub fn write_grid<W: Write>(grid: &GridDataset, mut out: W) -> Result<(), IoErro
 }
 
 /// Deserializes a grid from the grid-tsv v1 format.
+///
+/// Emits a `grid.io.read` span covering the full load + parse, with the
+/// resulting shape as fields (`docs/OBSERVABILITY.md`).
 pub fn read_grid<R: Read>(input: R) -> Result<GridDataset, IoError> {
+    let mut span = sr_obs::span("grid.io.read");
     let reader = BufReader::new(input);
     let mut lines = reader.lines().enumerate();
 
@@ -217,8 +227,14 @@ pub fn read_grid<R: Read>(input: R) -> Result<GridDataset, IoError> {
         data[cell * p..(cell + 1) * p].copy_from_slice(&values);
     }
 
-    GridDataset::new(rows, cols, p, data, valid, attr_names, agg_types, integer_attrs, bounds)
-        .map_err(|e| fmt_err(0, &e.to_string()))
+    let grid =
+        GridDataset::new(rows, cols, p, data, valid, attr_names, agg_types, integer_attrs, bounds)
+            .map_err(|e| fmt_err(0, &e.to_string()))?;
+    span.record("rows", rows);
+    span.record("cols", cols);
+    span.record("valid_cells", grid.num_valid_cells());
+    span.record("attrs", p);
+    Ok(grid)
 }
 
 /// Serializes an adjacency list in GAL format — the neighbor-list format

@@ -57,7 +57,7 @@ pub fn pseudo_r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
     1.0 - sse / sst
 }
 
-/// Weighted F1-score (§IV-A1 [36]): the mean of class-wise F1 scores
+/// Weighted F1-score (§IV-A1 \[36\]): the mean of class-wise F1 scores
 /// weighted by class support. Classes absent from `y_true` contribute no
 /// weight.
 pub fn weighted_f1(y_true: &[usize], y_pred: &[usize], num_classes: usize) -> f64 {

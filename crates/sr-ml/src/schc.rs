@@ -1,6 +1,6 @@
 //! Spatially-constrained hierarchical clustering (SCHC) — the clustering
 //! application of §IV-C4 / Table IV and the "Clustering" baseline of
-//! §IV-A3 (Kim et al. [15]).
+//! §IV-A3 (Kim et al. \[15\]).
 //!
 //! Agglomerative Ward clustering where only *spatially adjacent* clusters
 //! may merge: every unit starts as its own cluster, the candidate heap holds

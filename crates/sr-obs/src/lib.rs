@@ -1,0 +1,72 @@
+//! Observability substrate for the re-partitioning framework.
+//!
+//! Every performance claim this workspace makes — "IFL under θ in exchange
+//! for training-time and memory wins", "serving as fast as the hardware
+//! allows" — is only as good as the telemetry behind it. This crate is the
+//! single place that telemetry comes from. It has two halves, both built on
+//! `std` alone:
+//!
+//! - [`trace`] — hierarchical **spans** with monotonic-clock timings and a
+//!   process-wide pluggable [`Subscriber`]. Three subscribers ship in-tree:
+//!   [`StderrPretty`] (indented human-readable tree), [`JsonLines`]
+//!   (machine-readable JSON-lines stream), and [`MemoryCollector`] (an
+//!   in-memory sink for tests to assert on).
+//! - [`metrics`] — a process-wide [`Registry`] of named [`Counter`]s,
+//!   [`Gauge`]s, and fixed-bucket latency [`Histogram`]s, all recorded with
+//!   lock-free atomics on the hot path.
+//!
+//! The instrumentation contract — which spans and metrics the pipeline
+//! crates emit, their names, units, and schemas — is documented in
+//! `docs/OBSERVABILITY.md` at the repository root.
+//!
+//! # Zero cost when disabled
+//!
+//! Tracing is off until a subscriber is installed. A disabled [`span`] is a
+//! single relaxed atomic load and returns an inert guard: **no allocation,
+//! no clock read, no lock**. Metric recording is always on (one relaxed
+//! atomic add), which is what lets `/metrics` report truthfully even when
+//! nobody is tracing.
+//!
+//! # Example
+//!
+//! ```
+//! use sr_obs::{span, MemoryCollector, Registry};
+//! use std::sync::Arc;
+//!
+//! // Metrics: registry handles are cheap clones; recording is atomic.
+//! let registry = Registry::new();
+//! let requests = registry.counter("demo.requests_total");
+//! requests.inc();
+//! assert_eq!(requests.get(), 1);
+//!
+//! // Tracing: install a collector, emit a nested span tree, assert on it.
+//! let collector = Arc::new(MemoryCollector::new());
+//! sr_obs::set_subscriber(collector.clone());
+//! {
+//!     let mut outer = span("demo.outer");
+//!     outer.record("items", 3u64);
+//!     let _inner = span("demo.inner");
+//! } // spans report on drop, children first
+//! sr_obs::clear_subscriber();
+//!
+//! let records = collector.records();
+//! assert_eq!(records.len(), 2);
+//! let inner = collector.find("demo.inner").unwrap();
+//! let outer = collector.find("demo.outer").unwrap();
+//! assert_eq!(inner.parent, Some(outer.id));
+//! assert_eq!(inner.depth, 1);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    latency_bucket_bounds_ns, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
+    LATENCY_BUCKETS,
+};
+pub use trace::{
+    clear_subscriber, set_subscriber, span, tracing_enabled, JsonLines, MemoryCollector, Span,
+    SpanRecord, StderrPretty, Subscriber, Value,
+};

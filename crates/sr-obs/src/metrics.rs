@@ -1,0 +1,452 @@
+//! A process-wide registry of counters, gauges, and latency histograms.
+//!
+//! All recording operations are single relaxed atomic instructions, safe to
+//! leave on in serving hot paths. Handles ([`Counter`], [`Gauge`],
+//! [`Histogram`]) are cheap `Arc` clones of the registered instrument —
+//! fetch once, record many times. Registries are instantiable for test
+//! isolation; [`Registry::global`] is the process-wide default every
+//! pipeline crate reports into.
+//!
+//! Naming and unit conventions (enforced by convention, documented in
+//! `docs/OBSERVABILITY.md`): counters end in `_total`, histograms record
+//! nanoseconds and end in `_ns`, gauges carry a bare quantity name.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+/// Number of finite histogram buckets (the last array slot is overflow).
+pub const LATENCY_BUCKETS: usize = 24;
+
+/// Upper bounds (inclusive, in nanoseconds) of the finite latency buckets:
+/// `1µs · 2^i` for `i ∈ 0..24`, i.e. 1µs, 2µs, 4µs, … ≈ 8.4s. Samples above
+/// the last bound land in the overflow bucket.
+pub const fn latency_bucket_bounds_ns() -> [u64; LATENCY_BUCKETS] {
+    let mut bounds = [0u64; LATENCY_BUCKETS];
+    let mut i = 0;
+    while i < LATENCY_BUCKETS {
+        bounds[i] = 1_000u64 << i;
+        i += 1;
+    }
+    bounds
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero (not attached to any registry).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable floating-point gauge (stored as raw `f64` bits).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// A fresh gauge at zero (not attached to any registry).
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// One slot per finite bucket plus a final overflow slot.
+    buckets: [AtomicU64; LATENCY_BUCKETS + 1],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+/// A fixed-bucket latency histogram (nanosecond samples).
+///
+/// Bucket layout is global and immutable — [`latency_bucket_bounds_ns`] —
+/// so histograms from different processes and runs are always comparable
+/// and recording needs no configuration lookups.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram (not attached to any registry).
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample, in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        // Index of the first power-of-two bucket bound ≥ ns: everything at
+        // or under 1µs is bucket 0; otherwise ceil(log2(ns / 1000)).
+        let idx = if ns <= 1_000 {
+            0
+        } else {
+            let ratio = ns.div_ceil(1_000);
+            let floor_log2 = 63 - (ratio.leading_zeros() as usize);
+            let ceil_log2 = floor_log2 + usize::from(!ratio.is_power_of_two());
+            ceil_log2.min(LATENCY_BUCKETS)
+        };
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Records one sample from a [`Duration`].
+    pub fn record(&self, d: Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.0.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the histogram's state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed)),
+            count: self.count(),
+            sum_ns: self.sum_ns(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts; the final slot is the overflow bucket.
+    pub buckets: [u64; LATENCY_BUCKETS + 1],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples in nanoseconds.
+    pub sum_ns: u64,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+}
+
+/// A named collection of instruments. Cloning is cheap (shared `Arc`); the
+/// clones observe the same instruments.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl Registry {
+    /// A fresh, empty registry (for tests or scoped servers).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-wide registry all pipeline crates report into.
+    pub fn global() -> Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new).clone()
+    }
+
+    /// The counter named `name`, created on first use. The returned handle
+    /// stays valid (and registered) for the life of the registry.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.inner.counters.read().expect("registry poisoned").get(name) {
+            return c.clone();
+        }
+        self.inner
+            .counters
+            .write()
+            .expect("registry poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.inner.gauges.read().expect("registry poisoned").get(name) {
+            return g.clone();
+        }
+        self.inner
+            .gauges
+            .write()
+            .expect("registry poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.inner.histograms.read().expect("registry poisoned").get(name) {
+            return h.clone();
+        }
+        self.inner
+            .histograms
+            .write()
+            .expect("registry poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Renders every instrument in the stable line-oriented text format
+    /// served by `/metrics` (`sr-metrics v1`, see `docs/OBSERVABILITY.md`):
+    ///
+    /// ```text
+    /// counter serve.point.requests_total 42
+    /// gauge serve.snapshot.groups 355
+    /// histogram serve.point.latency_ns count 42 sum_ns 1731042
+    /// histogram_bucket serve.point.latency_ns le 1000 0
+    /// histogram_bucket serve.point.latency_ns le +inf 42
+    /// ```
+    ///
+    /// Bucket lines are cumulative (each `le` line counts all samples at or
+    /// under that bound) and instruments are sorted by name, so output is
+    /// deterministic for a given state.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, c) in self.inner.counters.read().expect("registry poisoned").iter() {
+            let _ = writeln!(out, "counter {name} {}", c.get());
+        }
+        for (name, g) in self.inner.gauges.read().expect("registry poisoned").iter() {
+            let _ = writeln!(out, "gauge {name} {}", g.get());
+        }
+        let bounds = latency_bucket_bounds_ns();
+        for (name, h) in self.inner.histograms.read().expect("registry poisoned").iter() {
+            let snap = h.snapshot();
+            let _ = writeln!(out, "histogram {name} count {} sum_ns {}", snap.count, snap.sum_ns);
+            let mut cumulative = 0u64;
+            for (i, &bucket) in snap.buckets.iter().enumerate() {
+                cumulative += bucket;
+                if i < LATENCY_BUCKETS {
+                    let _ = writeln!(out, "histogram_bucket {name} le {} {cumulative}", bounds[i]);
+                } else {
+                    let _ = writeln!(out, "histogram_bucket {name} le +inf {cumulative}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the registry as one JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{"name":{"count":n,"sum_ns":s,"buckets":[...]}}}`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, c)) in
+            self.inner.counters.read().expect("registry poisoned").iter().enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{}", c.get());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, g)) in
+            self.inner.gauges.read().expect("registry poisoned").iter().enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            let v = g.get();
+            if v.is_finite() {
+                let _ = write!(out, "\"{name}\":{v}");
+            } else {
+                let _ = write!(out, "\"{name}\":null");
+            }
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in
+            self.inner.histograms.read().expect("registry poisoned").iter().enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            let snap = h.snapshot();
+            let _ = write!(out, "\"{name}\":{{\"count\":{},\"sum_ns\":{}", snap.count, snap.sum_ns);
+            out.push_str(",\"buckets\":[");
+            for (j, b) in snap.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let r = Registry::new();
+        let c = r.counter("test.ops_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name → same instrument.
+        assert_eq!(r.counter("test.ops_total").get(), 5);
+
+        let g = r.gauge("test.level");
+        g.set(2.5);
+        assert_eq!(r.gauge("test.level").get(), 2.5);
+    }
+
+    #[test]
+    fn bucket_bounds_double_from_one_microsecond() {
+        let bounds = latency_bucket_bounds_ns();
+        assert_eq!(bounds[0], 1_000);
+        assert_eq!(bounds[1], 2_000);
+        assert_eq!(bounds[23], 1_000 << 23);
+        for w in bounds.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_samples_correctly() {
+        let h = Histogram::new();
+        // Exactly at bound, below bound, above bound.
+        h.record_ns(1); // bucket 0
+        h.record_ns(1_000); // bucket 0 (inclusive bound)
+        h.record_ns(1_001); // bucket 1
+        h.record_ns(2_000); // bucket 1
+        h.record_ns(2_001); // bucket 2
+        h.record_ns(u64::MAX); // overflow
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0], 2);
+        assert_eq!(snap.buckets[1], 2);
+        assert_eq!(snap.buckets[2], 1);
+        assert_eq!(snap.buckets[LATENCY_BUCKETS], 1);
+        assert_eq!(snap.count, 6);
+        // Every sample is in exactly one bucket.
+        assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+    }
+
+    #[test]
+    fn histogram_bucket_index_matches_linear_scan() {
+        let bounds = latency_bucket_bounds_ns();
+        for ns in [0, 1, 999, 1_000, 1_001, 3_000, 4_000, 4_001, 65_000_000, bounds[23], u64::MAX] {
+            let h = Histogram::new();
+            h.record_ns(ns);
+            let snap = h.snapshot();
+            let expected = bounds.iter().position(|&b| ns <= b).unwrap_or(LATENCY_BUCKETS);
+            let actual = snap.buckets.iter().position(|&c| c == 1).unwrap();
+            assert_eq!(actual, expected, "sample {ns}");
+        }
+    }
+
+    #[test]
+    fn duration_recording_saturates() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(3));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum_ns(), 3_000);
+    }
+
+    #[test]
+    fn text_rendering_is_deterministic_and_cumulative() {
+        let r = Registry::new();
+        r.counter("b.ops_total").add(2);
+        r.counter("a.ops_total").inc();
+        r.gauge("c.level").set(1.5);
+        let h = r.histogram("d.latency_ns");
+        h.record_ns(500);
+        h.record_ns(1_500);
+        let text = r.render_text();
+        // Sorted instrument order.
+        let a = text.find("counter a.ops_total 1").unwrap();
+        let b = text.find("counter b.ops_total 2").unwrap();
+        assert!(a < b, "{text}");
+        assert!(text.contains("gauge c.level 1.5"), "{text}");
+        assert!(text.contains("histogram d.latency_ns count 2 sum_ns 2000"), "{text}");
+        // Cumulative buckets: ≤1µs has 1, ≤2µs has both, +inf has both.
+        assert!(text.contains("histogram_bucket d.latency_ns le 1000 1"), "{text}");
+        assert!(text.contains("histogram_bucket d.latency_ns le 2000 2"), "{text}");
+        assert!(text.contains("histogram_bucket d.latency_ns le +inf 2"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let r = Registry::new();
+        r.counter("x_total").add(7);
+        r.gauge("y").set(0.5);
+        r.histogram("z_ns").record_ns(10);
+        let json = r.render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"x_total\":7"), "{json}");
+        assert!(json.contains("\"y\":0.5"), "{json}");
+        assert!(json.contains("\"z_ns\":{\"count\":1,\"sum_ns\":10,\"buckets\":[1,"), "{json}");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let name = "test.global.shared_total";
+        let before = Registry::global().counter(name).get();
+        Registry::global().counter(name).inc();
+        assert_eq!(Registry::global().counter(name).get(), before + 1);
+    }
+
+    #[test]
+    fn clones_share_instruments() {
+        let r = Registry::new();
+        let r2 = r.clone();
+        r.counter("shared_total").inc();
+        assert_eq!(r2.counter("shared_total").get(), 1);
+    }
+}

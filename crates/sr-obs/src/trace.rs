@@ -1,0 +1,574 @@
+//! Hierarchical tracing spans with a process-wide pluggable subscriber.
+//!
+//! A [`Span`] measures one phase of work on the monotonic clock
+//! ([`std::time::Instant`]). Spans nest per thread: a span opened while
+//! another is live on the same thread becomes its child, and the finished
+//! [`SpanRecord`] carries the parent id and nesting depth, so subscribers
+//! can reconstruct the tree. Records are delivered to the installed
+//! [`Subscriber`] when the span *ends* (on drop), which means children
+//! always arrive before their parents (post-order).
+//!
+//! Tracing is globally off until [`set_subscriber`] installs a sink. While
+//! off, [`span`] costs one relaxed atomic load and allocates nothing.
+
+use std::cell::Cell;
+use std::io::Write;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Whether a subscriber is installed (the tracing fast-path gate).
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Monotonically increasing span id source (0 is reserved for "no span").
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+/// The installed subscriber, if any.
+static SUBSCRIBER: RwLock<Option<Arc<dyn Subscriber>>> = RwLock::new(None);
+
+thread_local! {
+    /// `(current span id, current depth)` on this thread; `(0, 0)` = root.
+    static CURRENT: Cell<(u64, usize)> = const { Cell::new((0, 0)) };
+}
+
+/// A typed field value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, sizes).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (ratios, losses).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free-form text (paths, labels).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+/// The finished form of a span, delivered to subscribers when it ends.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Span name (dot-separated, per the instrumentation contract).
+    pub name: &'static str,
+    /// Nesting depth on the opening thread (0 = root).
+    pub depth: usize,
+    /// Monotonic-clock elapsed time between open and close.
+    pub duration: Duration,
+    /// Fields recorded during the span's lifetime, in recording order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl SpanRecord {
+    /// The recorded value of `key`, if any.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// A sink for finished spans. Implementations must be cheap and non-blocking
+/// where possible — they run inline on the instrumented thread.
+pub trait Subscriber: Send + Sync {
+    /// Called once per span, when it ends (children before parents).
+    fn on_span_end(&self, record: &SpanRecord);
+
+    /// Flushes any buffered output. Called by [`clear_subscriber`].
+    fn flush(&self) {}
+}
+
+/// Installs `subscriber` as the process-wide span sink and enables tracing.
+/// Replaces (and flushes) any previous subscriber.
+pub fn set_subscriber(subscriber: Arc<dyn Subscriber>) {
+    let previous = {
+        let mut slot = SUBSCRIBER.write().expect("subscriber lock poisoned");
+        let previous = slot.take();
+        *slot = Some(subscriber);
+        previous
+    };
+    ENABLED.store(true, Ordering::SeqCst);
+    if let Some(prev) = previous {
+        prev.flush();
+    }
+}
+
+/// Disables tracing, flushes the current subscriber, and uninstalls it.
+pub fn clear_subscriber() {
+    ENABLED.store(false, Ordering::SeqCst);
+    let previous = SUBSCRIBER.write().expect("subscriber lock poisoned").take();
+    if let Some(prev) = previous {
+        prev.flush();
+    }
+}
+
+/// Whether a subscriber is currently installed. Use this to gate telemetry
+/// whose mere *construction* is expensive (e.g. formatting a path into a
+/// field value) — plain [`span`] calls and numeric [`Span::record`]s need
+/// no gating.
+pub fn tracing_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Data carried by a live (enabled) span.
+#[derive(Debug)]
+struct SpanData {
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    depth: usize,
+    start: Instant,
+    fields: Vec<(&'static str, Value)>,
+    /// The `(id, depth)` that was current before this span opened.
+    prev: (u64, usize),
+}
+
+/// A live tracing span; reports to the subscriber when dropped.
+///
+/// Spans are thread-affine: the guard must be dropped on the thread that
+/// created it (it is `!Send`), because nesting is tracked per thread.
+#[derive(Debug)]
+pub struct Span {
+    data: Option<SpanData>,
+    /// Spans restore thread-local nesting state on drop, so they must not
+    /// migrate across threads.
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Opens a span named `name`. If no subscriber is installed this is one
+/// relaxed atomic load and returns an inert guard (no allocation, no clock
+/// read).
+///
+/// Span names are `&'static str` dot-paths (`"repartition.merge_loop"`,
+/// `"serve.point"`); the full naming scheme lives in
+/// `docs/OBSERVABILITY.md`.
+pub fn span(name: &'static str) -> Span {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return Span { data: None, _not_send: PhantomData };
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let prev = CURRENT.with(|c| c.get());
+    let (parent, depth) = prev;
+    CURRENT.with(|c| c.set((id, depth + 1)));
+    Span {
+        data: Some(SpanData {
+            name,
+            id,
+            parent,
+            depth,
+            start: Instant::now(),
+            fields: Vec::new(),
+            prev,
+        }),
+        _not_send: PhantomData,
+    }
+}
+
+impl Span {
+    /// Attaches a field to the span. A no-op (the value is not even
+    /// converted) when the span is inert.
+    pub fn record<V: Into<Value>>(&mut self, key: &'static str, value: V) {
+        if let Some(data) = &mut self.data {
+            data.fields.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(data) = self.data.take() else { return };
+        let duration = data.start.elapsed();
+        CURRENT.with(|c| c.set(data.prev));
+        // Clone the Arc out of the lock so slow subscribers never hold it.
+        let subscriber = SUBSCRIBER.read().expect("subscriber lock poisoned").clone();
+        if let Some(sub) = subscriber {
+            let record = SpanRecord {
+                id: data.id,
+                parent: (data.parent != 0).then_some(data.parent),
+                name: data.name,
+                depth: data.depth,
+                duration,
+                fields: data.fields,
+            };
+            sub.on_span_end(&record);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Subscribers
+// ---------------------------------------------------------------------------
+
+/// Pretty-prints finished spans to stderr, indented by nesting depth.
+///
+/// Because spans report on close, the output is post-order: children print
+/// above their parents. Durations use the most readable unit.
+#[derive(Debug, Default)]
+pub struct StderrPretty {
+    _private: (),
+}
+
+impl StderrPretty {
+    /// A new stderr pretty-printer.
+    pub fn new() -> Self {
+        StderrPretty { _private: () }
+    }
+}
+
+impl Subscriber for StderrPretty {
+    fn on_span_end(&self, record: &SpanRecord) {
+        let mut line = String::with_capacity(64);
+        for _ in 0..record.depth {
+            line.push_str("  ");
+        }
+        line.push_str(record.name);
+        line.push_str(&format!("  {}", fmt_duration(record.duration)));
+        for (k, v) in &record.fields {
+            line.push_str(&format!("  {k}={v}"));
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// Human-friendly duration: ns under 1µs, µs under 1ms, ms under 1s, else s.
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Writes one JSON object per finished span to the wrapped writer.
+///
+/// Schema (one line per span, documented in `docs/OBSERVABILITY.md`):
+///
+/// ```json
+/// {"span":"repartition.merge_loop","id":7,"parent":4,"depth":1,
+///  "duration_ns":123456,"fields":{"iterations":12,"ifl":0.048}}
+/// ```
+///
+/// `parent` is `null` for root spans. Non-finite float fields serialize as
+/// `null` (JSON has no representation for them).
+#[derive(Debug)]
+pub struct JsonLines<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLines<W> {
+    /// A JSON-lines subscriber writing to `out`.
+    pub fn new(out: W) -> Self {
+        JsonLines { out: Mutex::new(out) }
+    }
+}
+
+impl<W: Write + Send> Subscriber for JsonLines<W> {
+    fn on_span_end(&self, record: &SpanRecord) {
+        let mut line = String::with_capacity(128);
+        line.push_str("{\"span\":");
+        json_string_into(&mut line, record.name);
+        line.push_str(&format!(",\"id\":{}", record.id));
+        match record.parent {
+            Some(p) => line.push_str(&format!(",\"parent\":{p}")),
+            None => line.push_str(",\"parent\":null"),
+        }
+        line.push_str(&format!(
+            ",\"depth\":{},\"duration_ns\":{}",
+            record.depth,
+            record.duration.as_nanos()
+        ));
+        line.push_str(",\"fields\":{");
+        for (i, (k, v)) in record.fields.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            json_string_into(&mut line, k);
+            line.push(':');
+            match v {
+                Value::U64(v) => line.push_str(&v.to_string()),
+                Value::I64(v) => line.push_str(&v.to_string()),
+                Value::F64(v) if v.is_finite() => line.push_str(&v.to_string()),
+                Value::F64(_) => line.push_str("null"),
+                Value::Bool(v) => line.push_str(if *v { "true" } else { "false" }),
+                Value::Str(s) => json_string_into(&mut line, s),
+            }
+        }
+        line.push_str("}}\n");
+        let mut out = self.out.lock().expect("json-lines writer poisoned");
+        let _ = out.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("json-lines writer poisoned").flush();
+    }
+}
+
+/// Appends a JSON string literal (quoted, escaped) to `buf`.
+fn json_string_into(buf: &mut String, s: &str) {
+    buf.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => buf.push_str(&format!("\\u{:04x}", c as u32)),
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// Collects finished spans in memory — the test-assertion subscriber.
+///
+/// ```
+/// use sr_obs::{span, MemoryCollector};
+/// use std::sync::Arc;
+/// let collector = Arc::new(MemoryCollector::new());
+/// sr_obs::set_subscriber(collector.clone());
+/// drop(span("test.work"));
+/// sr_obs::clear_subscriber();
+/// assert!(collector.find("test.work").is_some());
+/// ```
+#[derive(Debug, Default)]
+pub struct MemoryCollector {
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+impl MemoryCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        MemoryCollector::default()
+    }
+
+    /// All records collected so far, in arrival (post-)order.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.records.lock().expect("collector poisoned").clone()
+    }
+
+    /// The first record with the given span name.
+    pub fn find(&self, name: &str) -> Option<SpanRecord> {
+        self.records.lock().expect("collector poisoned").iter().find(|r| r.name == name).cloned()
+    }
+
+    /// All records with the given span name.
+    pub fn find_all(&self, name: &str) -> Vec<SpanRecord> {
+        self.records
+            .lock()
+            .expect("collector poisoned")
+            .iter()
+            .filter(|r| r.name == name)
+            .cloned()
+            .collect()
+    }
+
+    /// Direct children of the span with id `parent`.
+    pub fn children_of(&self, parent: u64) -> Vec<SpanRecord> {
+        self.records
+            .lock()
+            .expect("collector poisoned")
+            .iter()
+            .filter(|r| r.parent == Some(parent))
+            .cloned()
+            .collect()
+    }
+
+    /// Discards all collected records.
+    pub fn clear(&self) {
+        self.records.lock().expect("collector poisoned").clear();
+    }
+}
+
+impl Subscriber for MemoryCollector {
+    fn on_span_end(&self, record: &SpanRecord) {
+        self.records.lock().expect("collector poisoned").push(record.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tracing state is process-global; tests that install subscribers
+    /// serialize on this lock.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        clear_subscriber();
+        let mut s = span("test.noop");
+        assert!(s.data.is_none());
+        s.record("ignored", 1u64); // must not panic or allocate a record
+        drop(s);
+        assert!(!tracing_enabled());
+    }
+
+    #[test]
+    fn nesting_and_fields_are_captured() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let collector = Arc::new(MemoryCollector::new());
+        set_subscriber(collector.clone());
+        {
+            let mut outer = span("test.outer");
+            outer.record("n", 2u64);
+            {
+                let mut inner = span("test.inner");
+                inner.record("ratio", 0.5);
+                inner.record("label", "abc");
+            }
+            let _sibling = span("test.sibling");
+        }
+        clear_subscriber();
+
+        let records = collector.records();
+        assert_eq!(records.len(), 3);
+        // Post-order: children arrive before the parent.
+        assert_eq!(records[0].name, "test.inner");
+        assert_eq!(records[1].name, "test.sibling");
+        assert_eq!(records[2].name, "test.outer");
+
+        let outer = collector.find("test.outer").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(outer.parent, None);
+        assert_eq!(outer.field("n"), Some(&Value::U64(2)));
+        for child in ["test.inner", "test.sibling"] {
+            let c = collector.find(child).unwrap();
+            assert_eq!(c.parent, Some(outer.id), "{child}");
+            assert_eq!(c.depth, 1, "{child}");
+        }
+        let inner = collector.find("test.inner").unwrap();
+        assert_eq!(inner.field("ratio"), Some(&Value::F64(0.5)));
+        assert_eq!(inner.field("label"), Some(&Value::Str("abc".into())));
+        // Durations are monotone: the parent covers its children.
+        assert!(outer.duration >= inner.duration);
+    }
+
+    #[test]
+    fn sibling_spans_on_other_threads_are_roots() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let collector = Arc::new(MemoryCollector::new());
+        set_subscriber(collector.clone());
+        {
+            let _outer = span("test.main_root");
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let _s = span("test.worker");
+                });
+            });
+        }
+        clear_subscriber();
+        // Nesting is per-thread: the worker span has no parent.
+        let worker = collector.find("test.worker").unwrap();
+        assert_eq!(worker.parent, None);
+        assert_eq!(worker.depth, 0);
+    }
+
+    #[test]
+    fn json_lines_emit_valid_records() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let sink = Arc::new(JsonLines::new(Vec::<u8>::new()));
+        set_subscriber(sink.clone());
+        {
+            let mut s = span("test.json");
+            s.record("count", 3u64);
+            s.record("loss", 0.25);
+            s.record("nan", f64::NAN);
+            s.record("ok", true);
+            s.record("who", "a\"b");
+        }
+        clear_subscriber();
+        let out = String::from_utf8(sink.out.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 1);
+        let line = lines[0];
+        assert!(line.starts_with("{\"span\":\"test.json\""), "{line}");
+        assert!(line.contains("\"parent\":null"), "{line}");
+        assert!(line.contains("\"duration_ns\":"), "{line}");
+        assert!(line.contains("\"count\":3"), "{line}");
+        assert!(line.contains("\"loss\":0.25"), "{line}");
+        assert!(line.contains("\"nan\":null"), "{line}");
+        assert!(line.contains("\"ok\":true"), "{line}");
+        assert!(line.contains("\"who\":\"a\\\"b\""), "{line}");
+        assert!(line.ends_with("}}"), "{line}");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(750)), "750ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50ms");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.0µs");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000s");
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(-2i64), Value::I64(-2));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(format!("{}", Value::from("x")), "\"x\"");
+        assert_eq!(format!("{}", Value::from(1.5)), "1.5");
+    }
+}

@@ -7,14 +7,21 @@
 //! snapshot — and evicts the least recently used entry once `capacity`
 //! is exceeded. Engines are handed out as `Arc`s, so an eviction never
 //! invalidates in-flight queries.
+//!
+//! Hit/miss/eviction accounting is kept in [`sr_obs`] counters. A cache
+//! built with [`SnapshotCache::new`] uses private counters (exact counts
+//! per instance); [`SnapshotCache::with_registry`] binds the counters to
+//! `serve.cache.{hits,misses,evictions}_total` in a [`Registry`] so the
+//! `/metrics` and `/stats` endpoints read the very same cells as the
+//! accessors here — the two can never disagree.
 
 use crate::query::QueryEngine;
 use crate::snapshot::load_snapshot;
 use crate::Result;
+use sr_obs::{Counter, Registry};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Cache key: canonical path plus the raw bits of `θ` (bit-equality keeps
@@ -33,20 +40,34 @@ struct Inner {
 pub struct SnapshotCache {
     capacity: usize,
     inner: Mutex<Inner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl SnapshotCache {
-    /// A cache holding at most `capacity` engines (minimum 1).
+    /// A cache holding at most `capacity` engines (minimum 1), with
+    /// private (unregistered) counters.
     pub fn new(capacity: usize) -> Self {
         SnapshotCache {
             capacity: capacity.max(1),
             inner: Mutex::new(Inner::default()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
+        }
+    }
+
+    /// Like [`SnapshotCache::new`], but accounting through
+    /// `serve.cache.{hits,misses,evictions}_total` in `registry`, so the
+    /// counts also show up in that registry's renderings.
+    pub fn with_registry(capacity: usize, registry: &Registry) -> Self {
+        SnapshotCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+            hits: registry.counter("serve.cache.hits_total"),
+            misses: registry.counter("serve.cache.misses_total"),
+            evictions: registry.counter("serve.cache.evictions_total"),
         }
     }
 
@@ -58,7 +79,7 @@ impl SnapshotCache {
         {
             let mut inner = self.inner.lock().expect("cache poisoned");
             if let Some(engine) = inner.map.get(&key).cloned() {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 touch(&mut inner.order, &key);
                 return Ok(engine);
             }
@@ -67,7 +88,7 @@ impl SnapshotCache {
         // must not serialize unrelated lookups. A racing load of the same
         // key is harmless — last writer wins, both callers get a valid
         // engine.
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let engine = Arc::new(QueryEngine::new(load_snapshot(&key.0)?));
         let mut inner = self.inner.lock().expect("cache poisoned");
         if inner.map.insert(key.clone(), engine.clone()).is_none() {
@@ -78,7 +99,7 @@ impl SnapshotCache {
         while inner.map.len() > self.capacity {
             if let Some(oldest) = inner.order.pop_front() {
                 inner.map.remove(&oldest);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.inc();
             }
         }
         Ok(engine)
@@ -103,17 +124,17 @@ impl SnapshotCache {
 
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Cache misses (loads) so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Evictions so far.
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.get()
     }
 }
 
@@ -161,6 +182,22 @@ mod tests {
         cache.get_or_load(&paths[0], 0.10).unwrap();
         assert_eq!((cache.hits(), cache.misses()), (1, 2));
         assert_eq!(cache.len(), 2);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn registry_backed_counters_render() {
+        let (dir, paths) = snapshot_files(1, "reg");
+        let registry = Registry::new();
+        let cache = SnapshotCache::with_registry(2, &registry);
+        cache.get_or_load(&paths[0], 0.05).unwrap();
+        cache.get_or_load(&paths[0], 0.05).unwrap();
+        let text = registry.render_text();
+        assert!(text.contains("counter serve.cache.hits_total 1"), "{text}");
+        assert!(text.contains("counter serve.cache.misses_total 1"), "{text}");
+        assert!(text.contains("counter serve.cache.evictions_total 0"), "{text}");
+        // The accessors read the same cells the registry renders.
+        assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (1, 1, 0));
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -16,20 +16,30 @@
 //!   over the cells in a geographic rectangle.
 //! - `GET /knn?lat=F&lon=F&k=N` — the `k` nearest featured cell-groups by
 //!   rectangle centroid.
-//! - `GET /stats` — snapshot summary.
+//! - `GET /stats` — snapshot summary plus request counts.
+//! - `GET /metrics` — the full metrics registry in the `sr-metrics v1`
+//!   text format (see `docs/OBSERVABILITY.md`).
 //!
 //! Malformed requests get `400` with an `error` body; unknown paths `404`;
 //! non-`GET` methods `405`. The server never panics on bad input.
+//!
+//! Every request increments `serve.requests_total` and its endpoint's
+//! `serve.<endpoint>.requests_total` counter *before* the handler runs (so
+//! `/stats` and `/metrics` responses count themselves), records its latency
+//! into `serve.<endpoint>.latency_ns` *after* the response body is built,
+//! and runs under a `serve.<endpoint>` tracing span. Responses with status
+//! ≥ 400 also increment `serve.errors_total`.
 
 use crate::query::QueryEngine;
 use crate::Result;
+use sr_obs::{Counter, Histogram, Registry};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -40,6 +50,10 @@ pub struct ServerConfig {
     pub max_request_bytes: usize,
     /// Per-connection read timeout.
     pub read_timeout: Duration,
+    /// Metrics registry the server reports into and `/metrics` renders.
+    /// Defaults to [`Registry::global`]; pass a fresh [`Registry::new`] for
+    /// an isolated server (e.g. in tests hosting several servers).
+    pub registry: Registry,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +62,52 @@ impl Default for ServerConfig {
             threads: 4,
             max_request_bytes: 8 * 1024,
             read_timeout: Duration::from_secs(5),
+            registry: Registry::global(),
+        }
+    }
+}
+
+/// One endpoint's instruments: a request counter and a latency histogram.
+#[derive(Debug, Clone)]
+struct EndpointMetrics {
+    requests: Counter,
+    latency: Histogram,
+}
+
+impl EndpointMetrics {
+    fn new(registry: &Registry, endpoint: &str) -> Self {
+        EndpointMetrics {
+            requests: registry.counter(&format!("serve.{endpoint}.requests_total")),
+            latency: registry.histogram(&format!("serve.{endpoint}.latency_ns")),
+        }
+    }
+}
+
+/// All instruments one server records into, resolved once at startup so
+/// the per-request path never touches the registry's locks.
+#[derive(Debug)]
+struct ServerMetrics {
+    registry: Registry,
+    requests_total: Counter,
+    errors_total: Counter,
+    point: EndpointMetrics,
+    window: EndpointMetrics,
+    knn: EndpointMetrics,
+    stats: EndpointMetrics,
+    metrics: EndpointMetrics,
+}
+
+impl ServerMetrics {
+    fn new(registry: Registry) -> Self {
+        ServerMetrics {
+            requests_total: registry.counter("serve.requests_total"),
+            errors_total: registry.counter("serve.errors_total"),
+            point: EndpointMetrics::new(&registry, "point"),
+            window: EndpointMetrics::new(&registry, "window"),
+            knn: EndpointMetrics::new(&registry, "knn"),
+            stats: EndpointMetrics::new(&registry, "stats"),
+            metrics: EndpointMetrics::new(&registry, "metrics"),
+            registry,
         }
     }
 }
@@ -95,6 +155,12 @@ pub fn serve(engine: Arc<QueryEngine>, addr: &str, config: ServerConfig) -> Resu
     let local = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
 
+    // Snapshot-shape gauges let `/metrics` describe what is being served.
+    let st = engine.stats();
+    config.registry.gauge("serve.snapshot.cells").set(st.cells as f64);
+    config.registry.gauge("serve.snapshot.groups").set(st.groups as f64);
+    let metrics = Arc::new(ServerMetrics::new(config.registry.clone()));
+
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
     let workers: Vec<JoinHandle<()>> = (0..config.threads.max(1))
@@ -102,6 +168,7 @@ pub fn serve(engine: Arc<QueryEngine>, addr: &str, config: ServerConfig) -> Resu
             let rx = Arc::clone(&rx);
             let engine = Arc::clone(&engine);
             let config = config.clone();
+            let metrics = Arc::clone(&metrics);
             std::thread::spawn(move || loop {
                 // Holding the lock only while receiving keeps the pool
                 // work-stealing: whichever worker is free takes the next
@@ -110,7 +177,7 @@ pub fn serve(engine: Arc<QueryEngine>, addr: &str, config: ServerConfig) -> Resu
                     Ok(s) => s,
                     Err(_) => return, // channel closed: shutting down
                 };
-                handle_connection(stream, &engine, &config);
+                handle_connection(stream, &engine, &config, &metrics);
             })
         })
         .collect();
@@ -138,7 +205,12 @@ pub fn serve(engine: Arc<QueryEngine>, addr: &str, config: ServerConfig) -> Resu
     Ok(ServerHandle { addr: local, shutdown, acceptor: Some(acceptor) })
 }
 
-fn handle_connection(stream: TcpStream, engine: &QueryEngine, config: &ServerConfig) {
+fn handle_connection(
+    stream: TcpStream,
+    engine: &QueryEngine,
+    config: &ServerConfig,
+    metrics: &ServerMetrics,
+) {
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
@@ -161,30 +233,46 @@ fn handle_connection(stream: TcpStream, engine: &QueryEngine, config: &ServerCon
                     break;
                 }
                 if total > config.max_request_bytes {
-                    respond(&stream, 431, &json_error("request head too large"));
+                    metrics.requests_total.inc();
+                    metrics.errors_total.inc();
+                    respond(&stream, 431, CONTENT_TYPE_JSON, &json_error("request head too large"));
                     return;
                 }
             }
             Err(_) => return,
         }
     }
-    let (status, body) = route(request_line.trim_end(), engine);
-    respond(&stream, status, &body);
+    let (status, content_type, body) = route(request_line.trim_end(), engine, metrics);
+    respond(&stream, status, content_type, &body);
 }
 
-/// Parses the request line and dispatches to the endpoint handlers.
-/// Returns `(status, json_body)` and never panics on malformed input.
-fn route(request_line: &str, engine: &QueryEngine) -> (u16, String) {
+const CONTENT_TYPE_JSON: &str = "application/json";
+const CONTENT_TYPE_METRICS: &str = "text/plain; version=sr-metrics-v1";
+
+/// Parses the request line and dispatches to the endpoint handlers, with
+/// per-endpoint telemetry. Returns `(status, content_type, body)` and never
+/// panics on malformed input.
+fn route(
+    request_line: &str,
+    engine: &QueryEngine,
+    m: &ServerMetrics,
+) -> (u16, &'static str, String) {
+    // Any parsed-enough-to-answer request counts, even a malformed one.
+    m.requests_total.inc();
+    let bad = |status: u16, message: &str| {
+        m.errors_total.inc();
+        (status, CONTENT_TYPE_JSON, json_error(message))
+    };
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
-        return (400, json_error("malformed request line"));
+        return bad(400, "malformed request line");
     };
     if !version.starts_with("HTTP/1.") {
-        return (400, json_error("unsupported protocol version"));
+        return bad(400, "unsupported protocol version");
     }
     if method != "GET" {
-        return (405, json_error("only GET is supported"));
+        return bad(405, "only GET is supported");
     }
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
@@ -193,13 +281,36 @@ fn route(request_line: &str, engine: &QueryEngine) -> (u16, String) {
     let params: HashMap<&str, &str> =
         query.split('&').filter(|kv| !kv.is_empty()).filter_map(|kv| kv.split_once('=')).collect();
 
-    match path {
-        "/point" => handle_point(engine, &params),
-        "/window" => handle_window(engine, &params),
-        "/knn" => handle_knn(engine, &params),
-        "/stats" => (200, stats_json(engine)),
-        _ => (404, json_error("unknown path")),
+    let (em, span_name): (&EndpointMetrics, &'static str) = match path {
+        "/point" => (&m.point, "serve.point"),
+        "/window" => (&m.window, "serve.window"),
+        "/knn" => (&m.knn, "serve.knn"),
+        "/stats" => (&m.stats, "serve.stats"),
+        "/metrics" => (&m.metrics, "serve.metrics"),
+        _ => return bad(404, "unknown path"),
+    };
+    // Count before the handler runs so /stats and /metrics include the
+    // request being served; record latency after the body is built.
+    em.requests.inc();
+    let start = Instant::now();
+    let mut span = sr_obs::span(span_name);
+    let (status, content_type, body) = match path {
+        "/point" => with_json(handle_point(engine, &params)),
+        "/window" => with_json(handle_window(engine, &params)),
+        "/knn" => with_json(handle_knn(engine, &params)),
+        "/stats" => (200, CONTENT_TYPE_JSON, stats_json(engine, m)),
+        _ => (200, CONTENT_TYPE_METRICS, m.registry.render_text()),
+    };
+    em.latency.record(start.elapsed());
+    span.record("status", u64::from(status));
+    if status >= 400 {
+        m.errors_total.inc();
     }
+    (status, content_type, body)
+}
+
+fn with_json((status, body): (u16, String)) -> (u16, &'static str, String) {
+    (status, CONTENT_TYPE_JSON, body)
 }
 
 fn param_f64(params: &HashMap<&str, &str>, key: &str) -> std::result::Result<f64, String> {
@@ -294,14 +405,18 @@ fn handle_knn(engine: &QueryEngine, params: &HashMap<&str, &str>) -> (u16, Strin
     (200, format!("{{\"neighbors\":[{}]}}", neighbors.join(",")))
 }
 
-fn stats_json(engine: &QueryEngine) -> String {
+/// Snapshot summary plus the same request counters `/metrics` reports —
+/// both read the very same [`Counter`]s, so the two endpoints can never
+/// disagree.
+fn stats_json(engine: &QueryEngine, m: &ServerMetrics) -> String {
     let st = engine.stats();
     let names: Vec<String> =
         engine.snapshot().attr_names().iter().map(|n| json_string(n)).collect();
     format!(
         "{{\"rows\":{},\"cols\":{},\"cells\":{},\"valid_cells\":{},\"groups\":{},\
          \"valid_groups\":{},\"attrs\":{},\"attr_names\":[{}],\"theta\":{},\"ifl\":{},\
-         \"cell_reduction\":{}}}",
+         \"cell_reduction\":{},\"requests\":{{\"point\":{},\"window\":{},\"knn\":{},\
+         \"stats\":{},\"metrics\":{},\"total\":{},\"errors\":{}}}}}",
         st.rows,
         st.cols,
         st.cells,
@@ -313,10 +428,17 @@ fn stats_json(engine: &QueryEngine) -> String {
         json_f64(st.theta),
         json_f64(st.ifl),
         json_f64(st.cell_reduction),
+        m.point.requests.get(),
+        m.window.requests.get(),
+        m.knn.requests.get(),
+        m.stats.requests.get(),
+        m.metrics.requests.get(),
+        m.requests_total.get(),
+        m.errors_total.get(),
     )
 }
 
-fn respond(mut stream: &TcpStream, status: u16, body: &str) {
+fn respond(mut stream: &TcpStream, status: u16, content_type: &str, body: &str) {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -326,7 +448,7 @@ fn respond(mut stream: &TcpStream, status: u16, body: &str) {
         _ => "Internal Server Error",
     };
     let response = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
@@ -396,6 +518,7 @@ mod tests {
     #[test]
     fn route_rejects_malformed_without_panicking() {
         let engine = test_engine();
+        let m = test_metrics();
         for bad in [
             "",
             "GARBAGE",
@@ -409,32 +532,62 @@ mod tests {
             "GET /window?lat0=1 HTTP/1.1",
             "GET /point?lat=1&lon=1 SPDY/9",
         ] {
-            let (status, body) = route(bad, &engine);
+            let (status, _, body) = route(bad, &engine, &m);
             assert!((400..=405).contains(&status), "'{bad}' gave status {status}");
             assert!(body.contains("error"), "'{bad}' body: {body}");
         }
-        let (status, _) = route("GET /nope HTTP/1.1", &engine);
+        let (status, _, _) = route("GET /nope HTTP/1.1", &engine, &m);
         assert_eq!(status, 404);
+        assert_eq!(m.errors_total.get(), 12);
+        assert_eq!(m.requests_total.get(), 12);
     }
 
     #[test]
     fn route_answers_wellformed() {
         let engine = test_engine();
-        let (status, body) = route("GET /stats HTTP/1.1", &engine);
+        let m = test_metrics();
+        let (status, ct, body) = route("GET /stats HTTP/1.1", &engine, &m);
         assert_eq!(status, 200);
+        assert_eq!(ct, CONTENT_TYPE_JSON);
         assert!(body.contains("\"groups\""));
-        let (status, body) = route("GET /point?lat=0.5&lon=0.5 HTTP/1.1", &engine);
+        let (status, _, body) = route("GET /point?lat=0.5&lon=0.5 HTTP/1.1", &engine, &m);
         assert_eq!(status, 200);
         assert!(body.contains("\"inside\":true"));
-        let (status, body) = route("GET /point?lat=9&lon=9 HTTP/1.1", &engine);
+        let (status, _, body) = route("GET /point?lat=9&lon=9 HTTP/1.1", &engine, &m);
         assert_eq!(status, 200);
         assert!(body.contains("\"inside\":false"));
-        let (status, body) = route("GET /window?lat0=0&lat1=1&lon0=0&lon1=1 HTTP/1.1", &engine);
+        let (status, _, body) =
+            route("GET /window?lat0=0&lat1=1&lon0=0&lon1=1 HTTP/1.1", &engine, &m);
         assert_eq!(status, 200);
         assert!(body.contains("\"attrs\""));
-        let (status, body) = route("GET /knn?lat=0.5&lon=0.5&k=2 HTTP/1.1", &engine);
+        let (status, _, body) = route("GET /knn?lat=0.5&lon=0.5&k=2 HTTP/1.1", &engine, &m);
         assert_eq!(status, 200);
         assert!(body.contains("\"neighbors\""));
+    }
+
+    #[test]
+    fn route_serves_metrics_and_counts_requests() {
+        let engine = test_engine();
+        let m = test_metrics();
+        route("GET /point?lat=0.5&lon=0.5 HTTP/1.1", &engine, &m);
+        route("GET /point?lat=0.5&lon=0.5 HTTP/1.1", &engine, &m);
+        let (status, _, stats) = route("GET /stats HTTP/1.1", &engine, &m);
+        assert_eq!(status, 200);
+        assert!(stats.contains("\"requests\":{\"point\":2,"), "stats: {stats}");
+        let (status, ct, body) = route("GET /metrics HTTP/1.1", &engine, &m);
+        assert_eq!(status, 200);
+        assert_eq!(ct, CONTENT_TYPE_METRICS);
+        assert!(body.contains("counter serve.point.requests_total 2"), "metrics: {body}");
+        assert!(body.contains("counter serve.requests_total 4"), "metrics: {body}");
+        assert!(body.contains("histogram serve.point.latency_ns count 2"), "metrics: {body}");
+        // /stats and /metrics read the same counters: re-render agrees.
+        assert_eq!(m.point.requests.get(), 2);
+        assert_eq!(m.metrics.requests.get(), 1);
+        assert_eq!(m.stats.requests.get(), 1);
+    }
+
+    fn test_metrics() -> ServerMetrics {
+        ServerMetrics::new(Registry::new())
     }
 
     fn test_engine() -> QueryEngine {

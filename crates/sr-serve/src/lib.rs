@@ -14,6 +14,31 @@
 //! by [`query::QueryEngine`] is bit-identical to the value
 //! [`sr_core::reconstruct_grid`] would materialize for that cell — serving
 //! never re-derives representatives with different arithmetic.
+//!
+//! Serving is instrumented with [`sr_obs`] (re-exported here as
+//! [`Registry`]): per-endpoint spans, request/error counters, and latency
+//! histograms, surfaced over `GET /metrics` and folded into `GET /stats`.
+//! `docs/OBSERVABILITY.md` documents the exact names; the summary below
+//! round-trips a snapshot and queries it directly:
+//!
+//! ```
+//! use sr_serve::{snapshot_from_bytes, snapshot_to_bytes, QueryEngine, Snapshot};
+//!
+//! // Offline: partition a small grid and freeze it into snapshot bytes.
+//! let vals: Vec<f64> = (0..36).map(|i| 10.0 + (i / 6) as f64 * 0.2).collect();
+//! let grid = sr_grid::GridDataset::univariate(6, 6, vals).unwrap();
+//! let out = sr_core::repartition(&grid, 0.05).unwrap();
+//! let snap = Snapshot::build(&out.repartitioned, &grid, 0.05).unwrap();
+//! let bytes = snapshot_to_bytes(&snap);
+//!
+//! // Online: decode and answer a point query at group granularity.
+//! let engine = QueryEngine::new(snapshot_from_bytes(&bytes).unwrap());
+//! let answer = engine.point(0.5, 0.5).expect("inside the grid bounds");
+//! assert!(answer.values.is_some());
+//! assert!(engine.stats().groups >= 1);
+//! ```
+
+#![deny(missing_docs)]
 
 pub mod cache;
 pub mod http;
@@ -27,6 +52,7 @@ pub use snapshot::{
     load_snapshot, read_snapshot, save_snapshot, snapshot_from_bytes, snapshot_to_bytes,
     write_snapshot, Snapshot,
 };
+pub use sr_obs::Registry;
 
 /// Errors from the serving layer.
 #[derive(Debug)]

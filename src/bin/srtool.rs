@@ -16,7 +16,12 @@
 //!   re-partitions a grid and freezes the result as an `sr-snap v1`
 //!   snapshot for online serving.
 //! - `serve --snapshot FILE.snap [--addr HOST:PORT] [--threads N]`
-//!   serves point/window/knn/stats queries over HTTP from a snapshot.
+//!   serves point/window/knn/stats/metrics queries over HTTP from a
+//!   snapshot.
+//!
+//! The global `--trace` flag (any subcommand) prints hierarchical span
+//! timings to stderr; `--trace=json` emits them as JSON-lines instead.
+//! `docs/OBSERVABILITY.md` documents the span names and the schema.
 //!
 //! Example round trip:
 //!
@@ -41,7 +46,11 @@ use std::io::Write;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match install_tracing(&mut args) {
+        Ok(()) => {}
+        Err(e) => return usage(&e),
+    }
     let Some((cmd, rest)) = args.split_first() else {
         return usage("missing subcommand");
     };
@@ -62,12 +71,48 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown subcommand '{other}'")),
     };
+    // Flush any buffered span output before the process exits.
+    sr_obs::clear_subscriber();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("srtool: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Handles the global `--trace[=json]` flag: removes it from `args` and
+/// installs the matching subscriber. Spans go to stderr so they interleave
+/// cleanly with redirected stdout output.
+fn install_tracing(args: &mut Vec<String>) -> Result<(), String> {
+    let mut mode = None;
+    args.retain(|a| match a.as_str() {
+        "--trace" | "--trace=pretty" => {
+            mode = Some("pretty");
+            false
+        }
+        "--trace=json" => {
+            mode = Some("json");
+            false
+        }
+        other if other.starts_with("--trace=") => {
+            mode = Some("bad");
+            false
+        }
+        _ => true,
+    });
+    match mode {
+        None => Ok(()),
+        Some("pretty") => {
+            sr_obs::set_subscriber(std::sync::Arc::new(sr_obs::StderrPretty::new()));
+            Ok(())
+        }
+        Some("json") => {
+            sr_obs::set_subscriber(std::sync::Arc::new(sr_obs::JsonLines::new(std::io::stderr())));
+            Ok(())
+        }
+        Some(_) => Err("bad --trace mode (expected --trace or --trace=json)".to_string()),
     }
 }
 
@@ -309,7 +354,8 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         handle.addr()
     );
     println!(
-        "endpoints: /point?lat=&lon=  /window?lat0=&lat1=&lon0=&lon1=  /knn?lat=&lon=&k=  /stats"
+        "endpoints: /point?lat=&lon=  /window?lat0=&lat1=&lon0=&lon1=  /knn?lat=&lon=&k=  \
+         /stats  /metrics"
     );
     println!("press Ctrl-C to stop");
     // Serve until killed; the handle's Drop would stop the server, so park
@@ -331,7 +377,11 @@ USAGE:
                      [--out-gal FILE]
   srtool homogeneous --in FILE --rows K --cols K
   srtool snapshot    --in FILE --theta T --out FILE.snap [--strided]
-  srtool serve       --snapshot FILE.snap [--addr HOST:PORT] [--threads N]"
+  srtool serve       --snapshot FILE.snap [--addr HOST:PORT] [--threads N]
+
+GLOBAL FLAGS:
+  --trace        print hierarchical span timings to stderr
+  --trace=json   emit spans as JSON-lines on stderr (schema: docs/OBSERVABILITY.md)"
     );
 }
 

@@ -45,6 +45,31 @@
 //! | [`linalg`] | `sr-linalg` | dense matrices, LU, Cholesky, least squares |
 //! | [`mem`] | `sr-mem` | peak-allocation tracking for the memory experiments |
 //! | [`serve`] | `sr-serve` | partition snapshots (`sr-snap v1`), the online query engine, snapshot cache, HTTP server |
+//! | [`obs`] | `sr-obs` | tracing spans and the metrics registry behind `--trace` and `GET /metrics` |
+//!
+//! ## Observability
+//!
+//! The pipeline (sr-core, sr-grid I/O) and the serving layer (sr-serve) are
+//! instrumented with [`obs`]: hierarchical spans report phase timings to a
+//! pluggable subscriber, and a process-wide registry accumulates counters
+//! and latency histograms. Tracing is off by default and costs one atomic
+//! load per span while disabled. `docs/OBSERVABILITY.md` is the contract:
+//! span names, metric names/units, bucket layout, and the JSON-lines
+//! schema.
+//!
+//! ```
+//! use spatial_repartition::obs;
+//! use std::sync::Arc;
+//!
+//! let collector = Arc::new(obs::MemoryCollector::new());
+//! obs::set_subscriber(collector.clone());
+//! {
+//!     let mut span = obs::span("example.phase");
+//!     span.record("items", 3u64);
+//! }
+//! obs::clear_subscriber();
+//! assert_eq!(collector.records()[0].name, "example.phase");
+//! ```
 
 pub use sr_baselines as baselines;
 pub use sr_core as core;
@@ -53,6 +78,7 @@ pub use sr_grid as grid;
 pub use sr_linalg as linalg;
 pub use sr_mem as mem;
 pub use sr_ml as ml;
+pub use sr_obs as obs;
 pub use sr_serve as serve;
 
 /// The most common imports in one place.
@@ -75,6 +101,7 @@ pub mod prelude {
         weighted_f1, GradientBoostingClassifier, Gwr, KnnClassifier, KnnRegressor, OrdinaryKriging,
         RandomForest, SpatialError, SpatialLag, Svr, VariogramModel,
     };
+    pub use sr_obs::{span, Registry};
     pub use sr_serve::{
         load_snapshot, save_snapshot, serve, QueryEngine, ServerConfig, Snapshot, SnapshotCache,
     };
