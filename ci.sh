@@ -15,8 +15,14 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo build --release"
 cargo build --release --offline
 
-echo "==> cargo test -q"
-cargo test -q --workspace --offline
+# The suite runs twice: serial (SR_THREADS=1) and parallel (SR_THREADS=4).
+# Results are identical by contract (docs/PERFORMANCE.md); the two passes
+# keep both the serial fast paths and the pool fan-out honest.
+echo "==> cargo test -q (SR_THREADS=1)"
+SR_THREADS=1 cargo test -q --workspace --offline
+
+echo "==> cargo test -q (SR_THREADS=4)"
+SR_THREADS=4 cargo test -q --workspace --offline
 
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --quiet

@@ -1,13 +1,17 @@
 //! Micro-benchmarks of the spatial ML substrate: one fit per model at a
 //! fixed small training size, so regressions in any estimator's complexity
-//! show up immediately.
+//! show up immediately, plus batch-prediction benches for the
+//! embarrassingly-parallel kernels (kriging, KNN).
+//!
+//! Results are exported to `BENCH_models.json` at the workspace root so the
+//! model-layer performance trajectory is tracked in-repo.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sr_bench::Units;
 use sr_datasets::{Dataset, GridSize};
 use sr_ml::{
-    table1, GradientBoostingClassifier, Gwr, KnnClassifier, OrdinaryKriging, RandomForest,
-    SpatialError, SpatialLag, Svr, SvrParams,
+    table1, GradientBoostingClassifier, Gwr, KnnClassifier, KnnRegressor, OrdinaryKriging,
+    RandomForest, SpatialError, SpatialLag, Svr, SvrParams,
 };
 use std::hint::black_box;
 
@@ -87,5 +91,54 @@ fn bench_classifiers_and_kriging(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_regressors, bench_classifiers_and_kriging);
+fn bench_batch_predictions(c: &mut Criterion) {
+    let (xs, ys, coords, _) = training_data();
+    let labels = sr_ml::bin_into_quantiles(&ys, table1::NUM_CLASSES);
+    let n = xs.len();
+    let mut group = c.benchmark_group(format!("predict_n{n}"));
+    group.sample_size(10);
+
+    let kriging = OrdinaryKriging::fit(&coords, &ys, &table1::kriging()).unwrap();
+    group.bench_function("kriging_predict_batch", |b| {
+        b.iter(|| kriging.predict(black_box(&coords)))
+    });
+
+    let knn_c = KnnClassifier::fit(&xs, &labels, table1::NUM_CLASSES, &table1::knn()).unwrap();
+    group.bench_function("knn_classify_batch", |b| b.iter(|| knn_c.predict(black_box(&xs))));
+
+    let knn_r = KnnRegressor::fit(&xs, &ys, &table1::knn()).unwrap();
+    group.bench_function("knn_regress_batch", |b| b.iter(|| knn_r.predict(black_box(&xs))));
+
+    // Explicit thread-count variants: the batch kernels fan out on the
+    // global pool, so pin its budget per variant (results are identical at
+    // every thread count; see docs/PERFORMANCE.md).
+    for threads in [1usize, 4] {
+        sr_par::Pool::global().set_threads(threads);
+        group.bench_function(format!("kriging_predict_batch_t{threads}"), |b| {
+            b.iter(|| kriging.predict(black_box(&coords)))
+        });
+        group.bench_function(format!("knn_classify_batch_t{threads}"), |b| {
+            b.iter(|| knn_c.predict(black_box(&xs)))
+        });
+        group.bench_function(format!("knn_regress_batch_t{threads}"), |b| {
+            b.iter(|| knn_r.predict(black_box(&xs)))
+        });
+    }
+    sr_par::Pool::global().set_threads(sr_par::default_threads());
+
+    group.finish();
+}
+
+fn export(c: &mut Criterion) {
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_models.json");
+    c.export_json(out).expect("write BENCH_models.json");
+}
+
+criterion_group!(
+    benches,
+    bench_regressors,
+    bench_classifiers_and_kriging,
+    bench_batch_predictions,
+    export
+);
 criterion_main!(benches);

@@ -1,7 +1,11 @@
 //! Micro-benchmarks of the re-partitioning pipeline's stages: heap
 //! construction, cell-group extraction (Algorithm 1), feature allocation
 //! (Algorithm 2), IFL computation, group adjacency (Algorithm 3), and the
-//! full driver at paper-relevant grid sizes.
+//! full driver at paper-relevant grid sizes — including the 100k-cell grid
+//! used as the scaling reference point.
+//!
+//! Results are exported to `BENCH_repartition.json` at the workspace root
+//! so the pipeline's performance trajectory is tracked in-repo.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sr_core::{
@@ -13,45 +17,50 @@ use sr_grid::{normalize_attributes, IflOptions};
 use std::hint::black_box;
 
 fn bench_stages(c: &mut Criterion) {
-    let grid = Dataset::TaxiMultivariate.generate(GridSize::Custom(60, 60), 1);
-    let norm = normalize_attributes(&grid);
-    let partition = extract_cell_groups(&norm, 0.02);
-    let features = allocate_features(&grid, &partition);
+    for (label, rows, cols) in [("3600_cells", 60usize, 60usize), ("100k_cells", 320, 320)] {
+        let grid = Dataset::TaxiMultivariate.generate(GridSize::Custom(rows, cols), 1);
+        let norm = normalize_attributes(&grid);
+        let partition = extract_cell_groups(&norm, 0.02);
+        let features = allocate_features(&grid, &partition);
 
-    c.bench_function("heap_build_3600_cells", |b| {
-        b.iter(|| VariationHeap::from_grid(black_box(&norm)))
-    });
+        c.bench_function(&format!("heap_build_{label}"), |b| {
+            b.iter(|| VariationHeap::from_grid(black_box(&norm)))
+        });
 
-    c.bench_function("extract_cell_groups_3600_cells", |b| {
-        b.iter(|| extract_cell_groups(black_box(&norm), black_box(0.02)))
-    });
+        c.bench_function(&format!("extract_cell_groups_{label}"), |b| {
+            b.iter(|| extract_cell_groups(black_box(&norm), black_box(0.02)))
+        });
 
-    c.bench_function("allocate_features_3600_cells", |b| {
-        b.iter(|| allocate_features(black_box(&grid), black_box(&partition)))
-    });
+        c.bench_function(&format!("allocate_features_{label}"), |b| {
+            b.iter(|| allocate_features(black_box(&grid), black_box(&partition)))
+        });
 
-    c.bench_function("partition_ifl_3600_cells", |b| {
-        b.iter(|| {
-            partition_ifl(
-                black_box(&grid),
-                black_box(&partition),
-                black_box(&features),
-                IflOptions::default(),
-            )
-        })
-    });
+        c.bench_function(&format!("partition_ifl_{label}"), |b| {
+            b.iter(|| {
+                partition_ifl(
+                    black_box(&grid),
+                    black_box(&partition),
+                    black_box(&features),
+                    IflOptions::default(),
+                )
+            })
+        });
 
-    c.bench_function("group_adjacency_3600_cells", |b| {
-        b.iter(|| group_adjacency(black_box(&partition)))
-    });
+        c.bench_function(&format!("group_adjacency_{label}"), |b| {
+            b.iter(|| group_adjacency(black_box(&partition)))
+        });
+    }
 }
 
 fn bench_full_driver(c: &mut Criterion) {
     let mut group = c.benchmark_group("repartition_driver");
     group.sample_size(10);
-    for (label, size) in
-        [("20x20", GridSize::Mini), ("48x48", GridSize::Tiny), ("80x80", GridSize::Small)]
-    {
+    for (label, size) in [
+        ("20x20", GridSize::Mini),
+        ("48x48", GridSize::Tiny),
+        ("80x80", GridSize::Small),
+        ("320x320_100k", GridSize::Custom(320, 320)),
+    ] {
         let grid = Dataset::TaxiMultivariate.generate(size, 1);
         group.bench_with_input(BenchmarkId::new("strided_theta_0.05", label), &grid, |b, g| {
             let cfg = RepartitionConfig::new(0.05)
@@ -61,8 +70,32 @@ fn bench_full_driver(c: &mut Criterion) {
             b.iter(|| driver.run(black_box(g)).unwrap())
         });
     }
+
+    // Explicit thread-count variants on the 100k grid: t1 pins the serial
+    // fast paths, t4 exercises the pool fan-out (results are identical by
+    // the sr-par determinism contract; see docs/PERFORMANCE.md).
+    let grid = Dataset::TaxiMultivariate.generate(GridSize::Custom(320, 320), 1);
+    for threads in [1usize, 4] {
+        let pool = sr_par::Pool::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new(format!("strided_theta_0.05_t{threads}"), "320x320_100k"),
+            &grid,
+            |b, g| {
+                let cfg = RepartitionConfig::new(0.05).unwrap().with_strategy(
+                    IterationStrategy::Exponential { initial_stride: 8, growth: 1.6 },
+                );
+                let driver = Repartitioner::with_config(cfg).unwrap();
+                b.iter(|| driver.run_with_pool(black_box(g), &pool).unwrap())
+            },
+        );
+    }
     group.finish();
 }
 
-criterion_group!(benches, bench_stages, bench_full_driver);
+fn export(c: &mut Criterion) {
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_repartition.json");
+    c.export_json(out).expect("write BENCH_repartition.json");
+}
+
+criterion_group!(benches, bench_stages, bench_full_driver, export);
 criterion_main!(benches);

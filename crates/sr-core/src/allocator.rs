@@ -15,49 +15,249 @@ use crate::partition::Partition;
 use sr_grid::{local_loss, GridDataset};
 use std::collections::HashMap;
 
-/// Representative feature vectors of all groups in `partition`, indexed by
-/// group id; `None` marks a null group.
-pub fn allocate_features(original: &GridDataset, partition: &Partition) -> Vec<Option<Vec<f64>>> {
-    let p = original.num_attrs();
-    let mut out = Vec::with_capacity(partition.num_groups());
-    // Workhorse buffer reused across groups to avoid per-group allocation.
-    let mut values: Vec<f64> = Vec::new();
+/// Per-chunk scratch reused across groups so the hot allocation loop does
+/// zero heap traffic per group: one value column per attribute plus the
+/// mode-counting map.
+struct Scratch {
+    /// `columns[k]` holds attribute `k`'s values of the current group's
+    /// valid cells, in row-major cell order.
+    columns: Vec<Vec<f64>>,
+    counts: HashMap<u64, (usize, usize)>,
+}
 
-    for gid in 0..partition.num_groups() as u32 {
-        let mut fv = vec![0.0f64; p];
-        let mut any_valid = false;
-        for (k, slot) in fv.iter_mut().enumerate() {
-            values.clear();
-            for cell in partition.cells_iter(gid) {
-                if original.is_valid(cell) {
-                    values.push(original.value(cell, k));
-                }
-            }
-            if values.is_empty() {
-                continue;
-            }
-            any_valid = true;
-            *slot = match original.agg_types()[k] {
-                sr_grid::AggType::Sum => values.iter().sum(),
-                sr_grid::AggType::Avg => {
-                    best_average_representative(&values, original.integer_attrs()[k])
-                }
-                // Categorical: the most frequent code (§VI extension).
-                sr_grid::AggType::Mode => mode(&values),
-            };
-        }
-        out.push(any_valid.then_some(fv));
+impl Scratch {
+    fn new(p: usize) -> Self {
+        Scratch { columns: vec![Vec::new(); p], counts: HashMap::new() }
     }
-    out
+}
+
+/// Flat arena of allocated group features: one `p`-wide row of values per
+/// group plus the group's valid-member count, with no per-group heap
+/// allocation. The driver's inner loop allocates features dozens of times
+/// per run and only materializes the boxed [`Vec<Option<Vec<f64>>>`] form
+/// once, for the accepted result — see [`GroupFeatures::into_options`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupFeatures {
+    p: usize,
+    /// `values[g·p + k]` = allocated value of attribute `k` for group `g`
+    /// (0.0 rows for null groups, which are never read).
+    values: Vec<f64>,
+    /// Number of valid member cells per group; 0 marks a null group. Also
+    /// exactly the count Eq. 3 needs to un-sum `Sum`-typed attributes.
+    valid_counts: Vec<usize>,
+}
+
+impl GroupFeatures {
+    /// Runs Algorithm 2 for every group on [`sr_par::Pool::global`].
+    pub fn allocate(original: &GridDataset, partition: &Partition) -> Self {
+        Self::allocate_with(original, partition, sr_par::Pool::global())
+    }
+
+    /// An empty arena, for use as a reusable [`GroupFeatures::allocate_into`]
+    /// target.
+    pub(crate) fn empty() -> Self {
+        GroupFeatures { p: 0, values: Vec::new(), valid_counts: Vec::new() }
+    }
+
+    /// [`GroupFeatures::allocate`] on an explicit pool. Groups are
+    /// independent and emitted in group-id order, so the result is
+    /// bit-identical at any thread count.
+    pub fn allocate_with(
+        original: &GridDataset,
+        partition: &Partition,
+        pool: &sr_par::Pool,
+    ) -> Self {
+        let mut out = GroupFeatures::empty();
+        Self::allocate_into(original, partition, pool, &mut out);
+        out
+    }
+
+    /// [`GroupFeatures::allocate_with`] into a reused arena: clears `out`
+    /// and refills it, keeping its allocations. The driver calls this once
+    /// per iteration on buffers that already span the grid.
+    pub(crate) fn allocate_into(
+        original: &GridDataset,
+        partition: &Partition,
+        pool: &sr_par::Pool,
+        out: &mut GroupFeatures,
+    ) {
+        let p = original.num_attrs();
+        let n_groups = partition.num_groups();
+        out.p = p;
+        out.values.clear();
+        out.valid_counts.clear();
+        // Serial pools fill the arena directly — the chunked path below
+        // pays for its parallelism with a concatenation copy.
+        if pool.threads() <= 1 {
+            let mut scratch = Scratch::new(p);
+            out.values.reserve(n_groups * p);
+            out.valid_counts.reserve(n_groups);
+            for gid in 0..n_groups {
+                let count = allocate_group_into(
+                    original,
+                    partition,
+                    gid as u32,
+                    &mut scratch,
+                    &mut out.values,
+                );
+                out.valid_counts.push(count);
+            }
+            return;
+        }
+        let chunks = pool.par_map_chunks(n_groups, sr_par::fixed_grain(n_groups, 64), |range| {
+            let mut scratch = Scratch::new(p);
+            let mut values = Vec::with_capacity(range.len() * p);
+            let mut counts = Vec::with_capacity(range.len());
+            for gid in range {
+                counts.push(allocate_group_into(
+                    original,
+                    partition,
+                    gid as u32,
+                    &mut scratch,
+                    &mut values,
+                ));
+            }
+            (values, counts)
+        });
+        out.values.reserve(n_groups * p);
+        out.valid_counts.reserve(n_groups);
+        for (v, c) in chunks {
+            out.values.extend(v);
+            out.valid_counts.extend(c);
+        }
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.valid_counts.len()
+    }
+
+    /// Attribute count per group row.
+    pub fn num_attrs(&self) -> usize {
+        self.p
+    }
+
+    /// The allocated feature row of group `g`, or `None` for a null group.
+    pub fn row(&self, g: usize) -> Option<&[f64]> {
+        (self.valid_counts[g] > 0).then(|| &self.values[g * self.p..(g + 1) * self.p])
+    }
+
+    /// Valid-member count of group `g` (0 for null groups).
+    pub fn valid_count(&self, g: usize) -> usize {
+        self.valid_counts[g]
+    }
+
+    /// Materializes the boxed per-group representation used by the public
+    /// pipeline types (`Repartitioned::features`, snapshots, serving).
+    pub fn into_options(self) -> Vec<Option<Vec<f64>>> {
+        let p = self.p;
+        self.valid_counts
+            .iter()
+            .enumerate()
+            .map(|(g, &count)| (count > 0).then(|| self.values[g * p..(g + 1) * p].to_vec()))
+            .collect()
+    }
+}
+
+/// Representative feature vectors of all groups in `partition`, indexed by
+/// group id; `None` marks a null group. Runs on [`sr_par::Pool::global`];
+/// output is bit-identical at any thread count (groups are independent and
+/// emitted in group-id order).
+pub fn allocate_features(original: &GridDataset, partition: &Partition) -> Vec<Option<Vec<f64>>> {
+    allocate_features_with(original, partition, sr_par::Pool::global())
+}
+
+/// [`allocate_features`] on an explicit pool.
+pub fn allocate_features_with(
+    original: &GridDataset,
+    partition: &Partition,
+    pool: &sr_par::Pool,
+) -> Vec<Option<Vec<f64>>> {
+    GroupFeatures::allocate_with(original, partition, pool).into_options()
+}
+
+/// Algorithm 2 for one group: gather the group's valid cells in a single
+/// pass (one value column per attribute), aggregate each column, and append
+/// the `p` allocated values to `out` (zeroes for a null group). Returns the
+/// group's valid-member count.
+fn allocate_group_into(
+    original: &GridDataset,
+    partition: &Partition,
+    gid: u32,
+    scratch: &mut Scratch,
+    out: &mut Vec<f64>,
+) -> usize {
+    let p = original.num_attrs();
+    let rect = partition.rect(gid);
+
+    // Fast path: single-cell groups keep their exact values (mean = mode =
+    // the value, and ties go to the mean, so even integer rounding never
+    // alters a singleton — see `best_average_representative`). Early
+    // driver iterations are dominated by singletons.
+    if rect.len() == 1 {
+        let cell = original.cell_id(rect.r0 as usize, rect.c0 as usize);
+        return match original.features(cell) {
+            Some(fv) => {
+                out.extend_from_slice(fv);
+                1
+            }
+            None => {
+                out.resize(out.len() + p, 0.0);
+                0
+            }
+        };
+    }
+
+    for col in &mut scratch.columns {
+        col.clear();
+    }
+    let mut valid = 0usize;
+    for cell in partition.cells_iter(gid) {
+        if let Some(fv) = original.features(cell) {
+            valid += 1;
+            for (k, col) in scratch.columns.iter_mut().enumerate() {
+                col.push(fv[k]);
+            }
+        }
+    }
+    if valid == 0 {
+        out.resize(out.len() + p, 0.0);
+        return 0;
+    }
+
+    for k in 0..p {
+        let values = &scratch.columns[k];
+        out.push(match original.agg_types()[k] {
+            sr_grid::AggType::Sum => values.iter().sum(),
+            sr_grid::AggType::Avg => best_average_representative(
+                values,
+                original.integer_attrs()[k],
+                &mut scratch.counts,
+            ),
+            // Categorical: the most frequent code (§VI extension).
+            sr_grid::AggType::Mode => mode(values, &mut scratch.counts),
+        });
+    }
+    valid
 }
 
 /// The `Avg` branch of Algorithm 2: candidate `A` is the mean (rounded for
 /// integer attributes), candidate `B` the most frequent value; the one with
 /// smaller local loss wins, with ties going to `A`.
-fn best_average_representative(values: &[f64], integer_typed: bool) -> f64 {
+fn best_average_representative(
+    values: &[f64],
+    integer_typed: bool,
+    counts: &mut HashMap<u64, (usize, usize)>,
+) -> f64 {
+    if let [v] = values {
+        // mean == mode == v, and the tie-with-tolerance below always
+        // returns the raw value (a rounded mean that differs from `v` has
+        // strictly larger loss than the zero-loss mode).
+        return *v;
+    }
     let mean = values.iter().sum::<f64>() / values.len() as f64;
     let a = if integer_typed { mean.round() } else { mean };
-    let b = mode(values);
+    let b = mode(values, counts);
     let loss_a = local_loss(values, a);
     let loss_b = local_loss(values, b);
     // Ties go to the mean (paper Example 4), with a relative tolerance:
@@ -76,10 +276,11 @@ fn best_average_representative(values: &[f64], integer_typed: bool) -> f64 {
 /// Most frequent value, with ties broken by first occurrence (deterministic
 /// under the extractor's row-major cell order). Exact bit-equality grouping:
 /// cell values come straight from the input dataset, where repeated values
-/// (counts, rounded averages) compare exactly.
-fn mode(values: &[f64]) -> f64 {
+/// (counts, rounded averages) compare exactly. `counts` is caller-provided
+/// scratch, cleared on entry.
+fn mode(values: &[f64], counts: &mut HashMap<u64, (usize, usize)>) -> f64 {
     debug_assert!(!values.is_empty());
-    let mut counts: HashMap<u64, (usize, usize)> = HashMap::with_capacity(values.len());
+    counts.clear();
     for (i, &v) in values.iter().enumerate() {
         let e = counts.entry(v.to_bits()).or_insert((0, i));
         e.0 += 1;
@@ -99,10 +300,11 @@ mod tests {
 
     #[test]
     fn mode_prefers_most_frequent_then_first() {
-        assert_eq!(mode(&[1.0, 2.0, 2.0, 3.0]), 2.0);
+        let mut scratch = HashMap::new();
+        assert_eq!(mode(&[1.0, 2.0, 2.0, 3.0], &mut scratch), 2.0);
         // Tie between 1.0 and 2.0: first occurrence wins.
-        assert_eq!(mode(&[1.0, 2.0, 1.0, 2.0]), 1.0);
-        assert_eq!(mode(&[7.5]), 7.5);
+        assert_eq!(mode(&[1.0, 2.0, 1.0, 2.0], &mut scratch), 1.0);
+        assert_eq!(mode(&[7.5], &mut scratch), 7.5);
     }
 
     #[test]
@@ -112,14 +314,14 @@ mod tests {
         let values = [23.0, 23.0, 23.0, 24.0, 25.0, 24.0];
         let mean: f64 = values.iter().sum::<f64>() / 6.0;
         assert!((mean - 23.666_666).abs() < 1e-3);
-        let rep = best_average_representative(&values, true);
+        let rep = best_average_representative(&values, true, &mut HashMap::new());
         assert_eq!(rep, 24.0);
     }
 
     #[test]
     fn mode_wins_when_outlier_inflates_mean() {
         let values = [10.0, 10.0, 10.0, 100.0];
-        let rep = best_average_representative(&values, false);
+        let rep = best_average_representative(&values, false, &mut HashMap::new());
         assert_eq!(rep, 10.0);
     }
 

@@ -21,75 +21,167 @@ use sr_grid::{variation_between_typed, GridDataset};
 /// despite floating-point noise.
 const VARIATION_SLACK: f64 = 1e-12;
 
-/// Edge-compatibility maps for one extraction pass.
-struct EdgeMaps {
-    /// `h_ok[r * cols + c]` ⇔ cells `(r,c)` and `(r,c+1)` may share a group.
-    h_ok: Vec<bool>,
-    /// `v_ok[r * cols + c]` ⇔ cells `(r,c)` and `(r+1,c)` may share a group.
-    v_ok: Vec<bool>,
+/// Sentinel group id marking a not-yet-assigned cell during extraction.
+/// Group counts are bounded by the cell count, which is far below `u32::MAX`.
+const UNASSIGNED: GroupId = GroupId::MAX;
+
+/// Pre-computed per-edge variations of a grid, reusable across extraction
+/// passes at different thresholds.
+///
+/// The driver evaluates Algorithm 1 at dozens of thresholds on the *same*
+/// normalized grid; the adjacent-pair variations never change between those
+/// passes, so computing them once and reducing each pass to a threshold
+/// comparison removes the dominant per-iteration cost.
+///
+/// Encoding: `h[r·cols + c]` is the variation between `(r,c)` and
+/// `(r,c+1)`; `v[r·cols + c]` between `(r,c)` and `(r+1,c)`. Null–null
+/// edges store `-∞` (always compatible — null cells merge only with null
+/// cells, §III-A2), valid–null edges and out-of-grid edges store `+∞`
+/// (never compatible), so compatibility at threshold `θ` is exactly
+/// `edge ≤ θ + slack`.
+pub struct EdgeVariations {
+    rows: usize,
     cols: usize,
+    h: Vec<f64>,
+    v: Vec<f64>,
 }
 
-impl EdgeMaps {
-    fn build(grid: &GridDataset, threshold: f64) -> Self {
+impl EdgeVariations {
+    /// Computes the edge variations of `grid` on [`sr_par::Pool::global`].
+    pub fn build(grid: &GridDataset) -> Self {
+        Self::build_with(grid, sr_par::Pool::global())
+    }
+
+    /// [`EdgeVariations::build`] on an explicit pool. Row bands are
+    /// computed independently, so the result is identical at any thread
+    /// count.
+    pub fn build_with(grid: &GridDataset, pool: &sr_par::Pool) -> Self {
         let rows = grid.rows();
         let cols = grid.cols();
-        let mut h_ok = vec![false; rows * cols];
-        let mut v_ok = vec![false; rows * cols];
         let aggs = grid.agg_types();
-        let compatible = |a: u32, b: u32| -> bool {
+        let edge = |a: u32, b: u32| -> f64 {
             match (grid.features(a), grid.features(b)) {
-                (Some(fa), Some(fb)) => {
-                    variation_between_typed(fa, fb, aggs) <= threshold + VARIATION_SLACK
-                }
-                // Null cells merge only with other null cells (§III-A2).
-                (None, None) => true,
-                _ => false,
+                (Some(fa), Some(fb)) => variation_between_typed(fa, fb, aggs),
+                (None, None) => f64::NEG_INFINITY,
+                _ => f64::INFINITY,
             }
         };
-        for r in 0..rows {
-            for c in 0..cols {
-                let id = grid.cell_id(r, c);
-                if c + 1 < cols {
-                    h_ok[r * cols + c] = compatible(id, grid.cell_id(r, c + 1));
-                }
-                if r + 1 < rows {
-                    v_ok[r * cols + c] = compatible(id, grid.cell_id(r + 1, c));
+        let fill_band = |band: std::ops::Range<usize>, h: &mut [f64], v: &mut [f64]| {
+            for (br, r) in band.enumerate() {
+                for c in 0..cols {
+                    let id = grid.cell_id(r, c);
+                    if c + 1 < cols {
+                        h[br * cols + c] = edge(id, grid.cell_id(r, c + 1));
+                    }
+                    if r + 1 < rows {
+                        v[br * cols + c] = edge(id, grid.cell_id(r + 1, c));
+                    }
                 }
             }
+        };
+        // Serial pools fill the full arrays in place; the banded path pays
+        // for its parallelism with a concatenation copy.
+        if pool.threads() <= 1 {
+            let mut h = vec![f64::INFINITY; rows * cols];
+            let mut v = vec![f64::INFINITY; rows * cols];
+            fill_band(0..rows, &mut h, &mut v);
+            return EdgeVariations { rows, cols, h, v };
         }
-        EdgeMaps { h_ok, v_ok, cols }
+        let bands = pool.par_map_chunks(rows, sr_par::fixed_grain(rows, 64), |band| {
+            let mut h = vec![f64::INFINITY; band.len() * cols];
+            let mut v = vec![f64::INFINITY; band.len() * cols];
+            fill_band(band, &mut h, &mut v);
+            (h, v)
+        });
+        let mut h = Vec::with_capacity(rows * cols);
+        let mut v = Vec::with_capacity(rows * cols);
+        for (bh, bv) in bands {
+            h.extend(bh);
+            v.extend(bv);
+        }
+        EdgeVariations { rows, cols, h, v }
     }
 
+    /// Grid height this was built from.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid width this was built from.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+/// Edge-compatibility view for one extraction pass: the pre-computed edge
+/// variations compared against one threshold on the fly. Allocation-free —
+/// the driver runs one pass per candidate threshold, so materializing
+/// per-pass boolean maps would cost two grid-sized buffers per iteration.
+struct EdgeView<'a> {
+    edges: &'a EdgeVariations,
+    accept: f64,
+}
+
+impl EdgeView<'_> {
+    /// Cells `(r,c)` and `(r,c+1)` may share a group.
     #[inline]
     fn h(&self, r: usize, c: usize) -> bool {
-        self.h_ok[r * self.cols + c]
+        self.edges.h[r * self.edges.cols + c] <= self.accept
     }
 
+    /// Cells `(r,c)` and `(r+1,c)` may share a group.
     #[inline]
     fn v(&self, r: usize, c: usize) -> bool {
-        self.v_ok[r * self.cols + c]
+        self.edges.v[r * self.edges.cols + c] <= self.accept
     }
 }
 
 /// Runs Algorithm 1: extracts all cell-groups of `normalized` under the
 /// given `min_adjacent_variation` and returns the resulting [`Partition`]
 /// (both the `gIndex` and `cIndex` mappings of the paper).
+///
+/// Edge variations are computed on [`sr_par::Pool::global`]; callers that
+/// evaluate several thresholds on the same grid should build
+/// [`EdgeVariations`] once and call [`extract_with_edges`] per threshold.
 pub fn extract_cell_groups(normalized: &GridDataset, min_adjacent_variation: f64) -> Partition {
-    let rows = normalized.rows();
-    let cols = normalized.cols();
-    let edges = EdgeMaps::build(normalized, min_adjacent_variation);
+    extract_cell_groups_with(normalized, min_adjacent_variation, sr_par::Pool::global())
+}
 
-    let mut visited = vec![false; rows * cols];
-    let mut cell_to_group = vec![0 as GroupId; rows * cols];
+/// [`extract_cell_groups`] on an explicit pool.
+pub fn extract_cell_groups_with(
+    normalized: &GridDataset,
+    min_adjacent_variation: f64,
+    pool: &sr_par::Pool,
+) -> Partition {
+    let edges = EdgeVariations::build_with(normalized, pool);
+    extract_with_edges(&edges, min_adjacent_variation)
+}
+
+/// Algorithm 1 on pre-computed [`EdgeVariations`]: one threshold pass
+/// without recomputing any pair variation. The greedy row-major scan
+/// itself is inherently sequential (each group consumes cells the next
+/// anchor decision depends on) and cheap next to the variation math.
+pub fn extract_with_edges(
+    edge_variations: &EdgeVariations,
+    min_adjacent_variation: f64,
+) -> Partition {
+    let rows = edge_variations.rows;
+    let cols = edge_variations.cols;
+    let edges =
+        EdgeView { edges: edge_variations, accept: min_adjacent_variation + VARIATION_SLACK };
+
+    // `cell_to_group` doubles as the visited map (UNASSIGNED = unvisited):
+    // the scan assigns every cell exactly once, so a sentinel avoids a
+    // second grid-sized array and its marking traffic.
+    let mut cell_to_group = vec![UNASSIGNED; rows * cols];
     let mut groups: Vec<GroupRect> = Vec::new();
 
     for r in 0..rows {
         for c in 0..cols {
-            if visited[r * cols + c] {
+            if cell_to_group[r * cols + c] != UNASSIGNED {
                 continue;
             }
-            let (height, width) = best_anchored_rect(&edges, &visited, rows, cols, r, c);
+            let (height, width) = best_anchored_rect(&edges, &cell_to_group, rows, cols, r, c);
             let gid = groups.len() as GroupId;
             let rect = GroupRect {
                 r0: r as u32,
@@ -99,8 +191,7 @@ pub fn extract_cell_groups(normalized: &GridDataset, min_adjacent_variation: f64
             };
             for rr in r..r + height {
                 for cc in c..c + width {
-                    debug_assert!(!visited[rr * cols + cc]);
-                    visited[rr * cols + cc] = true;
+                    debug_assert_eq!(cell_to_group[rr * cols + cc], UNASSIGNED);
                     cell_to_group[rr * cols + cc] = gid;
                 }
             }
@@ -120,8 +211,8 @@ pub fn extract_cell_groups(normalized: &GridDataset, min_adjacent_variation: f64
 /// exactly as long as the maximal vertical run, and the scan maximizes the
 /// area over every anchored height.
 fn best_anchored_rect(
-    edges: &EdgeMaps,
-    visited: &[bool],
+    edges: &EdgeView<'_>,
+    assigned: &[GroupId],
     rows: usize,
     cols: usize,
     r: usize,
@@ -129,7 +220,10 @@ fn best_anchored_rect(
 ) -> (usize, usize) {
     // Maximal horizontal run in the anchor row.
     let mut width = 1usize;
-    while c + width < cols && !visited[r * cols + c + width] && edges.h(r, c + width - 1) {
+    while c + width < cols
+        && assigned[r * cols + c + width] == UNASSIGNED
+        && edges.h(r, c + width - 1)
+    {
         width += 1;
     }
 
@@ -146,7 +240,7 @@ fn best_anchored_rect(
         let mut w2 = 0usize;
         while w2 < w {
             let cc = c + w2;
-            if visited[rr * cols + cc] || !edges.v(rr - 1, cc) {
+            if assigned[rr * cols + cc] != UNASSIGNED || !edges.v(rr - 1, cc) {
                 break;
             }
             if w2 > 0 && !edges.h(rr, cc - 1) {

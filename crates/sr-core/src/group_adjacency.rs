@@ -14,45 +14,98 @@ use sr_grid::AdjacencyList;
 ///
 /// The relation is symmetric by construction: if `a`'s boundary probe finds
 /// `b`, the shared edge also lies on `b`'s boundary.
+///
+/// Groups probe their boundaries independently on [`sr_par::Pool::global`];
+/// the per-group neighbor lists (and their order) are identical at any
+/// thread count. Use [`group_adjacency_with`] to target a specific pool.
 pub fn group_adjacency(partition: &Partition) -> AdjacencyList {
+    group_adjacency_with(partition, sr_par::Pool::global())
+}
+
+/// [`group_adjacency`] on an explicit pool.
+pub fn group_adjacency_with(partition: &Partition, pool: &sr_par::Pool) -> AdjacencyList {
+    let n_groups = partition.num_groups();
+    if pool.threads() <= 1 {
+        // One shared stamp array gives O(1) dedup on the serial path; the
+        // parallel chunks below use the allocation-free linear dedup
+        // instead of cloning a grid-sized array per chunk. Both push each
+        // neighbor on first encounter in identical probe order, so the
+        // lists are the same either way.
+        let mut stamp = vec![u32::MAX; n_groups];
+        let neighbors = (0..n_groups)
+            .map(|gid| group_neighbors_stamped(partition, gid as GroupId, &mut stamp))
+            .collect();
+        return AdjacencyList::from_neighbors(neighbors);
+    }
+    let chunks = pool.par_map_chunks(n_groups, sr_par::fixed_grain(n_groups, 64), |range| {
+        range.map(|gid| group_neighbors(partition, gid as GroupId)).collect::<Vec<_>>()
+    });
+    let mut neighbors: Vec<Vec<u32>> = Vec::with_capacity(n_groups);
+    for chunk in chunks {
+        neighbors.extend(chunk);
+    }
+    AdjacencyList::from_neighbors(neighbors)
+}
+
+/// Boundary probe of one group: the cells one step outside its four edges,
+/// deduplicated in probe order.
+///
+/// Dedup checks the most recent entry first — consecutive boundary cells
+/// along one edge usually border the *same* neighbor rectangle — then
+/// falls back to a linear scan of the (short) list; this keeps the probe
+/// allocation-free and independent of every other group, unlike the
+/// shared stamp array it replaces.
+fn group_neighbors(partition: &Partition, gid: GroupId) -> Vec<u32> {
+    let mut nlist: Vec<u32> = Vec::new();
+    probe_boundary(partition, gid, |other| {
+        if nlist.last() != Some(&other) && !nlist.contains(&other) {
+            nlist.push(other);
+        }
+    });
+    nlist
+}
+
+/// [`group_neighbors`] with a caller-owned stamp array (`stamp[g] == gid`
+/// marks `g` as already listed for the current group) — O(1) dedup for the
+/// serial path. Probe order, and thus the output, matches
+/// [`group_neighbors`] exactly.
+fn group_neighbors_stamped(partition: &Partition, gid: GroupId, stamp: &mut [u32]) -> Vec<u32> {
+    let mut nlist: Vec<u32> = Vec::new();
+    probe_boundary(partition, gid, |other| {
+        if stamp[other as usize] != gid {
+            stamp[other as usize] = gid;
+            nlist.push(other);
+        }
+    });
+    nlist
+}
+
+/// Visits the group of every cell one step outside the four edges of
+/// `gid`'s rectangle, in the fixed probe order shared by both dedup
+/// strategies: top/bottom rows column by column, then left/right columns
+/// row by row.
+fn probe_boundary(partition: &Partition, gid: GroupId, mut visit: impl FnMut(GroupId)) {
     let rows = partition.rows();
     let cols = partition.cols();
-    let n_groups = partition.num_groups();
-    let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); n_groups];
-    // Stamp array dedupes neighbor ids per group without clearing a HashSet
-    // for every group.
-    let mut stamp = vec![u32::MAX; n_groups];
-
-    for gid in 0..n_groups as GroupId {
-        let rect = partition.rect(gid);
-        let nlist = &mut neighbors[gid as usize];
-        let mut push = |other: GroupId, nlist: &mut Vec<u32>| {
-            if stamp[other as usize] != gid {
-                stamp[other as usize] = gid;
-                nlist.push(other);
-            }
-        };
-        // Row above rBeg and row below rEnd.
-        for c in rect.c0..=rect.c1 {
-            if rect.r0 > 0 {
-                push(partition.group_at(rect.r0 as usize - 1, c as usize), nlist);
-            }
-            if (rect.r1 as usize) + 1 < rows {
-                push(partition.group_at(rect.r1 as usize + 1, c as usize), nlist);
-            }
+    let rect = partition.rect(gid);
+    // Row above rBeg and row below rEnd.
+    for c in rect.c0..=rect.c1 {
+        if rect.r0 > 0 {
+            visit(partition.group_at(rect.r0 as usize - 1, c as usize));
         }
-        // Column left of cBeg and column right of cEnd.
-        for r in rect.r0..=rect.r1 {
-            if rect.c0 > 0 {
-                push(partition.group_at(r as usize, rect.c0 as usize - 1), nlist);
-            }
-            if (rect.c1 as usize) + 1 < cols {
-                push(partition.group_at(r as usize, rect.c1 as usize + 1), nlist);
-            }
+        if (rect.r1 as usize) + 1 < rows {
+            visit(partition.group_at(rect.r1 as usize + 1, c as usize));
         }
     }
-
-    AdjacencyList::from_neighbors(neighbors)
+    // Column left of cBeg and column right of cEnd.
+    for r in rect.r0..=rect.r1 {
+        if rect.c0 > 0 {
+            visit(partition.group_at(r as usize, rect.c0 as usize - 1));
+        }
+        if (rect.c1 as usize) + 1 < cols {
+            visit(partition.group_at(r as usize, rect.c1 as usize + 1));
+        }
+    }
 }
 
 #[cfg(test)]

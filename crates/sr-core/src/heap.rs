@@ -9,7 +9,7 @@
 //! paper's Example 2 steps from the least to the "second-least" variation,
 //! i.e. it also advances by distinct values).
 
-use sr_grid::{adjacent_variations, GridDataset};
+use sr_grid::{adjacent_variations_with, GridDataset};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -49,8 +49,14 @@ pub const DEFAULT_DEDUP_EPS: f64 = 1e-12;
 impl VariationHeap {
     /// Builds the heap from a grid. Callers following the paper's pipeline
     /// pass the *normalized* grid (see [`sr_grid::normalize_attributes`]).
+    /// The variation scan runs on [`sr_par::Pool::global`].
     pub fn from_grid(normalized: &GridDataset) -> Self {
-        let pairs = adjacent_variations(normalized);
+        Self::from_grid_with(normalized, sr_par::Pool::global())
+    }
+
+    /// [`VariationHeap::from_grid`] on an explicit pool.
+    pub fn from_grid_with(normalized: &GridDataset, pool: &sr_par::Pool) -> Self {
+        let pairs = adjacent_variations_with(normalized, pool);
         let heap = pairs.into_iter().map(|p| Reverse(FiniteF64(p.variation))).collect();
         VariationHeap { heap, dedup_eps: DEFAULT_DEDUP_EPS, last_popped: None }
     }
@@ -96,10 +102,27 @@ impl VariationHeap {
     /// Drains the heap into an ascending, deduplicated vector of thresholds.
     /// The iteration-strategy driver uses this to support strided walks and
     /// binary-search backoff without re-heapifying.
-    pub fn into_sorted_distinct(mut self) -> Vec<f64> {
-        let mut out = Vec::with_capacity(self.heap.len());
-        while let Some(v) = self.pop_next_distinct() {
-            out.push(v);
+    ///
+    /// Implemented as an unstable sort plus a linear dedup sweep rather
+    /// than repeated heap pops: a full drain is `O(n log n)` either way,
+    /// but the sort runs on a flat array instead of paying a sift-down per
+    /// element. The dedup semantics match [`pop_next_distinct`]
+    /// (each kept value is at least `dedup_eps` above the previous one).
+    ///
+    /// [`pop_next_distinct`]: VariationHeap::pop_next_distinct
+    pub fn into_sorted_distinct(self) -> Vec<f64> {
+        let mut values: Vec<f64> = self.heap.into_iter().map(|Reverse(FiniteF64(v))| v).collect();
+        values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("variation keys are finite"));
+        let mut out = Vec::with_capacity(values.len());
+        let mut last = self.last_popped;
+        for v in values {
+            match last {
+                Some(prev) if (v - prev).abs() <= self.dedup_eps => continue,
+                _ => {
+                    last = Some(v);
+                    out.push(v);
+                }
+            }
         }
         out
     }

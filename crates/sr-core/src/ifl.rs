@@ -6,9 +6,9 @@
 //! is divided back by the group's member count, while an `Avg`-typed group
 //! value applies to each member directly.
 
+use crate::allocator::GroupFeatures;
 use crate::partition::Partition;
-use sr_grid::loss::information_loss_with;
-use sr_grid::{AggType, GridDataset, IflOptions};
+use sr_grid::{AggType, CellId, GridDataset, IflOptions};
 
 /// Representative value of a cell inside a group, given the group's
 /// allocated value for one attribute and the group's valid-member count
@@ -31,32 +31,211 @@ pub fn representative(group_value: f64, agg: AggType, members: usize) -> f64 {
 /// `group_features[g]` is the allocated feature vector of group `g`
 /// (`None` for null groups — these contain no valid cells and thus never
 /// contribute terms).
+///
+/// Representatives are pre-computed once per (group, attribute) instead of
+/// per (cell, attribute), and the per-cell term sum runs on
+/// [`sr_par::Pool::global`] in fixed-grain chunks whose partials fold in
+/// chunk order — bit-identical at any thread count.
 pub fn partition_ifl(
     original: &GridDataset,
     partition: &Partition,
     group_features: &[Option<Vec<f64>>],
     opts: IflOptions,
 ) -> f64 {
+    partition_ifl_with(original, partition, group_features, opts, sr_par::Pool::global())
+}
+
+/// [`partition_ifl`] on an explicit pool.
+pub fn partition_ifl_with(
+    original: &GridDataset,
+    partition: &Partition,
+    group_features: &[Option<Vec<f64>>],
+    opts: IflOptions,
+    pool: &sr_par::Pool,
+) -> f64 {
     debug_assert_eq!(group_features.len(), partition.num_groups());
+    let p = original.num_attrs();
+    let aggs = original.agg_types();
+    let n_groups = partition.num_groups();
+    let cells: Vec<CellId> = original.valid_cells().collect();
+
     // Valid-member counts per group, needed to un-sum Sum attributes.
-    let mut valid_counts = vec![0usize; partition.num_groups()];
-    for id in original.valid_cells() {
+    let mut valid_counts = vec![0usize; n_groups];
+    for &id in &cells {
         valid_counts[partition.group_of(id) as usize] += 1;
     }
-    let aggs = original.agg_types();
-    information_loss_with(
-        original,
-        |cell, k| {
-            let g = partition.group_of(cell) as usize;
-            match &group_features[g] {
-                Some(fv) => representative(fv[k], aggs[k], valid_counts[g]),
-                // A valid cell can only live in a group with features; this
-                // arm is unreachable for well-formed inputs but kept total.
-                None => 0.0,
+    // Per-(group, attribute) representatives, computed once. Null groups
+    // keep 0.0 — a valid cell can only live in a group with features, so
+    // those slots are never read for a term.
+    let mut reps = vec![0.0f64; n_groups * p];
+    for (g, feature) in group_features.iter().enumerate() {
+        if let Some(fv) = feature {
+            for k in 0..p {
+                reps[g * p + k] = representative(fv[k], aggs[k], valid_counts[g]);
             }
-        },
-        opts,
+        }
+    }
+
+    let cache = IflCellCache::build(original, &cells, opts);
+    ifl_over_cells(original, partition, &reps, &cells, &cache, pool)
+}
+
+/// IFL (Eq. 3) directly from a flat [`GroupFeatures`] arena — the
+/// allocation-free form the driver uses once per iteration. Numerically
+/// identical to [`partition_ifl`] on the materialized features.
+pub fn partition_ifl_groups(
+    original: &GridDataset,
+    partition: &Partition,
+    group_features: &GroupFeatures,
+    opts: IflOptions,
+) -> f64 {
+    partition_ifl_groups_with(original, partition, group_features, opts, sr_par::Pool::global())
+}
+
+/// [`partition_ifl_groups`] on an explicit pool.
+pub fn partition_ifl_groups_with(
+    original: &GridDataset,
+    partition: &Partition,
+    group_features: &GroupFeatures,
+    opts: IflOptions,
+    pool: &sr_par::Pool,
+) -> f64 {
+    let cells: Vec<CellId> = original.valid_cells().collect();
+    let cache = IflCellCache::build(original, &cells, opts);
+    ifl_groups_over_cells(
+        original,
+        partition,
+        group_features,
+        &cells,
+        &cache,
+        &mut Vec::new(),
+        pool,
     )
+}
+
+/// Flat-arena IFL over a caller-supplied valid-cell list, term cache, and
+/// representatives buffer, so the driver can build the first two (they are
+/// partition-independent) once per run and reuse the buffer's pages across
+/// its dozens of evaluations.
+pub(crate) fn ifl_groups_over_cells(
+    original: &GridDataset,
+    partition: &Partition,
+    group_features: &GroupFeatures,
+    cells: &[CellId],
+    cache: &IflCellCache,
+    reps_buf: &mut Vec<f64>,
+    pool: &sr_par::Pool,
+) -> f64 {
+    debug_assert_eq!(group_features.num_groups(), partition.num_groups());
+    let p = original.num_attrs();
+    let aggs = original.agg_types();
+    let n_groups = partition.num_groups();
+    reps_buf.clear();
+    reps_buf.resize(n_groups * p, 0.0);
+    for g in 0..n_groups {
+        if let Some(fv) = group_features.row(g) {
+            let members = group_features.valid_count(g);
+            for k in 0..p {
+                reps_buf[g * p + k] = representative(fv[k], aggs[k], members);
+            }
+        }
+    }
+    ifl_over_cells(original, partition, reps_buf, cells, cache, pool)
+}
+
+/// Per-run cache of the partition-independent parts of Eq. 3: the inverse
+/// denominator of every (cell, attribute) term — 0.0 for skipped
+/// zero-denominator terms, unused for `Mode` attributes — and the fixed
+/// term count. The driver evaluates the IFL dozens of times per run; the
+/// denominators and the averaging count never change between evaluations.
+pub(crate) struct IflCellCache {
+    /// `inv[i·p + k]` = `1 / |d(k)|` of `cells[i]`, or 0.0 when the term is
+    /// skipped (`|d(k)| ≤ zero_eps`).
+    inv: Vec<f64>,
+    /// Total contributing terms (Eq. 3's averaging denominator).
+    terms: usize,
+}
+
+impl IflCellCache {
+    pub(crate) fn build(original: &GridDataset, cells: &[CellId], opts: IflOptions) -> Self {
+        let p = original.num_attrs();
+        let aggs = original.agg_types();
+        let mut inv = Vec::with_capacity(cells.len() * p);
+        let mut terms = 0usize;
+        for &id in cells {
+            let d = original.features_unchecked(id);
+            for k in 0..p {
+                if aggs[k] == AggType::Mode {
+                    // Categorical terms always contribute (as mismatch
+                    // indicators); the slot value is never read.
+                    inv.push(0.0);
+                    terms += 1;
+                    continue;
+                }
+                let denom = d[k].abs();
+                if denom <= opts.zero_eps {
+                    // Percentage error undefined at zero; skip and shrink
+                    // the averaging denominator.
+                    inv.push(0.0);
+                } else {
+                    inv.push(1.0 / denom);
+                    terms += 1;
+                }
+            }
+        }
+        IflCellCache { inv, terms }
+    }
+}
+
+/// The shared Eq. 3 kernel: per-cell percentage-error terms against the
+/// pre-computed representatives, summed in fixed-grain chunks whose partials
+/// fold in chunk order (bit-identical at any thread count).
+///
+/// Skipped terms carry a 0.0 inverse denominator; adding
+/// `|d − r| · 0.0 = 0.0` to a non-negative partial sum leaves it unchanged,
+/// so no per-term branch is needed.
+fn ifl_over_cells(
+    original: &GridDataset,
+    partition: &Partition,
+    reps: &[f64],
+    cells: &[CellId],
+    cache: &IflCellCache,
+    pool: &sr_par::Pool,
+) -> f64 {
+    let p = original.num_attrs();
+    let aggs = original.agg_types();
+    let has_mode = aggs.contains(&AggType::Mode);
+    let partials =
+        pool.par_map_chunks(cells.len(), sr_par::fixed_grain(cells.len(), 64), |range| {
+            let mut sum = 0.0f64;
+            let base = range.start;
+            for (i, &id) in cells[range].iter().enumerate() {
+                let d = original.features_unchecked(id);
+                let g = partition.group_of(id) as usize;
+                let r = &reps[g * p..g * p + p];
+                let inv = &cache.inv[(base + i) * p..(base + i) * p + p];
+                if has_mode {
+                    for k in 0..p {
+                        if aggs[k] == AggType::Mode {
+                            // Categorical term: mismatch indicator (§VI).
+                            sum += if d[k] == r[k] { 0.0 } else { 1.0 };
+                        } else {
+                            sum += (d[k] - r[k]).abs() * inv[k];
+                        }
+                    }
+                } else {
+                    for k in 0..p {
+                        sum += (d[k] - r[k]).abs() * inv[k];
+                    }
+                }
+            }
+            sum
+        });
+
+    if cache.terms == 0 {
+        return 0.0;
+    }
+    partials.iter().sum::<f64>() / cache.terms as f64
 }
 
 #[cfg(test)]

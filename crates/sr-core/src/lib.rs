@@ -43,12 +43,17 @@ pub mod repartition;
 pub mod streaming;
 pub mod temporal;
 
-pub use allocator::allocate_features;
-pub use extractor::extract_cell_groups;
-pub use group_adjacency::group_adjacency;
+pub use allocator::{allocate_features, allocate_features_with, GroupFeatures};
+pub use extractor::{
+    extract_cell_groups, extract_cell_groups_with, extract_with_edges, EdgeVariations,
+};
+pub use group_adjacency::{group_adjacency, group_adjacency_with};
 pub use heap::VariationHeap;
 pub use homogeneous::{homogeneous_ifl, homogeneous_merge, run_homogeneous, HomogeneousOutcome};
-pub use ifl::{partition_ifl, representative};
+pub use ifl::{
+    partition_ifl, partition_ifl_groups, partition_ifl_groups_with, partition_ifl_with,
+    representative,
+};
 pub use partition::{GroupId, GroupRect, Partition};
 pub use prepare::PreparedTrainingData;
 pub use quadtree::quadtree_partition;

@@ -14,11 +14,11 @@
 //!   backoff on first rejection, for 100k-cell benchmark runs where the
 //!   distinct-value count makes the faithful walk quadratic in practice.
 
-use crate::allocator::allocate_features;
-use crate::extractor::extract_cell_groups;
+use crate::allocator::{allocate_features_with, GroupFeatures};
+use crate::extractor::{extract_with_edges, EdgeVariations};
 use crate::group_adjacency::group_adjacency;
 use crate::heap::VariationHeap;
-use crate::ifl::partition_ifl;
+use crate::ifl::{ifl_groups_over_cells, IflCellCache};
 use crate::partition::{GroupId, Partition};
 use crate::reconstruct::reconstruct_grid;
 use crate::{CoreError, Result};
@@ -242,7 +242,21 @@ impl Repartitioner {
     /// `repartition.run` span with `normalize` / `variation_scan` /
     /// `merge_loop` children, plus `repartition.*_total` counters in the
     /// global metrics registry.
+    ///
+    /// Parallel stages (variation scan, feature allocation, IFL) run on
+    /// [`sr_par::Pool::global`]; the result is bit-identical at any thread
+    /// count (see `docs/PERFORMANCE.md`).
     pub fn run(&self, grid: &GridDataset) -> Result<RepartitionOutcome> {
+        self.run_with_pool(grid, sr_par::Pool::global())
+    }
+
+    /// [`Repartitioner::run`] on an explicit [`sr_par::Pool`] — used by the
+    /// determinism property tests to compare thread counts side by side.
+    pub fn run_with_pool(
+        &self,
+        grid: &GridDataset,
+        pool: &sr_par::Pool,
+    ) -> Result<RepartitionOutcome> {
         let metrics = sr_obs::Registry::global();
         metrics.counter("repartition.runs_total").inc();
         let iterations_total = metrics.counter("repartition.iterations_total");
@@ -258,20 +272,45 @@ impl Repartitioner {
         };
         let thresholds = {
             let mut scan_span = sr_obs::span("repartition.variation_scan");
-            let thresholds = VariationHeap::from_grid(&normalized).into_sorted_distinct();
+            let thresholds =
+                VariationHeap::from_grid_with(&normalized, pool).into_sorted_distinct();
             scan_span.record("distinct_variations", thresholds.len());
             thresholds
         };
+        // Edge variations are threshold-independent: compute them once and
+        // reduce each extraction pass to comparisons against them. The
+        // valid-cell list and the Eq. 3 denominators/term count are
+        // likewise partition-independent.
+        let edges = EdgeVariations::build_with(&normalized, pool);
+        let cells: Vec<sr_grid::CellId> = grid.valid_cells().collect();
+        let ifl_cache = IflCellCache::build(grid, &cells, self.config.ifl_options);
 
         let mut iterations = Vec::new();
-        let mut best: Option<Repartitioned> = None;
+        // Best candidate kept in flat-arena form; the boxed per-group
+        // feature vectors are materialized only once, for the winner. The
+        // arena and representatives buffer are reused across iterations
+        // (swapped with `best` on acceptance) so their grid-sized pages are
+        // mapped once per run, not once per evaluation.
+        let mut best: Option<(Partition, GroupFeatures, f64, f64)> = None;
+        let mut features_buf = GroupFeatures::empty();
+        let mut reps_buf: Vec<f64> = Vec::new();
 
         // One extraction pass at the given variation; updates `best` on
         // acceptance and returns the stats.
-        let evaluate = |theta: f64, best: &mut Option<Repartitioned>| -> IterationStats {
-            let partition = extract_cell_groups(&normalized, theta);
-            let features = allocate_features(grid, &partition);
-            let ifl = partition_ifl(grid, &partition, &features, self.config.ifl_options);
+        let mut evaluate = |theta: f64,
+                            best: &mut Option<(Partition, GroupFeatures, f64, f64)>|
+         -> IterationStats {
+            let partition = extract_with_edges(&edges, theta);
+            GroupFeatures::allocate_into(grid, &partition, pool, &mut features_buf);
+            let ifl = ifl_groups_over_cells(
+                grid,
+                &partition,
+                &features_buf,
+                &cells,
+                &ifl_cache,
+                &mut reps_buf,
+                pool,
+            );
             let accepted = ifl <= self.config.threshold;
             iterations_total.inc();
             if !accepted {
@@ -279,9 +318,21 @@ impl Repartitioner {
             }
             let num_groups = partition.num_groups();
             if accepted {
-                let better = best.as_ref().is_none_or(|b| num_groups <= b.num_groups());
+                let better = best.as_ref().is_none_or(|(b, ..)| num_groups <= b.num_groups());
                 if better {
-                    *best = Some(Repartitioned::from_parts(grid, partition, features, ifl, theta));
+                    match best {
+                        Some((bp, bf, bifl, btheta)) => {
+                            *bp = partition;
+                            std::mem::swap(bf, &mut features_buf);
+                            *bifl = ifl;
+                            *btheta = theta;
+                        }
+                        None => {
+                            let features =
+                                std::mem::replace(&mut features_buf, GroupFeatures::empty());
+                            *best = Some((partition, features, ifl, theta));
+                        }
+                    }
                 }
             }
             IterationStats { min_adjacent_variation: theta, num_groups, ifl, accepted }
@@ -357,10 +408,12 @@ impl Repartitioner {
         // Fallback: nothing accepted (or grid has no adjacent pairs) — the
         // identity partition, whose IFL is exactly zero.
         let repartitioned = match best {
-            Some(b) => b,
+            Some((partition, features, ifl, theta)) => {
+                Repartitioned::from_parts(grid, partition, features.into_options(), ifl, theta)
+            }
             None => {
                 let partition = Partition::identity(grid.rows(), grid.cols());
-                let features = allocate_features(grid, &partition);
+                let features = allocate_features_with(grid, &partition, pool);
                 Repartitioned::from_parts(grid, partition, features, 0.0, 0.0)
             }
         };

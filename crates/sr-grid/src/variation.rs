@@ -55,50 +55,80 @@ pub struct AdjacentPair {
 
 /// Enumerates the variations between all rook-adjacent pairs of *valid*
 /// cells: for each cell, its right neighbor and its bottom neighbor (each
-/// undirected pair appears exactly once).
+/// undirected pair appears exactly once), in row-major scan order.
 ///
 /// Pairs where either cell is null are skipped — the paper merges null cells
 /// only with other null cells, which the extractor handles separately.
+///
+/// Runs on [`sr_par::Pool::global`]; output is bit-identical to a serial
+/// scan at any thread count (row bands are computed independently and
+/// concatenated in row order). Use [`adjacent_variations_with`] to target a
+/// specific pool.
 pub fn adjacent_variations(grid: &GridDataset) -> Vec<AdjacentPair> {
+    adjacent_variations_with(grid, sr_par::Pool::global())
+}
+
+/// [`adjacent_variations`] on an explicit [`sr_par::Pool`].
+pub fn adjacent_variations_with(grid: &GridDataset, pool: &sr_par::Pool) -> Vec<AdjacentPair> {
+    let rows = grid.rows();
+    // Serial pools write one output directly — the banded path below pays
+    // for its parallelism with a concatenation copy.
+    if pool.threads() <= 1 {
+        let mut out = Vec::with_capacity(2 * rows * grid.cols());
+        for r in 0..rows {
+            push_row_variations(grid, r, &mut out);
+        }
+        return out;
+    }
+    // Fixed row-band grain: band boundaries never depend on the thread
+    // count, so the concatenated output is always the serial scan order.
+    let bands = pool.par_map_chunks(rows, sr_par::fixed_grain(rows, 64), |band| {
+        let mut out = Vec::with_capacity(2 * band.len() * grid.cols());
+        for r in band {
+            push_row_variations(grid, r, &mut out);
+        }
+        out
+    });
+    let mut out = Vec::with_capacity(bands.iter().map(Vec::len).sum());
+    for band in bands {
+        out.extend(band);
+    }
+    out
+}
+
+/// Appends the right/down adjacent pairs anchored in row `r`, in column
+/// order — the serial scan order within one row.
+fn push_row_variations(grid: &GridDataset, r: usize, out: &mut Vec<AdjacentPair>) {
     let rows = grid.rows();
     let cols = grid.cols();
     let aggs = grid.agg_types();
-    // Each interior cell contributes ≤2 pairs.
-    let mut out = Vec::with_capacity(2 * rows * cols);
-    for r in 0..rows {
-        for c in 0..cols {
-            let id = grid.cell_id(r, c);
-            if !grid.is_valid(id) {
-                continue;
+    for c in 0..cols {
+        let id = grid.cell_id(r, c);
+        if !grid.is_valid(id) {
+            continue;
+        }
+        let fv = grid.features_unchecked(id);
+        if c + 1 < cols {
+            let right = grid.cell_id(r, c + 1);
+            if grid.is_valid(right) {
+                out.push(AdjacentPair {
+                    a: id,
+                    b: right,
+                    variation: variation_between_typed(fv, grid.features_unchecked(right), aggs),
+                });
             }
-            let fv = grid.features_unchecked(id);
-            if c + 1 < cols {
-                let right = grid.cell_id(r, c + 1);
-                if grid.is_valid(right) {
-                    out.push(AdjacentPair {
-                        a: id,
-                        b: right,
-                        variation: variation_between_typed(
-                            fv,
-                            grid.features_unchecked(right),
-                            aggs,
-                        ),
-                    });
-                }
-            }
-            if r + 1 < rows {
-                let down = grid.cell_id(r + 1, c);
-                if grid.is_valid(down) {
-                    out.push(AdjacentPair {
-                        a: id,
-                        b: down,
-                        variation: variation_between_typed(fv, grid.features_unchecked(down), aggs),
-                    });
-                }
+        }
+        if r + 1 < rows {
+            let down = grid.cell_id(r + 1, c);
+            if grid.is_valid(down) {
+                out.push(AdjacentPair {
+                    a: id,
+                    b: down,
+                    variation: variation_between_typed(fv, grid.features_unchecked(down), aggs),
+                });
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

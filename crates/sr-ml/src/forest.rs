@@ -4,7 +4,8 @@
 //! Bootstrap-sampled CART trees with per-split feature subsampling
 //! (`max(1, p/3)` features, the regression convention), averaged at
 //! prediction time. Tree training is embarrassingly parallel and fanned out
-//! over `std::thread` scoped threads.
+//! on the shared [`sr_par::Pool`]; each tree derives from its own
+//! pre-assigned seed, so results never depend on scheduling.
 
 use crate::tree::{RegressionTree, TreeParams};
 use crate::{MlError, Result};
@@ -22,7 +23,9 @@ pub struct RandomForestParams {
     pub min_samples_leaf: usize,
     /// RNG seed for bootstraps and feature subsampling.
     pub seed: u64,
-    /// Worker threads (`0` = sequential).
+    /// `0`/`1` = sequential; `> 1` fans tree training out on the shared
+    /// [`sr_par::Pool::global`] (whose budget comes from `SR_THREADS`).
+    /// Never affects results, only wall-clock time.
     pub threads: usize,
     /// Compute the out-of-bag error estimate during fit (one extra pass
     /// over the data; off by default).
@@ -88,24 +91,8 @@ impl RandomForest {
         let trees: Vec<RegressionTree> = if params.threads <= 1 {
             seeds.iter().map(|&s| fit_one(s)).collect()
         } else {
-            let workers = params.threads.min(params.n_estimators);
-            let chunk = params.n_estimators.div_ceil(workers);
-            let mut slots: Vec<Vec<RegressionTree>> = Vec::new();
-            std::thread::scope(|scope| {
-                let fit_one = &fit_one;
-                let handles: Vec<_> = seeds
-                    .chunks(chunk)
-                    .map(|chunk_seeds| {
-                        scope.spawn(move || {
-                            chunk_seeds.iter().map(|&s| fit_one(s)).collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    slots.push(h.join().expect("tree worker panicked"));
-                }
-            });
-            slots.into_iter().flatten().collect()
+            let pool = sr_par::Pool::global();
+            pool.par_map(&seeds, sr_par::fixed_grain(seeds.len(), 32), |&s| fit_one(s))
         };
 
         // OOB pass: regenerate each tree's bootstrap from its seed (they are

@@ -8,8 +8,9 @@
 //! chosen by minimizing the corrected Akaike criterion (AICc) via a
 //! golden-section search — the mgwr/PySAL procedure.
 //!
-//! Local fits are independent and are fanned out over `std::thread` scoped
-//! threads.
+//! Local fits are independent and are fanned out on the shared
+//! [`sr_par::Pool`], which preserves index order — results are identical
+//! at any thread count.
 
 use crate::{design_matrix, MlError, Result};
 use sr_linalg::{weighted_lstsq, Cholesky, LuFactor, Matrix};
@@ -21,7 +22,9 @@ pub struct GwrParams {
     pub min_neighbors: Option<usize>,
     /// Golden-section iterations for the bandwidth search.
     pub search_iters: usize,
-    /// Worker threads (`0`/`1` = sequential).
+    /// `0`/`1` = sequential; `> 1` fans local fits out on the shared
+    /// [`sr_par::Pool::global`] (whose budget comes from `SR_THREADS`).
+    /// Never affects results, only wall-clock time.
     pub threads: usize,
 }
 
@@ -277,7 +280,10 @@ fn mean(v: &[f64]) -> f64 {
     v.iter().sum::<f64>() / v.len() as f64
 }
 
-/// Runs `f(0..n)` across `threads` scoped workers, preserving order.
+/// Runs `f(0..n)` in index order. `threads <= 1` (or a trivially small `n`)
+/// maps serially; otherwise the work fans out on the shared
+/// [`sr_par::Pool::global`], whose slot-ordered writes make the output
+/// identical to the serial map at any thread count.
 fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -286,25 +292,7 @@ where
     if threads <= 1 || n < 32 {
         return (0..n).map(&f).collect();
     }
-    let workers = threads.min(n);
-    let chunk = n.div_ceil(workers);
-    let mut out: Vec<Vec<T>> = Vec::with_capacity(workers);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let f = &f;
-                scope.spawn(move || {
-                    let lo = w * chunk;
-                    let hi = ((w + 1) * chunk).min(n);
-                    (lo..hi).map(f).collect::<Vec<T>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            out.push(h.join().expect("gwr worker panicked"));
-        }
-    });
-    out.into_iter().flatten().collect()
+    sr_par::Pool::global().par_map_index(n, sr_par::fixed_grain(n, 64), f)
 }
 
 #[cfg(test)]

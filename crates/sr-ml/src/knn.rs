@@ -112,9 +112,12 @@ impl KnnClassifier {
         winner
     }
 
-    /// Predicts many rows.
+    /// Predicts many rows. Tree scans are independent and run on
+    /// [`sr_par::Pool::global`] in index order — output identical to a
+    /// serial map at any thread count.
     pub fn predict(&self, x_rows: &[Vec<f64>]) -> Vec<usize> {
-        x_rows.iter().map(|r| self.predict_one(r)).collect()
+        let pool = sr_par::Pool::global();
+        pool.par_map(x_rows, sr_par::fixed_grain(x_rows.len(), 64), |r| self.predict_one(r))
     }
 
     fn search(&self, node: usize, x: &[f64], best: &mut NeighborHeap) {
@@ -308,9 +311,12 @@ impl KnnRegressor {
         sum / best.items.len().max(1) as f64
     }
 
-    /// Predicts many rows.
+    /// Predicts many rows. Tree scans are independent and run on
+    /// [`sr_par::Pool::global`] in index order — output identical to a
+    /// serial map at any thread count.
     pub fn predict(&self, x_rows: &[Vec<f64>]) -> Vec<f64> {
-        x_rows.iter().map(|r| self.predict_one(r)).collect()
+        let pool = sr_par::Pool::global();
+        pool.par_map(x_rows, sr_par::fixed_grain(x_rows.len(), 64), |r| self.predict_one(r))
     }
 }
 

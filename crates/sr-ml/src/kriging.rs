@@ -215,9 +215,12 @@ impl OrdinaryKriging {
         }
     }
 
-    /// Predicts many locations.
+    /// Predicts many locations. Per-target solves are independent and run
+    /// on [`sr_par::Pool::global`] in index order — output identical to a
+    /// serial map at any thread count.
     pub fn predict(&self, coords: &[(f64, f64)]) -> Vec<f64> {
-        coords.iter().map(|&c| self.predict_one(c)).collect()
+        let pool = sr_par::Pool::global();
+        pool.par_map(coords, sr_par::fixed_grain(coords.len(), 64), |&c| self.predict_one(c))
     }
 
     /// Indices of the `num_neighbors` nearest observations, searched by

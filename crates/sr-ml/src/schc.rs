@@ -99,16 +99,29 @@ pub fn schc_cluster(
 
     // Heap entries: (ward, a, b, version_a, version_b); stale entries are
     // skipped when versions moved on.
+    //
+    // The initial candidate distances are independent per unit and build on
+    // [`sr_par::Pool::global`] in fixed index-ordered chunks. The heap's
+    // pop sequence is invariant to insertion order (candidate tuples are
+    // strictly totally ordered — ties on the ward key fall through to the
+    // unique `(a, b)` pair), so clustering results never depend on the
+    // thread count.
     type MergeCandidate = (HeapKey, u32, u32, u32, u32);
-    let mut heap: BinaryHeap<Reverse<MergeCandidate>> = BinaryHeap::new();
-    for i in 0..n {
-        for &j in adj.neighbors(i as u32) {
-            if (i as u32) < j {
-                let d = ward(&size, &sums, i, j as usize);
-                heap.push(Reverse((HeapKey(d), i as u32, j, 0, 0)));
+    let pool = sr_par::Pool::global();
+    let candidate_chunks = pool.par_map_chunks(n, sr_par::fixed_grain(n, 64), |range| {
+        let mut out: Vec<Reverse<MergeCandidate>> = Vec::new();
+        for i in range {
+            for &j in adj.neighbors(i as u32) {
+                if (i as u32) < j {
+                    let d = ward(&size, &sums, i, j as usize);
+                    out.push(Reverse((HeapKey(d), i as u32, j, 0, 0)));
+                }
             }
         }
-    }
+        out
+    });
+    let mut heap: BinaryHeap<Reverse<MergeCandidate>> =
+        BinaryHeap::from(candidate_chunks.into_iter().flatten().collect::<Vec<_>>());
 
     let mut clusters = n;
     while clusters > params.num_clusters {

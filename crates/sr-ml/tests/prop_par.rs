@@ -1,0 +1,92 @@
+//! Parallel-determinism property tests for the ML kernels
+//! (docs/PERFORMANCE.md): batch prediction fans out on the shared
+//! [`sr_par::Pool::global`], and the results must be bit-identical to the
+//! serial path at every thread count.
+//!
+//! The batch entry points use the *global* pool, so these tests drive it
+//! through [`sr_par::Pool::set_threads`]. Determinism is exactly what makes
+//! that safe: whatever thread count any concurrently-running test has set,
+//! the outputs compared here are identical by contract.
+
+use proptest::prelude::*;
+use sr_ml::{
+    schc_cluster, KnnClassifier, KnnParams, KnnRegressor, KrigingParams, OrdinaryKriging,
+    SchcParams,
+};
+
+fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
+    let pool = sr_par::Pool::global();
+    pool.set_threads(threads);
+    let out = f();
+    pool.set_threads(sr_par::default_threads());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Kriging batch prediction is bit-identical across thread counts.
+    #[test]
+    fn kriging_predict_thread_invariant(
+        obs in prop::collection::vec(((0.0f64..4.0), (0.0f64..4.0), (-5.0f64..5.0)), 12..40),
+        query in prop::collection::vec(((0.0f64..4.0), (0.0f64..4.0)), 1..24),
+    ) {
+        let coords: Vec<(f64, f64)> = obs.iter().map(|&(a, b, _)| (a, b)).collect();
+        let values: Vec<f64> = obs.iter().map(|&(_, _, v)| v).collect();
+        let params = KrigingParams { num_neighbors: 4, ..Default::default() };
+        let Ok(model) = OrdinaryKriging::fit(&coords, &values, &params) else {
+            return Ok(());
+        };
+        let serial = with_threads(1, || model.predict(&query));
+        for threads in [2usize, 8] {
+            let par = with_threads(threads, || model.predict(&query));
+            prop_assert_eq!(&par, &serial, "kriging differs at {} threads", threads);
+        }
+    }
+
+    /// KNN classification and regression are bit-identical across thread
+    /// counts.
+    #[test]
+    fn knn_predict_thread_invariant(
+        rows in prop::collection::vec(
+            ((0.0f64..10.0), (0.0f64..10.0), 0usize..3), 8..40),
+        query in prop::collection::vec(((0.0f64..10.0), (0.0f64..10.0)), 1..24),
+    ) {
+        let x: Vec<Vec<f64>> = rows.iter().map(|&(a, b, _)| vec![a, b]).collect();
+        let labels: Vec<usize> = rows.iter().map(|&(_, _, l)| l).collect();
+        let y: Vec<f64> = rows.iter().map(|&(a, b, _)| a + b).collect();
+        let q: Vec<Vec<f64>> = query.iter().map(|&(a, b)| vec![a, b]).collect();
+        let params = KnnParams { n_neighbors: 3, ..Default::default() };
+        let clf = KnnClassifier::fit(&x, &labels, 3, &params).unwrap();
+        let reg = KnnRegressor::fit(&x, &y, &params).unwrap();
+
+        let serial_cls = with_threads(1, || clf.predict(&q));
+        let serial_reg = with_threads(1, || reg.predict(&q));
+        for threads in [2usize, 8] {
+            let cls = with_threads(threads, || clf.predict(&q));
+            prop_assert_eq!(&cls, &serial_cls, "knn classify differs at {} threads", threads);
+            let r = with_threads(threads, || reg.predict(&q));
+            prop_assert_eq!(&r, &serial_reg, "knn regress differs at {} threads", threads);
+        }
+    }
+
+    /// SCHC clustering (parallel initial candidate build) is invariant in
+    /// the thread count.
+    #[test]
+    fn schc_thread_invariant(
+        vals in prop::collection::vec(0.0f64..8.0, 36..64),
+        k in 2usize..6,
+    ) {
+        // Lay the units out on a 6×6 rook grid (extra values are dropped).
+        let features: Vec<Vec<f64>> = vals[..36].iter().map(|&v| vec![v]).collect();
+        let g = sr_grid::GridDataset::univariate(6, 6, vec![0.0; 36]).unwrap();
+        let adj = sr_grid::AdjacencyList::rook_from_grid(&g);
+        let params = SchcParams { num_clusters: k };
+        let serial = with_threads(1, || schc_cluster(&features, &adj, &params).unwrap());
+        for threads in [2usize, 8] {
+            let par = with_threads(threads, || schc_cluster(&features, &adj, &params).unwrap());
+            prop_assert_eq!(&par.labels, &serial.labels, "schc differs at {} threads", threads);
+            prop_assert_eq!(par.num_found, serial.num_found);
+        }
+    }
+}

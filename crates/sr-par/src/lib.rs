@@ -1,0 +1,607 @@
+//! Deterministic scoped worker-pool substrate for the re-partitioning
+//! pipeline and the spatial-ML kernels.
+//!
+//! # Why not just `std::thread::scope` everywhere?
+//!
+//! The pipeline's hot loops (variation scan, feature allocation, IFL,
+//! batch prediction) are called tens of times per driver run; spawning OS
+//! threads per call swamps the work at realistic grain sizes. [`Pool`]
+//! keeps a set of persistent workers parked on a condvar and hands them
+//! fixed-grain index chunks, so a parallel region costs a mutex hand-off
+//! instead of `clone(2)`.
+//!
+//! # Determinism contract
+//!
+//! Every combinator here is **bit-exact with serial execution**, at any
+//! thread count. This is a hard requirement: `sr-serve` snapshots are
+//! checksummed, and the paper-reproduction tests assert exact values.
+//! Determinism holds because:
+//!
+//! 1. Work is split into chunks of a **fixed grain chosen by the
+//!    call-site**, never derived from the thread count. The chunk
+//!    boundaries — and therefore any per-chunk floating-point fold order —
+//!    are identical whether 1 or 64 threads run them.
+//! 2. Outputs are written to **pre-assigned, index-ordered slots**
+//!    ([`Pool::par_map`], [`Pool::par_map_chunks`]) or disjoint
+//!    sub-slices ([`Pool::par_chunks_mut`]); nothing is appended in
+//!    completion order.
+//! 3. Reductions are expressed as "map chunks → ordered `Vec` of partials,
+//!    fold serially in chunk index order" at the call-site.
+//!
+//! The only thing the thread count changes is wall-clock time.
+//!
+//! # Thread-count control
+//!
+//! [`Pool::global`] resolves its thread count once, from the `SR_THREADS`
+//! environment variable (`1` forces serial execution; unset or invalid
+//! falls back to the number of available CPUs). [`Pool::set_threads`]
+//! adjusts it at runtime — `srtool --threads <n>` maps onto this.
+//! Instantiate [`Pool::new`] for isolated tests.
+//!
+//! # Metrics
+//!
+//! Pools report into the process-wide [`sr_obs`] registry:
+//! `par.ops_total` (parallel regions entered), `par.tasks_total` (chunks
+//! executed), `par.steals_total` (chunks executed by a worker other than
+//! the submitting thread), and the `par.queue_depth` gauge (chunks still
+//! queued when the last region was submitted).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_op_in_unsafe_fn)]
+
+use std::any::Any;
+use std::cell::Cell;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+
+/// Environment variable consulted by [`Pool::global`] for its thread count.
+pub const THREADS_ENV: &str = "SR_THREADS";
+
+thread_local! {
+    /// True while the current thread is executing inside a pool region
+    /// (either as a worker or as the submitting caller). Nested parallel
+    /// calls from such a thread run inline to avoid deadlock on the
+    /// one-region-at-a-time lock.
+    static IN_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// One parallel region: a lifetime-erased task closure plus the chunk
+/// cursor and completion state shared between the caller and the workers.
+///
+/// Soundness of the erased pointer: the submitting caller blocks until
+/// `remaining` reaches zero and only then returns, so the closure it
+/// points to outlives every dereference. Workers that observe the region
+/// after completion only ever read `next >= n_tasks` and never touch the
+/// pointer.
+struct Region {
+    task: TaskPtr,
+    n_tasks: usize,
+    /// Maximum number of participating threads (caller included); workers
+    /// beyond this cap skip the region so `set_threads` can shrink an
+    /// already-spawned pool.
+    max_workers: usize,
+    joined: AtomicUsize,
+    next: AtomicUsize,
+    /// First panic payload captured from any chunk; re-thrown by the
+    /// submitting caller once the region completes.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync`, and the `Region` lifecycle (caller blocks
+// until all chunks complete) guarantees it is live for every dereference.
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+impl Region {
+    /// Drains the chunk cursor, running chunks until none remain. Returns
+    /// the number of chunks this thread executed.
+    ///
+    /// # Safety
+    ///
+    /// Must only be called while the submitting caller is blocked in
+    /// `run_region`, which keeps the erased closure alive.
+    unsafe fn drain(&self) -> usize {
+        let task = unsafe { &*self.task.0 };
+        let mut executed = 0usize;
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n_tasks {
+                return executed;
+            }
+            // Catch per-chunk so `remaining` is decremented for every
+            // claimed chunk even on panic — the caller hangs otherwise.
+            // Remaining chunks still run; the first payload is re-thrown
+            // by the caller after the region completes.
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+                let mut slot = lock(&self.panic);
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            executed += 1;
+            let mut remaining = lock(&self.remaining);
+            *remaining -= 1;
+            if *remaining == 0 {
+                self.done.notify_all();
+            }
+        }
+    }
+}
+
+/// Worker wake-up state: a generation counter plus the current region.
+struct Board {
+    generation: u64,
+    region: Option<Arc<Region>>,
+    shutdown: bool,
+}
+
+struct PoolMetrics {
+    ops: sr_obs::Counter,
+    tasks: sr_obs::Counter,
+    steals: sr_obs::Counter,
+    queue_depth: sr_obs::Gauge,
+}
+
+struct Inner {
+    board: Mutex<Board>,
+    wake: Condvar,
+    metrics: PoolMetrics,
+}
+
+/// Acquires a mutex, ignoring poisoning (a panicking task is already
+/// propagated through `Region::panicked`; the guarded state stays valid).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A persistent worker pool with deterministic fixed-grain combinators.
+///
+/// See the [crate docs](crate) for the determinism contract. One parallel
+/// region runs at a time per pool; concurrent submissions serialize on an
+/// internal lock, and re-entrant submissions from inside a region run
+/// inline.
+pub struct Pool {
+    inner: Arc<Inner>,
+    threads: AtomicUsize,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Serializes parallel regions from distinct submitting threads.
+    region_lock: Mutex<()>,
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// Thread count [`Pool::global`] starts with: `SR_THREADS` if it parses to
+/// a positive integer, else the available CPU parallelism, else 1.
+///
+/// Public so callers that temporarily re-budget the global pool (tests,
+/// CLI `--threads` overrides) can restore the environment-derived default.
+pub fn default_threads() -> usize {
+    if let Ok(raw) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+impl Pool {
+    /// A pool that uses up to `threads` threads per region (the submitting
+    /// caller counts as one). `threads` is clamped to at least 1; workers
+    /// are spawned lazily on first parallel use.
+    pub fn new(threads: usize) -> Pool {
+        let registry = sr_obs::Registry::global();
+        Pool {
+            inner: Arc::new(Inner {
+                board: Mutex::new(Board { generation: 0, region: None, shutdown: false }),
+                wake: Condvar::new(),
+                metrics: PoolMetrics {
+                    ops: registry.counter("par.ops_total"),
+                    tasks: registry.counter("par.tasks_total"),
+                    steals: registry.counter("par.steals_total"),
+                    queue_depth: registry.gauge("par.queue_depth"),
+                },
+            }),
+            threads: AtomicUsize::new(threads.max(1)),
+            workers: Mutex::new(Vec::new()),
+            region_lock: Mutex::new(()),
+        }
+    }
+
+    /// The process-wide pool. Thread count resolves once from
+    /// [`SR_THREADS`](THREADS_ENV) (see [`default_threads` rules](Pool::new));
+    /// later [`set_threads`](Pool::set_threads) calls override it.
+    pub fn global() -> &'static Pool {
+        GLOBAL.get_or_init(|| Pool::new(default_threads()))
+    }
+
+    /// Current thread budget (including the submitting caller).
+    pub fn threads(&self) -> usize {
+        self.threads.load(Ordering::Relaxed)
+    }
+
+    /// Sets the thread budget (clamped to at least 1). Takes effect on the
+    /// next parallel region; never changes results, only wall-clock time.
+    pub fn set_threads(&self, threads: usize) {
+        self.threads.store(threads.max(1), Ordering::Relaxed);
+    }
+
+    /// Spawns parked workers until at least `target` exist.
+    fn ensure_workers(&self, target: usize) {
+        let mut workers = lock(&self.workers);
+        while workers.len() < target {
+            let inner = Arc::clone(&self.inner);
+            let idx = workers.len();
+            let handle = std::thread::Builder::new()
+                .name(format!("sr-par-{idx}"))
+                .spawn(move || worker_loop(inner))
+                .expect("sr-par: failed to spawn worker thread");
+            workers.push(handle);
+        }
+    }
+
+    /// Core driver: runs `task(0..n_tasks)` across the pool, blocking the
+    /// caller until every chunk has completed. Serial (inline) when the
+    /// budget is 1, the region is trivial, or the caller is already inside
+    /// a region.
+    fn run_region(&self, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        if n_tasks == 0 {
+            return;
+        }
+        let threads = self.threads();
+        if threads <= 1 || n_tasks == 1 || IN_REGION.with(Cell::get) {
+            self.inner.metrics.ops.inc();
+            self.inner.metrics.tasks.add(n_tasks as u64);
+            for i in 0..n_tasks {
+                task(i);
+            }
+            return;
+        }
+
+        self.ensure_workers(threads - 1);
+        let _exclusive = lock(&self.region_lock);
+        self.inner.metrics.ops.inc();
+        self.inner.metrics.tasks.add(n_tasks as u64);
+        self.inner.metrics.queue_depth.set(n_tasks as f64);
+
+        // SAFETY (lifetime erasure): we block below until `remaining == 0`,
+        // so `task` outlives every worker dereference.
+        let erased: *const (dyn Fn(usize) + Sync + 'static) = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(task)
+        };
+        let region = Arc::new(Region {
+            task: TaskPtr(erased),
+            n_tasks,
+            max_workers: threads,
+            joined: AtomicUsize::new(1),
+            next: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            remaining: Mutex::new(n_tasks),
+            done: Condvar::new(),
+        });
+
+        {
+            let mut board = lock(&self.inner.board);
+            board.generation += 1;
+            board.region = Some(Arc::clone(&region));
+            self.inner.wake.notify_all();
+        }
+
+        // The caller participates; its own chunks are "local", chunks the
+        // workers take are "steals".
+        IN_REGION.with(|f| f.set(true));
+        // SAFETY: we have not returned, so `task` is live.
+        let mine = unsafe { region.drain() };
+        IN_REGION.with(|f| f.set(false));
+
+        let mut remaining = lock(&region.remaining);
+        while *remaining > 0 {
+            remaining = region.done.wait(remaining).unwrap_or_else(|e| e.into_inner());
+        }
+        drop(remaining);
+
+        {
+            let mut board = lock(&self.inner.board);
+            board.region = None;
+        }
+        self.inner.metrics.queue_depth.set(0.0);
+        self.inner.metrics.steals.add((n_tasks - mine) as u64);
+
+        let panic_payload = lock(&region.panic).take();
+        if let Some(payload) = panic_payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Runs `f(i)` for every `i in 0..n`, split into chunks of `grain`
+    /// indices. `f` must be safe to call concurrently for distinct `i`.
+    pub fn par_for(&self, n: usize, grain: usize, f: impl Fn(usize) + Sync) {
+        let grain = grain.max(1);
+        let n_tasks = n.div_ceil(grain);
+        self.run_region(n_tasks, &|t| {
+            let hi = ((t + 1) * grain).min(n);
+            for i in t * grain..hi {
+                f(i);
+            }
+        });
+    }
+
+    /// Maps `f` over `items`, preserving order: `out[i] == f(&items[i])`
+    /// exactly as in a serial loop. Chunks of `grain` items each.
+    pub fn par_map<T: Sync, U: Send>(
+        &self,
+        items: &[T],
+        grain: usize,
+        f: impl Fn(&T) -> U + Sync,
+    ) -> Vec<U> {
+        self.par_map_index(items.len(), grain, |i| f(&items[i]))
+    }
+
+    /// Index-driven [`par_map`](Pool::par_map): builds `vec![f(0), f(1),
+    /// …, f(n-1)]` with each invocation writing its pre-assigned slot.
+    pub fn par_map_index<U: Send>(
+        &self,
+        n: usize,
+        grain: usize,
+        f: impl Fn(usize) -> U + Sync,
+    ) -> Vec<U> {
+        let mut out: Vec<U> = Vec::with_capacity(n);
+        let slots = SendPtr(out.as_mut_ptr());
+        self.par_for(n, grain, |i| {
+            let p = slots;
+            // SAFETY: each `i in 0..n` is visited exactly once, slots are
+            // disjoint, and `out` has capacity `n`. On panic the region
+            // aborts before `set_len`, so no uninitialized reads occur
+            // (written elements leak, which is safe).
+            unsafe { p.0.add(i).write(f(i)) };
+        });
+        // SAFETY: all `n` slots were written (the region completed).
+        unsafe { out.set_len(n) };
+        out
+    }
+
+    /// Splits `0..n` into ranges of `grain` and maps `f` over them,
+    /// returning the per-chunk results **in chunk index order** — the
+    /// deterministic-reduction primitive: fold the returned `Vec` serially
+    /// and the result is bit-exact with a serial loop at any thread count.
+    pub fn par_map_chunks<U: Send>(
+        &self,
+        n: usize,
+        grain: usize,
+        f: impl Fn(Range<usize>) -> U + Sync,
+    ) -> Vec<U> {
+        let grain = grain.max(1);
+        let n_tasks = n.div_ceil(grain);
+        self.par_map_index(n_tasks, 1, |t| f(t * grain..((t + 1) * grain).min(n)))
+    }
+
+    /// Runs `f(chunk_index, chunk)` over disjoint `chunk_len`-sized
+    /// sub-slices of `data` (the last one may be shorter), in parallel.
+    pub fn par_chunks_mut<T: Send>(
+        &self,
+        data: &mut [T],
+        chunk_len: usize,
+        f: impl Fn(usize, &mut [T]) + Sync,
+    ) {
+        let n = data.len();
+        let chunk_len = chunk_len.max(1);
+        let n_tasks = n.div_ceil(chunk_len);
+        let base = SendPtrMut(data.as_mut_ptr());
+        self.run_region(n_tasks, &|t| {
+            let p = base;
+            let lo = t * chunk_len;
+            let hi = ((t + 1) * chunk_len).min(n);
+            // SAFETY: chunk ranges are disjoint and within `data`; each
+            // task index is executed exactly once.
+            let chunk = unsafe { std::slice::from_raw_parts_mut(p.0.add(lo), hi - lo) };
+            f(t, chunk);
+        });
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut board = lock(&self.inner.board);
+            board.shutdown = true;
+            self.inner.wake.notify_all();
+        }
+        let workers = std::mem::take(&mut *lock(&self.workers));
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+}
+
+struct SendPtr<U>(*mut U);
+impl<U> Clone for SendPtr<U> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<U> Copy for SendPtr<U> {}
+// SAFETY: used only to write disjoint pre-assigned slots from pool tasks.
+unsafe impl<U: Send> Send for SendPtr<U> {}
+unsafe impl<U: Send> Sync for SendPtr<U> {}
+
+struct SendPtrMut<T>(*mut T);
+impl<T> Clone for SendPtrMut<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtrMut<T> {}
+// SAFETY: used only to derive disjoint sub-slices from pool tasks.
+unsafe impl<T: Send> Send for SendPtrMut<T> {}
+unsafe impl<T: Send> Sync for SendPtrMut<T> {}
+
+/// Parked-worker loop: wait for a new generation, join its region (unless
+/// the participation cap is reached), drain chunks, repeat.
+fn worker_loop(inner: Arc<Inner>) {
+    let mut seen_generation = 0u64;
+    loop {
+        let region = {
+            let mut board = lock(&inner.board);
+            loop {
+                if board.shutdown {
+                    return;
+                }
+                if board.generation != seen_generation {
+                    seen_generation = board.generation;
+                    if let Some(region) = board.region.clone() {
+                        break region;
+                    }
+                }
+                board = inner.wake.wait(board).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        if region.joined.fetch_add(1, Ordering::Relaxed) >= region.max_workers {
+            continue;
+        }
+        IN_REGION.with(|f| f.set(true));
+        // SAFETY: the submitting caller blocks until `remaining == 0`,
+        // which cannot happen before this drain call returns.
+        unsafe { region.drain() };
+        IN_REGION.with(|f| f.set(false));
+    }
+}
+
+/// Grain-size helper: a fixed grain that yields roughly `tasks_per_core ×
+/// reference_threads` chunks for `n` items, **independent of the actual
+/// thread count** (so chunk boundaries — and fold order — never change).
+/// Call-sites should treat the result as part of their determinism
+/// contract and avoid recomputing it from live thread counts.
+pub fn fixed_grain(n: usize, target_chunks: usize) -> usize {
+    n.div_ceil(target_chunks.max(1)).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_matches_serial_order() {
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let items: Vec<u64> = (0..10_000).collect();
+            let out = pool.par_map(&items, 64, |&x| x * 3 + 1);
+            let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_chunks_is_ordered_and_deterministic() {
+        // Floating-point partial sums folded in chunk order must be
+        // bit-exact across thread counts.
+        let data: Vec<f64> = (0..5_000).map(|i| (i as f64).sin() * 1e-3 + 0.1).collect();
+        let reduce = |pool: &Pool| -> f64 {
+            let partials = pool.par_map_chunks(data.len(), 97, |r| {
+                let mut s = 0.0;
+                for i in r {
+                    s += data[i];
+                }
+                s
+            });
+            partials.iter().sum()
+        };
+        let serial = reduce(&Pool::new(1));
+        for threads in [2, 3, 8] {
+            let parallel = reduce(&Pool::new(threads));
+            assert_eq!(serial.to_bits(), parallel.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_all_elements_once() {
+        let pool = Pool::new(4);
+        let mut data = vec![0u32; 1_003];
+        pool.par_chunks_mut(&mut data, 37, |chunk_idx, chunk| {
+            for (off, v) in chunk.iter_mut().enumerate() {
+                *v = (chunk_idx * 37 + off) as u32 + 1;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn par_for_runs_every_index_exactly_once() {
+        let pool = Pool::new(8);
+        let counts: Vec<AtomicU64> = (0..999).map(|_| AtomicU64::new(0)).collect();
+        pool.par_for(counts.len(), 10, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_calls_run_inline_without_deadlock() {
+        let pool = Pool::new(4);
+        let out = pool.par_map_index(8, 1, |i| {
+            // Re-entrant use of the same pool from inside a region.
+            let inner: u64 = pool.par_map_index(16, 4, |j| (i * 16 + j) as u64).iter().sum();
+            inner
+        });
+        let expect: Vec<u64> = (0..8).map(|i| (0..16).map(|j| (i * 16 + j) as u64).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn pool_reuse_across_many_regions() {
+        let pool = Pool::new(3);
+        for round in 0..50usize {
+            let out = pool.par_map_index(round + 1, 2, |i| i * round);
+            assert_eq!(out.len(), round + 1);
+            assert!(out.iter().enumerate().all(|(i, &v)| v == i * round));
+        }
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let pool = Pool::new(4);
+        let hit = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.par_for(100, 1, |i| {
+                if i == 57 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(hit.is_err());
+        // The pool stays usable afterwards.
+        let out = pool.par_map_index(10, 3, |i| i);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn set_threads_one_forces_serial() {
+        let pool = Pool::new(8);
+        pool.set_threads(1);
+        assert_eq!(pool.threads(), 1);
+        let out = pool.par_map_index(100, 7, |i| i as u64 * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn fixed_grain_is_positive_and_covers() {
+        assert_eq!(fixed_grain(0, 8), 1);
+        assert_eq!(fixed_grain(100, 8), 13);
+        assert!(fixed_grain(5, 8) >= 1);
+        let n = 1234;
+        let g = fixed_grain(n, 16);
+        assert!(n.div_ceil(g) <= 17);
+    }
+}

@@ -8,7 +8,7 @@
 //!    corruptions are caught before parsing.
 
 use proptest::prelude::*;
-use sr_core::repartition;
+use sr_core::{repartition, Repartitioner};
 use sr_grid::{AggType, Bounds, GridDataset};
 use sr_serve::{snapshot_from_bytes, snapshot_to_bytes, ServeError, Snapshot};
 
@@ -99,6 +99,52 @@ proptest! {
                     bytes.len()
                 )));
             }
+        }
+    }
+
+    /// Snapshots frozen from parallel repartition runs are byte-identical
+    /// (checksum included) to snapshots from serial runs — the end-to-end
+    /// consequence of the sr-par determinism contract
+    /// (docs/PERFORMANCE.md): thread count can never change what gets
+    /// served.
+    #[test]
+    fn snapshot_bytes_thread_invariant(
+        (rows, cols, p, raw, nulls) in (4usize..12, 4usize..12, 1usize..4)
+            .prop_flat_map(|(r, c, p)| (
+                Just(r),
+                Just(c),
+                Just(p),
+                prop::collection::vec(1.0f64..500.0, r * c * p),
+                prop::collection::vec(0u8..6, r * c),
+            )),
+        theta in 0.02f64..0.3,
+    ) {
+        let cells = rows * cols;
+        let data: Vec<f64> = raw.to_vec();
+        let valid: Vec<bool> = nulls.iter().map(|&n| n != 0).collect();
+        let grid = GridDataset::new(
+            rows,
+            cols,
+            p,
+            data,
+            valid,
+            (0..p).map(|k| format!("a{k}")).collect(),
+            (0..p).map(|k| if k % 2 == 0 { AggType::Sum } else { AggType::Avg }).collect(),
+            vec![false; p],
+            Bounds { lat_min: 40.0, lat_max: 41.0, lon_min: -74.0, lon_max: -73.0 },
+        )
+        .expect("generated grid is well-formed");
+        debug_assert_eq!(grid.num_cells(), cells);
+        let driver = Repartitioner::new(theta).expect("valid theta");
+        let serial = driver.run_with_pool(&grid, &sr_par::Pool::new(1)).expect("serial run");
+        let serial_bytes =
+            snapshot_to_bytes(&Snapshot::build(&serial.repartitioned, &grid, theta).unwrap());
+        for threads in [2usize, 8] {
+            let pool = sr_par::Pool::new(threads);
+            let par = driver.run_with_pool(&grid, &pool).expect("parallel run");
+            let par_bytes =
+                snapshot_to_bytes(&Snapshot::build(&par.repartitioned, &grid, theta).unwrap());
+            prop_assert_eq!(&par_bytes, &serial_bytes, "snapshot differs at {} threads", threads);
         }
     }
 }

@@ -22,6 +22,9 @@
 //! The global `--trace` flag (any subcommand) prints hierarchical span
 //! timings to stderr; `--trace=json` emits them as JSON-lines instead.
 //! `docs/OBSERVABILITY.md` documents the span names and the schema.
+//! The global `--threads <n>` flag (before the subcommand) sets the compute
+//! pool's thread budget, overriding `SR_THREADS`; results are identical at
+//! every thread count (`docs/PERFORMANCE.md`).
 //!
 //! Example round trip:
 //!
@@ -48,6 +51,10 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     match install_tracing(&mut args) {
+        Ok(()) => {}
+        Err(e) => return usage(&e),
+    }
+    match install_threads(&mut args) {
         Ok(()) => {}
         Err(e) => return usage(&e),
     }
@@ -113,6 +120,40 @@ fn install_tracing(args: &mut Vec<String>) -> Result<(), String> {
             Ok(())
         }
         Some(_) => Err("bad --trace mode (expected --trace or --trace=json)".to_string()),
+    }
+}
+
+/// Handles the global `--threads <n>` / `--threads=<n>` flag: removes it
+/// from the leading (pre-subcommand) arguments and re-budgets the shared
+/// compute pool, overriding `SR_THREADS`. Only leading occurrences are
+/// global — `serve --threads N` after the subcommand keeps its separate
+/// HTTP-worker meaning. Results never depend on the thread count
+/// (docs/PERFORMANCE.md), only wall-clock time does.
+fn install_threads(args: &mut Vec<String>) -> Result<(), String> {
+    let mut threads: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if !args[i].starts_with("--") {
+            break; // subcommand reached; later --threads belong to it
+        }
+        if let Some(v) = args[i].strip_prefix("--threads=") {
+            threads = Some(v.parse().map_err(|_| "bad --threads (expected a count >= 1)")?);
+            args.remove(i);
+        } else if args[i] == "--threads" {
+            let v = args.get(i + 1).ok_or("missing value for --threads")?;
+            threads = Some(v.parse().map_err(|_| "bad --threads (expected a count >= 1)")?);
+            args.drain(i..i + 2);
+        } else {
+            i += 1;
+        }
+    }
+    match threads {
+        Some(0) => Err("bad --threads (expected a count >= 1)".to_string()),
+        Some(n) => {
+            sr_par::Pool::global().set_threads(n);
+            Ok(())
+        }
+        None => Ok(()),
     }
 }
 
@@ -379,7 +420,9 @@ USAGE:
   srtool snapshot    --in FILE --theta T --out FILE.snap [--strided]
   srtool serve       --snapshot FILE.snap [--addr HOST:PORT] [--threads N]
 
-GLOBAL FLAGS:
+GLOBAL FLAGS (before the subcommand):
+  --threads N    worker threads for the compute pool (overrides SR_THREADS;
+                 1 = serial; results are identical at every thread count)
   --trace        print hierarchical span timings to stderr
   --trace=json   emit spans as JSON-lines on stderr (schema: docs/OBSERVABILITY.md)"
     );

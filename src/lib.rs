@@ -46,6 +46,7 @@
 //! | [`mem`] | `sr-mem` | peak-allocation tracking for the memory experiments |
 //! | [`serve`] | `sr-serve` | partition snapshots (`sr-snap v1`), the online query engine, snapshot cache, HTTP server |
 //! | [`obs`] | `sr-obs` | tracing spans and the metrics registry behind `--trace` and `GET /metrics` |
+//! | [`par`] | `sr-par` | deterministic worker-pool substrate (`SR_THREADS`, fixed-grain `par_map`/`par_for`) |
 //!
 //! ## Observability
 //!
@@ -79,6 +80,7 @@ pub use sr_linalg as linalg;
 pub use sr_mem as mem;
 pub use sr_ml as ml;
 pub use sr_obs as obs;
+pub use sr_par as par;
 pub use sr_serve as serve;
 
 /// The most common imports in one place.
@@ -102,6 +104,7 @@ pub mod prelude {
         RandomForest, SpatialError, SpatialLag, Svr, VariogramModel,
     };
     pub use sr_obs::{span, Registry};
+    pub use sr_par::Pool;
     pub use sr_serve::{
         load_snapshot, save_snapshot, serve, QueryEngine, ServerConfig, Snapshot, SnapshotCache,
     };
