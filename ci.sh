@@ -24,6 +24,17 @@ SR_THREADS=1 cargo test -q --workspace --offline
 echo "==> cargo test -q (SR_THREADS=4)"
 SR_THREADS=4 cargo test -q --workspace --offline
 
+# The fault matrix (tests/fault_matrix.rs) drives the real HTTP server
+# through every row of the degradation contract (docs/ROBUSTNESS.md) with
+# seeded fault injection. It runs inside the workspace passes above; this
+# explicit step keeps the contract visible in CI output and pins the
+# both-thread-counts requirement even if the workspace invocation changes.
+echo "==> fault matrix (SR_THREADS=1)"
+SR_THREADS=1 cargo test -q --offline --test fault_matrix
+
+echo "==> fault matrix (SR_THREADS=4)"
+SR_THREADS=4 cargo test -q --offline --test fault_matrix
+
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --quiet
 

@@ -1,0 +1,112 @@
+//! [`Backoff`]: a seeded decorrelated-jitter retry policy.
+//!
+//! The policy is the "decorrelated jitter" variant: each delay is drawn
+//! uniformly from `[base, 3 · previous]` and clamped to `cap`, which
+//! spreads retries out (avoiding the synchronized herds of plain
+//! exponential backoff) while still growing toward the cap. It is
+//! **hermetic**: delays are a pure function of `(base, cap, seed, call
+//! count)` — the policy never reads a clock and never sleeps, so callers
+//! decide whether a delay is slept, scheduled, or just asserted on in a
+//! test.
+
+use crate::rng::SplitMix64;
+use std::time::Duration;
+
+/// A deterministic decorrelated-jitter backoff schedule.
+///
+/// ```
+/// use sr_fault::Backoff;
+/// use std::time::Duration;
+///
+/// let base = Duration::from_millis(2);
+/// let cap = Duration::from_millis(50);
+/// let mut backoff = Backoff::new(base, cap, 7);
+/// let first = backoff.next_delay();
+/// assert!(first >= base && first <= cap);
+/// // Same parameters, same seed: the schedule replays exactly.
+/// assert_eq!(Backoff::new(base, cap, 7).next_delay(), first);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    seed: u64,
+    prev: Duration,
+    rng: SplitMix64,
+}
+
+impl Backoff {
+    /// A schedule starting at `base`, clamped to `cap`, drawing jitter
+    /// from `seed`. A zero `base` is clamped to 1 ns so the schedule can
+    /// grow; `cap < base` clamps to `base`.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        let base = base.max(Duration::from_nanos(1));
+        let cap = cap.max(base);
+        Backoff { base, cap, seed, prev: base, rng: SplitMix64::new(seed) }
+    }
+
+    /// The next delay: uniform in `[base, 3 · previous]`, clamped to
+    /// `cap`. Consumes one PRNG draw.
+    pub fn next_delay(&mut self) -> Duration {
+        let low = self.base.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let high =
+            self.prev.saturating_mul(3).min(self.cap).as_nanos().min(u128::from(u64::MAX)) as u64;
+        let delay = Duration::from_nanos(self.rng.next_in_range(low, high.max(low)));
+        self.prev = delay;
+        delay
+    }
+
+    /// Rewinds the schedule to its initial state (same seed, first delay
+    /// again) — call after a success so the next failure starts cheap.
+    pub fn reset(&mut self) {
+        self.prev = self.base;
+        self.rng = SplitMix64::new(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_stay_within_bounds_and_replay() {
+        let base = Duration::from_millis(1);
+        let cap = Duration::from_millis(20);
+        let mut a = Backoff::new(base, cap, 42);
+        let mut b = Backoff::new(base, cap, 42);
+        for _ in 0..32 {
+            let d = a.next_delay();
+            assert!(d >= base && d <= cap, "{d:?}");
+            assert_eq!(d, b.next_delay());
+        }
+    }
+
+    #[test]
+    fn reset_replays_from_the_start() {
+        let mut backoff = Backoff::new(Duration::from_millis(1), Duration::from_millis(50), 5);
+        let first: Vec<Duration> = (0..4).map(|_| backoff.next_delay()).collect();
+        backoff.reset();
+        let again: Vec<Duration> = (0..4).map(|_| backoff.next_delay()).collect();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn grows_toward_the_cap() {
+        // With jitter, individual delays wobble, but the running max over
+        // a long schedule must reach a meaningful fraction of the cap.
+        let cap = Duration::from_millis(100);
+        let mut backoff = Backoff::new(Duration::from_millis(1), cap, 3);
+        let max = (0..64).map(|_| backoff.next_delay()).max().unwrap();
+        assert!(max > cap / 4, "schedule never grew: max {max:?}");
+    }
+
+    #[test]
+    fn degenerate_params_are_clamped() {
+        let mut zero = Backoff::new(Duration::ZERO, Duration::ZERO, 0);
+        let d = zero.next_delay();
+        assert!(d >= Duration::from_nanos(1));
+        let mut inverted = Backoff::new(Duration::from_millis(5), Duration::from_millis(1), 0);
+        let d = inverted.next_delay();
+        assert_eq!(d, Duration::from_millis(5), "cap below base clamps to base");
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! Production robustness claims ("a corrupt snapshot degrades to stale
+//! serving", "a stalled disk cannot wedge a request past its deadline")
+//! are only worth anything if they are *tested*, and they are only
+//! testable if failures can be produced on demand, repeatably. This crate
+//! is that substrate: a [`FaultPlan`] describes which failures to inject
+//! (I/O errors, extra latency, premature EOF, worker panics) at which
+//! rates, every probabilistic decision is drawn from one seeded PRNG so a
+//! fixed plan replays the exact same fault sequence, and every injection
+//! increments a `fault.*` counter in an [`sr_obs::Registry`] so tests and
+//! operators can reconcile what happened against `GET /metrics`.
+//!
+//! The crate is std-only and inert by default: [`FaultPlan::disabled`]
+//! injects nothing and consumes no randomness, so production code can
+//! thread a plan unconditionally. `docs/ROBUSTNESS.md` documents the plan
+//! file format and the decision-draw order that determinism relies on.
+//!
+//! ```
+//! use sr_fault::FaultPlan;
+//! use sr_obs::Registry;
+//! use std::io::Read;
+//!
+//! let registry = Registry::new();
+//! let plan = FaultPlan::parse("seed = 7\nread.error_rate = 1.0\n", &registry).unwrap();
+//! let mut failing = plan.wrap_read(&b"payload"[..]);
+//! assert!(failing.read(&mut [0u8; 8]).is_err());
+//! assert_eq!(registry.counter("fault.injected_errors_total").get(), 1);
+//! ```
+
+#![deny(missing_docs)]
+
+mod backoff;
+mod plan;
+mod rng;
+
+pub use backoff::Backoff;
+pub use plan::{FaultPlan, FaultyRead, FaultyWrite, PlanError};

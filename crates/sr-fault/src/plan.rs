@@ -1,0 +1,488 @@
+//! [`FaultPlan`]: what to inject, at which rate, from which seed.
+//!
+//! A plan is parsed from a small `key = value` text format (one decision
+//! knob per line, `#` comments — the full grammar is in
+//! `docs/ROBUSTNESS.md`) and is cheap to clone: clones share the same PRNG
+//! state and counters, so one plan threaded through a cache, a server, and
+//! a test observes a single global decision sequence.
+//!
+//! ## Determinism
+//!
+//! Every probabilistic decision draws from one seeded SplitMix64 stream,
+//! in a fixed order per operation (read: latency → error → EOF; write:
+//! latency → error). A draw is only consumed for *fractional* rates — a
+//! rate of exactly `0` is always "no" and exactly `1` is always "yes"
+//! without touching the PRNG — so all-or-nothing plans stay deterministic
+//! regardless of operation interleaving, and a disabled plan never
+//! perturbs anything.
+
+use crate::rng::SplitMix64;
+use sr_obs::{Counter, Registry};
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Injection knobs for one I/O direction (reads or writes).
+#[derive(Debug, Clone, Copy, Default)]
+struct OpFaults {
+    /// Probability a call fails with an injected `io::Error`.
+    error_rate: f64,
+    /// Probability a call sleeps for `latency` first.
+    latency_rate: f64,
+    /// Injected sleep duration.
+    latency: Duration,
+    /// Probability a read reports EOF early (sticky once fired; models a
+    /// torn/truncated file). Ignored for writes.
+    eof_rate: f64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    seed: u64,
+    read: OpFaults,
+    write: OpFaults,
+    panic_rate: f64,
+    rng: Mutex<SplitMix64>,
+    errors: Counter,
+    latencies: Counter,
+    eofs: Counter,
+    panics: Counter,
+}
+
+/// A deterministic, shareable fault-injection plan.
+///
+/// Inert by default ([`FaultPlan::disabled`]); parsed from text or a file
+/// for tests and demos. All clones share PRNG state and `fault.*`
+/// counters.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    inner: Arc<Inner>,
+}
+
+/// Errors from loading or parsing a fault-plan file.
+#[derive(Debug)]
+pub enum PlanError {
+    /// The plan file could not be read.
+    Io(std::io::Error),
+    /// A line did not parse.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::Io(e) => write!(f, "fault plan i/o error: {e}"),
+            PlanError::Parse { line, message } => {
+                write!(f, "fault plan parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Io(e) => Some(e),
+            PlanError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PlanError {
+    fn from(e: std::io::Error) -> Self {
+        PlanError::Io(e)
+    }
+}
+
+impl FaultPlan {
+    fn from_parts(
+        seed: u64,
+        read: OpFaults,
+        write: OpFaults,
+        panic_rate: f64,
+        registry: &Registry,
+    ) -> Self {
+        FaultPlan {
+            inner: Arc::new(Inner {
+                seed,
+                read,
+                write,
+                panic_rate,
+                rng: Mutex::new(SplitMix64::new(seed)),
+                errors: registry.counter("fault.injected_errors_total"),
+                latencies: registry.counter("fault.injected_latency_total"),
+                eofs: registry.counter("fault.injected_eofs_total"),
+                panics: registry.counter("fault.injected_panics_total"),
+            }),
+        }
+    }
+
+    /// A plan that injects nothing and consumes no randomness. Counters are
+    /// private (not bound to any registry), so threading a disabled plan
+    /// through production code has no observable effect.
+    pub fn disabled() -> Self {
+        FaultPlan {
+            inner: Arc::new(Inner {
+                seed: 0,
+                read: OpFaults::default(),
+                write: OpFaults::default(),
+                panic_rate: 0.0,
+                rng: Mutex::new(SplitMix64::new(0)),
+                errors: Counter::new(),
+                latencies: Counter::new(),
+                eofs: Counter::new(),
+                panics: Counter::new(),
+            }),
+        }
+    }
+
+    /// Parses the plan text format (see `docs/ROBUSTNESS.md`), binding the
+    /// `fault.*` counters into `registry` so injections are observable
+    /// next to the metrics of the code under test.
+    pub fn parse(text: &str, registry: &Registry) -> Result<FaultPlan, PlanError> {
+        let mut seed = 0u64;
+        let mut read = OpFaults::default();
+        let mut write = OpFaults::default();
+        let mut panic_rate = 0.0f64;
+        let mut read_latency_rate_set = false;
+        let mut write_latency_rate_set = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let stripped = raw.split('#').next().unwrap_or("").trim();
+            if stripped.is_empty() {
+                continue;
+            }
+            let (key, value) = stripped.split_once('=').ok_or(PlanError::Parse {
+                line,
+                message: format!("expected 'key = value', got '{stripped}'"),
+            })?;
+            let (key, value) = (key.trim(), value.trim());
+            let rate = |v: &str| parse_rate(v, line);
+            match key {
+                "seed" => {
+                    seed = value.parse().map_err(|_| PlanError::Parse {
+                        line,
+                        message: format!("seed must be a u64, got '{value}'"),
+                    })?;
+                }
+                "read.error_rate" => read.error_rate = rate(value)?,
+                "read.latency_ms" => read.latency = parse_ms(value, line)?,
+                "read.latency_rate" => {
+                    read.latency_rate = rate(value)?;
+                    read_latency_rate_set = true;
+                }
+                "read.eof_rate" => read.eof_rate = rate(value)?,
+                "write.error_rate" => write.error_rate = rate(value)?,
+                "write.latency_ms" => write.latency = parse_ms(value, line)?,
+                "write.latency_rate" => {
+                    write.latency_rate = rate(value)?;
+                    write_latency_rate_set = true;
+                }
+                "panic.rate" => panic_rate = rate(value)?,
+                other => {
+                    return Err(PlanError::Parse {
+                        line,
+                        message: format!("unknown key '{other}'"),
+                    })
+                }
+            }
+        }
+        // Setting a latency without a rate means "always": the common case
+        // for a "this disk is slow" plan.
+        if read.latency > Duration::ZERO && !read_latency_rate_set {
+            read.latency_rate = 1.0;
+        }
+        if write.latency > Duration::ZERO && !write_latency_rate_set {
+            write.latency_rate = 1.0;
+        }
+        Ok(FaultPlan::from_parts(seed, read, write, panic_rate, registry))
+    }
+
+    /// Reads and parses a plan file (`srtool serve --fault-plan FILE`).
+    pub fn load(path: impl AsRef<Path>, registry: &Registry) -> Result<FaultPlan, PlanError> {
+        FaultPlan::parse(&std::fs::read_to_string(path)?, registry)
+    }
+
+    /// The plan's PRNG seed.
+    pub fn seed(&self) -> u64 {
+        self.inner.seed
+    }
+
+    /// Whether the plan can never inject anything (all rates zero).
+    pub fn is_disabled(&self) -> bool {
+        let i = &self.inner;
+        i.read.error_rate == 0.0
+            && i.read.latency_rate == 0.0
+            && i.read.eof_rate == 0.0
+            && i.write.error_rate == 0.0
+            && i.write.latency_rate == 0.0
+            && i.panic_rate == 0.0
+    }
+
+    /// One probabilistic decision. Rates of exactly 0 / 1 short-circuit
+    /// without consuming a PRNG draw (see the module docs).
+    fn decide(&self, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        self.inner.rng.lock().expect("fault plan rng poisoned").next_f64() < rate
+    }
+
+    /// Wraps a reader so reads are subject to this plan's `read.*` faults.
+    pub fn wrap_read<R: Read>(&self, inner: R) -> FaultyRead<R> {
+        FaultyRead { inner, plan: self.clone(), eof: false }
+    }
+
+    /// Wraps a writer so writes are subject to this plan's `write.*`
+    /// faults.
+    pub fn wrap_write<W: Write>(&self, inner: W) -> FaultyWrite<W> {
+        FaultyWrite { inner, plan: self.clone() }
+    }
+
+    /// Panic-injection hook for worker threads: panics (with a
+    /// recognizable `sr-fault: injected panic at <site>` message) when the
+    /// plan's `panic.rate` decision fires. Call it at the top of a unit of
+    /// work whose supervisor claims panic-safety.
+    pub fn maybe_panic(&self, site: &str) {
+        if self.decide(self.inner.panic_rate) {
+            self.inner.panics.inc();
+            panic!("sr-fault: injected panic at {site}");
+        }
+    }
+
+    /// Injected-error count so far (same cell as
+    /// `fault.injected_errors_total`).
+    pub fn injected_errors(&self) -> u64 {
+        self.inner.errors.get()
+    }
+
+    /// Injected-latency count so far.
+    pub fn injected_latency(&self) -> u64 {
+        self.inner.latencies.get()
+    }
+
+    /// Injected premature-EOF count so far.
+    pub fn injected_eofs(&self) -> u64 {
+        self.inner.eofs.get()
+    }
+
+    /// Injected panic count so far.
+    pub fn injected_panics(&self) -> u64 {
+        self.inner.panics.get()
+    }
+}
+
+fn parse_rate(value: &str, line: usize) -> Result<f64, PlanError> {
+    let rate: f64 = value.parse().map_err(|_| PlanError::Parse {
+        line,
+        message: format!("rate must be a number in [0, 1], got '{value}'"),
+    })?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(PlanError::Parse {
+            line,
+            message: format!("rate must be in [0, 1], got {rate}"),
+        });
+    }
+    Ok(rate)
+}
+
+fn parse_ms(value: &str, line: usize) -> Result<Duration, PlanError> {
+    let ms: u64 = value.parse().map_err(|_| PlanError::Parse {
+        line,
+        message: format!("latency must be whole milliseconds, got '{value}'"),
+    })?;
+    Ok(Duration::from_millis(ms))
+}
+
+/// A reader whose `read` calls are subject to a [`FaultPlan`]'s `read.*`
+/// faults. Decision order per call: latency → error → EOF. An injected
+/// EOF is sticky — every later read also reports EOF, exactly like a
+/// file truncated mid-write.
+#[derive(Debug)]
+pub struct FaultyRead<R> {
+    inner: R,
+    plan: FaultPlan,
+    eof: bool,
+}
+
+impl<R> FaultyRead<R> {
+    /// Unwraps the underlying reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for FaultyRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.eof {
+            return Ok(0);
+        }
+        let p = &self.plan;
+        if p.decide(p.inner.read.latency_rate) {
+            p.inner.latencies.inc();
+            std::thread::sleep(p.inner.read.latency);
+        }
+        if p.decide(p.inner.read.error_rate) {
+            p.inner.errors.inc();
+            return Err(std::io::Error::other("sr-fault: injected read error"));
+        }
+        if p.decide(p.inner.read.eof_rate) {
+            p.inner.eofs.inc();
+            self.eof = true;
+            return Ok(0);
+        }
+        self.inner.read(buf)
+    }
+}
+
+/// A writer whose `write` calls are subject to a [`FaultPlan`]'s `write.*`
+/// faults. Decision order per call: latency → error. `flush` passes
+/// through untouched.
+#[derive(Debug)]
+pub struct FaultyWrite<W> {
+    inner: W,
+    plan: FaultPlan,
+}
+
+impl<W> FaultyWrite<W> {
+    /// Unwraps the underlying writer (e.g. to `sync_all` a file).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let p = &self.plan;
+        if p.decide(p.inner.write.latency_rate) {
+            p.inner.latencies.inc();
+            std::thread::sleep(p.inner.write.latency);
+        }
+        if p.decide(p.inner.write.error_rate) {
+            p.inner.errors.inc();
+            return Err(std::io::Error::other("sr-fault: injected write error"));
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_plan_and_defaults_latency_rate() {
+        let registry = Registry::new();
+        let text = "# a demo plan\nseed = 99\nread.error_rate = 0.5\nread.latency_ms = 3\n\
+                    write.error_rate=0.25 # inline comment\npanic.rate = 0.125\n";
+        let plan = FaultPlan::parse(text, &registry).unwrap();
+        assert_eq!(plan.seed(), 99);
+        assert!(!plan.is_disabled());
+        // latency_ms without latency_rate means "always".
+        assert_eq!(plan.inner.read.latency_rate, 1.0);
+        assert_eq!(plan.inner.read.latency, Duration::from_millis(3));
+        assert_eq!(plan.inner.write.error_rate, 0.25);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_bad_rates_and_bad_lines() {
+        let registry = Registry::new();
+        for (text, needle) in [
+            ("bogus.key = 1\n", "unknown key"),
+            ("read.error_rate = 1.5\n", "must be in [0, 1]"),
+            ("read.error_rate = x\n", "must be a number"),
+            ("seed = -3\n", "seed must be a u64"),
+            ("just words\n", "expected 'key = value'"),
+        ] {
+            match FaultPlan::parse(text, &registry) {
+                Err(PlanError::Parse { line: 1, message }) => {
+                    assert!(message.contains(needle), "{text:?}: {message}");
+                }
+                other => panic!("{text:?}: expected parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_plan_is_inert() {
+        let plan = FaultPlan::disabled();
+        assert!(plan.is_disabled());
+        let mut r = plan.wrap_read(&b"abc"[..]);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"abc");
+        assert_eq!(plan.injected_errors() + plan.injected_eofs() + plan.injected_latency(), 0);
+        plan.maybe_panic("test.site"); // must not panic
+    }
+
+    #[test]
+    fn injected_eof_is_sticky_and_counted_once() {
+        let registry = Registry::new();
+        let plan = FaultPlan::parse("read.eof_rate = 1.0\n", &registry).unwrap();
+        let mut r = plan.wrap_read(&b"payload"[..]);
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert!(out.is_empty(), "EOF injection must hide all bytes");
+        let mut buf = [0u8; 4];
+        assert_eq!(r.read(&mut buf).unwrap(), 0, "EOF is sticky");
+        assert_eq!(registry.counter("fault.injected_eofs_total").get(), 1);
+    }
+
+    #[test]
+    fn injected_write_errors_are_counted() {
+        let registry = Registry::new();
+        let plan = FaultPlan::parse("write.error_rate = 1.0\n", &registry).unwrap();
+        let mut sink = Vec::new();
+        let mut w = plan.wrap_write(&mut sink);
+        assert!(w.write_all(b"data").is_err());
+        assert_eq!(plan.injected_errors(), 1);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn panic_hook_panics_with_recognizable_message() {
+        let registry = Registry::new();
+        let plan = FaultPlan::parse("panic.rate = 1.0\n", &registry).unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            plan.maybe_panic("unit.test");
+        }));
+        let payload = caught.expect_err("must panic");
+        let message = payload.downcast_ref::<String>().expect("string payload");
+        assert!(message.contains("sr-fault: injected panic at unit.test"), "{message}");
+        assert_eq!(plan.injected_panics(), 1);
+    }
+
+    #[test]
+    fn fractional_rates_replay_identically_for_a_seed() {
+        let text = "seed = 1234\nread.error_rate = 0.5\n";
+        let run = |text: &str| -> Vec<bool> {
+            let registry = Registry::new();
+            let plan = FaultPlan::parse(text, &registry).unwrap();
+            (0..64)
+                .map(|_| {
+                    let mut r = plan.wrap_read(&b"x"[..]);
+                    r.read(&mut [0u8; 1]).is_err()
+                })
+                .collect()
+        };
+        let a = run(text);
+        let b = run(text);
+        assert_eq!(a, b, "same seed must replay the same decision sequence");
+        assert!(a.iter().any(|&e| e) && a.iter().any(|&e| !e), "rate 0.5 mixes outcomes: {a:?}");
+        let c = run("seed = 4321\nread.error_rate = 0.5\n");
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+}

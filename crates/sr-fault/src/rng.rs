@@ -1,0 +1,74 @@
+//! The one PRNG every fault decision draws from: SplitMix64.
+//!
+//! Chosen for statelessness of implementation (a single `u64`), full-period
+//! behavior on any seed (including 0), and trivial reproducibility across
+//! platforms — the same seed always yields the same decision sequence,
+//! which is the determinism contract `docs/ROBUSTNESS.md` pins down.
+
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[low, high]` (inclusive); `low > high` clamps to
+    /// `low`.
+    pub(crate) fn next_in_range(&mut self, low: u64, high: u64) -> u64 {
+        if high <= low {
+            return low;
+        }
+        let span = high - low + 1;
+        low + self.next_u64() % span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_draws_stay_in_unit_interval() {
+        let mut rng = SplitMix64::new(0);
+        for _ in 0..1024 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn range_draws_are_inclusive_and_clamped() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..256 {
+            let v = rng.next_in_range(10, 12);
+            assert!((10..=12).contains(&v), "{v}");
+        }
+        assert_eq!(rng.next_in_range(5, 5), 5);
+        assert_eq!(rng.next_in_range(7, 3), 7);
+    }
+}

@@ -16,32 +16,83 @@
 //!   over the cells in a geographic rectangle.
 //! - `GET /knn?lat=F&lon=F&k=N` — the `k` nearest featured cell-groups by
 //!   rectangle centroid.
-//! - `GET /stats` — snapshot summary plus request counts.
+//! - `GET /stats` — snapshot summary plus request/shed counts.
 //! - `GET /metrics` — the full metrics registry in the `sr-metrics v1`
-//!   text format (see `docs/OBSERVABILITY.md`).
+//!   text format (see `docs/OBSERVABILITY.md`). Served even while the
+//!   snapshot itself is unavailable.
 //!
 //! Malformed requests get `400` with an `error` body; unknown paths `404`;
-//! non-`GET` methods `405`. The server never panics on bad input.
+//! non-`GET` methods `405`. The server never panics on bad input, and a
+//! panic inside a handler (including one injected through
+//! [`ServerConfig::fault_plan`]) is caught by the worker — the connection
+//! drops, `serve.panics_recovered_total` increments, and the pool keeps
+//! serving.
 //!
-//! Every request increments `serve.requests_total` and its endpoint's
-//! `serve.<endpoint>.requests_total` counter *before* the handler runs (so
-//! `/stats` and `/metrics` responses count themselves), records its latency
-//! into `serve.<endpoint>.latency_ns` *after* the response body is built,
-//! and runs under a `serve.<endpoint>` tracing span. Responses with status
-//! ≥ 400 also increment `serve.errors_total`.
+//! ## Overload and degradation (`docs/ROBUSTNESS.md` is the contract)
+//!
+//! - **Admission control**: with [`ServerConfig::max_inflight`] set, a
+//!   connection arriving while that many requests are queued or being
+//!   handled is *shed* — answered `503` with a `Retry-After` header
+//!   straight from the acceptor, never parsed, counted in
+//!   `shed.queue_total`.
+//! - **Deadlines**: with [`ServerConfig::deadline`] set, each request's
+//!   deadline starts at accept time and is checked when a worker picks the
+//!   connection up and again after the request head is parsed; on expiry
+//!   the response is `503` + `Retry-After` and `shed.deadline_total`
+//!   increments. A deadline that expires *during* a handler does not abort
+//!   it (handlers are short; the next check is the client's).
+//! - **Stale serving**: a server started with [`serve_cached`] resolves
+//!   its engine through a [`SnapshotCache`] on every engine-backed
+//!   request; when the snapshot file changes but the replacement fails to
+//!   load, the last good snapshot answers with an `X-SR-Stale: 1` header
+//!   (`stale.serves_total`). If no snapshot was ever loadable, engine
+//!   endpoints answer `503` (`serve.snapshot_unavailable_total`) while
+//!   `/metrics` keeps working.
+//!
+//! Every routed request increments `serve.requests_total` and its
+//! endpoint's `serve.<endpoint>.requests_total` counter *before* the
+//! handler runs (so `/stats` and `/metrics` responses count themselves),
+//! records its latency into `serve.<endpoint>.latency_ns` *after* the
+//! response body is built, and runs under a `serve.<endpoint>` tracing
+//! span. Responses with status ≥ 400 also increment `serve.errors_total`;
+//! shed responses (never routed) count in `shed.*` and
+//! `serve.errors_total` only.
 
+use crate::cache::{Served, SnapshotCache};
 use crate::query::QueryEngine;
 use crate::Result;
+use sr_fault::FaultPlan;
 use sr_obs::{Counter, Histogram, Registry};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
+///
+/// The robustness fields compose: admission shedding is decided first
+/// (a shed request is never queued, so its deadline is moot), then the
+/// deadline, then the handler. `docs/ROBUSTNESS.md` documents the
+/// precedence and every observable outcome.
+///
+/// ```
+/// use sr_serve::ServerConfig;
+/// use std::time::Duration;
+///
+/// let config = ServerConfig {
+///     // Requests older than 250ms (accept → handling) answer 503.
+///     deadline: Some(Duration::from_millis(250)),
+///     // At most 64 requests queued + in flight; beyond that, shed.
+///     max_inflight: 64,
+///     ..ServerConfig::default()
+/// };
+/// assert_eq!(config.retry_after, Duration::from_secs(1));
+/// assert!(config.fault_plan.is_none(), "fault injection is opt-in");
+/// ```
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker threads handling connections.
@@ -50,6 +101,35 @@ pub struct ServerConfig {
     pub max_request_bytes: usize,
     /// Per-connection read timeout.
     pub read_timeout: Duration,
+    /// Per-request deadline, measured from the moment the connection is
+    /// accepted. `None` (the default) disables deadline shedding.
+    ///
+    /// ```
+    /// use sr_serve::ServerConfig;
+    /// use std::time::Duration;
+    /// let cfg = ServerConfig { deadline: Some(Duration::ZERO), ..ServerConfig::default() };
+    /// // A zero deadline is legal and sheds every request — useful for
+    /// // drills and the fault-matrix test.
+    /// assert_eq!(cfg.deadline, Some(Duration::ZERO));
+    /// ```
+    pub deadline: Option<Duration>,
+    /// Bound on requests queued + being handled; `0` (the default) means
+    /// unbounded. Arrivals past the bound are shed with `503`.
+    ///
+    /// ```
+    /// use sr_serve::ServerConfig;
+    /// let cfg = ServerConfig { max_inflight: 2, threads: 2, ..ServerConfig::default() };
+    /// assert!(cfg.max_inflight >= cfg.threads, "a bound below `threads` idles workers");
+    /// ```
+    pub max_inflight: usize,
+    /// Value of the `Retry-After` header on shed (`503`) responses,
+    /// rounded up to whole seconds (minimum 1).
+    pub retry_after: Duration,
+    /// Optional fault-injection plan: the worker panic hook
+    /// (`panic.rate`) runs once per parsed request. Snapshot-I/O faults
+    /// belong on the [`SnapshotCache`] instead (see
+    /// [`SnapshotCache::with_fault_plan`]).
+    pub fault_plan: Option<FaultPlan>,
     /// Metrics registry the server reports into and `/metrics` renders.
     /// Defaults to [`Registry::global`]; pass a fresh [`Registry::new`] for
     /// an isolated server (e.g. in tests hosting several servers).
@@ -62,6 +142,10 @@ impl Default for ServerConfig {
             threads: 4,
             max_request_bytes: 8 * 1024,
             read_timeout: Duration::from_secs(5),
+            deadline: None,
+            max_inflight: 0,
+            retry_after: Duration::from_secs(1),
+            fault_plan: None,
             registry: Registry::global(),
         }
     }
@@ -90,6 +174,11 @@ struct ServerMetrics {
     registry: Registry,
     requests_total: Counter,
     errors_total: Counter,
+    shed_queue: Counter,
+    shed_deadline: Counter,
+    unavailable: Counter,
+    panics_recovered: Counter,
+    stale_serves: Counter,
     point: EndpointMetrics,
     window: EndpointMetrics,
     knn: EndpointMetrics,
@@ -102,6 +191,14 @@ impl ServerMetrics {
         ServerMetrics {
             requests_total: registry.counter("serve.requests_total"),
             errors_total: registry.counter("serve.errors_total"),
+            shed_queue: registry.counter("shed.queue_total"),
+            shed_deadline: registry.counter("shed.deadline_total"),
+            unavailable: registry.counter("serve.snapshot_unavailable_total"),
+            panics_recovered: registry.counter("serve.panics_recovered_total"),
+            // The same cell a cache built over this registry increments,
+            // so /stats can report stale serves without reaching into the
+            // cache.
+            stale_serves: registry.counter("stale.serves_total"),
             point: EndpointMetrics::new(&registry, "point"),
             window: EndpointMetrics::new(&registry, "window"),
             knn: EndpointMetrics::new(&registry, "knn"),
@@ -109,6 +206,34 @@ impl ServerMetrics {
             metrics: EndpointMetrics::new(&registry, "metrics"),
             registry,
         }
+    }
+}
+
+/// Where a server's engine comes from: fixed at startup, or re-resolved
+/// per request through a cache (which is what enables reloads and stale
+/// degradation).
+enum Source {
+    Static(Arc<QueryEngine>),
+    Cached { cache: Arc<SnapshotCache>, path: PathBuf, theta: f64 },
+}
+
+impl Source {
+    fn resolve(&self) -> Result<Served> {
+        match self {
+            Source::Static(engine) => Ok(Served { engine: Arc::clone(engine), stale: false }),
+            Source::Cached { cache, path, theta } => cache.get_serve(path, *theta),
+        }
+    }
+}
+
+/// Decrements the shared in-flight count when dropped — including when
+/// the handler panicked, so a crashed request can never leak admission
+/// slots.
+struct InflightGuard(Arc<AtomicUsize>);
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -151,47 +276,104 @@ impl Drop for ServerHandle {
 /// ephemeral port). Returns once the listener is bound and the workers
 /// are running.
 pub fn serve(engine: Arc<QueryEngine>, addr: &str, config: ServerConfig) -> Result<ServerHandle> {
+    serve_source(Source::Static(engine), addr, config)
+}
+
+/// Starts a server whose engine is resolved through `cache` on every
+/// engine-backed request: the snapshot at `path` (cache-keyed together
+/// with `theta`) is reloaded when the file changes, and serves **stale**
+/// (with an `X-SR-Stale: 1` header) when a reload fails. The server
+/// starts even if the snapshot is currently unloadable — engine endpoints
+/// answer `503` until a load succeeds, `/metrics` works throughout.
+pub fn serve_cached(
+    cache: Arc<SnapshotCache>,
+    path: impl AsRef<Path>,
+    theta: f64,
+    addr: &str,
+    config: ServerConfig,
+) -> Result<ServerHandle> {
+    serve_source(Source::Cached { cache, path: path.as_ref().to_path_buf(), theta }, addr, config)
+}
+
+fn serve_source(source: Source, addr: &str, config: ServerConfig) -> Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
 
     // Snapshot-shape gauges let `/metrics` describe what is being served.
-    let st = engine.stats();
-    config.registry.gauge("serve.snapshot.cells").set(st.cells as f64);
-    config.registry.gauge("serve.snapshot.groups").set(st.groups as f64);
+    // A cached source may not be loadable yet — the server still starts
+    // (degraded), so a warm-up failure only skips the gauges.
+    if let Ok(served) = source.resolve() {
+        let st = served.engine.stats();
+        config.registry.gauge("serve.snapshot.cells").set(st.cells as f64);
+        config.registry.gauge("serve.snapshot.groups").set(st.groups as f64);
+    }
     let metrics = Arc::new(ServerMetrics::new(config.registry.clone()));
+    let source = Arc::new(source);
+    let inflight = Arc::new(AtomicUsize::new(0));
 
-    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let (tx, rx) = mpsc::channel::<(TcpStream, Instant)>();
     let rx = Arc::new(Mutex::new(rx));
     let workers: Vec<JoinHandle<()>> = (0..config.threads.max(1))
         .map(|_| {
             let rx = Arc::clone(&rx);
-            let engine = Arc::clone(&engine);
+            let source = Arc::clone(&source);
             let config = config.clone();
             let metrics = Arc::clone(&metrics);
+            let inflight = Arc::clone(&inflight);
             std::thread::spawn(move || loop {
                 // Holding the lock only while receiving keeps the pool
                 // work-stealing: whichever worker is free takes the next
                 // connection.
-                let stream = match rx.lock().expect("worker queue poisoned").recv() {
+                let (stream, accepted) = match rx.lock().expect("worker queue poisoned").recv() {
                     Ok(s) => s,
                     Err(_) => return, // channel closed: shutting down
                 };
-                handle_connection(stream, &engine, &config, &metrics);
+                let _guard = InflightGuard(Arc::clone(&inflight));
+                // A panicking handler (bug, or an injected fault) must not
+                // shrink the pool: catch it, count it, drop the
+                // connection, move on.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_connection(stream, &source, &config, &metrics, accepted);
+                }));
+                if outcome.is_err() {
+                    metrics.panics_recovered.inc();
+                }
             })
         })
         .collect();
 
     let flag = Arc::clone(&shutdown);
+    let acceptor_config = config.clone();
+    let acceptor_metrics = Arc::clone(&metrics);
     let acceptor = std::thread::spawn(move || {
         for stream in listener.incoming() {
             if flag.load(Ordering::SeqCst) {
                 break;
             }
             if let Ok(stream) = stream {
+                // Admission control: past the in-flight bound, shed right
+                // here — a tiny fixed write, so a full pool can never grow
+                // an unbounded backlog of parked connections.
+                if acceptor_config.max_inflight > 0
+                    && inflight.load(Ordering::SeqCst) >= acceptor_config.max_inflight
+                {
+                    acceptor_metrics.shed_queue.inc();
+                    acceptor_metrics.errors_total.inc();
+                    respond(
+                        &stream,
+                        503,
+                        CONTENT_TYPE_JSON,
+                        &json_error("server at capacity, request shed"),
+                        &retry_after(&acceptor_config),
+                    );
+                    continue;
+                }
+                inflight.fetch_add(1, Ordering::SeqCst);
                 // A send only fails when every worker died; stop accepting
                 // rather than spin.
-                if tx.send(stream).is_err() {
+                if tx.send((stream, Instant::now())).is_err() {
+                    inflight.fetch_sub(1, Ordering::SeqCst);
                     break;
                 }
             }
@@ -205,12 +387,37 @@ pub fn serve(engine: Arc<QueryEngine>, addr: &str, config: ServerConfig) -> Resu
     Ok(ServerHandle { addr: local, shutdown, acceptor: Some(acceptor) })
 }
 
+/// The `Retry-After` header for shed responses, whole seconds ≥ 1.
+fn retry_after(config: &ServerConfig) -> [(&'static str, String); 1] {
+    let secs = config.retry_after.as_secs().max(1);
+    [("Retry-After", secs.to_string())]
+}
+
 fn handle_connection(
     stream: TcpStream,
-    engine: &QueryEngine,
+    source: &Source,
     config: &ServerConfig,
     metrics: &ServerMetrics,
+    accepted: Instant,
 ) {
+    let deadline = config.deadline.map(|d| accepted + d);
+    let expired = |deadline: Option<Instant>| deadline.is_some_and(|d| Instant::now() >= d);
+    let shed_deadline = |stream: &TcpStream| {
+        metrics.shed_deadline.inc();
+        metrics.errors_total.inc();
+        respond(
+            stream,
+            503,
+            CONTENT_TYPE_JSON,
+            &json_error("deadline exceeded, request shed"),
+            &retry_after(config),
+        );
+    };
+    // Deadline check 1: the request may have aged out while queued.
+    if expired(deadline) {
+        shed_deadline(&stream);
+        return;
+    }
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
@@ -235,33 +442,51 @@ fn handle_connection(
                 if total > config.max_request_bytes {
                     metrics.requests_total.inc();
                     metrics.errors_total.inc();
-                    respond(&stream, 431, CONTENT_TYPE_JSON, &json_error("request head too large"));
+                    respond(
+                        &stream,
+                        431,
+                        CONTENT_TYPE_JSON,
+                        &json_error("request head too large"),
+                        &[],
+                    );
                     return;
                 }
             }
             Err(_) => return,
         }
     }
-    let (status, content_type, body) = route(request_line.trim_end(), engine, metrics);
-    respond(&stream, status, content_type, &body);
+    // The panic-injection hook: models a handler crash after a complete
+    // request was read. The worker's catch_unwind recovers the pool; the
+    // client sees the connection close with no response.
+    if let Some(plan) = &config.fault_plan {
+        plan.maybe_panic("serve.worker");
+    }
+    // Deadline check 2: a slow client may have eaten the budget.
+    if expired(deadline) {
+        shed_deadline(&stream);
+        return;
+    }
+    let (status, content_type, body, stale) = route(request_line.trim_end(), source, metrics);
+    let stale_header = [("X-SR-Stale", "1".to_string())];
+    respond(&stream, status, content_type, &body, if stale { &stale_header } else { &[] });
 }
 
 const CONTENT_TYPE_JSON: &str = "application/json";
 const CONTENT_TYPE_METRICS: &str = "text/plain; version=sr-metrics-v1";
 
 /// Parses the request line and dispatches to the endpoint handlers, with
-/// per-endpoint telemetry. Returns `(status, content_type, body)` and never
-/// panics on malformed input.
+/// per-endpoint telemetry. Returns `(status, content_type, body, stale)`
+/// and never panics on malformed input.
 fn route(
     request_line: &str,
-    engine: &QueryEngine,
+    source: &Source,
     m: &ServerMetrics,
-) -> (u16, &'static str, String) {
+) -> (u16, &'static str, String, bool) {
     // Any parsed-enough-to-answer request counts, even a malformed one.
     m.requests_total.inc();
     let bad = |status: u16, message: &str| {
         m.errors_total.inc();
-        (status, CONTENT_TYPE_JSON, json_error(message))
+        (status, CONTENT_TYPE_JSON, json_error(message), false)
     };
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
@@ -294,19 +519,46 @@ fn route(
     em.requests.inc();
     let start = Instant::now();
     let mut span = sr_obs::span(span_name);
+    // Engine-backed endpoints resolve their engine per request (a static
+    // source is free; a cached source reloads / degrades here). /metrics
+    // deliberately does not: telemetry must survive snapshot loss.
+    let served = if path == "/metrics" {
+        None
+    } else {
+        match source.resolve() {
+            Ok(served) => Some(served),
+            Err(e) => {
+                em.latency.record(start.elapsed());
+                span.record("status", 503u64);
+                m.errors_total.inc();
+                m.unavailable.inc();
+                return (
+                    503,
+                    CONTENT_TYPE_JSON,
+                    json_error(&format!("snapshot unavailable: {e}")),
+                    false,
+                );
+            }
+        }
+    };
+    let stale = served.as_ref().is_some_and(|s| s.stale);
+    let engine = served.as_ref().map(|s| s.engine.as_ref());
     let (status, content_type, body) = match path {
-        "/point" => with_json(handle_point(engine, &params)),
-        "/window" => with_json(handle_window(engine, &params)),
-        "/knn" => with_json(handle_knn(engine, &params)),
-        "/stats" => (200, CONTENT_TYPE_JSON, stats_json(engine, m)),
+        "/point" => with_json(handle_point(engine.expect("resolved"), &params)),
+        "/window" => with_json(handle_window(engine.expect("resolved"), &params)),
+        "/knn" => with_json(handle_knn(engine.expect("resolved"), &params)),
+        "/stats" => (200, CONTENT_TYPE_JSON, stats_json(engine.expect("resolved"), m)),
         _ => (200, CONTENT_TYPE_METRICS, m.registry.render_text()),
     };
     em.latency.record(start.elapsed());
     span.record("status", u64::from(status));
+    if stale {
+        span.record("stale", true);
+    }
     if status >= 400 {
         m.errors_total.inc();
     }
-    (status, content_type, body)
+    (status, content_type, body, stale)
 }
 
 fn with_json((status, body): (u16, String)) -> (u16, &'static str, String) {
@@ -405,9 +657,9 @@ fn handle_knn(engine: &QueryEngine, params: &HashMap<&str, &str>) -> (u16, Strin
     (200, format!("{{\"neighbors\":[{}]}}", neighbors.join(",")))
 }
 
-/// Snapshot summary plus the same request counters `/metrics` reports —
-/// both read the very same [`Counter`]s, so the two endpoints can never
-/// disagree.
+/// Snapshot summary plus the same request/shed counters `/metrics`
+/// reports — both read the very same [`Counter`]s, so the two endpoints
+/// can never disagree.
 fn stats_json(engine: &QueryEngine, m: &ServerMetrics) -> String {
     let st = engine.stats();
     let names: Vec<String> =
@@ -416,7 +668,8 @@ fn stats_json(engine: &QueryEngine, m: &ServerMetrics) -> String {
         "{{\"rows\":{},\"cols\":{},\"cells\":{},\"valid_cells\":{},\"groups\":{},\
          \"valid_groups\":{},\"attrs\":{},\"attr_names\":[{}],\"theta\":{},\"ifl\":{},\
          \"cell_reduction\":{},\"requests\":{{\"point\":{},\"window\":{},\"knn\":{},\
-         \"stats\":{},\"metrics\":{},\"total\":{},\"errors\":{}}}}}",
+         \"stats\":{},\"metrics\":{},\"total\":{},\"errors\":{}}},\
+         \"shed\":{{\"queue\":{},\"deadline\":{}}},\"stale_serves\":{}}}",
         st.rows,
         st.cols,
         st.cells,
@@ -435,21 +688,38 @@ fn stats_json(engine: &QueryEngine, m: &ServerMetrics) -> String {
         m.metrics.requests.get(),
         m.requests_total.get(),
         m.errors_total.get(),
+        m.shed_queue.get(),
+        m.shed_deadline.get(),
+        m.stale_serves.get(),
     )
 }
 
-fn respond(mut stream: &TcpStream, status: u16, content_type: &str, body: &str) {
+fn respond(
+    mut stream: &TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    extra_headers: &[(&'static str, String)],
+) {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
+    let mut headers = String::new();
+    for (name, value) in extra_headers {
+        headers.push_str(name);
+        headers.push_str(": ");
+        headers.push_str(value);
+        headers.push_str("\r\n");
+    }
     let response = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+         Content-Length: {}\r\n{headers}Connection: close\r\n\r\n{body}",
         body.len()
     );
     let _ = stream.write_all(response.as_bytes());
@@ -517,7 +787,7 @@ mod tests {
 
     #[test]
     fn route_rejects_malformed_without_panicking() {
-        let engine = test_engine();
+        let source = test_source();
         let m = test_metrics();
         for bad in [
             "",
@@ -532,11 +802,11 @@ mod tests {
             "GET /window?lat0=1 HTTP/1.1",
             "GET /point?lat=1&lon=1 SPDY/9",
         ] {
-            let (status, _, body) = route(bad, &engine, &m);
+            let (status, _, body, _) = route(bad, &source, &m);
             assert!((400..=405).contains(&status), "'{bad}' gave status {status}");
             assert!(body.contains("error"), "'{bad}' body: {body}");
         }
-        let (status, _, _) = route("GET /nope HTTP/1.1", &engine, &m);
+        let (status, _, _, _) = route("GET /nope HTTP/1.1", &source, &m);
         assert_eq!(status, 404);
         assert_eq!(m.errors_total.get(), 12);
         assert_eq!(m.requests_total.get(), 12);
@@ -544,57 +814,79 @@ mod tests {
 
     #[test]
     fn route_answers_wellformed() {
-        let engine = test_engine();
+        let source = test_source();
         let m = test_metrics();
-        let (status, ct, body) = route("GET /stats HTTP/1.1", &engine, &m);
+        let (status, ct, body, stale) = route("GET /stats HTTP/1.1", &source, &m);
         assert_eq!(status, 200);
         assert_eq!(ct, CONTENT_TYPE_JSON);
         assert!(body.contains("\"groups\""));
-        let (status, _, body) = route("GET /point?lat=0.5&lon=0.5 HTTP/1.1", &engine, &m);
+        assert!(body.contains("\"shed\":{\"queue\":0,\"deadline\":0}"), "{body}");
+        assert!(!stale, "a static source is never stale");
+        let (status, _, body, _) = route("GET /point?lat=0.5&lon=0.5 HTTP/1.1", &source, &m);
         assert_eq!(status, 200);
         assert!(body.contains("\"inside\":true"));
-        let (status, _, body) = route("GET /point?lat=9&lon=9 HTTP/1.1", &engine, &m);
+        let (status, _, body, _) = route("GET /point?lat=9&lon=9 HTTP/1.1", &source, &m);
         assert_eq!(status, 200);
         assert!(body.contains("\"inside\":false"));
-        let (status, _, body) =
-            route("GET /window?lat0=0&lat1=1&lon0=0&lon1=1 HTTP/1.1", &engine, &m);
+        let (status, _, body, _) =
+            route("GET /window?lat0=0&lat1=1&lon0=0&lon1=1 HTTP/1.1", &source, &m);
         assert_eq!(status, 200);
         assert!(body.contains("\"attrs\""));
-        let (status, _, body) = route("GET /knn?lat=0.5&lon=0.5&k=2 HTTP/1.1", &engine, &m);
+        let (status, _, body, _) = route("GET /knn?lat=0.5&lon=0.5&k=2 HTTP/1.1", &source, &m);
         assert_eq!(status, 200);
         assert!(body.contains("\"neighbors\""));
     }
 
     #[test]
     fn route_serves_metrics_and_counts_requests() {
-        let engine = test_engine();
+        let source = test_source();
         let m = test_metrics();
-        route("GET /point?lat=0.5&lon=0.5 HTTP/1.1", &engine, &m);
-        route("GET /point?lat=0.5&lon=0.5 HTTP/1.1", &engine, &m);
-        let (status, _, stats) = route("GET /stats HTTP/1.1", &engine, &m);
+        route("GET /point?lat=0.5&lon=0.5 HTTP/1.1", &source, &m);
+        route("GET /point?lat=0.5&lon=0.5 HTTP/1.1", &source, &m);
+        let (status, _, stats, _) = route("GET /stats HTTP/1.1", &source, &m);
         assert_eq!(status, 200);
         assert!(stats.contains("\"requests\":{\"point\":2,"), "stats: {stats}");
-        let (status, ct, body) = route("GET /metrics HTTP/1.1", &engine, &m);
+        let (status, ct, body, _) = route("GET /metrics HTTP/1.1", &source, &m);
         assert_eq!(status, 200);
         assert_eq!(ct, CONTENT_TYPE_METRICS);
         assert!(body.contains("counter serve.point.requests_total 2"), "metrics: {body}");
         assert!(body.contains("counter serve.requests_total 4"), "metrics: {body}");
         assert!(body.contains("histogram serve.point.latency_ns count 2"), "metrics: {body}");
+        assert!(body.contains("counter shed.queue_total 0"), "metrics: {body}");
         // /stats and /metrics read the same counters: re-render agrees.
         assert_eq!(m.point.requests.get(), 2);
         assert_eq!(m.metrics.requests.get(), 1);
         assert_eq!(m.stats.requests.get(), 1);
     }
 
+    #[test]
+    fn missing_cached_snapshot_degrades_engine_endpoints_only() {
+        let cache = Arc::new(SnapshotCache::new(1));
+        let source =
+            Source::Cached { cache, path: PathBuf::from("/nonexistent/missing.snap"), theta: 0.05 };
+        let m = test_metrics();
+        let (status, _, body, stale) = route("GET /point?lat=0&lon=0 HTTP/1.1", &source, &m);
+        assert_eq!(status, 503);
+        assert!(body.contains("snapshot unavailable"), "{body}");
+        assert!(!stale);
+        assert_eq!(m.unavailable.get(), 1);
+        // Telemetry must survive snapshot loss.
+        let (status, _, body, _) = route("GET /metrics HTTP/1.1", &source, &m);
+        assert_eq!(status, 200);
+        assert!(body.contains("counter serve.snapshot_unavailable_total 1"), "{body}");
+    }
+
     fn test_metrics() -> ServerMetrics {
         ServerMetrics::new(Registry::new())
     }
 
-    fn test_engine() -> QueryEngine {
+    fn test_source() -> Source {
         use crate::snapshot::Snapshot;
         let vals: Vec<f64> = (0..36).map(|i| 10.0 + (i / 6) as f64 * 0.2).collect();
         let grid = sr_grid::GridDataset::univariate(6, 6, vals).unwrap();
         let out = sr_core::repartition(&grid, 0.05).unwrap();
-        QueryEngine::new(Snapshot::build(&out.repartitioned, &grid, 0.05).unwrap())
+        Source::Static(Arc::new(QueryEngine::new(
+            Snapshot::build(&out.repartitioned, &grid, 0.05).unwrap(),
+        )))
     }
 }

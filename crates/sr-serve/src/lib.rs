@@ -18,8 +18,17 @@
 //! Serving is instrumented with [`sr_obs`] (re-exported here as
 //! [`Registry`]): per-endpoint spans, request/error counters, and latency
 //! histograms, surfaced over `GET /metrics` and folded into `GET /stats`.
-//! `docs/OBSERVABILITY.md` documents the exact names; the summary below
-//! round-trips a snapshot and queries it directly:
+//! `docs/OBSERVABILITY.md` documents the exact names.
+//!
+//! The serving path is also hardened against overload and storage faults:
+//! snapshot saves are atomic (temp file + fsync + rename), loads reject
+//! torn or corrupted files before parsing, the cache retries failed
+//! reloads with seeded jittered backoff and then serves the last good
+//! snapshot *stale*, and the HTTP server supports per-request deadlines
+//! and bounded admission with load shedding. Deterministic fault
+//! injection for all of it comes from [`sr_fault`] (re-exported here as
+//! [`FaultPlan`]); `docs/ROBUSTNESS.md` is the full degradation contract.
+//! The summary below round-trips a snapshot and queries it directly:
 //!
 //! ```
 //! use sr_serve::{snapshot_from_bytes, snapshot_to_bytes, QueryEngine, Snapshot};
@@ -45,13 +54,14 @@ pub mod http;
 pub mod query;
 pub mod snapshot;
 
-pub use cache::SnapshotCache;
-pub use http::{serve, ServerConfig, ServerHandle};
+pub use cache::{ReloadPolicy, Served, SnapshotCache};
+pub use http::{serve, serve_cached, ServerConfig, ServerHandle};
 pub use query::{NearestGroup, PointAnswer, QueryEngine, Stats, WindowAnswer};
 pub use snapshot::{
-    load_snapshot, read_snapshot, save_snapshot, snapshot_from_bytes, snapshot_to_bytes,
-    write_snapshot, Snapshot,
+    load_snapshot, load_snapshot_with, read_snapshot, save_snapshot, save_snapshot_with,
+    snapshot_from_bytes, snapshot_to_bytes, write_snapshot, Snapshot,
 };
+pub use sr_fault::{Backoff, FaultPlan};
 pub use sr_obs::Registry;
 
 /// Errors from the serving layer.

@@ -608,15 +608,79 @@ pub fn read_snapshot<R: Read>(mut r: R) -> Result<Snapshot> {
     snapshot_from_bytes(&buf)
 }
 
-/// Saves a snapshot to a file.
+/// Saves a snapshot to a file **atomically**: the bytes are written to a
+/// sibling temp file, fsynced, and renamed over `path`. A crash (or an
+/// injected fault) at any point leaves either the old file or the new one
+/// — never a torn mixture — and the CRC-32 trailer rejects whatever a
+/// non-atomic writer might have left behind (`docs/ROBUSTNESS.md`).
 pub fn save_snapshot(s: &Snapshot, path: impl AsRef<Path>) -> Result<()> {
-    std::fs::write(path, snapshot_to_bytes(s))?;
-    Ok(())
+    save_snapshot_with(s, path, None)
+}
+
+/// [`save_snapshot`] with the write path subject to a
+/// [`sr_fault::FaultPlan`] (`write.*` faults). On any failure the temp
+/// file is removed and the previous file at `path` is left untouched.
+pub fn save_snapshot_with(
+    s: &Snapshot,
+    path: impl AsRef<Path>,
+    plan: Option<&sr_fault::FaultPlan>,
+) -> Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let bytes = snapshot_to_bytes(s);
+    let result = (|| -> Result<()> {
+        let file = std::fs::File::create(&tmp)?;
+        let file = match plan {
+            Some(plan) => {
+                let mut w = plan.wrap_write(file);
+                w.write_all(&bytes)?;
+                w.into_inner()
+            }
+            None => {
+                let mut w = file;
+                w.write_all(&bytes)?;
+                w
+            }
+        };
+        // Flush to disk before the rename publishes the file: otherwise a
+        // power loss could publish a name pointing at unwritten blocks.
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
 }
 
 /// Loads a snapshot from a file.
 pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Snapshot> {
-    snapshot_from_bytes(&std::fs::read(path)?)
+    load_snapshot_with(path, None)
+}
+
+/// [`load_snapshot`] with the read path subject to a
+/// [`sr_fault::FaultPlan`] (`read.*` faults). An injected premature EOF
+/// surfaces exactly like a torn write: the checksum/format checks reject
+/// the truncated bytes, never returning garbage.
+pub fn load_snapshot_with(
+    path: impl AsRef<Path>,
+    plan: Option<&sr_fault::FaultPlan>,
+) -> Result<Snapshot> {
+    let file = std::fs::File::open(path)?;
+    let mut buf = Vec::new();
+    match plan {
+        Some(plan) => {
+            plan.wrap_read(file).read_to_end(&mut buf)?;
+        }
+        None => {
+            let mut file = file;
+            file.read_to_end(&mut buf)?;
+        }
+    }
+    snapshot_from_bytes(&buf)
 }
 
 #[cfg(test)]
@@ -714,6 +778,50 @@ mod tests {
             Snapshot::build(&out.repartitioned, &other, 0.2),
             Err(ServeError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn failed_atomic_save_leaves_previous_file_intact() {
+        let registry = sr_obs::Registry::new();
+        let plan = sr_fault::FaultPlan::parse("write.error_rate = 1.0\n", &registry).unwrap();
+        let snap = sample_snapshot();
+        let dir = std::env::temp_dir().join(format!("sr_snap_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("current.snap");
+        save_snapshot(&snap, &path).unwrap();
+        let good_bytes = std::fs::read(&path).unwrap();
+        // The faulty save fails...
+        assert!(matches!(save_snapshot_with(&snap, &path, Some(&plan)), Err(ServeError::Io(_))));
+        assert!(plan.injected_errors() >= 1);
+        // ...but the previous file is byte-identical and no temp junk
+        // remains next to it.
+        assert_eq!(std::fs::read(&path).unwrap(), good_bytes);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n != "current.snap")
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_premature_eof_is_rejected_cleanly() {
+        let registry = sr_obs::Registry::new();
+        let plan = sr_fault::FaultPlan::parse("read.eof_rate = 1.0\n", &registry).unwrap();
+        let snap = sample_snapshot();
+        let path = std::env::temp_dir().join(format!("sr_snap_eof_{}.snap", std::process::id()));
+        save_snapshot(&snap, &path).unwrap();
+        // The torn read must surface as a structured Format error (the
+        // zero bytes that survive the injected EOF are "file too short"),
+        // never as a garbage snapshot.
+        let result = load_snapshot_with(&path, Some(&plan));
+        std::fs::remove_file(&path).ok();
+        assert!(
+            matches!(result, Err(ServeError::Format { .. }) | Err(ServeError::Checksum { .. })),
+            "torn read must be rejected: {result:?}"
+        );
+        assert_eq!(plan.injected_eofs(), 1);
     }
 
     #[test]

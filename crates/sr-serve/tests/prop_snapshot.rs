@@ -1,11 +1,15 @@
 //! Property tests for the `sr-snap v1` format over *arbitrary* repartitioned
-//! grids — not hand-picked examples. Two properties the ISSUE pins down:
+//! grids — not hand-picked examples:
 //!
 //! 1. write → read → write produces byte-identical output (and an equal
 //!    `Snapshot`), for any shape, schema, null mask, value mix, and θ.
 //! 2. Flipping any single bit anywhere in the encoding is detected — the
 //!    CRC-32 trailer guarantees all single-bit (indeed all single-byte)
 //!    corruptions are caught before parsing.
+//! 3. Truncating the encoding at any byte is cleanly rejected (format or
+//!    checksum error), never decoded into something else and never a
+//!    panic — the torn-write half of the robustness contract.
+//! 4. Snapshot bytes are invariant to the compute pool's thread count.
 
 use proptest::prelude::*;
 use sr_core::{repartition, Repartitioner};
@@ -96,6 +100,46 @@ proptest! {
             other => {
                 return Err(TestCaseError::Fail(format!(
                     "bit {bit} of byte {idx}/{} flipped, expected Checksum error, got {other:?}",
+                    bytes.len()
+                )));
+            }
+        }
+    }
+
+    /// A snapshot truncated at *any* byte boundary is cleanly rejected —
+    /// as a format or checksum error — never decoded into a different
+    /// snapshot and never a panic. This is the property that makes the
+    /// atomic-write discipline (`save_snapshot`'s temp + fsync + rename)
+    /// sufficient: even if a torn prefix ever became visible, it could
+    /// not be served (`docs/ROBUSTNESS.md`).
+    #[test]
+    fn snapshot_truncated_anywhere_is_cleanly_rejected(
+        (rows, cols, p, raw, nulls) in (4usize..10, 4usize..10, 1usize..3)
+            .prop_flat_map(|(r, c, p)| (
+                Just(r),
+                Just(c),
+                Just(p),
+                prop::collection::vec(1.0f64..500.0, r * c * p),
+                prop::collection::vec(0u8..6, r * c),
+            )),
+        theta in 0.02f64..0.3,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let snap = random_snapshot(rows, cols, p, &raw, &nulls, theta);
+        let bytes = snapshot_to_bytes(&snap);
+        // Every prefix length from empty to one-byte-short is invalid.
+        let cut = ((cut_frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        match snapshot_from_bytes(&bytes[..cut]) {
+            Err(ServeError::Format { .. }) | Err(ServeError::Checksum { .. }) => {}
+            Ok(_) => {
+                return Err(TestCaseError::Fail(format!(
+                    "truncation to {cut}/{} bytes decoded successfully",
+                    bytes.len()
+                )));
+            }
+            Err(other) => {
+                return Err(TestCaseError::Fail(format!(
+                    "truncation to {cut}/{} bytes gave unexpected error {other:?}",
                     bytes.len()
                 )));
             }

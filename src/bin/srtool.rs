@@ -15,9 +15,16 @@
 //! - `snapshot --in FILE --theta T --out FILE.snap [--strided]`
 //!   re-partitions a grid and freezes the result as an `sr-snap v1`
 //!   snapshot for online serving.
-//! - `serve --snapshot FILE.snap [--addr HOST:PORT] [--threads N]`
+//! - `serve --snapshot FILE.snap [--addr HOST:PORT] [--threads N]
+//!   [--deadline-ms MS] [--max-inflight N] [--fault-plan FILE]`
 //!   serves point/window/knn/stats/metrics queries over HTTP from a
-//!   snapshot.
+//!   snapshot. The snapshot is cache-backed: edits to the file are picked
+//!   up live, and a corrupted replacement degrades to serving the last
+//!   good version with an `X-SR-Stale: 1` header (`docs/ROBUSTNESS.md`).
+//!   `--deadline-ms` sheds requests older than the budget, `--max-inflight`
+//!   bounds queued + running requests (both answer `503` + `Retry-After`),
+//!   and `--fault-plan` arms deterministic snapshot-I/O fault injection
+//!   for drills.
 //!
 //! The global `--trace` flag (any subcommand) prints hierarchical span
 //! timings to stderr; `--trace=json` emits them as JSON-lines instead.
@@ -42,7 +49,7 @@ use spatial_repartition::core::{
 use spatial_repartition::datasets::{Dataset, GridSize};
 use spatial_repartition::grid::{load_grid, morans_i, save_grid, AdjacencyList, GridDataset};
 use spatial_repartition::serve::{
-    load_snapshot, save_snapshot, serve, QueryEngine, ServerConfig, Snapshot,
+    save_snapshot, serve_cached, FaultPlan, ServerConfig, Snapshot, SnapshotCache,
 };
 use std::collections::HashMap;
 use std::io::Write;
@@ -381,19 +388,44 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let threads: usize = opts
         .get("threads")
         .map_or(Ok(4), |s| s.parse().map_err(|_| "bad --threads".to_string()))?;
-    let snap = load_snapshot(path).map_err(|e| e.to_string())?;
-    let engine = std::sync::Arc::new(QueryEngine::new(snap));
-    let st = engine.stats();
-    let config = ServerConfig { threads, ..ServerConfig::default() };
-    let handle = serve(engine, addr, config).map_err(|e| e.to_string())?;
-    println!(
-        "serving {path} ({}x{} cells, {} groups, {} attrs) on http://{}",
-        st.rows,
-        st.cols,
-        st.groups,
-        st.attrs,
-        handle.addr()
-    );
+    let deadline = opts
+        .get("deadline-ms")
+        .map(|s| s.parse::<u64>().map_err(|_| "bad --deadline-ms".to_string()))
+        .transpose()?
+        .map(std::time::Duration::from_millis);
+    let max_inflight: usize = opts
+        .get("max-inflight")
+        .map_or(Ok(0), |s| s.parse().map_err(|_| "bad --max-inflight".to_string()))?;
+    let registry = spatial_repartition::obs::Registry::global();
+    let mut cache = SnapshotCache::with_registry(2, &registry);
+    if let Some(plan_path) = opts.get("fault-plan") {
+        let plan = FaultPlan::load(plan_path, &registry)
+            .map_err(|e| format!("bad --fault-plan {plan_path}: {e}"))?;
+        println!("fault plan loaded from {plan_path} (seed {})", plan.seed());
+        cache = cache.with_fault_plan(plan);
+    }
+    let cache = std::sync::Arc::new(cache);
+    let config =
+        ServerConfig { threads, deadline, max_inflight, registry, ..ServerConfig::default() };
+    // theta is only a cache-key component here; one server serves one
+    // snapshot path, so any fixed value works.
+    let theta = 0.0;
+    // Warm the cache so the common case starts hot — but a failed first
+    // load must not stop the server: it starts degraded (engine endpoints
+    // answer 503, /metrics works) and recovers when the file does.
+    match cache.get_serve(path, theta) {
+        Ok(served) => {
+            let st = served.engine.stats();
+            println!(
+                "loaded {path}: {}x{} cells, {} groups, {} attrs",
+                st.rows, st.cols, st.groups, st.attrs
+            );
+        }
+        Err(e) => println!("warning: snapshot not loadable yet ({e}); serving degraded"),
+    }
+    let handle = serve_cached(std::sync::Arc::clone(&cache), path, theta, addr, config)
+        .map_err(|e| e.to_string())?;
+    println!("serving {path} on http://{}", handle.addr());
     println!(
         "endpoints: /point?lat=&lon=  /window?lat0=&lat1=&lon0=&lon1=  /knn?lat=&lon=&k=  \
          /stats  /metrics"
@@ -419,6 +451,7 @@ USAGE:
   srtool homogeneous --in FILE --rows K --cols K
   srtool snapshot    --in FILE --theta T --out FILE.snap [--strided]
   srtool serve       --snapshot FILE.snap [--addr HOST:PORT] [--threads N]
+                     [--deadline-ms MS] [--max-inflight N] [--fault-plan FILE]
 
 GLOBAL FLAGS (before the subcommand):
   --threads N    worker threads for the compute pool (overrides SR_THREADS;

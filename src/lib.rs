@@ -47,6 +47,10 @@
 //! | [`serve`] | `sr-serve` | partition snapshots (`sr-snap v1`), the online query engine, snapshot cache, HTTP server |
 //! | [`obs`] | `sr-obs` | tracing spans and the metrics registry behind `--trace` and `GET /metrics` |
 //! | [`par`] | `sr-par` | deterministic worker-pool substrate (`SR_THREADS`, fixed-grain `par_map`/`par_for`) |
+//! | [`fault`] | `sr-fault` | deterministic fault injection (`FaultPlan`) and seeded retry backoff behind the robustness tests |
+//!
+//! `docs/ARCHITECTURE.md` has the full dependency diagram and a
+//! which-crate-do-I-touch table.
 //!
 //! ## Observability
 //!
@@ -75,6 +79,7 @@
 pub use sr_baselines as baselines;
 pub use sr_core as core;
 pub use sr_datasets as datasets;
+pub use sr_fault as fault;
 pub use sr_grid as grid;
 pub use sr_linalg as linalg;
 pub use sr_mem as mem;
@@ -92,6 +97,7 @@ pub mod prelude {
         TemporalRepartitioner,
     };
     pub use sr_datasets::{train_test_split, Dataset, GridSize};
+    pub use sr_fault::{Backoff, FaultPlan};
     pub use sr_grid::{
         gearys_c, information_loss, join_counts, local_morans_i, morans_i, normalize_attributes,
         read_gal, read_grid, render_heatmap, render_partition, variation_between_typed, write_gal,
@@ -106,6 +112,7 @@ pub mod prelude {
     pub use sr_obs::{span, Registry};
     pub use sr_par::Pool;
     pub use sr_serve::{
-        load_snapshot, save_snapshot, serve, QueryEngine, ServerConfig, Snapshot, SnapshotCache,
+        load_snapshot, save_snapshot, serve, serve_cached, QueryEngine, Served, ServerConfig,
+        Snapshot, SnapshotCache,
     };
 }
