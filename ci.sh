@@ -35,6 +35,15 @@ SR_THREADS=1 cargo test -q --offline --test fault_matrix
 echo "==> fault matrix (SR_THREADS=4)"
 SR_THREADS=4 cargo test -q --offline --test fault_matrix
 
+# Bench smoke: every bench target builds and runs each body exactly once
+# (SR_BENCH_SMOKE=1 skips calibration and suppresses JSON export, so the
+# checked-in BENCH_*.json artifacts are untouched). A panic in any bench —
+# at either pool budget — fails CI.
+for threads in 1 4; do
+  echo "==> bench smoke (SR_THREADS=$threads)"
+  SR_BENCH_SMOKE=1 SR_THREADS=$threads cargo bench -q -p sr-bench --offline
+done
+
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --quiet
 

@@ -14,11 +14,23 @@
 //! recorded in the [`Criterion`] instance and can be dumped with
 //! [`Criterion::export_json`], which the workspace's harnesses use to write
 //! `BENCH_*.json` artifacts.
+//!
+//! Setting `SR_BENCH_SMOKE=1` switches every bench to smoke mode: each
+//! closure runs exactly once with no warm-up or calibration, and
+//! [`Criterion::export_json`] becomes a no-op so checked-in `BENCH_*.json`
+//! artifacts are never clobbered by a smoke run. CI uses this to prove the
+//! benches still build and execute without paying measurement time.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// True when `SR_BENCH_SMOKE` is set (and not `0`): run each bench body
+/// once, skip calibration, and suppress JSON export.
+fn smoke_mode() -> bool {
+    std::env::var_os("SR_BENCH_SMOKE").is_some_and(|v| !v.is_empty() && v != "0")
+}
 
 /// Identifier of one benchmark inside a group: `function_id/parameter`.
 #[derive(Debug, Clone)]
@@ -67,12 +79,19 @@ pub struct BenchResult {
 pub struct Bencher<'a> {
     samples: usize,
     measurement_time: Duration,
+    smoke: bool,
     result: &'a mut Option<(f64, u64)>,
 }
 
 impl Bencher<'_> {
     /// Measures `f`, storing the median per-iteration nanoseconds.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            let start = Instant::now();
+            black_box(f());
+            *self.result = Some((start.elapsed().as_nanos() as f64, 1));
+            return;
+        }
         // Warm-up & calibration: find an iteration count whose sample time
         // is comfortably measurable.
         let mut calib_iters: u64 = 1;
@@ -153,8 +172,13 @@ impl Criterion {
         &self.results
     }
 
-    /// Writes the collected results as a JSON array to `path`.
+    /// Writes the collected results as a JSON array to `path`. A no-op in
+    /// smoke mode: one-shot timings would overwrite real measurements.
     pub fn export_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        if smoke_mode() {
+            println!("smoke mode: skipping export to {}", path.as_ref().display());
+            return Ok(());
+        }
         let mut out = String::from("[\n");
         for (i, r) in self.results.iter().enumerate() {
             let _ = write!(
@@ -180,7 +204,8 @@ impl Criterion {
         mut f: F,
     ) {
         let mut result: Option<(f64, u64)> = None;
-        let mut bencher = Bencher { samples, measurement_time, result: &mut result };
+        let mut bencher =
+            Bencher { samples, measurement_time, smoke: smoke_mode(), result: &mut result };
         f(&mut bencher);
         let (ns_per_iter, iterations) = result.unwrap_or((f64::NAN, 0));
         println!("{id:<56} {:>14} /iter", format_ns(ns_per_iter));

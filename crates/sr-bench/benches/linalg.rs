@@ -1,0 +1,138 @@
+//! Micro-benchmarks of the sr-linalg numeric core: the blocked GEMM against
+//! a model-sized and a cache-busting operand, gram, blocked Cholesky/LU
+//! factorization, and the factor-once/stream-RHS multi-solve APIs the model
+//! layer leans on.
+//!
+//! Results are exported to `BENCH_linalg.json` at the workspace root so the
+//! kernel-layer performance trajectory is tracked in-repo alongside
+//! `BENCH_models.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sr_linalg::{Cholesky, LuFactor, Matrix};
+use std::hint::black_box;
+
+/// Deterministic xorshift fill, so every run measures identical operands.
+fn filled(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    let mut s = seed | 1;
+    for v in m.as_mut_slice() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        *v = (s >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+    }
+    m
+}
+
+/// A well-conditioned SPD matrix: `AᵀA + n·I`.
+fn spd(n: usize, seed: u64) -> Matrix {
+    let a = filled(n, n, seed);
+    let mut g = a.gram();
+    for i in 0..n {
+        g[(i, i)] += n as f64;
+    }
+    g
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+
+    // Below the blocking threshold: the naive streaming path.
+    let a64 = filled(64, 64, 1);
+    let b64 = filled(64, 64, 2);
+    group.bench_function("naive_64", |b| {
+        b.iter(|| black_box(&a64).matmul(black_box(&b64)).unwrap())
+    });
+
+    // Above the blocking threshold, serial blocked kernel.
+    let a256 = filled(256, 256, 3);
+    let b256 = filled(256, 256, 4);
+    group.bench_function("blocked_256", |b| {
+        b.iter(|| black_box(&a256).matmul(black_box(&b256)).unwrap())
+    });
+
+    // Above the parallel threshold, at both pool budgets (bit-identical
+    // results by contract; only wall-clock may differ).
+    let a512 = filled(512, 512, 5);
+    let b512 = filled(512, 512, 6);
+    for threads in [1usize, 4] {
+        sr_par::Pool::global().set_threads(threads);
+        group.bench_function(format!("blocked_512_t{threads}"), |b| {
+            b.iter(|| black_box(&a512).matmul(black_box(&b512)).unwrap())
+        });
+    }
+    sr_par::Pool::global().set_threads(sr_par::default_threads());
+    group.finish();
+}
+
+fn bench_gram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gram");
+    group.sample_size(10);
+
+    // Model-shaped: many rows, few columns (the zero-skip historical path).
+    let tall = filled(4096, 8, 7);
+    group.bench_function("tall_4096x8", |b| b.iter(|| black_box(&tall).gram()));
+
+    // Wide enough for the tiled branch-free path.
+    let wide = filled(512, 128, 8);
+    group.bench_function("wide_512x128", |b| b.iter(|| black_box(&wide).gram()));
+    group.finish();
+}
+
+fn bench_factorizations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factor");
+    group.sample_size(10);
+
+    let spd_small = spd(48, 9); // unblocked path (model-sized)
+    let spd_large = spd(256, 10); // blocked panels
+    group.bench_function("cholesky_48", |b| {
+        b.iter(|| Cholesky::new(black_box(&spd_small)).unwrap())
+    });
+    group.bench_function("cholesky_256", |b| {
+        b.iter(|| Cholesky::new(black_box(&spd_large)).unwrap())
+    });
+
+    let sq_small = filled(48, 48, 11);
+    let sq_large = filled(256, 256, 12);
+    group.bench_function("lu_48", |b| b.iter(|| LuFactor::new(black_box(&sq_small)).unwrap()));
+    group.bench_function("lu_256", |b| b.iter(|| LuFactor::new(black_box(&sq_large)).unwrap()));
+    group.finish();
+}
+
+fn bench_multi_rhs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_rhs");
+    group.sample_size(10);
+
+    // Factor once, stream 64 right-hand sides — the kriging-group /
+    // GWR-search usage pattern.
+    let n = 96;
+    let g = spd(n, 13);
+    let chol = Cholesky::new(&g).unwrap();
+    let lu = LuFactor::new(&g).unwrap();
+    let rhs = filled(64, n, 14); // one RHS per row
+
+    group.bench_function("cholesky_solve_many_96x64", |b| {
+        b.iter(|| chol.solve_many(black_box(&rhs)).unwrap())
+    });
+    group.bench_function("lu_solve_many_96x64", |b| {
+        b.iter(|| lu.solve_many(black_box(&rhs)).unwrap())
+    });
+    // The per-call baseline the multi-RHS APIs exist to beat.
+    group.bench_function("cholesky_solve_repeat_96x64", |b| {
+        b.iter(|| {
+            for r in 0..rhs.rows() {
+                black_box(chol.solve(black_box(rhs.row(r))).unwrap());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn export(c: &mut Criterion) {
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_linalg.json");
+    c.export_json(out).expect("write BENCH_linalg.json");
+}
+
+criterion_group!(benches, bench_matmul, bench_gram, bench_factorizations, bench_multi_rhs, export);
+criterion_main!(benches);

@@ -1,0 +1,243 @@
+//! Cache-blocked, register-tiled matrix-multiply kernel.
+//!
+//! Layout (see `docs/PERFORMANCE.md` for the full design notes):
+//!
+//! - The right-hand operand is copied into **packed panels** of `KC × JB`
+//!   contiguous doubles, so the inner loops stream it sequentially instead
+//!   of striding across full matrix rows.
+//! - The micro-kernel computes `MR = 4` output rows against one packed
+//!   panel at a time, accumulating into a stack tile; each `B` element
+//!   loaded from cache feeds four multiply-adds, and the four independent
+//!   accumulator streams let the compiler vectorize the `j` loop.
+//! - There is no per-element zero test anywhere on the blocked path — the
+//!   branch costs more than the multiply it skips and defeats
+//!   vectorization.
+//!
+//! Determinism: for every output element the `k` products are accumulated
+//! in ascending `k` order as `((acc_panel_0 + acc_panel_1) + …)`, a fixed
+//! order that does not depend on matrix size, thread count, or panel
+//! residency. Row-parallel execution partitions output rows, so threads
+//! never share an accumulator; results are bit-identical for
+//! `SR_THREADS ∈ {1, 2, 8, …}`. Relative to the naive triple loop the
+//! panel-partial grouping can round differently; the contract is
+//! `|blocked − naive| ≤ 2⁻⁴⁰ · k · max|A| · max|B|` per element (in
+//! practice ~1 ulp), verified by property tests against
+//! [`reference_matmul`].
+
+use crate::Matrix;
+
+/// Flop count (`m · n · k`) at which [`Matrix::matmul`] leaves the naive
+/// streaming loop for the blocked kernel. Below this the packing overhead
+/// dominates; model-sized products (design matrices with single-digit
+/// feature counts) always stay on the naive path.
+pub const BLOCK_FLOP_THRESHOLD: usize = 1 << 18;
+
+/// Flop count at which the blocked kernel also fans row panels out on the
+/// global [`sr_par::Pool`].
+pub const PAR_FLOP_THRESHOLD: usize = 1 << 22;
+
+/// Depth (`k` extent) of one packed panel of the right-hand operand.
+pub const KC: usize = 64;
+
+/// Column width of one packed panel. `KC × JB` doubles = 128 KiB, sized
+/// for L2 residency while the `MR × JB` accumulator tile stays in L1.
+pub const JB: usize = 256;
+
+/// Output rows per micro-kernel step.
+pub const MR: usize = 4;
+
+/// Dispatching entry point used by [`Matrix::matmul_into`]. Shapes are
+/// validated by the caller; `out` is fully overwritten.
+pub(crate) fn matmul(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let flops = m * n * k;
+    if flops < BLOCK_FLOP_THRESHOLD {
+        naive_into(a, b, out);
+        return;
+    }
+    out.as_mut_slice().fill(0.0);
+    let pool = sr_par::Pool::global();
+    if flops >= PAR_FLOP_THRESHOLD && pool.threads() > 1 {
+        // Fixed row grain (multiple of MR, independent of thread count):
+        // each chunk owns a disjoint band of output rows, so per-element
+        // accumulation order is identical to the serial blocked kernel.
+        let grain = sr_par::fixed_grain(m, 16).next_multiple_of(MR);
+        pool.par_chunks_mut(out.as_mut_slice(), grain * n, |chunk_idx, out_rows| {
+            let row0 = chunk_idx * grain;
+            blocked_rows(a, b, row0, out_rows);
+        });
+    } else {
+        blocked_rows(a, b, 0, out.as_mut_slice());
+    }
+}
+
+/// Branch-free i-k-j streaming loop; the small-product path and (as
+/// [`reference_matmul`]) the oracle the blocked kernel is tested against.
+fn naive_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    let (k, n) = (a.cols(), b.cols());
+    let out_data = out.as_mut_slice();
+    out_data.fill(0.0);
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        let out_row = &mut out_data[i * n..(i + 1) * n];
+        for (kk, &aik) in a_row.iter().enumerate().take(k) {
+            let b_row = &b.as_slice()[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += aik * bv;
+            }
+        }
+    }
+}
+
+/// Naive reference product, exposed for integration/property tests as the
+/// oracle for the blocked kernel's tolerance contract.
+#[doc(hidden)]
+pub fn reference_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    naive_into(a, b, &mut out);
+    out
+}
+
+/// Blocked kernel over the output-row band `row0 .. row0 + out_rows.len()/n`.
+/// `out_rows` must be zeroed row-major storage for that band.
+fn blocked_rows(a: &Matrix, b: &Matrix, row0: usize, out_rows: &mut [f64]) {
+    let (k, n) = (a.cols(), b.cols());
+    let band = out_rows.len() / n;
+    let mut packed = vec![0.0f64; KC * JB.min(n)];
+    let mut acc = [[0.0f64; JB]; MR];
+
+    for j0 in (0..n).step_by(JB) {
+        let jw = JB.min(n - j0);
+        for k0 in (0..k).step_by(KC) {
+            let kw = KC.min(k - k0);
+            pack_panel(b, k0, kw, j0, jw, &mut packed);
+            let mut i = 0;
+            while i + MR <= band {
+                micro_mr(a, row0 + i, k0, kw, &packed, jw, &mut acc);
+                for (r, acc_row) in acc.iter().enumerate() {
+                    let dst = &mut out_rows[(i + r) * n + j0..(i + r) * n + j0 + jw];
+                    for (o, &v) in dst.iter_mut().zip(acc_row) {
+                        *o += v;
+                    }
+                }
+                i += MR;
+            }
+            // Tail rows (band not a multiple of MR), one at a time.
+            while i < band {
+                let acc_row = &mut acc[0];
+                acc_row[..jw].fill(0.0);
+                let a_row = &a.row(row0 + i)[k0..k0 + kw];
+                for (kk, &aik) in a_row.iter().enumerate() {
+                    let b_row = &packed[kk * jw..(kk + 1) * jw];
+                    for (o, &bv) in acc_row[..jw].iter_mut().zip(b_row) {
+                        *o += aik * bv;
+                    }
+                }
+                let dst = &mut out_rows[i * n + j0..i * n + j0 + jw];
+                for (o, &v) in dst.iter_mut().zip(&acc_row[..jw]) {
+                    *o += v;
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Copies the `kw × jw` sub-block of `b` at `(k0, j0)` into `packed`,
+/// row-major with row stride `jw` (contiguous panel).
+fn pack_panel(b: &Matrix, k0: usize, kw: usize, j0: usize, jw: usize, packed: &mut [f64]) {
+    let n = b.cols();
+    let data = b.as_slice();
+    for kk in 0..kw {
+        let src = &data[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + jw];
+        packed[kk * jw..(kk + 1) * jw].copy_from_slice(src);
+    }
+}
+
+/// Micro-kernel: accumulates `MR` rows of `A[rows, k0..k0+kw] × panel`
+/// into `acc` (overwritten). Four accumulator streams per `j`, one panel
+/// row load shared by all four.
+fn micro_mr(
+    a: &Matrix,
+    i0: usize,
+    k0: usize,
+    kw: usize,
+    packed: &[f64],
+    jw: usize,
+    acc: &mut [[f64; JB]; MR],
+) {
+    for row in acc.iter_mut() {
+        row[..jw].fill(0.0);
+    }
+    let r0 = &a.row(i0)[k0..k0 + kw];
+    let r1 = &a.row(i0 + 1)[k0..k0 + kw];
+    let r2 = &a.row(i0 + 2)[k0..k0 + kw];
+    let r3 = &a.row(i0 + 3)[k0..k0 + kw];
+    for kk in 0..kw {
+        let (a0, a1, a2, a3) = (r0[kk], r1[kk], r2[kk], r3[kk]);
+        let b_row = &packed[kk * jw..(kk + 1) * jw];
+        let [acc0, acc1, acc2, acc3] = acc;
+        for j in 0..jw {
+            let bv = b_row[j];
+            acc0[j] += a0 * bv;
+            acc1[j] += a1 * bv;
+            acc2[j] += a2 * bv;
+            acc3[j] += a3 * bv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let data = (0..rows * cols).map(|_| next()).collect();
+        Matrix::from_vec(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn blocked_matches_naive_within_tolerance() {
+        // Sizes straddling the block/panel boundaries, including ragged
+        // tails in every dimension.
+        for &(m, k, n) in &[(64, 64, 64), (65, 67, 130), (130, 70, 257), (97, 128, 300)] {
+            let a = pseudo(m, k, 1 + m as u64);
+            let b = pseudo(k, n, 2 + n as u64);
+            let mut blocked = Matrix::zeros(m, n);
+            blocked_rows(&a, &b, 0, blocked.as_mut_slice());
+            let naive = reference_matmul(&a, &b);
+            let tol = 2f64.powi(-40) * k as f64;
+            for (x, y) in blocked.as_slice().iter().zip(naive.as_slice()) {
+                assert!((x - y).abs() <= tol, "blocked={x} naive={y} m={m} k={k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_blocked_is_bit_identical_across_thread_counts() {
+        // 200·160·180 flops is past PAR_FLOP_THRESHOLD, so threads > 1
+        // exercises the row-parallel path.
+        let a = pseudo(200, 160, 7);
+        let b = pseudo(160, 180, 9);
+        let pool = sr_par::Pool::global();
+        let baseline = {
+            pool.set_threads(1);
+            a.matmul(&b).unwrap()
+        };
+        for threads in [2usize, 8] {
+            pool.set_threads(threads);
+            let got = a.matmul(&b).unwrap();
+            for (x, y) in got.as_slice().iter().zip(baseline.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "threads={threads}");
+            }
+        }
+        pool.set_threads(sr_par::default_threads());
+    }
+}

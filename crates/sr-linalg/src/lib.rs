@@ -8,9 +8,15 @@
 //! ([`cholesky::Cholesky`]), and least-squares helpers ([`solve`]).
 //!
 //! Matrices here are value types; hot paths avoid per-element allocation and
-//! operate on contiguous row-major storage.
+//! operate on contiguous row-major storage. Large products and
+//! factorizations dispatch to cache-blocked kernels ([`gemm`], blocked
+//! Cholesky/LU panels) that are deterministic at every thread count;
+//! model-sized operands stay on the historical unblocked paths so existing
+//! outputs are bit-identical. See `docs/PERFORMANCE.md` for the blocked
+//! kernel design and tolerance contract.
 
 pub mod cholesky;
+pub mod gemm;
 pub mod lu;
 pub mod matrix;
 pub mod solve;

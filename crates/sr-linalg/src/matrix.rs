@@ -1,6 +1,15 @@
 //! Row-major dense matrix with the operations the spatial ML models need.
 
-use crate::{LinAlgError, Result};
+use crate::{gemm, LinAlgError, Result};
+
+/// Column count at or below which [`Matrix::gram`] keeps the historical
+/// row-streaming loop (bit-compatible with earlier releases).
+const GRAM_TILE_MIN_COLS: usize = 64;
+/// Row extent of one Gram accumulator tile.
+const GRAM_TILE_I: usize = 32;
+/// Column extent of one Gram accumulator tile (must be ≥ `GRAM_TILE_I` so
+/// diagonal tiles cover their own rows).
+const GRAM_TILE_J: usize = 64;
 
 /// A dense, row-major `rows × cols` matrix of `f64`.
 ///
@@ -107,67 +116,126 @@ impl Matrix {
     /// Returns the transpose.
     pub fn transpose(&self) -> Matrix {
         let mut t = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut t).expect("transpose_into: freshly sized");
+        t
+    }
+
+    /// Writes the transpose into a pre-sized `cols × rows` matrix without
+    /// allocating.
+    pub fn transpose_into(&self, out: &mut Matrix) -> Result<()> {
+        if out.rows != self.cols || out.cols != self.rows {
+            return Err(LinAlgError::ShapeMismatch { context: "transpose_into: out shape" });
+        }
         for r in 0..self.rows {
             let row = self.row(r);
             for (c, &v) in row.iter().enumerate() {
-                t.data[c * self.rows + r] = v;
+                out.data[c * self.rows + r] = v;
             }
         }
-        t
+        Ok(())
     }
 
     /// Matrix product `self * rhs`.
     ///
-    /// Uses an i-k-j loop order so the inner loop streams both operand rows,
-    /// which is the cache-friendly order for row-major storage.
+    /// Small products use a branch-free i-k-j streaming loop; once the
+    /// product reaches [`gemm::BLOCK_FLOP_THRESHOLD`] flops it switches to
+    /// the cache-blocked, register-tiled kernel in [`gemm`] (packed B
+    /// panels, four output rows per micro-kernel step), which also fans row
+    /// panels out on [`sr_par::Pool::global`] for large products. Results
+    /// are deterministic at every thread count; see `docs/PERFORMANCE.md`
+    /// for the blocked-kernel tolerance contract.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`matmul`](Matrix::matmul) into a pre-sized output matrix (contents
+    /// are overwritten) without allocating the result.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<()> {
         if self.cols != rhs.rows {
             return Err(LinAlgError::ShapeMismatch { context: "matmul: lhs.cols != rhs.rows" });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += aik * b;
-                }
-            }
+        if out.rows != self.rows || out.cols != rhs.cols {
+            return Err(LinAlgError::ShapeMismatch { context: "matmul_into: out shape" });
         }
-        Ok(out)
+        gemm::matmul(self, rhs, out);
+        Ok(())
     }
 
     /// Matrix-vector product `self * v`.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.rows];
+        self.matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix-vector product into a pre-sized buffer (overwritten), so hot
+    /// loops can stream right-hand sides without reallocating.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) -> Result<()> {
         if self.cols != v.len() {
             return Err(LinAlgError::ShapeMismatch { context: "matvec: cols != v.len()" });
         }
-        let mut out = vec![0.0; self.rows];
+        if out.len() != self.rows {
+            return Err(LinAlgError::ShapeMismatch { context: "matvec_into: out.len() != rows" });
+        }
         for (i, o) in out.iter_mut().enumerate() {
             *o = dot(self.row(i), v);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Computes `selfᵀ * self` (the Gram matrix) without materializing the
     /// transpose. The result is symmetric `cols × cols`.
+    ///
+    /// Narrow matrices (`cols ≤ 64`, every design matrix in sr-ml) keep the
+    /// historical row-streaming accumulation so existing model outputs are
+    /// bit-identical. Wider matrices switch to a branch-free kernel tiled
+    /// over `(i, j)` output blocks so the accumulator tile stays in L1;
+    /// rows are still visited in ascending order per element, so the
+    /// result is deterministic (and matches the narrow path except for the
+    /// narrow path's skip of exact-zero terms, which only perturbs signed
+    /// zeros).
     pub fn gram(&self) -> Matrix {
         let p = self.cols;
         let mut g = Matrix::zeros(p, p);
-        for r in 0..self.rows {
-            let row = self.row(r);
-            for i in 0..p {
-                let xi = row[i];
-                if xi == 0.0 {
-                    continue;
+        if p <= GRAM_TILE_MIN_COLS {
+            for r in 0..self.rows {
+                let row = self.row(r);
+                for i in 0..p {
+                    let xi = row[i];
+                    if xi == 0.0 {
+                        continue;
+                    }
+                    let g_row = &mut g.data[i * p..(i + 1) * p];
+                    for (j, &xj) in row.iter().enumerate().skip(i) {
+                        g_row[j] += xi * xj;
+                    }
                 }
-                let g_row = &mut g.data[i * p..(i + 1) * p];
-                for (j, &xj) in row.iter().enumerate().skip(i) {
-                    g_row[j] += xi * xj;
+            }
+        } else {
+            // Upper-triangle tiles of GRAM_TILE_I × GRAM_TILE_J; each tile
+            // streams all rows once while its accumulator block stays hot.
+            for i0 in (0..p).step_by(GRAM_TILE_I) {
+                let iw = GRAM_TILE_I.min(p - i0);
+                for j0 in (i0..p).step_by(GRAM_TILE_J) {
+                    let jw = GRAM_TILE_J.min(p - j0);
+                    for r in 0..self.rows {
+                        let row = self.row(r);
+                        let rj = &row[j0..j0 + jw];
+                        for di in 0..iw {
+                            let i = i0 + di;
+                            if i > j0 + jw - 1 {
+                                break;
+                            }
+                            let xi = row[i];
+                            let lo = i.max(j0);
+                            let g_row = &mut g.data[i * p + lo..i * p + j0 + jw];
+                            for (o, &xj) in g_row.iter_mut().zip(&rj[lo - j0..]) {
+                                *o += xi * xj;
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -214,10 +282,21 @@ impl Matrix {
 
     /// Computes `selfᵀ * v` without materializing the transpose.
     pub fn t_matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        let mut out = vec![0.0; self.cols];
+        self.t_matvec_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// `selfᵀ * v` into a pre-sized buffer (overwritten) without
+    /// allocating.
+    pub fn t_matvec_into(&self, v: &[f64], out: &mut [f64]) -> Result<()> {
         if v.len() != self.rows {
             return Err(LinAlgError::ShapeMismatch { context: "t_matvec: v.len() != rows" });
         }
-        let mut out = vec![0.0; self.cols];
+        if out.len() != self.cols {
+            return Err(LinAlgError::ShapeMismatch { context: "t_matvec_into: out.len() != cols" });
+        }
+        out.fill(0.0);
         for (r, &vr) in v.iter().enumerate() {
             if vr == 0.0 {
                 continue;
@@ -226,7 +305,7 @@ impl Matrix {
                 *o += vr * x;
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Appends a column of ones on the left (intercept column), returning a
@@ -351,6 +430,34 @@ mod tests {
         let g = x.gram();
         let expect = x.transpose().matmul(&x).unwrap();
         assert_eq!(g, expect);
+    }
+
+    #[test]
+    fn gram_wide_matches_transpose_matmul() {
+        // p > GRAM_TILE_MIN_COLS exercises the tiled branch-free path.
+        let (n, p) = (53, 97);
+        let mut state = 0x1234_5678_9abc_def1u64;
+        let data: Vec<f64> = (0..n * p)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect();
+        let x = Matrix::from_vec(n, p, data).unwrap();
+        let g = x.gram();
+        let expect = crate::gemm::reference_matmul(&x.transpose(), &x);
+        let tol = 2f64.powi(-40) * n as f64;
+        for (a, b) in g.as_slice().iter().zip(expect.as_slice()) {
+            assert!((a - b).abs() <= tol, "{a} vs {b}");
+        }
+        // Symmetry is exact by construction (mirrored upper triangle).
+        for i in 0..p {
+            for j in 0..i {
+                assert_eq!(g[(i, j)].to_bits(), g[(j, i)].to_bits());
+            }
+        }
     }
 
     #[test]

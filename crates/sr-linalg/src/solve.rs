@@ -70,14 +70,20 @@ fn solve_ridged_refined(gram: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
         Err(e) => return Err(e),
     };
     let mut beta = factor.solve(b)?;
+    // Refinement scratch, reused across iterations: `residual` holds
+    // `b − Gβ` and `delta` the correction solve.
+    let mut residual = vec![0.0f64; n];
+    let mut delta = vec![0.0f64; n];
     for _ in 0..3 {
-        let gb = gram.matvec(&beta)?;
-        let residual: Vec<f64> = b.iter().zip(&gb).map(|(bi, gi)| bi - gi).collect();
+        gram.matvec_into(&beta, &mut residual)?;
+        for (r, &bi) in residual.iter_mut().zip(b) {
+            *r = bi - *r;
+        }
         let max_res = residual.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         if max_res <= 1e-14 * ridged.max_abs() {
             break;
         }
-        let delta = factor.solve(&residual)?;
+        factor.solve_into(&residual, &mut delta)?;
         for (bv, dv) in beta.iter_mut().zip(&delta) {
             *bv += dv;
         }

@@ -59,10 +59,13 @@ impl SpatialError {
 
         let mut best: Option<(f64, f64, Vec<f64>)> = None; // (sse, λ, β)
         let mut y_f = vec![0.0; n];
+        // Filtered design and prediction buffers, reused across the λ grid
+        // so the search allocates nothing per candidate.
+        let mut x_f = Matrix::zeros(n, p1);
+        let mut pred = vec![0.0; n];
         for step in 0..LAMBDA_GRID {
             let lambda = -0.95 + step as f64 * (1.9 / (LAMBDA_GRID - 1) as f64);
             // Filtered system.
-            let mut x_f = Matrix::zeros(n, p1);
             for r in 0..n {
                 y_f[r] = y[r] - lambda * wy[r];
                 for k in 0..p1 {
@@ -72,7 +75,7 @@ impl SpatialError {
             let Ok(fit) = Ols::fit_design(&x_f, &y_f) else {
                 continue;
             };
-            let pred = x_f.matvec(&fit.beta)?;
+            x_f.matvec_into(&fit.beta, &mut pred)?;
             let sse: f64 = y_f.iter().zip(&pred).map(|(t, p)| (t - p) * (t - p)).sum();
             if best.as_ref().is_none_or(|(s, _, _)| sse < *s) {
                 best = Some((sse, lambda, fit.beta));

@@ -1,0 +1,136 @@
+//! A fast, deterministic `eˣ` for non-positive arguments — the kernel-weight
+//! workhorse.
+//!
+//! GWR's bandwidth search evaluates a gaussian weight for (nearly) every
+//! (location, row) pair per probe, so `exp` dominates its profile. This is
+//! the standard table-driven scheme: split `x = (k/64)·ln 2 + r` with
+//! `|r| ≤ ln 2 / 128`, look up `2^(j/64)` in a 64-entry table, and finish
+//! with a degree-5 polynomial in `r`. The result is within a few ulp of
+//! `f64::exp` (asserted against the libm value in the tests below), and —
+//! unlike libm — the implementation is pinned in-repo, so results cannot
+//! drift across toolchains or target libms.
+//!
+//! Determinism: pure f64 arithmetic plus one table load; no data-dependent
+//! branching beyond the underflow guard. Identical inputs give identical
+//! bits on every run, thread, and thread count.
+
+use std::sync::OnceLock;
+
+/// `exp(j·ln2/64)` for `j = 0..64`, built once from libm `exp` (itself
+/// deterministic for these 64 fixed inputs).
+fn exp2_table() -> &'static [f64; 64] {
+    static TABLE: OnceLock<[f64; 64]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0.0f64; 64];
+        for (j, v) in t.iter_mut().enumerate() {
+            *v = (j as f64 * std::f64::consts::LN_2 / 64.0).exp();
+        }
+        t
+    })
+}
+
+/// `ln 2` split into a high part exact in ~38 bits and its residual, so
+/// `x − k·(ln2_hi + ln2_lo)/64` loses no precision (Cody–Waite reduction).
+#[allow(clippy::excessive_precision)]
+const LN2_HI: f64 = 6.931_471_803_691_238_2e-1;
+const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+
+/// Handle to the exponent table, resolved once. Hot loops hoist the
+/// `OnceLock` load by grabbing an `ExpTable` before iterating.
+#[derive(Clone, Copy)]
+pub struct ExpTable {
+    table: &'static [f64; 64],
+}
+
+impl ExpTable {
+    /// Resolves (building on first use) the shared table.
+    #[inline]
+    pub fn get() -> Self {
+        ExpTable { table: exp2_table() }
+    }
+
+    /// `eˣ` for `x ≤ 0`, within a few ulp of `f64::exp`. Arguments below
+    /// the normal-range floor return exactly `0.0` (the true value is
+    /// `< 3e-308`; every caller treats such weights as zero anyway).
+    #[inline]
+    pub fn exp_neg(self, x: f64) -> f64 {
+        debug_assert!(x <= 0.0, "exp_neg domain is x <= 0, got {x}");
+        if x < -708.0 {
+            return 0.0;
+        }
+        let z = x * (64.0 / std::f64::consts::LN_2);
+        let kf = z.round();
+        let r = (x - kf * (LN2_HI / 64.0)) - kf * (LN2_LO / 64.0);
+        // exp(r) on |r| ≤ ln2/128 ≈ 0.0054: degree-5 Taylor, remainder
+        // < 1e-16 relative.
+        let p =
+            1.0 + r * (1.0 + r * (0.5 + r * (1.0 / 6.0 + r * (1.0 / 24.0 + r * (1.0 / 120.0)))));
+        let k = kf as i64;
+        let idx = k.rem_euclid(64) as usize;
+        let e = (k - idx as i64) / 64; // floor division; ≥ −1022 after the guard
+        let scale = f64::from_bits(((e + 1023) as u64) << 52);
+        self.table[idx] * p * scale
+    }
+}
+
+/// One-shot convenience wrapper over [`ExpTable::exp_neg`].
+#[cfg(test)]
+#[inline]
+pub fn exp_neg(x: f64) -> f64 {
+    ExpTable::get().exp_neg(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_err(a: f64, b: f64) -> f64 {
+        if b == 0.0 {
+            a.abs()
+        } else {
+            ((a - b) / b).abs()
+        }
+    }
+
+    #[test]
+    fn matches_libm_on_kernel_range() {
+        // The GWR kernel argument range: [−42, 0] (the weight cutoff).
+        let mut s = 0x9e3779b97f4a7c15u64;
+        for _ in 0..20_000 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let x = -((s >> 11) as f64 / (1u64 << 53) as f64) * 42.0;
+            let err = rel_err(exp_neg(x), x.exp());
+            assert!(err < 2e-15, "x={x}: {} vs {} (rel {err:e})", exp_neg(x), x.exp());
+        }
+    }
+
+    #[test]
+    fn matches_libm_across_full_normal_range() {
+        for i in 0..=7_080 {
+            let x = -(i as f64) / 10.0;
+            let err = rel_err(exp_neg(x), x.exp());
+            assert!(err < 2e-15, "x={x} rel {err:e}");
+        }
+    }
+
+    #[test]
+    fn exact_at_zero_and_underflow() {
+        assert_eq!(exp_neg(0.0), 1.0);
+        assert_eq!(exp_neg(-800.0), 0.0);
+        assert_eq!(exp_neg(-709.0), 0.0);
+    }
+
+    #[test]
+    fn monotone_on_a_fine_grid() {
+        let mut prev = exp_neg(-50.0);
+        let mut x = -50.0 + 1e-3;
+        while x <= 0.0 {
+            let v = exp_neg(x);
+            assert!(v >= prev, "non-monotone at {x}");
+            prev = v;
+            x += 1e-3;
+        }
+    }
+}

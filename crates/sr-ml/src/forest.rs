@@ -7,7 +7,7 @@
 //! on the shared [`sr_par::Pool`]; each tree derives from its own
 //! pre-assigned seed, so results never depend on scheduling.
 
-use crate::tree::{RegressionTree, TreeParams};
+use crate::tree::{FeaturePresort, RegressionTree, TreeParams};
 use crate::{MlError, Result};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -82,10 +82,12 @@ impl RandomForest {
             (0..params.n_estimators).map(|_| rng.gen()).collect()
         };
 
+        // One feature presort shared (read-only) by every bootstrap tree.
+        let presort = FeaturePresort::new(x_rows);
         let fit_one = |seed: u64| {
             let mut rng = SmallRng::seed_from_u64(seed);
             let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
-            RegressionTree::fit(x_rows, y, &indices, &tree_params, &mut rng)
+            RegressionTree::fit_with_presort(x_rows, y, &indices, &tree_params, &mut rng, &presort)
         };
 
         let trees: Vec<RegressionTree> = if params.threads <= 1 {

@@ -7,7 +7,7 @@
 //! softmax cross-entropy (`yᵢₖ − pᵢₖ`), and the class scores accumulate
 //! `learning_rate ×` the tree outputs. Prediction takes the arg-max class.
 
-use crate::tree::{RegressionTree, TreeParams};
+use crate::tree::{FeaturePresort, RegressionTree, TreeParams};
 use crate::{MlError, Result};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -94,19 +94,35 @@ impl GradientBoostingClassifier {
         let mut rng = SmallRng::seed_from_u64(0xb005);
         let mut stages = Vec::with_capacity(params.n_estimators);
         let mut residual = vec![0.0f64; n];
+        // Every stage tree is fitted over the same rows (residuals change,
+        // features don't), so one feature presort serves all
+        // `rounds × classes` trees.
+        let presort = FeaturePresort::new(x_rows);
 
+        let mut probs = vec![0.0f64; n * num_classes];
+        let mut train_pred = vec![0.0f64; n];
         for _ in 0..params.n_estimators {
-            let probs = softmax_rows(&scores, num_classes);
+            softmax_rows_into(&scores, num_classes, &mut probs);
             let mut round = Vec::with_capacity(num_classes);
             for k in 0..num_classes {
                 for i in 0..n {
                     let indicator = if labels[i] == k { 1.0 } else { 0.0 };
                     residual[i] = indicator - probs[i * num_classes + k];
                 }
-                let tree =
-                    RegressionTree::fit(x_rows, &residual, &all_indices, &tree_params, &mut rng);
-                for (i, x) in x_rows.iter().enumerate() {
-                    scores[i * num_classes + k] += params.learning_rate * tree.predict_one(x);
+                // The fit records every training row's prediction as a
+                // side effect (bit-identical to `predict_one`), so the
+                // score update is a buffer sweep, not n tree walks.
+                let tree = RegressionTree::fit_with_presort_train(
+                    x_rows,
+                    &residual,
+                    &all_indices,
+                    &tree_params,
+                    &mut rng,
+                    &presort,
+                    &mut train_pred,
+                );
+                for (i, &tp) in train_pred.iter().enumerate() {
+                    scores[i * num_classes + k] += params.learning_rate * tp;
                 }
                 round.push(tree);
             }
@@ -158,6 +174,14 @@ impl GradientBoostingClassifier {
 /// Row-wise softmax over a flattened `n × k` score array.
 fn softmax_rows(scores: &[f64], k: usize) -> Vec<f64> {
     let mut out = vec![0.0; scores.len()];
+    softmax_rows_into(scores, k, &mut out);
+    out
+}
+
+/// [`softmax_rows`] into a caller-owned buffer — the fit loop reuses one
+/// allocation across all boosting rounds.
+fn softmax_rows_into(scores: &[f64], k: usize, out: &mut [f64]) {
+    debug_assert_eq!(scores.len(), out.len());
     for (row_scores, row_out) in scores.chunks_exact(k).zip(out.chunks_exact_mut(k)) {
         let max = row_scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mut sum = 0.0;
@@ -169,7 +193,6 @@ fn softmax_rows(scores: &[f64], k: usize) -> Vec<f64> {
             *o /= sum;
         }
     }
-    out
 }
 
 fn argmax(v: &[f64]) -> usize {

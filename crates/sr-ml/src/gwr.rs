@@ -11,9 +11,29 @@
 //! Local fits are independent and are fanned out on the shared
 //! [`sr_par::Pool`], which preserves index order — results are identical
 //! at any thread count.
+//!
+//! The bandwidth search is the hot path: every golden-section probe fits
+//! `n` local regressions. The pairwise geometry (squared distances plus a
+//! per-location ascending-distance ordering) is built once per fit and
+//! shared by every probe, so the adaptive bandwidth `h²` is an O(1)
+//! lookup instead of a per-location selection. Each local `XᵀWX` /
+//! `Xᵀ W y` accumulates on the stack in a kernel specialized per design
+//! width (`local_stats`), with gaussian weights from the in-repo
+//! table-driven exp (`crate::fastmath`) evaluated in two passes per
+//! block — an exp-only sweep, then a pure-FMA accumulation sweep. Rows
+//! beyond the weight cutoff (`WEIGHT_RATIO_CUTOFF`) are skipped by
+//! walking the distance ordering. Each local system is factored once and
+//! solved once: `z = G⁻¹xᵢ` yields both `ŷᵢ = (XᵀWy)·z` and the hat
+//! diagonal `xᵢ·z`. Probes at already-visited integer bandwidths (golden
+//! section revisits them as the bracket narrows) come from a cache.
+//!
+//! Results are deterministic (identical bits at any thread count), but
+//! the accumulation order is an implementation detail — last-bit output
+//! drift across releases that reorder it is expected and allowed.
 
-use crate::{design_matrix, MlError, Result};
+use crate::{design_matrix, fastmath, MlError, Result};
 use sr_linalg::{weighted_lstsq, Cholesky, LuFactor, Matrix};
+use std::collections::HashMap;
 
 /// GWR hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -69,8 +89,22 @@ impl Gwr {
 
         let lo = params.min_neighbors.unwrap_or(2 * p1 + 2).min(n - 1).max(p1 + 1);
         let hi = n - 1;
+        // Pairwise geometry is bandwidth-independent: build it once and
+        // share it across every probe of the search. Revisited integer
+        // bandwidths (golden section lands on duplicates as the bracket
+        // narrows) are answered from the cache without refitting.
+        let geo = LocalGeometry::new(coords);
+        let mut cache: HashMap<usize, f64> = HashMap::new();
+        let mut eval = |bw: usize| -> Result<f64> {
+            if let Some(&v) = cache.get(&bw) {
+                return Ok(v);
+            }
+            let v = aicc_for_bandwidth(&x, y, &geo, bw, params.threads)?;
+            cache.insert(bw, v);
+            Ok(v)
+        };
         if lo >= hi {
-            let aicc = aicc_for_bandwidth(&x, y, coords, hi, params.threads)?;
+            let aicc = eval(hi)?;
             return Ok(Gwr {
                 x,
                 y: y.to_vec(),
@@ -87,8 +121,8 @@ impl Gwr {
         let mut b = hi as f64;
         let mut c = b - phi * (b - a);
         let mut d = a + phi * (b - a);
-        let mut fc = aicc_for_bandwidth(&x, y, coords, c.round() as usize, params.threads)?;
-        let mut fd = aicc_for_bandwidth(&x, y, coords, d.round() as usize, params.threads)?;
+        let mut fc = eval(c.round() as usize)?;
+        let mut fd = eval(d.round() as usize)?;
         for _ in 0..params.search_iters {
             if (b - a) < 1.0 {
                 break;
@@ -98,13 +132,13 @@ impl Gwr {
                 d = c;
                 fd = fc;
                 c = b - phi * (b - a);
-                fc = aicc_for_bandwidth(&x, y, coords, c.round() as usize, params.threads)?;
+                fc = eval(c.round() as usize)?;
             } else {
                 a = c;
                 c = d;
                 fc = fd;
                 d = a + phi * (b - a);
-                fd = aicc_for_bandwidth(&x, y, coords, d.round() as usize, params.threads)?;
+                fd = eval(d.round() as usize)?;
             }
         }
         let (bandwidth, aicc) =
@@ -191,53 +225,326 @@ impl Gwr {
     }
 }
 
+/// Squared-distance ratio `d²/h²` beyond which a row is skipped in the
+/// local gram accumulation: `exp(-0.5 · 84) ≈ 6e-19`, below one ulp of the
+/// self-weight-1 contribution, so dropped rows cannot move the result by
+/// more than rounding noise.
+const WEIGHT_RATIO_CUTOFF: f64 = 84.0;
+
+/// Bandwidth-independent pairwise geometry, built once per fit and shared
+/// by every probe of the bandwidth search.
+struct LocalGeometry {
+    n: usize,
+    /// Row-major `n × n` squared distances between training locations.
+    d2: Vec<f64>,
+    /// Per location, all training indices sorted ascending by
+    /// `(d², index)` — rank `k` gives the adaptive bandwidth in O(1), and
+    /// walking the prefix visits rows in decreasing weight order.
+    order: Vec<u32>,
+    /// Per location, the largest squared distance. When the weight cutoff
+    /// exceeds this, every row participates and the accumulation can run
+    /// in plain index order (unit-stride) instead of walking `order`.
+    row_max: Vec<f64>,
+}
+
+impl LocalGeometry {
+    fn new(coords: &[(f64, f64)]) -> Self {
+        let n = coords.len();
+        // Squared distances are symmetric: fill the upper triangle and
+        // mirror (bit-identical — `(a−b)²` and `(b−a)²` round the same).
+        let mut d2 = vec![0.0f64; n * n];
+        for (i, &(la, lo)) in coords.iter().enumerate() {
+            for (jo, &(lb, lob)) in coords[i + 1..].iter().enumerate() {
+                let j = i + 1 + jo;
+                let dla = la - lb;
+                let dlo = lo - lob;
+                let v = dla * dla + dlo * dlo;
+                d2[i * n + j] = v;
+                d2[j * n + i] = v;
+            }
+        }
+        // Sort by `(d², index)` on integer keys: squared distances are
+        // non-negative finite, so their IEEE bit patterns order exactly as
+        // the values do (and `-0.0` cannot occur), making the u64 compare
+        // equivalent to `partial_cmp` — at a fraction of the cost.
+        let mut order = vec![0u32; n * n];
+        let mut row_max = vec![0.0f64; n];
+        let mut pairs: Vec<(u64, u32)> = Vec::with_capacity(n);
+        for i in 0..n {
+            let row = &d2[i * n..(i + 1) * n];
+            pairs.clear();
+            pairs.extend(row.iter().enumerate().map(|(j, &v)| (v.to_bits(), j as u32)));
+            pairs.sort_unstable();
+            for (o, &(_, j)) in order[i * n..(i + 1) * n].iter_mut().zip(&pairs) {
+                *o = j;
+            }
+            if let Some(&(bits, _)) = pairs.last() {
+                row_max[i] = f64::from_bits(bits);
+            }
+        }
+        LocalGeometry { n, d2, order, row_max }
+    }
+}
+
+/// Accumulates the local gram (upper triangle) and `XᵀWy`, then solves
+/// `G z = xᵢ` through an in-place Cholesky — all on the stack, specialized
+/// per design width `P`, with no heap traffic. When `full` is set (the
+/// weight cutoff covers every row, the common case for adaptive
+/// bandwidths), the accumulation runs in plain index order with
+/// unit-stride loads; otherwise it walks `ord` ascending by distance and
+/// stops at the first row past the cutoff. Returns `(ŷᵢ, Sᵢᵢ)` via the
+/// symmetric-inverse identities `ŷᵢ = (XᵀWy)ᵀ G⁻¹ xᵢ = (XᵀWy)·z` and
+/// `Sᵢᵢ = xᵢ·z` — one solve where the naive form needs two. `None` when
+/// the local gram is not numerically SPD (the caller falls back to LU).
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn local_stats<const P: usize>(
+    et: fastmath::ExpTable,
+    x: &Matrix,
+    y: &[f64],
+    d2: &[f64],
+    ord: &[u32],
+    h2: f64,
+    cutoff: f64,
+    full: bool,
+    xi: &[f64],
+) -> Option<(f64, f64)> {
+    let mut g = [[0.0f64; P]; P];
+    let mut xtwy = [0.0f64; P];
+    // One division up front; the per-row weight argument is then a single
+    // multiply. Table-driven exp (crate::fastmath): the weight evaluation
+    // is the probe's inner loop, ~n² calls per probe.
+    let scale = -0.5 / h2;
+    {
+        let mut acc = |w: f64, xj: &[f64; P], yj: f64| {
+            let wyj = w * yj;
+            for a in 0..P {
+                xtwy[a] += xj[a] * wyj;
+                let wxa = w * xj[a];
+                for b in a..P {
+                    g[a][b] += wxa * xj[b];
+                }
+            }
+        };
+        if full {
+            let xs = x.as_slice();
+            if xs.len() != d2.len() * P {
+                return None;
+            }
+            // Two passes per block: a tight exp-only sweep into a stack
+            // buffer, then a pure-FMA accumulation sweep. Keeping the
+            // long-latency exp chain out of the gram loop lets both halves
+            // pipeline (and the second vectorize) far better than the
+            // interleaved form.
+            const WB: usize = 128;
+            let mut wbuf = [0.0f64; WB];
+            let mut base = 0usize;
+            for (db, yb) in d2.chunks(WB).zip(y.chunks(WB)) {
+                let wb = &mut wbuf[..db.len()];
+                for (wj, &dj) in wb.iter_mut().zip(db) {
+                    *wj = et.exp_neg(dj * scale);
+                }
+                for ((xj, &wj), &yj) in xs[base * P..].chunks_exact(P).zip(wb.iter()).zip(yb) {
+                    acc(wj, xj.first_chunk::<P>()?, yj);
+                }
+                base += db.len();
+            }
+        } else {
+            // Same two-pass split, walking `ord` ascending by distance; the
+            // exp sweep also finds the cutoff point for the block.
+            const WB: usize = 128;
+            let mut wbuf = [0.0f64; WB];
+            let mut done = false;
+            for ob in ord.chunks(WB) {
+                let mut m = 0usize;
+                for &ju in ob {
+                    let dj = d2[ju as usize];
+                    if dj > cutoff {
+                        done = true;
+                        break;
+                    }
+                    wbuf[m] = et.exp_neg(dj * scale);
+                    m += 1;
+                }
+                for (&wj, &ju) in wbuf[..m].iter().zip(ob) {
+                    let j = ju as usize;
+                    acc(wj, x.row(j).first_chunk::<P>()?, y[j]);
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+    }
+    let mut max_abs = 0.0f64;
+    for a in 0..P {
+        for b in a..P {
+            max_abs = max_abs.max(g[a][b].abs());
+        }
+    }
+    let ridge = 1e-10 * max_abs.max(1.0);
+    for a in 0..P {
+        g[a][a] += ridge;
+        for b in (a + 1)..P {
+            g[b][a] = g[a][b];
+        }
+    }
+
+    // In-place lower Cholesky, then the two triangular solves for z.
+    let mut l = [[0.0f64; P]; P];
+    for c in 0..P {
+        let mut d = g[c][c];
+        for k in 0..c {
+            d -= l[c][k] * l[c][k];
+        }
+        if !d.is_finite() || d <= 0.0 {
+            return None;
+        }
+        let lc = d.sqrt();
+        l[c][c] = lc;
+        for r in (c + 1)..P {
+            let mut s = g[r][c];
+            for k in 0..c {
+                s -= l[r][k] * l[c][k];
+            }
+            l[r][c] = s / lc;
+        }
+    }
+    let xi: &[f64; P] = xi.first_chunk::<P>()?;
+    let mut z = [0.0f64; P];
+    for r in 0..P {
+        let mut s = xi[r];
+        for k in 0..r {
+            s -= l[r][k] * z[k];
+        }
+        z[r] = s / l[r][r];
+    }
+    for r in (0..P).rev() {
+        let mut s = z[r];
+        for k in (r + 1)..P {
+            s -= l[k][r] * z[k];
+        }
+        z[r] = s / l[r][r];
+    }
+    let mut yhat = 0.0;
+    let mut s_ii = 0.0;
+    for a in 0..P {
+        yhat += xtwy[a] * z[a];
+        s_ii += xi[a] * z[a];
+    }
+    Some((yhat, s_ii))
+}
+
+/// The width-generic fallback for wide designs (or a non-SPD local gram):
+/// heap accumulators, `sr_linalg` Cholesky with LU fallback. Same
+/// arithmetic as [`local_stats`]; only the factorization differs.
+#[allow(clippy::too_many_arguments)]
+fn local_stats_generic(
+    et: fastmath::ExpTable,
+    x: &Matrix,
+    y: &[f64],
+    d2: &[f64],
+    ord: &[u32],
+    h2: f64,
+    cutoff: f64,
+    full: bool,
+    i: usize,
+) -> (f64, f64) {
+    let n = x.rows();
+    let p1 = x.cols();
+    let mut gram = Matrix::zeros(p1, p1);
+    let mut xtwy = vec![0.0f64; p1];
+    let scale = -0.5 / h2;
+    {
+        let g = gram.as_mut_slice();
+        let mut acc = |w: f64, xj: &[f64], yj: f64| {
+            let wyj = w * yj;
+            for (a, &xa) in xj.iter().enumerate() {
+                xtwy[a] += xa * wyj;
+                let wxa = w * xa;
+                for (gv, &xb) in g[a * p1 + a..(a + 1) * p1].iter_mut().zip(&xj[a..]) {
+                    *gv += wxa * xb;
+                }
+            }
+        };
+        if full {
+            for ((xj, &dj), &yj) in x.as_slice().chunks_exact(p1).zip(d2).zip(y) {
+                acc(et.exp_neg(dj * scale), xj, yj);
+            }
+        } else {
+            for &ju in ord {
+                let j = ju as usize;
+                let dj = d2[j];
+                if dj > cutoff {
+                    break;
+                }
+                acc(et.exp_neg(dj * scale), x.row(j), y[j]);
+            }
+        }
+    }
+    for a in 0..p1 {
+        for b in (a + 1)..p1 {
+            gram[(b, a)] = gram[(a, b)];
+        }
+    }
+    let ridge = 1e-10 * gram.max_abs().max(1.0);
+    for d in 0..p1 {
+        let v = gram[(d, d)];
+        gram[(d, d)] = v + ridge;
+    }
+
+    let xi = x.row(i);
+    let mut z = vec![0.0f64; p1];
+    let solved = match Cholesky::new(&gram) {
+        Ok(c) => c.solve_into(xi, &mut z).is_ok(),
+        Err(_) => match LuFactor::new(&gram) {
+            Ok(f) => f.solve_into(xi, &mut z).is_ok(),
+            Err(_) => false,
+        },
+    };
+    if !solved {
+        return (mean(y), 1.0 / n as f64);
+    }
+    let yhat: f64 = xtwy.iter().zip(&z).map(|(v, b)| v * b).sum();
+    let s_ii: f64 = xi.iter().zip(&z).map(|(v, b)| v * b).sum();
+    (yhat, s_ii)
+}
+
 /// AICc of a GWR fit at one bandwidth:
 /// `AICc = 2n·ln(σ̂) + n·ln(2π) + n·(n + tr(S)) / (n − 2 − tr(S))`.
 fn aicc_for_bandwidth(
     x: &Matrix,
     y: &[f64],
-    coords: &[(f64, f64)],
+    geo: &LocalGeometry,
     bandwidth: usize,
     threads: usize,
 ) -> Result<f64> {
     let n = x.rows();
     let p1 = x.cols();
+    debug_assert_eq!(geo.n, n);
+    let et = fastmath::ExpTable::get();
 
     // Per-location: ŷᵢ and the hat diagonal Sᵢᵢ = xᵢᵀ(XᵀWᵢX)⁻¹xᵢ (the
-    // self-weight is 1 at distance 0).
+    // self-weight is 1 at distance 0). Narrow designs take the stack
+    // kernel, falling back to the heap path only for a non-SPD gram.
     let one = |i: usize| -> (f64, f64) {
-        let w = kernel_weights_static(coords, coords[i], bandwidth);
-        let gram = match x.weighted_gram(&w) {
-            Ok(g) => g,
-            Err(_) => return (mean(y), 1.0 / n as f64),
-        };
-        let mut gram = gram;
-        let ridge = 1e-10 * gram.max_abs().max(1.0);
-        for d in 0..p1 {
-            let v = gram[(d, d)];
-            gram[(d, d)] = v + ridge;
-        }
-        let wy: Vec<f64> = y.iter().zip(&w).map(|(yi, wi)| yi * wi).collect();
-        let xtwy = match x.t_matvec(&wy) {
-            Ok(v) => v,
-            Err(_) => return (mean(y), 1.0 / n as f64),
-        };
-        let solve = |rhs: &[f64]| -> Option<Vec<f64>> {
-            Cholesky::new(&gram)
-                .ok()
-                .and_then(|c| c.solve(rhs).ok())
-                .or_else(|| LuFactor::new(&gram).ok().and_then(|f| f.solve(rhs).ok()))
-        };
-        let Some(beta) = solve(&xtwy) else {
-            return (mean(y), 1.0 / n as f64);
-        };
+        let d2 = &geo.d2[i * n..(i + 1) * n];
+        let ord = &geo.order[i * n..(i + 1) * n];
+        let k = bandwidth.min(n - 1);
+        let h2 = d2[ord[k] as usize].max(1e-12);
+        let cutoff = WEIGHT_RATIO_CUTOFF * h2;
+        let full = geo.row_max[i] <= cutoff;
         let xi = x.row(i);
-        let yhat: f64 = xi.iter().zip(&beta).map(|(v, b)| v * b).sum();
-        let s_ii = match solve(xi) {
-            Some(z) => xi.iter().zip(&z).map(|(v, b)| v * b).sum(),
-            None => 1.0 / n as f64,
+        let fast = match p1 {
+            2 => local_stats::<2>(et, x, y, d2, ord, h2, cutoff, full, xi),
+            3 => local_stats::<3>(et, x, y, d2, ord, h2, cutoff, full, xi),
+            4 => local_stats::<4>(et, x, y, d2, ord, h2, cutoff, full, xi),
+            5 => local_stats::<5>(et, x, y, d2, ord, h2, cutoff, full, xi),
+            6 => local_stats::<6>(et, x, y, d2, ord, h2, cutoff, full, xi),
+            7 => local_stats::<7>(et, x, y, d2, ord, h2, cutoff, full, xi),
+            8 => local_stats::<8>(et, x, y, d2, ord, h2, cutoff, full, xi),
+            _ => None,
         };
-        (yhat, s_ii)
+        fast.unwrap_or_else(|| local_stats_generic(et, x, y, d2, ord, h2, cutoff, full, i))
     };
 
     let results = parallel_map(n, threads, one);
@@ -255,25 +562,6 @@ fn aicc_for_bandwidth(
     // them as infinitely bad rather than rewarding them.
     let correction = if denom > 0.5 { nf * (nf + trace_s) / denom } else { f64::INFINITY };
     Ok(nf * sigma2.ln() + nf * (2.0 * std::f64::consts::PI).ln() + correction)
-}
-
-fn kernel_weights_static(coords: &[(f64, f64)], at: (f64, f64), bandwidth: usize) -> Vec<f64> {
-    let mut d2: Vec<f64> = coords
-        .iter()
-        .map(|&(la, lo)| {
-            let dla = la - at.0;
-            let dlo = lo - at.1;
-            dla * dla + dlo * dlo
-        })
-        .collect();
-    let mut sorted = d2.clone();
-    let k = bandwidth.min(sorted.len() - 1);
-    sorted.select_nth_unstable_by(k, |a, b| a.partial_cmp(b).expect("finite"));
-    let h2 = sorted[k].max(1e-12);
-    for v in d2.iter_mut() {
-        *v = (-0.5 * *v / h2).exp();
-    }
-    d2
 }
 
 fn mean(v: &[f64]) -> f64 {

@@ -114,10 +114,15 @@ impl KnnClassifier {
 
     /// Predicts many rows. Tree scans are independent and run on
     /// [`sr_par::Pool::global`] in index order — output identical to a
-    /// serial map at any thread count.
+    /// serial map at any thread count. The grain floor keeps small batches
+    /// on the serial fast path: per-query work is a few microseconds, so
+    /// fanning out fewer than ~512 queries costs more in wake-ups than the
+    /// scan itself.
     pub fn predict(&self, x_rows: &[Vec<f64>]) -> Vec<usize> {
         let pool = sr_par::Pool::global();
-        pool.par_map(x_rows, sr_par::fixed_grain(x_rows.len(), 64), |r| self.predict_one(r))
+        pool.par_map(x_rows, sr_par::fixed_grain_min(x_rows.len(), 64, 512), |r| {
+            self.predict_one(r)
+        })
     }
 
     fn search(&self, node: usize, x: &[f64], best: &mut NeighborHeap) {
@@ -313,10 +318,15 @@ impl KnnRegressor {
 
     /// Predicts many rows. Tree scans are independent and run on
     /// [`sr_par::Pool::global`] in index order — output identical to a
-    /// serial map at any thread count.
+    /// serial map at any thread count. The grain floor keeps small batches
+    /// on the serial fast path: per-query work is a few microseconds, so
+    /// fanning out fewer than ~512 queries costs more in wake-ups than the
+    /// scan itself.
     pub fn predict(&self, x_rows: &[Vec<f64>]) -> Vec<f64> {
         let pool = sr_par::Pool::global();
-        pool.par_map(x_rows, sr_par::fixed_grain(x_rows.len(), 64), |r| self.predict_one(r))
+        pool.par_map(x_rows, sr_par::fixed_grain_min(x_rows.len(), 64, 512), |r| {
+            self.predict_one(r)
+        })
     }
 }
 

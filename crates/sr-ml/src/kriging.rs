@@ -8,15 +8,21 @@
 //!    (h/a)³)` is fitted by least squares over a (nugget, sill, range)
 //!    grid.
 //! 2. **Prediction** — each query finds its `num_neighbors` nearest
-//!    observations (growing from `search_radius` as needed) and solves the
-//!    ordinary-kriging system (semivariances + Lagrange multiplier) for the
-//!    weights.
+//!    observations with a bounded max-heap top-k scan and solves the
+//!    ordinary-kriging system (semivariances + Lagrange multiplier).
+//!    Batch prediction groups queries that share a neighbor set and
+//!    solves each group once *in dual form*: `u = A⁻¹[v; 0]` is
+//!    query-independent, so every member's prediction is the single dot
+//!    product `γ₀·u`. Small systems solve on the stack; results are
+//!    deterministic, though last-bit drift across releases that reorder
+//!    the arithmetic is expected and allowed.
 //!
 //! Coordinates are normalized to the unit square internally so Table I's
 //! radii apply uniformly across datasets.
 
 use crate::{MlError, Result};
 use sr_linalg::{LuFactor, Matrix};
+use std::collections::HashMap;
 
 /// The theoretical variogram family fitted to the empirical semivariogram.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,7 +40,9 @@ pub enum VariogramModel {
 /// Kriging hyperparameters.
 #[derive(Debug, Clone, Copy)]
 pub struct KrigingParams {
-    /// Initial neighbor-search radius (unit-square units).
+    /// Initial neighbor-search radius (unit-square units). Kept from
+    /// Table I for interface parity; the O(n) selection pass finds the
+    /// same nearest neighbors without a starting radius.
     pub search_radius: f64,
     /// Maximum lag distance used when fitting the variogram.
     pub max_range: f64,
@@ -100,6 +108,10 @@ impl Variogram {
     }
 }
 
+/// Largest bordered kriging system (`num_neighbors + 1`) solved on stack
+/// arrays in the batch path; bigger neighborhoods use the heap LU.
+const STACK_DIM: usize = 16;
+
 /// A fitted ordinary-kriging interpolator.
 #[derive(Debug)]
 pub struct OrdinaryKriging {
@@ -162,22 +174,229 @@ impl OrdinaryKriging {
     /// `σ²(s₀) = Σ wᵢ γ(dᵢ₀) + μ` quantifies interpolation uncertainty:
     /// zero at observed points, rising toward the sill far from data.
     pub fn predict_with_variance(&self, at: (f64, f64)) -> (f64, f64) {
-        let q = ((at.0 - self.lat_off) / self.lat_scale, (at.1 - self.lon_off) / self.lon_scale);
-        let neighbors = self.nearest_neighbors(q);
-        if neighbors.is_empty() {
-            return (mean(&self.values), self.variogram.nugget + self.variogram.sill);
+        let q = self.normalize(at);
+        let mut scratch = Vec::new();
+        let mut set = Vec::new();
+        self.neighbor_set_into(q, &mut scratch, &mut set);
+        let factor = self.factor_neighborhood(&set);
+        self.predict_in_set(q, &set, factor.as_ref())
+    }
+
+    /// Predicts many locations. Queries are grouped by neighbor set — the
+    /// kriging matrix depends only on the set, so each distinct system is
+    /// factored once (the common case on gridded centroids, where many
+    /// targets fall inside the same observation cell). Each group is then
+    /// collapsed to its *dual weights* `u = A⁻¹ [v; 0]`: because `A` is
+    /// symmetric, a member query's value `γ₀ᵀ A⁻¹ [v; 0]` is just `γ₀·u`,
+    /// so the per-query work is one dot product instead of a triangular
+    /// solve. Group discovery runs in query order and group/query work
+    /// fans out on [`sr_par::Pool::global`] slot-ordered, so output is
+    /// identical to a serial map at any thread count.
+    pub fn predict(&self, coords: &[(f64, f64)]) -> Vec<f64> {
+        if coords.is_empty() {
+            return Vec::new();
         }
-        if neighbors.len() == 1 {
-            let d = dist(q, self.coords[neighbors[0]]);
-            return (self.values[neighbors[0]], self.variogram.gamma(d));
+        let mut scratch: Vec<(u64, u32)> = Vec::new();
+        let mut set_buf: Vec<u32> = Vec::new();
+        let mut group_of: Vec<u32> = Vec::with_capacity(coords.len());
+        let mut groups: Vec<Vec<u32>> = Vec::new();
+        let mut seen: HashMap<Vec<u32>, u32> = HashMap::new();
+        for &c in coords {
+            self.neighbor_set_into(self.normalize(c), &mut scratch, &mut set_buf);
+            // Borrowed lookup first: only a previously unseen set pays the
+            // key allocation.
+            let gid = match seen.get(set_buf.as_slice()) {
+                Some(&g) => g,
+                None => {
+                    let g = groups.len() as u32;
+                    seen.insert(set_buf.clone(), g);
+                    groups.push(set_buf.clone());
+                    g
+                }
+            };
+            group_of.push(gid);
         }
 
-        // Ordinary kriging system: [Γ 1; 1ᵀ 0] [w; μ] = [γ₀; 1].
-        let k = neighbors.len();
+        // Dual weights per group; `None` marks a degenerate neighborhood
+        // whose members fall back to `predict_in_set` individually.
+        let pool = sr_par::Pool::global();
+        let duals: Vec<Option<Vec<f64>>> =
+            pool.par_map(&groups, sr_par::fixed_grain_min(groups.len(), 64, 512), |set| {
+                self.dual_weights(set)
+            });
+        pool.par_map_index(coords.len(), sr_par::fixed_grain_min(coords.len(), 64, 512), |qi| {
+            let gid = group_of[qi] as usize;
+            let set = &groups[gid];
+            let q = self.normalize(coords[qi]);
+            match &duals[gid] {
+                Some(u) => {
+                    // γ₀·u, with the trailing 1 of γ₀ hitting the μ slot.
+                    let mut acc = u[set.len()];
+                    for (ri, &i) in set.iter().enumerate() {
+                        acc += u[ri] * self.variogram.gamma(dist(q, self.coords[i as usize]));
+                    }
+                    acc
+                }
+                None => self.predict_in_set(q, set, None).0,
+            }
+        })
+    }
+
+    /// Maps raw coordinates into the fitted unit square.
+    fn normalize(&self, at: (f64, f64)) -> (f64, f64) {
+        ((at.0 - self.lat_off) / self.lat_scale, (at.1 - self.lon_off) / self.lon_scale)
+    }
+
+    /// Writes the `num_neighbors` nearest observations to `q` (ties broken
+    /// by index) into `out`, in canonical ascending-index order so
+    /// identical sets compare equal as group keys. One streaming pass
+    /// holds the current best `k` in a bounded max-heap (`heap` is the
+    /// reused buffer): after warm-up almost every point fails the single
+    /// heap-top comparison, so the pass is O(n) compares with no O(n)
+    /// buffer rewrite per query. The keys are `(d².to_bits(), index)`:
+    /// squared distances are non-negative finite (a zero sum of squares is
+    /// always `+0.0`), so the integer bit order equals the numeric order
+    /// and the tuple `Ord` matches the historical `(distance, index)`
+    /// tie-break exactly.
+    fn neighbor_set_into(&self, q: (f64, f64), heap: &mut Vec<(u64, u32)>, out: &mut Vec<u32>) {
+        out.clear();
+        let want = self.params.num_neighbors.min(self.coords.len());
+        if want == 0 {
+            return;
+        }
+        heap.clear();
+        for (i, &c) in self.coords.iter().enumerate() {
+            let dla = q.0 - c.0;
+            let dlo = q.1 - c.1;
+            let key = ((dla * dla + dlo * dlo).to_bits(), i as u32);
+            if heap.len() < want {
+                heap.push(key);
+                let mut child = heap.len() - 1;
+                while child > 0 {
+                    let parent = (child - 1) / 2;
+                    if heap[parent] < heap[child] {
+                        heap.swap(parent, child);
+                        child = parent;
+                    } else {
+                        break;
+                    }
+                }
+            } else if key < heap[0] {
+                heap[0] = key;
+                let mut parent = 0;
+                loop {
+                    let l = 2 * parent + 1;
+                    if l >= want {
+                        break;
+                    }
+                    let big = if l + 1 < want && heap[l + 1] > heap[l] { l + 1 } else { l };
+                    if heap[big] > heap[parent] {
+                        heap.swap(parent, big);
+                        parent = big;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        out.extend(heap.iter().map(|&(_, i)| i));
+        out.sort_unstable();
+    }
+
+    /// Solves one neighbor set's system `A u = [v; 0]` for its dual
+    /// weights (`A = [Γ 1; 1ᵀ 0]`, symmetric), so member queries reduce to
+    /// `γ₀·u`. Neighborhoods up to [`STACK_DIM`] — every default
+    /// configuration — run entirely on stack arrays (Gaussian elimination
+    /// with partial pivoting, no heap traffic in the group stage); larger
+    /// ones fall back to the heap LU. `None` marks a degenerate or
+    /// singular neighborhood; members fall back per query.
+    #[allow(clippy::needless_range_loop)]
+    fn dual_weights(&self, set: &[u32]) -> Option<Vec<f64>> {
+        let k = set.len();
+        if k < 2 {
+            return None;
+        }
+        let dim = k + 1;
+        if dim > STACK_DIM {
+            let f = self.factor_neighborhood(set)?;
+            let mut vext = vec![0.0; dim];
+            for (ri, &i) in set.iter().enumerate() {
+                vext[ri] = self.values[i as usize];
+            }
+            let mut u = vec![0.0; dim];
+            f.solve_into(&vext, &mut u).ok()?;
+            return Some(u);
+        }
+        let mut a = [[0.0f64; STACK_DIM]; STACK_DIM];
+        let mut b = [0.0f64; STACK_DIM];
+        for (ri, &i) in set.iter().enumerate() {
+            // Γ is symmetric: compute the upper triangle once and mirror
+            // (each γ costs a sqrt for the distance).
+            for (ro, &j) in set[ri + 1..].iter().enumerate() {
+                let rj = ri + 1 + ro;
+                let gam =
+                    self.variogram.gamma(dist(self.coords[i as usize], self.coords[j as usize]));
+                a[ri][rj] = gam;
+                a[rj][ri] = gam;
+            }
+            // Tiny jitter keeps the system nonsingular for co-located points.
+            a[ri][ri] = 1e-10;
+            a[ri][k] = 1.0;
+            a[k][ri] = 1.0;
+            b[ri] = self.values[i as usize];
+        }
+        for c in 0..dim {
+            let mut piv = c;
+            for r in (c + 1)..dim {
+                if a[r][c].abs() > a[piv][c].abs() {
+                    piv = r;
+                }
+            }
+            if a[piv][c] == 0.0 || !a[piv][c].is_finite() {
+                return None;
+            }
+            if piv != c {
+                a.swap(piv, c);
+                b.swap(piv, c);
+            }
+            let inv = 1.0 / a[c][c];
+            for r in (c + 1)..dim {
+                let f = a[r][c] * inv;
+                if f == 0.0 {
+                    continue;
+                }
+                for cc in (c + 1)..dim {
+                    a[r][cc] -= f * a[c][cc];
+                }
+                b[r] -= f * b[c];
+            }
+        }
+        let mut u = vec![0.0f64; dim];
+        for r in (0..dim).rev() {
+            let mut s = b[r];
+            for (cc, &ucc) in u.iter().enumerate().take(dim).skip(r + 1) {
+                s -= a[r][cc] * ucc;
+            }
+            u[r] = s / a[r][r];
+        }
+        if u.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        Some(u)
+    }
+
+    /// Builds and factors the ordinary-kriging system
+    /// `[Γ 1; 1ᵀ 0] [w; μ] = [γ₀; 1]` for one neighbor set. `None` marks a
+    /// degenerate or singular neighborhood; members fall back per query.
+    fn factor_neighborhood(&self, set: &[u32]) -> Option<LuFactor> {
+        let k = set.len();
+        if k < 2 {
+            return None;
+        }
         let mut a = Matrix::zeros(k + 1, k + 1);
-        for (ri, &i) in neighbors.iter().enumerate() {
-            for (rj, &j) in neighbors.iter().enumerate() {
-                let h = dist(self.coords[i], self.coords[j]);
+        for (ri, &i) in set.iter().enumerate() {
+            for (rj, &j) in set.iter().enumerate() {
+                let h = dist(self.coords[i as usize], self.coords[j as usize]);
                 a[(ri, rj)] = self.variogram.gamma(h);
             }
             // Tiny jitter keeps the system nonsingular for co-located points.
@@ -185,71 +404,45 @@ impl OrdinaryKriging {
             a[(ri, k)] = 1.0;
             a[(k, ri)] = 1.0;
         }
-        let mut rhs = vec![0.0; k + 1];
-        for (ri, &i) in neighbors.iter().enumerate() {
-            rhs[ri] = self.variogram.gamma(dist(q, self.coords[i]));
-        }
-        rhs[k] = 1.0;
+        LuFactor::new(&a).ok()
+    }
 
-        match LuFactor::new(&a).and_then(|f| f.solve(&rhs)) {
-            Ok(sol) => {
+    /// Solves one query against its (already factored) neighborhood.
+    fn predict_in_set(&self, q: (f64, f64), set: &[u32], factor: Option<&LuFactor>) -> (f64, f64) {
+        if set.is_empty() {
+            return (mean(&self.values), self.variogram.nugget + self.variogram.sill);
+        }
+        if set.len() == 1 {
+            let i = set[0] as usize;
+            return (self.values[i], self.variogram.gamma(dist(q, self.coords[i])));
+        }
+        let k = set.len();
+        if let Some(f) = factor {
+            let mut rhs = vec![0.0; k + 1];
+            for (ri, &i) in set.iter().enumerate() {
+                rhs[ri] = self.variogram.gamma(dist(q, self.coords[i as usize]));
+            }
+            rhs[k] = 1.0;
+            let mut sol = vec![0.0; k + 1];
+            if f.solve_into(&rhs, &mut sol).is_ok() {
                 let value =
-                    neighbors.iter().enumerate().map(|(ri, &i)| sol[ri] * self.values[i]).sum();
+                    set.iter().enumerate().map(|(ri, &i)| sol[ri] * self.values[i as usize]).sum();
                 // Kriging variance: Σ wᵢ γ(dᵢ₀) + μ (Lagrange multiplier is
                 // the trailing solution entry). Clamped at 0 against
                 // round-off.
                 let variance: f64 = (0..k).map(|ri| sol[ri] * rhs[ri]).sum::<f64>() + sol[k];
-                (value, variance.max(0.0))
-            }
-            // Singular neighborhood (all co-located): inverse-distance mean.
-            Err(_) => {
-                let mut wsum = 0.0;
-                let mut vsum = 0.0;
-                for &i in &neighbors {
-                    let w = 1.0 / (dist(q, self.coords[i]) + 1e-9);
-                    wsum += w;
-                    vsum += w * self.values[i];
-                }
-                (vsum / wsum, self.variogram.nugget)
+                return (value, variance.max(0.0));
             }
         }
-    }
-
-    /// Predicts many locations. Per-target solves are independent and run
-    /// on [`sr_par::Pool::global`] in index order — output identical to a
-    /// serial map at any thread count.
-    pub fn predict(&self, coords: &[(f64, f64)]) -> Vec<f64> {
-        let pool = sr_par::Pool::global();
-        pool.par_map(coords, sr_par::fixed_grain(coords.len(), 64), |&c| self.predict_one(c))
-    }
-
-    /// Indices of the `num_neighbors` nearest observations, searched by
-    /// doubling the radius from `search_radius` (Pyinterpolate's strategy)
-    /// and falling back to a full scan when the data is sparse.
-    fn nearest_neighbors(&self, q: (f64, f64)) -> Vec<usize> {
-        let want = self.params.num_neighbors.min(self.coords.len());
-        let mut radius = self.params.search_radius.max(1e-6);
-        for _ in 0..12 {
-            let mut found: Vec<(f64, usize)> = self
-                .coords
-                .iter()
-                .enumerate()
-                .filter_map(|(i, &c)| {
-                    let d = dist(q, c);
-                    (d <= radius).then_some((d, i))
-                })
-                .collect();
-            if found.len() >= want {
-                found.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-                return found.into_iter().take(want).map(|(_, i)| i).collect();
-            }
-            radius *= 2.0;
+        // Singular neighborhood (all co-located): inverse-distance mean.
+        let mut wsum = 0.0;
+        let mut vsum = 0.0;
+        for &i in set {
+            let w = 1.0 / (dist(q, self.coords[i as usize]) + 1e-9);
+            wsum += w;
+            vsum += w * self.values[i as usize];
         }
-        // Full scan fallback.
-        let mut all: Vec<(f64, usize)> =
-            self.coords.iter().enumerate().map(|(i, &c)| (dist(q, c), i)).collect();
-        all.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
-        all.into_iter().take(want).map(|(_, i)| i).collect()
+        (vsum / wsum, self.variogram.nugget)
     }
 }
 

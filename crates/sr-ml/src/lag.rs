@@ -54,7 +54,8 @@ impl SpatialLag {
 
         // First stage: project Wy onto the instrument space.
         let gamma = lstsq(&h, &wy)?;
-        let wy_hat = h.matvec(&gamma)?;
+        let mut wy_hat = vec![0.0; n];
+        h.matvec_into(&gamma, &mut wy_hat)?;
 
         // Second stage: y on [1, X, Ŵy].
         let mut z = Matrix::zeros(n, p + 2);

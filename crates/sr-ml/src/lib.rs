@@ -23,6 +23,7 @@
 
 pub mod diagnostics;
 pub mod error_model;
+pub(crate) mod fastmath;
 pub mod forest;
 pub mod gboost;
 pub mod gwr;

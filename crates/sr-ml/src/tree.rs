@@ -4,18 +4,35 @@
 //! Splits minimize the weighted child variance (scikit-learn's `mse`
 //! criterion), respecting `max_depth` and `min_samples_leaf`. Optional
 //! per-split feature subsampling supports the forest's decorrelation.
+//!
+//! # Presorted split finding
+//!
+//! The historical implementation re-sorted every node's samples once per
+//! candidate feature. [`FeaturePresort`] sorts each feature **once per
+//! fit** (by `(value, sample index)`); every node then reconstructs its
+//! per-feature scan order from that global order in `O(n_total)` instead
+//! of `O(n_node · log n_node)` comparison sorts with double indirection.
+//! Gradient boosting shares one presort across all `rounds × classes`
+//! trees and the forest shares one across all bootstrap trees.
+//!
+//! The reconstruction reproduces the historical order *bit-for-bit*: the
+//! old code's stable sort ordered ties by node-slice position, so tie runs
+//! (equal feature values across distinct samples — common for count-valued
+//! features) are re-ordered here by slice position before scanning. All
+//! split arithmetic is unchanged, so fitted trees are byte-identical to
+//! the pre-presort implementation (asserted by `fit_reference` tests).
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 
 /// A fitted regression tree stored as flat node arrays (cache-friendly, no
 /// per-node boxing).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegressionTree {
     nodes: Vec<Node>,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 enum Node {
     /// Internal: go left when `x[feature] <= threshold`.
     Split { feature: u32, threshold: f64, left: u32, right: u32 },
@@ -41,9 +58,201 @@ impl Default for TreeParams {
     }
 }
 
+/// Sentinel for "no entry" in the per-sample position lists.
+const NONE: u32 = u32::MAX;
+
+/// Per-feature sample orderings, built once per fit and shared across all
+/// nodes (and, for ensembles, all trees): `orders[f]` holds `0..n` sorted
+/// ascending by `(x_rows[i][f], i)`.
+#[derive(Debug, Clone)]
+pub struct FeaturePresort {
+    n: usize,
+    orders: Vec<Vec<u32>>,
+    /// Columnar copy of the features: `values[f][i] = x_rows[i][f]`. Split
+    /// scans read one feature at a time, so the column layout turns each
+    /// read into a unit-stride load instead of a row-pointer chase.
+    values: Vec<Vec<f64>>,
+}
+
+impl FeaturePresort {
+    /// Sorts every feature of `x_rows` once. Panics on NaN features (the
+    /// historical sort had the same requirement).
+    pub fn new(x_rows: &[Vec<f64>]) -> Self {
+        let n = x_rows.len();
+        let p = x_rows.first().map_or(0, Vec::len);
+        let values: Vec<Vec<f64>> = (0..p).map(|f| x_rows.iter().map(|r| r[f]).collect()).collect();
+        let orders = values
+            .iter()
+            .map(|col| {
+                let mut o: Vec<u32> = (0..n as u32).collect();
+                o.sort_unstable_by(|&a, &b| {
+                    col[a as usize]
+                        .partial_cmp(&col[b as usize])
+                        .expect("finite features")
+                        .then(a.cmp(&b))
+                });
+                o
+            })
+            .collect();
+        FeaturePresort { n, orders, values }
+    }
+
+    /// Number of samples the presort was built over.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when built over zero samples.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// Reusable per-fit scratch: linked lists mapping sample index → its
+/// positions in the current node slice (bootstrap duplicates give one
+/// entry per occurrence), plus order/run buffers.
+struct SplitScratch {
+    /// First slice position of sample `i` in the current node (`NONE` if
+    /// absent). Indexed by sample, reset via `touched`.
+    head: Vec<u32>,
+    /// Last slice position of sample `i` (valid only while `head[i] != NONE`).
+    tail: Vec<u32>,
+    /// Next-position link: `next[k]` chains occurrences of one sample in
+    /// ascending slice position.
+    next: Vec<u32>,
+    /// Samples marked in `head`, for O(node) cleanup.
+    touched: Vec<u32>,
+    /// The node's samples in scan order for the current feature.
+    ord: Vec<usize>,
+    /// Copy of `ord` for the best feature found so far, so the partition
+    /// step can reuse it instead of rebuilding the order.
+    best_ord: Vec<usize>,
+    /// Slice positions of one tie run, sorted ascending.
+    run: Vec<u32>,
+    /// `(value, slice position)` pairs for the small-node direct sort.
+    pairs: Vec<(f64, u32)>,
+    /// Candidate feature pool, refilled with `0..p` before each shuffle.
+    feature_pool: Vec<usize>,
+}
+
+impl SplitScratch {
+    fn new(n_total: usize, n_root: usize, p: usize) -> Self {
+        SplitScratch {
+            head: vec![NONE; n_total],
+            tail: vec![0; n_total],
+            next: vec![0; n_root],
+            touched: Vec::with_capacity(n_root),
+            ord: Vec::with_capacity(n_root),
+            best_ord: Vec::with_capacity(n_root),
+            run: Vec::new(),
+            pairs: Vec::new(),
+            feature_pool: Vec::with_capacity(p),
+        }
+    }
+
+    /// Registers the node's samples in the position lists.
+    fn begin_node(&mut self, samples: &[usize]) {
+        for (k, &i) in samples.iter().enumerate() {
+            let k = k as u32;
+            if self.head[i] == NONE {
+                self.head[i] = k;
+                self.touched.push(i as u32);
+            } else {
+                self.next[self.tail[i] as usize] = k;
+            }
+            self.tail[i] = k;
+            self.next[k as usize] = NONE;
+        }
+    }
+
+    /// Clears the position lists touched by `begin_node`.
+    fn end_node(&mut self) {
+        for &i in &self.touched {
+            self.head[i as usize] = NONE;
+        }
+        self.touched.clear();
+    }
+
+    /// Fills `self.ord` with the node's samples sorted by
+    /// `(x_rows[i][f], slice position)` — exactly the order the historical
+    /// stable per-node sort produced.
+    fn fill_ord(&mut self, samples: &[usize], f: usize, presort: &FeaturePresort) {
+        self.ord.clear();
+        let n_node = samples.len();
+        let n_total = presort.n;
+        let col = &presort.values[f];
+        // Small nodes: sorting (value, position) pairs directly beats
+        // scanning the full presorted order.
+        if n_node * 8 < n_total {
+            self.pairs.clear();
+            self.pairs.extend(samples.iter().enumerate().map(|(k, &i)| (col[i], k as u32)));
+            // Keys are distinct (positions are), so unstable sort yields
+            // the unique (value, position) order.
+            self.pairs.sort_unstable_by(|a, b| {
+                a.0.partial_cmp(&b.0).expect("finite features").then(a.1.cmp(&b.1))
+            });
+            self.ord.extend(self.pairs.iter().map(|&(_, k)| samples[k as usize]));
+            return;
+        }
+        let order = &presort.orders[f];
+        // The identity node (an ensemble root over 0..n): slice position
+        // equals sample index, so the historical (value, position) order
+        // *is* the presort's (value, index) order, verbatim.
+        if n_node == n_total && samples.iter().enumerate().all(|(k, &i)| i == k) {
+            self.ord.extend(order.iter().map(|&i| i as usize));
+            return;
+        }
+        // Large nodes: walk the global presorted order; present samples
+        // appear value-ascending, and tie runs (equal values, possibly
+        // spanning distinct samples) are re-ordered by slice position.
+        let mut t = 0;
+        while t < n_total {
+            let i = order[t] as usize;
+            t += 1;
+            if self.head[i] == NONE {
+                continue;
+            }
+            let v = col[i];
+            self.run.clear();
+            let mut k = self.head[i];
+            while k != NONE {
+                self.run.push(k);
+                k = self.next[k as usize];
+            }
+            // Extend the run over further presort entries with this value.
+            let mut multi = false;
+            while t < n_total {
+                let j = order[t] as usize;
+                if col[j] != v {
+                    break;
+                }
+                t += 1;
+                if self.head[j] == NONE {
+                    continue;
+                }
+                multi = true;
+                let mut k = self.head[j];
+                while k != NONE {
+                    self.run.push(k);
+                    k = self.next[k as usize];
+                }
+            }
+            // One sample's occurrences are already position-ascending;
+            // only multi-sample runs need the position sort.
+            if multi {
+                self.run.sort_unstable();
+            }
+            self.ord.extend(self.run.iter().map(|&k| samples[k as usize]));
+        }
+    }
+}
+
 impl RegressionTree {
     /// Fits a tree on the rows selected by `indices` (with repetitions
-    /// allowed — bootstrap samples pass duplicated indices).
+    /// allowed — bootstrap samples pass duplicated indices), building a
+    /// fresh [`FeaturePresort`]. Ensembles that fit many trees over the
+    /// same rows should build the presort once and use
+    /// [`fit_with_presort`](RegressionTree::fit_with_presort).
     pub fn fit(
         x_rows: &[Vec<f64>],
         y: &[f64],
@@ -51,13 +260,66 @@ impl RegressionTree {
         params: &TreeParams,
         rng: &mut SmallRng,
     ) -> Self {
+        let presort = FeaturePresort::new(x_rows);
+        Self::fit_with_presort(x_rows, y, indices, params, rng, &presort)
+    }
+
+    /// [`fit`](RegressionTree::fit) with a caller-provided presort (which
+    /// must have been built over this `x_rows`). Fitted trees are
+    /// byte-identical to the historical per-node-sort implementation.
+    pub fn fit_with_presort(
+        x_rows: &[Vec<f64>],
+        y: &[f64],
+        indices: &[usize],
+        params: &TreeParams,
+        rng: &mut SmallRng,
+        presort: &FeaturePresort,
+    ) -> Self {
+        Self::fit_inner(x_rows, y, indices, params, rng, presort, None)
+    }
+
+    /// [`fit_with_presort`](RegressionTree::fit_with_presort) that also
+    /// writes each training row's prediction into `train_pred` (indexed by
+    /// sample; duplicated bootstrap indices rewrite the same slot, and
+    /// rows absent from `indices` are left untouched). The written values
+    /// are bit-identical to calling
+    /// [`predict_one`](RegressionTree::predict_one) on every row after the
+    /// fit — the comparison that partitions samples at each split is the
+    /// comparison `predict_one` routes by — but cost nothing beyond the
+    /// fit itself. Boosting uses this to skip a full per-row tree walk
+    /// per (round, class) score update.
+    pub fn fit_with_presort_train(
+        x_rows: &[Vec<f64>],
+        y: &[f64],
+        indices: &[usize],
+        params: &TreeParams,
+        rng: &mut SmallRng,
+        presort: &FeaturePresort,
+        train_pred: &mut [f64],
+    ) -> Self {
+        assert_eq!(train_pred.len(), x_rows.len(), "tree: train_pred length != rows");
+        Self::fit_inner(x_rows, y, indices, params, rng, presort, Some(train_pred))
+    }
+
+    fn fit_inner(
+        x_rows: &[Vec<f64>],
+        y: &[f64],
+        indices: &[usize],
+        params: &TreeParams,
+        rng: &mut SmallRng,
+        presort: &FeaturePresort,
+        mut train_pred: Option<&mut [f64]>,
+    ) -> Self {
         assert_eq!(x_rows.len(), y.len(), "tree: rows != targets");
         assert!(!indices.is_empty(), "tree: empty index set");
+        assert_eq!(presort.n, x_rows.len(), "tree: presort built over different rows");
         let p = x_rows[0].len();
         let mut nodes = Vec::new();
         let mut work = indices.to_vec();
         let hi = work.len();
-        build(&mut nodes, x_rows, y, &mut work, 0, params, p, rng, 0, hi);
+        let mut scratch = SplitScratch::new(x_rows.len(), hi, p);
+        let cx = BuildCtx { y, params, p, presort };
+        build(&mut nodes, &cx, &mut work, &mut scratch, 0, rng, 0, hi, &mut train_pred);
         RegressionTree { nodes }
     }
 
@@ -102,92 +364,120 @@ impl RegressionTree {
     }
 }
 
+/// Immutable fit inputs threaded through the recursion. Feature values are
+/// read through the presort's columnar copy, not the row-major input.
+struct BuildCtx<'a> {
+    y: &'a [f64],
+    params: &'a TreeParams,
+    p: usize,
+    presort: &'a FeaturePresort,
+}
+
+/// Emits a leaf, recording its value as the prediction of every sample in
+/// the node when training predictions were requested.
+fn leaf(
+    nodes: &mut Vec<Node>,
+    mean: f64,
+    samples: &[usize],
+    train_pred: &mut Option<&mut [f64]>,
+) -> u32 {
+    if let Some(tp) = train_pred.as_deref_mut() {
+        for &i in samples {
+            tp[i] = mean;
+        }
+    }
+    let id = nodes.len() as u32;
+    nodes.push(Node::Leaf { value: mean });
+    id
+}
+
 /// Recursive builder. `work[lo..hi]` holds this node's sample indices; the
 /// chosen split partitions that slice in place.
 #[allow(clippy::too_many_arguments)]
 fn build(
     nodes: &mut Vec<Node>,
-    x_rows: &[Vec<f64>],
-    y: &[f64],
+    cx: &BuildCtx<'_>,
     work: &mut Vec<usize>,
+    scratch: &mut SplitScratch,
     depth: usize,
-    params: &TreeParams,
-    p: usize,
     rng: &mut SmallRng,
     lo: usize,
     hi: usize,
+    train_pred: &mut Option<&mut [f64]>,
 ) -> u32 {
-    let samples = &work[lo..hi];
-    let n = samples.len();
-    let mean = samples.iter().map(|&i| y[i]).sum::<f64>() / n as f64;
+    let n = hi - lo;
+    let mean = work[lo..hi].iter().map(|&i| cx.y[i]).sum::<f64>() / n as f64;
 
-    let make_leaf = |nodes: &mut Vec<Node>| {
-        let id = nodes.len() as u32;
-        nodes.push(Node::Leaf { value: mean });
-        id
-    };
-
-    if depth >= params.max_depth || n < 2 * params.min_samples_leaf {
-        return make_leaf(nodes);
+    if depth >= cx.params.max_depth || n < 2 * cx.params.min_samples_leaf {
+        return leaf(nodes, mean, &work[lo..hi], train_pred);
     }
 
-    // Candidate features: all, or a random subset for forests.
-    let mut feature_pool: Vec<usize> = (0..p).collect();
-    let features: &[usize] = match params.max_features {
-        Some(m) if m < p => {
-            feature_pool.shuffle(rng);
-            &feature_pool[..m]
+    // Candidate features: all, or a random subset for forests. The pool is
+    // refilled with 0..p before each shuffle, matching the historical
+    // fresh-Vec behavior (and its RNG consumption) without allocating.
+    scratch.feature_pool.clear();
+    scratch.feature_pool.extend(0..cx.p);
+    let n_features = match cx.params.max_features {
+        Some(m) if m < cx.p => {
+            scratch.feature_pool.shuffle(rng);
+            m
         }
-        _ => &feature_pool,
+        _ => cx.p,
     };
 
-    let best = best_split(x_rows, y, samples, features, params.min_samples_leaf);
+    scratch.begin_node(&work[lo..hi]);
+    let best = best_split(cx, &work[lo..hi], scratch, n_features);
     let Some((feature, threshold)) = best else {
-        return make_leaf(nodes);
+        scratch.end_node();
+        return leaf(nodes, mean, &work[lo..hi], train_pred);
     };
 
     // Partition the work slice in place around the threshold.
-    let mut sorted: Vec<usize> = samples.to_vec();
-    sorted.sort_by(|&a, &b| {
-        x_rows[a][feature].partial_cmp(&x_rows[b][feature]).expect("finite features")
-    });
+    // `best_split` cached the winning feature's scan order (the historical
+    // stable sort by that feature), so the children's slice order — and
+    // hence every downstream mean and scan order — is unchanged.
+    let col = &cx.presort.values[feature];
     let split_at =
-        sorted.iter().position(|&i| x_rows[i][feature] > threshold).unwrap_or(sorted.len());
-    work[lo..hi].copy_from_slice(&sorted);
+        scratch.best_ord.iter().position(|&i| col[i] > threshold).unwrap_or(scratch.best_ord.len());
+    work[lo..hi].copy_from_slice(&scratch.best_ord);
+    scratch.end_node();
 
     let id = nodes.len() as u32;
     nodes.push(Node::Leaf { value: mean }); // placeholder, patched below
-    let left = build(nodes, x_rows, y, work, depth + 1, params, p, rng, lo, lo + split_at);
-    let right = build(nodes, x_rows, y, work, depth + 1, params, p, rng, lo + split_at, hi);
+    let left = build(nodes, cx, work, scratch, depth + 1, rng, lo, lo + split_at, train_pred);
+    let right = build(nodes, cx, work, scratch, depth + 1, rng, lo + split_at, hi, train_pred);
     nodes[id as usize] = Node::Split { feature: feature as u32, threshold, left, right };
     id
 }
 
 /// Finds the (feature, threshold) minimizing weighted child SSE; `None`
-/// when no split satisfies `min_samples_leaf` or reduces impurity.
+/// when no split satisfies `min_samples_leaf` or reduces impurity. The
+/// boundary-scan arithmetic is identical to the historical implementation;
+/// only the construction of the per-feature scan order changed.
 fn best_split(
-    x_rows: &[Vec<f64>],
-    y: &[f64],
+    cx: &BuildCtx<'_>,
     samples: &[usize],
-    features: &[usize],
-    min_leaf: usize,
+    scratch: &mut SplitScratch,
+    n_features: usize,
 ) -> Option<(usize, f64)> {
+    let y = cx.y;
     let n = samples.len();
+    let min_leaf = cx.params.min_samples_leaf;
     let total_sum: f64 = samples.iter().map(|&i| y[i]).sum();
     let total_sq: f64 = samples.iter().map(|&i| y[i] * y[i]).sum();
     let parent_sse = total_sq - total_sum * total_sum / n as f64;
 
     let mut best: Option<(f64, usize, f64)> = None; // (sse, feature, threshold)
-    let mut order: Vec<usize> = Vec::with_capacity(n);
 
-    for &f in features {
-        order.clear();
-        order.extend_from_slice(samples);
-        order.sort_by(|&a, &b| x_rows[a][f].partial_cmp(&x_rows[b][f]).expect("finite"));
+    for fi in 0..n_features {
+        let f = scratch.feature_pool[fi];
+        scratch.fill_ord(samples, f, cx.presort);
+        let col = &cx.presort.values[f];
 
+        let mut improved = false;
         let mut left_sum = 0.0;
         let mut left_sq = 0.0;
-        for (k, &i) in order.iter().enumerate().take(n - 1) {
+        for (k, &i) in scratch.ord.iter().enumerate().take(n - 1) {
             left_sum += y[i];
             left_sq += y[i] * y[i];
             let left_n = k + 1;
@@ -195,8 +485,8 @@ fn best_split(
             if left_n < min_leaf || right_n < min_leaf {
                 continue;
             }
-            let xv = x_rows[i][f];
-            let xnext = x_rows[order[k + 1]][f];
+            let xv = col[i];
+            let xnext = col[scratch.ord[k + 1]];
             if xnext <= xv {
                 continue; // no separating threshold between ties
             }
@@ -206,16 +496,152 @@ fn best_split(
                 + (right_sq - right_sum * right_sum / right_n as f64);
             if best.as_ref().map_or(sse < parent_sse - 1e-12, |(b, _, _)| sse < *b) {
                 best = Some((sse, f, 0.5 * (xv + xnext)));
+                improved = true;
             }
+        }
+        // Remember this feature's scan order while it holds the best
+        // split; the partition step reuses it instead of re-deriving it.
+        if improved {
+            scratch.best_ord.clear();
+            scratch.best_ord.extend_from_slice(&scratch.ord);
         }
     }
     best.map(|(_, f, t)| (f, t))
 }
 
 #[cfg(test)]
+mod reference {
+    //! The pre-presort implementation, verbatim — the oracle that the
+    //! presorted builder must match byte-for-byte.
+
+    use super::{Node, RegressionTree, TreeParams};
+    use rand::rngs::SmallRng;
+    use rand::seq::SliceRandom;
+
+    pub fn fit_reference(
+        x_rows: &[Vec<f64>],
+        y: &[f64],
+        indices: &[usize],
+        params: &TreeParams,
+        rng: &mut SmallRng,
+    ) -> RegressionTree {
+        let p = x_rows[0].len();
+        let mut nodes = Vec::new();
+        let mut work = indices.to_vec();
+        let hi = work.len();
+        build(&mut nodes, x_rows, y, &mut work, 0, params, p, rng, 0, hi);
+        RegressionTree { nodes }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        nodes: &mut Vec<Node>,
+        x_rows: &[Vec<f64>],
+        y: &[f64],
+        work: &mut Vec<usize>,
+        depth: usize,
+        params: &TreeParams,
+        p: usize,
+        rng: &mut SmallRng,
+        lo: usize,
+        hi: usize,
+    ) -> u32 {
+        let samples = &work[lo..hi];
+        let n = samples.len();
+        let mean = samples.iter().map(|&i| y[i]).sum::<f64>() / n as f64;
+
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            let id = nodes.len() as u32;
+            nodes.push(Node::Leaf { value: mean });
+            id
+        };
+
+        if depth >= params.max_depth || n < 2 * params.min_samples_leaf {
+            return make_leaf(nodes);
+        }
+
+        let mut feature_pool: Vec<usize> = (0..p).collect();
+        let features: &[usize] = match params.max_features {
+            Some(m) if m < p => {
+                feature_pool.shuffle(rng);
+                &feature_pool[..m]
+            }
+            _ => &feature_pool,
+        };
+
+        let best = best_split(x_rows, y, samples, features, params.min_samples_leaf);
+        let Some((feature, threshold)) = best else {
+            return make_leaf(nodes);
+        };
+
+        let mut sorted: Vec<usize> = samples.to_vec();
+        sorted.sort_by(|&a, &b| {
+            x_rows[a][feature].partial_cmp(&x_rows[b][feature]).expect("finite features")
+        });
+        let split_at =
+            sorted.iter().position(|&i| x_rows[i][feature] > threshold).unwrap_or(sorted.len());
+        work[lo..hi].copy_from_slice(&sorted);
+
+        let id = nodes.len() as u32;
+        nodes.push(Node::Leaf { value: mean });
+        let left = build(nodes, x_rows, y, work, depth + 1, params, p, rng, lo, lo + split_at);
+        let right = build(nodes, x_rows, y, work, depth + 1, params, p, rng, lo + split_at, hi);
+        nodes[id as usize] = Node::Split { feature: feature as u32, threshold, left, right };
+        id
+    }
+
+    fn best_split(
+        x_rows: &[Vec<f64>],
+        y: &[f64],
+        samples: &[usize],
+        features: &[usize],
+        min_leaf: usize,
+    ) -> Option<(usize, f64)> {
+        let n = samples.len();
+        let total_sum: f64 = samples.iter().map(|&i| y[i]).sum();
+        let total_sq: f64 = samples.iter().map(|&i| y[i] * y[i]).sum();
+        let parent_sse = total_sq - total_sum * total_sum / n as f64;
+
+        let mut best: Option<(f64, usize, f64)> = None;
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+
+        for &f in features {
+            order.clear();
+            order.extend_from_slice(samples);
+            order.sort_by(|&a, &b| x_rows[a][f].partial_cmp(&x_rows[b][f]).expect("finite"));
+
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for (k, &i) in order.iter().enumerate().take(n - 1) {
+                left_sum += y[i];
+                left_sq += y[i] * y[i];
+                let left_n = k + 1;
+                let right_n = n - left_n;
+                if left_n < min_leaf || right_n < min_leaf {
+                    continue;
+                }
+                let xv = x_rows[i][f];
+                let xnext = x_rows[order[k + 1]][f];
+                if xnext <= xv {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let sse = (left_sq - left_sum * left_sum / left_n as f64)
+                    + (right_sq - right_sum * right_sum / right_n as f64);
+                if best.as_ref().map_or(sse < parent_sse - 1e-12, |(b, _, _)| sse < *b) {
+                    best = Some((sse, f, 0.5 * (xv + xnext)));
+                }
+            }
+        }
+        best.map(|(_, f, t)| (f, t))
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(1)
@@ -284,5 +710,98 @@ mod tests {
         let idx = vec![0, 0, 1, 1, 5, 5, 9, 9];
         let t = RegressionTree::fit(&x, &y, &idx, &TreeParams::default(), &mut rng());
         assert!(t.predict_one(&[0.0]) < t.predict_one(&[9.0]));
+    }
+
+    /// Random data with deliberately tie-heavy discrete features (like the
+    /// rounded pickup/passenger counts in the taxi grids), continuous
+    /// features, bootstrap duplicates, and feature subsampling.
+    fn tie_heavy_case(seed: u64, n: usize) -> (Vec<Vec<f64>>, Vec<f64>, Vec<usize>) {
+        let mut r = SmallRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                vec![
+                    r.gen_range(0..6) as f64,          // heavy ties
+                    r.gen_range(-1.0..1.0f64),         // continuous
+                    (r.gen_range(0..15) as f64) * 0.5, // moderate ties
+                ]
+            })
+            .collect();
+        let y: Vec<f64> = x.iter().map(|row| row[0] * 2.0 + row[1] - row[2] * 0.3).collect();
+        let idx: Vec<usize> = (0..n).map(|_| r.gen_range(0..n)).collect();
+        (x, y, idx)
+    }
+
+    #[test]
+    fn presorted_trees_match_reference_byte_for_byte() {
+        for seed in [3u64, 17, 99] {
+            let (x, y, idx) = tie_heavy_case(seed, 120);
+            for params in [
+                TreeParams::default(),
+                TreeParams { max_depth: 5, min_samples_leaf: 12, max_features: None },
+                TreeParams { max_depth: 7, min_samples_leaf: 4, max_features: Some(1) },
+            ] {
+                let new =
+                    RegressionTree::fit(&x, &y, &idx, &params, &mut SmallRng::seed_from_u64(seed));
+                let old = reference::fit_reference(
+                    &x,
+                    &y,
+                    &idx,
+                    &params,
+                    &mut SmallRng::seed_from_u64(seed),
+                );
+                assert_eq!(new, old, "seed {seed} params {params:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn train_predictions_match_predict_one_bitwise() {
+        let (x, y, idx) = tie_heavy_case(11, 100);
+        let presort = FeaturePresort::new(&x);
+        for params in [
+            TreeParams::default(),
+            TreeParams { max_depth: 5, min_samples_leaf: 12, max_features: None },
+        ] {
+            let mut tp = vec![f64::NAN; x.len()];
+            let t = RegressionTree::fit_with_presort_train(
+                &x,
+                &y,
+                &idx,
+                &params,
+                &mut SmallRng::seed_from_u64(2),
+                &presort,
+                &mut tp,
+            );
+            for &i in &idx {
+                assert_eq!(tp[i].to_bits(), t.predict_one(&x[i]).to_bits(), "row {i}");
+            }
+            // The capture must not perturb the fit itself.
+            let plain = RegressionTree::fit_with_presort(
+                &x,
+                &y,
+                &idx,
+                &params,
+                &mut SmallRng::seed_from_u64(2),
+                &presort,
+            );
+            assert_eq!(t, plain);
+        }
+    }
+
+    #[test]
+    fn shared_presort_matches_per_fit_presort() {
+        let (x, y, idx) = tie_heavy_case(7, 80);
+        let presort = FeaturePresort::new(&x);
+        let params = TreeParams { max_depth: 6, min_samples_leaf: 2, max_features: Some(2) };
+        let a = RegressionTree::fit(&x, &y, &idx, &params, &mut SmallRng::seed_from_u64(5));
+        let b = RegressionTree::fit_with_presort(
+            &x,
+            &y,
+            &idx,
+            &params,
+            &mut SmallRng::seed_from_u64(5),
+            &presort,
+        );
+        assert_eq!(a, b);
     }
 }

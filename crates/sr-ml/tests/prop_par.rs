@@ -9,10 +9,23 @@
 //! the outputs compared here are identical by contract.
 
 use proptest::prelude::*;
+use sr_linalg::Matrix;
 use sr_ml::{
-    schc_cluster, KnnClassifier, KnnParams, KnnRegressor, KrigingParams, OrdinaryKriging,
-    SchcParams,
+    schc_cluster, Gwr, GwrParams, KnnClassifier, KnnParams, KnnRegressor, KrigingParams,
+    OrdinaryKriging, RandomForest, RandomForestParams, SchcParams,
 };
+
+/// Deterministic fill for large operands; proptest value trees are too
+/// heavy to generate tens of thousands of f64 directly.
+fn xorshift_fill(seed: u64, buf: &mut [f64]) {
+    let mut s = seed | 1;
+    for v in buf.iter_mut() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        *v = (s >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+    }
+}
 
 fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
     let pool = sr_par::Pool::global();
@@ -67,6 +80,84 @@ proptest! {
             prop_assert_eq!(&cls, &serial_cls, "knn classify differs at {} threads", threads);
             let r = with_threads(threads, || reg.predict(&q));
             prop_assert_eq!(&r, &serial_reg, "knn regress differs at {} threads", threads);
+        }
+    }
+
+    /// The blocked-parallel GEMM is bit-identical across thread counts
+    /// (operand sizes chosen above the parallel flop threshold so the
+    /// row-band fan-out actually engages).
+    #[test]
+    fn matmul_thread_invariant(seed in 0u64..u64::MAX) {
+        let (m, k, n) = (150, 170, 190);
+        let mut a = Matrix::zeros(m, k);
+        let mut b = Matrix::zeros(k, n);
+        xorshift_fill(seed, a.as_mut_slice());
+        xorshift_fill(seed ^ 0x9e37_79b9_7f4a_7c15, b.as_mut_slice());
+        let serial = with_threads(1, || a.matmul(&b).unwrap());
+        for threads in [2usize, 8] {
+            let par = with_threads(threads, || a.matmul(&b).unwrap());
+            prop_assert_eq!(par.as_slice(), serial.as_slice(),
+                "gemm differs at {} threads", threads);
+        }
+    }
+
+    /// Random-forest fit (presorted split finding, parallel tree build) is
+    /// invariant in the thread count. One feature is rounded to force
+    /// cross-sample ties — the order-sensitive case the presorted split
+    /// finder must reproduce.
+    #[test]
+    fn forest_fit_thread_invariant(seed in 0u64..u64::MAX, n in 40usize..80) {
+        let mut feat = vec![0.0f64; n * 3];
+        xorshift_fill(seed, &mut feat);
+        let x: Vec<Vec<f64>> =
+            feat.chunks(3).map(|c| vec![(c[0] * 4.0).round(), c[1], c[2]]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * 0.5 + r[1] - r[2]).collect();
+        let fit = |threads: usize| {
+            let params = RandomForestParams {
+                n_estimators: 10,
+                threads,
+                seed: 7,
+                ..Default::default()
+            };
+            RandomForest::fit(&x, &y, &params).unwrap().predict(&x)
+        };
+        let serial = with_threads(1, || fit(1));
+        for threads in [2usize, 8] {
+            let par = with_threads(threads, || fit(4));
+            prop_assert_eq!(&par, &serial, "forest differs at {} threads", threads);
+        }
+    }
+
+    /// GWR fit + predict (shared-geometry AICc search) is invariant in the
+    /// thread count: same bandwidth, bit-identical AICc, identical
+    /// predictions.
+    #[test]
+    fn gwr_fit_thread_invariant(seed in 0u64..u64::MAX) {
+        let side = 7usize;
+        let n = side * side;
+        let mut feat = vec![0.0f64; n];
+        xorshift_fill(seed, &mut feat);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut coords = Vec::new();
+        for r in 0..side {
+            for c in 0..side {
+                let i = r * side + c;
+                let lat = r as f64 / side as f64;
+                x.push(vec![feat[i]]);
+                y.push((1.0 + lat) * feat[i]);
+                coords.push((lat, c as f64 / side as f64));
+            }
+        }
+        let fit = |threads: usize| {
+            let params = GwrParams { threads, ..Default::default() };
+            let m = Gwr::fit(&x, &y, &coords, &params).unwrap();
+            (m.bandwidth, m.aicc.to_bits(), m.predict(&x, &coords).unwrap())
+        };
+        let serial = with_threads(1, || fit(1));
+        for threads in [2usize, 8] {
+            let par = with_threads(threads, || fit(4));
+            prop_assert_eq!(&par, &serial, "gwr differs at {} threads", threads);
         }
     }
 

@@ -486,6 +486,16 @@ pub fn fixed_grain(n: usize, target_chunks: usize) -> usize {
     n.div_ceil(target_chunks.max(1)).max(1)
 }
 
+/// [`fixed_grain`] with a minimum per-chunk work size: the grain never
+/// drops below `min_grain`, so small inputs collapse into few (often one)
+/// chunks and the pool's single-task fast path keeps them serial. Use this for cheap per-item kernels (e.g. batch prediction at a
+/// few hundred rows) where fan-out overhead exceeds the work; like
+/// [`fixed_grain`] the result depends only on `n`, never the thread count,
+/// so chunk boundaries stay deterministic.
+pub fn fixed_grain_min(n: usize, target_chunks: usize, min_grain: usize) -> usize {
+    fixed_grain(n, target_chunks).max(min_grain.max(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -593,6 +603,17 @@ mod tests {
         assert_eq!(pool.threads(), 1);
         let out = pool.par_map_index(100, 7, |i| i as u64 * 2);
         assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn fixed_grain_min_floors_small_inputs() {
+        // A 376-row batch with a 512-item floor collapses to one chunk, so
+        // the pool's single-task fast path runs it serially at any budget.
+        assert_eq!(fixed_grain_min(376, 64, 512), 512);
+        assert_eq!(376usize.div_ceil(fixed_grain_min(376, 64, 512)), 1);
+        // Large inputs are unaffected by the floor.
+        assert_eq!(fixed_grain_min(100_000, 64, 512), fixed_grain(100_000, 64));
+        assert_eq!(fixed_grain_min(0, 8, 0), 1);
     }
 
     #[test]
