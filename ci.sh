@@ -35,6 +35,16 @@ SR_THREADS=1 cargo test -q --offline --test fault_matrix
 echo "==> fault matrix (SR_THREADS=4)"
 SR_THREADS=4 cargo test -q --offline --test fault_matrix
 
+# The shard tier's bit-exactness contract (docs/SHARDING.md): sharded
+# point/window/knn answers are bit-identical to the unsharded engine for
+# random grids/θ/K, at every thread count. Runs inside the workspace
+# passes too; pinned here like the fault matrix.
+echo "==> shard property (SR_THREADS=1)"
+SR_THREADS=1 cargo test -q --offline --test shard_property
+
+echo "==> shard property (SR_THREADS=4)"
+SR_THREADS=4 cargo test -q --offline --test shard_property
+
 # Bench smoke: every bench target builds and runs each body exactly once
 # (SR_BENCH_SMOKE=1 skips calibration and suppresses JSON export, so the
 # checked-in BENCH_*.json artifacts are untouched). A panic in any bench —

@@ -17,9 +17,12 @@
 //! - [`adjacency`]: rook adjacency lists with binary weights, plus the
 //!   sparse `W·y` products spatial models need.
 //! - [`autocorrelation`]: Moran's I — Eq. (4) — and Geary's C.
+//! - [`curve`]: Hilbert space-filling-curve keys, the spatial ordering the
+//!   serving tier uses for index packing and sharding.
 
 pub mod adjacency;
 pub mod autocorrelation;
+pub mod curve;
 pub mod dataset;
 pub mod io;
 pub mod local_stats;
@@ -30,6 +33,7 @@ pub mod variation;
 
 pub use adjacency::AdjacencyList;
 pub use autocorrelation::{gearys_c, morans_i};
+pub use curve::{hilbert_key, hilbert_key_scaled};
 pub use dataset::{AggType, Bounds, CellId, GridBuilder, GridDataset, PointRecord};
 pub use io::{load_grid, read_gal, read_grid, save_grid, write_gal, write_grid};
 pub use local_stats::{join_counts, local_morans_i, JoinCounts, LisaQuadrant, LisaResult};

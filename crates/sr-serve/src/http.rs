@@ -59,7 +59,7 @@
 //! `serve.errors_total` only.
 
 use crate::cache::{Served, SnapshotCache};
-use crate::query::QueryEngine;
+use crate::query::{NearestGroup, PointAnswer, QueryEngine, WindowAnswer};
 use crate::Result;
 use sr_fault::FaultPlan;
 use sr_obs::{Counter, Histogram, Registry};
@@ -184,6 +184,7 @@ struct ServerMetrics {
     knn: EndpointMetrics,
     stats: EndpointMetrics,
     metrics: EndpointMetrics,
+    healthz: EndpointMetrics,
 }
 
 impl ServerMetrics {
@@ -204,14 +205,81 @@ impl ServerMetrics {
             knn: EndpointMetrics::new(&registry, "knn"),
             stats: EndpointMetrics::new(&registry, "stats"),
             metrics: EndpointMetrics::new(&registry, "metrics"),
+            healthz: EndpointMetrics::new(&registry, "healthz"),
             registry,
         }
     }
 }
 
-/// Where a server's engine comes from: fixed at startup, or re-resolved
-/// per request through a cache (which is what enables reloads and stale
-/// degradation).
+/// A successful backend answer, annotated with how degraded it is.
+///
+/// `stale` surfaces as the `X-SR-Stale: 1` response header; a non-empty
+/// `missing_shards` surfaces as `X-SR-Partial: <comma-separated ids>` —
+/// the response is correct for every shard that answered, and silent
+/// about the ones that did not (`docs/SHARDING.md` is the contract).
+#[derive(Debug, Clone)]
+pub struct BackendAnswer<T> {
+    /// The answer itself.
+    pub value: T,
+    /// `true` when any contributing snapshot was served stale.
+    pub stale: bool,
+    /// Shards whose contribution is missing (browned out or past their
+    /// per-shard deadline). Empty for complete answers and for
+    /// single-engine backends.
+    pub missing_shards: Vec<u32>,
+}
+
+impl<T> BackendAnswer<T> {
+    /// A complete, fresh answer.
+    pub fn fresh(value: T) -> Self {
+        BackendAnswer { value, stale: false, missing_shards: Vec::new() }
+    }
+}
+
+/// The backend cannot answer at all — the HTTP layer turns this into a
+/// `503` with the message in the `error` body and counts it in
+/// `serve.snapshot_unavailable_total`.
+#[derive(Debug, Clone)]
+pub struct BackendUnavailable(pub String);
+
+/// Result alias for [`QueryBackend`] calls.
+pub type BackendResult<T> = std::result::Result<BackendAnswer<T>, BackendUnavailable>;
+
+/// What the HTTP server serves from. [`EngineBackend`] answers from one
+/// `QueryEngine` (static or cache-resolved); `sr-shard`'s router
+/// implements the same trait to scatter each query over shards and
+/// gather the merged answer, which is how the whole sharded tier plugs
+/// into this server unchanged.
+pub trait QueryBackend: Send + Sync + 'static {
+    /// Point lookup; `None` when the location is outside the grid.
+    fn point(&self, lat: f64, lon: f64) -> BackendResult<Option<PointAnswer>>;
+    /// Window aggregate, plus the attribute names the answer refers to.
+    fn window(
+        &self,
+        lat0: f64,
+        lat1: f64,
+        lon0: f64,
+        lon1: f64,
+    ) -> BackendResult<(Vec<String>, WindowAnswer)>;
+    /// The `k` nearest featured groups.
+    fn knn(&self, lat: f64, lon: f64, k: usize) -> BackendResult<Vec<NearestGroup>>;
+    /// The backend-specific fields of the `/stats` body: a JSON fragment
+    /// of `"key":value` pairs (no surrounding braces). The server appends
+    /// its own request/shed counters after it.
+    fn stats_fields(&self) -> BackendResult<String>;
+    /// The `/healthz` body: per-shard/replica status JSON. Never fails —
+    /// health reporting must survive snapshot loss (a fully degraded
+    /// backend reports itself degraded with a `200`).
+    fn health(&self) -> String;
+    /// `(cells, groups)` for the startup gauges, when already known.
+    fn snapshot_shape(&self) -> Option<(usize, usize)> {
+        None
+    }
+}
+
+/// Where an [`EngineBackend`]'s engine comes from: fixed at startup, or
+/// re-resolved per request through a cache (which is what enables reloads
+/// and stale degradation).
 enum Source {
     Static(Arc<QueryEngine>),
     Cached { cache: Arc<SnapshotCache>, path: PathBuf, theta: f64 },
@@ -223,6 +291,111 @@ impl Source {
             Source::Static(engine) => Ok(Served { engine: Arc::clone(engine), stale: false }),
             Source::Cached { cache, path, theta } => cache.get_serve(path, *theta),
         }
+    }
+}
+
+/// The single-engine backend: one `QueryEngine`, static or resolved
+/// through a [`SnapshotCache`] per request. This is what [`serve`] and
+/// [`serve_cached`] wrap.
+pub struct EngineBackend {
+    source: Source,
+}
+
+impl EngineBackend {
+    /// A backend over a fixed engine.
+    pub fn from_engine(engine: Arc<QueryEngine>) -> Self {
+        EngineBackend { source: Source::Static(engine) }
+    }
+
+    /// A backend that resolves its engine through `cache` on every call,
+    /// picking up file edits and degrading to stale serves on failed
+    /// reloads.
+    pub fn from_cache(cache: Arc<SnapshotCache>, path: impl AsRef<Path>, theta: f64) -> Self {
+        EngineBackend { source: Source::Cached { cache, path: path.as_ref().to_path_buf(), theta } }
+    }
+
+    fn resolve(&self) -> std::result::Result<Served, BackendUnavailable> {
+        self.source.resolve().map_err(|e| BackendUnavailable(format!("snapshot unavailable: {e}")))
+    }
+}
+
+impl QueryBackend for EngineBackend {
+    fn point(&self, lat: f64, lon: f64) -> BackendResult<Option<PointAnswer>> {
+        let served = self.resolve()?;
+        Ok(BackendAnswer {
+            value: served.engine.point(lat, lon),
+            stale: served.stale,
+            missing_shards: Vec::new(),
+        })
+    }
+
+    fn window(
+        &self,
+        lat0: f64,
+        lat1: f64,
+        lon0: f64,
+        lon1: f64,
+    ) -> BackendResult<(Vec<String>, WindowAnswer)> {
+        let served = self.resolve()?;
+        let names = served.engine.snapshot().attr_names().to_vec();
+        Ok(BackendAnswer {
+            value: (names, served.engine.window(lat0, lat1, lon0, lon1)),
+            stale: served.stale,
+            missing_shards: Vec::new(),
+        })
+    }
+
+    fn knn(&self, lat: f64, lon: f64, k: usize) -> BackendResult<Vec<NearestGroup>> {
+        let served = self.resolve()?;
+        Ok(BackendAnswer {
+            value: served.engine.knn(lat, lon, k),
+            stale: served.stale,
+            missing_shards: Vec::new(),
+        })
+    }
+
+    fn stats_fields(&self) -> BackendResult<String> {
+        let served = self.resolve()?;
+        let st = served.engine.stats();
+        let names: Vec<String> =
+            served.engine.snapshot().attr_names().iter().map(|n| json_string(n)).collect();
+        let fields = format!(
+            "\"rows\":{},\"cols\":{},\"cells\":{},\"valid_cells\":{},\"groups\":{},\
+             \"valid_groups\":{},\"attrs\":{},\"attr_names\":[{}],\"theta\":{},\"ifl\":{},\
+             \"cell_reduction\":{},\"shards\":{{\"healthy\":1,\"browned_out\":0}}",
+            st.rows,
+            st.cols,
+            st.cells,
+            st.valid_cells,
+            st.groups,
+            st.valid_groups,
+            st.attrs,
+            names.join(","),
+            json_f64(st.theta),
+            json_f64(st.ifl),
+            json_f64(st.cell_reduction),
+        );
+        Ok(BackendAnswer { value: fields, stale: served.stale, missing_shards: Vec::new() })
+    }
+
+    fn health(&self) -> String {
+        // The single engine reports itself as one pseudo-shard with one
+        // replica, in the same schema the sharded router uses.
+        let (status, state) = match self.source.resolve() {
+            Ok(served) if served.stale => ("stale", "stale"),
+            Ok(_) => ("ok", "healthy"),
+            Err(_) => ("degraded", "browned_out"),
+        };
+        format!(
+            "{{\"status\":\"{status}\",\"shards\":[{{\"id\":0,\"state\":\"{state}\",\
+             \"replicas\":1,\"active_replica\":0}}]}}"
+        )
+    }
+
+    fn snapshot_shape(&self) -> Option<(usize, usize)> {
+        let served = self.source.resolve().ok()?;
+        let st = served.engine.stats();
+        Some((st.cells, st.groups))
     }
 }
 
@@ -276,7 +449,7 @@ impl Drop for ServerHandle {
 /// ephemeral port). Returns once the listener is bound and the workers
 /// are running.
 pub fn serve(engine: Arc<QueryEngine>, addr: &str, config: ServerConfig) -> Result<ServerHandle> {
-    serve_source(Source::Static(engine), addr, config)
+    serve_backend(Arc::new(EngineBackend::from_engine(engine)), addr, config)
 }
 
 /// Starts a server whose engine is resolved through `cache` on every
@@ -292,10 +465,17 @@ pub fn serve_cached(
     addr: &str,
     config: ServerConfig,
 ) -> Result<ServerHandle> {
-    serve_source(Source::Cached { cache, path: path.as_ref().to_path_buf(), theta }, addr, config)
+    serve_backend(Arc::new(EngineBackend::from_cache(cache, path, theta)), addr, config)
 }
 
-fn serve_source(source: Source, addr: &str, config: ServerConfig) -> Result<ServerHandle> {
+/// Starts a server over any [`QueryBackend`] — the entry point the
+/// sharded router uses. [`serve`] and [`serve_cached`] are thin wrappers
+/// over this with an [`EngineBackend`].
+pub fn serve_backend(
+    backend: Arc<dyn QueryBackend>,
+    addr: &str,
+    config: ServerConfig,
+) -> Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -303,13 +483,12 @@ fn serve_source(source: Source, addr: &str, config: ServerConfig) -> Result<Serv
     // Snapshot-shape gauges let `/metrics` describe what is being served.
     // A cached source may not be loadable yet — the server still starts
     // (degraded), so a warm-up failure only skips the gauges.
-    if let Ok(served) = source.resolve() {
-        let st = served.engine.stats();
-        config.registry.gauge("serve.snapshot.cells").set(st.cells as f64);
-        config.registry.gauge("serve.snapshot.groups").set(st.groups as f64);
+    if let Some((cells, groups)) = backend.snapshot_shape() {
+        config.registry.gauge("serve.snapshot.cells").set(cells as f64);
+        config.registry.gauge("serve.snapshot.groups").set(groups as f64);
     }
     let metrics = Arc::new(ServerMetrics::new(config.registry.clone()));
-    let source = Arc::new(source);
+    let source = backend;
     let inflight = Arc::new(AtomicUsize::new(0));
 
     let (tx, rx) = mpsc::channel::<(TcpStream, Instant)>();
@@ -395,7 +574,7 @@ fn retry_after(config: &ServerConfig) -> [(&'static str, String); 1] {
 
 fn handle_connection(
     stream: TcpStream,
-    source: &Source,
+    source: &Arc<dyn QueryBackend>,
     config: &ServerConfig,
     metrics: &ServerMetrics,
     accepted: Instant,
@@ -466,27 +645,36 @@ fn handle_connection(
         shed_deadline(&stream);
         return;
     }
-    let (status, content_type, body, stale) = route(request_line.trim_end(), source, metrics);
-    let stale_header = [("X-SR-Stale", "1".to_string())];
-    respond(&stream, status, content_type, &body, if stale { &stale_header } else { &[] });
+    let (status, content_type, body, stale, partial) =
+        route(request_line.trim_end(), source.as_ref(), metrics);
+    let mut headers: Vec<(&'static str, String)> = Vec::new();
+    if stale {
+        headers.push(("X-SR-Stale", "1".to_string()));
+    }
+    if let Some(missing) = partial {
+        headers.push(("X-SR-Partial", missing));
+    }
+    respond(&stream, status, content_type, &body, &headers);
 }
 
 const CONTENT_TYPE_JSON: &str = "application/json";
 const CONTENT_TYPE_METRICS: &str = "text/plain; version=sr-metrics-v1";
 
 /// Parses the request line and dispatches to the endpoint handlers, with
-/// per-endpoint telemetry. Returns `(status, content_type, body, stale)`
-/// and never panics on malformed input.
+/// per-endpoint telemetry. Returns
+/// `(status, content_type, body, stale, partial)` — `partial` is the
+/// `X-SR-Partial` header value when shards are missing — and never panics
+/// on malformed input.
 fn route(
     request_line: &str,
-    source: &Source,
+    source: &dyn QueryBackend,
     m: &ServerMetrics,
-) -> (u16, &'static str, String, bool) {
+) -> (u16, &'static str, String, bool, Option<String>) {
     // Any parsed-enough-to-answer request counts, even a malformed one.
     m.requests_total.inc();
     let bad = |status: u16, message: &str| {
         m.errors_total.inc();
-        (status, CONTENT_TYPE_JSON, json_error(message), false)
+        (status, CONTENT_TYPE_JSON, json_error(message), false, None)
     };
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
@@ -512,6 +700,7 @@ fn route(
         "/knn" => (&m.knn, "serve.knn"),
         "/stats" => (&m.stats, "serve.stats"),
         "/metrics" => (&m.metrics, "serve.metrics"),
+        "/healthz" => (&m.healthz, "serve.healthz"),
         _ => return bad(404, "unknown path"),
     };
     // Count before the handler runs so /stats and /metrics include the
@@ -519,50 +708,45 @@ fn route(
     em.requests.inc();
     let start = Instant::now();
     let mut span = sr_obs::span(span_name);
-    // Engine-backed endpoints resolve their engine per request (a static
-    // source is free; a cached source reloads / degrades here). /metrics
-    // deliberately does not: telemetry must survive snapshot loss.
-    let served = if path == "/metrics" {
-        None
-    } else {
-        match source.resolve() {
-            Ok(served) => Some(served),
-            Err(e) => {
-                em.latency.record(start.elapsed());
-                span.record("status", 503u64);
-                m.errors_total.inc();
-                m.unavailable.inc();
-                return (
-                    503,
-                    CONTENT_TYPE_JSON,
-                    json_error(&format!("snapshot unavailable: {e}")),
-                    false,
-                );
-            }
+    // Engine-backed endpoints resolve their engine(s) per request (a
+    // static source is free; a cached source reloads / degrades here).
+    // /metrics and /healthz deliberately do not: telemetry and health
+    // reporting must survive snapshot loss.
+    type Routed = std::result::Result<(u16, String, bool, Vec<u32>), BackendUnavailable>;
+    let routed: Routed = match path {
+        "/point" => handle_point(source, &params),
+        "/window" => handle_window(source, &params),
+        "/knn" => handle_knn(source, &params),
+        "/stats" => {
+            source.stats_fields().map(|a| (200, stats_json(&a.value, m), a.stale, a.missing_shards))
         }
+        "/healthz" => Ok((200, source.health(), false, Vec::new())),
+        _ => Ok((200, m.registry.render_text(), false, Vec::new())),
     };
-    let stale = served.as_ref().is_some_and(|s| s.stale);
-    let engine = served.as_ref().map(|s| s.engine.as_ref());
-    let (status, content_type, body) = match path {
-        "/point" => with_json(handle_point(engine.expect("resolved"), &params)),
-        "/window" => with_json(handle_window(engine.expect("resolved"), &params)),
-        "/knn" => with_json(handle_knn(engine.expect("resolved"), &params)),
-        "/stats" => (200, CONTENT_TYPE_JSON, stats_json(engine.expect("resolved"), m)),
-        _ => (200, CONTENT_TYPE_METRICS, m.registry.render_text()),
+    let (status, content_type, body, stale, missing) = match routed {
+        Ok((status, body, stale, missing)) => {
+            let ct = if path == "/metrics" { CONTENT_TYPE_METRICS } else { CONTENT_TYPE_JSON };
+            (status, ct, body, stale, missing)
+        }
+        Err(BackendUnavailable(message)) => {
+            m.unavailable.inc();
+            (503, CONTENT_TYPE_JSON, json_error(&message), false, Vec::new())
+        }
     };
     em.latency.record(start.elapsed());
     span.record("status", u64::from(status));
     if stale {
         span.record("stale", true);
     }
+    if !missing.is_empty() {
+        span.record("missing_shards", missing.len() as u64);
+    }
     if status >= 400 {
         m.errors_total.inc();
     }
-    (status, content_type, body, stale)
-}
-
-fn with_json((status, body): (u16, String)) -> (u16, &'static str, String) {
-    (status, CONTENT_TYPE_JSON, body)
+    let partial = (!missing.is_empty())
+        .then(|| missing.iter().map(u32::to_string).collect::<Vec<_>>().join(","));
+    (status, content_type, body, stale, partial)
 }
 
 fn param_f64(params: &HashMap<&str, &str>, key: &str) -> std::result::Result<f64, String> {
@@ -570,39 +754,40 @@ fn param_f64(params: &HashMap<&str, &str>, key: &str) -> std::result::Result<f64
     raw.parse::<f64>().map_err(|_| format!("parameter '{key}' is not a number"))
 }
 
-fn handle_point(engine: &QueryEngine, params: &HashMap<&str, &str>) -> (u16, String) {
+type Handled = std::result::Result<(u16, String, bool, Vec<u32>), BackendUnavailable>;
+
+fn handle_point(backend: &dyn QueryBackend, params: &HashMap<&str, &str>) -> Handled {
     let (lat, lon) = match (param_f64(params, "lat"), param_f64(params, "lon")) {
         (Ok(a), Ok(b)) => (a, b),
-        (Err(e), _) | (_, Err(e)) => return (400, json_error(&e)),
+        (Err(e), _) | (_, Err(e)) => return Ok((400, json_error(&e), false, Vec::new())),
     };
-    match engine.point(lat, lon) {
-        None => (200, "{\"inside\":false}".to_string()),
+    let answer = backend.point(lat, lon)?;
+    let body = match &answer.value {
+        None => "{\"inside\":false}".to_string(),
         Some(ans) => {
             let values = match &ans.values {
                 Some(vals) => json_f64_array(vals),
                 None => "null".to_string(),
             };
-            (
-                200,
-                format!(
-                    "{{\"inside\":true,\"row\":{},\"col\":{},\"cell\":{},\"group\":{},\"values\":{values}}}",
-                    ans.row, ans.col, ans.cell, ans.group
-                ),
+            format!(
+                "{{\"inside\":true,\"row\":{},\"col\":{},\"cell\":{},\"group\":{},\"values\":{values}}}",
+                ans.row, ans.col, ans.cell, ans.group
             )
         }
-    }
+    };
+    Ok((200, body, answer.stale, answer.missing_shards))
 }
 
-fn handle_window(engine: &QueryEngine, params: &HashMap<&str, &str>) -> (u16, String) {
+fn handle_window(backend: &dyn QueryBackend, params: &HashMap<&str, &str>) -> Handled {
     let mut coords = [0.0f64; 4];
     for (slot, key) in coords.iter_mut().zip(["lat0", "lat1", "lon0", "lon1"]) {
         match param_f64(params, key) {
             Ok(v) => *slot = v,
-            Err(e) => return (400, json_error(&e)),
+            Err(e) => return Ok((400, json_error(&e), false, Vec::new())),
         }
     }
-    let ans = engine.window(coords[0], coords[1], coords[2], coords[3]);
-    let names = engine.snapshot().attr_names();
+    let answer = backend.window(coords[0], coords[1], coords[2], coords[3])?;
+    let (names, ans) = &answer.value;
     let attrs: Vec<String> = ans
         .per_attr
         .iter()
@@ -619,29 +804,35 @@ fn handle_window(engine: &QueryEngine, params: &HashMap<&str, &str>) -> (u16, St
             )
         })
         .collect();
-    (
-        200,
-        format!(
-            "{{\"cells\":{},\"valid_cells\":{},\"groups\":{},\"attrs\":[{}]}}",
-            ans.cells,
-            ans.valid_cells,
-            ans.groups,
-            attrs.join(",")
-        ),
-    )
+    let body = format!(
+        "{{\"cells\":{},\"valid_cells\":{},\"groups\":{},\"attrs\":[{}]}}",
+        ans.cells,
+        ans.valid_cells,
+        ans.groups,
+        attrs.join(",")
+    );
+    Ok((200, body, answer.stale, answer.missing_shards))
 }
 
-fn handle_knn(engine: &QueryEngine, params: &HashMap<&str, &str>) -> (u16, String) {
+fn handle_knn(backend: &dyn QueryBackend, params: &HashMap<&str, &str>) -> Handled {
     let (lat, lon) = match (param_f64(params, "lat"), param_f64(params, "lon")) {
         (Ok(a), Ok(b)) => (a, b),
-        (Err(e), _) | (_, Err(e)) => return (400, json_error(&e)),
+        (Err(e), _) | (_, Err(e)) => return Ok((400, json_error(&e), false, Vec::new())),
     };
     let k = match params.get("k").map_or(Ok(5), |raw| raw.parse::<usize>()) {
         Ok(k) if k > 0 && k <= 10_000 => k,
-        _ => return (400, json_error("parameter 'k' must be an integer in 1..=10000")),
+        _ => {
+            return Ok((
+                400,
+                json_error("parameter 'k' must be an integer in 1..=10000"),
+                false,
+                Vec::new(),
+            ))
+        }
     };
-    let neighbors: Vec<String> = engine
-        .knn(lat, lon, k)
+    let answer = backend.knn(lat, lon, k)?;
+    let neighbors: Vec<String> = answer
+        .value
         .iter()
         .map(|nb| {
             format!(
@@ -654,38 +845,24 @@ fn handle_knn(engine: &QueryEngine, params: &HashMap<&str, &str>) -> (u16, Strin
             )
         })
         .collect();
-    (200, format!("{{\"neighbors\":[{}]}}", neighbors.join(",")))
+    let body = format!("{{\"neighbors\":[{}]}}", neighbors.join(","));
+    Ok((200, body, answer.stale, answer.missing_shards))
 }
 
-/// Snapshot summary plus the same request/shed counters `/metrics`
+/// Backend summary fields plus the same request/shed counters `/metrics`
 /// reports — both read the very same [`Counter`]s, so the two endpoints
 /// can never disagree.
-fn stats_json(engine: &QueryEngine, m: &ServerMetrics) -> String {
-    let st = engine.stats();
-    let names: Vec<String> =
-        engine.snapshot().attr_names().iter().map(|n| json_string(n)).collect();
+fn stats_json(backend_fields: &str, m: &ServerMetrics) -> String {
     format!(
-        "{{\"rows\":{},\"cols\":{},\"cells\":{},\"valid_cells\":{},\"groups\":{},\
-         \"valid_groups\":{},\"attrs\":{},\"attr_names\":[{}],\"theta\":{},\"ifl\":{},\
-         \"cell_reduction\":{},\"requests\":{{\"point\":{},\"window\":{},\"knn\":{},\
-         \"stats\":{},\"metrics\":{},\"total\":{},\"errors\":{}}},\
+        "{{{backend_fields},\"requests\":{{\"point\":{},\"window\":{},\"knn\":{},\
+         \"stats\":{},\"metrics\":{},\"healthz\":{},\"total\":{},\"errors\":{}}},\
          \"shed\":{{\"queue\":{},\"deadline\":{}}},\"stale_serves\":{}}}",
-        st.rows,
-        st.cols,
-        st.cells,
-        st.valid_cells,
-        st.groups,
-        st.valid_groups,
-        st.attrs,
-        names.join(","),
-        json_f64(st.theta),
-        json_f64(st.ifl),
-        json_f64(st.cell_reduction),
         m.point.requests.get(),
         m.window.requests.get(),
         m.knn.requests.get(),
         m.stats.requests.get(),
         m.metrics.requests.get(),
+        m.healthz.requests.get(),
         m.requests_total.get(),
         m.errors_total.get(),
         m.shed_queue.get(),
@@ -802,11 +979,11 @@ mod tests {
             "GET /window?lat0=1 HTTP/1.1",
             "GET /point?lat=1&lon=1 SPDY/9",
         ] {
-            let (status, _, body, _) = route(bad, &source, &m);
+            let (status, _, body, _, _) = route(bad, &source, &m);
             assert!((400..=405).contains(&status), "'{bad}' gave status {status}");
             assert!(body.contains("error"), "'{bad}' body: {body}");
         }
-        let (status, _, _, _) = route("GET /nope HTTP/1.1", &source, &m);
+        let (status, _, _, _, _) = route("GET /nope HTTP/1.1", &source, &m);
         assert_eq!(status, 404);
         assert_eq!(m.errors_total.get(), 12);
         assert_eq!(m.requests_total.get(), 12);
@@ -816,25 +993,31 @@ mod tests {
     fn route_answers_wellformed() {
         let source = test_source();
         let m = test_metrics();
-        let (status, ct, body, stale) = route("GET /stats HTTP/1.1", &source, &m);
+        let (status, ct, body, stale, partial) = route("GET /stats HTTP/1.1", &source, &m);
         assert_eq!(status, 200);
         assert_eq!(ct, CONTENT_TYPE_JSON);
         assert!(body.contains("\"groups\""));
+        assert!(body.contains("\"shards\":{\"healthy\":1,\"browned_out\":0}"), "{body}");
         assert!(body.contains("\"shed\":{\"queue\":0,\"deadline\":0}"), "{body}");
         assert!(!stale, "a static source is never stale");
-        let (status, _, body, _) = route("GET /point?lat=0.5&lon=0.5 HTTP/1.1", &source, &m);
+        assert!(partial.is_none(), "a static source is never partial");
+        let (status, _, body, _, _) = route("GET /point?lat=0.5&lon=0.5 HTTP/1.1", &source, &m);
         assert_eq!(status, 200);
         assert!(body.contains("\"inside\":true"));
-        let (status, _, body, _) = route("GET /point?lat=9&lon=9 HTTP/1.1", &source, &m);
+        let (status, _, body, _, _) = route("GET /point?lat=9&lon=9 HTTP/1.1", &source, &m);
         assert_eq!(status, 200);
         assert!(body.contains("\"inside\":false"));
-        let (status, _, body, _) =
+        let (status, _, body, _, _) =
             route("GET /window?lat0=0&lat1=1&lon0=0&lon1=1 HTTP/1.1", &source, &m);
         assert_eq!(status, 200);
         assert!(body.contains("\"attrs\""));
-        let (status, _, body, _) = route("GET /knn?lat=0.5&lon=0.5&k=2 HTTP/1.1", &source, &m);
+        let (status, _, body, _, _) = route("GET /knn?lat=0.5&lon=0.5&k=2 HTTP/1.1", &source, &m);
         assert_eq!(status, 200);
         assert!(body.contains("\"neighbors\""));
+        let (status, _, body, _, _) = route("GET /healthz HTTP/1.1", &source, &m);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"shards\":[{\"id\":0,\"state\":\"healthy\""), "{body}");
     }
 
     #[test]
@@ -843,10 +1026,10 @@ mod tests {
         let m = test_metrics();
         route("GET /point?lat=0.5&lon=0.5 HTTP/1.1", &source, &m);
         route("GET /point?lat=0.5&lon=0.5 HTTP/1.1", &source, &m);
-        let (status, _, stats, _) = route("GET /stats HTTP/1.1", &source, &m);
+        let (status, _, stats, _, _) = route("GET /stats HTTP/1.1", &source, &m);
         assert_eq!(status, 200);
         assert!(stats.contains("\"requests\":{\"point\":2,"), "stats: {stats}");
-        let (status, ct, body, _) = route("GET /metrics HTTP/1.1", &source, &m);
+        let (status, ct, body, _, _) = route("GET /metrics HTTP/1.1", &source, &m);
         assert_eq!(status, 200);
         assert_eq!(ct, CONTENT_TYPE_METRICS);
         assert!(body.contains("counter serve.point.requests_total 2"), "metrics: {body}");
@@ -862,30 +1045,33 @@ mod tests {
     #[test]
     fn missing_cached_snapshot_degrades_engine_endpoints_only() {
         let cache = Arc::new(SnapshotCache::new(1));
-        let source =
-            Source::Cached { cache, path: PathBuf::from("/nonexistent/missing.snap"), theta: 0.05 };
+        let source = EngineBackend::from_cache(cache, "/nonexistent/missing.snap", 0.05);
         let m = test_metrics();
-        let (status, _, body, stale) = route("GET /point?lat=0&lon=0 HTTP/1.1", &source, &m);
+        let (status, _, body, stale, _) = route("GET /point?lat=0&lon=0 HTTP/1.1", &source, &m);
         assert_eq!(status, 503);
         assert!(body.contains("snapshot unavailable"), "{body}");
         assert!(!stale);
         assert_eq!(m.unavailable.get(), 1);
-        // Telemetry must survive snapshot loss.
-        let (status, _, body, _) = route("GET /metrics HTTP/1.1", &source, &m);
+        // Telemetry and health reporting must survive snapshot loss.
+        let (status, _, body, _, _) = route("GET /metrics HTTP/1.1", &source, &m);
         assert_eq!(status, 200);
         assert!(body.contains("counter serve.snapshot_unavailable_total 1"), "{body}");
+        let (status, _, body, _, _) = route("GET /healthz HTTP/1.1", &source, &m);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"degraded\""), "{body}");
+        assert!(body.contains("\"state\":\"browned_out\""), "{body}");
     }
 
     fn test_metrics() -> ServerMetrics {
         ServerMetrics::new(Registry::new())
     }
 
-    fn test_source() -> Source {
+    fn test_source() -> EngineBackend {
         use crate::snapshot::Snapshot;
         let vals: Vec<f64> = (0..36).map(|i| 10.0 + (i / 6) as f64 * 0.2).collect();
         let grid = sr_grid::GridDataset::univariate(6, 6, vals).unwrap();
         let out = sr_core::repartition(&grid, 0.05).unwrap();
-        Source::Static(Arc::new(QueryEngine::new(
+        EngineBackend::from_engine(Arc::new(QueryEngine::new(
             Snapshot::build(&out.repartitioned, &grid, 0.05).unwrap(),
         )))
     }

@@ -51,12 +51,18 @@
 
 pub mod cache;
 pub mod http;
+mod index;
 pub mod query;
 pub mod snapshot;
 
 pub use cache::{ReloadPolicy, Served, SnapshotCache};
-pub use http::{serve, serve_cached, ServerConfig, ServerHandle};
-pub use query::{NearestGroup, PointAnswer, QueryEngine, Stats, WindowAnswer};
+pub use http::{
+    serve, serve_backend, serve_cached, BackendAnswer, BackendResult, BackendUnavailable,
+    EngineBackend, QueryBackend, ServerConfig, ServerHandle,
+};
+pub use query::{
+    NearestGroup, PointAnswer, QueryEngine, Stats, WindowAnswer, WindowGroupPart, WindowScatter,
+};
 pub use snapshot::{
     load_snapshot, load_snapshot_with, read_snapshot, save_snapshot, save_snapshot_with,
     snapshot_from_bytes, snapshot_to_bytes, write_snapshot, Snapshot,

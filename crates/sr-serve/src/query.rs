@@ -9,6 +9,7 @@
 //! so a served value is bit-identical to the reconstructed grid's value
 //! for the same cell.
 
+use crate::index::RectIndex;
 use crate::snapshot::Snapshot;
 use sr_core::{representative, GroupId};
 use sr_grid::CellId;
@@ -71,6 +72,67 @@ impl WindowAnswer {
             per_attr: vec![AttrAggregate { count: 0, sum: 0.0, min: None, max: None }; num_attrs],
         }
     }
+
+    /// Folds one group's contribution into the answer. The canonical
+    /// accumulation order is ascending group id — both the unsharded
+    /// [`QueryEngine::window`] and the sharded merge feed parts through
+    /// this same function in that order, which is what makes sharded
+    /// window answers bit-identical to unsharded ones (floating-point
+    /// addition order is part of the contract).
+    fn fold_part(&mut self, count: usize, rep: Option<&[f64]>) {
+        self.groups += 1;
+        if count == 0 {
+            return;
+        }
+        self.valid_cells += count;
+        if let Some(rep) = rep {
+            for (agg, &v) in self.per_attr.iter_mut().zip(rep) {
+                agg.count += count;
+                agg.sum += v * count as f64;
+                agg.min = Some(agg.min.map_or(v, |m| m.min(v)));
+                agg.max = Some(agg.max.map_or(v, |m| m.max(v)));
+            }
+        }
+    }
+
+    /// Merges gid-ascending [`WindowGroupPart`]s (e.g. concatenated from
+    /// several shards, then sorted by group id) into a full answer.
+    /// `cells` is the geometric cell count of the clamped window — a
+    /// shard-invariant, so any scatter's value works.
+    pub fn merge(num_attrs: usize, cells: usize, parts: &[WindowGroupPart]) -> WindowAnswer {
+        debug_assert!(parts.windows(2).all(|w| w[0].group < w[1].group), "parts must ascend");
+        let mut out = WindowAnswer::empty(num_attrs);
+        out.cells = cells;
+        for part in parts {
+            out.fold_part(part.count, part.values.as_deref());
+        }
+        out
+    }
+}
+
+/// One group's contribution to a window query, as produced by
+/// [`QueryEngine::window_scatter`]: enough to replay the canonical
+/// accumulation on another process or after a scatter-gather merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowGroupPart {
+    /// The contributing group.
+    pub group: GroupId,
+    /// Valid cells of the group inside the window (may be 0 — the group
+    /// still counts toward [`WindowAnswer::groups`]).
+    pub count: usize,
+    /// The group's representative vector; `None` for null groups.
+    pub values: Option<Vec<f64>>,
+}
+
+/// The scatter half of a window query: the clamped window's geometric
+/// cell count plus per-group parts in ascending group-id order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowScatter {
+    /// Total cells inside the clamped window (valid or not); `0` when the
+    /// window misses the grid entirely.
+    pub cells: usize,
+    /// Per-group contributions, ascending by group id.
+    pub parts: Vec<WindowGroupPart>,
 }
 
 /// One result of a k-nearest-group query.
@@ -125,6 +187,9 @@ pub struct QueryEngine {
     reps: Vec<Option<Vec<f64>>>,
     /// Geographic centroid per group rectangle.
     centroids: Vec<(f64, f64)>,
+    /// Hilbert-sorted packed rectangle index over the group bounds, so
+    /// window/knn queries prune instead of scanning every group.
+    index: RectIndex,
 }
 
 impl QueryEngine {
@@ -155,7 +220,7 @@ impl QueryEngine {
         let bounds = snapshot.bounds();
         let lat_step = (bounds.lat_max - bounds.lat_min) / snapshot.rows() as f64;
         let lon_step = (bounds.lon_max - bounds.lon_min) / snapshot.cols() as f64;
-        let centroids = partition
+        let centroids: Vec<(f64, f64)> = partition
             .rects()
             .iter()
             .map(|rect| {
@@ -165,7 +230,9 @@ impl QueryEngine {
                 )
             })
             .collect();
-        QueryEngine { snapshot, valid_counts, reps, centroids }
+        let index =
+            RectIndex::build(partition.rects(), &centroids, snapshot.rows(), snapshot.cols());
+        QueryEngine { snapshot, valid_counts, reps, centroids, index }
     }
 
     /// The underlying snapshot.
@@ -213,9 +280,75 @@ impl QueryEngine {
     /// longitude pairs may come in either order. Only the part overlapping
     /// the grid's bounds contributes. The walk is over the cell-groups
     /// whose rectangles intersect the window, so cost scales with the
-    /// number of groups, not cells.
+    /// number of intersecting groups (found through the packed rectangle
+    /// index), not cells.
     pub fn window(&self, lat_a: f64, lat_b: f64, lon_a: f64, lon_b: f64) -> WindowAnswer {
         let p = self.snapshot.num_attrs();
+        let groups = self.snapshot.partition().num_groups();
+        let Some((cells, parts)) = self.window_parts(lat_a, lat_b, lon_a, lon_b, 0, groups) else {
+            return WindowAnswer::empty(p);
+        };
+        let mut out = WindowAnswer::empty(p);
+        out.cells = cells;
+        for (g, count) in parts {
+            out.fold_part(count, self.reps[g as usize].as_deref());
+        }
+        out
+    }
+
+    /// The scatter half of [`Self::window`]: per-group contributions in
+    /// ascending group-id order, with representative vectors attached so
+    /// a router can replay the canonical fold without this engine. The
+    /// whole answer is recovered by [`WindowAnswer::merge`]; a sharded
+    /// deployment concatenates each shard's *owned* parts first.
+    pub fn window_scatter(&self, lat_a: f64, lat_b: f64, lon_a: f64, lon_b: f64) -> WindowScatter {
+        let groups = self.snapshot.partition().num_groups();
+        self.window_scatter_range(lat_a, lat_b, lon_a, lon_b, 0, groups)
+    }
+
+    /// [`Self::window_scatter`] restricted to Hilbert curve positions
+    /// `[pos_lo, pos_hi)` of the index's group order — the same pure
+    /// function of the partition a shard split uses, so a router can hand
+    /// each shard exactly its own contiguous range and the per-shard
+    /// scans sum to one unsharded scan instead of duplicating it K times.
+    pub fn window_scatter_range(
+        &self,
+        lat_a: f64,
+        lat_b: f64,
+        lon_a: f64,
+        lon_b: f64,
+        pos_lo: usize,
+        pos_hi: usize,
+    ) -> WindowScatter {
+        match self.window_parts(lat_a, lat_b, lon_a, lon_b, pos_lo, pos_hi) {
+            None => WindowScatter { cells: 0, parts: Vec::new() },
+            Some((cells, parts)) => WindowScatter {
+                cells,
+                parts: parts
+                    .into_iter()
+                    .map(|(g, count)| WindowGroupPart {
+                        group: g,
+                        count,
+                        values: self.reps[g as usize].clone(),
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    /// Shared window walk: clamps the window, finds intersecting groups
+    /// through the index, and counts each group's valid cells inside the
+    /// intersection. `None` when the window misses the grid (or has NaN
+    /// corners). Parts ascend by group id — the canonical fold order.
+    fn window_parts(
+        &self,
+        lat_a: f64,
+        lat_b: f64,
+        lon_a: f64,
+        lon_b: f64,
+        pos_lo: usize,
+        pos_hi: usize,
+    ) -> Option<(usize, Vec<(GroupId, usize)>)> {
         let (lat_lo, lat_hi) = (lat_a.min(lat_b), lat_a.max(lat_b));
         let (lon_lo, lon_hi) = (lon_a.min(lon_b), lon_a.max(lon_b));
         let b = self.snapshot.bounds();
@@ -226,72 +359,80 @@ impl QueryEngine {
             || lon_hi < b.lon_min
             || lon_lo > b.lon_max
         {
-            return WindowAnswer::empty(p);
+            return None;
         }
         let (rows, cols) = (self.snapshot.rows(), self.snapshot.cols());
         let (r_lo, c_lo) = b.locate_clamped(lat_lo, lon_lo, rows, cols);
         let (r_hi, c_hi) = b.locate_clamped(lat_hi, lon_hi, rows, cols);
+        let cells = (r_hi - r_lo + 1) * (c_hi - c_lo + 1);
 
-        let mut out = WindowAnswer::empty(p);
-        out.cells = (r_hi - r_lo + 1) * (c_hi - c_lo + 1);
+        let rects = self.snapshot.partition().rects();
+        let mut gids = Vec::new();
+        self.index.intersecting_in_range(
+            rects,
+            r_lo as u32,
+            r_hi as u32,
+            c_lo as u32,
+            c_hi as u32,
+            pos_lo,
+            pos_hi,
+            &mut gids,
+        );
         let valid = self.snapshot.valid_mask();
-        for (g, rect) in self.snapshot.partition().rects().iter().enumerate() {
-            // Intersection of the group rectangle with the window's cell
-            // range; empty intersections are skipped.
-            let ir0 = rect.r0.max(r_lo as u32);
-            let ir1 = rect.r1.min(r_hi as u32);
-            let ic0 = rect.c0.max(c_lo as u32);
-            let ic1 = rect.c1.min(c_hi as u32);
-            if ir0 > ir1 || ic0 > ic1 {
-                continue;
-            }
-            out.groups += 1;
-            // Every valid member in the intersection carries the same
-            // representative vector, so one bitmap pass gives the count
-            // and the per-attribute update is O(p).
-            let mut count = 0usize;
-            for r in ir0..=ir1 {
-                for c in ic0..=ic1 {
-                    if valid[r as usize * cols + c as usize] {
-                        count += 1;
+        let parts = gids
+            .into_iter()
+            .map(|g| {
+                let rect = &rects[g as usize];
+                let ir0 = rect.r0.max(r_lo as u32);
+                let ir1 = rect.r1.min(r_hi as u32);
+                let ic0 = rect.c0.max(c_lo as u32);
+                let ic1 = rect.c1.min(c_hi as u32);
+                // Every valid member in the intersection carries the same
+                // representative vector, so one bitmap pass gives the
+                // count and the per-attribute update is O(p).
+                let mut count = 0usize;
+                for r in ir0..=ir1 {
+                    for c in ic0..=ic1 {
+                        if valid[r as usize * cols + c as usize] {
+                            count += 1;
+                        }
                     }
                 }
-            }
-            if count == 0 {
-                continue;
-            }
-            out.valid_cells += count;
-            if let Some(rep) = &self.reps[g] {
-                for (agg, &v) in out.per_attr.iter_mut().zip(rep) {
-                    agg.count += count;
-                    agg.sum += v * count as f64;
-                    agg.min = Some(agg.min.map_or(v, |m| m.min(v)));
-                    agg.max = Some(agg.max.map_or(v, |m| m.max(v)));
-                }
-            }
-        }
-        out
+                (g, count)
+            })
+            .collect();
+        Some((cells, parts))
     }
 
     /// The `k` featured groups whose rectangle centroids lie nearest to
     /// `(lat, lon)` (Euclidean in coordinate units), nearest first; ties
-    /// break toward the lower group id for determinism.
+    /// break toward the lower group id for determinism. Answered by a
+    /// best-first search over the packed rectangle index — the result
+    /// (order and bits) is identical to the full `(d2, gid)` sort it
+    /// replaced, at a fraction of the groups visited.
     pub fn knn(&self, lat: f64, lon: f64, k: usize) -> Vec<NearestGroup> {
-        let mut scored: Vec<(f64, GroupId)> = self
-            .reps
-            .iter()
-            .enumerate()
-            .filter(|(_, rep)| rep.is_some())
-            .map(|(g, _)| {
-                let (clat, clon) = self.centroids[g];
-                let d2 = (clat - lat) * (clat - lat) + (clon - lon) * (clon - lon);
-                (d2, g as GroupId)
+        let groups = self.snapshot.partition().num_groups();
+        self.knn_range(lat, lon, k, 0, groups)
+    }
+
+    /// [`Self::knn`] restricted to Hilbert curve positions
+    /// `[pos_lo, pos_hi)` of the index's group order — the knn analogue
+    /// of [`Self::window_scatter_range`]. A sharded engine that owns a
+    /// contiguous slice of the deployment's curve order searches a tree
+    /// of its own size instead of pruning through the whole grid's.
+    pub fn knn_range(
+        &self,
+        lat: f64,
+        lon: f64,
+        k: usize,
+        pos_lo: usize,
+        pos_hi: usize,
+    ) -> Vec<NearestGroup> {
+        self.index
+            .nearest_in_range(&self.centroids, lat, lon, k, pos_lo, pos_hi, |g| {
+                self.reps[g as usize].is_some()
             })
-            .collect();
-        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        scored
             .into_iter()
-            .take(k)
             .map(|(d2, g)| {
                 let (clat, clon) = self.centroids[g as usize];
                 NearestGroup {

@@ -1,0 +1,108 @@
+//! Sharded scatter-gather serving tier for re-partitioned grids.
+//!
+//! A single [`sr_serve::QueryEngine`] holds one whole snapshot in memory.
+//! This crate scales the serving side out horizontally while keeping the
+//! framework's bit-exactness contract:
+//!
+//! - [`split`] cuts a partition into `K` **spatially contiguous shards**:
+//!   cell-groups are ordered along the Hilbert curve of their rectangle
+//!   centers and split into `K` contiguous runs balanced by cell count.
+//!   Each shard is emitted as a *full-grid* `sr-snap v1` snapshot sharing
+//!   the complete partition (global group ids) with the validity bitmap
+//!   and feature table masked to the shard's own groups — so every shard
+//!   file passes the ordinary snapshot validation, loads in the ordinary
+//!   tooling, and serves representatives bit-identical to the unsharded
+//!   engine. Each shard is written `R` times (byte-identical replicas).
+//! - [`manifest`] is the checksummed text file tying the deployment
+//!   together: shard id → Hilbert range → spatial bounds → replica paths,
+//!   sealed with the same CRC-32 the snapshot format uses.
+//! - [`router`] owns one cached engine per shard replica and implements
+//!   [`sr_serve::QueryBackend`]: point queries route to the single owning
+//!   shard, window queries scatter over the [`sr_par`] pool and merge
+//!   per-group parts in the canonical ascending-gid order, and knn runs a
+//!   best-first shard expansion (re-querying neighbor shards whenever the
+//!   kth distance still crosses a shard's centroid bounding box) with a
+//!   k-way bounded merge. Failures rotate deterministically through
+//!   replicas; a shard with no loadable replica **browns out**: point
+//!   queries to it fail fast while window/knn answers carry the missing
+//!   shard ids (the HTTP layer's `X-SR-Partial` header) instead of
+//!   failing the whole request. `docs/SHARDING.md` is the full contract.
+//!
+//! The invariant tying it together: with every shard healthy, any
+//! point/window/knn answer from [`router::ShardRouter`] is bit-identical
+//! — values, ordering, tie-breaks — to the same query against one
+//! unsharded engine over the original snapshot, at any thread count.
+
+#![deny(missing_docs)]
+
+pub mod manifest;
+pub mod router;
+pub mod split;
+
+pub use manifest::{load_manifest, write_manifest, ShardEntry, ShardManifest};
+pub use router::{RouterConfig, ShardRouter};
+pub use split::{plan_shards, shard_order, shard_snapshot, write_shards, ShardPlan, SplitOptions};
+
+/// Errors from the sharding layer.
+#[derive(Debug)]
+pub enum ShardError {
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// A structurally malformed manifest.
+    Format(String),
+    /// The manifest's CRC-32 trailer does not match its contents.
+    Checksum {
+        /// Checksum stored in the trailer line.
+        stored: u32,
+        /// Checksum computed over the preceding bytes.
+        computed: u32,
+    },
+    /// A semantically invalid request, plan, or manifest.
+    Invalid(String),
+    /// An error from the snapshot layer underneath.
+    Serve(sr_serve::ServeError),
+    /// No shard could be loaded at all (every replica of every shard
+    /// failed) — the router cannot even establish the grid topology.
+    Unavailable(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Io(e) => write!(f, "i/o error: {e}"),
+            ShardError::Format(msg) => write!(f, "manifest format error: {msg}"),
+            ShardError::Checksum { stored, computed } => write!(
+                f,
+                "manifest checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            ShardError::Invalid(msg) => write!(f, "invalid: {msg}"),
+            ShardError::Serve(e) => write!(f, "snapshot error: {e}"),
+            ShardError::Unavailable(msg) => write!(f, "unavailable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Io(e) => Some(e),
+            ShardError::Serve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ShardError {
+    fn from(e: std::io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}
+
+impl From<sr_serve::ServeError> for ShardError {
+    fn from(e: sr_serve::ServeError) -> Self {
+        ShardError::Serve(e)
+    }
+}
+
+/// Result alias for sharding operations.
+pub type Result<T> = std::result::Result<T, ShardError>;

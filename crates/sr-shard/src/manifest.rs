@@ -1,0 +1,465 @@
+//! The checksummed shard manifest.
+//!
+//! A manifest is the single file a router needs to serve a sharded
+//! deployment: the grid's global shape and run parameters, and per shard
+//! its Hilbert range (`start`/`count` into the curve-ordered group list),
+//! owned-cell count, the bounding box of its owned featured centroids
+//! (the knn expansion bound), and the replica snapshot paths.
+//!
+//! ## Format
+//!
+//! Plain UTF-8 text, one `key = value` per line, shard sections opened by
+//! `[shard N]` headers, sealed by a final `crc32 = 0x........` line whose
+//! value is the CRC-32 (the same IEEE-802.3 function `sr-snap` uses) of
+//! every byte before that line. `f64` values print via Rust's shortest
+//! round-trip `Display`, so write → read → write is byte-identical.
+//! Replica paths are stored relative to the manifest's directory, which
+//! makes a shard directory relocatable as a unit.
+
+use crate::{Result, ShardError};
+use sr_serve::snapshot::crc32;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Manifest format version this module reads and writes.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// The centroid bounding box of one shard's owned featured groups:
+/// `(lat_min, lat_max, lon_min, lon_max)`; `None` when the shard owns no
+/// featured group (it can never contribute a knn answer).
+pub type CentroidBox = Option<(f64, f64, f64, f64)>;
+
+/// One shard's row in the manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardEntry {
+    /// Offset of the shard's first group in the Hilbert-ordered group
+    /// list (see [`crate::split::shard_order`]).
+    pub start: usize,
+    /// Number of consecutive curve-ordered groups the shard owns.
+    pub count: usize,
+    /// Total cells across the shard's owned group rectangles.
+    pub cells: usize,
+    /// Bounding box of owned featured-group centroids, the admissible
+    /// lower bound for knn shard expansion.
+    pub bbox: CentroidBox,
+    /// Replica snapshot paths, relative to the manifest's directory.
+    pub replicas: Vec<PathBuf>,
+}
+
+/// The full manifest: global shape plus one [`ShardEntry`] per shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardManifest {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Total cell-groups in the (shared) partition.
+    pub groups: usize,
+    /// Total cells, `rows · cols`.
+    pub cells: usize,
+    /// Valid cells in the original grid.
+    pub valid_cells: usize,
+    /// Featured groups in the original partition.
+    pub valid_groups: usize,
+    /// Attributes per cell.
+    pub attrs: usize,
+    /// The loss budget θ the snapshots were frozen with (also the cache
+    /// key the router loads them under).
+    pub theta: f64,
+    /// The achieved IFL of the frozen partition.
+    pub ifl: f64,
+    /// Replicas per shard.
+    pub replicas: usize,
+    /// Per-shard entries; shard `s` is `shards[s]`.
+    pub shards: Vec<ShardEntry>,
+}
+
+impl ShardManifest {
+    /// Structural validation: the shard ranges must tile `[0, groups)`
+    /// contiguously in order, and every shard needs at least one replica.
+    pub fn validate(&self) -> Result<()> {
+        let invalid = |msg: String| Err(ShardError::Invalid(msg));
+        if self.shards.is_empty() {
+            return invalid("manifest has no shards".into());
+        }
+        if self.rows == 0 || self.cols == 0 || self.cells != self.rows * self.cols {
+            return invalid("manifest grid shape is inconsistent".into());
+        }
+        let mut next = 0usize;
+        for (s, entry) in self.shards.iter().enumerate() {
+            if entry.start != next {
+                return invalid(format!(
+                    "shard {s} starts at {} but the previous shard ended at {next}",
+                    entry.start
+                ));
+            }
+            if entry.count == 0 {
+                return invalid(format!("shard {s} owns no groups"));
+            }
+            if entry.replicas.is_empty() {
+                return invalid(format!("shard {s} has no replicas"));
+            }
+            if entry.replicas.len() != self.replicas {
+                return invalid(format!(
+                    "shard {s} has {} replicas, manifest declares {}",
+                    entry.replicas.len(),
+                    self.replicas
+                ));
+            }
+            next += entry.count;
+        }
+        if next != self.groups {
+            return invalid(format!(
+                "shard ranges cover {next} groups, partition has {}",
+                self.groups
+            ));
+        }
+        Ok(())
+    }
+
+    /// Absolute replica paths of shard `s`, resolved against the
+    /// directory the manifest lives in.
+    pub fn replica_paths(&self, base_dir: &Path, s: usize) -> Vec<PathBuf> {
+        self.shards[s].replicas.iter().map(|p| base_dir.join(p)).collect()
+    }
+}
+
+/// `f64` as manifest text: shortest string that parses back to the same
+/// bits (Rust's `Display`), with non-finite values spelled out.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else if v.is_nan() {
+        "nan".to_string()
+    } else if v > 0.0 {
+        "inf".to_string()
+    } else {
+        "-inf".to_string()
+    }
+}
+
+fn parse_f64(raw: &str) -> Result<f64> {
+    match raw {
+        "nan" => Ok(f64::NAN),
+        "inf" => Ok(f64::INFINITY),
+        "-inf" => Ok(f64::NEG_INFINITY),
+        _ => raw.parse().map_err(|_| ShardError::Format(format!("bad float '{raw}'"))),
+    }
+}
+
+/// Renders the manifest to its text form, checksum trailer included.
+pub fn manifest_to_string(m: &ShardManifest) -> String {
+    let mut out = String::new();
+    out.push_str("srshard v1\n");
+    let _ = writeln!(out, "version = {MANIFEST_VERSION}");
+    let _ = writeln!(out, "shards = {}", m.shards.len());
+    let _ = writeln!(out, "replicas = {}", m.replicas);
+    let _ = writeln!(out, "rows = {}", m.rows);
+    let _ = writeln!(out, "cols = {}", m.cols);
+    let _ = writeln!(out, "groups = {}", m.groups);
+    let _ = writeln!(out, "cells = {}", m.cells);
+    let _ = writeln!(out, "valid_cells = {}", m.valid_cells);
+    let _ = writeln!(out, "valid_groups = {}", m.valid_groups);
+    let _ = writeln!(out, "attrs = {}", m.attrs);
+    let _ = writeln!(out, "theta = {}", fmt_f64(m.theta));
+    let _ = writeln!(out, "ifl = {}", fmt_f64(m.ifl));
+    for (s, entry) in m.shards.iter().enumerate() {
+        let _ = writeln!(out, "[shard {s}]");
+        let _ = writeln!(out, "start = {}", entry.start);
+        let _ = writeln!(out, "count = {}", entry.count);
+        let _ = writeln!(out, "cells = {}", entry.cells);
+        match entry.bbox {
+            Some((lat_min, lat_max, lon_min, lon_max)) => {
+                let _ = writeln!(
+                    out,
+                    "bbox = {} {} {} {}",
+                    fmt_f64(lat_min),
+                    fmt_f64(lat_max),
+                    fmt_f64(lon_min),
+                    fmt_f64(lon_max)
+                );
+            }
+            None => out.push_str("bbox = none\n"),
+        }
+        for path in &entry.replicas {
+            let _ = writeln!(out, "replica = {}", path.display());
+        }
+    }
+    let crc = crc32(out.as_bytes());
+    let _ = writeln!(out, "crc32 = {crc:#010X}");
+    out
+}
+
+/// Parses manifest text, verifying the checksum trailer first and the
+/// structural invariants ([`ShardManifest::validate`]) afterwards.
+pub fn manifest_from_str(text: &str) -> Result<ShardManifest> {
+    let err = |msg: String| Err(ShardError::Format(msg));
+    // The trailer line is "crc32 = 0x........\n" over everything before it.
+    let Some(trailer_at) = text.rfind("crc32 = ") else {
+        return err("missing crc32 trailer line".into());
+    };
+    let trailer = text[trailer_at..].trim();
+    let stored_raw = trailer.strip_prefix("crc32 = 0x").unwrap_or("");
+    let Ok(stored) = u32::from_str_radix(stored_raw, 16) else {
+        return err(format!("malformed crc32 trailer '{trailer}'"));
+    };
+    let computed = crc32(&text.as_bytes()[..trailer_at]);
+    if stored != computed {
+        return Err(ShardError::Checksum { stored, computed });
+    }
+
+    let mut lines = text[..trailer_at].lines();
+    if lines.next() != Some("srshard v1") {
+        return err("bad magic: not an srshard manifest".into());
+    }
+
+    #[derive(Default)]
+    struct Globals {
+        version: Option<u32>,
+        shards: Option<usize>,
+        replicas: Option<usize>,
+        rows: Option<usize>,
+        cols: Option<usize>,
+        groups: Option<usize>,
+        cells: Option<usize>,
+        valid_cells: Option<usize>,
+        valid_groups: Option<usize>,
+        attrs: Option<usize>,
+        theta: Option<f64>,
+        ifl: Option<f64>,
+    }
+    let mut g = Globals::default();
+    let mut shards: Vec<ShardEntry> = Vec::new();
+    let mut in_shard: Option<usize> = None;
+
+    let parse_usize = |raw: &str, key: &str| -> Result<usize> {
+        raw.parse().map_err(|_| ShardError::Format(format!("bad {key} '{raw}'")))
+    };
+
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[shard ") {
+            let Some(id_raw) = rest.strip_suffix(']') else {
+                return err(format!("malformed shard header '{line}'"));
+            };
+            let id = parse_usize(id_raw, "shard id")?;
+            if id != shards.len() {
+                return err(format!("shard {id} out of order (expected {})", shards.len()));
+            }
+            shards.push(ShardEntry {
+                start: 0,
+                count: 0,
+                cells: 0,
+                bbox: None,
+                replicas: Vec::new(),
+            });
+            in_shard = Some(id);
+            continue;
+        }
+        let Some((key, value)) = line.split_once(" = ") else {
+            return err(format!("malformed line '{line}'"));
+        };
+        match in_shard {
+            None => match key {
+                "version" => g.version = Some(parse_usize(value, key)? as u32),
+                "shards" => g.shards = Some(parse_usize(value, key)?),
+                "replicas" => g.replicas = Some(parse_usize(value, key)?),
+                "rows" => g.rows = Some(parse_usize(value, key)?),
+                "cols" => g.cols = Some(parse_usize(value, key)?),
+                "groups" => g.groups = Some(parse_usize(value, key)?),
+                "cells" => g.cells = Some(parse_usize(value, key)?),
+                "valid_cells" => g.valid_cells = Some(parse_usize(value, key)?),
+                "valid_groups" => g.valid_groups = Some(parse_usize(value, key)?),
+                "attrs" => g.attrs = Some(parse_usize(value, key)?),
+                "theta" => g.theta = Some(parse_f64(value)?),
+                "ifl" => g.ifl = Some(parse_f64(value)?),
+                _ => return err(format!("unknown global key '{key}'")),
+            },
+            Some(id) => {
+                let entry = &mut shards[id];
+                match key {
+                    "start" => entry.start = parse_usize(value, key)?,
+                    "count" => entry.count = parse_usize(value, key)?,
+                    "cells" => entry.cells = parse_usize(value, key)?,
+                    "bbox" => {
+                        entry.bbox = if value == "none" {
+                            None
+                        } else {
+                            let parts: Vec<&str> = value.split_whitespace().collect();
+                            if parts.len() != 4 {
+                                return err(format!("bbox needs 4 floats, got '{value}'"));
+                            }
+                            Some((
+                                parse_f64(parts[0])?,
+                                parse_f64(parts[1])?,
+                                parse_f64(parts[2])?,
+                                parse_f64(parts[3])?,
+                            ))
+                        }
+                    }
+                    "replica" => {
+                        let path = PathBuf::from(value);
+                        if path.is_absolute() {
+                            return err(format!("replica path '{value}' must be relative"));
+                        }
+                        entry.replicas.push(path);
+                    }
+                    _ => return err(format!("unknown shard key '{key}'")),
+                }
+            }
+        }
+    }
+
+    let version = g.version.ok_or_else(|| ShardError::Format("missing version".into()))?;
+    if version != MANIFEST_VERSION {
+        return err(format!("unsupported manifest version {version}"));
+    }
+    let missing = |key: &str| ShardError::Format(format!("missing global '{key}'"));
+    let m = ShardManifest {
+        rows: g.rows.ok_or_else(|| missing("rows"))?,
+        cols: g.cols.ok_or_else(|| missing("cols"))?,
+        groups: g.groups.ok_or_else(|| missing("groups"))?,
+        cells: g.cells.ok_or_else(|| missing("cells"))?,
+        valid_cells: g.valid_cells.ok_or_else(|| missing("valid_cells"))?,
+        valid_groups: g.valid_groups.ok_or_else(|| missing("valid_groups"))?,
+        attrs: g.attrs.ok_or_else(|| missing("attrs"))?,
+        theta: g.theta.ok_or_else(|| missing("theta"))?,
+        ifl: g.ifl.ok_or_else(|| missing("ifl"))?,
+        replicas: g.replicas.ok_or_else(|| missing("replicas"))?,
+        shards,
+    };
+    if g.shards != Some(m.shards.len()) {
+        return err(format!(
+            "manifest declares {:?} shards but lists {}",
+            g.shards,
+            m.shards.len()
+        ));
+    }
+    m.validate()?;
+    Ok(m)
+}
+
+/// Writes the manifest atomically (temp file + rename), like snapshot
+/// saves: a crash leaves the old manifest or the new one, never a torn
+/// mixture — and the CRC trailer rejects anything torn anyway.
+pub fn write_manifest(m: &ShardManifest, path: impl AsRef<Path>) -> Result<()> {
+    m.validate()?;
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = PathBuf::from(tmp);
+    let result = (|| -> Result<()> {
+        std::fs::write(&tmp, manifest_to_string(m))?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
+}
+
+/// Loads and verifies a manifest file.
+pub fn load_manifest(path: impl AsRef<Path>) -> Result<ShardManifest> {
+    let text = std::fs::read_to_string(path)?;
+    manifest_from_str(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ShardManifest {
+        ShardManifest {
+            rows: 6,
+            cols: 6,
+            groups: 9,
+            cells: 36,
+            valid_cells: 35,
+            valid_groups: 8,
+            attrs: 2,
+            theta: 0.05,
+            ifl: 0.031_25,
+            replicas: 2,
+            shards: vec![
+                ShardEntry {
+                    start: 0,
+                    count: 5,
+                    cells: 20,
+                    bbox: Some((0.1, 0.4, -0.25, 0.5)),
+                    replicas: vec!["shard0_r0.snap".into(), "shard0_r1.snap".into()],
+                },
+                ShardEntry {
+                    start: 5,
+                    count: 4,
+                    cells: 16,
+                    bbox: None,
+                    replicas: vec!["shard1_r0.snap".into(), "shard1_r1.snap".into()],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let m = sample();
+        let text = manifest_to_string(&m);
+        let back = manifest_from_str(&text).unwrap();
+        assert_eq!(back, m);
+        // Write → read → write reproduces identical bytes.
+        assert_eq!(manifest_to_string(&back), text);
+    }
+
+    #[test]
+    fn nonfinite_floats_roundtrip() {
+        let mut m = sample();
+        m.ifl = f64::NAN;
+        m.shards[0].bbox = Some((f64::NEG_INFINITY, 0.0, -0.0, f64::INFINITY));
+        let back = manifest_from_str(&manifest_to_string(&m)).unwrap();
+        assert!(back.ifl.is_nan());
+        let bbox = back.shards[0].bbox.unwrap();
+        assert_eq!(bbox.0, f64::NEG_INFINITY);
+        assert_eq!(bbox.2.to_bits(), (-0.0f64).to_bits());
+        assert_eq!(bbox.3, f64::INFINITY);
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let text = manifest_to_string(&sample());
+        // Flip one character in the body: checksum must catch it.
+        let corrupted = text.replacen("count = 5", "count = 6", 1);
+        assert!(matches!(manifest_from_str(&corrupted), Err(ShardError::Checksum { .. })));
+        // Truncation loses the trailer entirely.
+        assert!(manifest_from_str(&text[..text.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn structural_validation() {
+        let mut gap = sample();
+        gap.shards[1].start = 6;
+        assert!(matches!(
+            manifest_from_str(&manifest_to_string(&gap)),
+            Err(ShardError::Invalid(_))
+        ));
+        let mut short = sample();
+        short.shards[1].count = 3;
+        assert!(matches!(
+            manifest_from_str(&manifest_to_string(&short)),
+            Err(ShardError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let m = sample();
+        let path =
+            std::env::temp_dir().join(format!("sr_shard_manifest_{}.txt", std::process::id()));
+        write_manifest(&m, &path).unwrap();
+        let back = load_manifest(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, m);
+    }
+}

@@ -15,6 +15,10 @@
 //! - `snapshot --in FILE --theta T --out FILE.snap [--strided]`
 //!   re-partitions a grid and freezes the result as an `sr-snap v1`
 //!   snapshot for online serving.
+//! - `shard --snapshot FILE.snap --out-dir DIR [--shards K] [--replicas R]`
+//!   cuts a snapshot into `K` Hilbert-contiguous shards balanced by cell
+//!   count, writes `R` byte-identical replica snapshots per shard plus the
+//!   checksummed `manifest.txt` tying them together (`docs/SHARDING.md`).
 //! - `serve --snapshot FILE.snap [--addr HOST:PORT] [--threads N]
 //!   [--deadline-ms MS] [--max-inflight N] [--fault-plan FILE]`
 //!   serves point/window/knn/stats/metrics queries over HTTP from a
@@ -25,6 +29,13 @@
 //!   bounds queued + running requests (both answer `503` + `Retry-After`),
 //!   and `--fault-plan` arms deterministic snapshot-I/O fault injection
 //!   for drills.
+//! - `serve --manifest DIR/manifest.txt [--shard-deadline-ms MS] [...]`
+//!   serves the same endpoints from a shard manifest instead: point
+//!   queries route to the owning shard, window/knn scatter-gather across
+//!   shards, failed replicas rotate, and a shard whose every replica fails
+//!   browns out — point queries to it answer `503` while window/knn keep
+//!   answering with an `X-SR-Partial: <shards>` header. `GET /healthz`
+//!   reports per-shard state.
 //!
 //! The global `--trace` flag (any subcommand) prints hierarchical span
 //! timings to stderr; `--trace=json` emits them as JSON-lines instead.
@@ -49,8 +60,10 @@ use spatial_repartition::core::{
 use spatial_repartition::datasets::{Dataset, GridSize};
 use spatial_repartition::grid::{load_grid, morans_i, save_grid, AdjacencyList, GridDataset};
 use spatial_repartition::serve::{
-    save_snapshot, serve_cached, FaultPlan, ServerConfig, Snapshot, SnapshotCache,
+    load_snapshot, save_snapshot, serve_backend, serve_cached, FaultPlan, ServerConfig, Snapshot,
+    SnapshotCache,
 };
+use spatial_repartition::shard::{write_shards, RouterConfig, ShardRouter, SplitOptions};
 use std::collections::HashMap;
 use std::io::Write;
 use std::process::ExitCode;
@@ -78,6 +91,7 @@ fn main() -> ExitCode {
         "repartition" => cmd_repartition(&opts),
         "homogeneous" => cmd_homogeneous(&opts),
         "snapshot" => cmd_snapshot(&opts),
+        "shard" => cmd_shard(&opts),
         "serve" => cmd_serve(&opts),
         "--help" | "-h" | "help" => {
             print_usage();
@@ -382,7 +396,46 @@ fn cmd_snapshot(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_shard(opts: &Opts) -> Result<(), String> {
+    let path = required(opts, "snapshot")?;
+    let out_dir = required(opts, "out-dir")?;
+    let shards: usize = opts
+        .get("shards")
+        .map_or(Ok(4), |s| s.parse().map_err(|_| "bad --shards (expected a count >= 1)"))?;
+    let replicas: usize = opts
+        .get("replicas")
+        .map_or(Ok(1), |s| s.parse().map_err(|_| "bad --replicas (expected a count >= 1)"))?;
+    if shards == 0 || replicas == 0 {
+        return Err("--shards and --replicas must be >= 1".to_string());
+    }
+    let snap = load_snapshot(path).map_err(|e| e.to_string())?;
+    let start = std::time::Instant::now();
+    let manifest = write_shards(
+        &snap,
+        out_dir,
+        &SplitOptions { shards, replicas },
+        spatial_repartition::par::Pool::global(),
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "sharded {path}: {} groups / {} cells -> {} shards x {} replicas in {:.2}s",
+        manifest.groups,
+        manifest.cells,
+        manifest.shards.len(),
+        manifest.replicas,
+        start.elapsed().as_secs_f64()
+    );
+    for (s, entry) in manifest.shards.iter().enumerate() {
+        println!("  shard {s}: {} groups, {} cells", entry.count, entry.cells);
+    }
+    println!("wrote manifest to {out_dir}/manifest.txt");
+    Ok(())
+}
+
 fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    if opts.contains_key("manifest") {
+        return cmd_serve_manifest(opts);
+    }
     let path = required(opts, "snapshot")?;
     let addr = opts.get("addr").map_or("127.0.0.1:7878", String::as_str);
     let threads: usize = opts
@@ -428,11 +481,66 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     println!("serving {path} on http://{}", handle.addr());
     println!(
         "endpoints: /point?lat=&lon=  /window?lat0=&lat1=&lon0=&lon1=  /knn?lat=&lon=&k=  \
-         /stats  /metrics"
+         /stats  /healthz  /metrics"
     );
     println!("press Ctrl-C to stop");
     // Serve until killed; the handle's Drop would stop the server, so park
     // this thread indefinitely.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `serve --manifest`: the sharded scatter-gather backend behind the same
+/// HTTP surface (docs/SHARDING.md).
+fn cmd_serve_manifest(opts: &Opts) -> Result<(), String> {
+    let manifest_path = required(opts, "manifest")?;
+    let addr = opts.get("addr").map_or("127.0.0.1:7878", String::as_str);
+    let threads: usize = opts
+        .get("threads")
+        .map_or(Ok(4), |s| s.parse().map_err(|_| "bad --threads".to_string()))?;
+    let deadline = opts
+        .get("deadline-ms")
+        .map(|s| s.parse::<u64>().map_err(|_| "bad --deadline-ms".to_string()))
+        .transpose()?
+        .map(std::time::Duration::from_millis);
+    let shard_deadline = opts
+        .get("shard-deadline-ms")
+        .map(|s| s.parse::<u64>().map_err(|_| "bad --shard-deadline-ms".to_string()))
+        .transpose()?
+        .map(std::time::Duration::from_millis);
+    let max_inflight: usize = opts
+        .get("max-inflight")
+        .map_or(Ok(0), |s| s.parse().map_err(|_| "bad --max-inflight".to_string()))?;
+    let registry = spatial_repartition::obs::Registry::global();
+    let mut router_config =
+        RouterConfig { registry: registry.clone(), shard_deadline, ..RouterConfig::default() };
+    if let Some(plan_path) = opts.get("fault-plan") {
+        let plan = FaultPlan::load(plan_path, &registry)
+            .map_err(|e| format!("bad --fault-plan {plan_path}: {e}"))?;
+        println!("fault plan loaded from {plan_path} (seed {})", plan.seed());
+        router_config.fault_plan = Some(plan);
+    }
+    let router = ShardRouter::open(manifest_path, router_config).map_err(|e| e.to_string())?;
+    let m = router.manifest();
+    println!(
+        "loaded {manifest_path}: {}x{} cells, {} groups, {} shards x {} replicas",
+        m.rows,
+        m.cols,
+        m.groups,
+        m.shards.len(),
+        m.replicas
+    );
+    let config =
+        ServerConfig { threads, deadline, max_inflight, registry, ..ServerConfig::default() };
+    let handle =
+        serve_backend(std::sync::Arc::new(router), addr, config).map_err(|e| e.to_string())?;
+    println!("serving {manifest_path} on http://{}", handle.addr());
+    println!(
+        "endpoints: /point?lat=&lon=  /window?lat0=&lat1=&lon0=&lon1=  /knn?lat=&lon=&k=  \
+         /stats  /healthz  /metrics"
+    );
+    println!("press Ctrl-C to stop");
     loop {
         std::thread::park();
     }
@@ -450,8 +558,12 @@ USAGE:
                      [--out-gal FILE]
   srtool homogeneous --in FILE --rows K --cols K
   srtool snapshot    --in FILE --theta T --out FILE.snap [--strided]
+  srtool shard       --snapshot FILE.snap --out-dir DIR [--shards K] [--replicas R]
   srtool serve       --snapshot FILE.snap [--addr HOST:PORT] [--threads N]
                      [--deadline-ms MS] [--max-inflight N] [--fault-plan FILE]
+  srtool serve       --manifest DIR/manifest.txt [--shard-deadline-ms MS]
+                     [--addr HOST:PORT] [--threads N] [--deadline-ms MS]
+                     [--max-inflight N] [--fault-plan FILE]
 
 GLOBAL FLAGS (before the subcommand):
   --threads N    worker threads for the compute pool (overrides SR_THREADS;

@@ -45,6 +45,7 @@
 //! | [`linalg`] | `sr-linalg` | dense matrices, LU, Cholesky, least squares |
 //! | [`mem`] | `sr-mem` | peak-allocation tracking for the memory experiments |
 //! | [`serve`] | `sr-serve` | partition snapshots (`sr-snap v1`), the online query engine, snapshot cache, HTTP server |
+//! | [`shard`] | `sr-shard` | sharded serving: Hilbert-contiguous shard splitter, checksummed shard manifest, scatter-gather router with replicas and shard-level degradation |
 //! | [`obs`] | `sr-obs` | tracing spans and the metrics registry behind `--trace` and `GET /metrics` |
 //! | [`par`] | `sr-par` | deterministic worker-pool substrate (`SR_THREADS`, fixed-grain `par_map`/`par_for`) |
 //! | [`fault`] | `sr-fault` | deterministic fault injection (`FaultPlan`) and seeded retry backoff behind the robustness tests |
@@ -87,6 +88,7 @@ pub use sr_ml as ml;
 pub use sr_obs as obs;
 pub use sr_par as par;
 pub use sr_serve as serve;
+pub use sr_shard as shard;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -114,5 +116,8 @@ pub mod prelude {
     pub use sr_serve::{
         load_snapshot, save_snapshot, serve, serve_cached, QueryEngine, Served, ServerConfig,
         Snapshot, SnapshotCache,
+    };
+    pub use sr_shard::{
+        load_manifest, write_shards, RouterConfig, ShardManifest, ShardRouter, SplitOptions,
     };
 }

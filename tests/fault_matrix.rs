@@ -10,13 +10,18 @@
 //! | snapshot never loadable (injected read errors) | `503`, `/metrics` still up |
 //! | injected handler panics | connection drops, pool survives |
 //! | same fault seed, same plan | identical outcome sequence |
+//! | one shard replica dead | rotation to the next replica, full answers |
+//! | every replica of one shard dead | point `503`s only there; window/knn partial with `X-SR-Partial` |
+//! | slow shard vs shard deadline | partial answer, then recovery once cached |
+//! | manifest pointing at a corrupt snapshot | brownout of that shard, not blackout |
 //!
 //! Everything here is hermetic: fault decisions come from a seeded PRNG
 //! (`sr-fault`), so the matrix passes bit-identically under `SR_THREADS=1`
 //! and `SR_THREADS=4` (`ci.sh` runs both).
 
 use spatial_repartition::prelude::*;
-use spatial_repartition::serve::load_snapshot_with;
+use spatial_repartition::serve::{load_snapshot_with, serve_backend, ReloadPolicy};
+use spatial_repartition::shard::{shard_order, RouterConfig, ShardRouter, SplitOptions};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
@@ -284,6 +289,224 @@ fn injected_worker_panics_drop_connections_but_pool_survives() {
     // Graceful shutdown still drains: the pool lost no workers.
     handle.shutdown();
     assert!(TcpStream::connect(addr).is_err(), "listener should be closed");
+}
+
+// ---------------------------------------------------------------------
+// Shard-tier scenarios (docs/SHARDING.md): the same degradation contract,
+// one level up — replicas rotate, shards brown out, the tier never
+// blacks out while any shard still serves.
+// ---------------------------------------------------------------------
+
+/// A snapshot with enough surface variation to keep many groups —
+/// [`make_snapshot`]'s smooth grid coarsens to a single group, which
+/// cannot be cut into shards.
+fn make_shardable_snapshot() -> Snapshot {
+    let vals: Vec<f64> =
+        (0..196).map(|i| 20.0 + (i / 14) as f64 * 0.5 + (i % 14) as f64 * 0.2).collect();
+    let grid = GridDataset::univariate(14, 14, vals).unwrap();
+    let out = repartition(&grid, 0.05).unwrap();
+    Snapshot::build(&out.repartitioned, &grid, 0.05).unwrap()
+}
+
+/// Splits [`make_shardable_snapshot`] into a shard deployment under a
+/// fresh temp directory and returns `(full snapshot, shard dir)`.
+fn temp_shards(name: &str, shards: usize, replicas: usize) -> (Snapshot, PathBuf) {
+    let snap = make_shardable_snapshot();
+    let dir = std::env::temp_dir().join(format!("sr_fault_shards_{}_{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    spatial_repartition::shard::write_shards(
+        &snap,
+        &dir,
+        &SplitOptions { shards, replicas },
+        Pool::global(),
+    )
+    .unwrap();
+    (snap, dir)
+}
+
+/// Centroid of group `g` — a point guaranteed to route to `g`'s shard.
+fn group_centroid(snap: &Snapshot, g: u32) -> (f64, f64) {
+    let b = snap.bounds();
+    let rect = snap.partition().rect(g);
+    let lat_step = (b.lat_max - b.lat_min) / snap.rows() as f64;
+    let lon_step = (b.lon_max - b.lon_min) / snap.cols() as f64;
+    (
+        b.lat_min + (rect.r0 + rect.r1 + 1) as f64 / 2.0 * lat_step,
+        b.lon_min + (rect.c0 + rect.c1 + 1) as f64 / 2.0 * lon_step,
+    )
+}
+
+#[test]
+fn dead_replica_rotates_without_degrading() {
+    let (_, dir) = temp_shards("rotate", 3, 2);
+    // Replica 0 of shard 1 vanishes before the router ever loads it.
+    std::fs::remove_file(dir.join("shard1_r0.snap")).unwrap();
+    let registry = Registry::new();
+    let router_config = RouterConfig {
+        registry: registry.clone(),
+        reload: ReloadPolicy { attempts: 1, ..ReloadPolicy::default() },
+        ..RouterConfig::default()
+    };
+    let router = ShardRouter::open(dir.join("manifest.txt"), router_config).unwrap();
+    let config = ServerConfig { threads: 2, registry: registry.clone(), ..ServerConfig::default() };
+    let mut handle = serve_backend(Arc::new(router), "127.0.0.1:0", config).unwrap();
+    let addr = handle.addr();
+
+    // Full answers, no partial marker: replica 1 covers for replica 0.
+    let (status, head, body) = http_get(addr, "/window?lat0=0&lat1=1&lon0=0&lon1=1");
+    assert_eq!(status, 200, "{body}");
+    assert!(!head.contains("X-SR-Partial"), "rotation must not look partial: {head}");
+    let (status, _, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(registry.counter("shard.replica_rotations_total").get() >= 1);
+    assert_eq!(registry.counter("shard.brownouts_total").get(), 0);
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn browned_out_shard_serves_partial_not_blackout() {
+    let (snap, dir) = temp_shards("brownout", 3, 2);
+    let manifest = spatial_repartition::shard::load_manifest(dir.join("manifest.txt")).unwrap();
+    // Every replica of shard 0 dies: the shard browns out entirely.
+    for path in manifest.replica_paths(&dir, 0) {
+        std::fs::remove_file(path).unwrap();
+    }
+    let registry = Registry::new();
+    let router_config = RouterConfig {
+        registry: registry.clone(),
+        reload: ReloadPolicy { attempts: 1, ..ReloadPolicy::default() },
+        ..RouterConfig::default()
+    };
+    let router = ShardRouter::open(dir.join("manifest.txt"), router_config).unwrap();
+    let config = ServerConfig { threads: 2, registry: registry.clone(), ..ServerConfig::default() };
+    let mut handle = serve_backend(Arc::new(router), "127.0.0.1:0", config).unwrap();
+    let addr = handle.addr();
+
+    // Point queries: 503 only on the dead shard's territory.
+    let order = shard_order(snap.partition());
+    let (dead_lat, dead_lon) = group_centroid(&snap, order[manifest.shards[0].start]);
+    let (status, _, body) = http_get(addr, &format!("/point?lat={dead_lat}&lon={dead_lon}"));
+    assert_eq!(status, 503, "{body}");
+    let (live_lat, live_lon) = group_centroid(&snap, order[manifest.shards[1].start]);
+    let (status, _, body) = http_get(addr, &format!("/point?lat={live_lat}&lon={live_lon}"));
+    assert_eq!(status, 200, "{body}");
+
+    // Window and knn answer partially, naming the missing shard.
+    let (status, head, body) = http_get(addr, "/window?lat0=0&lat1=1&lon0=0&lon1=1");
+    assert_eq!(status, 200, "{body}");
+    assert!(head.contains("X-SR-Partial: 0"), "{head}");
+    let k = manifest.groups; // forces expansion into every shard
+    let (status, head, body) = http_get(addr, &format!("/knn?lat={live_lat}&lon={live_lon}&k={k}"));
+    assert_eq!(status, 200, "{body}");
+    assert!(head.contains("X-SR-Partial: 0"), "{head}");
+    assert!(registry.counter("shard.partial_responses_total").get() >= 2);
+    assert!(registry.counter("shard.brownouts_total").get() >= 1);
+
+    // Telemetry and health stay up, reporting the brownout.
+    let (status, _, body) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains("shard.brownouts_total"), "{body}");
+    let (status, _, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"degraded\""), "{body}");
+    assert!(body.contains("\"id\":0,\"state\":\"browned_out\""), "{body}");
+    let (status, _, body) = http_get(addr, "/stats");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"shards\":{\"healthy\":2,\"browned_out\":1}"), "{body}");
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn slow_shard_misses_deadline_then_recovers() {
+    let (snap, dir) = temp_shards("slow", 2, 1);
+    let registry = Registry::new();
+    // Every snapshot *read* sleeps well past the shard deadline — but
+    // reads only happen on (re)loads; cache hits stay fast.
+    let plan = FaultPlan::parse("seed = 5\nread.latency_ms = 120\n", &registry).unwrap();
+    let router_config = RouterConfig {
+        registry: registry.clone(),
+        shard_deadline: Some(Duration::from_millis(60)),
+        fault_plan: Some(plan),
+        reload: ReloadPolicy { attempts: 1, ..ReloadPolicy::default() },
+        ..RouterConfig::default()
+    };
+    // open() warms every shard without a deadline (slowly, here).
+    let router = ShardRouter::open(dir.join("manifest.txt"), router_config).unwrap();
+    let config = ServerConfig { threads: 2, registry: registry.clone(), ..ServerConfig::default() };
+    let mut handle = serve_backend(Arc::new(router), "127.0.0.1:0", config).unwrap();
+    let addr = handle.addr();
+
+    // Warm caches: full, fast answer.
+    let (status, head, body) = http_get(addr, "/window?lat0=0&lat1=1&lon0=0&lon1=1");
+    assert_eq!(status, 200, "{body}");
+    assert!(!head.contains("X-SR-Partial"), "{head}");
+
+    // Redeploy shard 0 (same content, new mtime): the next request must
+    // reload it through the injected 120 ms read latency and blows the
+    // 60 ms shard deadline — a partial answer, not a stall.
+    std::thread::sleep(Duration::from_millis(30)); // separate mtimes
+    let manifest = spatial_repartition::shard::load_manifest(dir.join("manifest.txt")).unwrap();
+    let shard0 = &manifest.replica_paths(&dir, 0)[0];
+    let bytes = std::fs::read(shard0).unwrap();
+    std::fs::write(shard0, &bytes).unwrap();
+    let (status, head, body) = http_get(addr, "/window?lat0=0&lat1=1&lon0=0&lon1=1");
+    assert_eq!(status, 200, "{body}");
+    assert!(head.contains("X-SR-Partial: 0"), "slow reload must degrade to partial: {head}");
+    assert!(registry.counter("shard.deadline_misses_total").get() >= 1);
+
+    // The reload finished (and cached) even though the request moved on:
+    // the shard is fast — and whole — again.
+    let (status, head, body) = http_get(addr, "/window?lat0=0&lat1=1&lon0=0&lon1=1");
+    assert_eq!(status, 200, "{body}");
+    assert!(!head.contains("X-SR-Partial"), "recovered answer still partial: {head}");
+
+    let _ = snap;
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_shard_snapshot_browns_out_not_blacks_out() {
+    let (snap, dir) = temp_shards("corrupt", 3, 1);
+    let manifest = spatial_repartition::shard::load_manifest(dir.join("manifest.txt")).unwrap();
+    // Shard 1's only replica is garbage from the start (torn deploy): the
+    // CRC check rejects it on every load attempt, so the shard can never
+    // come up — but the other shards must.
+    std::fs::write(&manifest.replica_paths(&dir, 1)[0], b"garbage, not an sr-snap file").unwrap();
+    let registry = Registry::new();
+    let router_config = RouterConfig {
+        registry: registry.clone(),
+        reload: ReloadPolicy { attempts: 1, ..ReloadPolicy::default() },
+        ..RouterConfig::default()
+    };
+    let router = ShardRouter::open(dir.join("manifest.txt"), router_config).unwrap();
+    let config = ServerConfig { threads: 2, registry: registry.clone(), ..ServerConfig::default() };
+    let mut handle = serve_backend(Arc::new(router), "127.0.0.1:0", config).unwrap();
+    let addr = handle.addr();
+
+    let order = shard_order(snap.partition());
+    let (live_lat, live_lon) = group_centroid(&snap, order[manifest.shards[0].start]);
+    let (status, _, body) = http_get(addr, &format!("/point?lat={live_lat}&lon={live_lon}"));
+    assert_eq!(status, 200, "{body}");
+    let (corrupt_lat, corrupt_lon) = group_centroid(&snap, order[manifest.shards[1].start]);
+    let (status, _, body) = http_get(addr, &format!("/point?lat={corrupt_lat}&lon={corrupt_lon}"));
+    assert_eq!(status, 503, "{body}");
+
+    let (status, head, body) = http_get(addr, "/window?lat0=0&lat1=1&lon0=0&lon1=1");
+    assert_eq!(status, 200, "{body}");
+    assert!(head.contains("X-SR-Partial: 1"), "{head}");
+    let (status, _, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"id\":1,\"state\":\"browned_out\""), "{body}");
+    assert!(registry.counter("shard.brownouts_total").get() >= 1);
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

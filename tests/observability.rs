@@ -98,7 +98,7 @@ fn server_metrics_match_client_activity() {
     assert!(
         stats.contains(
             "\"requests\":{\"point\":4,\"window\":0,\"knn\":1,\"stats\":1,\"metrics\":0,\
-             \"total\":7,\"errors\":2}"
+             \"healthz\":0,\"total\":7,\"errors\":2}"
         ),
         "stats: {stats}"
     );

@@ -1,0 +1,233 @@
+//! Property test for the sharding tier's bit-exactness contract
+//! (`docs/SHARDING.md`): for random grids, thresholds, shard counts, and
+//! replica counts, every point/window/knn answer from a [`ShardRouter`]
+//! is **bit-identical** — values, ordering, knn tie-breaks — to the same
+//! query against one unsharded [`QueryEngine`] over the original
+//! snapshot, at any thread count.
+//!
+//! The router takes an explicit [`Pool`] so the serial and 8-thread runs
+//! exercise genuinely different fan-out schedules on identical inputs;
+//! `ci.sh` additionally runs the whole file under `SR_THREADS=1` and
+//! `SR_THREADS=4`.
+
+use spatial_repartition::prelude::*;
+use spatial_repartition::serve::QueryBackend;
+use spatial_repartition::shard::{write_shards, RouterConfig, ShardRouter, SplitOptions};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Deterministic xorshift64* — the tests must not depend on ambient seed
+/// state.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn frac(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Bit-pattern key for knn answers: `assert_eq!` on [`NearestGroup`]
+/// would wrongly fail on NaN distances (NaN != NaN), while the contract
+/// here is *bit*-identity — so compare the raw f64 bits.
+fn knn_bits(
+    answer: &[spatial_repartition::serve::NearestGroup],
+) -> Vec<(u32, u64, u64, u64, Vec<u64>)> {
+    answer
+        .iter()
+        .map(|n| {
+            (
+                n.group,
+                n.lat.to_bits(),
+                n.lon.to_bits(),
+                n.distance.to_bits(),
+                n.values.iter().map(|v| v.to_bits()).collect(),
+            )
+        })
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sr_shard_prop_{}_{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// One random scenario: generate, re-partition, snapshot, shard, and
+/// compare the sharded router against the unsharded engine over a
+/// query battery that includes outside-the-grid, degenerate, and NaN
+/// inputs plus tie-heavy knn queries at the grid center.
+fn check_scenario(rng: &mut Rng, pool: &Arc<Pool>, tag: &str) {
+    let datasets =
+        [Dataset::TaxiUnivariate, Dataset::TaxiMultivariate, Dataset::EarningsMultivariate];
+    let dataset = datasets[rng.below(3) as usize];
+    let rows = 8 + rng.below(25) as usize;
+    let cols = 8 + rng.below(25) as usize;
+    let theta = [0.02, 0.05, 0.1, 0.2][rng.below(4) as usize];
+    let grid = dataset.generate(GridSize::Custom(rows, cols), rng.next());
+
+    let outcome = repartition(&grid, theta).unwrap();
+    let snap = Snapshot::build(&outcome.repartitioned, &grid, theta).unwrap();
+    let engine = QueryEngine::new(snap.clone());
+
+    let shards = 1 + rng.below(7) as usize;
+    let replicas = 1 + rng.below(2) as usize;
+    let dir = temp_dir(tag);
+    let manifest = write_shards(&snap, &dir, &SplitOptions { shards, replicas }, pool).unwrap();
+    assert_eq!(manifest.shards.len(), shards.min(manifest.groups));
+
+    // Check both serve modes: true scatter-gather (where the merge logic
+    // — and therefore the real bit-identity risk — lives) and the
+    // default fused fast path.
+    for scatter_only in [true, false] {
+        let tag = &format!("{tag}_{}", if scatter_only { "scatter" } else { "fused" });
+        let config =
+            RouterConfig { pool: Some(Arc::clone(pool)), scatter_only, ..RouterConfig::default() };
+        let router = ShardRouter::open(dir.join("manifest.txt"), config).unwrap();
+
+        check_queries(rng, &router, &engine, &snap, &manifest, tag);
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The query battery for one router against the unsharded oracle.
+fn check_queries(
+    rng: &mut Rng,
+    router: &ShardRouter,
+    engine: &QueryEngine,
+    snap: &Snapshot,
+    manifest: &spatial_repartition::shard::ShardManifest,
+    tag: &str,
+) {
+    let b = snap.bounds();
+    let lat_span = b.lat_max - b.lat_min;
+    let lon_span = b.lon_max - b.lon_min;
+    // Sample coordinates from slightly beyond the grid on every side so
+    // outside-the-grid routing is always exercised too.
+    let lat = |rng: &mut Rng| b.lat_min + (rng.frac() * 1.3 - 0.15) * lat_span;
+    let lon = |rng: &mut Rng| b.lon_min + (rng.frac() * 1.3 - 0.15) * lon_span;
+
+    for q in 0..12 {
+        let (la, lo) = (lat(rng), lon(rng));
+        let got = router.point(la, lo).unwrap();
+        assert_eq!(got.value, engine.point(la, lo), "{tag} point #{q} ({la},{lo})");
+        assert!(got.missing_shards.is_empty() && !got.stale);
+    }
+    assert_eq!(router.point(f64::NAN, b.lon_min).unwrap().value, engine.point(f64::NAN, b.lon_min));
+
+    for q in 0..8 {
+        let (a0, a1, o0, o1) = (lat(rng), lat(rng), lon(rng), lon(rng));
+        let got = router.window(a0, a1, o0, o1).unwrap();
+        let want = engine.window(a0, a1, o0, o1);
+        assert_eq!(got.value.1, want, "{tag} window #{q} ({a0},{a1},{o0},{o1})");
+        assert_eq!(got.value.0, snap.attr_names());
+        assert!(got.missing_shards.is_empty());
+    }
+    // Whole grid, degenerate line, and NaN windows.
+    let whole = router.window(b.lat_min, b.lat_max, b.lon_min, b.lon_max).unwrap();
+    assert_eq!(whole.value.1, engine.window(b.lat_min, b.lat_max, b.lon_min, b.lon_max));
+    let line = router.window(b.lat_min, b.lat_min, b.lon_min, b.lon_max).unwrap();
+    assert_eq!(line.value.1, engine.window(b.lat_min, b.lat_min, b.lon_min, b.lon_max));
+    let nan = router.window(f64::NAN, b.lat_max, b.lon_min, b.lon_max).unwrap();
+    assert_eq!(nan.value.1, engine.window(f64::NAN, b.lat_max, b.lon_min, b.lon_max));
+
+    // knn: small k near shard boundaries, k far past the group count
+    // (full ranking), a tie-heavy query at the exact grid center, and a
+    // NaN query — tie-break order (ascending group id on equal distance)
+    // must survive the k-way merge bit-for-bit.
+    let ks = [1usize, 2, 5, 4 * manifest.groups];
+    for q in 0..8 {
+        let (la, lo) = (lat(rng), lon(rng));
+        let k = ks[rng.below(4) as usize];
+        let got = router.knn(la, lo, k).unwrap();
+        assert_eq!(
+            knn_bits(&got.value),
+            knn_bits(&engine.knn(la, lo, k)),
+            "{tag} knn #{q} k={k} at ({la},{lo})"
+        );
+        assert!(got.missing_shards.is_empty());
+    }
+    let (mid_la, mid_lo) = (b.lat_min + lat_span / 2.0, b.lon_min + lon_span / 2.0);
+    for k in [1usize, 7, 64] {
+        let got = router.knn(mid_la, mid_lo, k).unwrap();
+        assert_eq!(
+            knn_bits(&got.value),
+            knn_bits(&engine.knn(mid_la, mid_lo, k)),
+            "{tag} center knn k={k}"
+        );
+    }
+    let got = router.knn(f64::NAN, mid_lo, 5).unwrap();
+    assert_eq!(knn_bits(&got.value), knn_bits(&engine.knn(f64::NAN, mid_lo, 5)), "{tag} NaN knn");
+    assert!(router.knn(mid_la, mid_lo, 0).unwrap().value.is_empty());
+}
+
+fn run_trials(seed: u64, threads: usize, tag: &str) {
+    let pool = Arc::new(Pool::new(threads));
+    let mut rng = Rng(seed);
+    for trial in 0..6 {
+        check_scenario(&mut rng, &pool, &format!("{tag}_t{trial}"));
+    }
+}
+
+#[test]
+fn sharded_answers_bit_identical_serial() {
+    run_trials(0xA11C_E5EED, 1, "serial");
+}
+
+#[test]
+fn sharded_answers_bit_identical_eight_threads() {
+    run_trials(0xB0B5_EEDED, 8, "par8");
+}
+
+/// The two runs above use different seeds on purpose (more coverage);
+/// this one pins the *same* scenarios at 1 and 8 threads and checks the
+/// routers agree with each other query-for-query — the thread count must
+/// be unobservable in answers.
+#[test]
+fn thread_count_is_unobservable() {
+    let grid = Dataset::TaxiMultivariate.generate(GridSize::Custom(20, 20), 7);
+    let outcome = repartition(&grid, 0.05).unwrap();
+    let snap = Snapshot::build(&outcome.repartitioned, &grid, 0.05).unwrap();
+    let dir = temp_dir("threads");
+    write_shards(&snap, &dir, &SplitOptions { shards: 5, replicas: 1 }, Pool::global()).unwrap();
+    // scatter_only: the fused fast path never touches the pool, so only
+    // the scatter fan-out could conceivably observe the thread count.
+    let open = |threads: usize| {
+        let config = RouterConfig {
+            pool: Some(Arc::new(Pool::new(threads))),
+            scatter_only: true,
+            ..RouterConfig::default()
+        };
+        ShardRouter::open(dir.join("manifest.txt"), config).unwrap()
+    };
+    let (serial, par) = (open(1), open(8));
+    let b = snap.bounds();
+    let mut rng = Rng(0xDEAD_BEEF);
+    for _ in 0..10 {
+        let la = b.lat_min + rng.frac() * (b.lat_max - b.lat_min);
+        let lo = b.lon_min + rng.frac() * (b.lon_max - b.lon_min);
+        assert_eq!(serial.point(la, lo).unwrap().value, par.point(la, lo).unwrap().value);
+        let w0 = serial.window(b.lat_min, la, b.lon_min, lo).unwrap();
+        let w1 = par.window(b.lat_min, la, b.lon_min, lo).unwrap();
+        assert_eq!(w0.value, w1.value);
+        assert_eq!(
+            knn_bits(&serial.knn(la, lo, 9).unwrap().value),
+            knn_bits(&par.knn(la, lo, 9).unwrap().value)
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
