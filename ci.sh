@@ -45,6 +45,17 @@ SR_THREADS=1 cargo test -q --offline --test shard_property
 echo "==> shard property (SR_THREADS=4)"
 SR_THREADS=4 cargo test -q --offline --test shard_property
 
+# The snapshot-format compat suite (crates/sr-serve/tests/prop_v2.rs):
+# v1 and v2 files answer every query bit-identically, v1 -> v2 -> v1
+# migration is byte-identical, and truncating anywhere / flipping any
+# byte of a v2 file is rejected (docs/SNAPSHOT_FORMAT.md). Runs inside
+# the workspace passes too; pinned here at both thread counts.
+echo "==> snapshot v1/v2 compat (SR_THREADS=1)"
+SR_THREADS=1 cargo test -q --offline -p sr-serve --test prop_v2
+
+echo "==> snapshot v1/v2 compat (SR_THREADS=4)"
+SR_THREADS=4 cargo test -q --offline -p sr-serve --test prop_v2
+
 # Bench smoke: every bench target builds and runs each body exactly once
 # (SR_BENCH_SMOKE=1 skips calibration and suppresses JSON export, so the
 # checked-in BENCH_*.json artifacts are untouched). A panic in any bench —

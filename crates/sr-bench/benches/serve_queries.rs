@@ -1,14 +1,19 @@
 //! Serving-path benchmarks on a paper-scale (≈36k-cell) snapshot:
-//! snapshot encode/decode, query-engine construction, and the three online
-//! query kinds. Results are exported to `BENCH_serve.json` at the
-//! workspace root.
+//! snapshot encode/decode for both `sr-snap` formats, query-engine
+//! construction (v1 owned build vs v2 validate-and-borrow), and the three
+//! online query kinds. Results are exported to `BENCH_serve.json` at the
+//! workspace root; `prior/`-prefixed rows keep the v1 startup numbers the
+//! v2 rows are compared against in `docs/PERFORMANCE.md`.
 //!
 //! Run: `cargo bench -p sr-bench --bench serve_queries`
 
 use criterion::{black_box, Criterion};
 use sr_core::{IterationStrategy, RepartitionConfig, Repartitioner};
 use sr_datasets::{Dataset, GridSize};
-use sr_serve::{snapshot_from_bytes, snapshot_to_bytes, QueryEngine, Snapshot};
+use sr_serve::{
+    snapshot_from_bytes, snapshot_to_bytes, snapshot_to_bytes_v2, snapshot_v2_from_bytes,
+    QueryEngine, Snapshot,
+};
 
 fn main() {
     let size = GridSize::Cells36k;
@@ -34,7 +39,8 @@ fn main() {
     );
     let snap = Snapshot::build(rep, &grid, theta).unwrap();
     let bytes = snapshot_to_bytes(&snap);
-    println!("snapshot: {} bytes\n", bytes.len());
+    let bytes_v2 = snapshot_to_bytes_v2(&snap);
+    println!("snapshot: {} bytes v1, {} bytes v2\n", bytes.len(), bytes_v2.len());
     let engine = QueryEngine::new(snap.clone());
     let b = grid.bounds();
     let (lat, lon) = grid.cell_centroid(grid.cell_id(grid.rows() / 2, grid.cols() / 2));
@@ -57,6 +63,18 @@ fn main() {
     });
     c.bench_function("query_engine_build_36k", |bench| {
         bench.iter(|| QueryEngine::new(black_box(snap.clone())))
+    });
+    // v2 startup path: encode, validate (the whole load-time cost), and
+    // borrowed-engine construction on top of a validated buffer.
+    c.bench_function("snapshot_encode_v2_36k", |bench| {
+        bench.iter(|| snapshot_to_bytes_v2(black_box(&snap)))
+    });
+    c.bench_function("snapshot_validate_v2_36k", |bench| {
+        bench.iter(|| snapshot_v2_from_bytes(black_box(&bytes_v2)).unwrap())
+    });
+    let v2 = snapshot_v2_from_bytes(&bytes_v2).unwrap();
+    c.bench_function("engine_build_v2_36k", |bench| {
+        bench.iter(|| QueryEngine::from_v2(black_box(v2.clone())))
     });
     c.bench_function("point_query", |bench| {
         bench.iter(|| engine.point(black_box(lat), black_box(lon)))

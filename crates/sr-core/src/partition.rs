@@ -13,7 +13,12 @@ pub type GroupId = u32;
 /// the group ↔ cell mapping four integers, keeps adjacency computation
 /// boundary-only (Algorithm 3), and lets kriging feature vectors carry a
 /// fixed number of vertices.
+///
+/// `#[repr(C)]` (four `u32`s, 16 bytes, no padding): the sr-snap v2
+/// snapshot format stores the partition section as this exact layout so
+/// a validated `&[u8]` can be served as `&[GroupRect]` without decoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(C)]
 pub struct GroupRect {
     /// First row (`rBeg`).
     pub r0: u32,

@@ -6,7 +6,11 @@
 //! same file requested at a different budget is a different logical
 //! snapshot — and evicts the least recently used entry once `capacity`
 //! is exceeded. Engines are handed out as `Arc`s, so an eviction never
-//! invalidates in-flight queries.
+//! invalidates in-flight queries. Loads go through
+//! [`crate::load_engine_with`], so either snapshot format serves: v1
+//! files decode into the owned engine, v2 files validate in place and
+//! serve borrowed, which makes cache misses and reloads a
+//! section-validation pass instead of a full decode + engine build.
 //!
 //! ## Reload and degradation
 //!
@@ -30,7 +34,7 @@
 //! accessors here — the two can never disagree.
 
 use crate::query::QueryEngine;
-use crate::snapshot::load_snapshot_with;
+use crate::v2::load_engine_with;
 use crate::Result;
 use sr_fault::{Backoff, FaultPlan};
 use sr_obs::{Counter, Registry};
@@ -179,8 +183,8 @@ impl SnapshotCache {
         let mut attempt = 0;
         loop {
             attempt += 1;
-            match load_snapshot_with(path, self.fault_plan.as_ref()) {
-                Ok(snap) => return Ok(Arc::new(QueryEngine::new(snap))),
+            match load_engine_with(path, self.fault_plan.as_ref()) {
+                Ok(engine) => return Ok(Arc::new(engine)),
                 Err(e) if attempt >= self.reload.attempts.max(1) => return Err(e),
                 Err(_) => std::thread::sleep(backoff.next_delay()),
             }

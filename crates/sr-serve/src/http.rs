@@ -337,7 +337,7 @@ impl QueryBackend for EngineBackend {
         lon1: f64,
     ) -> BackendResult<(Vec<String>, WindowAnswer)> {
         let served = self.resolve()?;
-        let names = served.engine.snapshot().attr_names().to_vec();
+        let names = served.engine.attr_names().to_vec();
         Ok(BackendAnswer {
             value: (names, served.engine.window(lat0, lat1, lon0, lon1)),
             stale: served.stale,
@@ -358,7 +358,7 @@ impl QueryBackend for EngineBackend {
         let served = self.resolve()?;
         let st = served.engine.stats();
         let names: Vec<String> =
-            served.engine.snapshot().attr_names().iter().map(|n| json_string(n)).collect();
+            served.engine.attr_names().iter().map(|n| json_string(n)).collect();
         let fields = format!(
             "\"rows\":{},\"cols\":{},\"cells\":{},\"valid_cells\":{},\"groups\":{},\
              \"valid_groups\":{},\"attrs\":{},\"attr_names\":[{}],\"theta\":{},\"ifl\":{},\

@@ -19,6 +19,13 @@
 //!
 //! The index is a pure function of the partition, so engines built from
 //! the same snapshot carry identical indexes at any thread count.
+//!
+//! Storage is three flat arrays — `entries`, `nodes` (all levels
+//! concatenated, leaves first), `level_offsets` — so the sr-snap v2
+//! format can serialize the index verbatim and serve it *borrowed*: the
+//! query algorithms live on [`RectIndexView`], which works equally over
+//! the owned arrays or over slices cast straight out of a validated
+//! snapshot section.
 
 use sr_core::GroupRect;
 use std::cmp::Ordering;
@@ -26,25 +33,36 @@ use std::collections::BinaryHeap;
 
 /// Entries per node. Small enough that a leaf scan stays in cache, big
 /// enough that the tree is shallow (36k groups → 3 levels).
-const FANOUT: usize = 16;
+pub(crate) const FANOUT: usize = 16;
 
 /// One packed node: the closed cell-space box of its member rectangles,
 /// the closed geo-space box of its member centroids, and the run of
 /// curve-ordered entries it covers.
-#[derive(Debug, Clone)]
-struct Node {
-    r0: u32,
-    r1: u32,
-    c0: u32,
-    c1: u32,
-    lat_min: f64,
-    lat_max: f64,
-    lon_min: f64,
-    lon_max: f64,
-    /// Covered run: entry indices at level 0, child-node indices above.
-    start: u32,
-    end: u32,
+///
+/// `#[repr(C)]` with the four `f64` boxes first: 32 bytes of `f64`
+/// followed by 24 bytes of `u32` — 56 bytes, align 8, no padding — so a
+/// `&[Node]` can be reinterpreted as the bytes of a v2 snapshot section
+/// and back.
+#[derive(Debug, Clone, Copy)]
+#[repr(C)]
+pub(crate) struct Node {
+    pub(crate) lat_min: f64,
+    pub(crate) lat_max: f64,
+    pub(crate) lon_min: f64,
+    pub(crate) lon_max: f64,
+    pub(crate) r0: u32,
+    pub(crate) r1: u32,
+    pub(crate) c0: u32,
+    pub(crate) c1: u32,
+    /// Covered run: entry indices at level 0, child-node indices above
+    /// (both relative to the start of the child level).
+    pub(crate) start: u32,
+    pub(crate) end: u32,
 }
+
+// The v2 section cast in `v2.rs` relies on this exact layout.
+const _: () = assert!(std::mem::size_of::<Node>() == 56);
+const _: () = assert!(std::mem::align_of::<Node>() == 8);
 
 impl Node {
     fn intersects_cells(&self, r_lo: u32, r_hi: u32, c_lo: u32, c_hi: u32) -> bool {
@@ -71,15 +89,30 @@ impl Node {
     }
 }
 
-/// The packed index: group ids in Hilbert order plus one `Vec<Node>` per
-/// level, leaves first. See the module docs for the construction.
+/// The packed index in flat storage: group ids in Hilbert order, every
+/// level's nodes concatenated leaves-first, and the per-level offsets
+/// into that node array. See the module docs for the construction.
 #[derive(Debug, Clone)]
 pub(crate) struct RectIndex {
     /// Group ids sorted by (Hilbert key of rectangle center, id).
-    entries: Vec<u32>,
-    /// `levels[0]` covers runs of `entries`; `levels[k+1]` covers runs of
-    /// `levels[k]`. The last level always has a single root node.
-    levels: Vec<Vec<Node>>,
+    pub(crate) entries: Vec<u32>,
+    /// All levels concatenated: level `k` occupies
+    /// `nodes[level_offsets[k] .. level_offsets[k + 1]]`. Level 0 covers
+    /// runs of `entries`; level `k + 1` covers runs of level `k`. The
+    /// last level always has a single root node.
+    pub(crate) nodes: Vec<Node>,
+    /// `num_levels + 1` offsets into `nodes`; `level_offsets[0] == 0`.
+    pub(crate) level_offsets: Vec<u32>,
+}
+
+/// Borrowed form of [`RectIndex`]: the query algorithms live here so
+/// they run identically over owned arrays and over slices cast out of a
+/// validated v2 snapshot section.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RectIndexView<'a> {
+    pub(crate) entries: &'a [u32],
+    pub(crate) nodes: &'a [Node],
+    pub(crate) level_offsets: &'a [u32],
 }
 
 /// Best-first queue item: a node (`group == None`) or a leaf group.
@@ -186,72 +219,111 @@ impl KBest {
     }
 }
 
+/// The Hilbert key of a rectangle's center — the primary key of the
+/// entry order (ties broken by ascending group id).
+pub(crate) fn entry_sort_key(rect: &GroupRect, rows: usize, cols: usize) -> u64 {
+    let center_r = (rect.r0 + rect.r1 + 1) as f64 / 2.0;
+    let center_c = (rect.c0 + rect.c1 + 1) as f64 / 2.0;
+    sr_grid::hilbert_key_scaled(center_r, center_c, rows, cols)
+}
+
+/// Boxes `entries` (already in curve order) into the packed level
+/// structure. Split out from [`RectIndex::build`] so a v2 snapshot
+/// loader can recompute the expected nodes for a stored entry order and
+/// compare them bit-for-bit without re-sorting.
+pub(crate) fn pack_levels(
+    entries: &[u32],
+    rects: &[GroupRect],
+    centroids: &[[f64; 2]],
+) -> (Vec<Node>, Vec<u32>) {
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut level_offsets: Vec<u32> = vec![0];
+    // Level 0: box up runs of FANOUT entries.
+    let mut level: Vec<Node> = entries
+        .chunks(FANOUT)
+        .enumerate()
+        .map(|(i, run)| {
+            let mut node = empty_node((i * FANOUT) as u32, (i * FANOUT + run.len()) as u32);
+            for &g in run {
+                let rect = &rects[g as usize];
+                let [clat, clon] = centroids[g as usize];
+                node.r0 = node.r0.min(rect.r0);
+                node.r1 = node.r1.max(rect.r1);
+                node.c0 = node.c0.min(rect.c0);
+                node.c1 = node.c1.max(rect.c1);
+                node.lat_min = node.lat_min.min(clat);
+                node.lat_max = node.lat_max.max(clat);
+                node.lon_min = node.lon_min.min(clon);
+                node.lon_max = node.lon_max.max(clon);
+            }
+            node
+        })
+        .collect();
+    // Upper levels: box up runs of FANOUT child nodes until one root
+    // run remains.
+    while level.len() > 1 {
+        let parent: Vec<Node> = level
+            .chunks(FANOUT)
+            .enumerate()
+            .map(|(i, run)| {
+                let mut node = empty_node((i * FANOUT) as u32, (i * FANOUT + run.len()) as u32);
+                for child in run {
+                    node.r0 = node.r0.min(child.r0);
+                    node.r1 = node.r1.max(child.r1);
+                    node.c0 = node.c0.min(child.c0);
+                    node.c1 = node.c1.max(child.c1);
+                    node.lat_min = node.lat_min.min(child.lat_min);
+                    node.lat_max = node.lat_max.max(child.lat_max);
+                    node.lon_min = node.lon_min.min(child.lon_min);
+                    node.lon_max = node.lon_max.max(child.lon_max);
+                }
+                node
+            })
+            .collect();
+        nodes.extend_from_slice(&level);
+        level_offsets.push(nodes.len() as u32);
+        level = parent;
+    }
+    nodes.extend_from_slice(&level);
+    level_offsets.push(nodes.len() as u32);
+    (nodes, level_offsets)
+}
+
 impl RectIndex {
     /// Packs an index over `rects` (one per group, tiling a
     /// `rows × cols` grid) with `centroids` as each group's geo-space
     /// point.
     pub(crate) fn build(
         rects: &[GroupRect],
-        centroids: &[(f64, f64)],
+        centroids: &[[f64; 2]],
         rows: usize,
         cols: usize,
     ) -> RectIndex {
         let mut entries: Vec<u32> = (0..rects.len() as u32).collect();
-        entries.sort_by_key(|&g| {
-            let rect = &rects[g as usize];
-            let center_r = (rect.r0 + rect.r1 + 1) as f64 / 2.0;
-            let center_c = (rect.c0 + rect.c1 + 1) as f64 / 2.0;
-            (sr_grid::hilbert_key_scaled(center_r, center_c, rows, cols), g)
-        });
+        // Cache the Hilbert keys: the key derivation walks the curve
+        // levels and would otherwise run once per comparison.
+        entries.sort_by_cached_key(|&g| (entry_sort_key(&rects[g as usize], rows, cols), g));
+        let (nodes, level_offsets) = pack_levels(&entries, rects, centroids);
+        RectIndex { entries, nodes, level_offsets }
+    }
 
-        // Level 0: box up runs of FANOUT entries.
-        let mut levels: Vec<Vec<Node>> = Vec::new();
-        let mut level: Vec<Node> = entries
-            .chunks(FANOUT)
-            .enumerate()
-            .map(|(i, run)| {
-                let mut node = empty_node((i * FANOUT) as u32, (i * FANOUT + run.len()) as u32);
-                for &g in run {
-                    let rect = &rects[g as usize];
-                    let (clat, clon) = centroids[g as usize];
-                    node.r0 = node.r0.min(rect.r0);
-                    node.r1 = node.r1.max(rect.r1);
-                    node.c0 = node.c0.min(rect.c0);
-                    node.c1 = node.c1.max(rect.c1);
-                    node.lat_min = node.lat_min.min(clat);
-                    node.lat_max = node.lat_max.max(clat);
-                    node.lon_min = node.lon_min.min(clon);
-                    node.lon_max = node.lon_max.max(clon);
-                }
-                node
-            })
-            .collect();
-        // Upper levels: box up runs of FANOUT child nodes until one root
-        // run remains.
-        while level.len() > 1 {
-            let parent: Vec<Node> = level
-                .chunks(FANOUT)
-                .enumerate()
-                .map(|(i, run)| {
-                    let mut node = empty_node((i * FANOUT) as u32, (i * FANOUT + run.len()) as u32);
-                    for child in run {
-                        node.r0 = node.r0.min(child.r0);
-                        node.r1 = node.r1.max(child.r1);
-                        node.c0 = node.c0.min(child.c0);
-                        node.c1 = node.c1.max(child.c1);
-                        node.lat_min = node.lat_min.min(child.lat_min);
-                        node.lat_max = node.lat_max.max(child.lat_max);
-                        node.lon_min = node.lon_min.min(child.lon_min);
-                        node.lon_max = node.lon_max.max(child.lon_max);
-                    }
-                    node
-                })
-                .collect();
-            levels.push(level);
-            level = parent;
+    /// Borrowed view carrying the query algorithms.
+    pub(crate) fn view(&self) -> RectIndexView<'_> {
+        RectIndexView {
+            entries: &self.entries,
+            nodes: &self.nodes,
+            level_offsets: &self.level_offsets,
         }
-        levels.push(level);
-        RectIndex { entries, levels }
+    }
+}
+
+impl<'a> RectIndexView<'a> {
+    fn num_levels(&self) -> usize {
+        self.level_offsets.len() - 1
+    }
+
+    fn level(&self, lvl: usize) -> &'a [Node] {
+        &self.nodes[self.level_offsets[lvl] as usize..self.level_offsets[lvl + 1] as usize]
     }
 
     /// Group ids whose rectangles intersect the closed cell range AND
@@ -275,19 +347,19 @@ impl RectIndex {
         out: &mut Vec<u32>,
     ) {
         let mark = out.len();
-        let top = self.levels.len() - 1;
+        let top = self.num_levels() - 1;
         // Depth-first walk with an explicit stack of (level, node index).
         // A node at level L is packed, so node i covers exactly the entry
         // positions [i * FANOUT^(L+1), (i+1) * FANOUT^(L+1)) ∩ [0, n).
         let mut stack: Vec<(usize, u32)> =
-            (0..self.levels[top].len() as u32).map(|i| (top, i)).collect();
+            (0..self.level(top).len() as u32).map(|i| (top, i)).collect();
         while let Some((lvl, i)) = stack.pop() {
             let span = FANOUT.pow(lvl as u32 + 1);
             let node_lo = i as usize * span;
             if node_lo >= pos_hi || node_lo + span <= pos_lo {
                 continue;
             }
-            let node = &self.levels[lvl][i as usize];
+            let node = &self.level(lvl)[i as usize];
             if !node.intersects_cells(r_lo, r_hi, c_lo, c_hi) {
                 continue;
             }
@@ -322,7 +394,7 @@ impl RectIndex {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn nearest_in_range(
         &self,
-        centroids: &[(f64, f64)],
+        centroids: &[[f64; 2]],
         lat: f64,
         lon: f64,
         k: usize,
@@ -342,8 +414,8 @@ impl RectIndex {
         };
         let mut best = KBest::new(k);
         let mut queue: BinaryHeap<QueueItem> = BinaryHeap::new();
-        let top = self.levels.len() - 1;
-        for (i, node) in self.levels[top].iter().enumerate() {
+        let top = self.num_levels() - 1;
+        for (i, node) in self.level(top).iter().enumerate() {
             if !in_range(top, i as u32) {
                 continue;
             }
@@ -368,7 +440,7 @@ impl RectIndex {
                     }
                 }
                 None => {
-                    let node = &self.levels[item.level][item.index as usize];
+                    let node = &self.level(item.level)[item.index as usize];
                     if item.level == 0 {
                         let lo = (node.start as usize).max(pos_lo);
                         let hi = (node.end as usize).min(pos_hi);
@@ -376,7 +448,7 @@ impl RectIndex {
                             if !featured(g) {
                                 continue;
                             }
-                            let (clat, clon) = centroids[g as usize];
+                            let [clat, clon] = centroids[g as usize];
                             let d2 = (clat - lat) * (clat - lat) + (clon - lon) * (clon - lon);
                             queue.push(QueueItem { d2, group: Some(g), level: 0, index: g });
                         }
@@ -385,7 +457,7 @@ impl RectIndex {
                             if !in_range(item.level - 1, child) {
                                 continue;
                             }
-                            let child_node = &self.levels[item.level - 1][child as usize];
+                            let child_node = &self.level(item.level - 1)[child as usize];
                             queue.push(QueueItem {
                                 d2: child_node.mindist2(lat, lon),
                                 group: None,
@@ -403,14 +475,14 @@ impl RectIndex {
 
 fn empty_node(start: u32, end: u32) -> Node {
     Node {
-        r0: u32::MAX,
-        r1: 0,
-        c0: u32::MAX,
-        c1: 0,
         lat_min: f64::INFINITY,
         lat_max: f64::NEG_INFINITY,
         lon_min: f64::INFINITY,
         lon_max: f64::NEG_INFINITY,
+        r0: u32::MAX,
+        r1: 0,
+        c0: u32::MAX,
+        c1: 0,
         start,
         end,
     }
@@ -422,13 +494,13 @@ mod tests {
 
     /// A synthetic partition: `side × side` unit rects, centroid = cell
     /// center in a unit geo square.
-    fn unit_grid(side: usize) -> (Vec<GroupRect>, Vec<(f64, f64)>) {
+    fn unit_grid(side: usize) -> (Vec<GroupRect>, Vec<[f64; 2]>) {
         let mut rects = Vec::new();
         let mut centroids = Vec::new();
         for r in 0..side {
             for c in 0..side {
                 rects.push(GroupRect { r0: r as u32, r1: r as u32, c0: c as u32, c1: c as u32 });
-                centroids.push(((r as f64 + 0.5) / side as f64, (c as f64 + 0.5) / side as f64));
+                centroids.push([(r as f64 + 0.5) / side as f64, (c as f64 + 0.5) / side as f64]);
             }
         }
         (rects, centroids)
@@ -442,7 +514,16 @@ mod tests {
             [(0, 19, 0, 19), (3, 7, 5, 11), (19, 19, 0, 0), (8, 8, 8, 8)]
         {
             let mut got = Vec::new();
-            index.intersecting_in_range(&rects, r_lo, r_hi, c_lo, c_hi, 0, rects.len(), &mut got);
+            index.view().intersecting_in_range(
+                &rects,
+                r_lo,
+                r_hi,
+                c_lo,
+                c_hi,
+                0,
+                rects.len(),
+                &mut got,
+            );
             let want: Vec<u32> = (0..rects.len() as u32)
                 .filter(|&g| {
                     let rect = &rects[g as usize];
@@ -461,7 +542,9 @@ mod tests {
         for (r_lo, r_hi, c_lo, c_hi) in [(0u32, 19u32, 0u32, 19u32), (3, 7, 5, 11), (8, 8, 8, 8)] {
             for (lo, hi) in [(0usize, n), (0, 100), (100, 257), (n - 1, n), (13, 14), (5, 5)] {
                 let mut got = Vec::new();
-                index.intersecting_in_range(&rects, r_lo, r_hi, c_lo, c_hi, lo, hi, &mut got);
+                index
+                    .view()
+                    .intersecting_in_range(&rects, r_lo, r_hi, c_lo, c_hi, lo, hi, &mut got);
                 let mut want: Vec<u32> = index.entries[lo..hi]
                     .iter()
                     .copied()
@@ -484,14 +567,15 @@ mod tests {
         for (lat, lon) in [(0.5, 0.5), (0.0, 0.0), (2.0, -1.0), (f64::NAN, 0.5)] {
             for (lo, hi) in [(0usize, n), (0, 100), (100, 257), (n - 1, n), (13, 14), (5, 5)] {
                 for k in [1usize, 7, 500] {
-                    let got =
-                        index.nearest_in_range(&centroids, lat, lon, k, lo, hi, |g| g % 2 == 0);
+                    let got = index
+                        .view()
+                        .nearest_in_range(&centroids, lat, lon, k, lo, hi, |g| g % 2 == 0);
                     let mut want: Vec<(f64, u32)> = index.entries[lo..hi]
                         .iter()
                         .copied()
                         .filter(|&g| g % 2 == 0)
                         .map(|g| {
-                            let (clat, clon) = centroids[g as usize];
+                            let [clat, clon] = centroids[g as usize];
                             ((clat - lat) * (clat - lat) + (clon - lon) * (clon - lon), g)
                         })
                         .collect();
@@ -516,11 +600,13 @@ mod tests {
             for k in [1usize, 5, 13, 400] {
                 // Only even group ids are "featured".
                 let got =
-                    index.nearest_in_range(&centroids, lat, lon, k, 0, rects.len(), |g| g % 2 == 0);
+                    index
+                        .view()
+                        .nearest_in_range(&centroids, lat, lon, k, 0, rects.len(), |g| g % 2 == 0);
                 let mut want: Vec<(f64, u32)> = (0..rects.len() as u32)
                     .filter(|g| g % 2 == 0)
                     .map(|g| {
-                        let (clat, clon) = centroids[g as usize];
+                        let [clat, clon] = centroids[g as usize];
                         ((clat - lat) * (clat - lat) + (clon - lon) * (clon - lon), g)
                     })
                     .collect();
@@ -533,5 +619,20 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn flat_levels_are_leaves_first_and_root_is_single() {
+        let (rects, centroids) = unit_grid(20);
+        let index = RectIndex::build(&rects, &centroids, 20, 20);
+        let view = index.view();
+        // 400 entries → 25 leaves → 2 mid → ... wait, 25 leaves / 16 →
+        // 2 nodes → 1 root: three levels.
+        assert_eq!(view.num_levels(), 3);
+        assert_eq!(view.level(0).len(), 25);
+        assert_eq!(view.level(1).len(), 2);
+        assert_eq!(view.level(2).len(), 1);
+        assert_eq!(index.level_offsets, vec![0, 25, 27, 28]);
+        assert_eq!(index.nodes.len(), 28);
     }
 }

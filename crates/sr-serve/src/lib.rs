@@ -4,11 +4,14 @@
 //! compact set of rectangular cell-groups under an information-loss budget
 //! `θ`. This crate is the online side: it freezes an accepted
 //! [`sr_core::Repartitioned`] result into a versioned, checksummed binary
-//! *snapshot* ([`snapshot`], format `sr-snap v1`), answers spatial queries
-//! against it at cell-group granularity ([`query`]) with exactly the §III-C
+//! *snapshot* — either the stream-decoded `sr-snap v1` ([`snapshot`]) or
+//! the zero-copy, section-mapped `sr-snap v2` ([`v2`]) that is validated
+//! once and then served borrowed — answers spatial queries against it at
+//! cell-group granularity ([`query`]) with exactly the §III-C
 //! reconstruction semantics, keeps recently used snapshots warm in an LRU
 //! cache ([`cache`]), and exposes the whole thing over a dependency-free
-//! HTTP/1.1 server ([`http`]).
+//! HTTP/1.1 server ([`http`]). `docs/SNAPSHOT_FORMAT.md` is the normative
+//! byte-level spec of both formats.
 //!
 //! The invariant tying the layers together: for any cell, the value served
 //! by [`query::QueryEngine`] is bit-identical to the value
@@ -54,6 +57,7 @@ pub mod http;
 mod index;
 pub mod query;
 pub mod snapshot;
+pub mod v2;
 
 pub use cache::{ReloadPolicy, Served, SnapshotCache};
 pub use http::{
@@ -69,6 +73,11 @@ pub use snapshot::{
 };
 pub use sr_fault::{Backoff, FaultPlan};
 pub use sr_obs::Registry;
+pub use v2::{
+    engine_from_bytes, load_engine, load_engine_with, migrate_snapshot_bytes, peek_version,
+    save_snapshot_v2, save_snapshot_v2_with, section_table, snapshot_to_bytes_v2,
+    snapshot_v2_from_aligned, snapshot_v2_from_bytes, AlignedBytes, SectionInfo, SnapshotV2,
+};
 
 /// Errors from the serving layer.
 #[derive(Debug)]

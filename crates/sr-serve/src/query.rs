@@ -8,11 +8,29 @@
 //! [`sr_core::representative`] function as [`sr_core::reconstruct_grid`],
 //! so a served value is bit-identical to the reconstructed grid's value
 //! for the same cell.
+//!
+//! ## Two representations, one answer
+//!
+//! The engine serves from either of two internal representations:
+//!
+//! - **Owned** ([`QueryEngine::new`]): a decoded [`Snapshot`] plus the
+//!   derived serving data (`Derived`) computed at build time.
+//! - **Borrowed** ([`QueryEngine::from_v2`]): a validated sr-snap v2
+//!   buffer ([`SnapshotV2`]) whose sections — including the precomputed
+//!   representatives, centroids, and rectangle index — are served as
+//!   typed slices straight out of the snapshot bytes, with no decode
+//!   allocation.
+//!
+//! Every query routes through the same accessor layer, and v2
+//! validation proves the stored derived sections bit-equal to what
+//! `Derived` would compute, so the two representations answer every
+//! point/window/knn query bit-identically (`docs/SNAPSHOT_FORMAT.md`).
 
-use crate::index::RectIndex;
+use crate::index::{RectIndex, RectIndexView};
 use crate::snapshot::Snapshot;
-use sr_core::{representative, GroupId};
-use sr_grid::CellId;
+use crate::v2::SnapshotV2;
+use sr_core::{representative, GroupId, GroupRect, Partition};
+use sr_grid::{AdjacencyList, AggType, Bounds, CellId};
 
 /// Answer to a point lookup.
 #[derive(Debug, Clone, PartialEq)]
@@ -175,94 +193,379 @@ pub struct Stats {
     pub cell_reduction: f64,
 }
 
-/// A query engine over one snapshot, with precomputed per-group
-/// representatives and centroids.
+/// Serving data derived from a snapshot: valid-member counts, dense
+/// per-(group, attribute) representatives, geographic centroids, and the
+/// packed rectangle index.
+///
+/// This is the *single* derivation path: the owned engine computes it at
+/// build time, and the v2 encoder serializes exactly these arrays into
+/// the snapshot's derived sections (which v2 validation then proves
+/// bit-equal on load). One code path → bit-identical serving from both
+/// representations.
 #[derive(Debug, Clone)]
-pub struct QueryEngine {
-    snapshot: Snapshot,
+pub(crate) struct Derived {
     /// Valid-member count per group (the §III-C divisor for `Sum`).
-    valid_counts: Vec<usize>,
-    /// `reps[g][k]`: the representative value every valid member cell of
-    /// group `g` carries for attribute `k`; `None` for null groups.
-    reps: Vec<Option<Vec<f64>>>,
+    pub(crate) valid_counts: Vec<u32>,
+    /// Dense `t × p` representatives, row-major by group; rows of null
+    /// groups are all-zero bits.
+    pub(crate) reps: Vec<f64>,
     /// Geographic centroid per group rectangle.
-    centroids: Vec<(f64, f64)>,
-    /// Hilbert-sorted packed rectangle index over the group bounds, so
-    /// window/knn queries prune instead of scanning every group.
-    index: RectIndex,
+    pub(crate) centroids: Vec<[f64; 2]>,
+    /// Hilbert-sorted packed rectangle index over the group bounds.
+    pub(crate) index: RectIndex,
 }
 
-impl QueryEngine {
-    /// Builds the engine, precomputing representatives for every group.
-    pub fn new(snapshot: Snapshot) -> Self {
+impl Derived {
+    /// Computes the serving data for `snapshot`.
+    pub(crate) fn compute(snapshot: &Snapshot) -> Derived {
         let partition = snapshot.partition();
         let t = partition.num_groups();
-        let mut valid_counts = vec![0usize; t];
+        let p = snapshot.num_attrs();
+        let mut valid_counts = vec![0u32; t];
         for (cell, &v) in snapshot.valid_mask().iter().enumerate() {
             if v {
                 valid_counts[partition.group_of(cell as CellId) as usize] += 1;
             }
         }
         let aggs = snapshot.agg_types();
-        let reps: Vec<Option<Vec<f64>>> = snapshot
-            .features()
-            .iter()
-            .enumerate()
-            .map(|(g, fv)| {
-                fv.as_ref().map(|fv| {
-                    fv.iter()
-                        .enumerate()
-                        .map(|(k, &v)| representative(v, aggs[k], valid_counts[g]))
-                        .collect()
-                })
-            })
-            .collect();
+        let mut reps = vec![0.0f64; t * p];
+        for (g, fv) in snapshot.features().iter().enumerate() {
+            if let Some(fv) = fv {
+                for (k, &v) in fv.iter().enumerate() {
+                    reps[g * p + k] = representative(v, aggs[k], valid_counts[g] as usize);
+                }
+            }
+        }
         let bounds = snapshot.bounds();
-        let lat_step = (bounds.lat_max - bounds.lat_min) / snapshot.rows() as f64;
-        let lon_step = (bounds.lon_max - bounds.lon_min) / snapshot.cols() as f64;
-        let centroids: Vec<(f64, f64)> = partition
+        let centroids: Vec<[f64; 2]> = partition
             .rects()
             .iter()
-            .map(|rect| {
-                (
-                    bounds.lat_min + (rect.r0 + rect.r1 + 1) as f64 / 2.0 * lat_step,
-                    bounds.lon_min + (rect.c0 + rect.c1 + 1) as f64 / 2.0 * lon_step,
-                )
-            })
+            .map(|rect| centroid_of(rect, bounds, snapshot.rows(), snapshot.cols()))
             .collect();
         let index =
             RectIndex::build(partition.rects(), &centroids, snapshot.rows(), snapshot.cols());
-        QueryEngine { snapshot, valid_counts, reps, centroids, index }
+        Derived { valid_counts, reps, centroids, index }
+    }
+}
+
+/// The geographic centroid of a group rectangle — the exact expression
+/// both [`Derived::compute`] and v2 section validation evaluate, so the
+/// stored and recomputed centroids compare bit-for-bit.
+pub(crate) fn centroid_of(rect: &GroupRect, bounds: Bounds, rows: usize, cols: usize) -> [f64; 2] {
+    let lat_step = (bounds.lat_max - bounds.lat_min) / rows as f64;
+    let lon_step = (bounds.lon_max - bounds.lon_min) / cols as f64;
+    [
+        bounds.lat_min + (rect.r0 + rect.r1 + 1) as f64 / 2.0 * lat_step,
+        bounds.lon_min + (rect.c0 + rect.c1 + 1) as f64 / 2.0 * lon_step,
+    ]
+}
+
+/// Owned representation: a decoded snapshot plus its derived serving
+/// data.
+#[derive(Debug, Clone)]
+struct OwnedRepr {
+    snapshot: Snapshot,
+    derived: Derived,
+}
+
+/// The engine's internal representation (see the module docs).
+#[derive(Debug, Clone)]
+enum Repr {
+    Owned(Box<OwnedRepr>),
+    V2(Box<SnapshotV2>),
+}
+
+/// A query engine over one snapshot, with precomputed per-group
+/// representatives and centroids — decoded and owned (v1 path) or
+/// borrowed out of a validated sr-snap v2 buffer (zero-copy path).
+/// Identical answers either way.
+///
+/// ```
+/// use sr_serve::{QueryEngine, Snapshot};
+/// let grid = sr_grid::GridDataset::univariate(
+///     8, 8, (0..64).map(|i| 10.0 + (i % 8) as f64).collect(),
+/// ).unwrap();
+/// let out = sr_core::repartition(&grid, 0.1).unwrap();
+/// let snap = Snapshot::build(&out.repartitioned, &grid, 0.1).unwrap();
+/// let engine = QueryEngine::new(snap);
+/// assert_eq!(engine.stats().cells, 64);
+/// assert_eq!(engine.format_version(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    repr: Repr,
+}
+
+impl QueryEngine {
+    /// Builds an owned engine, precomputing representatives for every
+    /// group.
+    pub fn new(snapshot: Snapshot) -> Self {
+        let derived = Derived::compute(&snapshot);
+        QueryEngine { repr: Repr::Owned(Box::new(OwnedRepr { snapshot, derived })) }
     }
 
-    /// The underlying snapshot.
-    pub fn snapshot(&self) -> &Snapshot {
-        &self.snapshot
+    /// Wraps a validated sr-snap v2 buffer as a borrowed engine. No
+    /// allocation, no copies: every query serves typed slices straight
+    /// out of the snapshot bytes.
+    ///
+    /// ```
+    /// use sr_serve::{snapshot_to_bytes_v2, snapshot_v2_from_bytes, QueryEngine, Snapshot};
+    /// let grid = sr_grid::GridDataset::univariate(
+    ///     8, 8, (0..64).map(|i| 10.0 + (i % 8) as f64).collect(),
+    /// ).unwrap();
+    /// let out = sr_core::repartition(&grid, 0.1).unwrap();
+    /// let snap = Snapshot::build(&out.repartitioned, &grid, 0.1).unwrap();
+    /// let bytes = snapshot_to_bytes_v2(&snap);
+    /// let engine = QueryEngine::from_v2(snapshot_v2_from_bytes(&bytes).unwrap());
+    /// assert_eq!(engine.format_version(), 2);
+    /// assert_eq!(engine.stats(), QueryEngine::new(snap).stats());
+    /// ```
+    pub fn from_v2(snapshot: SnapshotV2) -> Self {
+        QueryEngine { repr: Repr::V2(Box::new(snapshot)) }
     }
+
+    /// The snapshot format version this engine serves from: `1` for the
+    /// owned (decoded) representation, `2` for the borrowed zero-copy
+    /// one.
+    pub fn format_version(&self) -> u16 {
+        match &self.repr {
+            Repr::Owned(_) => 1,
+            Repr::V2(_) => 2,
+        }
+    }
+
+    // -- accessor layer: every query below reads through these ---------
+
+    fn rows(&self) -> usize {
+        match &self.repr {
+            Repr::Owned(o) => o.snapshot.rows(),
+            Repr::V2(v) => v.rows(),
+        }
+    }
+
+    fn cols(&self) -> usize {
+        match &self.repr {
+            Repr::Owned(o) => o.snapshot.cols(),
+            Repr::V2(v) => v.cols(),
+        }
+    }
+
+    /// Total cells, `rows · cols`.
+    pub fn num_cells(&self) -> usize {
+        self.rows() * self.cols()
+    }
+
+    /// Attributes per cell.
+    pub fn num_attrs(&self) -> usize {
+        match &self.repr {
+            Repr::Owned(o) => o.snapshot.num_attrs(),
+            Repr::V2(v) => v.num_attrs(),
+        }
+    }
+
+    /// Total cell-groups.
+    pub fn num_groups(&self) -> usize {
+        match &self.repr {
+            Repr::Owned(o) => o.snapshot.partition().num_groups(),
+            Repr::V2(v) => v.num_groups(),
+        }
+    }
+
+    /// The loss budget `θ` the run was given.
+    pub fn theta(&self) -> f64 {
+        match &self.repr {
+            Repr::Owned(o) => o.snapshot.theta(),
+            Repr::V2(v) => v.theta(),
+        }
+    }
+
+    /// The achieved IFL of the frozen partition.
+    pub fn ifl(&self) -> f64 {
+        match &self.repr {
+            Repr::Owned(o) => o.snapshot.ifl(),
+            Repr::V2(v) => v.ifl(),
+        }
+    }
+
+    /// The accepted min-adjacent variation.
+    pub fn min_adjacent_variation(&self) -> f64 {
+        match &self.repr {
+            Repr::Owned(o) => o.snapshot.min_adjacent_variation(),
+            Repr::V2(v) => v.min_adjacent_variation(),
+        }
+    }
+
+    /// Geographic bounds of the grid.
+    pub fn bounds(&self) -> Bounds {
+        match &self.repr {
+            Repr::Owned(o) => o.snapshot.bounds(),
+            Repr::V2(v) => v.bounds(),
+        }
+    }
+
+    /// Attribute names.
+    pub fn attr_names(&self) -> &[String] {
+        match &self.repr {
+            Repr::Owned(o) => o.snapshot.attr_names(),
+            Repr::V2(v) => v.attr_names(),
+        }
+    }
+
+    /// Per-attribute aggregation types.
+    pub fn agg_types(&self) -> &[AggType] {
+        match &self.repr {
+            Repr::Owned(o) => o.snapshot.agg_types(),
+            Repr::V2(v) => v.agg_types(),
+        }
+    }
+
+    /// Per-attribute integer-typed flags.
+    pub fn integer_attrs(&self) -> &[bool] {
+        match &self.repr {
+            Repr::Owned(o) => o.snapshot.integer_attrs(),
+            Repr::V2(v) => v.integer_attrs(),
+        }
+    }
+
+    /// Whether `cell` is valid (non-null) in the original dataset.
+    pub fn cell_valid(&self, cell: CellId) -> bool {
+        match &self.repr {
+            Repr::Owned(o) => o.snapshot.valid_mask()[cell as usize],
+            Repr::V2(v) => v.cell_valid(cell),
+        }
+    }
+
+    /// The group containing `cell`.
+    pub fn group_of(&self, cell: CellId) -> GroupId {
+        match &self.repr {
+            Repr::Owned(o) => o.snapshot.partition().group_of(cell),
+            Repr::V2(v) => v.group_of(cell),
+        }
+    }
+
+    /// One group's rectangle.
+    pub fn group_rect(&self, g: GroupId) -> GroupRect {
+        self.rects()[g as usize]
+    }
+
+    fn rects(&self) -> &[GroupRect] {
+        match &self.repr {
+            Repr::Owned(o) => o.snapshot.partition().rects(),
+            Repr::V2(v) => v.rects(),
+        }
+    }
+
+    /// The group's *raw* allocated feature vector (Algorithm 2 output,
+    /// before the §III-C representative transform); `None` for null
+    /// groups.
+    pub fn feature(&self, g: GroupId) -> Option<&[f64]> {
+        match &self.repr {
+            Repr::Owned(o) => o.snapshot.features()[g as usize].as_deref(),
+            Repr::V2(v) => v.feature(g),
+        }
+    }
+
+    /// The group's representative vector; `None` for null groups.
+    fn rep(&self, g: GroupId) -> Option<&[f64]> {
+        match &self.repr {
+            Repr::Owned(o) => {
+                let p = o.snapshot.num_attrs();
+                o.snapshot.features()[g as usize]
+                    .is_some()
+                    .then(|| &o.derived.reps[g as usize * p..(g as usize + 1) * p])
+            }
+            Repr::V2(v) => v.rep(g),
+        }
+    }
+
+    fn featured(&self, g: GroupId) -> bool {
+        match &self.repr {
+            Repr::Owned(o) => o.snapshot.features()[g as usize].is_some(),
+            Repr::V2(v) => v.featured(g),
+        }
+    }
+
+    fn centroids(&self) -> &[[f64; 2]] {
+        match &self.repr {
+            Repr::Owned(o) => &o.derived.centroids,
+            Repr::V2(v) => v.centroids(),
+        }
+    }
+
+    fn index_view(&self) -> RectIndexView<'_> {
+        match &self.repr {
+            Repr::Owned(o) => o.derived.index.view(),
+            Repr::V2(v) => v.index_view(),
+        }
+    }
+
+    fn valid_counts_sum(&self) -> usize {
+        let counts: &[u32] = match &self.repr {
+            Repr::Owned(o) => &o.derived.valid_counts,
+            Repr::V2(v) => v.valid_counts(),
+        };
+        counts.iter().map(|&c| c as usize).sum()
+    }
+
+    // -- owned materialization -----------------------------------------
+
+    /// Materializes the engine's snapshot as an owned [`Snapshot`] —
+    /// a clone for the owned representation, a decode for the borrowed
+    /// one. This is the bridge for code that genuinely needs owned data
+    /// (shard splitting, engine fusing, v2 → v1 migration); the query
+    /// path never calls it.
+    pub fn to_snapshot(&self) -> Snapshot {
+        match &self.repr {
+            Repr::Owned(o) => o.snapshot.clone(),
+            Repr::V2(v) => v
+                .to_snapshot()
+                .expect("a validated v2 snapshot always materializes to a valid v1 snapshot"),
+        }
+    }
+
+    /// Clones the frozen partition out of the engine.
+    pub fn clone_partition(&self) -> Partition {
+        match &self.repr {
+            Repr::Owned(o) => o.snapshot.partition().clone(),
+            Repr::V2(v) => v.clone_partition(),
+        }
+    }
+
+    /// Clones the group adjacency lists out of the engine.
+    pub fn clone_adjacency(&self) -> AdjacencyList {
+        match &self.repr {
+            Repr::Owned(o) => o.snapshot.adjacency().clone(),
+            Repr::V2(v) => v.clone_adjacency(),
+        }
+    }
+
+    // -- queries --------------------------------------------------------
 
     /// Representative values of one cell — exactly what
     /// [`sr_core::reconstruct_grid`] would put there. `None` when the cell
     /// is null in the original dataset.
     pub fn cell_values(&self, cell: CellId) -> Option<&[f64]> {
-        if !self.snapshot.valid_mask()[cell as usize] {
+        if !self.cell_valid(cell) {
             return None;
         }
-        self.reps[self.snapshot.partition().group_of(cell) as usize].as_deref()
+        self.rep(self.group_of(cell))
     }
 
     /// Valid-member count of one group.
     pub fn valid_count(&self, g: GroupId) -> usize {
-        self.valid_counts[g as usize]
+        match &self.repr {
+            Repr::Owned(o) => o.derived.valid_counts[g as usize] as usize,
+            Repr::V2(v) => v.valid_counts()[g as usize] as usize,
+        }
     }
 
     /// Point lookup: maps `(lat, lon)` to its cell and serves the cell's
     /// representative values. `None` when the location falls outside the
     /// grid's bounds.
     pub fn point(&self, lat: f64, lon: f64) -> Option<PointAnswer> {
-        let (row, col) =
-            self.snapshot.bounds().locate(lat, lon, self.snapshot.rows(), self.snapshot.cols())?;
-        let cell = (row * self.snapshot.cols() + col) as CellId;
-        let group = self.snapshot.partition().group_of(cell);
+        let (row, col) = self.bounds().locate(lat, lon, self.rows(), self.cols())?;
+        let cell = (row * self.cols() + col) as CellId;
+        let group = self.group_of(cell);
         Some(PointAnswer {
             row,
             col,
@@ -283,15 +586,15 @@ impl QueryEngine {
     /// number of intersecting groups (found through the packed rectangle
     /// index), not cells.
     pub fn window(&self, lat_a: f64, lat_b: f64, lon_a: f64, lon_b: f64) -> WindowAnswer {
-        let p = self.snapshot.num_attrs();
-        let groups = self.snapshot.partition().num_groups();
+        let p = self.num_attrs();
+        let groups = self.num_groups();
         let Some((cells, parts)) = self.window_parts(lat_a, lat_b, lon_a, lon_b, 0, groups) else {
             return WindowAnswer::empty(p);
         };
         let mut out = WindowAnswer::empty(p);
         out.cells = cells;
         for (g, count) in parts {
-            out.fold_part(count, self.reps[g as usize].as_deref());
+            out.fold_part(count, self.rep(g));
         }
         out
     }
@@ -302,7 +605,7 @@ impl QueryEngine {
     /// whole answer is recovered by [`WindowAnswer::merge`]; a sharded
     /// deployment concatenates each shard's *owned* parts first.
     pub fn window_scatter(&self, lat_a: f64, lat_b: f64, lon_a: f64, lon_b: f64) -> WindowScatter {
-        let groups = self.snapshot.partition().num_groups();
+        let groups = self.num_groups();
         self.window_scatter_range(lat_a, lat_b, lon_a, lon_b, 0, groups)
     }
 
@@ -329,7 +632,7 @@ impl QueryEngine {
                     .map(|(g, count)| WindowGroupPart {
                         group: g,
                         count,
-                        values: self.reps[g as usize].clone(),
+                        values: self.rep(g).map(<[f64]>::to_vec),
                     })
                     .collect(),
             },
@@ -351,7 +654,7 @@ impl QueryEngine {
     ) -> Option<(usize, Vec<(GroupId, usize)>)> {
         let (lat_lo, lat_hi) = (lat_a.min(lat_b), lat_a.max(lat_b));
         let (lon_lo, lon_hi) = (lon_a.min(lon_b), lon_a.max(lon_b));
-        let b = self.snapshot.bounds();
+        let b = self.bounds();
         if lat_lo.is_nan()
             || lon_lo.is_nan()
             || lat_hi < b.lat_min
@@ -361,14 +664,14 @@ impl QueryEngine {
         {
             return None;
         }
-        let (rows, cols) = (self.snapshot.rows(), self.snapshot.cols());
+        let (rows, cols) = (self.rows(), self.cols());
         let (r_lo, c_lo) = b.locate_clamped(lat_lo, lon_lo, rows, cols);
         let (r_hi, c_hi) = b.locate_clamped(lat_hi, lon_hi, rows, cols);
         let cells = (r_hi - r_lo + 1) * (c_hi - c_lo + 1);
 
-        let rects = self.snapshot.partition().rects();
+        let rects = self.rects();
         let mut gids = Vec::new();
-        self.index.intersecting_in_range(
+        self.index_view().intersecting_in_range(
             rects,
             r_lo as u32,
             r_hi as u32,
@@ -378,7 +681,6 @@ impl QueryEngine {
             pos_hi,
             &mut gids,
         );
-        let valid = self.snapshot.valid_mask();
         let parts = gids
             .into_iter()
             .map(|g| {
@@ -393,7 +695,7 @@ impl QueryEngine {
                 let mut count = 0usize;
                 for r in ir0..=ir1 {
                     for c in ic0..=ic1 {
-                        if valid[r as usize * cols + c as usize] {
+                        if self.cell_valid(r * cols as u32 + c) {
                             count += 1;
                         }
                     }
@@ -411,7 +713,7 @@ impl QueryEngine {
     /// (order and bits) is identical to the full `(d2, gid)` sort it
     /// replaced, at a fraction of the groups visited.
     pub fn knn(&self, lat: f64, lon: f64, k: usize) -> Vec<NearestGroup> {
-        let groups = self.snapshot.partition().num_groups();
+        let groups = self.num_groups();
         self.knn_range(lat, lon, k, 0, groups)
     }
 
@@ -428,19 +730,18 @@ impl QueryEngine {
         pos_lo: usize,
         pos_hi: usize,
     ) -> Vec<NearestGroup> {
-        self.index
-            .nearest_in_range(&self.centroids, lat, lon, k, pos_lo, pos_hi, |g| {
-                self.reps[g as usize].is_some()
-            })
+        let centroids = self.centroids();
+        self.index_view()
+            .nearest_in_range(centroids, lat, lon, k, pos_lo, pos_hi, |g| self.featured(g))
             .into_iter()
             .map(|(d2, g)| {
-                let (clat, clon) = self.centroids[g as usize];
+                let [clat, clon] = centroids[g as usize];
                 NearestGroup {
                     group: g,
                     lat: clat,
                     lon: clon,
                     distance: d2.sqrt(),
-                    values: self.reps[g as usize].clone().expect("featured group"),
+                    values: self.rep(g).expect("featured group").to_vec(),
                 }
             })
             .collect()
@@ -448,19 +749,19 @@ impl QueryEngine {
 
     /// Snapshot summary statistics.
     pub fn stats(&self) -> Stats {
-        let snap = &self.snapshot;
-        let cells = snap.num_cells();
-        let groups = snap.partition().num_groups();
+        let cells = self.num_cells();
+        let groups = self.num_groups();
+        let valid_groups = (0..groups as GroupId).filter(|&g| self.featured(g)).count();
         Stats {
-            rows: snap.rows(),
-            cols: snap.cols(),
+            rows: self.rows(),
+            cols: self.cols(),
             cells,
-            valid_cells: snap.valid_mask().iter().filter(|&&v| v).count(),
+            valid_cells: self.valid_counts_sum(),
             groups,
-            valid_groups: snap.features().iter().filter(|f| f.is_some()).count(),
-            attrs: snap.num_attrs(),
-            theta: snap.theta(),
-            ifl: snap.ifl(),
+            valid_groups,
+            attrs: self.num_attrs(),
+            theta: self.theta(),
+            ifl: self.ifl(),
             cell_reduction: 1.0 - groups as f64 / cells as f64,
         }
     }
@@ -503,7 +804,7 @@ mod tests {
     #[test]
     fn cell_values_match_reconstruct_grid_exactly() {
         let (engine, grid) = engine_and_grid();
-        let snap = engine.snapshot();
+        let snap = engine.to_snapshot();
         let rec = reconstruct_grid(&grid, snap.partition(), snap.features()).unwrap();
         for cell in 0..grid.num_cells() as CellId {
             match engine.cell_values(cell) {
@@ -521,7 +822,7 @@ mod tests {
             let ans = engine.point(lat, lon).unwrap();
             assert_eq!(ans.cell, cell);
             assert_eq!((ans.row, ans.col), grid.cell_pos(cell));
-            assert_eq!(ans.group, engine.snapshot().partition().group_of(cell));
+            assert_eq!(ans.group, engine.group_of(cell));
         }
         // Null cell: located, but no values.
         let (lat, lon) = grid.cell_centroid(17);
@@ -534,7 +835,7 @@ mod tests {
     #[test]
     fn window_matches_per_cell_scan() {
         let (engine, grid) = engine_and_grid();
-        let snap = engine.snapshot();
+        let snap = engine.to_snapshot();
         let rec = reconstruct_grid(&grid, snap.partition(), snap.features()).unwrap();
         let b = grid.bounds();
         // A window covering cell rows 2..=6, cols 3..=9.
@@ -600,10 +901,10 @@ mod tests {
             assert!(w[0].distance <= w[1].distance);
         }
         // The nearest group must contain (or be closest to) the cell.
-        let brute_best = (0..engine.snapshot().partition().num_groups() as u32)
-            .filter(|&g| engine.snapshot().features()[g as usize].is_some())
+        let brute_best = (0..engine.num_groups() as u32)
+            .filter(|&g| engine.feature(g).is_some())
             .map(|g| {
-                let rect = engine.snapshot().partition().rect(g);
+                let rect = engine.group_rect(g);
                 let b = grid.bounds();
                 let clat = b.lat_min + (rect.r0 + rect.r1 + 1) as f64 / 2.0 * 0.1;
                 let clon = b.lon_min + (rect.c0 + rect.c1 + 1) as f64 / 2.0 / 12.0;
@@ -630,11 +931,34 @@ mod tests {
         assert_eq!(st.cols, 12);
         assert_eq!(st.cells, 120);
         assert_eq!(st.valid_cells, 118);
-        assert_eq!(st.groups, engine.snapshot().partition().num_groups());
+        assert_eq!(st.groups, engine.num_groups());
         assert!(st.valid_groups <= st.groups);
         assert_eq!(st.attrs, 2);
         assert!(st.ifl <= st.theta);
         assert!((st.cell_reduction - (1.0 - st.groups as f64 / 120.0)).abs() < 1e-12);
         assert_eq!(grid.num_valid_cells(), st.valid_cells);
+    }
+
+    #[test]
+    fn borrowed_v2_engine_answers_match_owned_everywhere() {
+        let (owned, grid) = engine_and_grid();
+        let bytes = crate::v2::snapshot_to_bytes_v2(&owned.to_snapshot());
+        let v2 = QueryEngine::from_v2(crate::v2::snapshot_v2_from_bytes(&bytes).unwrap());
+        assert_eq!(v2.format_version(), 2);
+        assert_eq!(owned.stats(), v2.stats());
+        for cell in 0..grid.num_cells() as CellId {
+            assert_eq!(owned.cell_values(cell), v2.cell_values(cell), "cell {cell}");
+            let (lat, lon) = grid.cell_centroid(cell);
+            assert_eq!(owned.point(lat, lon), v2.point(lat, lon));
+        }
+        let b = grid.bounds();
+        let a1 = owned.window(b.lat_min, b.lat_max, b.lon_min, b.lon_max);
+        let a2 = v2.window(b.lat_min, b.lat_max, b.lon_min, b.lon_max);
+        assert_eq!(a1, a2);
+        for k in [1usize, 3, 10_000] {
+            let n1 = owned.knn(40.33, -73.21, k);
+            let n2 = v2.knn(40.33, -73.21, k);
+            assert_eq!(n1, n2);
+        }
     }
 }

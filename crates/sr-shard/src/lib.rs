@@ -7,7 +7,7 @@
 //! - [`split`] cuts a partition into `K` **spatially contiguous shards**:
 //!   cell-groups are ordered along the Hilbert curve of their rectangle
 //!   centers and split into `K` contiguous runs balanced by cell count.
-//!   Each shard is emitted as a *full-grid* `sr-snap v1` snapshot sharing
+//!   Each shard is emitted as a *full-grid* `sr-snap v2` snapshot sharing
 //!   the complete partition (global group ids) with the validity bitmap
 //!   and feature table masked to the shard's own groups — so every shard
 //!   file passes the ordinary snapshot validation, loads in the ordinary

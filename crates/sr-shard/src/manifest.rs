@@ -70,6 +70,12 @@ pub struct ShardManifest {
     pub ifl: f64,
     /// Replicas per shard.
     pub replicas: usize,
+    /// `sr-snap` format version of the shard snapshot files (1 or 2).
+    /// Manifests written before the field existed omit it and parse as
+    /// format 1; [`crate::split::write_shards`] emits format 2. Routers
+    /// load shards through the version-negotiating engine loader, so the
+    /// field is informational for tooling rather than load-bearing.
+    pub snap_format: u16,
     /// Per-shard entries; shard `s` is `shards[s]`.
     pub shards: Vec<ShardEntry>,
 }
@@ -84,6 +90,9 @@ impl ShardManifest {
         }
         if self.rows == 0 || self.cols == 0 || self.cells != self.rows * self.cols {
             return invalid("manifest grid shape is inconsistent".into());
+        }
+        if self.snap_format != 1 && self.snap_format != 2 {
+            return invalid(format!("unknown snapshot format version {}", self.snap_format));
         }
         let mut next = 0usize;
         for (s, entry) in self.shards.iter().enumerate() {
@@ -154,6 +163,7 @@ pub fn manifest_to_string(m: &ShardManifest) -> String {
     let _ = writeln!(out, "version = {MANIFEST_VERSION}");
     let _ = writeln!(out, "shards = {}", m.shards.len());
     let _ = writeln!(out, "replicas = {}", m.replicas);
+    let _ = writeln!(out, "snap_format = {}", m.snap_format);
     let _ = writeln!(out, "rows = {}", m.rows);
     let _ = writeln!(out, "cols = {}", m.cols);
     let _ = writeln!(out, "groups = {}", m.groups);
@@ -218,6 +228,7 @@ pub fn manifest_from_str(text: &str) -> Result<ShardManifest> {
         version: Option<u32>,
         shards: Option<usize>,
         replicas: Option<usize>,
+        snap_format: Option<u16>,
         rows: Option<usize>,
         cols: Option<usize>,
         groups: Option<usize>,
@@ -267,6 +278,7 @@ pub fn manifest_from_str(text: &str) -> Result<ShardManifest> {
                 "version" => g.version = Some(parse_usize(value, key)? as u32),
                 "shards" => g.shards = Some(parse_usize(value, key)?),
                 "replicas" => g.replicas = Some(parse_usize(value, key)?),
+                "snap_format" => g.snap_format = Some(parse_usize(value, key)? as u16),
                 "rows" => g.rows = Some(parse_usize(value, key)?),
                 "cols" => g.cols = Some(parse_usize(value, key)?),
                 "groups" => g.groups = Some(parse_usize(value, key)?),
@@ -329,6 +341,8 @@ pub fn manifest_from_str(text: &str) -> Result<ShardManifest> {
         theta: g.theta.ok_or_else(|| missing("theta"))?,
         ifl: g.ifl.ok_or_else(|| missing("ifl"))?,
         replicas: g.replicas.ok_or_else(|| missing("replicas"))?,
+        // Manifests written before the field existed carry v1 shards.
+        snap_format: g.snap_format.unwrap_or(1),
         shards,
     };
     if g.shards != Some(m.shards.len()) {
@@ -384,6 +398,7 @@ mod tests {
             theta: 0.05,
             ifl: 0.031_25,
             replicas: 2,
+            snap_format: 2,
             shards: vec![
                 ShardEntry {
                     start: 0,
@@ -424,6 +439,23 @@ mod tests {
         assert_eq!(bbox.0, f64::NEG_INFINITY);
         assert_eq!(bbox.2.to_bits(), (-0.0f64).to_bits());
         assert_eq!(bbox.3, f64::INFINITY);
+    }
+
+    #[test]
+    fn missing_snap_format_defaults_to_v1() {
+        // Manifests written before the field existed have no snap_format
+        // line; they must parse as format-1 deployments.
+        let text = manifest_to_string(&sample());
+        let body_end = text.rfind("crc32 = ").unwrap();
+        let body = text[..body_end].replace("snap_format = 2\n", "");
+        let crc = crc32(body.as_bytes());
+        let legacy = format!("{body}crc32 = {crc:#010X}\n");
+        let back = manifest_from_str(&legacy).unwrap();
+        assert_eq!(back.snap_format, 1);
+
+        let mut bad = sample();
+        bad.snap_format = 9;
+        assert!(matches!(bad.validate(), Err(ShardError::Invalid(_))));
     }
 
     #[test]

@@ -247,10 +247,10 @@ impl ShardRouter {
             return Err(ShardError::Unavailable("no shard of the manifest could be loaded".into()));
         };
 
-        let snap = topo.snapshot();
-        if snap.rows() != manifest.rows
-            || snap.cols() != manifest.cols
-            || snap.partition().num_groups() != manifest.groups
+        let partition = topo.clone_partition();
+        if partition.rows() != manifest.rows
+            || partition.cols() != manifest.cols
+            || partition.num_groups() != manifest.groups
         {
             return Err(ShardError::Invalid(
                 "shard snapshot shape does not match the manifest".into(),
@@ -258,7 +258,7 @@ impl ShardRouter {
         }
         // The Hilbert order is a pure function of the (shared) partition,
         // so the manifest's [start, count) ranges map groups to shards.
-        let order = shard_order(snap.partition());
+        let order = shard_order(&partition);
         let mut group_shard = vec![0u32; manifest.groups];
         for (s, entry) in manifest.shards.iter().enumerate() {
             for &g in &order[entry.start..entry.start + entry.count] {
@@ -271,10 +271,10 @@ impl ShardRouter {
         fast.until = Some(Instant::now() + config.revalidate);
 
         Ok(ShardRouter {
-            partition: snap.partition().clone(),
-            bounds: snap.bounds(),
-            attr_names: snap.attr_names().to_vec(),
-            num_attrs: snap.num_attrs(),
+            partition,
+            bounds: topo.bounds(),
+            attr_names: topo.attr_names().to_vec(),
+            num_attrs: topo.num_attrs(),
             group_shard,
             manifest,
             replica_paths,
@@ -470,22 +470,22 @@ fn fuse_engines(engines: &[&Arc<QueryEngine>]) -> Option<Arc<QueryEngine>> {
         // A single shard owns everything: its snapshot *is* the original.
         return Some(engines[0].clone());
     }
-    let base = engines[0].snapshot();
-    if engines[1..].iter().any(|e| e.snapshot().partition() != base.partition()) {
+    let base = engines[0];
+    let partition = base.clone_partition();
+    if engines[1..].iter().any(|e| e.clone_partition() != partition) {
         return None;
     }
     let mut valid = vec![false; base.num_cells()];
-    let mut features: Vec<Option<Vec<f64>>> = vec![None; base.partition().num_groups()];
+    let mut features: Vec<Option<Vec<f64>>> = vec![None; partition.num_groups()];
     for e in engines {
-        let snap = e.snapshot();
-        for (cell, &v) in snap.valid_mask().iter().enumerate() {
-            if v {
-                valid[cell] = true;
+        for cell in 0..e.num_cells() as u32 {
+            if e.cell_valid(cell) {
+                valid[cell as usize] = true;
             }
         }
-        for (g, fv) in snap.features().iter().enumerate() {
-            if let Some(fv) = fv {
-                features[g] = Some(fv.clone());
+        for (g, feature) in features.iter_mut().enumerate() {
+            if let Some(fv) = e.feature(g as u32) {
+                *feature = Some(fv.to_vec());
             }
         }
     }
@@ -498,9 +498,9 @@ fn fuse_engines(engines: &[&Arc<QueryEngine>]) -> Option<Arc<QueryEngine>> {
         base.agg_types().to_vec(),
         base.integer_attrs().to_vec(),
         valid,
-        base.partition().clone(),
+        partition,
         features,
-        base.adjacency().clone(),
+        base.clone_adjacency(),
     )
     .ok()?;
     Some(Arc::new(QueryEngine::new(snap)))

@@ -22,7 +22,8 @@ use crate::Result;
 use sr_core::Partition;
 use sr_grid::hilbert_key_scaled;
 use sr_par::Pool;
-use sr_serve::snapshot::{snapshot_to_bytes, Snapshot};
+use sr_serve::snapshot::Snapshot;
+use sr_serve::snapshot_to_bytes_v2;
 use std::path::Path;
 
 /// How to cut a snapshot into shards.
@@ -98,8 +99,8 @@ pub fn plan_shards(partition: &Partition, order: &[u32], k: usize) -> Vec<ShardP
 /// Builds shard `plan`'s snapshot from the full snapshot by masking: the
 /// partition, schema, bounds, and run parameters are copied verbatim;
 /// validity keeps only cells whose group the shard owns; features keep
-/// only owned groups. The result is a valid standalone `sr-snap v1`
-/// snapshot.
+/// only owned groups. The result is a valid standalone snapshot,
+/// serializable in either `sr-snap` format.
 pub fn shard_snapshot(full: &Snapshot, order: &[u32], plan: &ShardPlan) -> Result<Snapshot> {
     let partition = full.partition();
     let mut owned = vec![false; partition.num_groups()];
@@ -174,9 +175,10 @@ pub fn write_shards(
     let plans = plan_shards(full.partition(), &order, opts.shards);
 
     // Build + serialize every shard snapshot in parallel (deterministic
-    // order-preserving map), then write sequentially.
-    let encoded: Vec<Result<Vec<u8>>> =
-        pool.par_map(&plans, 1, |plan| Ok(snapshot_to_bytes(&shard_snapshot(full, &order, plan)?)));
+    // order-preserving map), then write sequentially. Shards are written
+    // in the v2 zero-copy format so routers map them instead of decoding.
+    let encoded: Vec<Result<Vec<u8>>> = pool
+        .par_map(&plans, 1, |plan| Ok(snapshot_to_bytes_v2(&shard_snapshot(full, &order, plan)?)));
     let mut shards = Vec::with_capacity(plans.len());
     for (s, (plan, bytes)) in plans.iter().zip(encoded).enumerate() {
         let bytes = bytes?;
@@ -206,6 +208,7 @@ pub fn write_shards(
         theta: full.theta(),
         ifl: full.ifl(),
         replicas,
+        snap_format: 2,
         shards,
     };
     crate::manifest::write_manifest(&manifest, dir.join("manifest.txt"))?;
@@ -271,9 +274,14 @@ mod tests {
             assert_eq!(shard.partition(), snap.partition());
             valid_union += shard.valid_mask().iter().filter(|&&v| v).count();
             featured_union += shard.features().iter().filter(|f| f.is_some()).count();
-            // Round-trips through the ordinary snapshot codec.
-            let bytes = snapshot_to_bytes(&shard);
-            assert_eq!(sr_serve::snapshot_from_bytes(&bytes).unwrap(), shard);
+            // Round-trips through both snapshot codecs.
+            let v1 = sr_serve::snapshot_to_bytes(&shard);
+            assert_eq!(sr_serve::snapshot_from_bytes(&v1).unwrap(), shard);
+            let v2 = snapshot_to_bytes_v2(&shard);
+            assert_eq!(
+                sr_serve::snapshot_v2_from_bytes(&v2).unwrap().to_snapshot().unwrap(),
+                shard
+            );
         }
         // Masks partition the original validity and feature sets exactly.
         assert_eq!(valid_union, snap.valid_mask().iter().filter(|&&v| v).count());
@@ -288,10 +296,12 @@ mod tests {
         let manifest = write_shards(&snap, &dir, &opts, Pool::global()).unwrap();
         assert_eq!(manifest.shards.len(), 3);
         assert_eq!(manifest.replicas, 2);
+        assert_eq!(manifest.snap_format, 2);
         for (s, entry) in manifest.shards.iter().enumerate() {
             let paths = manifest.replica_paths(&dir, s);
             assert_eq!(paths.len(), 2);
             let first = std::fs::read(&paths[0]).unwrap();
+            assert_eq!(sr_serve::peek_version(&first), Some(2), "shards are written as v2");
             for path in &paths[1..] {
                 assert_eq!(std::fs::read(path).unwrap(), first, "replicas are byte-identical");
             }

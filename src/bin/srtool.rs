@@ -5,16 +5,25 @@
 //! - `generate  --dataset <name> --size <preset|RxC> [--seed N] --out FILE`
 //!   writes a synthetic evaluation grid in grid-tsv format.
 //! - `info      --in FILE`
-//!   prints shape, schema, validity, and per-attribute Moran's I.
+//!   prints shape, schema, validity, and per-attribute Moran's I for a
+//!   grid file; for an `sr-snap` snapshot it prints the format version,
+//!   shape, and (for v2) the section table.
 //! - `repartition --in FILE --theta T [--strided] [--out-grid FILE]
 //!   [--out-groups FILE]`
 //!   runs the framework; optionally writes the reconstructed grid and/or a
 //!   TSV of cell-groups (id, rectangle, features).
 //! - `homogeneous --in FILE --rows K --cols K`
 //!   reports the §III-D homogeneous-merge IFL.
-//! - `snapshot --in FILE --theta T --out FILE.snap [--strided]`
-//!   re-partitions a grid and freezes the result as an `sr-snap v1`
-//!   snapshot for online serving.
+//! - `snapshot --in FILE --theta T --out FILE.snap [--strided]
+//!   [--format v1|v2]`
+//!   re-partitions a grid and freezes the result as an `sr-snap`
+//!   snapshot for online serving. The default is the zero-copy v2
+//!   format (validated once, served borrowed); `--format v1` writes the
+//!   legacy stream format. `docs/SNAPSHOT_FORMAT.md` specifies both.
+//! - `snapshot migrate --in FILE.snap --out FILE.snap [--to 1|2]`
+//!   converts a snapshot between format versions (default target: v2).
+//!   Migration is lossless in both directions; serving answers are
+//!   bit-identical across formats.
 //! - `shard --snapshot FILE.snap --out-dir DIR [--shards K] [--replicas R]`
 //!   cuts a snapshot into `K` Hilbert-contiguous shards balanced by cell
 //!   count, writes `R` byte-identical replica snapshots per shard plus the
@@ -60,8 +69,8 @@ use spatial_repartition::core::{
 use spatial_repartition::datasets::{Dataset, GridSize};
 use spatial_repartition::grid::{load_grid, morans_i, save_grid, AdjacencyList, GridDataset};
 use spatial_repartition::serve::{
-    load_snapshot, save_snapshot, serve_backend, serve_cached, FaultPlan, ServerConfig, Snapshot,
-    SnapshotCache,
+    load_snapshot, migrate_snapshot_bytes, peek_version, save_snapshot, save_snapshot_v2,
+    section_table, serve_backend, serve_cached, FaultPlan, ServerConfig, Snapshot, SnapshotCache,
 };
 use spatial_repartition::shard::{write_shards, RouterConfig, ShardRouter, SplitOptions};
 use std::collections::HashMap;
@@ -78,9 +87,14 @@ fn main() -> ExitCode {
         Ok(()) => {}
         Err(e) => return usage(&e),
     }
-    let Some((cmd, rest)) = args.split_first() else {
+    let Some((cmd, mut rest)) = args.split_first() else {
         return usage("missing subcommand");
     };
+    // `snapshot migrate` is the one two-word subcommand.
+    let migrate = cmd == "snapshot" && rest.first().map(String::as_str) == Some("migrate");
+    if migrate {
+        rest = &rest[1..];
+    }
     let opts = match parse_opts(rest) {
         Ok(o) => o,
         Err(e) => return usage(&e),
@@ -90,6 +104,7 @@ fn main() -> ExitCode {
         "info" => cmd_info(&opts),
         "repartition" => cmd_repartition(&opts),
         "homogeneous" => cmd_homogeneous(&opts),
+        "snapshot" if migrate => cmd_snapshot_migrate(&opts),
         "snapshot" => cmd_snapshot(&opts),
         "shard" => cmd_shard(&opts),
         "serve" => cmd_serve(&opts),
@@ -257,7 +272,15 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_info(opts: &Opts) -> Result<(), String> {
-    let grid = load_grid(required(opts, "in")?).map_err(|e| e.to_string())?;
+    let path = required(opts, "in")?;
+    // Snapshot files share the magic across both format versions; grids
+    // are TSV and never match it.
+    if let Ok(bytes) = std::fs::read(path) {
+        if let Some(version) = peek_version(&bytes) {
+            return snapshot_info(path, version, &bytes);
+        }
+    }
+    let grid = load_grid(path).map_err(|e| e.to_string())?;
     println!("shape: {} x {} = {} cells", grid.rows(), grid.cols(), grid.num_cells());
     println!(
         "valid: {} ({:.1}%)",
@@ -279,6 +302,44 @@ fn cmd_info(opts: &Opts) -> Result<(), String> {
             grid.agg_types()[k],
             grid.integer_attrs()[k]
         );
+    }
+    Ok(())
+}
+
+/// `info` for an `sr-snap` file: shape and schema for both versions,
+/// plus the section table for v2.
+fn snapshot_info(path: &str, version: u16, bytes: &[u8]) -> Result<(), String> {
+    let engine = spatial_repartition::serve::engine_from_bytes(bytes).map_err(|e| e.to_string())?;
+    let st = engine.stats();
+    println!("{path}: sr-snap v{version}, {} bytes", bytes.len());
+    println!(
+        "shape: {} x {} = {} cells, {} groups, {} attrs",
+        st.rows, st.cols, st.cells, st.groups, st.attrs
+    );
+    println!("valid: {} cells, {} featured groups", st.valid_cells, st.valid_groups);
+    println!("theta: {} (IFL {})", engine.theta(), engine.ifl());
+    for (k, name) in engine.attr_names().iter().enumerate() {
+        println!(
+            "attr[{k}] {:<16} agg={:?} int={}",
+            name,
+            engine.agg_types()[k],
+            engine.integer_attrs()[k]
+        );
+    }
+    if version == 2 {
+        println!("sections:");
+        for s in section_table(bytes).map_err(|e| e.to_string())? {
+            println!(
+                "  {:>2} {:<10} offset {:>10}  len {:>10}  crc 0x{:08X}",
+                s.id, s.name, s.offset, s.len, s.crc
+            );
+        }
+        // The load above already proved checksums + structure; run the
+        // deep audit too, so `info` doubles as an integrity tool.
+        spatial_repartition::serve::snapshot_v2_from_bytes(bytes)
+            .and_then(|v2| v2.verify_derived())
+            .map_err(|e| e.to_string())?;
+        println!("derived sections: verified bit-identical to recomputation");
     }
     Ok(())
 }
@@ -384,14 +445,40 @@ fn cmd_snapshot(opts: &Opts) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let rep = &outcome.repartitioned;
     let snap = Snapshot::build(rep, &grid, theta).map_err(|e| e.to_string())?;
-    save_snapshot(&snap, out).map_err(|e| e.to_string())?;
+    let format = opts.get("format").map_or("v2", String::as_str);
+    match format {
+        "v2" | "2" => save_snapshot_v2(&snap, out).map_err(|e| e.to_string())?,
+        "v1" | "1" => save_snapshot(&snap, out).map_err(|e| e.to_string())?,
+        other => return Err(format!("bad --format '{other}' (expected v1 or v2)")),
+    }
     let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
     println!(
-        "wrote {out}: {} cells -> {} groups (IFL {:.4} <= {theta}) in {:.2}s, {bytes} bytes",
+        "wrote {out} ({format}): {} cells -> {} groups (IFL {:.4} <= {theta}) in {:.2}s, {bytes} bytes",
         grid.num_cells(),
         rep.num_groups(),
         rep.ifl(),
         start.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+/// `snapshot migrate`: converts a snapshot file between format versions.
+fn cmd_snapshot_migrate(opts: &Opts) -> Result<(), String> {
+    let input = required(opts, "in")?;
+    let out = required(opts, "out")?;
+    let to: u16 = match opts.get("to").map(String::as_str) {
+        None | Some("2") | Some("v2") => 2,
+        Some("1") | Some("v1") => 1,
+        Some(other) => return Err(format!("bad --to '{other}' (expected 1 or 2)")),
+    };
+    let bytes = std::fs::read(input).map_err(|e| e.to_string())?;
+    let from = peek_version(&bytes).ok_or_else(|| format!("{input} is not an sr-snap file"))?;
+    let migrated = migrate_snapshot_bytes(&bytes, to).map_err(|e| e.to_string())?;
+    std::fs::write(out, &migrated).map_err(|e| e.to_string())?;
+    println!(
+        "migrated {input} (v{from}, {} bytes) -> {out} (v{to}, {} bytes)",
+        bytes.len(),
+        migrated.len()
     );
     Ok(())
 }
@@ -557,7 +644,8 @@ USAGE:
   srtool repartition --in FILE --theta T [--strided] [--out-grid FILE] [--out-groups FILE]
                      [--out-gal FILE]
   srtool homogeneous --in FILE --rows K --cols K
-  srtool snapshot    --in FILE --theta T --out FILE.snap [--strided]
+  srtool snapshot    --in FILE --theta T --out FILE.snap [--strided] [--format v1|v2]
+  srtool snapshot migrate --in FILE.snap --out FILE.snap [--to 1|2]
   srtool shard       --snapshot FILE.snap --out-dir DIR [--shards K] [--replicas R]
   srtool serve       --snapshot FILE.snap [--addr HOST:PORT] [--threads N]
                      [--deadline-ms MS] [--max-inflight N] [--fault-plan FILE]

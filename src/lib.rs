@@ -44,7 +44,7 @@
 //! | [`baselines`] | `sr-baselines` | sampling / regionalization / clustering reducers |
 //! | [`linalg`] | `sr-linalg` | dense matrices, LU, Cholesky, least squares |
 //! | [`mem`] | `sr-mem` | peak-allocation tracking for the memory experiments |
-//! | [`serve`] | `sr-serve` | partition snapshots (`sr-snap v1`), the online query engine, snapshot cache, HTTP server |
+//! | [`serve`] | `sr-serve` | partition snapshots (`sr-snap` v1 + zero-copy v2, spec in `docs/SNAPSHOT_FORMAT.md`), the online query engine, snapshot cache, HTTP server |
 //! | [`shard`] | `sr-shard` | sharded serving: Hilbert-contiguous shard splitter, checksummed shard manifest, scatter-gather router with replicas and shard-level degradation |
 //! | [`obs`] | `sr-obs` | tracing spans and the metrics registry behind `--trace` and `GET /metrics` |
 //! | [`par`] | `sr-par` | deterministic worker-pool substrate (`SR_THREADS`, fixed-grain `par_map`/`par_for`) |
