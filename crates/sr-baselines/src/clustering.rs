@@ -25,7 +25,7 @@ pub fn contiguous_clustering(grid: &GridDataset, p: usize) -> Result<ReducedData
     let norm = normalize_attributes(grid);
     let features: Vec<Vec<f64>> =
         valid.iter().map(|&c| norm.features_unchecked(c).to_vec()).collect();
-    let rook = AdjacencyList::rook_from_grid(grid).restrict(grid.valid_mask());
+    let rook = AdjacencyList::rook_from_grid(grid).restrict(&grid.valid_mask());
 
     let result =
         schc_cluster(&features, &rook, &SchcParams { num_clusters: p }).expect("validated inputs");

@@ -93,7 +93,7 @@ pub(crate) fn aggregate_members(grid: &GridDataset, member_cells: &[CellId]) -> 
             continue;
         }
         count += 1;
-        for (o, &v) in out.iter_mut().zip(grid.features_unchecked(c)) {
+        for (o, v) in out.iter_mut().zip(grid.features_unchecked(c)) {
             *o += v;
         }
     }

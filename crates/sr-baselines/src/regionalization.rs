@@ -74,7 +74,7 @@ pub fn regionalize(grid: &GridDataset, p: usize, seed: u64) -> Result<ReducedDat
                   heap: &mut BinaryHeap<Reverse<(Cost, CellId, u32)>>| {
         region_of[cell as usize] = region;
         let fv = norm.features_unchecked(cell);
-        for (s, &v) in sums[region as usize].iter_mut().zip(fv) {
+        for (s, v) in sums[region as usize].iter_mut().zip(fv) {
             *s += v;
         }
         counts[region as usize] += 1;

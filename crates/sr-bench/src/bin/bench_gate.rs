@@ -1,0 +1,102 @@
+//! CI bench-threshold gate for the 100k-cell driver.
+//!
+//! Runs the headline benchmark workload — the 320×320 taxi grid through
+//! the strided driver at θ = 0.05 — a few times and enforces two
+//! regressions gates:
+//!
+//! 1. **Absolute**: the best run on the process-global pool (so
+//!    `SR_THREADS` applies, and CI exercises the gate at 1 and 4) must
+//!    finish within `SR_GATE_MAX_DRIVER_MS` milliseconds.
+//! 2. **Fan-out**: a 4-thread pool must never be slower than a 1-thread
+//!    pool by more than `SR_GATE_MAX_T4_RATIO` — the regression the
+//!    hardware-parallelism cap in `sr-par` exists to prevent.
+//!
+//! Both thresholds are env-overridable because wall-clock gates are
+//! hardware statements: the defaults (250 ms, 1.25×) are sized for the
+//! 1-vCPU shared reference container, whose best case for this workload
+//! is ~135–160 ms with ±1.5× scheduler drift, and where a 4-thread pool
+//! pays a real per-region worker-handoff cost (~5–10%, measured
+//! 1.05–1.10×) that multicore hardware does not (docs/PERFORMANCE.md).
+//! On a dedicated multi-core box, tighten with
+//! `SR_GATE_MAX_DRIVER_MS=120 SR_GATE_MAX_T4_RATIO=1.10`.
+//!
+//! The timing loop doubles as a determinism check: the t1 and t4 runs
+//! must produce bit-identical outcomes, or the timings compare different
+//! work and the gate aborts.
+
+use sr_core::{IterationStrategy, RepartitionConfig, RepartitionOutcome, Repartitioner};
+use sr_datasets::{Dataset, GridSize};
+use std::time::Instant;
+
+/// Samples per timed configuration; the minimum is compared, because on a
+/// shared box the minimum is the only statistic that measures the code.
+const SAMPLES: usize = 5;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn driver() -> Repartitioner {
+    let cfg = RepartitionConfig::new(0.05)
+        .unwrap()
+        .with_strategy(IterationStrategy::Exponential { initial_stride: 8, growth: 1.6 });
+    Repartitioner::with_config(cfg).unwrap()
+}
+
+/// Best-of-[`SAMPLES`] wall clock of one configuration, plus the outcome
+/// of the last run for the determinism cross-check.
+fn time_best(run: impl Fn() -> RepartitionOutcome) -> (f64, RepartitionOutcome) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        let out = run();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        last = Some(out);
+    }
+    (best, last.unwrap())
+}
+
+fn main() {
+    let max_driver_ms = env_f64("SR_GATE_MAX_DRIVER_MS", 250.0);
+    let max_t4_ratio = env_f64("SR_GATE_MAX_T4_RATIO", 1.25);
+
+    let grid = Dataset::TaxiMultivariate.generate(GridSize::Custom(320, 320), 1);
+    let drv = driver();
+
+    let (global_ms, _) = time_best(|| drv.run(&grid).unwrap());
+    let pool1 = sr_par::Pool::new(1);
+    let pool4 = sr_par::Pool::new(4);
+    let (t1_ms, out1) = time_best(|| drv.run_with_pool(&grid, &pool1).unwrap());
+    let (t4_ms, out4) = time_best(|| drv.run_with_pool(&grid, &pool4).unwrap());
+
+    println!(
+        "bench_gate: 320x320_100k driver best-of-{SAMPLES}: global {global_ms:.1} ms, \
+         t1 {t1_ms:.1} ms, t4 {t4_ms:.1} ms (gates: ≤{max_driver_ms:.0} ms, t4 ≤ {max_t4_ratio:.2}×t1)"
+    );
+
+    // Determinism cross-check: the two pools must have done identical work.
+    let (r1, r4) = (&out1.repartitioned, &out4.repartitioned);
+    assert_eq!(r1.num_groups(), r4.num_groups(), "t1/t4 group counts differ");
+    assert_eq!(r1.ifl().to_bits(), r4.ifl().to_bits(), "t1/t4 IFL bits differ");
+    assert_eq!(out1.iterations.len(), out4.iterations.len(), "t1/t4 iteration counts differ");
+
+    let mut failed = false;
+    if global_ms > max_driver_ms {
+        eprintln!(
+            "bench_gate: FAIL — driver {global_ms:.1} ms exceeds SR_GATE_MAX_DRIVER_MS={max_driver_ms:.0}"
+        );
+        failed = true;
+    }
+    if t4_ms > t1_ms * max_t4_ratio {
+        eprintln!(
+            "bench_gate: FAIL — t4 {t4_ms:.1} ms exceeds {max_t4_ratio:.2}× t1 ({t1_ms:.1} ms): \
+             pool fan-out is costing wall-clock"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("bench_gate: ok");
+}

@@ -59,7 +59,7 @@ impl Units {
             centroids.push(grid.cell_centroid(id));
             cell_to_unit[id as usize] = Some(u as u32);
         }
-        let adjacency = AdjacencyList::rook_from_grid(grid).restrict(grid.valid_mask());
+        let adjacency = AdjacencyList::rook_from_grid(grid).restrict(&grid.valid_mask());
         let weights = vec![1.0; features.len()];
         Units { features, centroids, adjacency, cell_to_unit, weights }
     }

@@ -13,22 +13,42 @@
 
 use crate::partition::Partition;
 use sr_grid::{local_loss, GridDataset};
-use std::collections::HashMap;
 
 /// Per-chunk scratch reused across groups so the hot allocation loop does
 /// zero heap traffic per group: one value column per attribute plus the
-/// mode-counting map.
+/// mode-counting key buffer.
 struct Scratch {
     /// `columns[k]` holds attribute `k`'s values of the current group's
     /// valid cells, in row-major cell order.
     columns: Vec<Vec<f64>>,
-    counts: HashMap<u64, (usize, usize)>,
+    /// `(bit pattern, original index)` pairs for the sort-based mode of
+    /// large groups.
+    keys: Vec<(u64, u32)>,
 }
 
 impl Scratch {
     fn new(p: usize) -> Self {
-        Scratch { columns: vec![Vec::new(); p], counts: HashMap::new() }
+        Scratch { columns: vec![Vec::new(); p], keys: Vec::new() }
     }
+}
+
+/// Popcount of validity bits `[start, start + len)`.
+#[inline]
+fn count_valid_range(words: &[u64], start: usize, len: usize) -> usize {
+    debug_assert!(len > 0);
+    let last = start + len - 1;
+    let (w0, b0) = (start >> 6, start & 63);
+    let (w1, b1) = (last >> 6, last & 63);
+    let head = !0u64 << b0;
+    let tail = !0u64 >> (63 - b1);
+    if w0 == w1 {
+        return (words[w0] & head & tail).count_ones() as usize;
+    }
+    let mut c = (words[w0] & head).count_ones() as usize;
+    for w in &words[w0 + 1..w1] {
+        c += w.count_ones() as usize;
+    }
+    c + (words[w1] & tail).count_ones() as usize
 }
 
 /// Flat arena of allocated group features: one `p`-wide row of values per
@@ -44,7 +64,9 @@ pub struct GroupFeatures {
     values: Vec<f64>,
     /// Number of valid member cells per group; 0 marks a null group. Also
     /// exactly the count Eq. 3 needs to un-sum `Sum`-typed attributes.
-    valid_counts: Vec<usize>,
+    /// `u32` keeps the per-evaluation count stream half the width of the
+    /// pointer-sized form (group counts are bounded by the cell count).
+    valid_counts: Vec<u32>,
 }
 
 impl GroupFeatures {
@@ -100,7 +122,7 @@ impl GroupFeatures {
                     &mut scratch,
                     &mut out.values,
                 );
-                out.valid_counts.push(count);
+                out.valid_counts.push(count as u32);
             }
             return;
         }
@@ -115,7 +137,7 @@ impl GroupFeatures {
                     gid as u32,
                     &mut scratch,
                     &mut values,
-                ));
+                ) as u32);
             }
             (values, counts)
         });
@@ -144,7 +166,7 @@ impl GroupFeatures {
 
     /// Valid-member count of group `g` (0 for null groups).
     pub fn valid_count(&self, g: usize) -> usize {
-        self.valid_counts[g]
+        self.valid_counts[g] as usize
     }
 
     /// Materializes the boxed per-group representation used by the public
@@ -176,10 +198,11 @@ pub fn allocate_features_with(
     GroupFeatures::allocate_with(original, partition, pool).into_options()
 }
 
-/// Algorithm 2 for one group: gather the group's valid cells in a single
-/// pass (one value column per attribute), aggregate each column, and append
-/// the `p` allocated values to `out` (zeroes for a null group). Returns the
-/// group's valid-member count.
+/// Algorithm 2 for one group: gather the group's valid cells plane-wise
+/// (each attribute column is a run of contiguous row-segment copies from
+/// the SoA planes), aggregate each column, and append the `p` allocated
+/// values to `out` (zeroes for a null group). Returns the group's
+/// valid-member count.
 fn allocate_group_into(
     original: &GridDataset,
     partition: &Partition,
@@ -188,54 +211,145 @@ fn allocate_group_into(
     out: &mut Vec<f64>,
 ) -> usize {
     let p = original.num_attrs();
+    let n = original.num_cells();
+    let cols = original.cols();
     let rect = partition.rect(gid);
+    let words = original.valid_words();
 
     // Fast path: single-cell groups keep their exact values (mean = mode =
     // the value, and ties go to the mean, so even integer rounding never
     // alters a singleton — see `best_average_representative`). Early
     // driver iterations are dominated by singletons.
     if rect.len() == 1 {
-        let cell = original.cell_id(rect.r0 as usize, rect.c0 as usize);
-        return match original.features(cell) {
-            Some(fv) => {
-                out.extend_from_slice(fv);
-                1
-            }
-            None => {
-                out.resize(out.len() + p, 0.0);
-                0
-            }
-        };
+        let cell = rect.r0 as usize * cols + rect.c0 as usize;
+        if (words[cell >> 6] >> (cell & 63)) & 1 != 0 {
+            let planes = original.planes();
+            out.extend((0..p).map(|k| planes[k * n + cell]));
+            return 1;
+        }
+        out.resize(out.len() + p, 0.0);
+        return 0;
     }
 
-    for col in &mut scratch.columns {
-        col.clear();
-    }
-    let mut valid = 0usize;
-    for cell in partition.cells_iter(gid) {
-        if let Some(fv) = original.features(cell) {
-            valid += 1;
-            for (k, col) in scratch.columns.iter_mut().enumerate() {
-                col.push(fv[k]);
-            }
+    // Fast path: two-cell groups (the most common multi-cell size at the
+    // driver's operating thresholds) aggregate a stack pair per attribute —
+    // same values, same row-major order, no column gather, no per-row
+    // popcounts.
+    if rect.len() == 2 {
+        let aggs = original.agg_types();
+        let ca = rect.r0 as usize * cols + rect.c0 as usize;
+        let cb = if rect.r0 == rect.r1 { ca + 1 } else { ca + cols };
+        let va = (words[ca >> 6] >> (ca & 63)) & 1 != 0;
+        let vb = (words[cb >> 6] >> (cb & 63)) & 1 != 0;
+        let valid = usize::from(va) + usize::from(vb);
+        if valid == 0 {
+            out.resize(out.len() + p, 0.0);
+            return 0;
         }
+        for (k, &agg) in aggs.iter().enumerate() {
+            let plane = original.attr_plane(k);
+            let mut vals = [0.0f64; 2];
+            let mut m = 0usize;
+            if va {
+                vals[m] = plane[ca];
+                m += 1;
+            }
+            if vb {
+                vals[m] = plane[cb];
+                m += 1;
+            }
+            let values = &vals[..m];
+            out.push(match agg {
+                sr_grid::AggType::Sum => {
+                    let mut s = 0.0f64;
+                    for &v in values {
+                        s += v;
+                    }
+                    s
+                }
+                sr_grid::AggType::Avg => best_average_representative(
+                    values,
+                    original.integer_attrs()[k],
+                    &mut scratch.keys,
+                ),
+                sr_grid::AggType::Mode => mode(values, &mut scratch.keys),
+            });
+        }
+        return valid;
+    }
+
+    let (r0, r1) = (rect.r0 as usize, rect.r1 as usize);
+    let (c0, w) = (rect.c0 as usize, (rect.c1 - rect.c0 + 1) as usize);
+    let mut valid = 0usize;
+    for r in r0..=r1 {
+        valid += count_valid_range(words, r * cols + c0, w);
     }
     if valid == 0 {
         out.resize(out.len() + p, 0.0);
         return 0;
     }
+    // `Sum` attributes reduce left-to-right over the group's valid cells in
+    // row-major order — exactly the order a plane row-segment walk visits
+    // them — so they are accumulated straight off the planes with no
+    // intermediate column. Only `Avg`/`Mode` attributes, whose aggregation
+    // needs the value *multiset* (mode counting, loss passes), gather a
+    // column; grids without them (e.g. pure count grids) never touch the
+    // scratch columns at all.
+    let all_valid = valid == rect.len();
+    let aggs = original.agg_types();
+    for (k, col) in scratch.columns.iter_mut().enumerate() {
+        if aggs[k] == sr_grid::AggType::Sum {
+            continue;
+        }
+        col.clear();
+        let plane = original.attr_plane(k);
+        for r in r0..=r1 {
+            let base = r * cols + c0;
+            let seg = &plane[base..base + w];
+            if all_valid {
+                col.extend_from_slice(seg);
+            } else {
+                for (j, &val) in seg.iter().enumerate() {
+                    let cell = base + j;
+                    if (words[cell >> 6] >> (cell & 63)) & 1 != 0 {
+                        col.push(val);
+                    }
+                }
+            }
+        }
+    }
 
-    for k in 0..p {
-        let values = &scratch.columns[k];
-        out.push(match original.agg_types()[k] {
-            sr_grid::AggType::Sum => values.iter().sum(),
+    for (k, &agg) in aggs.iter().enumerate() {
+        out.push(match agg {
+            sr_grid::AggType::Sum => {
+                // Same adds, same order as summing a gathered column.
+                let plane = original.attr_plane(k);
+                let mut s = 0.0f64;
+                for r in r0..=r1 {
+                    let base = r * cols + c0;
+                    let seg = &plane[base..base + w];
+                    if all_valid {
+                        for &val in seg {
+                            s += val;
+                        }
+                    } else {
+                        for (j, &val) in seg.iter().enumerate() {
+                            let cell = base + j;
+                            if (words[cell >> 6] >> (cell & 63)) & 1 != 0 {
+                                s += val;
+                            }
+                        }
+                    }
+                }
+                s
+            }
             sr_grid::AggType::Avg => best_average_representative(
-                values,
+                &scratch.columns[k],
                 original.integer_attrs()[k],
-                &mut scratch.counts,
+                &mut scratch.keys,
             ),
             // Categorical: the most frequent code (§VI extension).
-            sr_grid::AggType::Mode => mode(values, &mut scratch.counts),
+            sr_grid::AggType::Mode => mode(&scratch.columns[k], &mut scratch.keys),
         });
     }
     valid
@@ -247,7 +361,7 @@ fn allocate_group_into(
 fn best_average_representative(
     values: &[f64],
     integer_typed: bool,
-    counts: &mut HashMap<u64, (usize, usize)>,
+    keys: &mut Vec<(u64, u32)>,
 ) -> f64 {
     if let [v] = values {
         // mean == mode == v, and the tie-with-tolerance below always
@@ -257,7 +371,7 @@ fn best_average_representative(
     }
     let mean = values.iter().sum::<f64>() / values.len() as f64;
     let a = if integer_typed { mean.round() } else { mean };
-    let b = mode(values, counts);
+    let b = mode(values, keys);
     let loss_a = local_loss(values, a);
     let loss_b = local_loss(values, b);
     // Ties go to the mean (paper Example 4), with a relative tolerance:
@@ -273,23 +387,82 @@ fn best_average_representative(
     }
 }
 
+/// Group sizes at or below this use the quadratic scan [`mode_small`]; the
+/// driver's accepted region is dominated by 2–8-cell groups, where the scan
+/// beats any keyed structure by an order of magnitude.
+const MODE_SMALL_MAX: usize = 24;
+
 /// Most frequent value, with ties broken by first occurrence (deterministic
 /// under the extractor's row-major cell order). Exact bit-equality grouping:
 /// cell values come straight from the input dataset, where repeated values
-/// (counts, rounded averages) compare exactly. `counts` is caller-provided
-/// scratch, cleared on entry.
-fn mode(values: &[f64], counts: &mut HashMap<u64, (usize, usize)>) -> f64 {
+/// (counts, rounded averages) compare exactly. `keys` is caller-provided
+/// scratch for the large-group path.
+///
+/// Selection rule (identical on every path): maximize occurrence count,
+/// break count ties by the smallest first-occurrence index.
+fn mode(values: &[f64], keys: &mut Vec<(u64, u32)>) -> f64 {
     debug_assert!(!values.is_empty());
-    counts.clear();
-    for (i, &v) in values.iter().enumerate() {
-        let e = counts.entry(v.to_bits()).or_insert((0, i));
-        e.0 += 1;
+    // Two values: the first always wins — equal values give it count 2,
+    // distinct values tie at count 1 and first occurrence breaks the tie.
+    if values.len() == 2 {
+        return values[0];
     }
-    let (&bits, _) = counts
-        .iter()
-        .max_by(|(_, (ca, ia)), (_, (cb, ib))| ca.cmp(cb).then(ib.cmp(ia)))
-        .expect("non-empty values");
-    f64::from_bits(bits)
+    if values.len() <= MODE_SMALL_MAX {
+        return mode_small(values);
+    }
+    mode_sorted(values, keys)
+}
+
+/// Quadratic first-occurrence scan: counts each distinct value at its first
+/// occurrence, in ascending index order, so `count > best` keeps the
+/// earliest value on ties. No hashing, no allocation — for the small groups
+/// that dominate the driver this runs entirely in registers and L1.
+fn mode_small(values: &[f64]) -> f64 {
+    let mut best_v = values[0];
+    let mut best_c = 0usize;
+    for (i, &v) in values.iter().enumerate() {
+        let bits = v.to_bits();
+        if values[..i].iter().any(|&w| w.to_bits() == bits) {
+            continue; // counted at its first occurrence
+        }
+        let count = 1 + values[i + 1..].iter().filter(|&&w| w.to_bits() == bits).count();
+        if count > best_c {
+            best_c = count;
+            best_v = v;
+        }
+    }
+    best_v
+}
+
+/// Sort-based mode for large groups: sorting `(bit pattern, index)` pairs
+/// clusters equal values into runs whose first element carries the smallest
+/// original index, so one linear scan finds the (max count, min first index)
+/// winner.
+fn mode_sorted(values: &[f64], keys: &mut Vec<(u64, u32)>) -> f64 {
+    keys.clear();
+    keys.extend(values.iter().enumerate().map(|(i, &v)| (v.to_bits(), i as u32)));
+    keys.sort_unstable();
+    let mut best_bits = keys[0].0;
+    let mut best = (0usize, u32::MAX); // (count, first index)
+    let mut run = 0usize;
+    let mut run_first = keys[0].1;
+    let mut run_bits = keys[0].0;
+    for &(bits, idx) in keys.iter() {
+        if bits != run_bits {
+            if (run, u32::MAX - run_first) > (best.0, u32::MAX - best.1) {
+                best = (run, run_first);
+                best_bits = run_bits;
+            }
+            run_bits = bits;
+            run = 0;
+            run_first = idx;
+        }
+        run += 1;
+    }
+    if (run, u32::MAX - run_first) > (best.0, u32::MAX - best.1) {
+        best_bits = run_bits;
+    }
+    f64::from_bits(best_bits)
 }
 
 #[cfg(test)]
@@ -300,7 +473,7 @@ mod tests {
 
     #[test]
     fn mode_prefers_most_frequent_then_first() {
-        let mut scratch = HashMap::new();
+        let mut scratch = Vec::new();
         assert_eq!(mode(&[1.0, 2.0, 2.0, 3.0], &mut scratch), 2.0);
         // Tie between 1.0 and 2.0: first occurrence wins.
         assert_eq!(mode(&[1.0, 2.0, 1.0, 2.0], &mut scratch), 1.0);
@@ -314,14 +487,14 @@ mod tests {
         let values = [23.0, 23.0, 23.0, 24.0, 25.0, 24.0];
         let mean: f64 = values.iter().sum::<f64>() / 6.0;
         assert!((mean - 23.666_666).abs() < 1e-3);
-        let rep = best_average_representative(&values, true, &mut HashMap::new());
+        let rep = best_average_representative(&values, true, &mut Vec::new());
         assert_eq!(rep, 24.0);
     }
 
     #[test]
     fn mode_wins_when_outlier_inflates_mean() {
         let values = [10.0, 10.0, 10.0, 100.0];
-        let rep = best_average_representative(&values, false, &mut HashMap::new());
+        let rep = best_average_representative(&values, false, &mut Vec::new());
         assert_eq!(rep, 10.0);
     }
 

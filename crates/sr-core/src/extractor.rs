@@ -14,7 +14,7 @@
 //! compatible neighbor forms a singleton group.
 
 use crate::partition::{GroupId, GroupRect, Partition};
-use sr_grid::{variation_between_typed, GridDataset};
+use sr_grid::GridDataset;
 
 /// Slack added to the variation comparison so a threshold that was itself
 /// produced from these variations (heap pops) re-accepts the generating pair
@@ -55,41 +55,97 @@ impl EdgeVariations {
     /// [`EdgeVariations::build`] on an explicit pool. Row bands are
     /// computed independently, so the result is identical at any thread
     /// count.
+    ///
+    /// The raw difference sums are accumulated attribute-plane by
+    /// attribute-plane with flat loops over row slices (each edge's sum
+    /// receives its terms in ascending-`k` order — the same floating-point
+    /// order as a per-edge feature-vector walk), then a finalize pass
+    /// divides by `p` and patches validity: null–null edges become `-∞`,
+    /// mixed and out-of-grid edges `+∞`.
     pub fn build_with(grid: &GridDataset, pool: &sr_par::Pool) -> Self {
         let rows = grid.rows();
         let cols = grid.cols();
         let aggs = grid.agg_types();
-        let edge = |a: u32, b: u32| -> f64 {
-            match (grid.features(a), grid.features(b)) {
-                (Some(fa), Some(fb)) => variation_between_typed(fa, fb, aggs),
-                (None, None) => f64::NEG_INFINITY,
-                _ => f64::INFINITY,
-            }
-        };
+        let pf = grid.num_attrs() as f64;
+        let valid = grid.valid_mask();
         let fill_band = |band: std::ops::Range<usize>, h: &mut [f64], v: &mut [f64]| {
-            for (br, r) in band.enumerate() {
-                for c in 0..cols {
-                    let id = grid.cell_id(r, c);
-                    if c + 1 < cols {
-                        h[br * cols + c] = edge(id, grid.cell_id(r, c + 1));
+            let b0 = band.start;
+            for r in band {
+                let br = r - b0;
+                let base = r * cols;
+                let has_below = r + 1 < rows;
+                let hrow = &mut h[br * cols..(br + 1) * cols];
+                let vrow = &mut v[br * cols..(br + 1) * cols];
+                hrow[..cols - 1].fill(0.0);
+                if has_below {
+                    vrow.fill(0.0);
+                }
+                for (k, agg) in aggs.iter().enumerate() {
+                    let plane = grid.attr_plane(k);
+                    let row = &plane[base..base + cols];
+                    match agg {
+                        sr_grid::AggType::Mode => {
+                            for c in 0..cols - 1 {
+                                hrow[c] += if row[c] == row[c + 1] { 0.0 } else { 1.0 };
+                            }
+                            if has_below {
+                                let below = &plane[base + cols..base + 2 * cols];
+                                for c in 0..cols {
+                                    vrow[c] += if row[c] == below[c] { 0.0 } else { 1.0 };
+                                }
+                            }
+                        }
+                        _ => {
+                            for c in 0..cols - 1 {
+                                hrow[c] += (row[c] - row[c + 1]).abs();
+                            }
+                            if has_below {
+                                let below = &plane[base + cols..base + 2 * cols];
+                                for c in 0..cols {
+                                    vrow[c] += (row[c] - below[c]).abs();
+                                }
+                            }
+                        }
                     }
-                    if r + 1 < rows {
-                        v[br * cols + c] = edge(id, grid.cell_id(r + 1, c));
+                }
+                for c in 0..cols - 1 {
+                    let (a, b) = (valid[base + c], valid[base + c + 1]);
+                    hrow[c] = if a && b {
+                        hrow[c] / pf
+                    } else if !a && !b {
+                        f64::NEG_INFINITY
+                    } else {
+                        f64::INFINITY
+                    };
+                }
+                hrow[cols - 1] = f64::INFINITY;
+                if has_below {
+                    for c in 0..cols {
+                        let (a, b) = (valid[base + c], valid[base + cols + c]);
+                        vrow[c] = if a && b {
+                            vrow[c] / pf
+                        } else if !a && !b {
+                            f64::NEG_INFINITY
+                        } else {
+                            f64::INFINITY
+                        };
                     }
+                } else {
+                    vrow.fill(f64::INFINITY);
                 }
             }
         };
         // Serial pools fill the full arrays in place; the banded path pays
         // for its parallelism with a concatenation copy.
         if pool.threads() <= 1 {
-            let mut h = vec![f64::INFINITY; rows * cols];
-            let mut v = vec![f64::INFINITY; rows * cols];
+            let mut h = vec![0.0; rows * cols];
+            let mut v = vec![0.0; rows * cols];
             fill_band(0..rows, &mut h, &mut v);
             return EdgeVariations { rows, cols, h, v };
         }
         let bands = pool.par_map_chunks(rows, sr_par::fixed_grain(rows, 64), |band| {
-            let mut h = vec![f64::INFINITY; band.len() * cols];
-            let mut v = vec![f64::INFINITY; band.len() * cols];
+            let mut h = vec![0.0; band.len() * cols];
+            let mut v = vec![0.0; band.len() * cols];
             fill_band(band, &mut h, &mut v);
             (h, v)
         });
@@ -110,29 +166,6 @@ impl EdgeVariations {
     /// Grid width this was built from.
     pub fn cols(&self) -> usize {
         self.cols
-    }
-}
-
-/// Edge-compatibility view for one extraction pass: the pre-computed edge
-/// variations compared against one threshold on the fly. Allocation-free —
-/// the driver runs one pass per candidate threshold, so materializing
-/// per-pass boolean maps would cost two grid-sized buffers per iteration.
-struct EdgeView<'a> {
-    edges: &'a EdgeVariations,
-    accept: f64,
-}
-
-impl EdgeView<'_> {
-    /// Cells `(r,c)` and `(r,c+1)` may share a group.
-    #[inline]
-    fn h(&self, r: usize, c: usize) -> bool {
-        self.edges.h[r * self.edges.cols + c] <= self.accept
-    }
-
-    /// Cells `(r,c)` and `(r+1,c)` may share a group.
-    #[inline]
-    fn v(&self, r: usize, c: usize) -> bool {
-        self.edges.v[r * self.edges.cols + c] <= self.accept
     }
 }
 
@@ -165,23 +198,39 @@ pub fn extract_with_edges(
     edge_variations: &EdgeVariations,
     min_adjacent_variation: f64,
 ) -> Partition {
+    let mut out = Partition::empty();
+    extract_with_edges_into(edge_variations, min_adjacent_variation, &mut out);
+    out
+}
+
+/// [`extract_with_edges`] into a reused partition: `out`'s group/cell index
+/// buffers are refilled in place, keeping their allocations. The driver
+/// recycles them across its dozens of evaluations per run. The `cIndex`
+/// buffer, reset to the [`UNASSIGNED`] sentinel, doubles as the scan's
+/// visited map, so a pass needs no side storage at all.
+pub(crate) fn extract_with_edges_into(
+    edge_variations: &EdgeVariations,
+    min_adjacent_variation: f64,
+    out: &mut Partition,
+) {
     let rows = edge_variations.rows;
     let cols = edge_variations.cols;
-    let edges =
-        EdgeView { edges: edge_variations, accept: min_adjacent_variation + VARIATION_SLACK };
+    let accept = min_adjacent_variation + VARIATION_SLACK;
 
-    // `cell_to_group` doubles as the visited map (UNASSIGNED = unvisited):
-    // the scan assigns every cell exactly once, so a sentinel avoids a
-    // second grid-sized array and its marking traffic.
-    let mut cell_to_group = vec![UNASSIGNED; rows * cols];
-    let mut groups: Vec<GroupRect> = Vec::new();
+    let (mut groups, mut cell_to_group) = out.take_parts();
+    groups.clear();
+    cell_to_group.clear();
+    cell_to_group.resize(rows * cols, UNASSIGNED);
 
     for r in 0..rows {
-        for c in 0..cols {
-            if cell_to_group[r * cols + c] != UNASSIGNED {
+        let rowbase = r * cols;
+        let mut c = 0usize;
+        while c < cols {
+            if cell_to_group[rowbase + c] != UNASSIGNED {
+                c += 1;
                 continue;
             }
-            let (height, width) = best_anchored_rect(&edges, &cell_to_group, rows, cols, r, c);
+            let (height, width) = best_anchored_rect(edge_variations, &cell_to_group, accept, r, c);
             let gid = groups.len() as GroupId;
             let rect = GroupRect {
                 r0: r as u32,
@@ -190,16 +239,16 @@ pub fn extract_with_edges(
                 c1: (c + width - 1) as u32,
             };
             for rr in r..r + height {
-                for cc in c..c + width {
-                    debug_assert_eq!(cell_to_group[rr * cols + cc], UNASSIGNED);
-                    cell_to_group[rr * cols + cc] = gid;
-                }
+                cell_to_group[rr * cols + c..rr * cols + c + width].fill(gid);
             }
             groups.push(rect);
+            // The cells just filled in the anchor row are this group's; the
+            // scan can resume directly past them.
+            c += width;
         }
     }
 
-    Partition::new(rows, cols, groups, cell_to_group)
+    *out = Partition::new(rows, cols, groups, cell_to_group);
 }
 
 /// Finds the maximum-area rectangle anchored at `(r, c)` (its top-left
@@ -211,18 +260,21 @@ pub fn extract_with_edges(
 /// exactly as long as the maximal vertical run, and the scan maximizes the
 /// area over every anchored height.
 fn best_anchored_rect(
-    edges: &EdgeView<'_>,
+    edges: &EdgeVariations,
     assigned: &[GroupId],
-    rows: usize,
-    cols: usize,
+    accept: f64,
     r: usize,
     c: usize,
 ) -> (usize, usize) {
+    let rows = edges.rows;
+    let cols = edges.cols;
+    let (eh, ev) = (&edges.h[..], &edges.v[..]);
+
     // Maximal horizontal run in the anchor row.
     let mut width = 1usize;
     while c + width < cols
         && assigned[r * cols + c + width] == UNASSIGNED
-        && edges.h(r, c + width - 1)
+        && eh[r * cols + c + width - 1] <= accept
     {
         width += 1;
     }
@@ -239,11 +291,11 @@ fn best_anchored_rect(
         // horizontally chained within row `rr`.
         let mut w2 = 0usize;
         while w2 < w {
-            let cc = c + w2;
-            if assigned[rr * cols + cc] != UNASSIGNED || !edges.v(rr - 1, cc) {
+            let cc = rr * cols + c + w2;
+            if assigned[cc] != UNASSIGNED || ev[cc - cols] > accept {
                 break;
             }
-            if w2 > 0 && !edges.h(rr, cc - 1) {
+            if w2 > 0 && eh[cc - 1] > accept {
                 break;
             }
             w2 += 1;
@@ -368,11 +420,13 @@ mod tests {
                 let fv = norm.features_unchecked(id);
                 if c < rect.c1 {
                     let right = norm.cell_id(r as usize, c as usize + 1);
-                    assert!(variation_between(fv, norm.features_unchecked(right)) <= theta + 1e-9);
+                    assert!(
+                        variation_between(&fv, &norm.features_unchecked(right)) <= theta + 1e-9
+                    );
                 }
                 if r < rect.r1 {
                     let down = norm.cell_id(r as usize + 1, c as usize);
-                    assert!(variation_between(fv, norm.features_unchecked(down)) <= theta + 1e-9);
+                    assert!(variation_between(&fv, &norm.features_unchecked(down)) <= theta + 1e-9);
                 }
             }
         }

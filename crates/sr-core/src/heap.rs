@@ -1,43 +1,32 @@
 //! The min-adjacent-variation heap (§III-A1).
 //!
 //! The framework pre-computes the variations between all adjacent cell pairs
-//! of the *attribute-normalized* input exactly once, stores them in a
-//! min-heap, and pops the root in every re-partitioning iteration to obtain
-//! that iteration's `minAdjacentVariation`. Popping *distinct* values keeps
-//! each iteration's partition strictly coarser-or-equal: equal keys would
-//! reproduce the same partition and waste a full extraction pass (the
-//! paper's Example 2 steps from the least to the "second-least" variation,
-//! i.e. it also advances by distinct values).
+//! of the *attribute-normalized* input exactly once and consumes them in
+//! ascending order to obtain each re-partitioning iteration's
+//! `minAdjacentVariation`. Popping *distinct* values keeps each iteration's
+//! partition strictly coarser-or-equal: equal keys would reproduce the same
+//! partition and waste a full extraction pass (the paper's Example 2 steps
+//! from the least to the "second-least" variation, i.e. it also advances by
+//! distinct values).
+//!
+//! Internally this is no longer a binary heap: every consumer drains the
+//! structure in ascending order, so it stores the raw values and sorts them
+//! once, lazily, on first use. Finite f64 keys sort branch-free through the
+//! sign-flip bijection into `u64` (the `total_cmp` order), which is
+//! substantially faster than a comparison sort with an f64 comparator and
+//! identical on the finite, non-negative variation keys.
 
-use sr_grid::{adjacent_variations_with, GridDataset};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use sr_grid::{adjacent_variation_values_with, GridDataset};
 
-/// Total-order wrapper for finite f64 keys.
-///
-/// Variations are finite by construction (means of absolute differences of
-/// finite attribute values), so the `Ord` impl never sees a NaN.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct FiniteF64(f64);
-
-impl Eq for FiniteF64 {}
-
-impl PartialOrd for FiniteF64 {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for FiniteF64 {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("variation keys are finite")
-    }
-}
-
-/// Min-heap over adjacent-pair variations.
+/// Min-heap (API-wise) over adjacent-pair variations; physically a lazily
+/// sorted vector with a consume cursor.
 #[derive(Debug, Clone)]
 pub struct VariationHeap {
-    heap: BinaryHeap<Reverse<FiniteF64>>,
+    /// The variation keys; ascending once `sorted` is set.
+    values: Vec<f64>,
+    /// Next unconsumed index (everything before it has been popped).
+    cursor: usize,
+    sorted: bool,
     /// Two popped values closer than this are considered the same threshold.
     dedup_eps: f64,
     last_popped: Option<f64>,
@@ -45,6 +34,25 @@ pub struct VariationHeap {
 
 /// Default tolerance for treating two variation keys as equal.
 pub const DEFAULT_DEDUP_EPS: f64 = 1e-12;
+
+/// Monotone bijection from finite f64 to u64: preserves `total_cmp` order,
+/// which equals the numeric order for the finite keys stored here.
+#[inline]
+fn sort_key(v: f64) -> u64 {
+    let bits = v.to_bits();
+    if bits >> 63 == 0 {
+        bits ^ (1u64 << 63)
+    } else {
+        !bits
+    }
+}
+
+/// Inverse of [`sort_key`].
+#[inline]
+fn key_value(k: u64) -> f64 {
+    let bits = if k >> 63 != 0 { k ^ (1u64 << 63) } else { !k };
+    f64::from_bits(bits)
+}
 
 impl VariationHeap {
     /// Builds the heap from a grid. Callers following the paper's pipeline
@@ -56,15 +64,25 @@ impl VariationHeap {
 
     /// [`VariationHeap::from_grid`] on an explicit pool.
     pub fn from_grid_with(normalized: &GridDataset, pool: &sr_par::Pool) -> Self {
-        let pairs = adjacent_variations_with(normalized, pool);
-        let heap = pairs.into_iter().map(|p| Reverse(FiniteF64(p.variation))).collect();
-        VariationHeap { heap, dedup_eps: DEFAULT_DEDUP_EPS, last_popped: None }
+        let values = adjacent_variation_values_with(normalized, pool);
+        VariationHeap {
+            values,
+            cursor: 0,
+            sorted: false,
+            dedup_eps: DEFAULT_DEDUP_EPS,
+            last_popped: None,
+        }
     }
 
     /// Builds a heap directly from raw variation values (tests, ablations).
     pub fn from_values(values: impl IntoIterator<Item = f64>) -> Self {
-        let heap = values.into_iter().map(|v| Reverse(FiniteF64(v))).collect();
-        VariationHeap { heap, dedup_eps: DEFAULT_DEDUP_EPS, last_popped: None }
+        VariationHeap {
+            values: values.into_iter().collect(),
+            cursor: 0,
+            sorted: false,
+            dedup_eps: DEFAULT_DEDUP_EPS,
+            last_popped: None,
+        }
     }
 
     /// Overrides the dedup tolerance.
@@ -75,19 +93,36 @@ impl VariationHeap {
 
     /// Remaining entries (duplicates included).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.values.len() - self.cursor
     }
 
     /// Whether the heap is exhausted.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// Sorts the key array ascending (once): map to order-preserving u64
+    /// keys, integer-sort, map back.
+    fn ensure_sorted(&mut self) {
+        if self.sorted {
+            return;
+        }
+        let mut keys: Vec<u64> = self.values.iter().map(|&v| sort_key(v)).collect();
+        keys.sort_unstable();
+        for (v, k) in self.values.iter_mut().zip(keys) {
+            *v = key_value(k);
+        }
+        self.sorted = true;
     }
 
     /// Pops the next *distinct* min-adjacent variation: skips keys within
     /// `dedup_eps` of the previously returned value. Returns `None` when
     /// exhausted.
     pub fn pop_next_distinct(&mut self) -> Option<f64> {
-        while let Some(Reverse(FiniteF64(v))) = self.heap.pop() {
+        self.ensure_sorted();
+        while self.cursor < self.values.len() {
+            let v = self.values[self.cursor];
+            self.cursor += 1;
             match self.last_popped {
                 Some(prev) if (v - prev).abs() <= self.dedup_eps => continue,
                 _ => {
@@ -103,19 +138,16 @@ impl VariationHeap {
     /// The iteration-strategy driver uses this to support strided walks and
     /// binary-search backoff without re-heapifying.
     ///
-    /// Implemented as an unstable sort plus a linear dedup sweep rather
-    /// than repeated heap pops: a full drain is `O(n log n)` either way,
-    /// but the sort runs on a flat array instead of paying a sift-down per
-    /// element. The dedup semantics match [`pop_next_distinct`]
-    /// (each kept value is at least `dedup_eps` above the previous one).
+    /// The dedup semantics match [`pop_next_distinct`] (each kept value is
+    /// at least `dedup_eps` above the previous one, starting from the last
+    /// value already popped, if any).
     ///
     /// [`pop_next_distinct`]: VariationHeap::pop_next_distinct
-    pub fn into_sorted_distinct(self) -> Vec<f64> {
-        let mut values: Vec<f64> = self.heap.into_iter().map(|Reverse(FiniteF64(v))| v).collect();
-        values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("variation keys are finite"));
-        let mut out = Vec::with_capacity(values.len());
+    pub fn into_sorted_distinct(mut self) -> Vec<f64> {
+        self.ensure_sorted();
+        let mut out = Vec::with_capacity(self.len());
         let mut last = self.last_popped;
-        for v in values {
+        for &v in &self.values[self.cursor..] {
             match last {
                 Some(prev) if (v - prev).abs() <= self.dedup_eps => continue,
                 _ => {
@@ -170,6 +202,36 @@ mod tests {
     fn into_sorted_distinct() {
         let h = VariationHeap::from_values([0.5, 0.25, 0.5, 0.75, 0.25]);
         assert_eq!(h.into_sorted_distinct(), vec![0.25, 0.5, 0.75]);
+    }
+
+    #[test]
+    fn len_tracks_consumed_entries() {
+        let mut h = VariationHeap::from_values([0.2, 0.1, 0.1]);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.pop_next_distinct(), Some(0.1));
+        assert_eq!(h.len(), 2);
+        // The duplicate 0.1 is consumed while skipping to 0.2.
+        assert_eq!(h.pop_next_distinct(), Some(0.2));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn into_sorted_distinct_honors_last_popped() {
+        let mut h = VariationHeap::from_values([0.1, 0.1, 0.2, 0.3]);
+        assert_eq!(h.pop_next_distinct(), Some(0.1));
+        // The remaining duplicate of the popped value is deduplicated away.
+        assert_eq!(h.into_sorted_distinct(), vec![0.2, 0.3]);
+    }
+
+    #[test]
+    fn sort_key_bijection_preserves_order() {
+        let vals = [0.0, 1e-300, 1e-12, 0.5, 1.0, 1e300, -0.5, -1e-300];
+        for &a in &vals {
+            assert_eq!(key_value(sort_key(a)).to_bits(), a.to_bits());
+            for &b in &vals {
+                assert_eq!(sort_key(a) < sort_key(b), a < b, "{a} vs {b}");
+            }
+        }
     }
 
     #[test]

@@ -76,8 +76,14 @@ pub fn partition_ifl_with(
         }
     }
 
+    let mut skip = vec![0u64; n_groups.div_ceil(64)];
+    for (g, &count) in valid_counts.iter().enumerate() {
+        if count == 1 {
+            skip[g >> 6] |= 1u64 << (g & 63);
+        }
+    }
     let cache = IflCellCache::build(original, &cells, opts);
-    ifl_over_cells(original, partition, &reps, &cells, &cache, pool)
+    ifl_over_cells(original, partition, &reps, &skip, &cells, &cache, pool)
 }
 
 /// IFL (Eq. 3) directly from a flat [`GroupFeatures`] arena — the
@@ -109,14 +115,22 @@ pub fn partition_ifl_groups_with(
         &cells,
         &cache,
         &mut Vec::new(),
+        &mut Vec::new(),
         pool,
     )
 }
 
+/// Tests the skip bit of group `g`.
+#[inline]
+fn skip_bit(skip: &[u64], g: usize) -> bool {
+    (skip[g >> 6] >> (g & 63)) & 1 != 0
+}
+
 /// Flat-arena IFL over a caller-supplied valid-cell list, term cache, and
-/// representatives buffer, so the driver can build the first two (they are
-/// partition-independent) once per run and reuse the buffer's pages across
-/// its dozens of evaluations.
+/// representatives/skip buffers, so the driver can build the first two
+/// (they are partition-independent) once per run and reuse the buffers'
+/// pages across its dozens of evaluations.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn ifl_groups_over_cells(
     original: &GridDataset,
     partition: &Partition,
@@ -124,23 +138,39 @@ pub(crate) fn ifl_groups_over_cells(
     cells: &[CellId],
     cache: &IflCellCache,
     reps_buf: &mut Vec<f64>,
+    skip_buf: &mut Vec<u64>,
     pool: &sr_par::Pool,
 ) -> f64 {
     debug_assert_eq!(group_features.num_groups(), partition.num_groups());
     let p = original.num_attrs();
     let aggs = original.agg_types();
     let n_groups = partition.num_groups();
-    reps_buf.clear();
+    // The representatives arena is sized but deliberately not zeroed: the
+    // kernel only reads rows of groups that are neither skipped nor null,
+    // and every such row is written below. Null groups own no valid cell,
+    // so their (stale) rows are unreachable from the cell walk.
     reps_buf.resize(n_groups * p, 0.0);
+    skip_buf.clear();
+    skip_buf.resize(n_groups.div_ceil(64), 0);
     for g in 0..n_groups {
         if let Some(fv) = group_features.row(g) {
             let members = group_features.valid_count(g);
+            // A group with exactly one valid member represents that cell
+            // by its own value — every aggregation reduces to the identity
+            // on a single value, and Sum divides back by 1 — so all of its
+            // Eq. 3 terms are exact zeros and the cell can be skipped
+            // without changing a single bit of the sum. Its rep row is
+            // never read either, so it is not even written.
+            if members == 1 {
+                skip_buf[g >> 6] |= 1u64 << (g & 63);
+                continue;
+            }
             for k in 0..p {
                 reps_buf[g * p + k] = representative(fv[k], aggs[k], members);
             }
         }
     }
-    ifl_over_cells(original, partition, reps_buf, cells, cache, pool)
+    ifl_over_cells(original, partition, reps_buf, skip_buf, cells, cache, pool)
 }
 
 /// Per-run cache of the partition-independent parts of Eq. 3: the inverse
@@ -149,9 +179,13 @@ pub(crate) fn ifl_groups_over_cells(
 /// term count. The driver evaluates the IFL dozens of times per run; the
 /// denominators and the averaging count never change between evaluations.
 pub(crate) struct IflCellCache {
-    /// `inv[i·p + k]` = `1 / |d(k)|` of `cells[i]`, or 0.0 when the term is
-    /// skipped (`|d(k)| ≤ zero_eps`).
-    inv: Vec<f64>,
+    /// One `2p`-wide row per listed cell: the cell's `p` attribute values
+    /// followed by its `p` inverse denominators (`1 / |d(k)|`, or 0.0 when
+    /// the term is skipped because `|d(k)| ≤ zero_eps`; never read for
+    /// `Mode` attributes). Values and inverses of a cell share a row so the
+    /// kernel touches one contiguous span per cell — at `p = 4` exactly one
+    /// cache line — instead of two grid-sized buffers.
+    data: Vec<f64>,
     /// Total contributing terms (Eq. 3's averaging denominator).
     terms: usize,
 }
@@ -160,30 +194,36 @@ impl IflCellCache {
     pub(crate) fn build(original: &GridDataset, cells: &[CellId], opts: IflOptions) -> Self {
         let p = original.num_attrs();
         let aggs = original.agg_types();
-        let mut inv = Vec::with_capacity(cells.len() * p);
+        let stride = 2 * p;
+        // Single cell-outer pass: each iteration reads one slot from every
+        // plane (p near-sequential read streams over ascending cell ids)
+        // and fills one contiguous `2p` row — values then inverse
+        // denominators — so the 13 MB arena is written exactly once,
+        // instead of 2p strided sweeps.
+        let mut data = vec![0.0f64; cells.len() * stride];
+        let planes: Vec<&[f64]> = (0..p).map(|k| original.attr_plane(k)).collect();
         let mut terms = 0usize;
-        for &id in cells {
-            let d = original.features_unchecked(id);
+        for (i, &id) in cells.iter().enumerate() {
+            let row = &mut data[i * stride..(i + 1) * stride];
             for k in 0..p {
+                let v = planes[k][id as usize];
+                row[k] = v;
                 if aggs[k] == AggType::Mode {
                     // Categorical terms always contribute (as mismatch
-                    // indicators); the slot value is never read.
-                    inv.push(0.0);
+                    // indicators); the inverse slot is never read.
                     terms += 1;
                     continue;
                 }
-                let denom = d[k].abs();
-                if denom <= opts.zero_eps {
-                    // Percentage error undefined at zero; skip and shrink
-                    // the averaging denominator.
-                    inv.push(0.0);
-                } else {
-                    inv.push(1.0 / denom);
+                let denom = v.abs();
+                if denom > opts.zero_eps {
+                    row[p + k] = 1.0 / denom;
                     terms += 1;
                 }
+                // else: percentage error undefined at zero; the slot stays
+                // 0.0 and the averaging denominator shrinks.
             }
         }
-        IflCellCache { inv, terms }
+        IflCellCache { data, terms }
     }
 }
 
@@ -193,11 +233,14 @@ impl IflCellCache {
 ///
 /// Skipped terms carry a 0.0 inverse denominator; adding
 /// `|d − r| · 0.0 = 0.0` to a non-negative partial sum leaves it unchanged,
-/// so no per-term branch is needed.
+/// so no per-term branch is needed. Cells whose group is flagged in `skip`
+/// (single-valid-member groups) contribute only exact-zero terms and are
+/// skipped wholesale — early driver iterations are dominated by them.
 fn ifl_over_cells(
     original: &GridDataset,
     partition: &Partition,
     reps: &[f64],
+    skip: &[u64],
     cells: &[CellId],
     cache: &IflCellCache,
     pool: &sr_par::Pool,
@@ -207,35 +250,118 @@ fn ifl_over_cells(
     let has_mode = aggs.contains(&AggType::Mode);
     let partials =
         pool.par_map_chunks(cells.len(), sr_par::fixed_grain(cells.len(), 64), |range| {
-            let mut sum = 0.0f64;
-            let base = range.start;
-            for (i, &id) in cells[range].iter().enumerate() {
-                let d = original.features_unchecked(id);
-                let g = partition.group_of(id) as usize;
-                let r = &reps[g * p..g * p + p];
-                let inv = &cache.inv[(base + i) * p..(base + i) * p + p];
-                if has_mode {
-                    for k in 0..p {
-                        if aggs[k] == AggType::Mode {
-                            // Categorical term: mismatch indicator (§VI).
-                            sum += if d[k] == r[k] { 0.0 } else { 1.0 };
-                        } else {
-                            sum += (d[k] - r[k]).abs() * inv[k];
-                        }
-                    }
-                } else {
-                    for k in 0..p {
-                        sum += (d[k] - r[k]).abs() * inv[k];
-                    }
+            // Dispatch to a monomorphized kernel for the common attribute
+            // counts: a compile-time trip count lets the per-cell term loop
+            // unroll fully, which the runtime-`p` loop never does. Each
+            // variant adds the same terms to the same accumulator in the
+            // same ascending-`k` order — identical bits, only less loop
+            // bookkeeping.
+            if has_mode {
+                chunk_sum_mode(partition, reps, skip, cells, cache, aggs, p, range)
+            } else {
+                match p {
+                    1 => chunk_sum::<1>(partition, reps, skip, cells, cache, range),
+                    2 => chunk_sum::<2>(partition, reps, skip, cells, cache, range),
+                    4 => chunk_sum::<4>(partition, reps, skip, cells, cache, range),
+                    _ => chunk_sum_dyn(partition, reps, skip, cells, cache, p, range),
                 }
             }
-            sum
         });
 
     if cache.terms == 0 {
         return 0.0;
     }
     partials.iter().sum::<f64>() / cache.terms as f64
+}
+
+/// One chunk of the Eq. 3 sum with a compile-time attribute count.
+fn chunk_sum<const P: usize>(
+    partition: &Partition,
+    reps: &[f64],
+    skip: &[u64],
+    cells: &[CellId],
+    cache: &IflCellCache,
+    range: std::ops::Range<usize>,
+) -> f64 {
+    let mut sum = 0.0f64;
+    let base = range.start;
+    for (i, &id) in cells[range].iter().enumerate() {
+        let g = partition.group_of(id) as usize;
+        if skip_bit(skip, g) {
+            continue;
+        }
+        let row = (base + i) * 2 * P;
+        let d: &[f64; P] = cache.data[row..row + P].try_into().unwrap();
+        let inv: &[f64; P] = cache.data[row + P..row + 2 * P].try_into().unwrap();
+        let r: &[f64; P] = reps[g * P..g * P + P].try_into().unwrap();
+        for k in 0..P {
+            sum += (d[k] - r[k]).abs() * inv[k];
+        }
+    }
+    sum
+}
+
+/// [`chunk_sum`] for attribute counts without a monomorphized variant.
+fn chunk_sum_dyn(
+    partition: &Partition,
+    reps: &[f64],
+    skip: &[u64],
+    cells: &[CellId],
+    cache: &IflCellCache,
+    p: usize,
+    range: std::ops::Range<usize>,
+) -> f64 {
+    let mut sum = 0.0f64;
+    let base = range.start;
+    for (i, &id) in cells[range].iter().enumerate() {
+        let g = partition.group_of(id) as usize;
+        if skip_bit(skip, g) {
+            continue;
+        }
+        let row = (base + i) * 2 * p;
+        let d = &cache.data[row..row + p];
+        let inv = &cache.data[row + p..row + 2 * p];
+        let r = &reps[g * p..g * p + p];
+        for k in 0..p {
+            sum += (d[k] - r[k]).abs() * inv[k];
+        }
+    }
+    sum
+}
+
+/// [`chunk_sum_dyn`] with categorical attributes: `Mode` terms are
+/// mismatch indicators (§VI), everything else a percentage error.
+#[allow(clippy::too_many_arguments)]
+fn chunk_sum_mode(
+    partition: &Partition,
+    reps: &[f64],
+    skip: &[u64],
+    cells: &[CellId],
+    cache: &IflCellCache,
+    aggs: &[AggType],
+    p: usize,
+    range: std::ops::Range<usize>,
+) -> f64 {
+    let mut sum = 0.0f64;
+    let base = range.start;
+    for (i, &id) in cells[range].iter().enumerate() {
+        let g = partition.group_of(id) as usize;
+        if skip_bit(skip, g) {
+            continue;
+        }
+        let row = (base + i) * 2 * p;
+        let d = &cache.data[row..row + p];
+        let inv = &cache.data[row + p..row + 2 * p];
+        let r = &reps[g * p..g * p + p];
+        for k in 0..p {
+            if aggs[k] == AggType::Mode {
+                sum += if d[k] == r[k] { 0.0 } else { 1.0 };
+            } else {
+                sum += (d[k] - r[k]).abs() * inv[k];
+            }
+        }
+    }
+    sum
 }
 
 #[cfg(test)]

@@ -87,7 +87,7 @@ fn is_homogeneous(grid: &GridDataset, rect: GroupRect, threshold: f64) -> bool {
         if c < rect.c1 {
             let right = grid.cell_id(r as usize, c as usize + 1);
             if grid.is_valid(right)
-                && variation_between_typed(fv, grid.features_unchecked(right), aggs)
+                && variation_between_typed(&fv, &grid.features_unchecked(right), aggs)
                     > threshold + VARIATION_SLACK
             {
                 return false;
@@ -96,7 +96,7 @@ fn is_homogeneous(grid: &GridDataset, rect: GroupRect, threshold: f64) -> bool {
         if r < rect.r1 {
             let down = grid.cell_id(r as usize + 1, c as usize);
             if grid.is_valid(down)
-                && variation_between_typed(fv, grid.features_unchecked(down), aggs)
+                && variation_between_typed(&fv, &grid.features_unchecked(down), aggs)
                     > threshold + VARIATION_SLACK
             {
                 return false;

@@ -15,7 +15,7 @@
 //!   distinct-value count makes the faithful walk quadratic in practice.
 
 use crate::allocator::{allocate_features_with, GroupFeatures};
-use crate::extractor::{extract_with_edges, EdgeVariations};
+use crate::extractor::{extract_with_edges_into, EdgeVariations};
 use crate::group_adjacency::group_adjacency;
 use crate::heap::VariationHeap;
 use crate::ifl::{ifl_groups_over_cells, IflCellCache};
@@ -293,22 +293,25 @@ impl Repartitioner {
         // mapped once per run, not once per evaluation.
         let mut best: Option<(Partition, GroupFeatures, f64, f64)> = None;
         let mut features_buf = GroupFeatures::empty();
+        let mut partition_buf = Partition::empty();
         let mut reps_buf: Vec<f64> = Vec::new();
+        let mut skip_buf: Vec<u64> = Vec::new();
 
         // One extraction pass at the given variation; updates `best` on
         // acceptance and returns the stats.
         let mut evaluate = |theta: f64,
                             best: &mut Option<(Partition, GroupFeatures, f64, f64)>|
          -> IterationStats {
-            let partition = extract_with_edges(&edges, theta);
-            GroupFeatures::allocate_into(grid, &partition, pool, &mut features_buf);
+            extract_with_edges_into(&edges, theta, &mut partition_buf);
+            GroupFeatures::allocate_into(grid, &partition_buf, pool, &mut features_buf);
             let ifl = ifl_groups_over_cells(
                 grid,
-                &partition,
+                &partition_buf,
                 &features_buf,
                 &cells,
                 &ifl_cache,
                 &mut reps_buf,
+                &mut skip_buf,
                 pool,
             );
             let accepted = ifl <= self.config.threshold;
@@ -316,18 +319,22 @@ impl Repartitioner {
             if !accepted {
                 rejections_total.inc();
             }
-            let num_groups = partition.num_groups();
+            let num_groups = partition_buf.num_groups();
             if accepted {
                 let better = best.as_ref().is_none_or(|(b, ..)| num_groups <= b.num_groups());
                 if better {
                     match best {
                         Some((bp, bf, bifl, btheta)) => {
-                            *bp = partition;
+                            // Swapping (not overwriting) keeps the evicted
+                            // candidate's buffers alive for the next pass.
+                            std::mem::swap(bp, &mut partition_buf);
                             std::mem::swap(bf, &mut features_buf);
                             *bifl = ifl;
                             *btheta = theta;
                         }
                         None => {
+                            let partition =
+                                std::mem::replace(&mut partition_buf, Partition::empty());
                             let features =
                                 std::mem::replace(&mut features_buf, GroupFeatures::empty());
                             *best = Some((partition, features, ifl, theta));

@@ -66,11 +66,11 @@ proptest! {
                 let fv = norm.features_unchecked(id);
                 if c < rect.c1 {
                     let rid = norm.cell_id(r as usize, c as usize + 1);
-                    prop_assert!(variation_between(fv, norm.features_unchecked(rid)) <= theta + 1e-9);
+                    prop_assert!(variation_between(&fv, &norm.features_unchecked(rid)) <= theta + 1e-9);
                 }
                 if r < rect.r1 {
                     let did = norm.cell_id(r as usize + 1, c as usize);
-                    prop_assert!(variation_between(fv, norm.features_unchecked(did)) <= theta + 1e-9);
+                    prop_assert!(variation_between(&fv, &norm.features_unchecked(did)) <= theta + 1e-9);
                 }
             }
         }

@@ -141,7 +141,7 @@ mod tests {
                     let fb = norm.features_unchecked(b);
                     if fa[2] != fb[2] {
                         boundary_pairs += 1;
-                        let v = variation_between_typed(fa, fb, aggs);
+                        let v = variation_between_typed(&fa, &fb, aggs);
                         assert!(v >= 1.0 / 3.0, "class mismatch must dominate, got {v}");
                     }
                 }

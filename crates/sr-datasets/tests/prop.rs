@@ -23,7 +23,7 @@ proptest! {
             prop_assert_eq!(g.cols(), cols);
             prop_assert!(g.num_valid_cells() * 2 > g.num_cells(), "{}", ds.name());
             for id in g.valid_cells() {
-                for &v in g.features_unchecked(id) {
+                for v in g.features_unchecked(id) {
                     prop_assert!(v.is_finite(), "{} cell {id}", ds.name());
                 }
             }

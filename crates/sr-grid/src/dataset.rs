@@ -92,17 +92,25 @@ pub struct PointRecord {
 
 /// An `m × n` spatial grid dataset with `p` attributes per cell.
 ///
-/// Storage is flattened row-major: attribute `k` of cell `(r, c)` lives at
-/// `(r * cols + c) * num_attrs + k`. Cells with no data are *null* (their
-/// `valid` bit is false); their attribute slots are zeros and must not be
-/// interpreted.
+/// Storage is attribute-plane struct-of-arrays: attribute `k` of cell
+/// `(r, c)` lives at `k * num_cells + (r * cols + c)` in one contiguous
+/// buffer — one flat `num_cells`-long plane per attribute, exposed through
+/// [`GridDataset::attr_plane`] for the scan kernels. Cell validity is a
+/// packed bitmap (`u64` words, bit `i` = cell `i`). Cells with no data are
+/// *null* (their bit is clear); their attribute slots hold zeros and must
+/// not be interpreted.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GridDataset {
     rows: usize,
     cols: usize,
     num_attrs: usize,
-    data: Vec<f64>,
-    valid: Vec<bool>,
+    /// Plane-major attribute storage, `num_attrs * num_cells` doubles.
+    planes: Vec<f64>,
+    /// Packed validity bitmap, `ceil(num_cells / 64)` words; bits at and
+    /// above `num_cells` are always zero.
+    valid_bits: Vec<u64>,
+    /// Cached popcount of `valid_bits`.
+    num_valid: usize,
     attr_names: Vec<String>,
     agg_types: Vec<AggType>,
     /// Whether the attribute is integer-typed (average representatives get
@@ -111,11 +119,27 @@ pub struct GridDataset {
     bounds: Bounds,
 }
 
+/// Packs a `&[bool]` mask into bitmap words (bit `i` = `mask[i]`).
+fn pack_valid_bits(mask: &[bool]) -> (Vec<u64>, usize) {
+    let mut words = vec![0u64; mask.len().div_ceil(64)];
+    let mut count = 0usize;
+    for (i, &v) in mask.iter().enumerate() {
+        if v {
+            words[i >> 6] |= 1u64 << (i & 63);
+            count += 1;
+        }
+    }
+    (words, count)
+}
+
 impl GridDataset {
-    /// Creates a grid from flattened row-major data and a validity mask.
+    /// Creates a grid from flattened *cell-major interleaved* data (the
+    /// classic `(r * cols + c) * num_attrs + k` layout) and a validity
+    /// mask; the data is transposed into attribute planes internally.
     ///
     /// `data.len()` must be `rows * cols * num_attrs` and `valid.len()`
-    /// must be `rows * cols`.
+    /// must be `rows * cols`. Attribute slots of null cells are zeroed
+    /// regardless of the values passed in.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         rows: usize,
@@ -136,7 +160,53 @@ impl GridDataset {
                 context: "data length != rows * cols * num_attrs",
             });
         }
-        if valid.len() != rows * cols {
+        let n = rows * cols;
+        let mut planes = vec![0.0f64; num_attrs * n];
+        for (i, &v) in valid.iter().enumerate() {
+            if v {
+                for (k, plane) in planes.chunks_exact_mut(n).enumerate() {
+                    plane[i] = data[i * num_attrs + k];
+                }
+            }
+        }
+        Self::from_planes(
+            rows,
+            cols,
+            num_attrs,
+            planes,
+            valid,
+            attr_names,
+            agg_types,
+            integer_attrs,
+            bounds,
+        )
+    }
+
+    /// Creates a grid directly from plane-major storage: attribute `k`
+    /// occupies `planes[k * num_cells .. (k + 1) * num_cells]`. Attribute
+    /// slots of null cells are zeroed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_planes(
+        rows: usize,
+        cols: usize,
+        num_attrs: usize,
+        mut planes: Vec<f64>,
+        valid: Vec<bool>,
+        attr_names: Vec<String>,
+        agg_types: Vec<AggType>,
+        integer_attrs: Vec<bool>,
+        bounds: Bounds,
+    ) -> Result<Self> {
+        if rows == 0 || cols == 0 || num_attrs == 0 {
+            return Err(GridError::EmptyGrid);
+        }
+        let n = rows * cols;
+        if planes.len() != n * num_attrs {
+            return Err(GridError::DimensionMismatch {
+                context: "data length != rows * cols * num_attrs",
+            });
+        }
+        if valid.len() != n {
             return Err(GridError::DimensionMismatch {
                 context: "valid mask length != rows * cols",
             });
@@ -149,12 +219,21 @@ impl GridDataset {
                 context: "attribute metadata length != num_attrs",
             });
         }
+        for plane in planes.chunks_exact_mut(n) {
+            for (i, &v) in valid.iter().enumerate() {
+                if !v {
+                    plane[i] = 0.0;
+                }
+            }
+        }
+        let (valid_bits, num_valid) = pack_valid_bits(&valid);
         Ok(GridDataset {
             rows,
             cols,
             num_attrs,
-            data,
-            valid,
+            planes,
+            valid_bits,
+            num_valid,
             attr_names,
             agg_types,
             integer_attrs,
@@ -170,7 +249,7 @@ impl GridDataset {
     /// use sr_grid::GridDataset;
     /// let g = GridDataset::univariate(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
     /// assert_eq!(g.num_cells(), 6);
-    /// assert_eq!(g.features(g.cell_id(1, 2)), Some(&[6.0][..]));
+    /// assert_eq!(g.features(g.cell_id(1, 2)).as_deref(), Some(&[6.0][..]));
     /// ```
     pub fn univariate(rows: usize, cols: usize, values: Vec<f64>) -> Result<Self> {
         let n = rows * cols;
@@ -212,8 +291,9 @@ impl GridDataset {
     }
 
     /// Number of non-null cells.
+    #[inline]
     pub fn num_valid_cells(&self) -> usize {
-        self.valid.iter().filter(|&&v| v).count()
+        self.num_valid
     }
 
     /// Attribute names.
@@ -253,61 +333,121 @@ impl GridDataset {
     /// Whether the cell has a (non-null) feature vector.
     #[inline]
     pub fn is_valid(&self, id: CellId) -> bool {
-        self.valid[id as usize]
+        let id = id as usize;
+        (self.valid_bits[id >> 6] >> (id & 63)) & 1 != 0
     }
 
-    /// Borrow the validity mask.
-    #[inline]
-    pub fn valid_mask(&self) -> &[bool] {
-        &self.valid
+    /// The validity mask materialized as one `bool` per cell (row-major).
+    /// Hot paths should use [`GridDataset::valid_words`] or
+    /// [`GridDataset::is_valid`] instead of allocating this copy.
+    pub fn valid_mask(&self) -> Vec<bool> {
+        (0..self.num_cells()).map(|i| self.is_valid(i as CellId)).collect()
     }
 
-    /// Feature vector of a cell (`None` for null cells).
+    /// The packed validity bitmap: bit `i` of word `i / 64` is cell `i`'s
+    /// validity. Bits at and above [`GridDataset::num_cells`] are zero.
     #[inline]
-    pub fn features(&self, id: CellId) -> Option<&[f64]> {
-        if !self.valid[id as usize] {
+    pub fn valid_words(&self) -> &[u64] {
+        &self.valid_bits
+    }
+
+    /// Feature vector of a cell (`None` for null cells), gathered across
+    /// the attribute planes into an owned vector. Hot loops should read
+    /// planes directly via [`GridDataset::attr_plane`].
+    #[inline]
+    pub fn features(&self, id: CellId) -> Option<Vec<f64>> {
+        if !self.is_valid(id) {
             return None;
         }
-        let start = id as usize * self.num_attrs;
-        Some(&self.data[start..start + self.num_attrs])
+        Some(self.features_unchecked(id))
     }
 
-    /// Feature vector of a cell without the null check. The caller must know
-    /// the cell is valid (or accept zeros).
+    /// Feature vector of a cell without the null check (null cells yield
+    /// zeros). Allocates; hot loops should read planes directly.
     #[inline]
-    pub fn features_unchecked(&self, id: CellId) -> &[f64] {
-        let start = id as usize * self.num_attrs;
-        &self.data[start..start + self.num_attrs]
+    pub fn features_unchecked(&self, id: CellId) -> Vec<f64> {
+        let n = self.num_cells();
+        let id = id as usize;
+        self.planes.chunks_exact(n).map(|plane| plane[id]).collect()
+    }
+
+    /// Gathers a cell's feature vector into `out` (which must be
+    /// `num_attrs` long) without allocating. Null cells yield zeros.
+    #[inline]
+    pub fn features_into(&self, id: CellId, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.num_attrs);
+        let n = self.num_cells();
+        let id = id as usize;
+        for (o, plane) in out.iter_mut().zip(self.planes.chunks_exact(n)) {
+            *o = plane[id];
+        }
     }
 
     /// Value of attribute `k` for a valid cell.
     #[inline]
     pub fn value(&self, id: CellId, k: usize) -> f64 {
-        self.data[id as usize * self.num_attrs + k]
+        self.planes[k * self.num_cells() + id as usize]
     }
 
     /// Sets attribute `k` of a cell (does not change validity).
     pub fn set_value(&mut self, id: CellId, k: usize, v: f64) {
-        self.data[id as usize * self.num_attrs + k] = v;
+        let n = self.num_cells();
+        self.planes[k * n + id as usize] = v;
     }
 
     /// Marks a cell as valid (its current feature slots become live).
     pub fn set_valid(&mut self, id: CellId) {
-        self.valid[id as usize] = true;
+        let i = id as usize;
+        let bit = 1u64 << (i & 63);
+        if self.valid_bits[i >> 6] & bit == 0 {
+            self.valid_bits[i >> 6] |= bit;
+            self.num_valid += 1;
+        }
     }
 
     /// Marks a cell as null, zeroing its feature slots.
     pub fn set_null(&mut self, id: CellId) {
-        self.valid[id as usize] = false;
-        let start = id as usize * self.num_attrs;
-        for v in &mut self.data[start..start + self.num_attrs] {
-            *v = 0.0;
+        let i = id as usize;
+        let bit = 1u64 << (i & 63);
+        if self.valid_bits[i >> 6] & bit != 0 {
+            self.valid_bits[i >> 6] &= !bit;
+            self.num_valid -= 1;
+        }
+        let n = self.num_cells();
+        for plane in self.planes.chunks_exact_mut(n) {
+            plane[i] = 0.0;
         }
     }
 
-    /// Iterator over the ids of valid (non-null) cells.
-    pub fn valid_cells(&self) -> impl Iterator<Item = CellId> + '_ {
-        self.valid.iter().enumerate().filter_map(|(i, &v)| v.then_some(i as CellId))
+    /// Contiguous plane of attribute `k`: one value per cell, row-major.
+    /// This is the hot-path accessor the flat scan kernels stream over.
+    #[inline]
+    pub fn attr_plane(&self, k: usize) -> &[f64] {
+        let n = self.num_cells();
+        &self.planes[k * n..(k + 1) * n]
+    }
+
+    /// Mutable plane of attribute `k`.
+    #[inline]
+    pub fn attr_plane_mut(&mut self, k: usize) -> &mut [f64] {
+        let n = self.num_cells();
+        &mut self.planes[k * n..(k + 1) * n]
+    }
+
+    /// All attribute planes as one flat slice (plane `k` at
+    /// `k * num_cells ..`), for kernels that walk several planes at once.
+    #[inline]
+    pub fn planes(&self) -> &[f64] {
+        &self.planes
+    }
+
+    /// Iterator over the ids of valid (non-null) cells, ascending.
+    pub fn valid_cells(&self) -> ValidCells<'_> {
+        ValidCells {
+            words: &self.valid_bits,
+            word_idx: 0,
+            current: self.valid_bits.first().copied().unwrap_or(0),
+        }
     }
 
     /// Geographic centroid of a cell, derived from the bounds and grid shape.
@@ -327,34 +467,77 @@ impl GridDataset {
         if k >= self.num_attrs {
             return Err(GridError::AttributeOutOfRange { index: k, num_attrs: self.num_attrs });
         }
-        let mut ids = Vec::with_capacity(self.num_valid_cells());
-        let mut vals = Vec::with_capacity(self.num_valid_cells());
+        let plane = self.attr_plane(k);
+        let mut ids = Vec::with_capacity(self.num_valid);
+        let mut vals = Vec::with_capacity(self.num_valid);
         for id in self.valid_cells() {
             ids.push(id);
-            vals.push(self.value(id, k));
+            vals.push(plane[id as usize]);
         }
         Ok((ids, vals))
     }
 
     /// Per-attribute maximum absolute value over valid cells (used by
     /// normalization). Returns zeros when the grid has no valid cells.
+    ///
+    /// Null slots hold zeros, so each plane can be scanned branch-free —
+    /// a null cell can never raise a (non-negative) running maximum.
     pub fn attr_max_abs(&self) -> Vec<f64> {
-        let mut maxes = vec![0.0f64; self.num_attrs];
-        for id in self.valid_cells() {
-            let fv = self.features_unchecked(id);
-            for (m, &v) in maxes.iter_mut().zip(fv) {
-                let a = v.abs();
-                if a > *m {
-                    *m = a;
+        let n = self.num_cells();
+        self.planes
+            .chunks_exact(n)
+            .map(|plane| {
+                let mut m = 0.0f64;
+                for &v in plane {
+                    let a = v.abs();
+                    if a > m {
+                        m = a;
+                    }
                 }
-            }
-        }
-        maxes
+                m
+            })
+            .collect()
     }
 
-    /// Borrow the raw flattened data (row-major, `num_attrs` per cell).
-    pub fn raw_data(&self) -> &[f64] {
-        &self.data
+    /// Materialized copy of the data in the classic cell-major interleaved
+    /// layout (`id * num_attrs + k`), for serialization and tests. Null
+    /// cells contribute zeros.
+    pub fn raw_data(&self) -> Vec<f64> {
+        let n = self.num_cells();
+        let p = self.num_attrs;
+        let mut out = vec![0.0f64; n * p];
+        for (k, plane) in self.planes.chunks_exact(n).enumerate() {
+            for (i, &v) in plane.iter().enumerate() {
+                out[i * p + k] = v;
+            }
+        }
+        out
+    }
+}
+
+/// Word-skipping iterator over the set bits of a validity bitmap (ascending
+/// cell ids). Runs of 64 null cells cost one word test.
+pub struct ValidCells<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for ValidCells<'_> {
+    type Item = CellId;
+
+    #[inline]
+    fn next(&mut self) -> Option<CellId> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1;
+        Some((self.word_idx as u32) * 64 + bit)
     }
 }
 
@@ -512,7 +695,7 @@ mod tests {
     #[test]
     fn features_and_validity() {
         let mut g = small_grid();
-        assert_eq!(g.features(0), Some(&[1.0][..]));
+        assert_eq!(g.features(0).as_deref(), Some(&[1.0][..]));
         g.set_null(0);
         assert!(!g.is_valid(0));
         assert_eq!(g.features(0), None);
@@ -528,6 +711,114 @@ mod tests {
         assert_eq!(ids.len(), 6);
         assert_eq!(vals, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         assert!(matches!(g.attr_column(1), Err(GridError::AttributeOutOfRange { index: 1, .. })));
+    }
+
+    #[test]
+    fn planes_match_interleaved_construction() {
+        let g = GridDataset::new(
+            2,
+            2,
+            2,
+            vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0],
+            vec![true; 4],
+            vec!["a".into(), "b".into()],
+            vec![AggType::Avg, AggType::Avg],
+            vec![false, false],
+            Bounds::unit(),
+        )
+        .unwrap();
+        assert_eq!(g.attr_plane(0), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(g.attr_plane(1), &[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(g.raw_data(), vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]);
+        assert_eq!(g.features_unchecked(2), vec![3.0, 30.0]);
+        let mut buf = [0.0; 2];
+        g.features_into(3, &mut buf);
+        assert_eq!(buf, [4.0, 40.0]);
+    }
+
+    #[test]
+    fn from_planes_matches_new() {
+        let a = GridDataset::new(
+            1,
+            3,
+            2,
+            vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0],
+            vec![true, false, true],
+            vec!["a".into(), "b".into()],
+            vec![AggType::Avg, AggType::Sum],
+            vec![false, false],
+            Bounds::unit(),
+        )
+        .unwrap();
+        let b = GridDataset::from_planes(
+            1,
+            3,
+            2,
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            vec![true, false, true],
+            vec!["a".into(), "b".into()],
+            vec![AggType::Avg, AggType::Sum],
+            vec![false, false],
+            Bounds::unit(),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        // The null cell's slots were zeroed in both layouts.
+        assert_eq!(a.attr_plane(0), &[1.0, 0.0, 3.0]);
+        assert_eq!(a.attr_plane(1), &[4.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn null_slots_zeroed_on_construction() {
+        let g = GridDataset::new(
+            1,
+            2,
+            1,
+            vec![7.0, 9.0],
+            vec![false, true],
+            vec!["v".into()],
+            vec![AggType::Avg],
+            vec![false],
+            Bounds::unit(),
+        )
+        .unwrap();
+        assert_eq!(g.attr_plane(0), &[0.0, 9.0]);
+        assert_eq!(g.features_unchecked(0), vec![0.0]);
+    }
+
+    #[test]
+    fn valid_words_pack_row_major() {
+        let mut g = GridDataset::univariate(2, 3, vec![1.0; 6]).unwrap();
+        assert_eq!(g.valid_words(), &[0b111111]);
+        g.set_null(2);
+        assert_eq!(g.valid_words(), &[0b111011]);
+        g.set_valid(2);
+        assert_eq!(g.valid_words(), &[0b111111]);
+        assert_eq!(g.num_valid_cells(), 6);
+        // Idempotent transitions keep the cached count right.
+        g.set_null(0);
+        g.set_null(0);
+        assert_eq!(g.num_valid_cells(), 5);
+        g.set_valid(0);
+        g.set_valid(0);
+        assert_eq!(g.num_valid_cells(), 6);
+    }
+
+    #[test]
+    fn valid_cells_skips_whole_null_words() {
+        // 130 cells spans three bitmap words with a trailing partial word.
+        let n = 130usize;
+        let mut g = GridDataset::univariate(1, n, vec![1.0; n]).unwrap();
+        for i in 0..n as u32 {
+            g.set_null(i);
+        }
+        assert_eq!(g.valid_cells().count(), 0);
+        g.set_valid(129);
+        assert_eq!(g.valid_cells().collect::<Vec<_>>(), vec![129]);
+        g.set_valid(0);
+        g.set_valid(64);
+        assert_eq!(g.valid_cells().collect::<Vec<_>>(), vec![0, 64, 129]);
+        assert_eq!(g.num_valid_cells(), 3);
     }
 
     #[test]

@@ -95,11 +95,13 @@ pub fn write_grid<W: Write>(grid: &GridDataset, mut out: W) -> Result<(), IoErro
     out.write_all(buf.as_bytes())?;
 
     let mut line = String::new();
+    let mut fv = vec![0.0f64; grid.num_attrs()];
     for id in grid.valid_cells() {
         line.clear();
         let (r, c) = grid.cell_pos(id);
         let _ = write!(line, "{r}\t{c}");
-        for &v in grid.features_unchecked(id) {
+        grid.features_into(id, &mut fv);
+        for &v in &fv {
             let _ = write!(line, "\t{}", fmt_f64(v));
         }
         line.push('\n');

@@ -41,8 +41,8 @@ pub use loss::{information_loss, local_loss, IflOptions};
 pub use normalize::normalize_attributes;
 pub use render::{render_heatmap, render_partition};
 pub use variation::{
-    adjacent_variations, adjacent_variations_with, variation_between, variation_between_typed,
-    AdjacentPair,
+    adjacent_variation_values_with, adjacent_variations, adjacent_variations_with,
+    variation_between, variation_between_typed, AdjacentPair,
 };
 
 /// Errors produced by grid construction and grid-level computations.

@@ -55,26 +55,32 @@ pub fn information_loss(
         return Err(GridError::IncompatibleGrids);
     }
     let p = original.num_attrs();
+    let n = original.num_cells();
     let aggs = original.agg_types();
+    let planes = original.planes();
+    let rplanes = reconstructed.planes();
     let mut sum = 0.0;
     let mut terms = 0usize;
+    // Cell-outer, attribute-inner: the summation order every prior layout
+    // used, so the reported metric is bit-stable across storage changes.
     for id in original.valid_cells() {
-        let d = original.features_unchecked(id);
-        let dbar = reconstructed.features_unchecked(id);
+        let id = id as usize;
         for k in 0..p {
+            let dk = planes[k * n + id];
+            let dbark = rplanes[k * n + id];
             if aggs[k] == crate::AggType::Mode {
                 // Categorical term: mismatch indicator (§VI extension).
-                sum += if d[k] == dbar[k] { 0.0 } else { 1.0 };
+                sum += if dk == dbark { 0.0 } else { 1.0 };
                 terms += 1;
                 continue;
             }
-            let denom = d[k].abs();
+            let denom = dk.abs();
             if denom <= opts.zero_eps {
                 // Percentage error undefined at zero; skip and shrink the
                 // averaging denominator (documented substitution).
                 continue;
             }
-            sum += (d[k] - dbar[k]).abs() / denom;
+            sum += (dk - dbark).abs() / denom;
             terms += 1;
         }
     }
@@ -92,12 +98,14 @@ pub fn information_loss_with(
     opts: IflOptions,
 ) -> f64 {
     let p = original.num_attrs();
+    let n = original.num_cells();
     let aggs = original.agg_types();
+    let planes = original.planes();
     let mut sum = 0.0;
     let mut terms = 0usize;
     for id in original.valid_cells() {
-        let d = original.features_unchecked(id);
-        for (k, &dk) in d.iter().enumerate().take(p) {
+        for k in 0..p {
+            let dk = planes[k * n + id as usize];
             if aggs[k] == crate::AggType::Mode {
                 sum += if dk == representative(id, k) { 0.0 } else { 1.0 };
                 terms += 1;

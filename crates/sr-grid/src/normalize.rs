@@ -17,17 +17,18 @@ use crate::GridDataset;
 pub fn normalize_attributes(grid: &GridDataset) -> GridDataset {
     let maxes = grid.attr_max_abs();
     let mut out = grid.clone();
-    let p = grid.num_attrs();
-    for id in grid.valid_cells() {
-        for (k, &m) in maxes.iter().enumerate().take(p) {
-            // Categorical codes carry no magnitude: variation treats them
-            // as 0/1 mismatches, so scaling would only distort the codes.
-            if grid.agg_types()[k] == crate::AggType::Mode {
-                continue;
-            }
-            if m > 0.0 {
-                let v = grid.value(id, k);
-                out.set_value(id, k, v / m);
+    for (k, &m) in maxes.iter().enumerate() {
+        // Categorical codes carry no magnitude: variation treats them
+        // as 0/1 mismatches, so scaling would only distort the codes.
+        if grid.agg_types()[k] == crate::AggType::Mode {
+            continue;
+        }
+        // Positive test so an all-zero (or NaN-poisoned) max skips the plane.
+        if m > 0.0 {
+            // Whole-plane divide, branch-free: null slots hold +0.0 and
+            // +0.0 / m == +0.0, so skipping the validity check changes nothing.
+            for v in out.attr_plane_mut(k) {
+                *v /= m;
             }
         }
     }

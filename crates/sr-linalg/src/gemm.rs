@@ -157,6 +157,15 @@ fn pack_panel(b: &Matrix, k0: usize, kw: usize, j0: usize, jw: usize, packed: &m
 /// Micro-kernel: accumulates `MR` rows of `A[rows, k0..k0+kw] × panel`
 /// into `acc` (overwritten). Four accumulator streams per `j`, one panel
 /// row load shared by all four.
+///
+/// The `j` loop runs in explicit 4×f64 steps: on x86-64 with AVX a
+/// `__m256d` multiply followed by a separate add (deliberately *not* an
+/// FMA — a fused multiply-add rounds once where the fallback rounds
+/// twice, which would break bit-parity between the two paths), elsewhere
+/// a 4-wide array body the compiler lowers to whatever SIMD the baseline
+/// target has. Every lane computes the independent scalar
+/// `acc[j] += a · b[j]`, so both paths and the ragged scalar tail produce
+/// identical bits; the dispatch is a pure speed choice, checked once.
 fn micro_mr(
     a: &Matrix,
     i0: usize,
@@ -173,16 +182,113 @@ fn micro_mr(
     let r1 = &a.row(i0 + 1)[k0..k0 + kw];
     let r2 = &a.row(i0 + 2)[k0..k0 + kw];
     let r3 = &a.row(i0 + 3)[k0..k0 + kw];
+    #[cfg(target_arch = "x86_64")]
+    if avx_available() {
+        // SAFETY: AVX support was verified at runtime just above.
+        unsafe { micro_mr_avx(r0, r1, r2, r3, packed, jw, acc) };
+        return;
+    }
+    micro_mr_fallback(r0, r1, r2, r3, packed, jw, acc);
+}
+
+/// Portable explicit-width body of [`micro_mr`]: 4×f64 steps as plain
+/// arrays. Also the bit-parity oracle for the AVX path.
+fn micro_mr_fallback(
+    r0: &[f64],
+    r1: &[f64],
+    r2: &[f64],
+    r3: &[f64],
+    packed: &[f64],
+    jw: usize,
+    acc: &mut [[f64; JB]; MR],
+) {
+    let kw = r0.len();
     for kk in 0..kw {
         let (a0, a1, a2, a3) = (r0[kk], r1[kk], r2[kk], r3[kk]);
         let b_row = &packed[kk * jw..(kk + 1) * jw];
         let [acc0, acc1, acc2, acc3] = acc;
-        for j in 0..jw {
+        let mut j = 0;
+        while j + 4 <= jw {
+            let bv: [f64; 4] = b_row[j..j + 4].try_into().unwrap();
+            for (l, &b) in bv.iter().enumerate() {
+                acc0[j + l] += a0 * b;
+                acc1[j + l] += a1 * b;
+                acc2[j + l] += a2 * b;
+                acc3[j + l] += a3 * b;
+            }
+            j += 4;
+        }
+        while j < jw {
             let bv = b_row[j];
             acc0[j] += a0 * bv;
             acc1[j] += a1 * bv;
             acc2[j] += a2 * bv;
             acc3[j] += a3 * bv;
+            j += 1;
+        }
+    }
+}
+
+/// Whether the running CPU supports AVX; detected once, then cached.
+#[cfg(target_arch = "x86_64")]
+fn avx_available() -> bool {
+    use std::sync::OnceLock;
+    static AVX: OnceLock<bool> = OnceLock::new();
+    *AVX.get_or_init(|| std::arch::is_x86_feature_detected!("avx"))
+}
+
+/// AVX body of [`micro_mr`]: one `__m256d` load of the panel row feeds
+/// four separate multiply-then-add pairs (no FMA — see [`micro_mr`]).
+///
+/// # Safety
+/// The caller must ensure the CPU supports AVX.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn micro_mr_avx(
+    r0: &[f64],
+    r1: &[f64],
+    r2: &[f64],
+    r3: &[f64],
+    packed: &[f64],
+    jw: usize,
+    acc: &mut [[f64; JB]; MR],
+) {
+    use std::arch::x86_64::{
+        _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_storeu_pd,
+    };
+    let kw = r0.len();
+    for kk in 0..kw {
+        let va = [
+            _mm256_set1_pd(r0[kk]),
+            _mm256_set1_pd(r1[kk]),
+            _mm256_set1_pd(r2[kk]),
+            _mm256_set1_pd(r3[kk]),
+        ];
+        let b_row = &packed[kk * jw..(kk + 1) * jw];
+        let mut j = 0;
+        while j + 4 <= jw {
+            // SAFETY: `j + 4 <= jw` bounds the loads; `acc` rows hold `JB
+            // ≥ jw` doubles. Unaligned load/store forms are used
+            // throughout.
+            unsafe {
+                let bv = _mm256_loadu_pd(b_row.as_ptr().add(j));
+                for (row, &a) in acc.iter_mut().zip(&va) {
+                    let ptr = row.as_mut_ptr().add(j);
+                    let sum = _mm256_add_pd(_mm256_loadu_pd(ptr), _mm256_mul_pd(a, bv));
+                    _mm256_storeu_pd(ptr, sum);
+                }
+            }
+            j += 4;
+        }
+        let (a0, a1, a2, a3) = (r0[kk], r1[kk], r2[kk], r3[kk]);
+        let [acc0, acc1, acc2, acc3] = acc;
+        while j < jw {
+            let bv = b_row[j];
+            acc0[j] += a0 * bv;
+            acc1[j] += a1 * bv;
+            acc2[j] += a2 * bv;
+            acc3[j] += a3 * bv;
+            j += 1;
         }
     }
 }
@@ -216,6 +322,34 @@ mod tests {
             let tol = 2f64.powi(-40) * k as f64;
             for (x, y) in blocked.as_slice().iter().zip(naive.as_slice()) {
                 assert!((x - y).abs() <= tol, "blocked={x} naive={y} m={m} k={k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn avx_and_fallback_micro_kernels_are_bit_identical() {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if !avx_available() {
+                return;
+            }
+            // Ragged jw exercises both the 4-wide body and the scalar tail.
+            for &(kw, jw) in &[(64usize, 256usize), (17, 37), (1, 4), (5, 3)] {
+                let rows: Vec<Matrix> = (0..1).map(|_| pseudo(4, kw, 11)).collect();
+                let a = &rows[0];
+                let packed = pseudo(kw, jw, 13);
+                let mut acc_avx = [[0.0f64; JB]; MR];
+                let mut acc_ref = [[0.0f64; JB]; MR];
+                let r: Vec<&[f64]> = (0..4).map(|i| a.row(i)).collect();
+                unsafe {
+                    micro_mr_avx(r[0], r[1], r[2], r[3], packed.as_slice(), jw, &mut acc_avx)
+                };
+                micro_mr_fallback(r[0], r[1], r[2], r[3], packed.as_slice(), jw, &mut acc_ref);
+                for (ra, rb) in acc_avx.iter().zip(&acc_ref) {
+                    for (x, y) in ra[..jw].iter().zip(&rb[..jw]) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "kw={kw} jw={jw}");
+                    }
+                }
             }
         }
     }

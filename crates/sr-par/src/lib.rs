@@ -193,6 +193,13 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// Hardware parallelism, resolved once. Used to cap per-region fan-out:
+/// a thread budget above the core count only adds contention.
+fn hw_parallelism() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
 impl Pool {
     /// A pool that uses up to `threads` threads per region (the submitting
     /// caller counts as one). `threads` is clamped to at least 1; workers
@@ -252,11 +259,19 @@ impl Pool {
     /// caller until every chunk has completed. Serial (inline) when the
     /// budget is 1, the region is trivial, or the caller is already inside
     /// a region.
+    ///
+    /// The effective fan-out is the configured budget **capped at the
+    /// machine's available parallelism**: a budget above the core count
+    /// cannot make chunks finish sooner, it only adds wake-ups and
+    /// run-queue contention (on a single-core host, `SR_THREADS=4` would
+    /// otherwise make every region strictly slower than `SR_THREADS=1`).
+    /// Results are unaffected — chunk boundaries come from the call-site
+    /// grain, never from the thread count.
     fn run_region(&self, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
         if n_tasks == 0 {
             return;
         }
-        let threads = self.threads();
+        let threads = self.threads().min(hw_parallelism());
         if threads <= 1 || n_tasks == 1 || IN_REGION.with(Cell::get) {
             self.inner.metrics.ops.inc();
             self.inner.metrics.tasks.add(n_tasks as u64);
@@ -594,6 +609,23 @@ mod tests {
         // The pool stays usable afterwards.
         let out = pool.par_map_index(10, 3, |i| i);
         assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fan_out_is_capped_at_hardware_parallelism() {
+        // An oversized budget must not spawn more workers than the machine
+        // can run: worker count stays below the core count regardless of
+        // the configured budget, and results are unchanged.
+        let pool = Pool::new(hw_parallelism() + 4);
+        let out = pool.par_map_index(1_000, 64, |i| i as u64 + 1);
+        assert_eq!(out.iter().sum::<u64>(), 500_500);
+        let spawned = lock(&pool.workers).len();
+        assert!(
+            spawned <= hw_parallelism().saturating_sub(1),
+            "spawned {spawned} workers for budget {} on {} cores",
+            pool.threads(),
+            hw_parallelism()
+        );
     }
 
     #[test]

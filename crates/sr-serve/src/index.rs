@@ -299,10 +299,22 @@ impl RectIndex {
         rows: usize,
         cols: usize,
     ) -> RectIndex {
-        let mut entries: Vec<u32> = (0..rects.len() as u32).collect();
-        // Cache the Hilbert keys: the key derivation walks the curve
-        // levels and would otherwise run once per comparison.
-        entries.sort_by_cached_key(|&g| (entry_sort_key(&rects[g as usize], rows, cols), g));
+        // One key per group, packed as `key << 32 | gid`: the Hilbert
+        // key fits 32 bits (`2 * HILBERT_ORDER`) and group ids are u32,
+        // so sorting the packed words is exactly the `(key, id)`
+        // lexicographic order — one flat u64 sort instead of comparator
+        // calls over cached tuples.
+        let mut packed: Vec<u64> = rects
+            .iter()
+            .enumerate()
+            .map(|(g, rect)| {
+                let key = entry_sort_key(rect, rows, cols);
+                debug_assert!(key >> 32 == 0, "Hilbert key exceeds 32 bits");
+                key << 32 | g as u64
+            })
+            .collect();
+        packed.sort_unstable();
+        let entries: Vec<u32> = packed.iter().map(|&w| w as u32).collect();
         let (nodes, level_offsets) = pack_levels(&entries, rects, centroids);
         RectIndex { entries, nodes, level_offsets }
     }

@@ -808,7 +808,7 @@ mod tests {
         let rec = reconstruct_grid(&grid, snap.partition(), snap.features()).unwrap();
         for cell in 0..grid.num_cells() as CellId {
             match engine.cell_values(cell) {
-                Some(vals) => assert_eq!(Some(vals), rec.features(cell), "cell {cell}"),
+                Some(vals) => assert_eq!(Some(vals), rec.features(cell).as_deref(), "cell {cell}"),
                 None => assert!(rec.features(cell).is_none(), "cell {cell}"),
             }
         }

@@ -204,6 +204,17 @@ fn cast_slice<T: SectionPod>(bytes: &[u8]) -> &[T] {
     unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<T>(), bytes.len() / size) }
 }
 
+/// The little-endian bytes of a `SectionPod` slice — the inverse of
+/// [`cast_slice`], used by the encoder to emit whole typed arrays as one
+/// copy instead of an element-at-a-time loop.
+fn pod_bytes<T: SectionPod>(vals: &[T]) -> &[u8] {
+    // SAFETY: `T: SectionPod` guarantees a padding-free layout, so every
+    // byte is initialized; u8 has alignment 1; the lifetime is inherited
+    // from `vals`. (Byte order is the host's, which the crate pins to
+    // little-endian above.)
+    unsafe { std::slice::from_raw_parts(vals.as_ptr().cast::<u8>(), std::mem::size_of_val(vals)) }
+}
+
 // ---------------------------------------------------------------------------
 // Version negotiation
 // ---------------------------------------------------------------------------
@@ -223,29 +234,17 @@ pub fn peek_version(bytes: &[u8]) -> Option<u16> {
 // Encoding
 // ---------------------------------------------------------------------------
 
-fn push_pad8(buf: &mut Vec<u8>) {
-    while !buf.len().is_multiple_of(8) {
-        buf.push(0);
-    }
-}
-
-fn push_node(buf: &mut Vec<u8>, n: &Node) {
-    for v in [n.lat_min, n.lat_max, n.lon_min, n.lon_max] {
-        buf.extend_from_slice(&v.to_bits().to_le_bytes());
-    }
-    for v in [n.r0, n.r1, n.c0, n.c1, n.start, n.end] {
-        buf.extend_from_slice(&v.to_le_bytes());
-    }
+/// Copies `bytes` into `buf` at `off`; returns the offset one past the
+/// copy.
+fn put(buf: &mut [u8], off: usize, bytes: &[u8]) -> usize {
+    buf[off..off + bytes.len()].copy_from_slice(bytes);
+    off + bytes.len()
 }
 
 /// Serializes the index nodes exactly as stored in the INDEX section, so
 /// the validator can recompute and `memcmp` them.
-fn nodes_to_bytes(nodes: &[Node]) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(nodes.len() * 56);
-    for n in nodes {
-        push_node(&mut buf, n);
-    }
-    buf
+fn nodes_to_bytes(nodes: &[Node]) -> &[u8] {
+    pod_bytes(nodes)
 }
 
 /// Serializes a snapshot to its `sr-snap v2` byte representation.
@@ -253,173 +252,160 @@ fn nodes_to_bytes(nodes: &[Node]) -> Vec<u8> {
 /// sections (counts, representatives, centroids, index) are computed by
 /// the same code path [`QueryEngine::new`] uses, which is what makes
 /// borrowed v2 serving bit-identical to owned serving.
+///
+/// The writer is single-pass over one exactly-sized buffer: every
+/// section length is computable up front, so the payloads are copied —
+/// typed arrays as whole-slice `memcpy`s — straight to their final
+/// offsets (the zero initialization doubles as every pad byte), and the
+/// section table is filled in afterwards with one CRC pass per section
+/// over the finished ranges. No intermediate per-section buffers, no
+/// reallocation, no second copy.
 pub fn snapshot_to_bytes_v2(s: &Snapshot) -> Vec<u8> {
     let derived = Derived::compute(s);
     let cells = s.num_cells();
     let p = s.num_attrs();
     let t = s.partition().num_groups();
+    let idx = &derived.index;
+    let num_levels = idx.level_offsets.len() - 1;
 
-    let mut payloads: Vec<(u32, Vec<u8>)> = Vec::with_capacity(SECTION_COUNT);
+    // Exact section lengths (zero padding to 8 included).
+    let schema_content: usize = (0..p).map(|k| 4 + s.attr_names()[k].len()).sum();
+    let adj_total: usize = (0..t as u32).map(|g| s.adjacency().neighbors(g).len()).sum();
+    let presence_padded = align8(t.div_ceil(8));
+    let adj_offsets_padded = align8(4 * (t + 1));
+    let idx_lo_padded = align8(4 * (num_levels + 1));
+    let sec_lens: [usize; SECTION_COUNT] = [
+        56,                                                       // 1 params
+        align8(schema_content),                                   // 2 schema
+        align8(cells.div_ceil(8)),                                // 3 validity
+        align8(16 * t + 4 * cells),                               // 4 partition
+        presence_padded + 8 * t * p,                              // 5 features
+        adj_offsets_padded + align8(4 * adj_total),               // 6 adjacency
+        align8(4 * t),                                            // 7 counts
+        8 * t * p,                                                // 8 reps
+        16 * t,                                                   // 9 centroids
+        8 + idx_lo_padded + align8(4 * t) + 56 * idx.nodes.len(), // 10 index
+    ];
+    let mut starts = [0usize; SECTION_COUNT];
+    let mut off = DATA_START;
+    for (start, len) in starts.iter_mut().zip(&sec_lens) {
+        *start = off;
+        off += len;
+    }
+    let file_len = off;
+    let mut buf = vec![0u8; file_len];
+
+    // Header (its CRC covers everything before the CRC field).
+    put(&mut buf, 0, MAGIC);
+    put(&mut buf, 6, &FORMAT_V2.to_le_bytes());
+    put(&mut buf, 8, &(file_len as u64).to_le_bytes());
+    for (i, v) in [s.rows() as u32, s.cols() as u32, t as u32, p as u32, SECTION_COUNT as u32]
+        .into_iter()
+        .enumerate()
+    {
+        put(&mut buf, 16 + 4 * i, &v.to_le_bytes());
+    }
+    let header_crc = crc32(&buf[..HEADER_CRC_COVER]);
+    put(&mut buf, HEADER_CRC_COVER, &header_crc.to_le_bytes());
 
     // 1 params: theta, ifl, min_adjacent_variation, bounds (7 × f64).
-    let mut sec = Vec::with_capacity(56);
     let b = s.bounds();
-    for v in
-        [s.theta(), s.ifl(), s.min_adjacent_variation(), b.lat_min, b.lat_max, b.lon_min, b.lon_max]
-    {
-        sec.extend_from_slice(&v.to_bits().to_le_bytes());
-    }
-    payloads.push((SEC_PARAMS, sec));
+    let params = [
+        s.theta(),
+        s.ifl(),
+        s.min_adjacent_variation(),
+        b.lat_min,
+        b.lat_max,
+        b.lon_min,
+        b.lon_max,
+    ];
+    put(&mut buf, starts[0], pod_bytes(&params));
 
     // 2 schema: per attribute name_len u16 + UTF-8 name + agg u8 +
     // integer u8, zero-padded to 8.
-    let mut sec = Vec::new();
+    let mut o = starts[1];
     for k in 0..p {
         let name = s.attr_names()[k].as_bytes();
-        sec.extend_from_slice(&(name.len() as u16).to_le_bytes());
-        sec.extend_from_slice(name);
-        sec.push(match s.agg_types()[k] {
+        o = put(&mut buf, o, &(name.len() as u16).to_le_bytes());
+        o = put(&mut buf, o, name);
+        buf[o] = match s.agg_types()[k] {
             AggType::Sum => 0,
             AggType::Avg => 1,
             AggType::Mode => 2,
-        });
-        sec.push(s.integer_attrs()[k] as u8);
+        };
+        buf[o + 1] = s.integer_attrs()[k] as u8;
+        o += 2;
     }
-    push_pad8(&mut sec);
-    payloads.push((SEC_SCHEMA, sec));
 
     // 3 validity: LSB-first cell bitmap, zero-padded to 8.
-    let mut sec = vec![0u8; cells.div_ceil(8)];
+    let sec = &mut buf[starts[2]..];
     for (i, &v) in s.valid_mask().iter().enumerate() {
         if v {
             sec[i / 8] |= 1 << (i % 8);
         }
     }
-    push_pad8(&mut sec);
-    payloads.push((SEC_VALIDITY, sec));
 
     // 4 partition: t rectangles (4 × u32 each) then cells × u32
     // cell→group, zero-padded to 8.
-    let mut sec = Vec::with_capacity(align8(16 * t + 4 * cells));
-    for rect in s.partition().rects() {
-        for v in [rect.r0, rect.r1, rect.c0, rect.c1] {
-            sec.extend_from_slice(&v.to_le_bytes());
-        }
-    }
-    for &g in s.partition().cell_to_group() {
-        sec.extend_from_slice(&g.to_le_bytes());
-    }
-    push_pad8(&mut sec);
-    payloads.push((SEC_PARTITION, sec));
+    let o = put(&mut buf, starts[3], pod_bytes(s.partition().rects()));
+    put(&mut buf, o, pod_bytes(s.partition().cell_to_group()));
 
     // 5 features: LSB-first group presence bitmap (padded to 8), then the
     // dense t × p raw feature table; rows of null groups are zero bits.
-    let mut sec = vec![0u8; align8(t.div_ceil(8))];
-    for (g, fv) in s.features().iter().enumerate() {
-        if fv.is_some() {
-            sec[g / 8] |= 1 << (g % 8);
-        }
-    }
-    for g in 0..t {
-        match &s.features()[g] {
-            Some(fv) => {
-                for &v in fv {
-                    sec.extend_from_slice(&v.to_bits().to_le_bytes());
-                }
+    {
+        let sec = &mut buf[starts[4]..starts[4] + sec_lens[4]];
+        let mut o = presence_padded;
+        for (g, fv) in s.features().iter().enumerate() {
+            if let Some(fv) = fv {
+                sec[g / 8] |= 1 << (g % 8);
+                sec[o..o + 8 * p].copy_from_slice(pod_bytes(fv));
             }
-            None => sec.resize(sec.len() + 8 * p, 0),
+            o += 8 * p;
         }
     }
-    payloads.push((SEC_FEATURES, sec));
 
     // 6 adjacency: CSR — (t + 1) × u32 offsets (padded to 8), then
-    // offsets[t] × u32 neighbor ids (padded to 8).
-    let mut sec = Vec::new();
-    let mut total = 0u32;
-    sec.extend_from_slice(&0u32.to_le_bytes());
-    for gid in 0..t as u32 {
-        total += s.adjacency().neighbors(gid).len() as u32;
-        sec.extend_from_slice(&total.to_le_bytes());
-    }
-    push_pad8(&mut sec);
-    for gid in 0..t as u32 {
-        for &nb in s.adjacency().neighbors(gid) {
-            sec.extend_from_slice(&nb.to_le_bytes());
+    // offsets[t] × u32 neighbor ids (padded to 8). offsets[0] is the
+    // buffer's zero initialization.
+    {
+        let sec = &mut buf[starts[5]..starts[5] + sec_lens[5]];
+        let mut total = 0u32;
+        let mut o = adj_offsets_padded;
+        for gid in 0..t as u32 {
+            let neighbors = s.adjacency().neighbors(gid);
+            total += neighbors.len() as u32;
+            put(sec, 4 * (gid as usize + 1), &total.to_le_bytes());
+            o = put(sec, o, pod_bytes(neighbors));
         }
     }
-    push_pad8(&mut sec);
-    payloads.push((SEC_ADJACENCY, sec));
 
-    // 7 counts: valid-member count per group, padded to 8.
-    let mut sec = Vec::with_capacity(align8(4 * t));
-    for &c in &derived.valid_counts {
-        sec.extend_from_slice(&c.to_le_bytes());
-    }
-    push_pad8(&mut sec);
-    payloads.push((SEC_COUNTS, sec));
-
-    // 8 reps: dense t × p representatives (zero bits for null groups).
-    let mut sec = Vec::with_capacity(8 * t * p);
-    for &v in &derived.reps {
-        sec.extend_from_slice(&v.to_bits().to_le_bytes());
-    }
-    payloads.push((SEC_REPS, sec));
-
-    // 9 centroids: t × [lat, lon].
-    let mut sec = Vec::with_capacity(16 * t);
-    for &[lat, lon] in &derived.centroids {
-        sec.extend_from_slice(&lat.to_bits().to_le_bytes());
-        sec.extend_from_slice(&lon.to_bits().to_le_bytes());
-    }
-    payloads.push((SEC_CENTROIDS, sec));
+    // 7 counts, 8 reps, 9 centroids: whole-array copies.
+    put(&mut buf, starts[6], pod_bytes(&derived.valid_counts));
+    put(&mut buf, starts[7], pod_bytes(&derived.reps));
+    put(&mut buf, starts[8], pod_bytes(&derived.centroids));
 
     // 10 index: num_levels u32, num_nodes u32, (L + 1) × u32 level
     // offsets (padded to 8), t × u32 entries (padded to 8), then the
     // 56-byte nodes.
-    let idx = &derived.index;
-    let mut sec = Vec::new();
-    sec.extend_from_slice(&((idx.level_offsets.len() - 1) as u32).to_le_bytes());
-    sec.extend_from_slice(&(idx.nodes.len() as u32).to_le_bytes());
-    for &o in &idx.level_offsets {
-        sec.extend_from_slice(&o.to_le_bytes());
+    {
+        let o = put(&mut buf, starts[9], &(num_levels as u32).to_le_bytes());
+        let o = put(&mut buf, o, &(idx.nodes.len() as u32).to_le_bytes());
+        put(&mut buf, o, pod_bytes(&idx.level_offsets));
+        let o = put(&mut buf, starts[9] + 8 + idx_lo_padded, pod_bytes(&idx.entries));
+        put(&mut buf, align8(o), pod_bytes(&idx.nodes));
     }
-    push_pad8(&mut sec);
-    for &e in &idx.entries {
-        sec.extend_from_slice(&e.to_le_bytes());
-    }
-    push_pad8(&mut sec);
-    sec.extend_from_slice(&nodes_to_bytes(&idx.nodes));
-    payloads.push((SEC_INDEX, sec));
 
-    // Assemble: header, section table, table CRC + pad, payloads.
-    let file_len = DATA_START + payloads.iter().map(|(_, p)| p.len()).sum::<usize>();
-    let mut buf = Vec::with_capacity(file_len);
-    buf.extend_from_slice(MAGIC);
-    buf.extend_from_slice(&FORMAT_V2.to_le_bytes());
-    buf.extend_from_slice(&(file_len as u64).to_le_bytes());
-    for v in [s.rows() as u32, s.cols() as u32, t as u32, p as u32, SECTION_COUNT as u32] {
-        buf.extend_from_slice(&v.to_le_bytes());
-    }
-    let header_crc = crc32(&buf[..HEADER_CRC_COVER]);
-    buf.extend_from_slice(&header_crc.to_le_bytes());
-    debug_assert_eq!(buf.len(), HEADER_LEN);
-
-    let mut offset = DATA_START as u64;
-    for (id, payload) in &payloads {
-        buf.extend_from_slice(&id.to_le_bytes());
-        buf.extend_from_slice(&crc32(payload).to_le_bytes());
-        buf.extend_from_slice(&offset.to_le_bytes());
-        buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        offset += payload.len() as u64;
+    // Section table, then its CRC; the 4 trailing pad bytes stay zero.
+    for i in 0..SECTION_COUNT {
+        let entry = HEADER_LEN + i * TABLE_ENTRY_LEN;
+        let crc = crc32(&buf[starts[i]..starts[i] + sec_lens[i]]);
+        put(&mut buf, entry, &((i + 1) as u32).to_le_bytes());
+        put(&mut buf, entry + 4, &crc.to_le_bytes());
+        put(&mut buf, entry + 8, &(starts[i] as u64).to_le_bytes());
+        put(&mut buf, entry + 16, &(sec_lens[i] as u64).to_le_bytes());
     }
     let table_crc = crc32(&buf[HEADER_LEN..HEADER_LEN + TABLE_LEN]);
-    buf.extend_from_slice(&table_crc.to_le_bytes());
-    buf.extend_from_slice(&0u32.to_le_bytes());
-    debug_assert_eq!(buf.len(), DATA_START);
-    for (_, payload) in &payloads {
-        buf.extend_from_slice(payload);
-    }
-    debug_assert_eq!(buf.len(), file_len);
+    put(&mut buf, HEADER_LEN + TABLE_LEN, &table_crc.to_le_bytes());
     buf
 }
 

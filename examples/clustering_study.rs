@@ -28,7 +28,7 @@ fn main() {
     let norm = normalize_attributes(&grid);
     let cell_features: Vec<Vec<f64>> =
         norm.valid_cells().map(|id| norm.features_unchecked(id).to_vec()).collect();
-    let cell_adj = AdjacencyList::rook_from_grid(&grid).restrict(grid.valid_mask());
+    let cell_adj = AdjacencyList::rook_from_grid(&grid).restrict(&grid.valid_mask());
     let start = Instant::now();
     let base = schc_cluster(&cell_features, &cell_adj, &SchcParams { num_clusters: CLUSTERS })
         .expect("cluster");

@@ -157,7 +157,7 @@ fn set_from_grid(grid: &GridDataset) -> Set {
         x.push(fv[1..].to_vec());
         coords.push(grid.cell_centroid(id));
     }
-    let adjacency = AdjacencyList::rook_from_grid(grid).restrict(grid.valid_mask());
+    let adjacency = AdjacencyList::rook_from_grid(grid).restrict(&grid.valid_mask());
     Set { x, y, coords, adjacency }
 }
 

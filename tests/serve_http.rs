@@ -79,7 +79,7 @@ fn serve_queries_match_reconstruction_under_concurrency() {
                             assert_eq!(served.len(), expected.len());
                             // Bit-exact: the server prints shortest-round-trip
                             // f64s, so parsing must recover identical bits.
-                            for (k, (&s, &e)) in served.iter().zip(expected).enumerate() {
+                            for (k, (&s, e)) in served.iter().zip(expected).enumerate() {
                                 assert_eq!(
                                     s.to_bits(),
                                     e.to_bits(),

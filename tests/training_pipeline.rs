@@ -119,7 +119,7 @@ fn clustering_runs_on_both_grids() {
     let norm = normalize_attributes(&grid);
     let feats: Vec<Vec<f64>> =
         norm.valid_cells().map(|id| norm.features_unchecked(id).to_vec()).collect();
-    let adj = AdjacencyList::rook_from_grid(&grid).restrict(grid.valid_mask());
+    let adj = AdjacencyList::rook_from_grid(&grid).restrict(&grid.valid_mask());
     let base = schc_cluster(&feats, &adj, &SchcParams { num_clusters: 6 }).unwrap();
     assert!(base.num_found >= 6);
 
