@@ -45,6 +45,17 @@ SR_THREADS=1 cargo test -q --offline --test shard_property
 echo "==> shard property (SR_THREADS=4)"
 SR_THREADS=4 cargo test -q --offline --test shard_property
 
+# The ingestion tier's convergence guarantee (docs/INGESTION.md §5): an
+# engine that consumed a random stream in small batches and re-partitioned
+# incrementally is bit-identical — grid, partition, IFL, v2 snapshot
+# bytes — to a from-scratch batch pipeline run on the accumulated data.
+# Runs inside the workspace passes too; pinned here at both thread counts.
+echo "==> ingest convergence (SR_THREADS=1)"
+SR_THREADS=1 cargo test -q --offline --test ingest_convergence
+
+echo "==> ingest convergence (SR_THREADS=4)"
+SR_THREADS=4 cargo test -q --offline --test ingest_convergence
+
 # The snapshot-format compat suite (crates/sr-serve/tests/prop_v2.rs):
 # v1 and v2 files answer every query bit-identically, v1 -> v2 -> v1
 # migration is byte-identical, and truncating anywhere / flipping any

@@ -39,11 +39,12 @@ const UNASSIGNED: GroupId = GroupId::MAX;
 /// cells, §III-A2), valid–null edges and out-of-grid edges store `+∞`
 /// (never compatible), so compatibility at threshold `θ` is exactly
 /// `edge ≤ θ + slack`.
+#[derive(Debug, Clone)]
 pub struct EdgeVariations {
-    rows: usize,
-    cols: usize,
-    h: Vec<f64>,
-    v: Vec<f64>,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+    pub(crate) h: Vec<f64>,
+    pub(crate) v: Vec<f64>,
 }
 
 impl EdgeVariations {

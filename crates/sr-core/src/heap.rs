@@ -36,9 +36,11 @@ pub struct VariationHeap {
 pub const DEFAULT_DEDUP_EPS: f64 = 1e-12;
 
 /// Monotone bijection from finite f64 to u64: preserves `total_cmp` order,
-/// which equals the numeric order for the finite keys stored here.
+/// which equals the numeric order for the finite keys stored here. Shared
+/// with the incremental scan cache, whose sorted variation multiset must
+/// use the exact same total order as [`VariationHeap::into_sorted_distinct`].
 #[inline]
-fn sort_key(v: f64) -> u64 {
+pub(crate) fn sort_key(v: f64) -> u64 {
     let bits = v.to_bits();
     if bits >> 63 == 0 {
         bits ^ (1u64 << 63)

@@ -178,6 +178,7 @@ pub(crate) fn ifl_groups_over_cells(
 /// zero-denominator terms, unused for `Mode` attributes — and the fixed
 /// term count. The driver evaluates the IFL dozens of times per run; the
 /// denominators and the averaging count never change between evaluations.
+#[derive(Debug, Clone)]
 pub(crate) struct IflCellCache {
     /// One `2p`-wide row per listed cell: the cell's `p` attribute values
     /// followed by its `p` inverse denominators (`1 / |d(k)|`, or 0.0 when
@@ -224,6 +225,50 @@ impl IflCellCache {
             }
         }
         IflCellCache { data, terms }
+    }
+
+    /// Recomputes the row of the cell at position `pos` of the cell list
+    /// this cache was built over (which must still map `pos` to `id`),
+    /// after `id`'s attribute values changed in `original`. Adjusts the
+    /// cached term count by the row's before/after delta, so the result is
+    /// bit-identical to a fresh [`IflCellCache::build`] over the updated
+    /// grid — rows are built independently, and term counting is exactly
+    /// the build-time rule re-applied to one row.
+    pub(crate) fn update_row(
+        &mut self,
+        original: &GridDataset,
+        pos: usize,
+        id: CellId,
+        opts: IflOptions,
+    ) {
+        let p = original.num_attrs();
+        let aggs = original.agg_types();
+        let stride = 2 * p;
+        let row = &mut self.data[pos * stride..(pos + 1) * stride];
+        let mut old_terms = 0usize;
+        let mut new_terms = 0usize;
+        for k in 0..p {
+            if aggs[k] == AggType::Mode {
+                // Mode terms always count and never read the inverse slot;
+                // the before/after delta for them is zero by construction.
+                old_terms += 1;
+                new_terms += 1;
+                row[k] = original.value(id, k);
+                continue;
+            }
+            if row[p + k] != 0.0 {
+                old_terms += 1;
+            }
+            let v = original.value(id, k);
+            row[k] = v;
+            row[p + k] = 0.0;
+            let denom = v.abs();
+            if denom > opts.zero_eps {
+                row[p + k] = 1.0 / denom;
+                new_terms += 1;
+            }
+        }
+        self.terms = self.terms + new_terms - old_terms;
     }
 }
 

@@ -35,6 +35,7 @@ pub mod group_adjacency;
 pub mod heap;
 pub mod homogeneous;
 pub mod ifl;
+pub mod incremental;
 pub mod partition;
 pub mod prepare;
 pub mod quadtree;
@@ -54,6 +55,7 @@ pub use ifl::{
     partition_ifl, partition_ifl_groups, partition_ifl_groups_with, partition_ifl_with,
     representative,
 };
+pub use incremental::{ScanCache, ScanUpdate};
 pub use partition::{GroupId, GroupRect, Partition};
 pub use prepare::PreparedTrainingData;
 pub use quadtree::quadtree_partition;
@@ -78,6 +80,10 @@ pub enum CoreError {
         /// Offending factor.
         factor: usize,
     },
+    /// A [`ScanCache`] was handed to a driver whose IFL options differ from
+    /// the ones the cache was built with — its Eq. 3 term cache would be
+    /// silently wrong.
+    ScanCacheMismatch,
 }
 
 impl std::fmt::Display for CoreError {
@@ -89,6 +95,9 @@ impl std::fmt::Display for CoreError {
             CoreError::Grid(e) => write!(f, "grid error: {e}"),
             CoreError::InvalidMergeFactor { factor } => {
                 write!(f, "merge factor {factor} is invalid for this grid")
+            }
+            CoreError::ScanCacheMismatch => {
+                write!(f, "scan cache was built with different IFL options than the driver")
             }
         }
     }

@@ -257,10 +257,7 @@ impl Repartitioner {
         grid: &GridDataset,
         pool: &sr_par::Pool,
     ) -> Result<RepartitionOutcome> {
-        let metrics = sr_obs::Registry::global();
-        metrics.counter("repartition.runs_total").inc();
-        let iterations_total = metrics.counter("repartition.iterations_total");
-        let rejections_total = metrics.counter("repartition.rejections_total");
+        sr_obs::Registry::global().counter("repartition.runs_total").inc();
 
         let mut run_span = sr_obs::span("repartition.run");
         run_span.record("cells", grid.num_cells());
@@ -285,6 +282,81 @@ impl Repartitioner {
         let cells: Vec<sr_grid::CellId> = grid.valid_cells().collect();
         let ifl_cache = IflCellCache::build(grid, &cells, self.config.ifl_options);
 
+        let (repartitioned, iterations) =
+            self.run_prepared(grid, &edges, &thresholds, &cells, &ifl_cache, pool);
+        run_span.record("groups", repartitioned.num_groups());
+        run_span.record("ifl", repartitioned.ifl());
+
+        Ok(RepartitionOutcome { repartitioned, iterations, input_cells: grid.num_cells() })
+    }
+
+    /// [`Repartitioner::run`] against a pre-maintained [`ScanCache`] —
+    /// the incremental entry point. The cache supplies exactly the four
+    /// partition-independent inputs `run_with_pool` derives from scratch
+    /// (edge variations, sorted distinct thresholds, valid-cell list, Eq. 3
+    /// term cache); from there the walk is the *same code path*, so equal
+    /// inputs force a bit-identical result. `grid` must be the dataset the
+    /// cache has been kept in sync with.
+    ///
+    /// [`ScanCache`]: crate::incremental::ScanCache
+    pub fn run_with_scan(
+        &self,
+        grid: &GridDataset,
+        scan: &crate::incremental::ScanCache,
+        pool: &sr_par::Pool,
+    ) -> Result<RepartitionOutcome> {
+        if scan.ifl_options() != self.config.ifl_options {
+            return Err(CoreError::ScanCacheMismatch);
+        }
+        sr_obs::Registry::global().counter("repartition.runs_total").inc();
+
+        let mut run_span = sr_obs::span("repartition.run");
+        run_span.record("cells", grid.num_cells());
+        run_span.record("threshold", self.config.threshold);
+        run_span.record("incremental", 1usize);
+
+        let thresholds = {
+            let mut scan_span = sr_obs::span("repartition.variation_scan");
+            let thresholds = scan.sorted_distinct_thresholds();
+            scan_span.record("distinct_variations", thresholds.len());
+            thresholds
+        };
+
+        let (repartitioned, iterations) = self.run_prepared(
+            grid,
+            scan.edges(),
+            &thresholds,
+            scan.cells(),
+            scan.ifl_cache(),
+            pool,
+        );
+        run_span.record("groups", repartitioned.num_groups());
+        run_span.record("ifl", repartitioned.ifl());
+
+        Ok(RepartitionOutcome { repartitioned, iterations, input_cells: grid.num_cells() })
+    }
+
+    /// The threshold walk shared by [`run_with_pool`] and [`run_with_scan`]:
+    /// evaluates extraction passes over pre-computed scan inputs, keeps the
+    /// best accepted candidate, and falls back to the identity partition.
+    /// Every float operation lives here or below, so any two callers that
+    /// agree on the inputs agree on the output bits.
+    ///
+    /// [`run_with_pool`]: Repartitioner::run_with_pool
+    /// [`run_with_scan`]: Repartitioner::run_with_scan
+    pub(crate) fn run_prepared(
+        &self,
+        grid: &GridDataset,
+        edges: &EdgeVariations,
+        thresholds: &[f64],
+        cells: &[sr_grid::CellId],
+        ifl_cache: &IflCellCache,
+        pool: &sr_par::Pool,
+    ) -> (Repartitioned, Vec<IterationStats>) {
+        let metrics = sr_obs::Registry::global();
+        let iterations_total = metrics.counter("repartition.iterations_total");
+        let rejections_total = metrics.counter("repartition.rejections_total");
+
         let mut iterations = Vec::new();
         // Best candidate kept in flat-arena form; the boxed per-group
         // feature vectors are materialized only once, for the winner. The
@@ -302,14 +374,14 @@ impl Repartitioner {
         let mut evaluate = |theta: f64,
                             best: &mut Option<(Partition, GroupFeatures, f64, f64)>|
          -> IterationStats {
-            extract_with_edges_into(&edges, theta, &mut partition_buf);
+            extract_with_edges_into(edges, theta, &mut partition_buf);
             GroupFeatures::allocate_into(grid, &partition_buf, pool, &mut features_buf);
             let ifl = ifl_groups_over_cells(
                 grid,
                 &partition_buf,
                 &features_buf,
-                &cells,
-                &ifl_cache,
+                cells,
+                ifl_cache,
                 &mut reps_buf,
                 &mut skip_buf,
                 pool,
@@ -348,7 +420,7 @@ impl Repartitioner {
         let mut merge_span = sr_obs::span("repartition.merge_loop");
         match self.config.strategy {
             IterationStrategy::EveryDistinct => {
-                for &theta in &thresholds {
+                for &theta in thresholds {
                     if iterations.len() >= self.config.max_iterations {
                         break;
                     }
@@ -428,10 +500,18 @@ impl Repartitioner {
         metrics
             .counter("repartition.cells_merged_total")
             .add((grid.num_cells() - repartitioned.num_groups()) as u64);
-        run_span.record("groups", repartitioned.num_groups());
-        run_span.record("ifl", repartitioned.ifl());
 
-        Ok(RepartitionOutcome { repartitioned, iterations, input_cells: grid.num_cells() })
+        (repartitioned, iterations)
+    }
+
+    /// The configured IFL options.
+    pub fn ifl_options(&self) -> IflOptions {
+        self.config.ifl_options
+    }
+
+    /// The configured loss threshold θ.
+    pub fn threshold(&self) -> f64 {
+        self.config.threshold
     }
 }
 

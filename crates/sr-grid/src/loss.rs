@@ -18,7 +18,7 @@ pub fn local_loss(values: &[f64], representative: f64) -> f64 {
 }
 
 /// Options for the IFL computation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IflOptions {
     /// Terms whose original value has absolute value ≤ `zero_eps` are
     /// skipped (and the averaging denominator reduced accordingly). Eq. (3)

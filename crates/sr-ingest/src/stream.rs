@@ -1,0 +1,210 @@
+//! Bounded-memory point-stream reading (`docs/INGESTION.md` §2).
+//!
+//! The stream text format is one point per line, whitespace-separated:
+//!
+//! ```text
+//! <x> <y> <attr_1> … <attr_p>
+//! ```
+//!
+//! where `x` is longitude, `y` latitude, and each `attr_k` an `f64` in
+//! Rust's standard float syntax (`nan` spells a missing sample). Empty
+//! lines and lines starting with `#` are skipped silently; lines that fail
+//! to parse or carry the wrong field count are *malformed* — counted,
+//! reported through `ingest.malformed_lines_total`, and skipped, never
+//! fatal (a live feed must survive a corrupt record).
+
+use crate::{IngestError, Result};
+use std::io::BufRead;
+
+/// One bounded chunk of parsed points, struct-of-arrays so the binning
+/// kernel streams each coordinate/attribute column independently.
+#[derive(Debug, Clone, Default)]
+pub struct PointChunk {
+    /// Longitudes, one per point.
+    pub xs: Vec<f64>,
+    /// Latitudes, one per point.
+    pub ys: Vec<f64>,
+    /// Attribute samples, point-major: point `i`'s samples occupy
+    /// `attrs[i*p .. (i+1)*p]`.
+    pub attrs: Vec<f64>,
+    /// Attribute arity `p`.
+    pub num_attrs: usize,
+}
+
+impl PointChunk {
+    /// An empty chunk with capacity for `cap` points of arity `p`.
+    pub fn with_capacity(cap: usize, p: usize) -> Self {
+        PointChunk {
+            xs: Vec::with_capacity(cap),
+            ys: Vec::with_capacity(cap),
+            attrs: Vec::with_capacity(cap * p),
+            num_attrs: p,
+        }
+    }
+
+    /// Number of points in the chunk.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the chunk holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Appends one point.
+    pub fn push(&mut self, x: f64, y: f64, attrs: &[f64]) {
+        debug_assert_eq!(attrs.len(), self.num_attrs);
+        self.xs.push(x);
+        self.ys.push(y);
+        self.attrs.extend_from_slice(attrs);
+    }
+
+    /// Clears the chunk, keeping its buffers.
+    pub fn clear(&mut self) {
+        self.xs.clear();
+        self.ys.clear();
+        self.attrs.clear();
+    }
+}
+
+/// Incremental reader over a point stream: parses at most `max_points`
+/// lines per [`StreamReader::next_chunk`] call, so memory stays bounded by
+/// the batch size regardless of the stream length.
+#[derive(Debug)]
+pub struct StreamReader<R> {
+    inner: R,
+    num_attrs: usize,
+    line: String,
+    lines_read: u64,
+    malformed: u64,
+}
+
+impl<R: BufRead> StreamReader<R> {
+    /// Wraps a buffered reader producing points of arity `num_attrs`.
+    pub fn new(inner: R, num_attrs: usize) -> Self {
+        StreamReader { inner, num_attrs, line: String::new(), lines_read: 0, malformed: 0 }
+    }
+
+    /// Reads the next chunk of at most `max_points` points into `out`
+    /// (cleared first; its buffers are reused across calls). Returns the
+    /// number of points read — `0` means the stream is exhausted.
+    /// Malformed lines are counted and skipped without occupying chunk
+    /// capacity.
+    pub fn next_chunk(&mut self, max_points: usize, out: &mut PointChunk) -> Result<usize> {
+        debug_assert_eq!(out.num_attrs, self.num_attrs);
+        out.clear();
+        let mut attrs = vec![0.0f64; self.num_attrs];
+        while out.len() < max_points {
+            self.line.clear();
+            let n = self.inner.read_line(&mut self.line).map_err(IngestError::Io)?;
+            if n == 0 {
+                break;
+            }
+            self.lines_read += 1;
+            let line = self.line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match parse_line(line, &mut attrs) {
+                Some((x, y)) => out.push(x, y, &attrs),
+                None => {
+                    self.malformed += 1;
+                    sr_obs::Registry::global().counter("ingest.malformed_lines_total").inc();
+                }
+            }
+        }
+        Ok(out.len())
+    }
+
+    /// Total lines consumed so far (including skipped and malformed ones).
+    pub fn lines_read(&self) -> u64 {
+        self.lines_read
+    }
+
+    /// Malformed lines skipped so far.
+    pub fn malformed_lines(&self) -> u64 {
+        self.malformed
+    }
+}
+
+/// Parses `x y attr_1 … attr_p` into `(x, y)` + `attrs`; `None` if the
+/// field count is wrong or a coordinate fails to parse or is non-finite.
+/// Attribute fields may be `nan` (a missing sample) but must still parse.
+fn parse_line(line: &str, attrs: &mut [f64]) -> Option<(f64, f64)> {
+    let mut fields = line.split_whitespace();
+    let x: f64 = fields.next()?.parse().ok()?;
+    let y: f64 = fields.next()?.parse().ok()?;
+    if !x.is_finite() || !y.is_finite() {
+        return None;
+    }
+    for slot in attrs.iter_mut() {
+        *slot = fields.next()?.parse().ok()?;
+    }
+    if fields.next().is_some() {
+        return None;
+    }
+    Some((x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn read_all(text: &str, p: usize, batch: usize) -> (Vec<PointChunk>, u64) {
+        let mut r = StreamReader::new(Cursor::new(text.to_string()), p);
+        let mut chunks = Vec::new();
+        loop {
+            let mut chunk = PointChunk::with_capacity(batch, p);
+            if r.next_chunk(batch, &mut chunk).unwrap() == 0 {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let malformed = r.malformed_lines();
+        (chunks, malformed)
+    }
+
+    #[test]
+    fn parses_points_in_batches() {
+        let text = "0.1 0.2 5.0\n0.3 0.4 6.0\n0.5 0.6 7.0\n";
+        let (chunks, malformed) = read_all(text, 1, 2);
+        assert_eq!(malformed, 0);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].len(), 2);
+        assert_eq!(chunks[1].len(), 1);
+        assert_eq!(chunks[0].xs, vec![0.1, 0.3]);
+        assert_eq!(chunks[0].ys, vec![0.2, 0.4]);
+        assert_eq!(chunks[0].attrs, vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped_silently() {
+        let text = "# header\n\n0.5 0.5 1.0 2.0\n   \n# tail\n";
+        let (chunks, malformed) = read_all(text, 2, 10);
+        assert_eq!(malformed, 0);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].len(), 1);
+        assert_eq!(chunks[0].attrs, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn malformed_lines_are_counted_and_skipped() {
+        let text = "0.1 0.2 1.0\nbogus line\n0.3 0.4\n0.5 0.6 2.0 3.0\nnan 0.1 1.0\n0.7 0.8 4.0\n";
+        let (chunks, malformed) = read_all(text, 1, 10);
+        // bogus, wrong-arity (short), wrong-arity (long), nan coordinate.
+        assert_eq!(malformed, 4);
+        assert_eq!(chunks[0].len(), 2);
+        assert_eq!(chunks[0].attrs, vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn nan_attributes_parse_as_missing_samples() {
+        let text = "0.1 0.2 nan 7.0\n";
+        let (chunks, malformed) = read_all(text, 2, 10);
+        assert_eq!(malformed, 0);
+        assert!(chunks[0].attrs[0].is_nan());
+        assert_eq!(chunks[0].attrs[1], 7.0);
+    }
+}

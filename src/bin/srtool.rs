@@ -45,6 +45,19 @@
 //!   browns out — point queries to it answer `503` while window/knn keep
 //!   answering with an `X-SR-Partial: <shards>` header. `GET /healthz`
 //!   reports per-shard state.
+//! - `ingest --in STREAM --theta T --grid RxC --attrs name:collapse,...
+//!   [--batch-size N] [--bounds latmin,latmax,lonmin,lonmax]
+//!   [--repartition-every K] [--snapshot-out FILE.snap] [--watch]
+//!   [--strided]`
+//!   consumes a raw point stream (`x y attr_1 … attr_p` per line) in
+//!   bounded-memory batches, bins points into grid cells with the
+//!   per-attribute collapse (`mean|median|min|max|count`), and keeps an
+//!   exact re-partition current *incrementally*: each batch patches the
+//!   driver's scan inputs over the dirty cells, so only the threshold
+//!   walk re-runs. `--snapshot-out` republishes each accepted result as
+//!   an atomically-replaced v2 snapshot a running `srtool serve` picks
+//!   up live; `--watch` keeps polling the file for appended lines.
+//!   `docs/INGESTION.md` is the normative contract.
 //!
 //! The global `--trace` flag (any subcommand) prints hierarchical span
 //! timings to stderr; `--trace=json` emits them as JSON-lines instead.
@@ -67,7 +80,12 @@ use spatial_repartition::core::{
     homogeneous_ifl, IterationStrategy, RepartitionConfig, Repartitioner,
 };
 use spatial_repartition::datasets::{Dataset, GridSize};
-use spatial_repartition::grid::{load_grid, morans_i, save_grid, AdjacencyList, GridDataset};
+use spatial_repartition::grid::{
+    load_grid, morans_i, save_grid, AdjacencyList, Bounds, GridDataset,
+};
+use spatial_repartition::ingest::{
+    IngestConfig, IngestEngine, IngestSchema, PointChunk, StreamReader,
+};
 use spatial_repartition::serve::{
     load_snapshot, migrate_snapshot_bytes, peek_version, save_snapshot, save_snapshot_v2,
     section_table, serve_backend, serve_cached, FaultPlan, ServerConfig, Snapshot, SnapshotCache,
@@ -108,6 +126,7 @@ fn main() -> ExitCode {
         "snapshot" => cmd_snapshot(&opts),
         "shard" => cmd_shard(&opts),
         "serve" => cmd_serve(&opts),
+        "ingest" => cmd_ingest(&opts),
         "--help" | "-h" | "help" => {
             print_usage();
             return ExitCode::SUCCESS;
@@ -203,7 +222,7 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got '{}'", rest[i]))?;
         // Boolean flags take no value.
-        if key == "strided" {
+        if key == "strided" || key == "watch" {
             opts.insert(key.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -633,6 +652,128 @@ fn cmd_serve_manifest(opts: &Opts) -> Result<(), String> {
     }
 }
 
+/// `ingest`: out-of-core point-stream ingestion with incremental
+/// re-partitioning and optional live snapshot republishing
+/// (`docs/INGESTION.md`).
+fn cmd_ingest(opts: &Opts) -> Result<(), String> {
+    let path = required(opts, "in")?;
+    let theta: f64 = required(opts, "theta")?.parse().map_err(|_| "bad --theta".to_string())?;
+    let grid_spec = required(opts, "grid")?;
+    let (rows, cols) = grid_spec
+        .split_once('x')
+        .and_then(|(r, c)| Some((r.parse::<usize>().ok()?, c.parse::<usize>().ok()?)))
+        .ok_or_else(|| format!("bad --grid '{grid_spec}' (expected RxC, e.g. 320x320)"))?;
+    let attrs = required(opts, "attrs")?;
+    let schema = IngestSchema::parse(attrs).ok_or_else(|| {
+        format!("bad --attrs '{attrs}' (expected name:mean|median|min|max|count,...)")
+    })?;
+    let batch_size: usize = opts
+        .get("batch-size")
+        .map_or(Ok(4096), |s| s.parse().map_err(|_| "bad --batch-size (expected >= 1)"))?;
+    if batch_size == 0 {
+        return Err("bad --batch-size (expected >= 1)".to_string());
+    }
+    let every: u64 = opts
+        .get("repartition-every")
+        .map_or(Ok(1), |s| s.parse().map_err(|_| "bad --repartition-every (expected >= 1)"))?;
+    if every == 0 {
+        return Err("bad --repartition-every (expected >= 1)".to_string());
+    }
+
+    let mut config = IngestConfig::new(rows, cols, schema, theta);
+    if let Some(spec) = opts.get("bounds") {
+        let parts: Vec<f64> = spec.split(',').filter_map(|t| t.trim().parse().ok()).collect();
+        if parts.len() != 4 {
+            return Err(format!("bad --bounds '{spec}' (expected latmin,latmax,lonmin,lonmax)"));
+        }
+        config = config.with_bounds(Bounds {
+            lat_min: parts[0],
+            lat_max: parts[1],
+            lon_min: parts[2],
+            lon_max: parts[3],
+        });
+    }
+    if opts.contains_key("strided") {
+        config =
+            config.with_strategy(IterationStrategy::Exponential { initial_stride: 8, growth: 1.6 });
+    }
+    let watch = opts.contains_key("watch");
+    let snapshot_out = opts.get("snapshot-out");
+
+    let p = config.schema.num_attrs();
+    let mut engine = IngestEngine::new(config).map_err(|e| e.to_string())?;
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let mut reader = StreamReader::new(std::io::BufReader::new(file), p);
+    let mut chunk = PointChunk::with_capacity(batch_size, p);
+    println!(
+        "ingesting {path} into a {rows}x{cols} grid (theta {theta}, batch {batch_size}{})",
+        if watch { ", watching for appended lines" } else { "" }
+    );
+
+    let start = std::time::Instant::now();
+    let mut since_repartition: u64 = 0;
+    loop {
+        let n = reader.next_chunk(batch_size, &mut chunk).map_err(|e| e.to_string())?;
+        if n == 0 {
+            // End of the file as it stands. A watched stream may grow —
+            // repartition what's pending, then poll for appended lines.
+            if since_repartition > 0 {
+                report_repartition(&mut engine, snapshot_out, start)?;
+                since_repartition = 0;
+            }
+            if !watch {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(500));
+            continue;
+        }
+        let report = engine.apply_batch(&chunk).map_err(|e| e.to_string())?;
+        since_repartition += 1;
+        if report.scan.rebuilt_normalization {
+            println!(
+                "batch {}: {} points, {} dirty cells (scan cache rebuilt: new attribute max)",
+                engine.num_batches(),
+                report.points,
+                report.dirty_cells
+            );
+        }
+        if since_repartition >= every {
+            report_repartition(&mut engine, snapshot_out, start)?;
+            since_repartition = 0;
+        }
+    }
+    println!(
+        "done: {} points in {} batches ({} malformed lines skipped) in {:.2}s",
+        engine.total_points(),
+        engine.num_batches(),
+        reader.malformed_lines(),
+        start.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+/// One exact incremental re-partition + optional snapshot republish, with
+/// a progress line.
+fn report_repartition(
+    engine: &mut IngestEngine,
+    snapshot_out: Option<&String>,
+    start: std::time::Instant,
+) -> Result<(), String> {
+    let outcome = engine.repartition().map_err(|e| e.to_string())?;
+    let rep = &outcome.repartitioned;
+    let (groups, ifl) = (rep.num_groups(), rep.ifl());
+    println!(
+        "[{:>8.2}s] {} points -> {groups} groups (IFL {ifl:.4})",
+        start.elapsed().as_secs_f64(),
+        engine.total_points(),
+    );
+    if let Some(out) = snapshot_out {
+        engine.publish(out).map_err(|e| e.to_string())?;
+        println!("  republished {out}");
+    }
+    Ok(())
+}
+
 fn print_usage() {
     println!(
         "srtool — ML-aware spatial re-partitioning CLI
@@ -652,6 +793,10 @@ USAGE:
   srtool serve       --manifest DIR/manifest.txt [--shard-deadline-ms MS]
                      [--addr HOST:PORT] [--threads N] [--deadline-ms MS]
                      [--max-inflight N] [--fault-plan FILE]
+  srtool ingest      --in STREAM --theta T --grid RxC --attrs name:collapse,...
+                     [--batch-size N] [--bounds latmin,latmax,lonmin,lonmax]
+                     [--repartition-every K] [--snapshot-out FILE.snap]
+                     [--watch] [--strided]
 
 GLOBAL FLAGS (before the subcommand):
   --threads N    worker threads for the compute pool (overrides SR_THREADS;

@@ -45,6 +45,7 @@
 //! | [`linalg`] | `sr-linalg` | dense matrices, LU, Cholesky, least squares |
 //! | [`mem`] | `sr-mem` | peak-allocation tracking for the memory experiments |
 //! | [`serve`] | `sr-serve` | partition snapshots (`sr-snap` v1 + zero-copy v2, spec in `docs/SNAPSHOT_FORMAT.md`), the online query engine, snapshot cache, HTTP server |
+//! | [`ingest`] | `sr-ingest` | out-of-core point-stream ingestion, per-cell collapse binning, incremental dirty-region re-partitioning, live snapshot republishing (contract in `docs/INGESTION.md`) |
 //! | [`shard`] | `sr-shard` | sharded serving: Hilbert-contiguous shard splitter, checksummed shard manifest, scatter-gather router with replicas and shard-level degradation |
 //! | [`obs`] | `sr-obs` | tracing spans and the metrics registry behind `--trace` and `GET /metrics` |
 //! | [`par`] | `sr-par` | deterministic worker-pool substrate (`SR_THREADS`, fixed-grain `par_map`/`par_for`) |
@@ -82,6 +83,7 @@ pub use sr_core as core;
 pub use sr_datasets as datasets;
 pub use sr_fault as fault;
 pub use sr_grid as grid;
+pub use sr_ingest as ingest;
 pub use sr_linalg as linalg;
 pub use sr_mem as mem;
 pub use sr_ml as ml;
@@ -95,7 +97,7 @@ pub mod prelude {
     pub use sr_baselines::{contiguous_clustering, regionalize, spatial_sampling, ReducedDataset};
     pub use sr_core::{
         quadtree_partition, repartition, CellUpdate, IterationStrategy, PreparedTrainingData,
-        RepartitionConfig, Repartitioned, Repartitioner, StreamingRepartitioner,
+        RepartitionConfig, Repartitioned, Repartitioner, ScanCache, StreamingRepartitioner,
         TemporalRepartitioner,
     };
     pub use sr_datasets::{train_test_split, Dataset, GridSize};
@@ -106,6 +108,7 @@ pub mod prelude {
         write_grid, AdjacencyList, AggType, Bounds, GridBuilder, GridDataset, IflOptions,
         PointRecord,
     };
+    pub use sr_ingest::{Collapse, IngestConfig, IngestEngine, IngestSchema, StreamReader};
     pub use sr_ml::{
         bin_into_quantiles, cluster_agreement, lm_diagnostics, mae, pseudo_r2, rmse, se_regression,
         weighted_f1, GradientBoostingClassifier, Gwr, KnnClassifier, KnnRegressor, OrdinaryKriging,

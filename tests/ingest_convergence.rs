@@ -1,0 +1,228 @@
+//! Property test for the ingestion tier's convergence guarantee
+//! (`docs/INGESTION.md` §5): for random point streams, batch sizes, and
+//! thresholds, an [`IngestEngine`] that consumed the stream in small
+//! batches and re-partitioned incrementally produces a grid, a partition,
+//! and v2 snapshot bytes that are **bit-identical** to a from-scratch
+//! batch pipeline run on the accumulated data — at any thread count.
+//!
+//! Also pins the collapse edge cases the contract calls out (§3): median
+//! over even sample counts, single-point cells, and all-NaN attribute
+//! samples.
+//!
+//! `ci.sh` additionally runs this file under `SR_THREADS=1` and
+//! `SR_THREADS=4`.
+
+use spatial_repartition::ingest::PointChunk;
+use spatial_repartition::prelude::*;
+use spatial_repartition::serve::snapshot_to_bytes_v2;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Deterministic xorshift64* — the tests must not depend on ambient seed
+/// state.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn frac(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+const COLLAPSES: [&str; 5] = ["mean", "median", "min", "max", "count"];
+
+/// A random stream: mostly well-formed points over the unit square with a
+/// smooth value surface, plus NaN samples, comment lines, and malformed
+/// records (which both sides must skip identically).
+fn random_stream(rng: &mut Rng, points: usize, p: usize) -> String {
+    let mut text = String::from("# synthetic feed\n");
+    for i in 0..points {
+        if i % 97 == 13 {
+            text.push_str("bogus record\n");
+        }
+        let (x, y) = (rng.frac(), rng.frac());
+        write!(text, "{x} {y}").unwrap();
+        for k in 0..p {
+            if rng.below(20) == 0 {
+                text.push_str(" nan");
+            } else {
+                let v = 50.0 + 40.0 * x + 25.0 * y + (k as f64 + 1.0) * rng.frac();
+                write!(text, " {v}").unwrap();
+            }
+        }
+        text.push('\n');
+    }
+    text
+}
+
+/// Parses `text` into chunks of `batch` points each.
+fn chunks_of(text: &str, p: usize, batch: usize) -> Vec<PointChunk> {
+    let mut reader = StreamReader::new(std::io::Cursor::new(text.to_string()), p);
+    let mut chunks = Vec::new();
+    loop {
+        let mut chunk = PointChunk::with_capacity(batch, p);
+        if reader.next_chunk(batch, &mut chunk).unwrap() == 0 {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    chunks
+}
+
+/// Bit-pattern of every attribute plane plus the validity set — grid
+/// equality under the convergence contract is *bit* equality.
+fn grid_bits(grid: &GridDataset) -> (Vec<u64>, Vec<u32>) {
+    let mut bits = Vec::new();
+    for k in 0..grid.num_attrs() {
+        for id in grid.valid_cells() {
+            bits.push(grid.value(id, k).to_bits());
+        }
+    }
+    (bits, grid.valid_cells().collect())
+}
+
+/// One random scenario: stream → incremental engine (small batches, a
+/// mid-stream re-partition, a final one) vs the batch pipeline (one big
+/// bin + a from-scratch driver run) — grids, partitions, IFL, and v2
+/// snapshot bytes must all be bit-identical.
+fn check_scenario(rng: &mut Rng, pool: &Arc<Pool>) -> Vec<u8> {
+    let rows = 4 + rng.below(12) as usize;
+    let cols = 4 + rng.below(12) as usize;
+    let p = 1 + rng.below(3) as usize;
+    let theta = [0.05, 0.1, 0.2][rng.below(3) as usize];
+    let points = 200 + rng.below(600) as usize;
+    let batch = [7, 33, 128][rng.below(3) as usize];
+
+    let spec = (0..p)
+        .map(|k| format!("a{k}:{}", COLLAPSES[rng.below(5) as usize]))
+        .collect::<Vec<_>>()
+        .join(",");
+    let schema = IngestSchema::parse(&spec).unwrap();
+    let text = random_stream(rng, points, p);
+
+    // Incremental side: small batches, an exact re-partition mid-stream
+    // (so the final one starts from a patched — not fresh — scan cache)
+    // and another after the last batch.
+    let mut engine = IngestEngine::new(IngestConfig::new(rows, cols, schema, theta)).unwrap();
+    let chunks = chunks_of(&text, p, batch);
+    let mid = chunks.len() / 2;
+    for (i, chunk) in chunks.iter().enumerate() {
+        engine.apply_batch(chunk).unwrap();
+        if i + 1 == mid {
+            engine.repartition_with(pool).unwrap();
+        }
+    }
+    engine.repartition_with(pool).unwrap();
+
+    // Batch side: bin the whole stream in one chunk into a fresh engine's
+    // accumulators, then run the driver from scratch with the identical
+    // configuration the engine uses.
+    let schema = IngestSchema::parse(&spec).unwrap();
+    let mut batch_engine = IngestEngine::new(IngestConfig::new(rows, cols, schema, theta)).unwrap();
+    let mut whole = PointChunk::with_capacity(points, p);
+    let mut reader = StreamReader::new(std::io::Cursor::new(text), p);
+    reader.next_chunk(usize::MAX, &mut whole).unwrap();
+    batch_engine.apply_batch(&whole).unwrap();
+
+    assert_eq!(
+        grid_bits(engine.grid()),
+        grid_bits(batch_engine.grid()),
+        "accumulated grid must not depend on batch splits"
+    );
+
+    let config = RepartitionConfig {
+        threshold: theta,
+        strategy: IterationStrategy::EveryDistinct,
+        ifl_options: IflOptions::default(),
+        max_iterations: usize::MAX,
+    };
+    let batch_outcome = Repartitioner::with_config(config)
+        .unwrap()
+        .run_with_pool(batch_engine.grid(), pool)
+        .unwrap();
+
+    let inc = &engine.last_outcome().unwrap().repartitioned;
+    let bat = &batch_outcome.repartitioned;
+    assert_eq!(inc.num_groups(), bat.num_groups());
+    assert_eq!(inc.ifl().to_bits(), bat.ifl().to_bits());
+    assert_eq!(inc.partition().cell_to_group(), bat.partition().cell_to_group());
+
+    let inc_bytes = engine.snapshot_bytes().unwrap();
+    let snap = Snapshot::build(bat, batch_engine.grid(), theta).unwrap();
+    assert_eq!(inc_bytes, snapshot_to_bytes_v2(&snap), "v2 snapshot bytes must be identical");
+    inc_bytes
+}
+
+#[test]
+fn incremental_converges_to_batch_bit_for_bit() {
+    let pool1 = Arc::new(Pool::new(1));
+    let pool8 = Arc::new(Pool::new(8));
+    for seed in 1..=6u64 {
+        // Identical scenario at 1 and 8 worker threads: the partitions
+        // must match the batch run *and* each other byte for byte.
+        let serial = check_scenario(&mut Rng(0x9E37_79B9 ^ seed), &pool1);
+        let threaded = check_scenario(&mut Rng(0x9E37_79B9 ^ seed), &pool8);
+        assert_eq!(serial, threaded, "seed {seed}: thread count changed snapshot bytes");
+    }
+}
+
+/// Builds a single-cell-hit engine over a 2×2 grid and returns cell 0's
+/// collapsed value for `spec` after binning `samples` at (0.1, 0.1).
+fn collapse_one(spec: &str, samples: &[f64]) -> (f64, bool) {
+    let schema = IngestSchema::parse(spec).unwrap();
+    let mut engine = IngestEngine::new(IngestConfig::new(2, 2, schema, 0.1)).unwrap();
+    let mut chunk = PointChunk::with_capacity(samples.len(), 1);
+    for &v in samples {
+        chunk.push(0.1, 0.1, &[v]);
+    }
+    engine.apply_batch(&chunk).unwrap();
+    (engine.grid().value(0, 0), engine.grid().is_valid(0))
+}
+
+#[test]
+fn median_of_even_count_averages_the_middle_order_stats() {
+    // sorted: 1, 3, 9, 20 -> (3 + 9) / 2
+    let (v, valid) = collapse_one("a:median", &[9.0, 1.0, 20.0, 3.0]);
+    assert!(valid);
+    assert_eq!(v, 6.0);
+    // NaN samples drop out of the order statistics first: 2, 4 -> 3.
+    let (v, _) = collapse_one("a:median", &[4.0, f64::NAN, 2.0]);
+    assert_eq!(v, 3.0);
+}
+
+#[test]
+fn single_point_cells_collapse_to_the_sample() {
+    for spec in ["a:mean", "a:median", "a:min", "a:max"] {
+        let (v, valid) = collapse_one(spec, &[7.25]);
+        assert!(valid);
+        assert_eq!(v, 7.25, "{spec}");
+    }
+    let (v, _) = collapse_one("a:count", &[7.25]);
+    assert_eq!(v, 1.0);
+}
+
+#[test]
+fn all_nan_samples_leave_a_valid_cell_with_zero_value() {
+    for spec in ["a:mean", "a:median", "a:min", "a:max"] {
+        let (v, valid) = collapse_one(spec, &[f64::NAN, f64::NAN]);
+        assert!(valid, "{spec}: a binned point makes the cell valid");
+        assert_eq!(v, 0.0, "{spec}: zero finite samples collapse to 0.0");
+    }
+    // count counts *finite* samples, so it is 0 here too.
+    let (v, valid) = collapse_one("a:count", &[f64::NAN, f64::NAN]);
+    assert!(valid);
+    assert_eq!(v, 0.0);
+}
