@@ -67,6 +67,17 @@ SR_THREADS=1 cargo test -q --offline -p sr-serve --test prop_v2
 echo "==> snapshot v1/v2 compat (SR_THREADS=4)"
 SR_THREADS=4 cargo test -q --offline -p sr-serve --test prop_v2
 
+# The localized re-partitioning contract (docs/INGESTION.md, "The
+# localized walk"): run_localized over any dirty sequence is bit-identical
+# to the batch driver's hinted walk on the same inputs, at every thread
+# count. The sr-core unit tests and the engine-level property tests in
+# ingest_convergence both cover it; pinned here at both thread counts.
+echo "==> localized repartition (SR_THREADS=1)"
+SR_THREADS=1 cargo test -q --offline -p sr-core localized
+
+echo "==> localized repartition (SR_THREADS=4)"
+SR_THREADS=4 cargo test -q --offline -p sr-core localized
+
 # Bench smoke: every bench target builds and runs each body exactly once
 # (SR_BENCH_SMOKE=1 skips calibration and suppresses JSON export, so the
 # checked-in BENCH_*.json artifacts are untouched). A panic in any bench —
@@ -81,9 +92,10 @@ done
 # reference box; tighten to 120 on dedicated hardware) and a 4-thread
 # pool must never be slower than 1 thread by more than
 # SR_GATE_MAX_T4_RATIO (default 1.25× — a 1-vCPU box pays a real ~5-10%
-# worker-handoff cost; tighten to 1.10 on multicore). Run at both pool
-# budgets so the
-# global-pool path is timed serial and fanned out.
+# worker-handoff cost; tighten to 1.10 on multicore), and a localized
+# 1%-dirty round must stay under SR_GATE_MAX_INCR_MS (default 40 ms).
+# Run at both pool budgets so the global-pool path is timed serial and
+# fanned out.
 for threads in 1 4; do
   echo "==> bench gate (SR_THREADS=$threads)"
   SR_THREADS=$threads cargo run -q --release --offline -p sr-bench --bin bench_gate

@@ -124,6 +124,42 @@ impl Bencher<'_> {
         let median = samples_ns[samples_ns.len() / 2];
         *self.result = Some((median, total_iters));
     }
+
+    /// Criterion-parity custom measurement: `f` receives an iteration
+    /// count, runs that many iterations, and returns only the time it
+    /// chooses to count — letting per-iteration setup (input mutation,
+    /// cache patching) happen inside the closure without being timed.
+    /// Calibration and sampling mirror [`Bencher::iter`], driven by the
+    /// durations `f` reports.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        if self.smoke {
+            let elapsed = f(1);
+            *self.result = Some((elapsed.as_nanos() as f64, 1));
+            return;
+        }
+        let mut calib_iters: u64 = 1;
+        let per_iter_ns = loop {
+            let elapsed = f(calib_iters);
+            if elapsed >= Duration::from_millis(2) || calib_iters >= 1 << 24 {
+                break (elapsed.as_nanos() as f64 / calib_iters as f64).max(0.1);
+            }
+            calib_iters *= 4;
+        };
+
+        let per_sample_ns = self.measurement_time.as_nanos() as f64 / self.samples.max(1) as f64;
+        let iters_per_sample = ((per_sample_ns / per_iter_ns).ceil() as u64).clamp(1, 1 << 24);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        let mut total_iters = 0u64;
+        for _ in 0..self.samples {
+            let elapsed = f(iters_per_sample);
+            samples_ns.push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+            total_iters += iters_per_sample;
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = samples_ns[samples_ns.len() / 2];
+        *self.result = Some((median, total_iters));
+    }
 }
 
 /// The top-level benchmark driver.
@@ -316,8 +352,18 @@ mod tests {
             });
             g.finish();
         }
-        assert_eq!(c.results().len(), 2);
+        c.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box((0..100u64).sum::<u64>());
+                }
+                start.elapsed()
+            })
+        });
+        assert_eq!(c.results().len(), 3);
         assert_eq!(c.results()[1].id, "grp/param/42");
+        assert!(c.results()[2].ns_per_iter > 0.0);
         assert!(c.results()[0].ns_per_iter > 0.0);
         let path = std::env::temp_dir().join("criterion_stub_test.json");
         c.export_json(&path).unwrap();

@@ -25,8 +25,8 @@
 //! Run: `cargo bench -p sr-bench --bench ingest`
 
 use criterion::{black_box, Criterion};
-use sr_core::{IterationStrategy, RepartitionConfig, Repartitioner};
-use sr_grid::{Bounds, CellId, GridDataset};
+use sr_core::{IterationStrategy, LocalizedState, RepartitionConfig, Repartitioner, ScanCache};
+use sr_grid::{Bounds, CellId, GridDataset, IflOptions};
 use sr_ingest::{CellAccumulators, IngestConfig, IngestEngine, IngestSchema, PointChunk};
 use std::time::Duration;
 
@@ -192,22 +192,90 @@ fn main() {
 
     // Exact re-partition, with and without the maintained scan cache —
     // reported transparently: the threshold walk dominates both, so the
-    // cached variation scan is a modest (not 3×) win here.
+    // cached variation scan is a modest (not 3×) win here. `scan_cached`
+    // deliberately measures the *non*-localized walk over patched inputs
+    // ([`Repartitioner::run_with_scan`]) so the localized rows below have
+    // a stable baseline to be compared against.
     {
         let mut engine =
             IngestEngine::new(IngestConfig::new(ROWS, COLS, schema.clone(), THETA)).unwrap();
         engine.apply_batch(&seed).unwrap();
+        let driver = batch_driver();
+        let grid = engine.grid().clone();
+        let scan = ScanCache::build(&grid, IflOptions::default());
+        let pool = sr_par::Pool::global();
         let mut g = c.benchmark_group("ingest");
         g.sample_size(10).measurement_time(Duration::from_secs(4));
         g.bench_function("repartition/scan_cached", |bench| {
-            bench.iter(|| engine.repartition().unwrap().repartitioned.num_groups())
+            bench.iter(|| {
+                driver.run_with_scan(&grid, &scan, pool).unwrap().repartitioned.num_groups()
+            })
         });
-        let driver = batch_driver();
-        let grid = engine.grid().clone();
         g.bench_function("repartition/from_scratch", |bench| {
             bench.iter(|| driver.run(black_box(&grid)).unwrap().repartitioned.num_groups())
         });
         g.finish();
+    }
+
+    // Localized exact re-partition: a warmed LocalizedState absorbs a
+    // delta's dirty cells instead of re-walking the whole grid. This is
+    // the tentpole row: cost proportional to the dirty region,
+    // bit-identical to `scan_cached` output. Each iteration mutates the
+    // grid and patches the scan cache *outside* the timed window
+    // (`iter_custom`) — those costs are the `maintain/incremental_*` rows
+    // — so the row times exactly what `scan_cached` times: one driver
+    // run over patched inputs. Values stay below the pinned 200.0
+    // maximum so the scan cache patches in place (see the module docs).
+    {
+        let mut engine =
+            IngestEngine::new(IngestConfig::new(ROWS, COLS, schema.clone(), THETA)).unwrap();
+        engine.apply_batch(&seed).unwrap();
+        let mut grid = engine.grid().clone();
+        let driver = batch_driver();
+        let mut scan = ScanCache::build(&grid, IflOptions::default());
+        let mut state = LocalizedState::new();
+        let pool = sr_par::Pool::global();
+        driver.run_localized(&grid, &scan, &mut state, &[], pool).unwrap();
+        for pct in [1usize, 10] {
+            let dirty = ROWS * COLS * pct / 100;
+            let deltas: Vec<Vec<(CellId, f64)>> = (0..DELTAS)
+                .map(|_| {
+                    (0..dirty)
+                        .map(|_| {
+                            // Never cell 0 — it holds the pinned maximum;
+                            // overwriting it would hit the rebuild guard.
+                            let id = 1 + (rng.next() % (ROWS * COLS - 1) as u64) as CellId;
+                            (id, 50.0 + 140.0 * rng.frac())
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut i = 0usize;
+            let mut g = c.benchmark_group("ingest");
+            g.sample_size(10).measurement_time(Duration::from_secs(2));
+            g.bench_function(format!("repartition/localized_{pct}pct_dirty"), |bench| {
+                bench.iter_custom(|iters| {
+                    let mut elapsed = Duration::ZERO;
+                    for _ in 0..iters {
+                        let delta = &deltas[i % DELTAS];
+                        i += 1;
+                        for &(id, v) in delta {
+                            grid.set_value(id, 0, v);
+                        }
+                        let dirty_ids: Vec<CellId> = delta.iter().map(|&(id, _)| id).collect();
+                        scan.update(&grid, &dirty_ids);
+                        let start = std::time::Instant::now();
+                        let out = driver
+                            .run_localized(&grid, &scan, &mut state, &dirty_ids, pool)
+                            .unwrap();
+                        elapsed += start.elapsed();
+                        black_box(out.repartitioned.num_groups());
+                    }
+                    elapsed
+                })
+            });
+            g.finish();
+        }
     }
 
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");

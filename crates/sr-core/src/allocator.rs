@@ -17,7 +17,7 @@ use sr_grid::{local_loss, GridDataset};
 /// Per-chunk scratch reused across groups so the hot allocation loop does
 /// zero heap traffic per group: one value column per attribute plus the
 /// mode-counting key buffer.
-struct Scratch {
+pub(crate) struct Scratch {
     /// `columns[k]` holds attribute `k`'s values of the current group's
     /// valid cells, in row-major cell order.
     columns: Vec<Vec<f64>>,
@@ -27,7 +27,7 @@ struct Scratch {
 }
 
 impl Scratch {
-    fn new(p: usize) -> Self {
+    pub(crate) fn new(p: usize) -> Self {
         Scratch { columns: vec![Vec::new(); p], keys: Vec::new() }
     }
 }
@@ -169,6 +169,15 @@ impl GroupFeatures {
         self.valid_counts[g] as usize
     }
 
+    /// Assembles an arena from already-aggregated parts — the localized
+    /// driver materializes its winner from cached per-rect rows, which were
+    /// produced by the same [`allocate_rect_into`] the batch paths use, so
+    /// the assembled arena is bit-identical to a fresh allocation.
+    pub(crate) fn from_raw(p: usize, values: Vec<f64>, valid_counts: Vec<u32>) -> Self {
+        debug_assert_eq!(values.len(), valid_counts.len() * p);
+        GroupFeatures { p, values, valid_counts }
+    }
+
     /// Materializes the boxed per-group representation used by the public
     /// pipeline types (`Repartitioned::features`, snapshots, serving).
     pub fn into_options(self) -> Vec<Option<Vec<f64>>> {
@@ -210,10 +219,22 @@ fn allocate_group_into(
     scratch: &mut Scratch,
     out: &mut Vec<f64>,
 ) -> usize {
+    allocate_rect_into(original, partition.rect(gid), scratch, out)
+}
+
+/// [`allocate_group_into`] on a bare rectangle. A group's allocation reads
+/// nothing but its rectangle and the grid, so this is the whole algorithm;
+/// the localized driver calls it directly for cache-miss groups, which
+/// makes cached rows bit-interchangeable with batch-computed ones.
+pub(crate) fn allocate_rect_into(
+    original: &GridDataset,
+    rect: crate::partition::GroupRect,
+    scratch: &mut Scratch,
+    out: &mut Vec<f64>,
+) -> usize {
     let p = original.num_attrs();
     let n = original.num_cells();
     let cols = original.cols();
-    let rect = partition.rect(gid);
     let words = original.valid_words();
 
     // Fast path: single-cell groups keep their exact values (mean = mode =

@@ -19,7 +19,7 @@ use sr_grid::GridDataset;
 /// Slack added to the variation comparison so a threshold that was itself
 /// produced from these variations (heap pops) re-accepts the generating pair
 /// despite floating-point noise.
-const VARIATION_SLACK: f64 = 1e-12;
+pub(crate) const VARIATION_SLACK: f64 = 1e-12;
 
 /// Sentinel group id marking a not-yet-assigned cell during extraction.
 /// Group counts are bounded by the cell count, which is far below `u32::MAX`.
@@ -267,33 +267,65 @@ fn best_anchored_rect(
     r: usize,
     c: usize,
 ) -> (usize, usize) {
+    let cols = edges.cols;
+    let probe =
+        probe_anchored_rect(edges, accept, r, c, |rr, cc| assigned[rr * cols + cc] != UNASSIGNED);
+    (probe.height, probe.width)
+}
+
+/// Result of one anchored-rectangle probe, including the extent of the
+/// region the probe *read*: every edge it compared lies within rows
+/// `[r, reach]` and columns `[c, c + run_width]` (cell coordinates, both
+/// endpoints of every compared edge included). The localized replay keys
+/// its dirty-region checks on exactly this box.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RectProbe {
+    pub(crate) height: usize,
+    pub(crate) width: usize,
+    /// Last row index the exploration visited (≥ the rect's bottom row).
+    pub(crate) reach: usize,
+    /// Width of the maximal anchor-row run (≥ the rect's width).
+    pub(crate) run_width: usize,
+}
+
+/// The anchored-rectangle scan over an abstract assignment predicate
+/// (`is_assigned(row, col)`), shared verbatim — same comparisons,
+/// same order — by the batch extractor (predicate over `cell_to_group`)
+/// and the localized replay (predicate over a per-column spill profile).
+/// Monomorphized per predicate, so the batch path's codegen is unchanged.
+pub(crate) fn probe_anchored_rect(
+    edges: &EdgeVariations,
+    accept: f64,
+    r: usize,
+    c: usize,
+    is_assigned: impl Fn(usize, usize) -> bool,
+) -> RectProbe {
     let rows = edges.rows;
     let cols = edges.cols;
     let (eh, ev) = (&edges.h[..], &edges.v[..]);
 
     // Maximal horizontal run in the anchor row.
     let mut width = 1usize;
-    while c + width < cols
-        && assigned[r * cols + c + width] == UNASSIGNED
-        && eh[r * cols + c + width - 1] <= accept
-    {
+    while c + width < cols && !is_assigned(r, c + width) && eh[r * cols + c + width - 1] <= accept {
         width += 1;
     }
 
     let mut best = (1usize, width);
     let mut best_area = width;
+    let mut reach = r;
 
     let mut h = 1usize;
     let mut w = width;
     while r + h < rows && w > 0 {
         let rr = r + h;
+        reach = rr;
         // Shrink the window to the longest prefix of row `rr` that is
         // unvisited, vertically compatible with the row above, and
         // horizontally chained within row `rr`.
         let mut w2 = 0usize;
         while w2 < w {
             let cc = rr * cols + c + w2;
-            if assigned[cc] != UNASSIGNED || ev[cc - cols] > accept {
+            if is_assigned(rr, c + w2) || ev[cc - cols] > accept {
                 break;
             }
             if w2 > 0 && eh[cc - 1] > accept {
@@ -313,7 +345,7 @@ fn best_anchored_rect(
         }
     }
 
-    best
+    RectProbe { height: best.0, width: best.1, reach, run_width: width }
 }
 
 #[cfg(test)]

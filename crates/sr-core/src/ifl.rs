@@ -270,6 +270,11 @@ impl IflCellCache {
         }
         self.terms = self.terms + new_terms - old_terms;
     }
+
+    /// Total contributing terms — Eq. 3's averaging denominator.
+    pub(crate) fn terms(&self) -> usize {
+        self.terms
+    }
 }
 
 /// The shared Eq. 3 kernel: per-cell percentage-error terms against the
@@ -320,6 +325,12 @@ fn ifl_over_cells(
 }
 
 /// One chunk of the Eq. 3 sum with a compile-time attribute count.
+///
+/// Each cell's `p` terms are first folded into a per-cell subtotal, and the
+/// subtotals are then added to the chunk partial in ascending cell order.
+/// This two-level grouping is the canonical association of the Eq. 3 sum:
+/// the localized path caches exactly these per-cell subtotals and re-folds
+/// them in the same order, so both sides produce identical bits.
 fn chunk_sum<const P: usize>(
     partition: &Partition,
     reps: &[f64],
@@ -339,9 +350,11 @@ fn chunk_sum<const P: usize>(
         let d: &[f64; P] = cache.data[row..row + P].try_into().unwrap();
         let inv: &[f64; P] = cache.data[row + P..row + 2 * P].try_into().unwrap();
         let r: &[f64; P] = reps[g * P..g * P + P].try_into().unwrap();
+        let mut t = 0.0f64;
         for k in 0..P {
-            sum += (d[k] - r[k]).abs() * inv[k];
+            t += (d[k] - r[k]).abs() * inv[k];
         }
+        sum += t;
     }
     sum
 }
@@ -363,13 +376,8 @@ fn chunk_sum_dyn(
         if skip_bit(skip, g) {
             continue;
         }
-        let row = (base + i) * 2 * p;
-        let d = &cache.data[row..row + p];
-        let inv = &cache.data[row + p..row + 2 * p];
         let r = &reps[g * p..g * p + p];
-        for k in 0..p {
-            sum += (d[k] - r[k]).abs() * inv[k];
-        }
+        sum += cell_term_at(cache, base + i, r, &[], false, p);
     }
     sum
 }
@@ -394,19 +402,68 @@ fn chunk_sum_mode(
         if skip_bit(skip, g) {
             continue;
         }
-        let row = (base + i) * 2 * p;
-        let d = &cache.data[row..row + p];
-        let inv = &cache.data[row + p..row + 2 * p];
         let r = &reps[g * p..g * p + p];
-        for k in 0..p {
-            if aggs[k] == AggType::Mode {
-                sum += if d[k] == r[k] { 0.0 } else { 1.0 };
-            } else {
-                sum += (d[k] - r[k]).abs() * inv[k];
-            }
-        }
+        sum += cell_term_at(cache, base + i, r, aggs, true, p);
     }
     sum
+}
+
+/// The per-cell Eq. 3 subtotal at cell-list position `pos` against a
+/// representative row: the cell's `p` terms added in ascending attribute
+/// order. This is the exact inner loop of the batch kernels (including the
+/// monomorphized variants — same expression per attribute, same add order),
+/// so a cached subtotal can replace a live evaluation bit for bit.
+///
+/// When `has_mode` is false `aggs` is never read and may be empty.
+#[inline]
+pub(crate) fn cell_term_at(
+    cache: &IflCellCache,
+    pos: usize,
+    rep_row: &[f64],
+    aggs: &[AggType],
+    has_mode: bool,
+    p: usize,
+) -> f64 {
+    let row = pos * 2 * p;
+    let d = &cache.data[row..row + p];
+    let inv = &cache.data[row + p..row + 2 * p];
+    let mut t = 0.0f64;
+    if has_mode {
+        for k in 0..p {
+            if aggs[k] == AggType::Mode {
+                t += if d[k] == rep_row[k] { 0.0 } else { 1.0 };
+            } else {
+                t += (d[k] - rep_row[k]).abs() * inv[k];
+            }
+        }
+    } else {
+        for k in 0..p {
+            t += (d[k] - rep_row[k]).abs() * inv[k];
+        }
+    }
+    t
+}
+
+/// Folds a dense array of per-cell subtotals (one slot per listed valid
+/// cell, `+0.0` for skipped cells) into the Eq. 3 average, using the same
+/// fixed-grain chunking and chunk-order partial fold as [`ifl_over_cells`].
+///
+/// Adding a `+0.0` subtotal to a non-negative partial is a bitwise no-op,
+/// so the result is identical to the batch kernel, which skips those cells
+/// outright.
+pub(crate) fn fold_cell_terms(terms: &[f64], term_count: usize, pool: &sr_par::Pool) -> f64 {
+    let partials =
+        pool.par_map_chunks(terms.len(), sr_par::fixed_grain(terms.len(), 64), |range| {
+            let mut sum = 0.0f64;
+            for &t in &terms[range] {
+                sum += t;
+            }
+            sum
+        });
+    if term_count == 0 {
+        return 0.0;
+    }
+    partials.iter().sum::<f64>() / term_count as f64
 }
 
 #[cfg(test)]

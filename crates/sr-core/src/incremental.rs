@@ -29,10 +29,13 @@
 //!   identical values and emits identical thresholds.
 //! - Any change to a normalization denominator (`attr_max_abs`) or to the
 //!   validity set falls back to rebuilding the affected structures
-//!   outright: the former invalidates every edge, the latter shifts every
-//!   cell position after the change. The fallback recomputes exactly what
-//!   [`ScanCache::build`] computes, so correctness never depends on the
-//!   guard being precise — only speed does.
+//!   outright: the former invalidates every edge (edges + threshold
+//!   multiset are rebuilt; the cell list and term cache are kept — their
+//!   rows depend on raw values and `zero_eps`, never on normalization),
+//!   the latter shifts every cell position after the change (cell list +
+//!   term cache are rebuilt). Each fallback recomputes exactly what
+//!   [`ScanCache::build`] computes for that structure, so correctness never
+//!   depends on the guards being precise — only speed does.
 //!
 //! [`Repartitioner::run_with_scan`] then feeds the cache into the shared
 //! threshold walk ([`Repartitioner`]'s `run_prepared`), which is the same
@@ -42,9 +45,11 @@
 //! [`Repartitioner`]: crate::repartition::Repartitioner
 //! [`Repartitioner::run`]: crate::repartition::Repartitioner::run
 //! [`Repartitioner::run_with_scan`]: crate::repartition::Repartitioner::run_with_scan
+//! [`VariationHeap::into_sorted_distinct`]: crate::heap::VariationHeap::into_sorted_distinct
+//! [`VariationHeap::from_grid_with`]: crate::heap::VariationHeap::from_grid_with
 
 use crate::extractor::EdgeVariations;
-use crate::heap::{sort_key, VariationHeap};
+use crate::heap::sort_key;
 use crate::ifl::IflCellCache;
 use sr_grid::{normalize_attributes, AggType, CellId, GridDataset, IflOptions};
 
@@ -56,7 +61,10 @@ pub struct ScanUpdate {
     pub dirty_cells: usize,
     /// Incident edges recomputed (0 when a rebuild path was taken).
     pub edges_recomputed: usize,
-    /// Whether a normalization-denominator change forced a full rebuild.
+    /// Whether a normalization-denominator change forced the edge array and
+    /// variation multiset to be rebuilt. The cell list and Eq. 3 term cache
+    /// are *not* rebuilt for this alone — their rows depend on raw cell
+    /// values, not on the normalization denominators.
     pub rebuilt_normalization: bool,
     /// Whether a validity change forced the cell list + term cache rebuild.
     pub rebuilt_cells: bool,
@@ -72,12 +80,17 @@ pub struct ScanCache {
     max_abs: Vec<f64>,
     edges: EdgeVariations,
     /// Multiset of all *finite* edge variations, ascending in the heap's
-    /// total order ([`sort_key`]). Mirrors exactly what
+    /// total order (`sort_key`). Mirrors exactly what
     /// [`VariationHeap::from_grid_with`] would collect on the current grid.
+    ///
+    /// [`VariationHeap::from_grid_with`]: crate::heap::VariationHeap::from_grid_with
     raw: Vec<f64>,
     /// Valid cells, ascending (the order [`GridDataset::valid_cells`]
     /// yields).
     cells: Vec<CellId>,
+    /// Bumped whenever `cells` is rebuilt (validity changed); lets callers
+    /// cache structures derived from the cell list across updates.
+    cells_generation: u64,
     ifl_cache: IflCellCache,
 }
 
@@ -89,14 +102,18 @@ impl ScanCache {
 
     /// [`ScanCache::build`] on an explicit pool.
     pub fn build_with(grid: &GridDataset, opts: IflOptions, pool: &sr_par::Pool) -> Self {
-        let normalized = normalize_attributes(grid);
-        let edges = EdgeVariations::build_with(&normalized, pool);
-        let mut raw: Vec<f64> =
-            edges.h.iter().chain(edges.v.iter()).copied().filter(|v| v.is_finite()).collect();
-        raw.sort_unstable_by_key(|&v| sort_key(v));
+        let (edges, raw) = rebuild_edges(grid, pool);
         let cells: Vec<CellId> = grid.valid_cells().collect();
         let ifl_cache = IflCellCache::build(grid, &cells, opts);
-        ScanCache { ifl_options: opts, max_abs: grid.attr_max_abs(), edges, raw, cells, ifl_cache }
+        ScanCache {
+            ifl_options: opts,
+            max_abs: grid.attr_max_abs(),
+            edges,
+            raw,
+            cells,
+            cells_generation: 0,
+            ifl_cache,
+        }
     }
 
     /// Patches the cache after `grid` changed in the listed cells (values
@@ -120,26 +137,6 @@ impl ScanCache {
             return ScanUpdate::default();
         }
 
-        // Guard 1: a normalization denominator moved — every edge value
-        // changes, so patching is pointless. Bit comparison, not epsilon:
-        // the cached edges are only valid for the exact denominators they
-        // were computed with.
-        let max_abs = grid.attr_max_abs();
-        let denominators_moved = self.max_abs.len() != max_abs.len()
-            || self.max_abs.iter().zip(&max_abs).any(|(a, b)| a.to_bits() != b.to_bits());
-        if denominators_moved {
-            let mut dirty_sorted: Vec<CellId> = dirty.to_vec();
-            dirty_sorted.sort_unstable();
-            dirty_sorted.dedup();
-            *self = Self::build_with(grid, self.ifl_options, pool);
-            return ScanUpdate {
-                dirty_cells: dirty_sorted.len(),
-                rebuilt_normalization: true,
-                rebuilt_cells: true,
-                ..ScanUpdate::default()
-            };
-        }
-
         let mut dirty_sorted: Vec<CellId> = dirty.to_vec();
         dirty_sorted.sort_unstable();
         dirty_sorted.dedup();
@@ -152,60 +149,79 @@ impl ScanCache {
             .iter()
             .any(|&id| self.cells.binary_search(&id).is_ok() != grid.is_valid(id));
 
-        // Incident edges of the dirty region: up to 4 per cell, deduped.
-        // Encoding: horizontal edge at flat index `i` is `2i`, vertical
-        // `2i + 1` — only so one sorted list covers both arrays.
-        let cols = self.edges.cols;
-        let rows = self.edges.rows;
-        let mut edge_keys: Vec<usize> = Vec::with_capacity(dirty_sorted.len() * 4);
-        for &id in &dirty_sorted {
-            let i = id as usize;
-            let (r, c) = (i / cols, i % cols);
-            if c > 0 {
-                edge_keys.push(2 * (i - 1));
-            }
-            if c + 1 < cols {
-                edge_keys.push(2 * i);
-            }
-            if r > 0 {
-                edge_keys.push(2 * (i - cols) + 1);
-            }
-            if r + 1 < rows {
-                edge_keys.push(2 * i + 1);
-            }
-        }
-        edge_keys.sort_unstable();
-        edge_keys.dedup();
-
-        let mut removals: Vec<f64> = Vec::new();
-        let mut insertions: Vec<f64> = Vec::new();
+        // Guard 1: a normalization denominator moved — every edge value
+        // changes, so patching the edge array is pointless and it is rebuilt
+        // together with the finite-variation multiset. Bit comparison, not
+        // epsilon: the cached edges are only valid for the exact denominators
+        // they were computed with. The valid-cell list and the Eq. 3 term
+        // cache are *kept*: term rows read raw cell values and `zero_eps`
+        // only, never the normalization, so they fall through to the same
+        // validity-gated patch as the incremental path below.
+        let max_abs = grid.attr_max_abs();
+        let denominators_moved = self.max_abs.len() != max_abs.len()
+            || self.max_abs.iter().zip(&max_abs).any(|(a, b)| a.to_bits() != b.to_bits());
         let mut recomputed = 0usize;
-        for &key in &edge_keys {
-            let i = key >> 1;
-            let (store, other) = if key & 1 == 0 {
-                (&mut self.edges.h[i], (i + 1) as CellId)
-            } else {
-                (&mut self.edges.v[i], (i + cols) as CellId)
-            };
-            let old = *store;
-            let new = edge_value(grid, &self.max_abs, i as CellId, other);
-            recomputed += 1;
-            if old.to_bits() == new.to_bits() {
-                continue;
+        if denominators_moved {
+            self.max_abs = max_abs;
+            let (edges, raw) = rebuild_edges(grid, pool);
+            self.edges = edges;
+            self.raw = raw;
+        } else {
+            // Incident edges of the dirty region: up to 4 per cell, deduped.
+            // Encoding: horizontal edge at flat index `i` is `2i`, vertical
+            // `2i + 1` — only so one sorted list covers both arrays.
+            let cols = self.edges.cols;
+            let rows = self.edges.rows;
+            let mut edge_keys: Vec<usize> = Vec::with_capacity(dirty_sorted.len() * 4);
+            for &id in &dirty_sorted {
+                let i = id as usize;
+                let (r, c) = (i / cols, i % cols);
+                if c > 0 {
+                    edge_keys.push(2 * (i - 1));
+                }
+                if c + 1 < cols {
+                    edge_keys.push(2 * i);
+                }
+                if r > 0 {
+                    edge_keys.push(2 * (i - cols) + 1);
+                }
+                if r + 1 < rows {
+                    edge_keys.push(2 * i + 1);
+                }
             }
-            *store = new;
-            if old.is_finite() {
-                removals.push(old);
+            edge_keys.sort_unstable();
+            edge_keys.dedup();
+
+            let mut removals: Vec<f64> = Vec::new();
+            let mut insertions: Vec<f64> = Vec::new();
+            for &key in &edge_keys {
+                let i = key >> 1;
+                let (store, other) = if key & 1 == 0 {
+                    (&mut self.edges.h[i], (i + 1) as CellId)
+                } else {
+                    (&mut self.edges.v[i], (i + cols) as CellId)
+                };
+                let old = *store;
+                let new = edge_value(grid, &self.max_abs, i as CellId, other);
+                recomputed += 1;
+                if old.to_bits() == new.to_bits() {
+                    continue;
+                }
+                *store = new;
+                if old.is_finite() {
+                    removals.push(old);
+                }
+                if new.is_finite() {
+                    insertions.push(new);
+                }
             }
-            if new.is_finite() {
-                insertions.push(new);
-            }
+            self.apply_multiset_delta(&mut removals, &mut insertions);
         }
-        self.apply_multiset_delta(&mut removals, &mut insertions);
 
         if validity_changed {
             self.cells.clear();
             self.cells.extend(grid.valid_cells());
+            self.cells_generation += 1;
             self.ifl_cache = IflCellCache::build(grid, &self.cells, self.ifl_options);
         } else {
             for &id in &dirty_sorted {
@@ -218,7 +234,7 @@ impl ScanCache {
         ScanUpdate {
             dirty_cells: dirty_sorted.len(),
             edges_recomputed: recomputed,
-            rebuilt_normalization: false,
+            rebuilt_normalization: denominators_moved,
             rebuilt_cells: validity_changed,
         }
     }
@@ -251,11 +267,37 @@ impl ScanCache {
         self.raw = out;
     }
 
-    /// Regenerates the ascending distinct thresholds through the same
-    /// dedup chain the batch path uses ([`VariationHeap::into_sorted_distinct`]),
+    /// Regenerates the ascending distinct thresholds with the same dedup
+    /// chain the batch path uses ([`VariationHeap::into_sorted_distinct`]),
     /// so an equal multiset yields bit-equal thresholds.
+    ///
+    /// `raw` is already maintained in the heap's total order, and the
+    /// heap's lazy sort round-trips every finite value bitwise through the
+    /// `sort_key` bijection — so the heap would walk exactly this
+    /// sequence. Deduping directly skips re-sorting a couple hundred
+    /// thousand values on every run (the `thresholds_match_variation_heap`
+    /// test pins the bit equality).
+    ///
+    /// [`VariationHeap::into_sorted_distinct`]: crate::heap::VariationHeap::into_sorted_distinct
     pub fn sorted_distinct_thresholds(&self) -> Vec<f64> {
-        VariationHeap::from_values(self.raw.iter().copied()).into_sorted_distinct()
+        let mut out = Vec::with_capacity(self.raw.len());
+        self.sorted_distinct_thresholds_into(&mut out);
+        out
+    }
+
+    /// [`ScanCache::sorted_distinct_thresholds`] into a caller-owned buffer
+    /// (cleared first), so per-run callers can reuse the allocation.
+    pub fn sorted_distinct_thresholds_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.raw.len());
+        let mut last = f64::NEG_INFINITY;
+        for &v in &self.raw {
+            if (v - last).abs() <= crate::heap::DEFAULT_DEDUP_EPS {
+                continue;
+            }
+            last = v;
+            out.push(v);
+        }
     }
 
     /// The maintained edge variations.
@@ -266,6 +308,14 @@ impl ScanCache {
     /// The maintained valid-cell list (ascending).
     pub(crate) fn cells(&self) -> &[CellId] {
         &self.cells
+    }
+
+    /// Generation counter of [`ScanCache::cells`]: bumped on every rebuild
+    /// of the list, stable across pure value patches. Structures derived
+    /// from the list (e.g. a cell → position index) stay valid while this
+    /// and the list length are unchanged on the same cache object.
+    pub(crate) fn cells_generation(&self) -> u64 {
+        self.cells_generation
     }
 
     /// The maintained Eq. 3 term cache.
@@ -287,6 +337,18 @@ impl ScanCache {
     pub fn num_variations(&self) -> usize {
         self.raw.len()
     }
+}
+
+/// Recomputes the full edge array and the sorted finite-variation multiset
+/// from scratch — exactly what [`ScanCache::build_with`] computes, shared
+/// with the denominator-move path of [`ScanCache::update_with`].
+fn rebuild_edges(grid: &GridDataset, pool: &sr_par::Pool) -> (EdgeVariations, Vec<f64>) {
+    let normalized = normalize_attributes(grid);
+    let edges = EdgeVariations::build_with(&normalized, pool);
+    let mut raw: Vec<f64> =
+        edges.h.iter().chain(edges.v.iter()).copied().filter(|v| v.is_finite()).collect();
+    raw.sort_unstable_by_key(|&v| sort_key(v));
+    (edges, raw)
 }
 
 /// Recomputes one edge variation with the exact floating-point sequence of
@@ -328,6 +390,7 @@ fn edge_value(grid: &GridDataset, max_abs: &[f64], a: CellId, b: CellId) -> f64 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::heap::VariationHeap;
     use crate::repartition::Repartitioner;
     use rand::{rngs::SmallRng, Rng, SeedableRng};
 
@@ -391,12 +454,40 @@ mod tests {
     }
 
     #[test]
-    fn denominator_move_triggers_full_rebuild() {
+    fn denominator_move_rebuilds_edges_but_keeps_cells() {
         let mut g = random_grid(6, 6, 4);
         let mut cache = ScanCache::build(&g, IflOptions::default());
         g.set_value(10, 0, 1e6);
         let report = cache.update(&g, &[10]);
         assert!(report.rebuilt_normalization);
+        // A magnitude bump alone must not rebuild the cell list or the term
+        // cache: their rows read raw values, not normalized ones.
+        assert!(!report.rebuilt_cells);
+        assert_eq!(report.edges_recomputed, 0);
+        assert_cache_fresh(&cache, &g);
+
+        // The term cache must still be correct end to end — run the driver
+        // against a from-scratch batch run on the bumped grid.
+        let driver = Repartitioner::new(0.08).unwrap();
+        let pool = sr_par::Pool::global();
+        let inc = driver.run_with_scan(&g, &cache, pool).unwrap();
+        let full = driver.run_with_pool(&g, pool).unwrap();
+        assert_eq!(inc.repartitioned.ifl().to_bits(), full.repartitioned.ifl().to_bits());
+        assert_eq!(
+            inc.repartitioned.partition().cell_to_group(),
+            full.repartitioned.partition().cell_to_group()
+        );
+    }
+
+    #[test]
+    fn denominator_move_with_validity_flip_rebuilds_both() {
+        let mut g = random_grid(6, 6, 9);
+        let mut cache = ScanCache::build(&g, IflOptions::default());
+        g.set_value(10, 0, 1e6);
+        g.set_null(20);
+        let report = cache.update(&g, &[10, 20]);
+        assert!(report.rebuilt_normalization);
+        assert!(report.rebuilt_cells);
         assert_cache_fresh(&cache, &g);
     }
 
@@ -421,6 +512,25 @@ mod tests {
                 full.repartitioned.partition().cell_to_group()
             );
             assert_eq!(inc.repartitioned.ifl().to_bits(), full.repartitioned.ifl().to_bits());
+        }
+    }
+
+    #[test]
+    fn thresholds_match_variation_heap() {
+        let mut g = random_grid(10, 14, 8);
+        let mut cache = ScanCache::build(&g, IflOptions::default());
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..4 {
+            let dirty: Vec<CellId> =
+                (0..6).map(|_| rng.gen_range(0..g.num_cells()) as CellId).collect();
+            for &id in &dirty {
+                g.set_value(id, 0, 80.0 + rng.gen_range(0.0..40.0));
+            }
+            cache.update(&g, &dirty);
+            let direct = cache.sorted_distinct_thresholds();
+            let heap = VariationHeap::from_values(cache.raw.iter().copied()).into_sorted_distinct();
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&direct), bits(&heap), "dedup shortcut diverged from the heap chain");
         }
     }
 

@@ -36,6 +36,7 @@ pub mod heap;
 pub mod homogeneous;
 pub mod ifl;
 pub mod incremental;
+pub mod localized;
 pub mod partition;
 pub mod prepare;
 pub mod quadtree;
@@ -56,6 +57,7 @@ pub use ifl::{
     representative,
 };
 pub use incremental::{ScanCache, ScanUpdate};
+pub use localized::LocalizedState;
 pub use partition::{GroupId, GroupRect, Partition};
 pub use prepare::PreparedTrainingData;
 pub use quadtree::quadtree_partition;

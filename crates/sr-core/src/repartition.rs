@@ -43,6 +43,18 @@ pub enum IterationStrategy {
     },
 }
 
+/// Which walk order [`Repartitioner::drive_walk`] ended up running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WalkKind {
+    /// Cold walk from the bottom of the threshold list.
+    Full,
+    /// Warm walk expanded outward from the hinted variation.
+    Warm,
+    /// A hint was supplied but sat below every current threshold; the full
+    /// walk ran instead.
+    WarmMiss,
+}
+
 /// Configuration of a re-partitioning run.
 #[derive(Debug, Clone)]
 pub struct RepartitionConfig {
@@ -257,6 +269,24 @@ impl Repartitioner {
         grid: &GridDataset,
         pool: &sr_par::Pool,
     ) -> Result<RepartitionOutcome> {
+        self.run_with_pool_warm(grid, pool, None)
+    }
+
+    /// [`Repartitioner::run_with_pool`] with a warm-start hint: under the
+    /// [`IterationStrategy::Exponential`] strategy the threshold walk starts
+    /// at the hinted variation and expands outward instead of striding up
+    /// from the bottom (see `docs/INGESTION.md`'s "The localized walk").
+    /// The hinted walk is a first-class walk order, not an approximation: a
+    /// hinted run is the bit-exact reference for the localized incremental
+    /// path ([`crate::localized`]) under the same hint. With `None` (or the
+    /// [`IterationStrategy::EveryDistinct`] strategy) this is exactly
+    /// [`Repartitioner::run_with_pool`].
+    pub fn run_with_pool_warm(
+        &self,
+        grid: &GridDataset,
+        pool: &sr_par::Pool,
+        warm_hint: Option<f64>,
+    ) -> Result<RepartitionOutcome> {
         sr_obs::Registry::global().counter("repartition.runs_total").inc();
 
         let mut run_span = sr_obs::span("repartition.run");
@@ -283,7 +313,7 @@ impl Repartitioner {
         let ifl_cache = IflCellCache::build(grid, &cells, self.config.ifl_options);
 
         let (repartitioned, iterations) =
-            self.run_prepared(grid, &edges, &thresholds, &cells, &ifl_cache, pool);
+            self.run_prepared(grid, &edges, &thresholds, &cells, &ifl_cache, warm_hint, pool);
         run_span.record("groups", repartitioned.num_groups());
         run_span.record("ifl", repartitioned.ifl());
 
@@ -328,6 +358,7 @@ impl Repartitioner {
             &thresholds,
             scan.cells(),
             scan.ifl_cache(),
+            None,
             pool,
         );
         run_span.record("groups", repartitioned.num_groups());
@@ -344,6 +375,7 @@ impl Repartitioner {
     ///
     /// [`run_with_pool`]: Repartitioner::run_with_pool
     /// [`run_with_scan`]: Repartitioner::run_with_scan
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_prepared(
         &self,
         grid: &GridDataset,
@@ -351,6 +383,7 @@ impl Repartitioner {
         thresholds: &[f64],
         cells: &[sr_grid::CellId],
         ifl_cache: &IflCellCache,
+        warm_hint: Option<f64>,
         pool: &sr_par::Pool,
     ) -> (Repartitioned, Vec<IterationStats>) {
         let metrics = sr_obs::Registry::global();
@@ -369,120 +402,58 @@ impl Repartitioner {
         let mut reps_buf: Vec<f64> = Vec::new();
         let mut skip_buf: Vec<u64> = Vec::new();
 
-        // One extraction pass at the given variation; updates `best` on
-        // acceptance and returns the stats.
-        let mut evaluate = |theta: f64,
-                            best: &mut Option<(Partition, GroupFeatures, f64, f64)>|
-         -> IterationStats {
-            extract_with_edges_into(edges, theta, &mut partition_buf);
-            GroupFeatures::allocate_into(grid, &partition_buf, pool, &mut features_buf);
-            let ifl = ifl_groups_over_cells(
-                grid,
-                &partition_buf,
-                &features_buf,
-                cells,
-                ifl_cache,
-                &mut reps_buf,
-                &mut skip_buf,
-                pool,
-            );
-            let accepted = ifl <= self.config.threshold;
-            iterations_total.inc();
-            if !accepted {
-                rejections_total.inc();
-            }
-            let num_groups = partition_buf.num_groups();
-            if accepted {
-                let better = best.as_ref().is_none_or(|(b, ..)| num_groups <= b.num_groups());
-                if better {
-                    match best {
-                        Some((bp, bf, bifl, btheta)) => {
-                            // Swapping (not overwriting) keeps the evicted
-                            // candidate's buffers alive for the next pass.
-                            std::mem::swap(bp, &mut partition_buf);
-                            std::mem::swap(bf, &mut features_buf);
-                            *bifl = ifl;
-                            *btheta = theta;
-                        }
-                        None => {
-                            let partition =
-                                std::mem::replace(&mut partition_buf, Partition::empty());
-                            let features =
-                                std::mem::replace(&mut features_buf, GroupFeatures::empty());
-                            *best = Some((partition, features, ifl, theta));
-                        }
-                    }
+        {
+            // One extraction pass at the given variation; updates `best` on
+            // acceptance and returns the stats.
+            let mut evaluate = |theta: f64| -> IterationStats {
+                extract_with_edges_into(edges, theta, &mut partition_buf);
+                GroupFeatures::allocate_into(grid, &partition_buf, pool, &mut features_buf);
+                let ifl = ifl_groups_over_cells(
+                    grid,
+                    &partition_buf,
+                    &features_buf,
+                    cells,
+                    ifl_cache,
+                    &mut reps_buf,
+                    &mut skip_buf,
+                    pool,
+                );
+                let accepted = ifl <= self.config.threshold;
+                iterations_total.inc();
+                if !accepted {
+                    rejections_total.inc();
                 }
-            }
-            IterationStats { min_adjacent_variation: theta, num_groups, ifl, accepted }
-        };
-
-        let mut merge_span = sr_obs::span("repartition.merge_loop");
-        match self.config.strategy {
-            IterationStrategy::EveryDistinct => {
-                for &theta in thresholds {
-                    if iterations.len() >= self.config.max_iterations {
-                        break;
-                    }
-                    let stats = evaluate(theta, &mut best);
-                    let stop = !stats.accepted || stats.num_groups <= 1;
-                    iterations.push(stats);
-                    if stop {
-                        break;
-                    }
-                }
-            }
-            IterationStrategy::Exponential { initial_stride, growth } => {
-                let mut idx = 0usize;
-                let mut stride = initial_stride;
-                let mut last_accepted: Option<usize> = None;
-                let mut rejected: Option<usize> = None;
-                while idx < thresholds.len() && iterations.len() < self.config.max_iterations {
-                    let stats = evaluate(thresholds[idx], &mut best);
-                    let accepted = stats.accepted;
-                    let single = stats.num_groups <= 1;
-                    iterations.push(stats);
-                    if !accepted {
-                        rejected = Some(idx);
-                        break;
-                    }
-                    last_accepted = Some(idx);
-                    if single || idx == thresholds.len() - 1 {
-                        break;
-                    }
-                    // Clamp to the final threshold so the coarsest candidate
-                    // is always evaluated before the walk ends.
-                    idx = (idx + stride).min(thresholds.len() - 1);
-                    stride = ((stride as f64 * growth) as usize).max(stride + 1);
-                }
-                // Binary-search the skipped range for the coarsest accepted
-                // threshold (IFL is near-monotone in the variation).
-                if let Some(rej) = rejected {
-                    let mut lo = last_accepted.map_or(0, |i| i + 1);
-                    let mut hi = rej.saturating_sub(1);
-                    while lo <= hi && hi < thresholds.len() {
-                        if iterations.len() >= self.config.max_iterations {
-                            break;
-                        }
-                        let mid = lo + (hi - lo) / 2;
-                        let stats = evaluate(thresholds[mid], &mut best);
-                        let accepted = stats.accepted;
-                        iterations.push(stats);
-                        if accepted {
-                            lo = mid + 1;
-                        } else {
-                            if mid == 0 {
-                                break;
+                let num_groups = partition_buf.num_groups();
+                if accepted {
+                    let better = best.as_ref().is_none_or(|(b, ..)| num_groups <= b.num_groups());
+                    if better {
+                        match &mut best {
+                            Some((bp, bf, bifl, btheta)) => {
+                                // Swapping (not overwriting) keeps the evicted
+                                // candidate's buffers alive for the next pass.
+                                std::mem::swap(bp, &mut partition_buf);
+                                std::mem::swap(bf, &mut features_buf);
+                                *bifl = ifl;
+                                *btheta = theta;
                             }
-                            hi = mid - 1;
+                            None => {
+                                let partition =
+                                    std::mem::replace(&mut partition_buf, Partition::empty());
+                                let features =
+                                    std::mem::replace(&mut features_buf, GroupFeatures::empty());
+                                best = Some((partition, features, ifl, theta));
+                            }
                         }
                     }
                 }
-            }
+                IterationStats { min_adjacent_variation: theta, num_groups, ifl, accepted }
+            };
+
+            let mut merge_span = sr_obs::span("repartition.merge_loop");
+            self.drive_walk(thresholds, warm_hint, &mut iterations, &mut evaluate);
+            merge_span.record("iterations", iterations.len());
+            merge_span.record("rejections", iterations.iter().filter(|it| !it.accepted).count());
         }
-        merge_span.record("iterations", iterations.len());
-        merge_span.record("rejections", iterations.iter().filter(|it| !it.accepted).count());
-        drop(merge_span);
 
         // Fallback: nothing accepted (or grid has no adjacent pairs) — the
         // identity partition, whose IFL is exactly zero.
@@ -502,6 +473,219 @@ impl Repartitioner {
             .add((grid.num_cells() - repartitioned.num_groups()) as u64);
 
         (repartitioned, iterations)
+    }
+
+    /// Walks the sorted distinct thresholds, dispatching one `evaluate`
+    /// call per probed index. All walk-order decisions live here: both the
+    /// batch driver ([`Repartitioner::run_prepared`]) and the localized
+    /// incremental path ([`crate::localized`]) drive their evaluations
+    /// through this method, so a shared `(thresholds, warm_hint)` pair
+    /// forces a bit-identical probe sequence.
+    ///
+    /// With a hint under [`IterationStrategy::Exponential`], the warm walk
+    /// is tried first and the full walk runs only when the warm window
+    /// misses (hint below every current threshold). Any other combination
+    /// goes straight to the full walk.
+    pub(crate) fn drive_walk(
+        &self,
+        thresholds: &[f64],
+        warm_hint: Option<f64>,
+        iterations: &mut Vec<IterationStats>,
+        evaluate: &mut dyn FnMut(f64) -> IterationStats,
+    ) -> WalkKind {
+        if let (Some(hint), IterationStrategy::Exponential { .. }) =
+            (warm_hint, self.config.strategy)
+        {
+            if self.walk_warm(thresholds, hint, iterations, evaluate) {
+                return WalkKind::Warm;
+            }
+            self.walk_full(thresholds, iterations, evaluate);
+            return WalkKind::WarmMiss;
+        }
+        self.walk_full(thresholds, iterations, evaluate);
+        WalkKind::Full
+    }
+
+    /// The cold walk: the paper's every-distinct loop, or the strided walk
+    /// with binary-search backoff (moved verbatim from the old inline
+    /// `run_prepared` loop — the probe sequence is unchanged).
+    fn walk_full(
+        &self,
+        thresholds: &[f64],
+        iterations: &mut Vec<IterationStats>,
+        evaluate: &mut dyn FnMut(f64) -> IterationStats,
+    ) {
+        match self.config.strategy {
+            IterationStrategy::EveryDistinct => {
+                for &theta in thresholds {
+                    if iterations.len() >= self.config.max_iterations {
+                        break;
+                    }
+                    let stats = evaluate(theta);
+                    let stop = !stats.accepted || stats.num_groups <= 1;
+                    iterations.push(stats);
+                    if stop {
+                        break;
+                    }
+                }
+            }
+            IterationStrategy::Exponential { initial_stride, growth } => {
+                let mut idx = 0usize;
+                let mut stride = initial_stride;
+                let mut last_accepted: Option<usize> = None;
+                let mut rejected: Option<usize> = None;
+                while idx < thresholds.len() && iterations.len() < self.config.max_iterations {
+                    let stats = evaluate(thresholds[idx]);
+                    let accepted = stats.accepted;
+                    let single = stats.num_groups <= 1;
+                    iterations.push(stats);
+                    if !accepted {
+                        rejected = Some(idx);
+                        break;
+                    }
+                    last_accepted = Some(idx);
+                    if single || idx == thresholds.len() - 1 {
+                        break;
+                    }
+                    // Clamp to the final threshold so the coarsest candidate
+                    // is always evaluated before the walk ends.
+                    idx = (idx + stride).min(thresholds.len() - 1);
+                    stride = ((stride as f64 * growth) as usize).max(stride + 1);
+                }
+                // Binary-search the skipped range for the coarsest accepted
+                // threshold (IFL is near-monotone in the variation).
+                if let Some(rej) = rejected {
+                    let lo = last_accepted.map_or(0, |i| i + 1);
+                    let hi = rej.saturating_sub(1);
+                    self.bisect(thresholds, lo, hi, iterations, evaluate);
+                }
+            }
+        }
+    }
+
+    /// The warm walk: probe the previously accepted variation, then expand
+    /// outward with geometric steps — upward while the hint still holds,
+    /// downward when it no longer does — and binary-search the final
+    /// bracket. The first step is a single position (a hint that did not
+    /// move at all costs two evaluations), after which the step grows ×8
+    /// per probe: the bisect bracket is bounded by the last step either
+    /// way, so aggressive growth trims the expansion leg from `log2(d)` to
+    /// `log8(d)` probes for a drift of `d` positions without widening the
+    /// bracket's `log2(d)` search. Returns `false` (without evaluating
+    /// anything) when the hint sits below every current threshold, i.e.
+    /// the warm window missed and the caller must run the full walk.
+    fn walk_warm(
+        &self,
+        thresholds: &[f64],
+        hint: f64,
+        iterations: &mut Vec<IterationStats>,
+        evaluate: &mut dyn FnMut(f64) -> IterationStats,
+    ) -> bool {
+        let hint_key = crate::heap::sort_key(hint);
+        // Largest index whose threshold is ≤ the hint, by total order on
+        // the raw bits (the thresholds are distinct and ascending).
+        let above = thresholds.partition_point(|&t| crate::heap::sort_key(t) <= hint_key);
+        if above == 0 {
+            return false;
+        }
+        let i0 = above - 1;
+        let cap = self.config.max_iterations;
+        if iterations.len() >= cap {
+            return true;
+        }
+        let first = evaluate(thresholds[i0]);
+        let (accepted, single) = (first.accepted, first.num_groups <= 1);
+        iterations.push(first);
+        if accepted {
+            if single {
+                return true;
+            }
+            // Expand upward: the accepted θ rarely moves far between runs.
+            let mut last_acc = i0;
+            let mut step = 1usize;
+            let mut first_rej: Option<usize> = None;
+            while last_acc < thresholds.len() - 1 && iterations.len() < cap {
+                let j = (last_acc + step).min(thresholds.len() - 1);
+                let stats = evaluate(thresholds[j]);
+                let accepted = stats.accepted;
+                let single = stats.num_groups <= 1;
+                iterations.push(stats);
+                if !accepted {
+                    first_rej = Some(j);
+                    break;
+                }
+                last_acc = j;
+                if single {
+                    return true;
+                }
+                step = step.saturating_mul(8);
+            }
+            if let Some(rej) = first_rej {
+                self.bisect(thresholds, last_acc + 1, rej.saturating_sub(1), iterations, evaluate);
+            }
+        } else {
+            // Hint rejected: expand downward until something is accepted
+            // (or the bottom of the threshold list rejects — identity).
+            let mut first_rej = i0;
+            let mut step = 1usize;
+            while first_rej > 0 && iterations.len() < cap {
+                let j = first_rej.saturating_sub(step);
+                let stats = evaluate(thresholds[j]);
+                let accepted = stats.accepted;
+                let single = stats.num_groups <= 1;
+                iterations.push(stats);
+                if accepted {
+                    if !single {
+                        self.bisect(
+                            thresholds,
+                            j + 1,
+                            first_rej.saturating_sub(1),
+                            iterations,
+                            evaluate,
+                        );
+                    }
+                    return true;
+                }
+                if j == 0 {
+                    break;
+                }
+                first_rej = j;
+                step = step.saturating_mul(8);
+            }
+        }
+        true
+    }
+
+    /// The shared binary-search backoff over an unevaluated `[lo, hi]`
+    /// index bracket — identical accept/reject stepping to the inline
+    /// search the Exponential walk has always used.
+    fn bisect(
+        &self,
+        thresholds: &[f64],
+        lo: usize,
+        hi: usize,
+        iterations: &mut Vec<IterationStats>,
+        evaluate: &mut dyn FnMut(f64) -> IterationStats,
+    ) {
+        let mut lo = lo;
+        let mut hi = hi;
+        while lo <= hi && hi < thresholds.len() {
+            if iterations.len() >= self.config.max_iterations {
+                break;
+            }
+            let mid = lo + (hi - lo) / 2;
+            let stats = evaluate(thresholds[mid]);
+            let accepted = stats.accepted;
+            iterations.push(stats);
+            if accepted {
+                lo = mid + 1;
+            } else {
+                if mid == 0 {
+                    break;
+                }
+                hi = mid - 1;
+            }
+        }
     }
 
     /// The configured IFL options.

@@ -25,6 +25,7 @@ use crate::binning::{CellAccumulators, IngestSchema};
 use crate::stream::PointChunk;
 use crate::{IngestError, Result};
 use sr_core::incremental::{ScanCache, ScanUpdate};
+use sr_core::localized::LocalizedState;
 use sr_core::repartition::{
     IterationStrategy, RepartitionConfig, RepartitionOutcome, Repartitioner,
 };
@@ -104,6 +105,14 @@ pub struct IngestEngine {
     grid: GridDataset,
     accum: CellAccumulators,
     scan: ScanCache,
+    /// Localized-walk state of the exact tier: extraction traces, the
+    /// group rectangle cache, and the warm-start θ of the last run.
+    localized: LocalizedState,
+    /// Dirty-cell bits accumulated since the last exact re-partition (flat
+    /// cell index); the localized run consumes and clears them.
+    pending_dirty: Vec<bool>,
+    /// Count of set bits in `pending_dirty`.
+    pending_count: usize,
     /// Live split-on-write tier, seeded by the last exact re-partition.
     live: Option<StreamingRepartitioner>,
     /// Last accepted exact result plus the grid state it was computed on
@@ -132,12 +141,16 @@ impl IngestEngine {
             .map_err(IngestError::Grid)?;
         let accum = CellAccumulators::new(config.rows, config.cols, &config.schema);
         let scan = ScanCache::build(&grid, config.ifl_options);
+        let pending_dirty = vec![false; config.rows * config.cols];
         Ok(IngestEngine {
             config,
             driver,
             grid,
             accum,
             scan,
+            localized: LocalizedState::new(),
+            pending_dirty,
+            pending_count: 0,
             live: None,
             last: None,
             batches: 0,
@@ -166,6 +179,19 @@ impl IngestEngine {
             points
         };
         let scan = self.scan.update(&self.grid, &dirty);
+        for &id in &dirty {
+            let slot = &mut self.pending_dirty[id as usize];
+            if !*slot {
+                *slot = true;
+                self.pending_count += 1;
+            }
+        }
+        if scan.rebuilt_normalization {
+            // Every edge variation was rescaled: recorded probe outcomes
+            // and the warm θ no longer describe the edge view. The group
+            // rectangle cache inside survives (raw-value based).
+            self.localized.invalidate();
+        }
         if let Some(live) = &mut self.live {
             let updates: Vec<CellUpdate> = dirty
                 .iter()
@@ -192,12 +218,18 @@ impl IngestEngine {
     }
 
     /// Runs the exact incremental re-partition over the maintained scan
-    /// inputs and re-seeds the live tier from the result. Bit-identical to
-    /// a from-scratch driver run on the accumulated grid (the convergence
+    /// inputs and re-seeds the live tier from the result. The run is
+    /// *localized* ([`Repartitioner::run_localized`]): extraction replays
+    /// the previous run's traces outside the dirty region, unchanged
+    /// groups are served from the rectangle cache, and the threshold walk
+    /// warm-starts from the last accepted θ — still bit-identical to a
+    /// from-scratch driver run on the accumulated grid (the convergence
     /// guarantee of `docs/INGESTION.md` §5, property-tested at the root).
     ///
     /// Emits an `ingest.repartition` span (the driver's `repartition.run`
-    /// tree nests beneath it) and bumps `ingest.repartitions_total`.
+    /// tree nests beneath it) and bumps `ingest.repartitions_total` and
+    /// `ingest.localized_runs_total` (+ `ingest.localized_fallbacks_total`
+    /// when the run walked cold or missed its warm window).
     pub fn repartition(&mut self) -> Result<&RepartitionOutcome> {
         self.repartition_with(sr_par::Pool::global())
     }
@@ -205,8 +237,18 @@ impl IngestEngine {
     /// [`IngestEngine::repartition`] on an explicit pool.
     pub fn repartition_with(&mut self, pool: &sr_par::Pool) -> Result<&RepartitionOutcome> {
         let mut span = sr_obs::span("ingest.repartition");
-        let outcome =
-            self.driver.run_with_scan(&self.grid, &self.scan, pool).map_err(IngestError::Core)?;
+        let dirty: Vec<CellId> = self
+            .pending_dirty
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| d.then_some(i as CellId))
+            .collect();
+        let outcome = self
+            .driver
+            .run_localized(&self.grid, &self.scan, &mut self.localized, &dirty, pool)
+            .map_err(IngestError::Core)?;
+        self.pending_dirty.iter_mut().for_each(|d| *d = false);
+        self.pending_count = 0;
         self.live = Some(
             StreamingRepartitioner::from_repartitioned(
                 self.grid.clone(),
@@ -217,7 +259,13 @@ impl IngestEngine {
         );
         span.record("groups", outcome.repartitioned.num_groups());
         span.record("ifl", outcome.repartitioned.ifl());
-        sr_obs::Registry::global().counter("ingest.repartitions_total").inc();
+        span.record("dirty_cells", dirty.len());
+        let metrics = sr_obs::Registry::global();
+        metrics.counter("ingest.repartitions_total").inc();
+        metrics.counter("ingest.localized_runs_total").inc();
+        if self.localized.last_run_was_fallback() {
+            metrics.counter("ingest.localized_fallbacks_total").inc();
+        }
         self.last = Some((outcome, self.grid.clone()));
         Ok(&self.last.as_ref().unwrap().0)
     }
@@ -281,6 +329,28 @@ impl IngestEngine {
     /// The last exact re-partition outcome.
     pub fn last_outcome(&self) -> Option<&RepartitionOutcome> {
         self.last.as_ref().map(|(o, _)| o)
+    }
+
+    /// The warm θ the *next* [`IngestEngine::repartition`] would hand the
+    /// driver's threshold walk, given the currently pending dirty cells —
+    /// `None` when that run would walk cold (first run, normalization
+    /// rebuild since the last run, or an oversized dirty region). A batch
+    /// pipeline reproduces the next repartition bit-for-bit by passing
+    /// this to [`Repartitioner::run_with_pool_warm`]; the convergence
+    /// property tests do exactly that.
+    pub fn planned_warm_hint(&self) -> Option<f64> {
+        self.localized.planned_hint(self.pending_count, self.grid.num_cells())
+    }
+
+    /// Distinct cells dirtied since the last exact re-partition.
+    pub fn pending_dirty_cells(&self) -> usize {
+        self.pending_count
+    }
+
+    /// The localized-walk state of the exact tier (fallback / reuse
+    /// telemetry of the last run).
+    pub fn localized(&self) -> &LocalizedState {
+        &self.localized
     }
 
     /// Batches ingested so far.

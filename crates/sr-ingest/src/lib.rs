@@ -41,7 +41,7 @@ pub mod stream;
 
 pub use binning::{AttrSpec, CellAccumulators, Collapse, IngestSchema};
 pub use engine::{BatchReport, IngestConfig, IngestEngine};
-pub use stream::{PointChunk, StreamReader};
+pub use stream::{write_binary_point, PointChunk, StreamReader, FRAME_MAGIC};
 
 /// Errors from the ingestion layer.
 #[derive(Debug)]

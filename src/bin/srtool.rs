@@ -700,14 +700,22 @@ fn cmd_ingest(opts: &Opts) -> Result<(), String> {
     let watch = opts.contains_key("watch");
     let snapshot_out = opts.get("snapshot-out");
 
+    let binary = match opts.get("format").map(String::as_str) {
+        None | Some("text") => false,
+        Some("bin") => true,
+        Some(other) => return Err(format!("bad --format '{other}' (expected text|bin)")),
+    };
+
     let p = config.schema.num_attrs();
     let mut engine = IngestEngine::new(config).map_err(|e| e.to_string())?;
     let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let mut reader = StreamReader::new(std::io::BufReader::new(file), p);
+    let buf = std::io::BufReader::new(file);
+    let mut reader = if binary { StreamReader::binary(buf, p) } else { StreamReader::new(buf, p) };
     let mut chunk = PointChunk::with_capacity(batch_size, p);
     println!(
-        "ingesting {path} into a {rows}x{cols} grid (theta {theta}, batch {batch_size}{})",
-        if watch { ", watching for appended lines" } else { "" }
+        "ingesting {path} ({}) into a {rows}x{cols} grid (theta {theta}, batch {batch_size}{})",
+        if binary { "binary frames" } else { "text lines" },
+        if watch { ", watching for appended records" } else { "" }
     );
 
     let start = std::time::Instant::now();
@@ -743,7 +751,7 @@ fn cmd_ingest(opts: &Opts) -> Result<(), String> {
         }
     }
     println!(
-        "done: {} points in {} batches ({} malformed lines skipped) in {:.2}s",
+        "done: {} points in {} batches ({} malformed records skipped) in {:.2}s",
         engine.total_points(),
         engine.num_batches(),
         reader.malformed_lines(),
@@ -794,7 +802,8 @@ USAGE:
                      [--addr HOST:PORT] [--threads N] [--deadline-ms MS]
                      [--max-inflight N] [--fault-plan FILE]
   srtool ingest      --in STREAM --theta T --grid RxC --attrs name:collapse,...
-                     [--batch-size N] [--bounds latmin,latmax,lonmin,lonmax]
+                     [--format text|bin] [--batch-size N]
+                     [--bounds latmin,latmax,lonmin,lonmax]
                      [--repartition-every K] [--snapshot-out FILE.snap]
                      [--watch] [--strided]
 

@@ -179,6 +179,179 @@ fn incremental_converges_to_batch_bit_for_bit() {
     }
 }
 
+/// One point centered in cell `(r, c)` of a `rows × cols` unit-bounds grid.
+fn cell_point(chunk: &mut PointChunk, rows: usize, cols: usize, r: usize, c: usize, v: f64) {
+    let x = (c as f64 + 0.5) / cols as f64;
+    let y = (r as f64 + 0.5) / rows as f64;
+    chunk.push(x, y, &[v]);
+}
+
+/// The strided-walk config the localized engine rounds force (small grids
+/// would otherwise default to `EveryDistinct`, which never warm-starts).
+fn exp_strategy() -> IterationStrategy {
+    IterationStrategy::Exponential { initial_stride: 2, growth: 1.7 }
+}
+
+fn exp_driver(theta: f64) -> Repartitioner {
+    Repartitioner::with_config(RepartitionConfig {
+        threshold: theta,
+        strategy: exp_strategy(),
+        ifl_options: IflOptions::default(),
+        max_iterations: usize::MAX,
+    })
+    .unwrap()
+}
+
+/// Multi-round localized scenario under the strided walk: cold seed run,
+/// warm small-dirt rounds, an all-cells-dirty round (oversized-region
+/// fallback), and a normalization-rebuild round (state invalidated). Every
+/// round must be bit-identical to the batch driver run with the hint the
+/// engine *planned* to use, and the round's v2 snapshot bytes must match a
+/// batch-side build. Returns the concatenated snapshot bytes so callers
+/// can compare thread counts.
+fn localized_rounds(pool: &Arc<Pool>) -> Vec<u8> {
+    let (rows, cols, theta) = (12usize, 12usize, 0.05);
+    let schema = IngestSchema::parse("a:mean").unwrap();
+    let config = IngestConfig::new(rows, cols, schema, theta).with_strategy(exp_strategy());
+    let mut engine = IngestEngine::new(config).unwrap();
+    let mut rng = Rng(0x00C0_FFEE);
+
+    // Seed batch: one point per cell, smooth surface. Cell (11, 11) pins
+    // the normalization maximum for the small-dirt rounds below.
+    let mut seed = PointChunk::with_capacity(rows * cols, 1);
+    for r in 0..rows {
+        for c in 0..cols {
+            cell_point(&mut seed, rows, cols, r, c, 100.0 + r as f64 + 0.05 * c as f64);
+        }
+    }
+    engine.apply_batch(&seed).unwrap();
+
+    let mut all_bytes = Vec::new();
+    let (mut warm, mut fallback) = (0u32, 0u32);
+    for round in 0..8 {
+        match round {
+            0 => {} // first repartition: cold by definition
+            4 => {
+                // Every cell dirty: the dirty fraction exceeds the
+                // localized walk's cutoff, so this round must walk cold.
+                let mut chunk = PointChunk::with_capacity(rows * cols, 1);
+                for r in 0..rows {
+                    for c in 0..cols {
+                        cell_point(&mut chunk, rows, cols, r, c, 95.0 + rng.frac() * 10.0);
+                    }
+                }
+                engine.apply_batch(&chunk).unwrap();
+                assert_eq!(engine.pending_dirty_cells(), rows * cols);
+            }
+            6 => {
+                // New attribute maximum: the scan cache rebuilds its
+                // normalization and the engine invalidates the localized
+                // state — the round walks cold, then re-seeds the hint.
+                let mut chunk = PointChunk::with_capacity(1, 1);
+                cell_point(&mut chunk, rows, cols, 3, 3, 500.0);
+                let report = engine.apply_batch(&chunk).unwrap();
+                assert!(report.scan.rebuilt_normalization);
+            }
+            _ => {
+                // Three random cells nudged within the existing value
+                // range: a small dirty region the warm walk should absorb.
+                let mut chunk = PointChunk::with_capacity(3, 1);
+                for _ in 0..3 {
+                    let r = rng.below(rows as u64) as usize;
+                    let c = rng.below(cols as u64) as usize;
+                    cell_point(&mut chunk, rows, cols, r, c, 95.0 + rng.frac() * 15.0);
+                }
+                engine.apply_batch(&chunk).unwrap();
+            }
+        }
+
+        let hint = engine.planned_warm_hint();
+        engine.repartition_with(pool).unwrap();
+        if engine.localized().last_run_was_fallback() {
+            fallback += 1;
+        } else {
+            warm += 1;
+        }
+        match round {
+            0 | 4 | 6 => {
+                assert!(engine.localized().last_run_was_fallback(), "round {round} must walk cold")
+            }
+            _ => {}
+        }
+
+        let reference = exp_driver(theta).run_with_pool_warm(engine.grid(), pool, hint).unwrap();
+        let (inc, bat) = (&engine.last_outcome().unwrap().repartitioned, &reference.repartitioned);
+        assert_eq!(inc.num_groups(), bat.num_groups(), "round {round}");
+        assert_eq!(inc.ifl().to_bits(), bat.ifl().to_bits(), "round {round}");
+        assert_eq!(
+            inc.partition().cell_to_group(),
+            bat.partition().cell_to_group(),
+            "round {round}"
+        );
+        let bytes = engine.snapshot_bytes().unwrap();
+        let snap = Snapshot::build(bat, engine.grid(), theta).unwrap();
+        assert_eq!(bytes, snapshot_to_bytes_v2(&snap), "round {round}: snapshot bytes diverged");
+        all_bytes.extend(bytes);
+    }
+    assert!(warm > 0, "no round used the warm walk");
+    assert!(fallback >= 3, "expected the cold rounds to fall back");
+    all_bytes
+}
+
+#[test]
+fn localized_engine_rounds_match_hinted_batch_driver() {
+    let pool1 = Arc::new(Pool::new(1));
+    let pool8 = Arc::new(Pool::new(8));
+    let serial = localized_rounds(&pool1);
+    let threaded = localized_rounds(&pool8);
+    assert_eq!(serial, threaded, "thread count changed localized snapshot bytes");
+}
+
+#[test]
+fn localized_engine_warm_miss_falls_back() {
+    // 2×3 grid with one tiny variation (cells 0–1) and huge ones
+    // elsewhere. After the first run hints at the tiny θ, a second sample
+    // moves cell 1's mean to 155.0: the tiny variation vanishes, every
+    // remaining threshold exceeds the hint, and the warm window misses —
+    // the engine must fall back to the full walk and still match the
+    // hinted batch driver bit for bit.
+    let (rows, cols, theta) = (2usize, 3usize, 0.05);
+    let values = [100.0, 100.001, 220.0, 390.0, 560.0, 730.0];
+    let pool = Arc::new(Pool::new(2));
+    let schema = IngestSchema::parse("a:mean").unwrap();
+    let config = IngestConfig::new(rows, cols, schema, theta).with_strategy(exp_strategy());
+    let mut engine = IngestEngine::new(config).unwrap();
+
+    let mut seed = PointChunk::with_capacity(6, 1);
+    for (i, &v) in values.iter().enumerate() {
+        cell_point(&mut seed, rows, cols, i / cols, i % cols, v);
+    }
+    engine.apply_batch(&seed).unwrap();
+    engine.repartition_with(&pool).unwrap();
+    let hint = engine.localized().warm_hint().expect("first run must seed the hint");
+
+    // mean(100.001, 209.999) = 155.0 — below the 730 maximum, so the scan
+    // cache patches in place and the localized state stays warm-eligible.
+    let mut bump = PointChunk::with_capacity(1, 1);
+    cell_point(&mut bump, rows, cols, 0, 1, 209.999);
+    let report = engine.apply_batch(&bump).unwrap();
+    assert!(!report.scan.rebuilt_normalization);
+    assert_eq!(engine.planned_warm_hint(), Some(hint));
+
+    engine.repartition_with(&pool).unwrap();
+    assert!(
+        engine.localized().last_run_was_fallback(),
+        "hint below every threshold must miss the warm window"
+    );
+    let reference = exp_driver(theta).run_with_pool_warm(engine.grid(), &pool, Some(hint)).unwrap();
+    let inc = &engine.last_outcome().unwrap().repartitioned;
+    assert_eq!(inc.ifl().to_bits(), reference.repartitioned.ifl().to_bits());
+    assert_eq!(
+        inc.partition().cell_to_group(),
+        reference.repartitioned.partition().cell_to_group()
+    );
+}
+
 /// Builds a single-cell-hit engine over a 2×2 grid and returns cell 0's
 /// collapsed value for `spec` after binning `samples` at (0.1, 0.1).
 fn collapse_one(spec: &str, samples: &[f64]) -> (f64, bool) {
